@@ -1,0 +1,103 @@
+//! Ablation: the clustered B+Tree versus a plain sorted `Vec` for the
+//! history store (a design choice DESIGN.md calls out).  The paper
+//! mandates a B-tree index (§5); at a few hundred tuples a sorted vector
+//! is competitive, but the B+Tree wins on mixed insert/delete workloads
+//! as histories approach the Figure 10 tail (> 4 000 tuples).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prorp_storage::BTree;
+use std::hint::black_box;
+use std::ops::Bound;
+
+/// The sorted-vector strawman.
+struct SortedVec {
+    entries: Vec<(i64, i64)>,
+}
+
+impl SortedVec {
+    fn new() -> Self {
+        SortedVec {
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, key: i64, value: i64) -> bool {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.entries.insert(pos, (key, value));
+                true
+            }
+        }
+    }
+
+    fn range_sum(&self, lo: i64, hi: i64) -> i64 {
+        let start = self.entries.partition_point(|(k, _)| *k < lo);
+        self.entries[start..]
+            .iter()
+            .take_while(|(k, _)| *k <= hi)
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+fn interleaved_keys(n: i64) -> Vec<i64> {
+    // Insertion order that is neither sorted nor reverse-sorted.
+    (0..n).map(|i| (i * 7_919) % (n * 8)).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_ablation/insert");
+    for &n in &[500i64, 4_000] {
+        let keys = interleaved_keys(n);
+        group.bench_with_input(BenchmarkId::new("btree", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut t = BTree::new();
+                for &k in keys {
+                    let _ = t.insert(k, k);
+                }
+                black_box(t.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sorted_vec", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut t = SortedVec::new();
+                for &k in keys {
+                    let _ = t.insert(k, k);
+                }
+                black_box(t.entries.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_ablation/range_scan");
+    for &n in &[500i64, 4_000] {
+        let keys = interleaved_keys(n);
+        let mut btree = BTree::new();
+        let mut vec = SortedVec::new();
+        for &k in &keys {
+            let _ = btree.insert(k, k);
+            vec.insert(k, k);
+        }
+        let lo = n;
+        let hi = n * 4;
+        group.bench_with_input(BenchmarkId::new("btree", n), &(), |b, ()| {
+            b.iter(|| {
+                btree
+                    .range(Bound::Included(black_box(lo)), Bound::Included(black_box(hi)))
+                    .map(|(_, v)| *v)
+                    .sum::<i64>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sorted_vec", n), &(), |b, ()| {
+            b.iter(|| vec.range_sum(black_box(lo), black_box(hi)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! The Algorithm 5 scan at fleet scale: the native metadata store's
+//! secondary index versus a naive full scan, and versus the
+//! SQL-interpreted `sys.databases` query.  §9.3 runs this scan every
+//! minute over hundreds of thousands of databases — the index is what
+//! makes that affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prorp_sqlmini::MetadataDb;
+use prorp_storage::{DbMeta, MetadataStore};
+use prorp_types::{DatabaseId, DbState, Seconds, Timestamp};
+use std::hint::black_box;
+
+fn populated_store(n: u64) -> MetadataStore {
+    let mut store = MetadataStore::new();
+    for id in 0..n {
+        // A third of the fleet physically paused with predictions spread
+        // over the next day.
+        let state = match id % 3 {
+            0 => DbState::PhysicallyPaused,
+            1 => DbState::LogicallyPaused,
+            _ => DbState::Resumed,
+        };
+        store.upsert(
+            DatabaseId(id),
+            DbMeta {
+                state,
+                pred_start: Some(Timestamp((id % 86_400) as i64)),
+            },
+        );
+    }
+    store
+}
+
+/// The naive alternative: filter every row on every scan.
+fn full_scan(store: &MetadataStore, n: u64, now: Timestamp, k: Seconds, width: Seconds) -> usize {
+    let lo = now + k;
+    let hi = lo + width;
+    (0..n)
+        .filter_map(|id| store.get(DatabaseId(id)))
+        .filter(|meta| {
+            meta.state == DbState::PhysicallyPaused
+                && meta
+                    .pred_start
+                    .is_some_and(|p| lo <= p && p <= hi)
+        })
+        .count()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata/algorithm5_scan");
+    let now = Timestamp(40_000);
+    let k = Seconds::minutes(5);
+    let width = Seconds::minutes(1);
+    for &n in &[10_000u64, 100_000] {
+        let store = populated_store(n);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &store, |b, store| {
+            b.iter(|| store.databases_to_resume(black_box(now), k, width).len());
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", n), &store, |b, store| {
+            b.iter(|| full_scan(store, n, black_box(now), k, width));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sql_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata/sql_interpreted");
+    group.sample_size(20);
+    let n = 10_000u64;
+    let mut sql = MetadataDb::new();
+    for id in 0..n {
+        let state = match id % 3 {
+            0 => DbState::PhysicallyPaused,
+            1 => DbState::LogicallyPaused,
+            _ => DbState::Resumed,
+        };
+        sql.upsert(id, state, Some((id % 86_400) as i64)).unwrap();
+    }
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        b.iter(|| sql.databases_to_resume(black_box(40_000), 300, 60).unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_sql_scan);
+criterion_main!(benches);

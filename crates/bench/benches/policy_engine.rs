@@ -1,0 +1,103 @@
+//! Throughput of the per-database policy engines: one full
+//! activity-cycle (login → logout → pause decision) per iteration, for
+//! each policy.  This is the per-event cost the control plane pays per
+//! database, and must stay far below the 1-second budget §9.3 reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prorp_core::{
+    DatabasePolicy, EngineAction, EngineEvent, OptimalEngine, ProactiveEngine, ReactiveEngine,
+};
+use prorp_forecast::ProbabilisticPredictor;
+use prorp_types::{PolicyConfig, Seconds, Session, Timestamp};
+use std::hint::black_box;
+
+const DAY: i64 = 86_400;
+const HOUR: i64 = 3_600;
+
+fn warm_proactive() -> ProactiveEngine<ProbabilisticPredictor> {
+    let config = PolicyConfig::default();
+    let mut engine =
+        ProactiveEngine::new(config, ProbabilisticPredictor::new(config).unwrap()).unwrap();
+    // 28 days of daily pattern to make prediction non-trivial.
+    for d in 0..28 {
+        engine.on_event(Timestamp(d * DAY + 9 * HOUR), EngineEvent::ActivityStart);
+        engine.on_event(Timestamp(d * DAY + 10 * HOUR), EngineEvent::ActivityEnd);
+    }
+    engine
+}
+
+fn drive_cycle(engine: &mut dyn DatabasePolicy, day: i64) -> usize {
+    let mut n = 0;
+    let start = Timestamp(day * DAY + 9 * HOUR);
+    let end = Timestamp(day * DAY + 10 * HOUR);
+    n += engine.on_event(start, EngineEvent::ActivityStart).len();
+    let actions = engine.on_event(end, EngineEvent::ActivityEnd);
+    n += actions.len();
+    // Deliver one timer if scheduled.
+    if let Some((at, tok)) = actions.iter().find_map(|a| match a {
+        EngineAction::ScheduleTimer(at, tok) => Some((*at, *tok)),
+        _ => None,
+    }) {
+        n += engine.on_event(at, EngineEvent::Timer(tok)).len();
+    }
+    n
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/activity_cycle");
+
+    group.bench_function("proactive", |b| {
+        b.iter_batched(
+            warm_proactive,
+            |mut engine| {
+                black_box(drive_cycle(&mut engine, 28));
+                engine
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("reactive", |b| {
+        b.iter_batched(
+            || {
+                let mut e =
+                    ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
+                for d in 0..28 {
+                    e.on_event(Timestamp(d * DAY + 9 * HOUR), EngineEvent::ActivityStart);
+                    e.on_event(Timestamp(d * DAY + 10 * HOUR), EngineEvent::ActivityEnd);
+                }
+                e
+            },
+            |mut engine| {
+                black_box(drive_cycle(&mut engine, 28));
+                engine
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("optimal", |b| {
+        let sessions: Vec<Session> = (0..30)
+            .map(|d| {
+                Session::new(
+                    Timestamp(d * DAY + 9 * HOUR),
+                    Timestamp(d * DAY + 10 * HOUR),
+                )
+                .unwrap()
+            })
+            .collect();
+        b.iter_batched(
+            || OptimalEngine::new(sessions.clone()).unwrap(),
+            |mut engine| {
+                black_box(drive_cycle(&mut engine, 7));
+                engine
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

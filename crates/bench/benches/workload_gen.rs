@@ -1,0 +1,61 @@
+//! Trace-synthesis throughput: generating a region fleet must stay cheap
+//! enough that parameter sweeps (Figures 8–9, the training grid) are
+//! simulation-bound, not generation-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prorp_types::{Seconds, Timestamp};
+use prorp_workload::{RegionName, RegionProfile};
+use std::hint::black_box;
+
+fn bench_fleet_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/generate_fleet");
+    group.sample_size(20);
+    let profile = RegionProfile::for_region(RegionName::Eu1);
+    for &n in &[100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                profile.generate_fleet(
+                    black_box(n),
+                    Timestamp(0),
+                    Timestamp(0) + Seconds::days(32),
+                    42,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    // One complete 50-database, 32-day proactive run: the unit of work a
+    // training-sweep worker executes per candidate.
+    use prorp_sim::{SimConfig, SimPolicy, Simulation};
+    use prorp_types::PolicyConfig;
+    let profile = RegionProfile::for_region(RegionName::Eu1);
+    let traces = profile.generate_fleet(
+        50,
+        Timestamp(0),
+        Timestamp(0) + Seconds::days(32),
+        42,
+    );
+    let mut group = c.benchmark_group("sim/end_to_end");
+    group.sample_size(10);
+    group.bench_function("proactive_50db_32d", |b| {
+        b.iter(|| {
+            let config = SimConfig::new(
+                SimPolicy::Proactive(PolicyConfig::default()),
+                Timestamp(0),
+                Timestamp(0) + Seconds::days(32),
+                Timestamp(0) + Seconds::days(28),
+            );
+            Simulation::new(config, traces.clone())
+                .unwrap()
+                .run()
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_generation, bench_full_simulation);
+criterion_main!(benches);

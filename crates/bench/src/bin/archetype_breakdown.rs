@@ -1,0 +1,132 @@
+//! Per-archetype KPI decomposition under the proactive policy — the
+//! diagnostic used to calibrate the region mixes against the paper's
+//! Figure 6 bands.  Each row runs a 30-database single-archetype fleet
+//! with parameters at the midpoint of the calibrated region ranges
+//! (see `prorp_workload::region`).
+
+use prorp_bench::{run_policy, ExperimentScale};
+use prorp_sim::SimPolicy;
+use prorp_types::{DatabaseId, PolicyConfig, Timestamp};
+use prorp_workload::{Archetype, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale {
+        fleet: 30,
+        days: 32,
+        warmup_days: 28,
+        seed: 1,
+    };
+    let archetypes: Vec<(&str, Archetype)> = vec![
+        (
+            "stable",
+            Archetype::WithQuietDays {
+                base: Box::new(Archetype::Stable {
+                    session_hours: 6.0,
+                    gap_minutes: 25.0,
+                }),
+                skip_probability: 0.13,
+            },
+        ),
+        (
+            "daily-tight",
+            Archetype::WithOffPattern {
+                base: Box::new(Archetype::Daily {
+                    start_hour: 9.0,
+                    duration_hours: 5.5,
+                    jitter_minutes: 55.0,
+                    skip_probability: 0.12,
+                }),
+                extra_per_day: 0.17,
+                extra_minutes: 25.0,
+            },
+        ),
+        (
+            "daily-diffuse",
+            Archetype::WithOffPattern {
+                base: Box::new(Archetype::Daily {
+                    start_hour: 9.0,
+                    duration_hours: 5.5,
+                    jitter_minutes: 210.0,
+                    skip_probability: 0.19,
+                }),
+                extra_per_day: 0.17,
+                extra_minutes: 25.0,
+            },
+        ),
+        (
+            "weekly",
+            Archetype::WithOffPattern {
+                base: Box::new(Archetype::Weekly {
+                    active_days: vec![0, 1, 2, 3, 4],
+                    start_hour: 8.5,
+                    duration_hours: 8.0,
+                    jitter_minutes: 55.0,
+                }),
+                extra_per_day: 0.17,
+                extra_minutes: 25.0,
+            },
+        ),
+        (
+            "bursty",
+            Archetype::Bursty {
+                sessions_per_day: 0.22,
+                session_minutes: 35.0,
+            },
+        ),
+        (
+            "dormant",
+            Archetype::Dormant {
+                days_between_sessions: 14.0,
+                session_minutes: 35.0,
+            },
+        ),
+        (
+            "fragmented",
+            Archetype::WithQuietDays {
+                base: Box::new(Archetype::Fragmented {
+                    start_hour: 8.5,
+                    span_hours: 6.5,
+                    session_minutes: 20.0,
+                    gap_minutes: 27.0,
+                }),
+                skip_probability: 0.12,
+            },
+        ),
+    ];
+    println!(
+        "Per-archetype KPIs under the proactive policy (30 databases each, days 28-32 measured)"
+    );
+    println!();
+    println!(
+        "{:<14} {:>7} {:>8} {:>21} {:>9} {:>7}",
+        "archetype", "QoS %", "idle %", "(log/corr/wrong %)", "prewarms", "pauses"
+    );
+    for (name, a) in archetypes {
+        let traces: Vec<Trace> = (0..30)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(1_000 + i);
+                let sessions = a.generate(scale.start(), scale.end(), &mut rng);
+                Trace::new(DatabaseId(i), name, sessions).unwrap()
+            })
+            .collect();
+        let r = run_policy(
+            &scale,
+            SimPolicy::Proactive(PolicyConfig::default()),
+            &traces,
+        );
+        println!(
+            "{:<14} {:>7.1} {:>8.2} {:>6.2}/{:>5.2}/{:>6.2}  {:>9} {:>7}",
+            name,
+            r.kpi.qos_pct(),
+            r.kpi.idle_pct(),
+            100.0 * r.kpi.idle_logical_frac,
+            100.0 * r.kpi.idle_proactive_correct_frac,
+            100.0 * r.kpi.idle_proactive_wrong_frac,
+            r.kpi.proactive_resumes,
+            r.kpi.physical_pauses
+        );
+    }
+    let _ = Timestamp(0);
+}

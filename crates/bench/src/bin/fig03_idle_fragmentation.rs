@@ -1,0 +1,59 @@
+//! Figure 3 — fragmentation of idle time.
+//!
+//! Paper: "72% of idle intervals are within one hour (Figure 3(a)).
+//! However, these short idle intervals contribute only 5% to the total
+//! idle time duration (Figure 3(b))."  This binary measures the same two
+//! marginals plus the bucketed histogram on the synthetic EU1 fleet over
+//! two months (the paper analyses "two month of production telemetry").
+
+use prorp_bench::{env_i64, env_usize, ExperimentScale};
+use prorp_types::Seconds;
+use prorp_workload::idle::{IdleStats, BUCKET_LABELS};
+use prorp_workload::RegionName;
+
+fn main() {
+    let scale = ExperimentScale {
+        fleet: env_usize("PRORP_FLEET", 400),
+        days: env_i64("PRORP_DAYS", 61), // two months, as in the paper
+        warmup_days: 0,
+        seed: env_usize("PRORP_SEED", 42) as u64,
+    };
+    let traces = scale.fleet_for(RegionName::Eu1);
+    let stats = IdleStats::from_traces(&traces);
+
+    println!(
+        "Figure 3: fragmentation of idle time ({} databases, {} days, {} idle intervals)",
+        scale.fleet,
+        scale.days,
+        stats.count()
+    );
+    println!();
+    let hist = stats.histogram();
+    let total_count: usize = hist.iter().map(|(c, _)| c).sum();
+    let total_dur: i64 = hist.iter().map(|(_, d)| d).sum();
+    println!(
+        "{:<8} {:>12} {:>9} {:>16} {:>9}",
+        "bucket", "intervals", "count%", "idle-hours", "duration%"
+    );
+    for (i, (count, dur)) in hist.iter().enumerate() {
+        println!(
+            "{:<8} {:>12} {:>8.1}% {:>16.0} {:>8.1}%",
+            BUCKET_LABELS[i],
+            count,
+            100.0 * *count as f64 / total_count.max(1) as f64,
+            *dur as f64 / 3600.0,
+            100.0 * *dur as f64 / total_dur.max(1) as f64
+        );
+    }
+    println!();
+    let frac = stats.fraction_below(Seconds::hours(1));
+    let share = stats.duration_share_below(Seconds::hours(1));
+    println!(
+        "(a) idle intervals shorter than 1 hour : {:5.1}%   (paper: ~72%)",
+        100.0 * frac
+    );
+    println!(
+        "(b) share of total idle time they carry: {:5.1}%   (paper: ~5%)",
+        100.0 * share
+    );
+}

@@ -1,0 +1,44 @@
+//! Figure 12 — frequency of resource-reclamation (physical pause)
+//! workflows versus the counting interval.
+//!
+//! Paper: the maximal number of physically paused databases per interval
+//! rises from 31 to 458 as the interval grows from 1 to 15 minutes, and
+//! is slightly higher than the proactive-resume counts because new
+//! databases are paused on idleness without a prediction.  The proactive
+//! policy roughly doubles the workflow rate versus reactive because it
+//! skips logical pauses when no activity is predicted.
+
+use prorp_bench::{compare_policies, ExperimentScale};
+use prorp_telemetry::{BoxPlot, TelemetryKind};
+use prorp_types::{PolicyConfig, Seconds};
+use prorp_workload::RegionName;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let traces = scale.fleet_for(RegionName::Eu1);
+    let (reactive, proactive) = compare_policies(&scale, PolicyConfig::default(), &traces);
+
+    println!(
+        "Figure 12: physical-pause workflows per interval ({} databases, EU1)",
+        scale.fleet
+    );
+    println!();
+    for (label, report) in [("proactive (gray)", &proactive), ("reactive (white)", &reactive)] {
+        println!("{label}:");
+        println!("{:<10} pause-count five-number summary", "interval");
+        for minutes in [1i64, 5, 10, 15] {
+            let bins =
+                report.workflow_bins(TelemetryKind::PhysicalPause, Seconds::minutes(minutes));
+            match BoxPlot::from_counts(&bins) {
+                Some(b) => println!("{:<10} {}", format!("{minutes} min"), b),
+                None => println!("{:<10} (no intervals)", format!("{minutes} min")),
+            }
+        }
+        let total: u64 = report.kpi.physical_pauses;
+        println!("{:<10} total pauses in measurement window: {}", "", total);
+        println!();
+    }
+    println!("paper: max rises 31 -> 458 as the interval grows 1 -> 15 min; the");
+    println!("       proactive policy's pause (and resume) rate is roughly double");
+    println!("       the reactive policy's.");
+}

@@ -1,0 +1,24 @@
+//! Print the synthetic fleet's composition for each region — the "what
+//! did we actually run on" companion to every experiment (§9.1 describes
+//! the paper's equivalent: "hundreds of thousands of Azure SQL databases
+//! are currently deployed in these four regions").
+
+use prorp_bench::ExperimentScale;
+use prorp_types::Seconds;
+use prorp_workload::{FleetSummary, RegionName};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let span = Seconds::days(scale.days);
+    println!(
+        "Synthetic fleet composition ({} databases per region, {} days, seed {})",
+        scale.fleet, scale.days, scale.seed
+    );
+    for region in RegionName::all() {
+        let traces = scale.fleet_for(region);
+        let summary = FleetSummary::from_traces(&traces, span);
+        println!();
+        println!("═══ {region} ═══");
+        print!("{summary}");
+    }
+}

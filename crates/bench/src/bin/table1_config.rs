@@ -1,0 +1,37 @@
+//! Table 1 — configuration knobs of the proactive policy and their
+//! production default values.
+
+use prorp_types::PolicyConfig;
+
+fn main() {
+    let c = PolicyConfig::default();
+    println!("Table 1: Notations / configuration knobs (production defaults)");
+    println!("{:-<66}", "");
+    println!("{:<6} {:<42} default", "knob", "meaning");
+    println!("{:-<66}", "");
+    println!(
+        "{:<6} {:<42} {}",
+        "l",
+        "duration of logical pause",
+        c.logical_pause
+    );
+    println!("{:<6} {:<42} {}", "h", "history length", c.history_len);
+    println!("{:<6} {:<42} {}", "p", "prediction horizon", c.horizon);
+    println!(
+        "{:<6} {:<42} {}",
+        "c", "confidence threshold", c.confidence
+    );
+    println!("{:<6} {:<42} {}", "w", "window size", c.window);
+    println!("{:<6} {:<42} {}", "s", "window slide", c.slide);
+    println!("{:<6} {:<42} {}", "k", "pre-warm time interval", c.prewarm);
+    println!(
+        "{:<6} {:<42} {}",
+        "", "seasonality", c.seasonality
+    );
+    println!("{:-<66}", "");
+    println!(
+        "derived: {} window positions per prediction, {} periods in history",
+        c.window_positions(),
+        c.periods_in_history()
+    );
+}

@@ -1,0 +1,154 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every figure of the paper's evaluation (§9) has a binary in
+//! `src/bin/` that regenerates it; this module supplies the common
+//! plumbing: fleet construction, policy comparison, and environment-knob
+//! parsing so larger runs can be requested without recompiling
+//! (`PRORP_FLEET=2000 PRORP_DAYS=60 cargo run -p prorp-bench --bin …`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation};
+use prorp_types::{PolicyConfig, Seconds, Timestamp};
+use prorp_workload::{RegionName, RegionProfile, Trace};
+
+/// Read a `usize` knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read an `i64` knob from the environment.
+pub fn env_i64(name: &str, default: i64) -> i64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Standard experiment setup: fleet size, horizon, and split points.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentScale {
+    /// Databases in the fleet.
+    pub fleet: usize,
+    /// Total simulated days.
+    pub days: i64,
+    /// Warm-up days before KPI measurement starts.
+    pub warmup_days: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Defaults overridable via `PRORP_FLEET`, `PRORP_DAYS`,
+    /// `PRORP_WARMUP`, `PRORP_SEED`.
+    pub fn from_env() -> Self {
+        ExperimentScale {
+            fleet: env_usize("PRORP_FLEET", 150),
+            days: env_i64("PRORP_DAYS", 32),
+            warmup_days: env_i64("PRORP_WARMUP", 28),
+            seed: env_usize("PRORP_SEED", 42) as u64,
+        }
+    }
+
+    /// Simulation start.
+    pub fn start(&self) -> Timestamp {
+        Timestamp(0)
+    }
+
+    /// Simulation end.
+    pub fn end(&self) -> Timestamp {
+        self.start() + Seconds::days(self.days)
+    }
+
+    /// Measurement-window start.
+    pub fn measure_from(&self) -> Timestamp {
+        self.start() + Seconds::days(self.warmup_days)
+    }
+
+    /// Generate the region's fleet at this scale.
+    pub fn fleet_for(&self, region: RegionName) -> Vec<Trace> {
+        RegionProfile::for_region(region).generate_fleet(
+            self.fleet,
+            self.start(),
+            self.end(),
+            self.seed,
+        )
+    }
+
+    /// A simulation config template for this scale.
+    pub fn sim_config(&self, policy: SimPolicy) -> SimConfig {
+        let mut cfg = SimConfig::new(policy, self.start(), self.end(), self.measure_from());
+        // Size the cluster to the fleet with ~25 % headroom.
+        cfg.node_capacity = (self.fleet / 4).max(8);
+        cfg.nodes = 5;
+        cfg
+    }
+}
+
+/// Run one policy over the traces at this scale.
+pub fn run_policy(scale: &ExperimentScale, policy: SimPolicy, traces: &[Trace]) -> SimReport {
+    Simulation::new(scale.sim_config(policy), traces.to_vec())
+        .expect("experiment config is valid")
+        .run()
+        .expect("simulation completes")
+}
+
+/// Run the reactive baseline and a proactive configuration on identical
+/// traces (the Figure 6/7 comparison).
+pub fn compare_policies(
+    scale: &ExperimentScale,
+    config: PolicyConfig,
+    traces: &[Trace],
+) -> (SimReport, SimReport) {
+    let reactive = run_policy(scale, SimPolicy::Reactive, traces);
+    let proactive = run_policy(scale, SimPolicy::Proactive(config), traces);
+    (reactive, proactive)
+}
+
+/// Print the standard two-policy comparison block.
+pub fn print_comparison(label: &str, reactive: &SimReport, proactive: &SimReport) {
+    println!("── {label} ──");
+    println!(
+        "  reactive : QoS {:5.1}%   idle {:5.2}% (logical {:.2}%)",
+        reactive.kpi.qos_pct(),
+        reactive.kpi.idle_pct(),
+        100.0 * reactive.kpi.idle_logical_frac,
+    );
+    println!(
+        "  proactive: QoS {:5.1}%   idle {:5.2}% (logical {:.2}% + correct {:.2}% + wrong {:.2}%)",
+        proactive.kpi.qos_pct(),
+        proactive.kpi.idle_pct(),
+        100.0 * proactive.kpi.idle_logical_frac,
+        100.0 * proactive.kpi.idle_proactive_correct_frac,
+        100.0 * proactive.kpi.idle_proactive_wrong_frac,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_falls_back_to_defaults() {
+        assert_eq!(env_usize("PRORP_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_i64("PRORP_DOES_NOT_EXIST", -3), -3);
+    }
+
+    #[test]
+    fn scale_windows_are_consistent() {
+        let scale = ExperimentScale {
+            fleet: 10,
+            days: 32,
+            warmup_days: 28,
+            seed: 1,
+        };
+        assert!(scale.start() < scale.measure_from());
+        assert!(scale.measure_from() < scale.end());
+        let cfg = scale.sim_config(SimPolicy::Reactive);
+        cfg.validate().unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared engine vocabulary: events in, actions out.
+//!
+//! The paper presents Algorithm 1 as blocking functions with `Sleep()`
+//! loops; a production control plane (and our discrete-event simulator)
+//! instead delivers *events* to each database and interprets the
+//! *actions* it returns.  The translation is mechanical: each `while …
+//! Sleep()` becomes a scheduled [`EngineAction::ScheduleTimer`] +
+//! [`EngineEvent::Timer`] pair, and each `AllocateResources()` /
+//! `ReclaimResources()` call becomes an emitted action the resource
+//! manager executes (with real-world latency).
+
+use prorp_storage::HistoryTable;
+use prorp_types::{DbState, Timestamp};
+
+/// Identifies which policy family an engine implements; the simulator uses
+/// it for labelling and to grant the idealised optimal policy zero-latency
+/// allocation (§2.3 defines the optimum without mechanism delays).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyKind {
+    /// The pre-ProRP reactive policy (§2.2).
+    Reactive,
+    /// The ProRP proactive policy (Algorithm 1).
+    Proactive,
+    /// The Figure 2(c) oracle optimum.
+    Optimal,
+}
+
+impl PolicyKind {
+    /// Stable lowercase label for telemetry and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Reactive => "reactive",
+            PolicyKind::Proactive => "proactive",
+            PolicyKind::Optimal => "optimal",
+        }
+    }
+}
+
+/// Token matching a scheduled timer to its delivery; a stale token (from a
+/// timer scheduled before a state change) must be ignored by the engine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TimerToken(pub u64);
+
+/// Events delivered to a per-database engine, in timestamp order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineEvent {
+    /// The customer logged in / the workload started.
+    ActivityStart,
+    /// The workload completed; the database is now idle.
+    ActivityEnd,
+    /// A previously scheduled timer fired.
+    Timer(TimerToken),
+    /// The control plane's proactive resume operation (Algorithm 5)
+    /// selected this database for pre-warming.
+    ProactiveResume,
+}
+
+/// Actions an engine asks the surrounding system to perform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineAction {
+    /// Run the resource-allocation workflow (resume compute).
+    Allocate,
+    /// Run the resource-reclamation workflow (physical pause).
+    Reclaim,
+    /// Publish `start_of_pred_activity` to the metadata store
+    /// (Algorithm 1 line 31); `None` clears it.
+    SetPredictedStart(Option<Timestamp>),
+    /// Deliver [`EngineEvent::Timer`] with this token at the given time.
+    ScheduleTimer(Timestamp, TimerToken),
+}
+
+/// Monotonic counters every engine maintains; the telemetry crate folds
+/// them into the §8 KPI metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineCounters {
+    /// Logins that arrived while resources were available (resumed or
+    /// logically paused) — the QoS numerator.
+    pub logins_available: u64,
+    /// Logins that arrived while physically paused and had to wait for a
+    /// reactive resume — the QoS complement.
+    pub logins_unavailable: u64,
+    /// Logical pauses entered from the resumed state.
+    pub logical_pauses: u64,
+    /// Physical pauses (reclamation workflows started).
+    pub physical_pauses: u64,
+    /// Proactive resumes received from the control plane.
+    pub proactive_resumes: u64,
+    /// Predictor invocations.
+    pub predictions: u64,
+    /// Predictor failures absorbed by the reactive fallback (§3.2).
+    pub forecast_failures: u64,
+    /// Total wall-clock nanoseconds spent inside the predictor.
+    pub prediction_ns_sum: u64,
+    /// Worst single prediction latency in nanoseconds.
+    pub prediction_ns_max: u64,
+}
+
+impl EngineCounters {
+    /// Total first logins after an idle interval.
+    pub fn total_logins(&self) -> u64 {
+        self.logins_available + self.logins_unavailable
+    }
+
+    /// Fraction of logins served with resources already available — the
+    /// paper's headline QoS metric (§8).
+    pub fn qos(&self) -> f64 {
+        let total = self.total_logins();
+        if total == 0 {
+            return 1.0;
+        }
+        self.logins_available as f64 / total as f64
+    }
+
+    /// Mean prediction latency in nanoseconds.
+    pub fn prediction_ns_mean(&self) -> f64 {
+        if self.predictions == 0 {
+            return 0.0;
+        }
+        self.prediction_ns_sum as f64 / self.predictions as f64
+    }
+}
+
+/// A per-database resource-allocation policy.
+///
+/// Implementations are deterministic state machines: given the same event
+/// sequence they emit the same actions, which keeps simulator runs
+/// reproducible and the policies directly comparable on identical traces.
+pub trait DatabasePolicy {
+    /// Handle one event at time `now`, returning the actions to execute.
+    fn on_event(&mut self, now: Timestamp, event: EngineEvent) -> Vec<EngineAction>;
+
+    /// Current lifecycle state (Figure 4).
+    fn state(&self) -> DbState;
+
+    /// Which policy family this engine implements.
+    fn kind(&self) -> PolicyKind;
+
+    /// Counter snapshot.
+    fn counters(&self) -> EngineCounters;
+
+    /// The database's activity history (for overhead accounting and the
+    /// backup/move path).  The optimal oracle policy keeps one too — the
+    /// activity tracker of §5 runs regardless of policy.
+    fn history(&self) -> &HistoryTable;
+
+    /// Replace the history table (restore after a load-balancing move,
+    /// §3.3).
+    fn restore_history(&mut self, history: HistoryTable);
+
+    /// The next-activity prediction this policy currently holds, if any —
+    /// consumed by prediction-aware maintenance scheduling (§11 future
+    /// work 4).  Policies without predictions return `None`.
+    fn current_prediction(&self) -> Option<prorp_types::Prediction> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_is_the_available_login_fraction() {
+        let c = EngineCounters {
+            logins_available: 8,
+            logins_unavailable: 2,
+            ..Default::default()
+        };
+        assert_eq!(c.total_logins(), 10);
+        assert!((c.qos() - 0.8).abs() < 1e-12);
+        assert_eq!(EngineCounters::default().qos(), 1.0);
+    }
+
+    #[test]
+    fn prediction_mean_handles_zero() {
+        let mut c = EngineCounters::default();
+        assert_eq!(c.prediction_ns_mean(), 0.0);
+        c.predictions = 4;
+        c.prediction_ns_sum = 400;
+        assert_eq!(c.prediction_ns_mean(), 100.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PolicyKind::Reactive.label(), "reactive");
+        assert_eq!(PolicyKind::Proactive.label(), "proactive");
+        assert_eq!(PolicyKind::Optimal.label(), "optimal");
+    }
+}

@@ -1,0 +1,49 @@
+//! The ProRP core: proactive resume and pause of per-database resources.
+//!
+//! This crate is the paper's primary contribution, recast from the
+//! thread-style pseudocode of Algorithm 1 into an event-driven state
+//! machine suitable for discrete-event simulation and embedding:
+//!
+//! * [`engine`] — shared vocabulary: the [`EngineEvent`]s a database
+//!   receives (customer activity edges, timers, proactive resumes), the
+//!   [`EngineAction`]s it emits (allocate, reclaim, publish prediction,
+//!   schedule timer), the [`DatabasePolicy`] trait, and per-engine
+//!   counters;
+//! * [`tracker`] — customer-activity tracking (§5): precise login/logout
+//!   timestamps buffered off the critical path and flushed into the
+//!   history table;
+//! * [`proactive`] — Algorithm 1: the Resumed → LogicallyPaused →
+//!   PhysicallyPaused lifecycle of Figure 4 driven by the Algorithm 4
+//!   predictor, with the §3.2 *default-to-reactive* fallback when the
+//!   forecast component fails;
+//! * [`reactive`] — the pre-ProRP baseline (§2.2): logically pause on
+//!   idle, physically pause after `l`, resume on demand;
+//! * [`optimal`] — the Figure 2(c) oracle policy whose allocation equals
+//!   demand exactly;
+//! * [`resume_op`] — Algorithm 5: the periodic control-plane scan that
+//!   pre-warms physically paused databases `k` ahead of predicted
+//!   activity;
+//! * [`maintenance`] — the §11 future-work extension: schedule system
+//!   maintenance inside predicted-online windows so backups and updates
+//!   stop forcing maintenance-only resumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod maintenance;
+pub mod optimal;
+pub mod proactive;
+pub mod reactive;
+pub mod resume_op;
+pub mod tracker;
+
+pub use engine::{
+    DatabasePolicy, EngineAction, EngineCounters, EngineEvent, PolicyKind, TimerToken,
+};
+pub use maintenance::{MaintenanceScheduler, MaintenanceSlot, MaintenanceStats};
+pub use optimal::OptimalEngine;
+pub use proactive::ProactiveEngine;
+pub use reactive::ReactiveEngine;
+pub use resume_op::ProactiveResumeOp;
+pub use tracker::ActivityTracker;

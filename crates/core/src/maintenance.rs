@@ -1,0 +1,237 @@
+//! Prediction-aware scheduling of system maintenance operations —
+//! the paper's future-work item 4 (§11).
+//!
+//! "So far, the proactive policy ignores the system maintenance
+//! operations such as backups, software updates, version upgrades, and
+//! stats refresh.  In the future, we will schedule these operations when
+//! the database is predicted to be online to minimize impact of
+//! increased backend load of resuming just for the purpose of running
+//! these operations."
+//!
+//! [`MaintenanceScheduler`] places a maintenance job of a given duration
+//! inside the next predicted activity interval when one exists within
+//! the job's deadline; otherwise it falls back to the deadline itself,
+//! which forces a maintenance-only resume — exactly the backend load the
+//! feature exists to avoid.  The §3.3 rule that maintenance resumes are
+//! *not* recorded as customer activity is preserved: callers run the job
+//! without touching the activity tracker.
+
+use prorp_types::{Prediction, ProrpError, Seconds, Timestamp};
+
+/// Where a maintenance job was placed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MaintenanceSlot {
+    /// Scheduled inside a predicted customer-activity interval: the
+    /// database is expected to be online anyway, so the job is free.
+    DuringPredictedActivity {
+        /// Job start time.
+        start: Timestamp,
+    },
+    /// No suitable predicted window before the deadline: the job runs at
+    /// the deadline and forces a maintenance-only resume.
+    ForcedResume {
+        /// Job start time (the deadline).
+        start: Timestamp,
+    },
+}
+
+impl MaintenanceSlot {
+    /// The chosen start time.
+    pub fn start(&self) -> Timestamp {
+        match self {
+            MaintenanceSlot::DuringPredictedActivity { start }
+            | MaintenanceSlot::ForcedResume { start } => *start,
+        }
+    }
+
+    /// Whether this placement avoids a maintenance-only resume.
+    pub fn is_free(&self) -> bool {
+        matches!(self, MaintenanceSlot::DuringPredictedActivity { .. })
+    }
+}
+
+/// Bookkeeping counters for maintenance placement quality.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MaintenanceStats {
+    /// Jobs placed inside predicted activity.
+    pub piggybacked: u64,
+    /// Jobs that forced a maintenance-only resume.
+    pub forced_resumes: u64,
+}
+
+impl MaintenanceStats {
+    /// Fraction of jobs that rode along with predicted activity.
+    pub fn piggyback_rate(&self) -> f64 {
+        let total = self.piggybacked + self.forced_resumes;
+        if total == 0 {
+            return 1.0;
+        }
+        self.piggybacked as f64 / total as f64
+    }
+}
+
+/// Places maintenance jobs relative to activity predictions.
+#[derive(Clone, Debug, Default)]
+pub struct MaintenanceScheduler {
+    stats: MaintenanceStats,
+}
+
+impl MaintenanceScheduler {
+    /// A fresh scheduler.
+    pub fn new() -> Self {
+        MaintenanceScheduler::default()
+    }
+
+    /// Placement counters so far.
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    /// Choose a slot for a job of `duration` that must start no later
+    /// than `deadline`.
+    ///
+    /// Rules, in order:
+    /// 1. if the predicted activity interval `[start, end]` overlaps
+    ///    `[now, deadline]` and fits the job, start the job at the later
+    ///    of `now` and the predicted start — the database is expected to
+    ///    be online;
+    /// 2. otherwise run at the deadline (forced resume).
+    ///
+    /// A job longer than the predicted interval still piggybacks when it
+    /// *starts* inside it — the resume it needs has already happened.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive durations and deadlines in the past.
+    pub fn place(
+        &mut self,
+        now: Timestamp,
+        prediction: Option<&Prediction>,
+        duration: Seconds,
+        deadline: Timestamp,
+    ) -> Result<MaintenanceSlot, ProrpError> {
+        if duration.as_secs() <= 0 {
+            return Err(ProrpError::InvalidConfig(format!(
+                "maintenance duration must be positive, got {duration:?}"
+            )));
+        }
+        if deadline < now {
+            return Err(ProrpError::InvalidConfig(format!(
+                "maintenance deadline {deadline:?} precedes now {now:?}"
+            )));
+        }
+        if let Some(p) = prediction {
+            let earliest = p.start.max(now);
+            if earliest <= deadline && earliest <= p.end {
+                self.stats.piggybacked += 1;
+                return Ok(MaintenanceSlot::DuringPredictedActivity { start: earliest });
+            }
+        }
+        self.stats.forced_resumes += 1;
+        Ok(MaintenanceSlot::ForcedResume { start: deadline })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(start: i64, end: i64) -> Prediction {
+        Prediction {
+            start: Timestamp(start),
+            end: Timestamp(end),
+            confidence: 1.0,
+        }
+    }
+
+    #[test]
+    fn piggybacks_on_a_future_predicted_window() {
+        let mut s = MaintenanceScheduler::new();
+        let slot = s
+            .place(
+                Timestamp(0),
+                Some(&pred(1_000, 2_000)),
+                Seconds(300),
+                Timestamp(5_000),
+            )
+            .unwrap();
+        assert_eq!(
+            slot,
+            MaintenanceSlot::DuringPredictedActivity {
+                start: Timestamp(1_000)
+            }
+        );
+        assert!(slot.is_free());
+        assert_eq!(slot.start(), Timestamp(1_000));
+    }
+
+    #[test]
+    fn ongoing_predicted_activity_starts_immediately() {
+        let mut s = MaintenanceScheduler::new();
+        let slot = s
+            .place(
+                Timestamp(1_500),
+                Some(&pred(1_000, 2_000)),
+                Seconds(300),
+                Timestamp(5_000),
+            )
+            .unwrap();
+        assert_eq!(
+            slot,
+            MaintenanceSlot::DuringPredictedActivity {
+                start: Timestamp(1_500)
+            }
+        );
+    }
+
+    #[test]
+    fn prediction_beyond_deadline_forces_a_resume() {
+        let mut s = MaintenanceScheduler::new();
+        let slot = s
+            .place(
+                Timestamp(0),
+                Some(&pred(10_000, 11_000)),
+                Seconds(300),
+                Timestamp(5_000),
+            )
+            .unwrap();
+        assert_eq!(slot, MaintenanceSlot::ForcedResume { start: Timestamp(5_000) });
+        assert!(!slot.is_free());
+    }
+
+    #[test]
+    fn no_prediction_forces_a_resume() {
+        let mut s = MaintenanceScheduler::new();
+        let slot = s
+            .place(Timestamp(0), None, Seconds(300), Timestamp(5_000))
+            .unwrap();
+        assert_eq!(slot, MaintenanceSlot::ForcedResume { start: Timestamp(5_000) });
+    }
+
+    #[test]
+    fn stats_accumulate_and_rate_computes() {
+        let mut s = MaintenanceScheduler::new();
+        assert_eq!(s.stats().piggyback_rate(), 1.0, "vacuous rate");
+        s.place(Timestamp(0), Some(&pred(10, 20)), Seconds(5), Timestamp(100))
+            .unwrap();
+        s.place(Timestamp(0), None, Seconds(5), Timestamp(100))
+            .unwrap();
+        s.place(Timestamp(0), Some(&pred(10, 20)), Seconds(5), Timestamp(100))
+            .unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.piggybacked, 2);
+        assert_eq!(stats.forced_resumes, 1);
+        assert!((stats.piggyback_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let mut s = MaintenanceScheduler::new();
+        assert!(s
+            .place(Timestamp(10), None, Seconds(0), Timestamp(100))
+            .is_err());
+        assert!(s
+            .place(Timestamp(10), None, Seconds(5), Timestamp(5))
+            .is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Scoring predictions against ground truth.
+//!
+//! §8 classifies proactive resumes into *correct* (the customer used the
+//! proactively allocated resources) and *wrong* (they did not).  This
+//! module applies the same classification to raw predictions: a
+//! prediction is a **hit** when the actual next login falls inside the
+//! pre-warmed availability window `[start − k, end]`, a **miss** when the
+//! login happens outside it, and **spurious** when no login occurs within
+//! the horizon at all.
+
+use prorp_types::{Prediction, Seconds, Timestamp};
+
+/// Classification of one prediction against the actual next login.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredictionOutcome {
+    /// The next login landed inside the pre-warmed window — a correct
+    /// proactive resume.
+    Hit,
+    /// A login happened within the horizon but outside the pre-warmed
+    /// window — resources were resumed at the wrong time.
+    Miss,
+    /// No login happened within the horizon — a wrong proactive resume
+    /// that only burned idle time.
+    Spurious,
+    /// Nothing was predicted and nothing happened — correct silence.
+    CorrectSilence,
+    /// Nothing was predicted but a login happened — a missed opportunity
+    /// (the reactive path must absorb it).
+    MissedActivity,
+}
+
+impl PredictionOutcome {
+    /// Whether the predictor's decision matched reality.
+    pub fn is_correct(self) -> bool {
+        matches!(self, PredictionOutcome::Hit | PredictionOutcome::CorrectSilence)
+    }
+}
+
+/// Score one prediction (or lack of one) against the actual next login
+/// within `horizon` of `now`.
+pub fn score_prediction(
+    prediction: Option<&Prediction>,
+    actual_next_login: Option<Timestamp>,
+    now: Timestamp,
+    horizon: Seconds,
+    prewarm: Seconds,
+) -> PredictionOutcome {
+    let actual_in_horizon = actual_next_login.filter(|&t| t >= now && t <= now + horizon);
+    match (prediction, actual_in_horizon) {
+        (None, None) => PredictionOutcome::CorrectSilence,
+        (None, Some(_)) => PredictionOutcome::MissedActivity,
+        (Some(_), None) => PredictionOutcome::Spurious,
+        (Some(p), Some(login)) => {
+            if p.start - prewarm <= login && login <= p.end {
+                PredictionOutcome::Hit
+            } else {
+                PredictionOutcome::Miss
+            }
+        }
+    }
+}
+
+/// Aggregate accuracy over many scored predictions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AccuracyReport {
+    /// Correct proactive resumes.
+    pub hits: usize,
+    /// Mistimed predictions.
+    pub misses: usize,
+    /// Predictions with no actual activity.
+    pub spurious: usize,
+    /// Correct absences of prediction.
+    pub correct_silence: usize,
+    /// Logins with no prediction.
+    pub missed_activity: usize,
+}
+
+impl AccuracyReport {
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: PredictionOutcome) {
+        match outcome {
+            PredictionOutcome::Hit => self.hits += 1,
+            PredictionOutcome::Miss => self.misses += 1,
+            PredictionOutcome::Spurious => self.spurious += 1,
+            PredictionOutcome::CorrectSilence => self.correct_silence += 1,
+            PredictionOutcome::MissedActivity => self.missed_activity += 1,
+        }
+    }
+
+    /// Total scored predictions.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses + self.spurious + self.correct_silence + self.missed_activity
+    }
+
+    /// Fraction of actual logins the predictor pre-warmed —
+    /// the predictor-level analogue of the paper's QoS KPI.
+    pub fn recall(&self) -> f64 {
+        let actual = self.hits + self.misses + self.missed_activity;
+        if actual == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / actual as f64
+    }
+
+    /// Fraction of emitted predictions that were hits — the analogue of
+    /// the correct-proactive-resume share of §8's COGS discussion.
+    pub fn precision(&self) -> f64 {
+        let emitted = self.hits + self.misses + self.spurious;
+        if emitted == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / emitted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(start: i64, end: i64) -> Prediction {
+        Prediction {
+            start: Timestamp(start),
+            end: Timestamp(end),
+            confidence: 1.0,
+        }
+    }
+
+    const H: Seconds = Seconds(86_400);
+    const K: Seconds = Seconds(300);
+
+    #[test]
+    fn hit_requires_login_inside_prewarmed_window() {
+        let p = pred(1_000, 2_000);
+        // Login exactly at start − k: covered.
+        assert_eq!(
+            score_prediction(Some(&p), Some(Timestamp(700)), Timestamp(0), H, K),
+            PredictionOutcome::Hit
+        );
+        // Login inside the interval.
+        assert_eq!(
+            score_prediction(Some(&p), Some(Timestamp(1_500)), Timestamp(0), H, K),
+            PredictionOutcome::Hit
+        );
+        // Login before the pre-warm: miss.
+        assert_eq!(
+            score_prediction(Some(&p), Some(Timestamp(699)), Timestamp(0), H, K),
+            PredictionOutcome::Miss
+        );
+        // Login after the predicted end: miss.
+        assert_eq!(
+            score_prediction(Some(&p), Some(Timestamp(2_001)), Timestamp(0), H, K),
+            PredictionOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn silence_and_spurious_cases() {
+        assert_eq!(
+            score_prediction(None, None, Timestamp(0), H, K),
+            PredictionOutcome::CorrectSilence
+        );
+        assert_eq!(
+            score_prediction(None, Some(Timestamp(10)), Timestamp(0), H, K),
+            PredictionOutcome::MissedActivity
+        );
+        let p = pred(1_000, 2_000);
+        assert_eq!(
+            score_prediction(Some(&p), None, Timestamp(0), H, K),
+            PredictionOutcome::Spurious
+        );
+        // A login beyond the horizon counts as "no activity".
+        assert_eq!(
+            score_prediction(Some(&p), Some(Timestamp(100_000_000)), Timestamp(0), H, K),
+            PredictionOutcome::Spurious
+        );
+    }
+
+    #[test]
+    fn report_aggregates_and_rates() {
+        let mut r = AccuracyReport::default();
+        for o in [
+            PredictionOutcome::Hit,
+            PredictionOutcome::Hit,
+            PredictionOutcome::Miss,
+            PredictionOutcome::Spurious,
+            PredictionOutcome::CorrectSilence,
+            PredictionOutcome::MissedActivity,
+        ] {
+            r.record(o);
+        }
+        assert_eq!(r.total(), 6);
+        // recall = 2 hits / (2 + 1 miss + 1 missed activity) = 0.5
+        assert!((r.recall() - 0.5).abs() < 1e-9);
+        // precision = 2 / (2 + 1 + 1) = 0.5
+        assert!((r.precision() - 0.5).abs() < 1e-9);
+        assert!(PredictionOutcome::Hit.is_correct());
+        assert!(!PredictionOutcome::Miss.is_correct());
+    }
+
+    #[test]
+    fn empty_report_rates_default_to_one() {
+        let r = AccuracyReport::default();
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.precision(), 1.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-slot demand series and a synthetic diurnal generator.
+
+use prorp_types::{ProrpError, Seconds, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fixed-width-slot demand samples (vCores) for one database.
+///
+/// Slot `i` covers `[start + i·slot, start + (i+1)·slot)`; a value of
+/// `0.0` means the database was idle for the whole slot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DemandSeries {
+    start: Timestamp,
+    slot: Seconds,
+    values: Vec<f64>,
+}
+
+impl DemandSeries {
+    /// Build from raw per-slot values.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive slot width or negative/non-finite demand.
+    pub fn new(start: Timestamp, slot: Seconds, values: Vec<f64>) -> Result<Self, ProrpError> {
+        if slot.as_secs() <= 0 {
+            return Err(ProrpError::InvalidConfig(format!(
+                "slot width must be positive, got {slot:?}"
+            )));
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(ProrpError::InvalidConfig(format!(
+                "demand values must be finite and non-negative, got {bad}"
+            )));
+        }
+        Ok(DemandSeries {
+            start,
+            slot,
+            values,
+        })
+    }
+
+    /// Series start.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Slot width.
+    pub fn slot(&self) -> Seconds {
+        self.slot
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of slots per day at this granularity.
+    pub fn slots_per_day(&self) -> usize {
+        (86_400 / self.slot.as_secs()) as usize
+    }
+
+    /// Demand at slot index `i`.
+    pub fn at(&self, i: usize) -> f64 {
+        self.values.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// The demands observed at day-slot `slot_of_day` on each complete
+    /// historical day — the inner-loop lookup of the planner, analogous
+    /// to Algorithm 4's same-clock-window-on-previous-days scan.
+    pub fn history_for_slot(&self, slot_of_day: usize) -> Vec<f64> {
+        let spd = self.slots_per_day();
+        if spd == 0 || slot_of_day >= spd {
+            return Vec::new();
+        }
+        self.values
+            .chunks(spd)
+            .filter(|day| day.len() == spd)
+            .map(|day| day[slot_of_day])
+            .collect()
+    }
+}
+
+/// A synthetic demand model: diurnal base load, business-hours bulge,
+/// random spikes, and idle nights — the shape §1's utilisation studies
+/// describe.
+#[derive(Clone, Debug)]
+pub struct DiurnalDemandModel {
+    /// Peak business-hours demand in vCores.
+    pub peak_vcores: f64,
+    /// Fraction of the peak present outside business hours (0 = fully
+    /// idle nights).
+    pub night_fraction: f64,
+    /// Business hours `[start, end)` as clock hours.
+    pub business_hours: (f64, f64),
+    /// Mean number of short demand spikes per day.
+    pub spikes_per_day: f64,
+    /// Spike magnitude as a multiple of the peak.
+    pub spike_multiplier: f64,
+    /// Per-slot multiplicative noise amplitude (0.1 = ±10 %).
+    pub noise: f64,
+}
+
+impl Default for DiurnalDemandModel {
+    fn default() -> Self {
+        DiurnalDemandModel {
+            peak_vcores: 8.0,
+            night_fraction: 0.05,
+            business_hours: (9.0, 17.0),
+            spikes_per_day: 1.0,
+            spike_multiplier: 1.5,
+            noise: 0.15,
+        }
+    }
+}
+
+impl DiurnalDemandModel {
+    /// Generate `days` days of demand at `slot` granularity.
+    pub fn generate(&self, days: i64, slot: Seconds, seed: u64) -> DemandSeries {
+        let spd = (86_400 / slot.as_secs()) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(days as usize * spd);
+        for _day in 0..days {
+            // Choose spike slots for this day.
+            let n_spikes = if self.spikes_per_day > 0.0 {
+                let frac = self.spikes_per_day.fract();
+                self.spikes_per_day.trunc() as usize
+                    + usize::from(frac > 0.0 && rng.random_bool(frac))
+            } else {
+                0
+            };
+            let spike_slots: Vec<usize> =
+                (0..n_spikes).map(|_| rng.random_range(0..spd)).collect();
+            for s in 0..spd {
+                let hour = s as f64 * slot.as_secs() as f64 / 3_600.0;
+                let base = if hour >= self.business_hours.0 && hour < self.business_hours.1 {
+                    self.peak_vcores
+                } else {
+                    self.peak_vcores * self.night_fraction
+                };
+                let noise = 1.0 + self.noise * (rng.random::<f64>() * 2.0 - 1.0);
+                let mut demand = (base * noise).max(0.0);
+                if spike_slots.contains(&s) {
+                    demand += self.peak_vcores * self.spike_multiplier;
+                }
+                values.push(demand);
+            }
+        }
+        DemandSeries::new(Timestamp(0), slot, values).expect("generator emits valid values")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(DemandSeries::new(Timestamp(0), Seconds(0), vec![]).is_err());
+        assert!(DemandSeries::new(Timestamp(0), Seconds(300), vec![-1.0]).is_err());
+        assert!(DemandSeries::new(Timestamp(0), Seconds(300), vec![f64::NAN]).is_err());
+        let s = DemandSeries::new(Timestamp(0), Seconds(300), vec![1.0, 2.0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(99), 0.0, "out of range reads as idle");
+    }
+
+    #[test]
+    fn history_for_slot_collects_across_days() {
+        // 4 slots per "day" (slot = 6 h), 3 days.
+        let slot = Seconds(21_600);
+        let values = vec![
+            1.0, 2.0, 3.0, 4.0, // day 0
+            5.0, 6.0, 7.0, 8.0, // day 1
+            9.0, 10.0, 11.0, 12.0, // day 2
+        ];
+        let s = DemandSeries::new(Timestamp(0), slot, values).unwrap();
+        assert_eq!(s.slots_per_day(), 4);
+        assert_eq!(s.history_for_slot(1), vec![2.0, 6.0, 10.0]);
+        assert!(s.history_for_slot(4).is_empty());
+    }
+
+    #[test]
+    fn partial_trailing_day_is_ignored_by_history() {
+        let slot = Seconds(43_200); // 2 slots/day
+        let s = DemandSeries::new(Timestamp(0), slot, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.history_for_slot(0), vec![1.0]);
+    }
+
+    #[test]
+    fn generator_produces_a_diurnal_shape() {
+        let model = DiurnalDemandModel::default();
+        let series = model.generate(7, Seconds(900), 42);
+        assert_eq!(series.len(), 7 * 96);
+        // Business-hour demand exceeds night demand on average.
+        let spd = series.slots_per_day();
+        let mut day_sum = 0.0;
+        let mut night_sum = 0.0;
+        let mut day_n = 0.0;
+        let mut night_n = 0.0;
+        for (i, v) in series.values().iter().enumerate() {
+            let hour = (i % spd) as f64 * 0.25;
+            if (9.0..17.0).contains(&hour) {
+                day_sum += v;
+                day_n += 1.0;
+            } else {
+                night_sum += v;
+                night_n += 1.0;
+            }
+        }
+        assert!(day_sum / day_n > 5.0 * (night_sum / night_n));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let model = DiurnalDemandModel::default();
+        assert_eq!(
+            model.generate(3, Seconds(900), 7),
+            model.generate(3, Seconds(900), 7)
+        );
+        assert_ne!(
+            model.generate(3, Seconds(900), 7),
+            model.generate(3, Seconds(900), 8)
+        );
+    }
+}

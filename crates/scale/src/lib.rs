@@ -1,0 +1,32 @@
+//! Proactive auto-scaling in small capacity increments — the paper's
+//! future-work item 1 (§11).
+//!
+//! "The proactive resource allocation policy makes binary decisions so
+//! far, i.e., the resources are either allocated or reclaimed for each
+//! database.  Going forward, we plan to auto-scale the resources in
+//! small increments of capacity to better accommodate the current
+//! resource demand for each database."
+//!
+//! This crate generalises the binary `D, A : 𝔻 × 𝕋 → {0, 1}` of
+//! Definition 2.1 to vCore levels:
+//!
+//! * [`demand`] — per-slot demand series (the fractional-vCore usage a
+//!   serverless database reports), plus a synthetic diurnal generator;
+//! * [`planner`] — a quantile-over-history capacity planner in the same
+//!   spirit as Algorithm 4: for each slot of the day, look at the same
+//!   slot on the previous `h` days and provision a high quantile of the
+//!   observed demand plus headroom, snapped up to the vCore increment;
+//! * [`eval`] — the Definition 2.2 generalisation: per-slot throttled /
+//!   wasted / saved capacity, and the comparison against the binary
+//!   ProRP allocation that motivates the feature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand;
+pub mod eval;
+pub mod planner;
+
+pub use demand::{DemandSeries, DiurnalDemandModel};
+pub use eval::{compare_binary_vs_incremental, CapacityReport};
+pub use planner::{CapacityPlan, CapacityPlanner};

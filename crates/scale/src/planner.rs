@@ -1,0 +1,250 @@
+//! Quantile-over-history capacity planning.
+//!
+//! The incremental analogue of Algorithm 4: for each slot of the coming
+//! day, look at the demand observed in the *same slot of the day* on each
+//! historical day, take a high quantile, add headroom, and snap up to the
+//! vCore increment.  Like the paper's predictor it is deliberately a
+//! simple statistical technique — explainable, cheap, and tuned by the
+//! same offline pipeline.
+
+use crate::demand::DemandSeries;
+use prorp_types::ProrpError;
+
+/// Planner knobs.
+///
+/// # Examples
+///
+/// ```
+/// use prorp_scale::{CapacityPlanner, DemandSeries};
+/// use prorp_types::{Seconds, Timestamp};
+///
+/// // Two 12-hour slots per day over five days: idle nights, 4-vCore days.
+/// let mut demand = Vec::new();
+/// for _ in 0..5 {
+///     demand.extend([0.0, 4.0]);
+/// }
+/// let history = DemandSeries::new(Timestamp(0), Seconds(43_200), demand).unwrap();
+/// let plan = CapacityPlanner::default().plan(&history).unwrap();
+/// assert_eq!(plan.vcores[0], 0.0); // idle slot plans a pause
+/// assert_eq!(plan.vcores[1], 5.0); // 4 vCores x 1.2 headroom, snapped up
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CapacityPlanner {
+    /// Quantile of historical demand to provision for (e.g. 0.9).
+    pub quantile: f64,
+    /// Multiplicative headroom on top of the quantile (e.g. 1.2).
+    pub headroom: f64,
+    /// vCore increment capacity is allocated in (e.g. 0.5).
+    pub increment: f64,
+    /// Smallest allocatable capacity while any demand is expected.
+    pub min_vcores: f64,
+    /// Largest allocatable capacity (the SKU cap).
+    pub max_vcores: f64,
+}
+
+impl Default for CapacityPlanner {
+    fn default() -> Self {
+        CapacityPlanner {
+            quantile: 0.9,
+            headroom: 1.2,
+            increment: 0.5,
+            min_vcores: 0.5,
+            max_vcores: 16.0,
+        }
+    }
+}
+
+/// A per-slot capacity plan for one day.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapacityPlan {
+    /// Planned vCores per slot-of-day.
+    pub vcores: Vec<f64>,
+}
+
+impl CapacityPlan {
+    /// Planned capacity for a slot (cyclic — plans repeat daily).
+    pub fn at(&self, slot: usize) -> f64 {
+        if self.vcores.is_empty() {
+            return 0.0;
+        }
+        self.vcores[slot % self.vcores.len()]
+    }
+
+    /// Mean planned capacity.
+    pub fn mean(&self) -> f64 {
+        if self.vcores.is_empty() {
+            return 0.0;
+        }
+        self.vcores.iter().sum::<f64>() / self.vcores.len() as f64
+    }
+}
+
+impl CapacityPlanner {
+    /// Validate knob ranges.
+    pub fn validate(&self) -> Result<(), ProrpError> {
+        if !(0.0..=1.0).contains(&self.quantile) {
+            return Err(ProrpError::InvalidConfig(format!(
+                "quantile must be in [0, 1], got {}",
+                self.quantile
+            )));
+        }
+        if self.headroom < 1.0 || !self.headroom.is_finite() {
+            return Err(ProrpError::InvalidConfig(format!(
+                "headroom must be >= 1, got {}",
+                self.headroom
+            )));
+        }
+        if self.increment <= 0.0 || self.min_vcores < 0.0 || self.max_vcores < self.min_vcores {
+            return Err(ProrpError::InvalidConfig(format!(
+                "invalid capacity bounds: increment {}, min {}, max {}",
+                self.increment, self.min_vcores, self.max_vcores
+            )));
+        }
+        Ok(())
+    }
+
+    /// Plan the next day's per-slot capacity from `history`.
+    ///
+    /// Slots whose historical demand is zero at the chosen quantile plan
+    /// zero capacity — the binary pause, of which this is the
+    /// generalisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates knob validation; requires at least one complete day of
+    /// history.
+    pub fn plan(&self, history: &DemandSeries) -> Result<CapacityPlan, ProrpError> {
+        self.validate()?;
+        let spd = history.slots_per_day();
+        if spd == 0 || history.len() < spd {
+            return Err(ProrpError::Forecast(format!(
+                "capacity planning needs at least one complete day ({spd} slots), got {}",
+                history.len()
+            )));
+        }
+        let mut vcores = Vec::with_capacity(spd);
+        for slot in 0..spd {
+            let mut samples = history.history_for_slot(slot);
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+            let q = quantile_of(&samples, self.quantile);
+            let provision = if q <= f64::EPSILON {
+                0.0
+            } else {
+                let raw = (q * self.headroom).clamp(self.min_vcores, self.max_vcores);
+                snap_up(raw, self.increment).min(self.max_vcores)
+            };
+            vcores.push(provision);
+        }
+        Ok(CapacityPlan { vcores })
+    }
+}
+
+/// Nearest-rank quantile of a sorted sample.
+fn quantile_of(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Round `v` up to a multiple of `step`.
+fn snap_up(v: f64, step: f64) -> f64 {
+    (v / step).ceil() * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::DiurnalDemandModel;
+    use prorp_types::{Seconds, Timestamp};
+
+    #[test]
+    fn knob_validation() {
+        let bad_quantile = CapacityPlanner {
+            quantile: 1.5,
+            ..CapacityPlanner::default()
+        };
+        assert!(bad_quantile.validate().is_err());
+        let bad_headroom = CapacityPlanner {
+            headroom: 0.5,
+            ..CapacityPlanner::default()
+        };
+        assert!(bad_headroom.validate().is_err());
+        let bad_cap = CapacityPlanner {
+            max_vcores: 0.1,
+            ..CapacityPlanner::default()
+        };
+        assert!(bad_cap.validate().is_err());
+        assert!(CapacityPlanner::default().validate().is_ok());
+    }
+
+    #[test]
+    fn needs_a_complete_day() {
+        let s = DemandSeries::new(Timestamp(0), Seconds(43_200), vec![1.0]).unwrap();
+        assert!(CapacityPlanner::default().plan(&s).is_err());
+    }
+
+    #[test]
+    fn plans_zero_for_idle_slots_and_headroom_for_busy_ones() {
+        // 2 slots/day: night idle, day 4 vCores, over 5 days.
+        let slot = Seconds(43_200);
+        let mut values = Vec::new();
+        for _ in 0..5 {
+            values.push(0.0);
+            values.push(4.0);
+        }
+        let s = DemandSeries::new(Timestamp(0), slot, values).unwrap();
+        let plan = CapacityPlanner::default().plan(&s).unwrap();
+        assert_eq!(plan.vcores.len(), 2);
+        assert_eq!(plan.vcores[0], 0.0, "idle slot plans a pause");
+        // 4 × 1.2 headroom = 4.8 snapped up to 0.5 increments = 5.0.
+        assert_eq!(plan.vcores[1], 5.0);
+        assert_eq!(plan.at(3), 5.0, "plans repeat daily");
+    }
+
+    #[test]
+    fn quantile_ignores_the_spike_tail() {
+        // One day in ten has a huge spike in slot 0.
+        let slot = Seconds(43_200);
+        let mut values = Vec::new();
+        for d in 0..10 {
+            values.push(if d == 3 { 50.0 } else { 2.0 });
+            values.push(1.0);
+        }
+        let s = DemandSeries::new(Timestamp(0), slot, values).unwrap();
+        let p80 = CapacityPlanner {
+            quantile: 0.8,
+            ..CapacityPlanner::default()
+        };
+        let plan = p80.plan(&s).unwrap();
+        assert!(plan.vcores[0] < 4.0, "p80 must not chase the spike");
+        let p100 = CapacityPlanner {
+            quantile: 1.0,
+            max_vcores: 100.0,
+            ..CapacityPlanner::default()
+        };
+        let plan = p100.plan(&s).unwrap();
+        assert!(plan.vcores[0] >= 50.0, "p100 provisions the worst case");
+    }
+
+    #[test]
+    fn max_vcores_caps_the_plan() {
+        let slot = Seconds(43_200);
+        let s = DemandSeries::new(Timestamp(0), slot, vec![100.0, 100.0]).unwrap();
+        let plan = CapacityPlanner::default().plan(&s).unwrap();
+        assert!(plan.vcores.iter().all(|&v| v <= 16.0));
+    }
+
+    #[test]
+    fn plan_covers_synthetic_diurnal_demand() {
+        let series = DiurnalDemandModel::default().generate(14, Seconds(900), 3);
+        let plan = CapacityPlanner::default().plan(&series).unwrap();
+        assert_eq!(plan.vcores.len(), 96);
+        // Business hours provisioned well above nights.
+        let day_mean: f64 = plan.vcores[36..68].iter().sum::<f64>() / 32.0;
+        let night_mean: f64 = plan.vcores[..32].iter().sum::<f64>() / 32.0;
+        assert!(day_mean > 2.0 * night_mean.max(0.1));
+        assert!(plan.mean() > 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Simulation configuration.
+
+use prorp_types::{PolicyConfig, ProrpError, Seconds, Timestamp};
+
+/// Which resource-allocation policy the fleet runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimPolicy {
+    /// The pre-ProRP reactive baseline (§2.2).
+    Reactive,
+    /// The ProRP proactive policy (Algorithm 1) with the given knobs.
+    Proactive(PolicyConfig),
+    /// The Figure 2(c) oracle optimum.
+    Optimal,
+}
+
+impl SimPolicy {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimPolicy::Reactive => "reactive",
+            SimPolicy::Proactive(_) => "proactive",
+            SimPolicy::Optimal => "optimal",
+        }
+    }
+}
+
+/// All simulator knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The policy under test.
+    pub policy: SimPolicy,
+    /// Simulation start (traces should begin here).
+    pub start: Timestamp,
+    /// Simulation end (exclusive).
+    pub end: Timestamp,
+    /// KPIs are measured from here (time before is warm-up during which
+    /// databases accrue the history the predictor needs).
+    pub measure_from: Timestamp,
+    /// Latency of a resource-allocation (resume) workflow.
+    pub resume_latency: Seconds,
+    /// Extra latency when a resume requires a cross-node move (§1).
+    pub move_penalty: Seconds,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Allocation units per node.
+    pub node_capacity: usize,
+    /// Period of the Algorithm 5 proactive-resume scan (production: 1 min).
+    pub resume_op_period: Seconds,
+    /// Pre-warm lead time `k`.
+    pub prewarm: Seconds,
+    /// Period of the diagnostics-and-mitigation runner, if enabled.
+    pub diagnostics_period: Option<Seconds>,
+    /// A resume workflow silently hangs with this probability
+    /// (diagnostics fault injection, §7).
+    pub stuck_probability: f64,
+    /// Age after which the diagnostics runner mitigates a hung workflow.
+    pub stuck_timeout: Seconds,
+    /// Period of the load-balancing step, if enabled.
+    pub rebalance_period: Option<Seconds>,
+    /// Load spread (units) that triggers a balancing move.
+    pub rebalance_threshold: usize,
+    /// Period of per-database maintenance jobs (backups, stats refresh),
+    /// if enabled — placed by the prediction-aware scheduler (§11 future
+    /// work 4).
+    pub maintenance_period: Option<Seconds>,
+    /// Duration of one maintenance job.
+    pub maintenance_duration: Seconds,
+    /// How long a due job may wait for a predicted-online window before
+    /// it is forced.
+    pub maintenance_deadline: Seconds,
+    /// RNG seed for fault injection.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A config with production-like defaults over `[start, end)`,
+    /// measuring from `measure_from`.
+    pub fn new(policy: SimPolicy, start: Timestamp, end: Timestamp, measure_from: Timestamp) -> Self {
+        SimConfig {
+            policy,
+            start,
+            end,
+            measure_from,
+            resume_latency: Seconds(60),
+            move_penalty: Seconds(120),
+            nodes: 4,
+            node_capacity: 200,
+            resume_op_period: Seconds::minutes(1),
+            prewarm: Seconds::minutes(5),
+            diagnostics_period: None,
+            stuck_probability: 0.0,
+            stuck_timeout: Seconds::minutes(10),
+            rebalance_period: None,
+            rebalance_threshold: 8,
+            maintenance_period: None,
+            maintenance_duration: Seconds::minutes(20),
+            maintenance_deadline: Seconds::hours(24),
+            seed: 0,
+        }
+    }
+
+    /// Validate knob consistency.
+    pub fn validate(&self) -> Result<(), ProrpError> {
+        if self.end <= self.start {
+            return Err(ProrpError::InvalidConfig(format!(
+                "simulation end {:?} must follow start {:?}",
+                self.end, self.start
+            )));
+        }
+        if self.measure_from < self.start || self.measure_from >= self.end {
+            return Err(ProrpError::InvalidConfig(format!(
+                "measure_from {:?} must lie in [{:?}, {:?})",
+                self.measure_from, self.start, self.end
+            )));
+        }
+        if self.resume_latency.as_secs() < 0 || self.move_penalty.as_secs() < 0 {
+            return Err(ProrpError::InvalidConfig(
+                "latencies must be non-negative".into(),
+            ));
+        }
+        if self.nodes == 0 || self.node_capacity == 0 {
+            return Err(ProrpError::InvalidConfig(
+                "cluster needs nodes and capacity".into(),
+            ));
+        }
+        if self.resume_op_period.as_secs() <= 0 || self.prewarm.as_secs() <= 0 {
+            return Err(ProrpError::InvalidConfig(
+                "resume-op period and prewarm must be positive".into(),
+            ));
+        }
+        if self.maintenance_duration.as_secs() <= 0 || self.maintenance_deadline.as_secs() <= 0 {
+            return Err(ProrpError::InvalidConfig(
+                "maintenance duration and deadline must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.stuck_probability) {
+            return Err(ProrpError::InvalidConfig(format!(
+                "stuck_probability must be a probability, got {}",
+                self.stuck_probability
+            )));
+        }
+        if let SimPolicy::Proactive(pc) = &self.policy {
+            pc.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig::new(
+            SimPolicy::Reactive,
+            Timestamp(0),
+            Timestamp(1_000_000),
+            Timestamp(500_000),
+        )
+    }
+
+    #[test]
+    fn defaults_validate() {
+        base().validate().unwrap();
+        SimConfig::new(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            Timestamp(0),
+            Timestamp(10),
+            Timestamp(0),
+        )
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_windows_are_rejected() {
+        let mut c = base();
+        c.end = Timestamp(0);
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.measure_from = Timestamp(-5);
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.measure_from = c.end;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        let mut c = base();
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.stuck_probability = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.policy = SimPolicy::Proactive(PolicyConfig {
+            confidence: 0.0,
+            ..PolicyConfig::default()
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SimPolicy::Reactive.label(), "reactive");
+        assert_eq!(
+            SimPolicy::Proactive(PolicyConfig::default()).label(),
+            "proactive"
+        );
+        assert_eq!(SimPolicy::Optimal.label(), "optimal");
+    }
+}

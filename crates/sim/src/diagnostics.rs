@@ -1,0 +1,130 @@
+//! The diagnostics-and-mitigation runner (§7).
+//!
+//! "The diagnostics and mitigation runner monitors the number of
+//! databases in the proactive resume and physical pause queues and the
+//! resource allocation and reclamation progress.  The runner makes sure
+//! that these queues drain and mitigates databases that get stuck during
+//! resume or pause.  In rare cases, this automatic mitigation process
+//! times out or fails, incidents are triggered and resolved by an
+//! on-call engineer."
+//!
+//! The simulator injects hangs into resume workflows with a configurable
+//! probability; this runner detects workflows older than the timeout,
+//! force-completes them (a *mitigation*), and escalates databases that
+//! get stuck a second time as *incidents*.
+
+use prorp_types::{DatabaseId, Seconds, Timestamp};
+use std::collections::{HashMap, HashSet};
+
+/// Tracks in-flight resume workflows and mitigates hung ones.
+#[derive(Clone, Debug)]
+pub struct DiagnosticsRunner {
+    timeout: Seconds,
+    in_flight: HashMap<DatabaseId, Timestamp>,
+    previously_mitigated: HashSet<DatabaseId>,
+    /// Hung workflows force-completed.
+    pub mitigations: u64,
+    /// Repeat offenders escalated to the on-call engineer.
+    pub incidents: u64,
+}
+
+impl DiagnosticsRunner {
+    /// A runner that mitigates workflows older than `timeout`.
+    pub fn new(timeout: Seconds) -> Self {
+        DiagnosticsRunner {
+            timeout,
+            in_flight: HashMap::new(),
+            previously_mitigated: HashSet::new(),
+            mitigations: 0,
+            incidents: 0,
+        }
+    }
+
+    /// A resume workflow started for `db`.
+    pub fn workflow_started(&mut self, db: DatabaseId, now: Timestamp) {
+        self.in_flight.insert(db, now);
+    }
+
+    /// A resume workflow completed normally.
+    pub fn workflow_completed(&mut self, db: DatabaseId) {
+        self.in_flight.remove(&db);
+    }
+
+    /// Current queue depth (monitored quantity).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// One periodic sweep: returns the databases whose workflows exceeded
+    /// the timeout, removing them from the in-flight set.  Each is a
+    /// mitigation; a database mitigated before escalates to an incident.
+    pub fn sweep(&mut self, now: Timestamp) -> Vec<DatabaseId> {
+        let mut stuck: Vec<DatabaseId> = self
+            .in_flight
+            .iter()
+            .filter(|(_, started)| now - **started >= self.timeout)
+            .map(|(db, _)| *db)
+            .collect();
+        stuck.sort_unstable();
+        for db in &stuck {
+            self.in_flight.remove(db);
+            self.mitigations += 1;
+            if !self.previously_mitigated.insert(*db) {
+                self.incidents += 1;
+            }
+        }
+        stuck
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(id: u64) -> DatabaseId {
+        DatabaseId(id)
+    }
+
+    #[test]
+    fn completed_workflows_are_not_mitigated() {
+        let mut d = DiagnosticsRunner::new(Seconds(100));
+        d.workflow_started(db(1), Timestamp(0));
+        d.workflow_completed(db(1));
+        assert!(d.sweep(Timestamp(1_000)).is_empty());
+        assert_eq!(d.mitigations, 0);
+    }
+
+    #[test]
+    fn hung_workflows_are_mitigated_after_timeout() {
+        let mut d = DiagnosticsRunner::new(Seconds(100));
+        d.workflow_started(db(1), Timestamp(0));
+        d.workflow_started(db(2), Timestamp(50));
+        assert!(d.sweep(Timestamp(99)).is_empty(), "not yet due");
+        assert_eq!(d.sweep(Timestamp(100)), vec![db(1)]);
+        assert_eq!(d.mitigations, 1);
+        assert_eq!(d.in_flight_count(), 1);
+        assert_eq!(d.sweep(Timestamp(150)), vec![db(2)]);
+        assert_eq!(d.mitigations, 2);
+        assert_eq!(d.incidents, 0);
+    }
+
+    #[test]
+    fn repeat_offenders_become_incidents() {
+        let mut d = DiagnosticsRunner::new(Seconds(10));
+        d.workflow_started(db(7), Timestamp(0));
+        d.sweep(Timestamp(10));
+        d.workflow_started(db(7), Timestamp(100));
+        d.sweep(Timestamp(110));
+        assert_eq!(d.mitigations, 2);
+        assert_eq!(d.incidents, 1);
+    }
+
+    #[test]
+    fn sweep_output_is_deterministic() {
+        let mut d = DiagnosticsRunner::new(Seconds(1));
+        for id in [5, 3, 9, 1] {
+            d.workflow_started(db(id), Timestamp(0));
+        }
+        assert_eq!(d.sweep(Timestamp(10)), vec![db(1), db(3), db(5), db(9)]);
+    }
+}

@@ -1,0 +1,187 @@
+//! The simulator's event queue.
+//!
+//! Events are totally ordered by `(timestamp, priority, sequence)`.
+//! Priority settles same-second ties the way the real control plane
+//! would: finished workflows and pre-warms take effect before the login
+//! that benefits from them, and logins precede logouts.
+
+use prorp_core::TimerToken;
+use prorp_types::{DatabaseId, Timestamp};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimEvent {
+    /// The measurement window opens (KPI accumulators re-base).
+    MeasureStart,
+    /// A resume (allocation) workflow finished for this database.
+    WorkflowComplete(DatabaseId),
+    /// The control plane pre-warms this database (Algorithm 5 delivery).
+    ProactiveResume(DatabaseId),
+    /// The periodic proactive-resume scan fires.
+    ResumeOpTick,
+    /// The periodic diagnostics-and-mitigation runner fires (§7).
+    DiagnosticsTick,
+    /// The periodic load-balancing step fires.
+    RebalanceTick,
+    /// A maintenance job becomes due for this database (schedule it).
+    MaintenanceDue(DatabaseId),
+    /// A scheduled maintenance job starts for this database.
+    MaintenanceRun(DatabaseId),
+    /// A policy-engine timer fires.
+    EngineTimer(DatabaseId, TimerToken),
+    /// Customer activity starts (login).
+    ActivityStart(DatabaseId),
+    /// Customer activity ends.
+    ActivityEnd(DatabaseId),
+}
+
+impl SimEvent {
+    /// Tie-break priority at equal timestamps (lower runs first).
+    fn priority(&self) -> u8 {
+        match self {
+            SimEvent::MeasureStart => 0,
+            SimEvent::WorkflowComplete(_) => 1,
+            SimEvent::ProactiveResume(_) => 2,
+            SimEvent::ResumeOpTick => 3,
+            SimEvent::DiagnosticsTick => 4,
+            SimEvent::RebalanceTick => 5,
+            SimEvent::MaintenanceDue(_) => 6,
+            SimEvent::MaintenanceRun(_) => 7,
+            SimEvent::EngineTimer(..) => 8,
+            SimEvent::ActivityStart(_) => 9,
+            SimEvent::ActivityEnd(_) => 10,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Scheduled {
+    ts: Timestamp,
+    priority: u8,
+    seq: u64,
+    event: SimEvent,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse for earliest-first.
+        (other.ts, other.priority, other.seq).cmp(&(self.ts, self.priority, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue with stable FIFO tie-breaking.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at `ts`.
+    pub fn push(&mut self, ts: Timestamp, event: SimEvent) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            ts,
+            priority: event.priority(),
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Timestamp, SimEvent)> {
+        self.heap.pop().map(|s| (s.ts, s.event))
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(id: u64) -> DatabaseId {
+        DatabaseId(id)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Timestamp(30), SimEvent::ActivityStart(db(1)));
+        q.push(Timestamp(10), SimEvent::ActivityStart(db(2)));
+        q.push(Timestamp(20), SimEvent::ActivityEnd(db(3)));
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_second_ties_resolve_by_priority() {
+        let mut q = EventQueue::new();
+        let t = Timestamp(100);
+        q.push(t, SimEvent::ActivityEnd(db(1)));
+        q.push(t, SimEvent::ActivityStart(db(1)));
+        q.push(t, SimEvent::ProactiveResume(db(1)));
+        q.push(t, SimEvent::WorkflowComplete(db(1)));
+        q.push(t, SimEvent::ResumeOpTick);
+        let order: Vec<SimEvent> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                SimEvent::WorkflowComplete(db(1)),
+                SimEvent::ProactiveResume(db(1)),
+                SimEvent::ResumeOpTick,
+                SimEvent::ActivityStart(db(1)),
+                SimEvent::ActivityEnd(db(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_everything_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = Timestamp(5);
+        q.push(t, SimEvent::ActivityStart(db(1)));
+        q.push(t, SimEvent::ActivityStart(db(2)));
+        q.push(t, SimEvent::ActivityStart(db(3)));
+        let order: Vec<SimEvent> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                SimEvent::ActivityStart(db(1)),
+                SimEvent::ActivityStart(db(2)),
+                SimEvent::ActivityStart(db(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Timestamp(1), SimEvent::ResumeOpTick);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event simulator of a serverless Azure-SQL-style region.
+//!
+//! The paper evaluates ProRP against production telemetry; we evaluate it
+//! against a simulated region replaying synthetic traces.  The simulator
+//! reproduces the moving parts the evaluation depends on:
+//!
+//! * [`node`] / [`cluster`] — compute nodes with finite capacity,
+//!   least-loaded placement, and load-balancing **moves** that carry the
+//!   database history along via backup/restore (§3.3);
+//! * [`events`] — the time-ordered event queue; ties at one timestamp
+//!   resolve control-plane work (workflow completions, proactive resumes)
+//!   before customer logins, so a pre-warm scheduled for second `t`
+//!   benefits a login at second `t`;
+//! * [`config`] — simulation knobs: policy choice, workflow latencies,
+//!   fleet layout, scan periods, fault injection;
+//! * [`runner`] — the driver: replays traces through per-database policy
+//!   engines, executes their actions (allocation workflows with latency,
+//!   reclamation, timers, metadata publication), runs the Algorithm 5
+//!   proactive-resume scan, accounts every second of fleet time into
+//!   [`prorp_telemetry::SegmentKind`]s, and emits the telemetry log;
+//! * [`diagnostics`] — the §7 diagnostics-and-mitigation runner: detects
+//!   stuck workflows (fault injection), mitigates them, and escalates
+//!   repeat offenders as incidents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod diagnostics;
+pub mod events;
+pub mod node;
+pub mod runner;
+
+pub use config::{SimConfig, SimPolicy};
+pub use runner::{SimReport, Simulation};

@@ -1,0 +1,712 @@
+//! The simulation driver.
+//!
+//! Replays a fleet of traces through per-database policy engines,
+//! executes the engines' actions against the cluster (allocation
+//! workflows with latency and spill-over moves, reclamation, timers,
+//! metadata publication), runs the Algorithm 5 scan, and accounts every
+//! second of fleet time into the §8 segment kinds.
+//!
+//! One run is fully deterministic given the config seed and the traces.
+
+use crate::cluster::{AllocationOutcome, Cluster};
+use crate::config::{SimConfig, SimPolicy};
+use crate::diagnostics::DiagnosticsRunner;
+use crate::events::{EventQueue, SimEvent};
+use prorp_core::{
+    DatabasePolicy, EngineAction, EngineCounters, EngineEvent, MaintenanceScheduler,
+    MaintenanceStats, OptimalEngine, PolicyKind, ProactiveEngine, ProactiveResumeOp,
+    ReactiveEngine,
+};
+use prorp_forecast::ProbabilisticPredictor;
+use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
+use prorp_telemetry::{KpiReport, SegmentAccumulator, SegmentKind, TelemetryKind, TelemetryLog};
+use prorp_types::{DatabaseId, DbState, ProrpError, Seconds, Timestamp};
+use prorp_workload::Trace;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One simulated database: its policy engine plus bookkeeping.
+struct DbSim {
+    engine: Box<dyn DatabasePolicy>,
+    acc: SegmentAccumulator,
+    demand: bool,
+    resume_in_flight: bool,
+}
+
+/// Results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Which policy ran.
+    pub policy_label: &'static str,
+    /// Fleet-level KPIs over the measurement window.
+    pub kpi: KpiReport,
+    /// Full telemetry log (whole run, timestamped).
+    pub telemetry: TelemetryLog,
+    /// Per-database engine counters (whole run).
+    pub counters: Vec<EngineCounters>,
+    /// Batch sizes of each proactive-resume scan iteration (Figure 11).
+    pub resume_batches: Vec<usize>,
+    /// Per-database history storage statistics at end of run (Figure 10).
+    pub history_stats: Vec<StorageStats>,
+    /// Databases moved because a resume found the home node full.
+    pub spill_moves: u64,
+    /// Load-balancing moves executed.
+    pub balance_moves: u64,
+    /// Forced allocations beyond nominal node capacity.
+    pub oversubscriptions: u64,
+    /// Hung workflows force-completed by the diagnostics runner.
+    pub mitigations: u64,
+    /// Repeat stuck databases escalated as incidents.
+    pub incidents: u64,
+    /// Maintenance placement quality (§11 future work 4); all zeros when
+    /// maintenance is disabled.
+    pub maintenance: MaintenanceStats,
+    /// Measurement window start.
+    pub measure_from: Timestamp,
+    /// Simulation end.
+    pub end: Timestamp,
+}
+
+impl SimReport {
+    /// Workflow counts per `bin` over the measurement window — the
+    /// Figure 11 ([`TelemetryKind::ProactiveResume`]) and Figure 12
+    /// ([`TelemetryKind::PhysicalPause`]) inputs.
+    pub fn workflow_bins(&self, kind: TelemetryKind, bin: Seconds) -> Vec<usize> {
+        self.telemetry
+            .counts_per_bin(kind, self.measure_from, self.end, bin)
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    config: SimConfig,
+    traces: Vec<Trace>,
+}
+
+impl Simulation {
+    /// Build a simulation over `traces`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation failures.
+    pub fn new(config: SimConfig, traces: Vec<Trace>) -> Result<Self, ProrpError> {
+        config.validate()?;
+        Ok(Simulation { config, traces })
+    }
+
+    fn build_engine(&self, trace: &Trace) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
+        Ok(match &self.config.policy {
+            SimPolicy::Reactive => Box::new(ReactiveEngine::new(
+                Seconds::hours(7),
+                Seconds::days(28),
+            )?),
+            SimPolicy::Proactive(pc) => {
+                let predictor = ProbabilisticPredictor::new(*pc)?;
+                Box::new(ProactiveEngine::new(*pc, predictor)?)
+            }
+            SimPolicy::Optimal => Box::new(OptimalEngine::new(trace.sessions.clone())?),
+        })
+    }
+
+    /// Run to completion and report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProrpError::Simulation`] on internal invariant
+    /// violations (these indicate bugs, not bad inputs).
+    pub fn run(self) -> Result<SimReport, ProrpError> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut queue = EventQueue::new();
+        let mut cluster = Cluster::new(cfg.nodes, cfg.node_capacity)?;
+        let mut metadata = MetadataStore::new();
+        let mut telemetry = TelemetryLog::new();
+        let mut diagnostics = DiagnosticsRunner::new(cfg.stuck_timeout);
+        let mut resume_op =
+            ProactiveResumeOp::new(cfg.prewarm, cfg.resume_op_period, cfg.start)?;
+        let mut maintenance = MaintenanceScheduler::new();
+        let is_optimal = matches!(cfg.policy, SimPolicy::Optimal);
+
+        // Build per-database state and enqueue every trace event.
+        let mut dbs: Vec<DbSim> = Vec::with_capacity(self.traces.len());
+        for trace in self.traces.iter() {
+            let engine = self.build_engine(trace)?;
+            let mut acc = SegmentAccumulator::new();
+            // Until the first login the fleet holds no resources for the
+            // database (§2.1: a new serverless database starts paused
+            // from the fleet's perspective).
+            acc.transition(cfg.start, SegmentKind::Saved);
+            dbs.push(DbSim {
+                engine,
+                acc,
+                demand: false,
+                resume_in_flight: false,
+            });
+            cluster.place(trace.db);
+            metadata.set_state(trace.db, DbState::Resumed);
+            for s in &trace.sessions {
+                if s.start >= cfg.start && s.start < cfg.end {
+                    queue.push(s.start, SimEvent::ActivityStart(trace.db));
+                }
+                if s.end >= cfg.start && s.end < cfg.end {
+                    queue.push(s.end, SimEvent::ActivityEnd(trace.db));
+                }
+            }
+        }
+        let db_index = |id: DatabaseId| id.raw() as usize;
+
+        queue.push(cfg.measure_from, SimEvent::MeasureStart);
+        if !is_optimal {
+            queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
+        }
+        if let Some(p) = cfg.diagnostics_period {
+            queue.push(cfg.start + p, SimEvent::DiagnosticsTick);
+        }
+        if let Some(p) = cfg.rebalance_period {
+            queue.push(cfg.start + p, SimEvent::RebalanceTick);
+        }
+        if let Some(p) = cfg.maintenance_period {
+            // Stagger first due times across the fleet so jobs do not all
+            // land in the same second.
+            for trace in self.traces.iter() {
+                let stagger = Seconds((trace.db.raw() as i64 % p.as_secs().max(1)).max(1));
+                queue.push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
+            }
+        }
+
+        let mut balance_moves_history = 0u64;
+
+        while let Some((now, event)) = queue.pop() {
+            if now >= cfg.end {
+                break;
+            }
+            match event {
+                SimEvent::MeasureStart => {
+                    for d in dbs.iter_mut() {
+                        d.acc.reset_keeping_open(now);
+                    }
+                }
+                SimEvent::ActivityStart(id) => {
+                    let idx = db_index(id);
+                    let was_state = dbs[idx].engine.state();
+                    let kind = dbs[idx].engine.kind();
+                    let prewarmed = matches!(
+                        dbs[idx].acc.open_kind(),
+                        Some(SegmentKind::ProactiveIdleWrong)
+                            | Some(SegmentKind::ProactiveIdleCorrect)
+                    );
+                    dbs[idx].demand = true;
+                    let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityStart);
+                    let available =
+                        was_state != DbState::PhysicallyPaused || kind == PolicyKind::Optimal;
+                    telemetry.record(now, id, TelemetryKind::Login { available });
+                    metadata.set_state(id, DbState::Resumed);
+                    // Hold compute while serving (idempotent).
+                    let outcome = cluster.allocate(id)?;
+                    if available {
+                        if prewarmed {
+                            dbs[idx]
+                                .acc
+                                .reclassify_open(SegmentKind::ProactiveIdleCorrect);
+                        }
+                        dbs[idx].acc.transition(now, SegmentKind::Active);
+                    } else {
+                        // Reactive resume: the customer waits out the
+                        // allocation workflow (§2.2's delay).
+                        dbs[idx].acc.transition(now, SegmentKind::Unavailable);
+                        let mut latency = cfg.resume_latency;
+                        if matches!(outcome, AllocationOutcome::Moved { .. }) {
+                            latency = latency + cfg.move_penalty;
+                        }
+                        diagnostics.workflow_started(id, now);
+                        dbs[idx].resume_in_flight = true;
+                        let hangs = cfg.stuck_probability > 0.0
+                            && rng.random_bool(cfg.stuck_probability);
+                        if !hangs {
+                            queue.push(now + latency, SimEvent::WorkflowComplete(id));
+                        }
+                    }
+                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
+                }
+                SimEvent::ActivityEnd(id) => {
+                    let idx = db_index(id);
+                    if !dbs[idx].demand {
+                        continue;
+                    }
+                    dbs[idx].demand = false;
+                    dbs[idx].resume_in_flight = false;
+                    let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityEnd);
+                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
+                    let state = dbs[idx].engine.state();
+                    metadata.set_state(id, state);
+                    match state {
+                        DbState::LogicallyPaused => {
+                            telemetry.record(now, id, TelemetryKind::LogicalPause);
+                            dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
+                        }
+                        DbState::PhysicallyPaused => {
+                            telemetry.record(now, id, TelemetryKind::PhysicalPause);
+                            dbs[idx].acc.transition(now, SegmentKind::Saved);
+                        }
+                        DbState::Resumed => {
+                            // Engines always leave Resumed on ActivityEnd;
+                            // defensive only.
+                            dbs[idx].acc.transition(now, SegmentKind::Active);
+                        }
+                    }
+                }
+                SimEvent::EngineTimer(id, token) => {
+                    let idx = db_index(id);
+                    let before = dbs[idx].engine.state();
+                    let actions = dbs[idx]
+                        .engine
+                        .on_event(now, EngineEvent::Timer(token));
+                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
+                    let after = dbs[idx].engine.state();
+                    if before == DbState::LogicallyPaused && after == DbState::PhysicallyPaused {
+                        telemetry.record(now, id, TelemetryKind::PhysicalPause);
+                        dbs[idx].acc.transition(now, SegmentKind::Saved);
+                    }
+                    metadata.set_state(id, after);
+                }
+                SimEvent::ResumeOpTick => {
+                    let selected = resume_op.run(now, &metadata);
+                    for id in selected {
+                        queue.push(now, SimEvent::ProactiveResume(id));
+                    }
+                    if resume_op.next_run() < cfg.end {
+                        queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
+                    }
+                }
+                SimEvent::ProactiveResume(id) => {
+                    let idx = db_index(id);
+                    if dbs[idx].engine.state() != DbState::PhysicallyPaused || dbs[idx].demand {
+                        continue; // raced with a login
+                    }
+                    let actions = dbs[idx]
+                        .engine
+                        .on_event(now, EngineEvent::ProactiveResume);
+                    if actions.is_empty() {
+                        continue; // the engine declined (e.g. reactive)
+                    }
+                    telemetry.record(now, id, TelemetryKind::ProactiveResume);
+                    cluster.allocate(id)?;
+                    // Optimistically "wrong" until the login proves it
+                    // correct.
+                    dbs[idx]
+                        .acc
+                        .transition(now, SegmentKind::ProactiveIdleWrong);
+                    metadata.set_state(id, dbs[idx].engine.state());
+                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
+                }
+                SimEvent::WorkflowComplete(id) => {
+                    let idx = db_index(id);
+                    diagnostics.workflow_completed(id);
+                    if !dbs[idx].resume_in_flight {
+                        continue; // superseded (activity ended meanwhile)
+                    }
+                    dbs[idx].resume_in_flight = false;
+                    match dbs[idx].engine.state() {
+                        DbState::Resumed if dbs[idx].demand => {
+                            dbs[idx].acc.transition(now, SegmentKind::Active);
+                        }
+                        DbState::LogicallyPaused => {
+                            dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
+                        }
+                        _ => {}
+                    }
+                }
+                SimEvent::DiagnosticsTick => {
+                    for id in diagnostics.sweep(now) {
+                        // Mitigation force-completes the workflow now.
+                        queue.push(now, SimEvent::WorkflowComplete(id));
+                    }
+                    if let Some(p) = cfg.diagnostics_period {
+                        queue.push(now + p, SimEvent::DiagnosticsTick);
+                    }
+                }
+                SimEvent::MaintenanceDue(id) => {
+                    let idx = db_index(id);
+                    let prediction = dbs[idx].engine.current_prediction();
+                    let deadline = now + cfg.maintenance_deadline;
+                    let slot = maintenance.place(
+                        now,
+                        prediction.as_ref(),
+                        cfg.maintenance_duration,
+                        deadline,
+                    )?;
+                    if slot.start() < cfg.end {
+                        queue.push(slot.start(), SimEvent::MaintenanceRun(id));
+                    }
+                    telemetry.record(
+                        now,
+                        id,
+                        TelemetryKind::Maintenance {
+                            forced: !slot.is_free(),
+                        },
+                    );
+                    if let Some(p) = cfg.maintenance_period {
+                        queue.push(now + p, SimEvent::MaintenanceDue(id));
+                    }
+                }
+                SimEvent::MaintenanceRun(id) => {
+                    // §3.3: maintenance resumes are NOT recorded as customer
+                    // activity and do not move the policy state machine.  A
+                    // job on a physically paused database briefly allocates
+                    // and releases compute (the backend load the scheduler
+                    // minimises); a job on a resumed or logically paused
+                    // database rides the existing allocation.
+                    let idx = db_index(id);
+                    if dbs[idx].engine.state() == DbState::PhysicallyPaused {
+                        let _ = cluster.allocate(id)?;
+                        cluster.release(id);
+                    }
+                }
+                SimEvent::RebalanceTick => {
+                    if let Some((moved, _, _)) = cluster.rebalance_step(cfg.rebalance_threshold) {
+                        // Ship the history with the database (§3.3): the
+                        // move serialises pages and restores them on the
+                        // destination node.
+                        let idx = db_index(moved);
+                        let bytes = backup_history(dbs[idx].engine.history())?;
+                        let restored = restore_history(&bytes)?;
+                        dbs[idx].engine.restore_history(restored);
+                        telemetry.record(now, moved, TelemetryKind::Move);
+                        balance_moves_history += 1;
+                    }
+                    if let Some(p) = cfg.rebalance_period {
+                        queue.push(now + p, SimEvent::RebalanceTick);
+                    }
+                }
+            }
+        }
+
+        // Close the books.
+        let mut fleet_acc = SegmentAccumulator::new();
+        for d in dbs.iter_mut() {
+            d.acc.close(cfg.end);
+            fleet_acc.merge(&d.acc);
+        }
+        let mut kpi = KpiReport::from_segments(&fleet_acc);
+        for e in telemetry.range(cfg.measure_from, cfg.end) {
+            match e.kind {
+                TelemetryKind::Login { available: true } => kpi.logins_available += 1,
+                TelemetryKind::Login { available: false } => kpi.logins_unavailable += 1,
+                TelemetryKind::ProactiveResume => kpi.proactive_resumes += 1,
+                TelemetryKind::PhysicalPause => kpi.physical_pauses += 1,
+                TelemetryKind::ForecastFailure => kpi.forecast_failures += 1,
+                _ => {}
+            }
+        }
+        kpi.forecast_failures = dbs
+            .iter()
+            .map(|d| d.engine.counters().forecast_failures)
+            .sum();
+
+        let counters: Vec<EngineCounters> =
+            dbs.iter().map(|d| d.engine.counters()).collect();
+        let history_stats: Vec<StorageStats> =
+            dbs.iter().map(|d| d.engine.history().stats()).collect();
+        debug_assert_eq!(balance_moves_history, cluster.balance_moves);
+
+        Ok(SimReport {
+            policy_label: cfg.policy.label(),
+            kpi,
+            telemetry,
+            counters,
+            resume_batches: resume_op.batch_sizes().to_vec(),
+            history_stats,
+            spill_moves: cluster.spill_moves,
+            balance_moves: cluster.balance_moves,
+            oversubscriptions: cluster.oversubscriptions,
+            mitigations: diagnostics.mitigations,
+            incidents: diagnostics.incidents,
+            maintenance: maintenance.stats(),
+            measure_from: cfg.measure_from,
+            end: cfg.end,
+        })
+    }
+
+    /// Execute the side effects an engine requested.
+    fn apply_actions(
+        &self,
+        actions: &[EngineAction],
+        id: DatabaseId,
+        now: Timestamp,
+        queue: &mut EventQueue,
+        metadata: &mut MetadataStore,
+        cluster: &mut Cluster,
+    ) {
+        let is_optimal = matches!(self.config.policy, SimPolicy::Optimal);
+        for action in actions {
+            match action {
+                EngineAction::Allocate => {
+                    // Allocation is performed by the event handlers (they
+                    // know the latency context); nothing extra here.
+                }
+                EngineAction::Reclaim => {
+                    cluster.release(id);
+                }
+                EngineAction::SetPredictedStart(pred) => {
+                    metadata.set_prediction(id, *pred);
+                    if is_optimal {
+                        // The oracle policy bypasses the periodic scan and
+                        // resumes exactly on time (zero-latency idealisation).
+                        if let Some(at) = pred {
+                            if *at >= now && *at < self.config.end {
+                                queue.push(*at, SimEvent::ProactiveResume(id));
+                            }
+                        }
+                    }
+                }
+                EngineAction::ScheduleTimer(at, token) => {
+                    if *at < self.config.end {
+                        queue.push(*at, SimEvent::EngineTimer(id, *token));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prorp_types::{PolicyConfig, Session};
+    use prorp_workload::{RegionName, RegionProfile};
+
+    const DAY: i64 = 86_400;
+    const HOUR: i64 = 3_600;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    /// One database with a strict 09:00–17:00 daily pattern for 35 days.
+    fn daily_trace() -> Trace {
+        let sessions: Vec<Session> = (0..35)
+            .map(|d| {
+                Session::new(t(d * DAY + 9 * HOUR), t(d * DAY + 17 * HOUR)).unwrap()
+            })
+            .collect();
+        Trace::new(DatabaseId(0), "daily", sessions).unwrap()
+    }
+
+    fn config_for(policy: SimPolicy) -> SimConfig {
+        SimConfig::new(policy, t(0), t(35 * DAY), t(30 * DAY))
+    }
+
+    fn run(policy: SimPolicy, traces: Vec<Trace>) -> SimReport {
+        Simulation::new(config_for(policy), traces).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn proactive_beats_reactive_on_a_daily_pattern() {
+        let reactive = run(SimPolicy::Reactive, vec![daily_trace()]);
+        let proactive = run(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            vec![daily_trace()],
+        );
+        // With l = 7 h and a 16 h idle night, the reactive policy
+        // physically pauses every night and every morning login is a
+        // reactive resume → QoS 0 in the measurement window.
+        assert_eq!(reactive.kpi.qos_pct(), 0.0, "{}", reactive.kpi);
+        // The proactive policy pre-warms ahead of the 09:00 login.
+        assert_eq!(proactive.kpi.qos_pct(), 100.0, "{}", proactive.kpi);
+        assert!(proactive.kpi.proactive_resumes >= 5);
+        // And it saves the night: idle stays a small fraction.
+        assert!(
+            proactive.kpi.idle_pct() < 20.0,
+            "idle {:.2}%",
+            proactive.kpi.idle_pct()
+        );
+    }
+
+    #[test]
+    fn optimal_policy_is_a_perfect_bounding_box() {
+        let optimal = run(SimPolicy::Optimal, vec![daily_trace()]);
+        assert_eq!(optimal.kpi.qos_pct(), 100.0);
+        assert!(optimal.kpi.idle_pct() < 0.1, "{}", optimal.kpi);
+        assert_eq!(optimal.kpi.unavailable_frac, 0.0);
+        // Active exactly 8/24 of the time.
+        assert!((optimal.kpi.active_frac - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reactive_policy_absorbs_short_gaps_in_logical_pause() {
+        // Sessions with 30-minute gaps: the reactive policy never
+        // physically pauses, so every login lands on available resources.
+        let mut sessions = Vec::new();
+        let mut cursor = 0i64;
+        while cursor + 5_400 < 35 * DAY {
+            sessions.push(Session::new(t(cursor), t(cursor + 5_400)).unwrap());
+            cursor += 5_400 + 1_800;
+        }
+        let trace = Trace::new(DatabaseId(0), "fragmented", sessions).unwrap();
+        let report = run(SimPolicy::Reactive, vec![trace]);
+        assert_eq!(report.kpi.qos_pct(), 100.0, "{}", report.kpi);
+        assert_eq!(report.kpi.physical_pauses, 0);
+        assert!(report.kpi.idle_logical_frac > 0.1);
+    }
+
+    #[test]
+    fn fleet_simulation_is_deterministic() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let traces = profile.generate_fleet(40, t(0), t(35 * DAY), 17);
+        let a = run(SimPolicy::Proactive(PolicyConfig::default()), traces.clone());
+        let b = run(SimPolicy::Proactive(PolicyConfig::default()), traces);
+        assert_eq!(a.kpi, b.kpi);
+        assert_eq!(a.resume_batches, b.resume_batches);
+        assert_eq!(a.telemetry.len(), b.telemetry.len());
+    }
+
+    #[test]
+    fn fleet_qos_improves_under_the_proactive_policy() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let traces = profile.generate_fleet(60, t(0), t(35 * DAY), 3);
+        let reactive = run(SimPolicy::Reactive, traces.clone());
+        let proactive = run(SimPolicy::Proactive(PolicyConfig::default()), traces.clone());
+        let optimal = run(SimPolicy::Optimal, traces);
+        assert!(
+            proactive.kpi.qos_pct() > reactive.kpi.qos_pct(),
+            "proactive {:.1}% vs reactive {:.1}%",
+            proactive.kpi.qos_pct(),
+            reactive.kpi.qos_pct()
+        );
+        assert_eq!(optimal.kpi.qos_pct(), 100.0);
+        assert!(optimal.kpi.idle_pct() <= proactive.kpi.idle_pct());
+    }
+
+    #[test]
+    fn stuck_workflows_are_mitigated() {
+        let mut cfg = config_for(SimPolicy::Reactive);
+        cfg.stuck_probability = 1.0; // every reactive resume hangs
+        cfg.diagnostics_period = Some(Seconds::minutes(2));
+        cfg.stuck_timeout = Seconds::minutes(5);
+        let report = Simulation::new(cfg, vec![daily_trace()])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.mitigations > 0, "diagnostics must mitigate hangs");
+        // A database stuck repeatedly escalates.
+        assert!(report.incidents > 0);
+    }
+
+    #[test]
+    fn rebalancing_moves_carry_history_intact() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let traces = profile.generate_fleet(30, t(0), t(35 * DAY), 5);
+        let mut cfg = config_for(SimPolicy::Proactive(PolicyConfig::default()));
+        cfg.nodes = 2;
+        cfg.node_capacity = 30;
+        cfg.rebalance_period = Some(Seconds::hours(6));
+        cfg.rebalance_threshold = 2;
+        let report = Simulation::new(cfg, traces).unwrap().run().unwrap();
+        // Moves happened and nothing broke; history stats survive.
+        assert!(report.balance_moves > 0, "expected load-balancing moves");
+        assert!(report.history_stats.iter().any(|s| s.tuples > 0));
+    }
+
+    #[test]
+    fn resume_batches_are_bounded_by_fleet_size() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let traces = profile.generate_fleet(50, t(0), t(32 * DAY), 9);
+        let report = run(SimPolicy::Proactive(PolicyConfig::default()), traces);
+        assert!(!report.resume_batches.is_empty());
+        assert!(report.resume_batches.iter().all(|&b| b <= 50));
+    }
+
+    #[test]
+    fn maintenance_piggybacks_under_the_proactive_policy() {
+        // Daily-pattern database with daily maintenance: under the
+        // proactive policy the scheduler should ride the predicted 09:00
+        // activity for most jobs; under the reactive policy (no
+        // predictions) every job is forced.
+        let traces = vec![daily_trace()];
+        let mut proactive_cfg = config_for(SimPolicy::Proactive(PolicyConfig::default()));
+        proactive_cfg.maintenance_period = Some(Seconds::days(1));
+        let proactive = Simulation::new(proactive_cfg, traces.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut reactive_cfg = config_for(SimPolicy::Reactive);
+        reactive_cfg.maintenance_period = Some(Seconds::days(1));
+        let reactive = Simulation::new(reactive_cfg, traces)
+            .unwrap()
+            .run()
+            .unwrap();
+
+        assert_eq!(
+            reactive.maintenance.piggybacked, 0,
+            "no predictions, no piggybacking: {:?}",
+            reactive.maintenance
+        );
+        assert!(reactive.maintenance.forced_resumes > 20);
+        assert!(
+            proactive.maintenance.piggyback_rate() > 0.5,
+            "proactive jobs should mostly ride predicted activity: {:?}",
+            proactive.maintenance
+        );
+        // Telemetry labels the outcomes.
+        let counts = proactive.telemetry.counts();
+        assert!(counts.get("maintenance-piggybacked").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn tight_capacity_forces_spill_moves() {
+        // Many synchronized daily databases on a tiny cluster: the morning
+        // herd cannot fit on home nodes, forcing the §1 "moved to another
+        // node" path (with its extra latency) or over-subscription.
+        let traces: Vec<Trace> = (0..20)
+            .map(|i| {
+                let sessions: Vec<Session> = (0..32)
+                    .map(|d| {
+                        Session::new(
+                            t(d * DAY + 9 * HOUR + i * 10),
+                            t(d * DAY + 11 * HOUR + i * 10),
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                Trace::new(DatabaseId(i as u64), "daily", sessions).unwrap()
+            })
+            .collect();
+        let mut cfg = SimConfig::new(
+            SimPolicy::Reactive,
+            t(0),
+            t(32 * DAY),
+            t(28 * DAY),
+        );
+        cfg.nodes = 4;
+        cfg.node_capacity = 3; // 12 slots for 20 concurrently active DBs
+        let report = Simulation::new(cfg, traces).unwrap().run().unwrap();
+        assert!(
+            report.spill_moves + report.oversubscriptions > 0,
+            "capacity pressure must trigger spills or oversubscription"
+        );
+    }
+
+    #[test]
+    fn optimal_policy_piggybacks_all_maintenance() {
+        // The oracle publishes exact next-session predictions, so every
+        // maintenance job lands inside real activity.
+        let mut cfg = config_for(SimPolicy::Optimal);
+        cfg.maintenance_period = Some(Seconds::days(1));
+        let report = Simulation::new(cfg, vec![daily_trace()])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.maintenance.piggybacked > 20);
+        assert!(
+            report.maintenance.piggyback_rate() > 0.9,
+            "{:?}",
+            report.maintenance
+        );
+    }
+
+    #[test]
+    fn forecast_failures_zero_without_fault_injection() {
+        let report = run(SimPolicy::Proactive(PolicyConfig::default()), vec![daily_trace()]);
+        assert_eq!(report.kpi.forecast_failures, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Abstract syntax of the SQL subset.
+
+use std::fmt;
+
+/// A column's declared type.  Both are stored as `i64`; the distinction is
+/// kept for schema fidelity with the paper's
+/// `(time_snapshot BIGINT, event_type INT)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    BigInt,
+    /// 32-bit integer (stored widened to 64 bits).
+    Int,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::BigInt => write!(f, "BIGINT"),
+            ColumnType::Int => write!(f, "INT"),
+        }
+    }
+}
+
+/// One column definition in `CREATE TABLE`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+    /// Whether this is the clustered primary key.
+    pub primary_key: bool,
+}
+
+/// A scalar expression: only literals and parameters appear in the subset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Literal(i64),
+    /// A named parameter bound at execution time.
+    Param(String),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<>` / `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison to concrete values.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Ne => "<>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One conjunct: `column <op> expr`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Comparison {
+    /// Column on the left-hand side.
+    pub column: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand-side literal or parameter.
+    pub value: Expr,
+}
+
+/// A `WHERE` clause: a conjunction of comparisons (the subset the paper's
+/// procedures need — every predicate in Algorithms 2–5 is an `AND` chain).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Predicate {
+    /// All conjuncts must hold.
+    pub conjuncts: Vec<Comparison>,
+}
+
+/// Aggregate functions supported in projections.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+    /// `COUNT(*)` or `COUNT(col)`
+    Count,
+}
+
+/// One projection item of a `SELECT`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Projection {
+    /// `*`
+    Star,
+    /// A bare column.
+    Column(String),
+    /// An aggregate over a column (`None` = `*`, only valid for `COUNT`).
+    Aggregate(AggFunc, Option<String>),
+}
+
+/// `ORDER BY column [ASC|DESC]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OrderBy {
+    /// Sort column.
+    pub column: String,
+    /// Descending when `true`.
+    pub desc: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Select {
+    /// Projection list.
+    pub projections: Vec<Projection>,
+    /// Source table.
+    pub table: String,
+    /// Optional filter.
+    pub predicate: Option<Predicate>,
+    /// Optional ordering.
+    pub order_by: Option<OrderBy>,
+    /// Optional row limit.
+    pub limit: Option<usize>,
+}
+
+/// Any statement in the subset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`
+    CreateTable {
+        /// Table name (may be dot-qualified).
+        name: String,
+        /// Column definitions; exactly one must be the primary key.
+        columns: Vec<ColumnDef>,
+    },
+    /// `INSERT INTO name (cols...) VALUES (exprs...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Column list.
+        columns: Vec<String>,
+        /// Value expressions, positionally matching `columns`.
+        values: Vec<Expr>,
+    },
+    /// A `SELECT`.
+    Select(Select),
+    /// `UPDATE name SET col = expr [, ...] [WHERE ...]`
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value)` assignments.
+        assignments: Vec<(String, Expr)>,
+        /// Optional filter; absent means update all rows.
+        predicate: Option<Predicate>,
+    },
+    /// `DELETE FROM name [WHERE ...]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter; absent means delete all rows.
+        predicate: Option<Predicate>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_truth_table() {
+        assert!(CmpOp::Lt.eval(1, 2) && !CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2) && !CmpOp::Le.eval(3, 2));
+        assert!(CmpOp::Eq.eval(2, 2) && !CmpOp::Eq.eval(1, 2));
+        assert!(CmpOp::Ge.eval(2, 2) && !CmpOp::Ge.eval(1, 2));
+        assert!(CmpOp::Gt.eval(3, 2) && !CmpOp::Gt.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2) && !CmpOp::Ne.eval(2, 2));
+    }
+
+    #[test]
+    fn display_renders_sql_spelling() {
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(ColumnType::BigInt.to_string(), "BIGINT");
+    }
+}

@@ -1,0 +1,301 @@
+//! Tokeniser for the SQL subset.
+//!
+//! Identifiers may be dot-qualified (`sys.pause_resume_history`), keywords
+//! are case-insensitive, and named parameters use the T-SQL `@name` form
+//! the paper's procedures are written in.
+
+use prorp_types::ProrpError;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// A (possibly dot-qualified) identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A named parameter, e.g. `@now` (stored without the `@`).
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `;`
+    Semicolon,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `!=` or `<>`
+    Ne,
+    /// `-` (unary minus is folded into literals by the parser)
+    Minus,
+    /// `+`
+    Plus,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Param(p) => write!(f, "@{p}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Eq => write!(f, "="),
+            Token::Ge => write!(f, ">="),
+            Token::Gt => write!(f, ">"),
+            Token::Ne => write!(f, "<>"),
+            Token::Minus => write!(f, "-"),
+            Token::Plus => write!(f, "+"),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_part(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenise `input`.
+///
+/// # Errors
+///
+/// Returns [`ProrpError::Sql`] on unexpected characters or malformed
+/// numbers.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ProrpError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(pos, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token::Semicolon);
+            }
+            '-' => {
+                chars.next();
+                if chars.peek().is_some_and(|&(_, c)| c == '-') {
+                    // Line comment: skip to end of line.
+                    for (_, c) in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                }
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Plus);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        tokens.push(Token::Ne);
+                    }
+                    _ => {
+                        return Err(ProrpError::Sql(format!(
+                            "unexpected '!' at byte {pos}; did you mean '!='?"
+                        )))
+                    }
+                }
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        tokens.push(Token::Le);
+                    }
+                    Some(&(_, '>')) => {
+                        chars.next();
+                        tokens.push(Token::Ne);
+                    }
+                    _ => tokens.push(Token::Lt),
+                }
+            }
+            '>' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        tokens.push(Token::Ge);
+                    }
+                    _ => tokens.push(Token::Gt),
+                }
+            }
+            '@' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ProrpError::Sql(format!(
+                        "'@' at byte {pos} must be followed by a parameter name"
+                    )));
+                }
+                tokens.push(Token::Param(name));
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        if c != '_' {
+                            text.push(c);
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value = text.parse::<i64>().map_err(|e| {
+                    ProrpError::Sql(format!("invalid integer literal '{text}': {e}"))
+                })?;
+                tokens.push(Token::Int(value));
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_part(c) {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(text));
+            }
+            other => {
+                return Err(ProrpError::Sql(format!(
+                    "unexpected character '{other}' at byte {pos}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_algorithm_2_shape() {
+        let tokens = tokenize(
+            "SELECT * FROM sys.pause_resume_history WHERE time_snapshot = @time",
+        )
+        .unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Star,
+                Token::Ident("FROM".into()),
+                Token::Ident("sys.pause_resume_history".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("time_snapshot".into()),
+                Token::Eq,
+                Token::Param("time".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let tokens = tokenize("< <= = >= > <> !=").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Eq,
+                Token::Ge,
+                Token::Gt,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_separators() {
+        let tokens = tokenize("(1, 23, 4_000);").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LParen,
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(23),
+                Token::Comma,
+                Token::Int(4_000),
+                Token::RParen,
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_is_a_token_and_comments_are_skipped() {
+        let tokens = tokenize("-5 -- the rest is a comment\n7").unwrap();
+        assert_eq!(tokens, vec![Token::Minus, Token::Int(5), Token::Int(7)]);
+    }
+
+    #[test]
+    fn bad_characters_error_with_position() {
+        let err = tokenize("SELECT #").unwrap_err();
+        assert!(err.to_string().contains('#'));
+        assert!(tokenize("@ now").is_err());
+        assert!(tokenize("!x").is_err());
+    }
+}

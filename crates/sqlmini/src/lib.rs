@@ -1,0 +1,44 @@
+//! A small SQL engine over the ProRP storage substrate.
+//!
+//! §3.3 and §5 of the paper require that the history store "expose the
+//! familiar SQL interface to efficiently update, retrieve, and aggregate
+//! the data", and Algorithms 2–4 are given as SQL stored procedures.  This
+//! crate reproduces that surface:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — a recursive-descent front end for
+//!   the subset the paper's procedures use: `CREATE TABLE`, `INSERT`,
+//!   `SELECT` (columns, `COUNT(*)`, `MIN`/`MAX`, `WHERE` conjunctions,
+//!   `ORDER BY`, `LIMIT`), `DELETE`, and named parameters (`@now`, `@h`);
+//! * [`table`] / [`plan`] / [`exec`] — tables clustered on a `BIGINT`
+//!   primary key stored in the `prorp-storage` B+Tree; the planner turns
+//!   primary-key conjuncts into index range scans so `WHERE`-bounded
+//!   queries run in `O(log n + m)` as the paper's complexity analysis
+//!   assumes;
+//! * [`procedures`] — `sys.InsertHistory` (Algorithm 2),
+//!   `sys.DeleteOldHistory` (Algorithm 3), and `sys.PredictNextActivity`
+//!   (Algorithm 4) implemented *by issuing SQL through this engine*, so the
+//!   SQL layer is load-bearing, and differential-tested against the native
+//!   implementations in `prorp-forecast`.
+//!
+//! The value domain is deliberately the paper's: 64-bit integers
+//! (`time_snapshot BIGINT`, `event_type INT`), with SQL `NULL` appearing
+//! only in aggregate results over empty inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod metadata_sql;
+pub mod parser;
+pub mod plan;
+pub mod procedures;
+pub mod table;
+pub mod view;
+
+pub use exec::{Database, ExecOutcome, Params, ResultSet};
+pub use parser::parse_statement;
+pub use metadata_sql::MetadataDb;
+pub use procedures::{HistoryDb, PredictArgs};
+pub use view::{format_epoch, CustomerView};

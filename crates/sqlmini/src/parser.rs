@@ -1,0 +1,505 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use prorp_types::ProrpError;
+
+/// Parse one statement (an optional trailing `;` is accepted).
+pub fn parse_statement(sql: &str) -> Result<Statement, ProrpError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.statement()?;
+    parser.eat_optional_semicolon();
+    parser.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: &str) -> ProrpError {
+        let near = self
+            .peek()
+            .map(|t| format!(" near '{t}'"))
+            .unwrap_or_else(|| " at end of input".to_string());
+        ProrpError::Sql(format!("{msg}{near}"))
+    }
+
+    /// Consume a keyword (case-insensitive identifier).
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ProrpError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error(&format!("expected keyword {kw}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, expected: Token) -> Result<(), ProrpError> {
+        if self.peek() == Some(&expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{expected}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ProrpError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn eat_optional_semicolon(&mut self) {
+        if self.peek() == Some(&Token::Semicolon) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ProrpError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing tokens"))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ProrpError> {
+        if self.peek_keyword("CREATE") {
+            self.create_table()
+        } else if self.peek_keyword("INSERT") {
+            self.insert()
+        } else if self.peek_keyword("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.peek_keyword("UPDATE") {
+            self.update()
+        } else if self.peek_keyword("DELETE") {
+            self.delete()
+        } else {
+            Err(self.error("expected CREATE, INSERT, SELECT, UPDATE, or DELETE"))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ProrpError> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect_token(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let ty = if self.accept_keyword("BIGINT") {
+                ColumnType::BigInt
+            } else if self.accept_keyword("INT") {
+                ColumnType::Int
+            } else {
+                return Err(self.error("expected column type BIGINT or INT"));
+            };
+            let mut primary_key = false;
+            loop {
+                if self.accept_keyword("PRIMARY") {
+                    self.expect_keyword("KEY")?;
+                    primary_key = true;
+                } else if self.accept_keyword("UNIQUE") {
+                    // Uniqueness is implied by the clustered PK; accepted
+                    // for schema fidelity.
+                } else if self.accept_keyword("NOT") {
+                    self.expect_keyword("NULL")?;
+                } else {
+                    break;
+                }
+            }
+            columns.push(ColumnDef {
+                name: col_name,
+                ty,
+                primary_key,
+            });
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                _ => return Err(self.error("expected ',' or ')' in column list")),
+            }
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ProrpError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_token(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                _ => return Err(self.error("expected ',' or ')' in insert column list")),
+            }
+        }
+        self.expect_keyword("VALUES")?;
+        self.expect_token(Token::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.expr()?);
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                _ => return Err(self.error("expected ',' or ')' in VALUES list")),
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
+    }
+
+    fn select(&mut self) -> Result<Select, ProrpError> {
+        self.expect_keyword("SELECT")?;
+        let mut projections = Vec::new();
+        loop {
+            projections.push(self.projection()?);
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.accept_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let order_by = if self.accept_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let column = self.ident()?;
+            let desc = if self.accept_keyword("DESC") {
+                true
+            } else {
+                self.accept_keyword("ASC");
+                false
+            };
+            Some(OrderBy { column, desc })
+        } else {
+            None
+        };
+        let limit = if self.accept_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.error("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            projections,
+            table,
+            predicate,
+            order_by,
+            limit,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Projection, ProrpError> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(Projection::Star);
+        }
+        for (kw, func) in [
+            ("MIN", AggFunc::Min),
+            ("MAX", AggFunc::Max),
+            ("COUNT", AggFunc::Count),
+        ] {
+            if self.peek_keyword(kw) {
+                // Only an aggregate if followed by '('.
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2;
+                    let arg = if self.peek() == Some(&Token::Star) {
+                        self.pos += 1;
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    };
+                    if arg.is_none() && func != AggFunc::Count {
+                        return Err(self.error("MIN/MAX require a column argument"));
+                    }
+                    self.expect_token(Token::RParen)?;
+                    return Ok(Projection::Aggregate(func, arg));
+                }
+            }
+        }
+        Ok(Projection::Column(self.ident()?))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ProrpError> {
+        let mut conjuncts = vec![self.comparison()?];
+        while self.accept_keyword("AND") {
+            conjuncts.push(self.comparison()?);
+        }
+        Ok(Predicate { conjuncts })
+    }
+
+    fn comparison(&mut self) -> Result<Comparison, ProrpError> {
+        let column = self.ident()?;
+        let op = match self.next() {
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ne) => CmpOp::Ne,
+            _ => return Err(self.error("expected comparison operator")),
+        };
+        let value = self.expr()?;
+        Ok(Comparison { column, op, value })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ProrpError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(v)),
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Int(v)) => Ok(Expr::Literal(-v)),
+                _ => Err(self.error("expected integer after unary '-'")),
+            },
+            Some(Token::Plus) => match self.next() {
+                Some(Token::Int(v)) => Ok(Expr::Literal(v)),
+                _ => Err(self.error("expected integer after unary '+'")),
+            },
+            Some(Token::Param(p)) => Ok(Expr::Param(p)),
+            _ => Err(self.error("expected literal or @parameter")),
+        }
+    }
+
+    fn update(&mut self) -> Result<Statement, ProrpError> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.ident()?;
+            self.expect_token(Token::Eq)?;
+            let value = self.expr()?;
+            assignments.push((column, value));
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let predicate = if self.accept_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement, ProrpError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.accept_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table_with_pk() {
+        let stmt = parse_statement(
+            "CREATE TABLE sys.pause_resume_history (
+                time_snapshot BIGINT PRIMARY KEY,
+                event_type INT NOT NULL
+            );",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "sys.pause_resume_history");
+                assert_eq!(columns.len(), 2);
+                assert!(columns[0].primary_key);
+                assert_eq!(columns[0].ty, ColumnType::BigInt);
+                assert!(!columns[1].primary_key);
+                assert_eq!(columns[1].ty, ColumnType::Int);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_algorithm_2_insert() {
+        let stmt = parse_statement(
+            "INSERT INTO sys.pause_resume_history (time_snapshot, event_type)
+             VALUES (@time, @type)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                assert_eq!(table, "sys.pause_resume_history");
+                assert_eq!(columns, vec!["time_snapshot", "event_type"]);
+                assert_eq!(
+                    values,
+                    vec![Expr::Param("time".into()), Expr::Param("type".into())]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_algorithm_4_range_aggregate() {
+        let stmt = parse_statement(
+            "SELECT MIN(time_snapshot), MAX(time_snapshot)
+             FROM sys.pause_resume_history
+             WHERE event_type = 1 AND
+                   @winStartPrevDay <= time_snapshot AND
+                   time_snapshot <= @winEndPrevDay",
+        );
+        // Our subset keeps columns on the left: rewrite the second conjunct.
+        assert!(stmt.is_err());
+        let stmt = parse_statement(
+            "SELECT MIN(time_snapshot), MAX(time_snapshot)
+             FROM sys.pause_resume_history
+             WHERE event_type = 1 AND
+                   time_snapshot >= @winStartPrevDay AND
+                   time_snapshot <= @winEndPrevDay",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projections.len(), 2);
+                assert_eq!(
+                    sel.projections[0],
+                    Projection::Aggregate(AggFunc::Min, Some("time_snapshot".into()))
+                );
+                let pred = sel.predicate.unwrap();
+                assert_eq!(pred.conjuncts.len(), 3);
+                assert_eq!(pred.conjuncts[0].op, CmpOp::Eq);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_range() {
+        let stmt = parse_statement(
+            "DELETE FROM sys.pause_resume_history
+             WHERE time_snapshot > @min AND time_snapshot < @historyStart",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Delete { predicate, .. } => {
+                assert_eq!(predicate.unwrap().conjuncts.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let stmt =
+            parse_statement("SELECT time_snapshot FROM h ORDER BY time_snapshot DESC LIMIT 10")
+                .unwrap();
+        match stmt {
+            Statement::Select(sel) => {
+                let ob = sel.order_by.unwrap();
+                assert_eq!(ob.column, "time_snapshot");
+                assert!(ob.desc);
+                assert_eq!(sel.limit, Some(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star_and_negative_literals() {
+        let stmt = parse_statement("SELECT COUNT(*) FROM h WHERE event_type = -1").unwrap();
+        match stmt {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projections, vec![Projection::Aggregate(AggFunc::Count, None)]);
+                assert_eq!(
+                    sel.predicate.unwrap().conjuncts[0].value,
+                    Expr::Literal(-1)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_column_named_min_is_not_an_aggregate() {
+        let stmt = parse_statement("SELECT min FROM h").unwrap();
+        match stmt {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projections, vec![Projection::Column("min".into())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement("SELECT FROM h").is_err());
+        assert!(parse_statement("SELECT * h").is_err());
+        assert!(parse_statement("INSERT INTO h VALUES (1)").is_err());
+        assert!(parse_statement("DELETE h").is_err());
+        assert!(parse_statement("SELECT * FROM h WHERE a !! 1").is_err());
+        assert!(parse_statement("SELECT * FROM h; SELECT * FROM h").is_err());
+        assert!(parse_statement("SELECT MIN(*) FROM h").is_err());
+        assert!(parse_statement("CREATE TABLE t (a FLOAT)").is_err());
+        assert!(parse_statement("SELECT * FROM h LIMIT x").is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! The paper's stored procedures, executed through the SQL engine.
+//!
+//! Algorithms 2–4 are published as T-SQL stored procedures over
+//! `sys.pause_resume_history`.  [`HistoryDb`] owns that table and runs each
+//! procedure by issuing the same statements the listings contain, so this
+//! module doubles as an executable specification: the fast native
+//! implementations in `prorp-storage` / `prorp-forecast` are
+//! differential-tested against it (see `tests/sql_vs_native.rs` at the
+//! workspace root).
+//!
+//! ### A note on Algorithm 4's `ELSE BREAK`
+//!
+//! The published listing guards the prediction update with
+//! `IF @c <= @prob AND (@prevProb < @prob OR @startOfPredActivity = 0)`
+//! and pairs it with an `ELSE BREAK`.  Read literally, the `BREAK` would
+//! also fire before *any* window has qualified, so no activity more than
+//! one window-width ahead could ever be predicted — contradicting both the
+//! worked example (Figure 5 selects Window 2, which *follows* qualifying
+//! Window 1) and the purpose of pre-warming hours ahead.  We therefore
+//! break only once a prediction exists and the current window fails to
+//! improve it: the scan returns the **earliest window run whose confidence
+//! climbs to a local maximum above the threshold**, which reproduces the
+//! prose rule "select the predicted activity with the earliest start and
+//! the highest confidence".
+
+use crate::exec::{Database, Params};
+use prorp_types::ProrpError;
+
+/// Name of the history table.
+pub const HISTORY_TABLE: &str = "sys.pause_resume_history";
+
+/// Arguments of `sys.PredictNextActivity` (Algorithm 4).
+///
+/// Units follow Table 1's definitions: history length in days, horizon in
+/// hours, window and slide in seconds (the listing manipulates raw epoch
+/// seconds after converting).
+#[derive(Clone, Copy, Debug)]
+pub struct PredictArgs {
+    /// `@h` — history length in days.
+    pub h_days: i64,
+    /// `@p` — prediction horizon in hours.
+    pub p_hours: i64,
+    /// `@c` — confidence threshold in `(0, 1]`.
+    pub c: f64,
+    /// `@w` — window size in seconds.
+    pub w_secs: i64,
+    /// `@s` — window slide in seconds.
+    pub s_secs: i64,
+    /// `@now` — current epoch second.
+    pub now: i64,
+}
+
+/// A per-database SQL session owning `sys.pause_resume_history`.
+///
+/// # Examples
+///
+/// ```
+/// use prorp_sqlmini::{HistoryDb, Params};
+///
+/// let mut db = HistoryDb::new();
+/// assert!(db.insert_history(1_000, 1).unwrap());   // Algorithm 2
+/// assert!(!db.insert_history(1_000, 0).unwrap());  // IF NOT EXISTS
+///
+/// // Ad-hoc SQL over the same table.
+/// let rows = db
+///     .database_mut()
+///     .run("SELECT COUNT(*) FROM sys.pause_resume_history", &Params::new())
+///     .unwrap()
+///     .result
+///     .unwrap();
+/// assert_eq!(rows.scalar().unwrap(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HistoryDb {
+    db: Database,
+}
+
+impl Default for HistoryDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistoryDb {
+    /// Create the session and its history table (§5 schema).
+    pub fn new() -> Self {
+        let mut db = Database::new();
+        db.run(
+            "CREATE TABLE sys.pause_resume_history (
+                time_snapshot BIGINT PRIMARY KEY,
+                event_type INT NOT NULL
+            )",
+            &Params::new(),
+        )
+        .expect("static schema is valid");
+        HistoryDb { db }
+    }
+
+    /// Direct access to the underlying engine (used by the SQL explorer
+    /// example and the read-only customer view of §5).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Number of history tuples.
+    pub fn count(&mut self) -> Result<i64, ProrpError> {
+        let out = self.db.run(
+            "SELECT COUNT(*) FROM sys.pause_resume_history",
+            &Params::new(),
+        )?;
+        Ok(out
+            .result
+            .expect("SELECT returns rows")
+            .scalar()?
+            .unwrap_or(0))
+    }
+
+    /// Algorithm 2 — `sys.InsertHistory(@time, @type)`.
+    ///
+    /// Returns `true` when a tuple was inserted, `false` when the
+    /// `IF NOT EXISTS` guard suppressed it.
+    pub fn insert_history(&mut self, time: i64, event_type: i64) -> Result<bool, ProrpError> {
+        let mut params = Params::new();
+        params.bind("time", time).bind("type", event_type);
+        // IF NOT EXISTS (SELECT * FROM ... WHERE time_snapshot = @time)
+        let exists = self
+            .db
+            .run(
+                "SELECT COUNT(*) FROM sys.pause_resume_history WHERE time_snapshot = @time",
+                &params,
+            )?
+            .result
+            .expect("SELECT returns rows")
+            .scalar()?
+            .unwrap_or(0)
+            > 0;
+        if exists {
+            return Ok(false);
+        }
+        self.db.run(
+            "INSERT INTO sys.pause_resume_history (time_snapshot, event_type)
+             VALUES (@time, @type)",
+            &params,
+        )?;
+        Ok(true)
+    }
+
+    /// Algorithm 3 — `sys.DeleteOldHistory(@h, @now, @old OUTPUT)`.
+    ///
+    /// Returns `(old, deleted)`.
+    pub fn delete_old_history(
+        &mut self,
+        h_days: i64,
+        now: i64,
+    ) -> Result<(bool, usize), ProrpError> {
+        let history_start = now - h_days * 24 * 60 * 60;
+        let min = self
+            .db
+            .run(
+                "SELECT MIN(time_snapshot) FROM sys.pause_resume_history",
+                &Params::new(),
+            )?
+            .result
+            .expect("SELECT returns rows")
+            .scalar()?;
+        let Some(min) = min else {
+            return Ok((false, 0));
+        };
+        if min < history_start {
+            let mut params = Params::new();
+            params.bind("min", min).bind("historyStart", history_start);
+            let out = self.db.run(
+                "DELETE FROM sys.pause_resume_history
+                 WHERE time_snapshot > @min AND time_snapshot < @historyStart",
+                &params,
+            )?;
+            Ok((true, out.rows_affected))
+        } else {
+            Ok((false, 0))
+        }
+    }
+
+    /// Algorithm 4 — `sys.PredictNextActivity(...)` with daily seasonality.
+    ///
+    /// Returns `Some((start, end, confidence))` for the earliest
+    /// locally-maximal qualifying window, or `None` when no window within
+    /// the horizon clears the confidence threshold (the listing's
+    /// `start = 0` sentinel).
+    pub fn predict_next_activity(
+        &mut self,
+        args: PredictArgs,
+    ) -> Result<Option<(i64, i64, f64)>, ProrpError> {
+        if args.h_days <= 0 || args.w_secs <= 0 || args.s_secs <= 0 {
+            return Err(ProrpError::Sql(format!(
+                "PredictNextActivity requires positive h/w/s, got {args:?}"
+            )));
+        }
+        let pred_end = args.now + args.p_hours * 60 * 60;
+        let mut win_start = args.now;
+        let mut best: Option<(i64, i64)> = None;
+        let mut prev_prob = 0.0_f64;
+
+        // Outer loop (lines 9–47): slide the window across the horizon.
+        while win_start + args.w_secs <= pred_end {
+            let mut win_with_activity: i64 = 0; // line 10
+            let mut earliest_offset = args.w_secs; // line 11
+            let mut last_offset: i64 = 0; // line 12
+
+            // Inner loop (lines 15–35): the same clock window on each of
+            // the previous h days.
+            for prev_day in 1..=args.h_days {
+                let lo = win_start - prev_day * 24 * 60 * 60; // lines 16–17
+                let hi = lo + args.w_secs; // line 18
+                let mut params = Params::new();
+                params.bind("lo", lo).bind("hi", hi);
+                let rs = self
+                    .db
+                    .run(
+                        "SELECT MIN(time_snapshot), MAX(time_snapshot)
+                         FROM sys.pause_resume_history
+                         WHERE event_type = 1 AND
+                               time_snapshot >= @lo AND
+                               time_snapshot <= @hi",
+                        &params,
+                    )?
+                    .result
+                    .expect("SELECT returns rows");
+                let first = rs.rows[0][0];
+                let last = rs.rows[0][1];
+                if let (Some(first), Some(last)) = (first, last) {
+                    // lines 25–33: track min/max login offsets.
+                    earliest_offset = earliest_offset.min(first - lo);
+                    last_offset = last_offset.max(last - lo);
+                    win_with_activity += 1; // line 34
+                }
+            }
+
+            let prob = win_with_activity as f64 / args.h_days as f64; // line 36
+            // Lines 37–46 under the interpretation documented above.
+            if win_with_activity > 0 && prob >= args.c && (prob > prev_prob || best.is_none()) {
+                prev_prob = prob;
+                best = Some((win_start + earliest_offset, win_start + last_offset));
+            } else if best.is_some() {
+                break; // first non-improving window after a hit
+            }
+            win_start += args.s_secs; // line 47
+        }
+
+        Ok(best.map(|(s, e)| (s, e, prev_prob)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: i64 = 86_400;
+    const HOUR: i64 = 3_600;
+
+    fn default_args(now: i64) -> PredictArgs {
+        PredictArgs {
+            h_days: 5,
+            p_hours: 24,
+            c: 0.5,
+            w_secs: 2 * HOUR,
+            s_secs: 30 * 60,
+            now,
+        }
+    }
+
+    /// A database active 09:00–10:00 every day for `days` days.
+    fn daily_nine_am(days: i64) -> HistoryDb {
+        let mut db = HistoryDb::new();
+        for d in 0..days {
+            let start = d * DAY + 9 * HOUR;
+            assert!(db.insert_history(start, 1).unwrap());
+            assert!(db.insert_history(start + HOUR, 0).unwrap());
+        }
+        db
+    }
+
+    #[test]
+    fn insert_history_is_guarded() {
+        let mut db = HistoryDb::new();
+        assert!(db.insert_history(100, 1).unwrap());
+        assert!(!db.insert_history(100, 0).unwrap());
+        assert_eq!(db.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn delete_old_history_trims_but_keeps_oldest() {
+        let mut db = HistoryDb::new();
+        for d in 0..=40 {
+            db.insert_history(d * DAY, 1).unwrap();
+        }
+        let (old, deleted) = db.delete_old_history(28, 40 * DAY).unwrap();
+        assert!(old);
+        assert_eq!(deleted, 11); // days 1..=11 strictly inside (day0, day12)
+        // Oldest survives.
+        let min = db
+            .database_mut()
+            .run(
+                "SELECT MIN(time_snapshot) FROM sys.pause_resume_history",
+                &Params::new(),
+            )
+            .unwrap()
+            .result
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(min, Some(0));
+    }
+
+    #[test]
+    fn delete_old_history_on_young_db() {
+        let mut db = HistoryDb::new();
+        db.insert_history(5 * DAY, 1).unwrap();
+        let (old, deleted) = db.delete_old_history(28, 6 * DAY).unwrap();
+        assert!(!old);
+        assert_eq!(deleted, 0);
+        // Empty table: not old either.
+        let mut empty = HistoryDb::new();
+        assert_eq!(empty.delete_old_history(28, DAY).unwrap(), (false, 0));
+    }
+
+    #[test]
+    fn predicts_a_strict_daily_pattern() {
+        // 5 days of 09:00 logins; predict from midnight of day 5.
+        let mut db = daily_nine_am(5);
+        let now = 5 * DAY;
+        let pred = db
+            .predict_next_activity(default_args(now))
+            .unwrap()
+            .expect("daily pattern must be detected");
+        let (start, end, conf) = pred;
+        assert_eq!(conf, 1.0);
+        // The predicted interval must cover the real 09:00–10:00 activity.
+        let real_start = now + 9 * HOUR;
+        let real_end = now + 10 * HOUR;
+        assert!(
+            start <= real_start && real_start <= end,
+            "start {start} .. end {end} should cover {real_start}"
+        );
+        assert!(end <= real_end + default_args(now).w_secs);
+    }
+
+    #[test]
+    fn no_history_means_no_prediction() {
+        let mut db = HistoryDb::new();
+        assert_eq!(db.predict_next_activity(default_args(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn confidence_threshold_filters_sporadic_activity() {
+        // Activity on only 1 of 5 days.
+        let mut db = HistoryDb::new();
+        db.insert_history(2 * DAY + 9 * HOUR, 1).unwrap();
+        db.insert_history(2 * DAY + 10 * HOUR, 0).unwrap();
+        let now = 5 * DAY;
+        // 1/5 = 0.2 < 0.5 → no prediction.
+        assert_eq!(db.predict_next_activity(default_args(now)).unwrap(), None);
+        // Lower the bar to 0.2 → prediction appears.
+        let mut args = default_args(now);
+        args.c = 0.2;
+        let pred = db.predict_next_activity(args).unwrap();
+        assert!(pred.is_some());
+        assert_eq!(pred.unwrap().2, 0.2);
+    }
+
+    #[test]
+    fn earliest_qualifying_run_wins_over_later_activity() {
+        // Morning activity (every day) and evening activity (every day):
+        // the predictor must return the morning window, the earliest one.
+        let mut db = HistoryDb::new();
+        for d in 0..5 {
+            db.insert_history(d * DAY + 8 * HOUR, 1).unwrap();
+            db.insert_history(d * DAY + 8 * HOUR + 1800, 0).unwrap();
+            db.insert_history(d * DAY + 20 * HOUR, 1).unwrap();
+            db.insert_history(d * DAY + 20 * HOUR + 1800, 0).unwrap();
+        }
+        let now = 5 * DAY;
+        let (start, _, _) = db
+            .predict_next_activity(default_args(now))
+            .unwrap()
+            .unwrap();
+        let predicted_hour = (start - now) / HOUR;
+        assert!(
+            (6..=9).contains(&predicted_hour),
+            "expected a morning prediction, got hour {predicted_hour}"
+        );
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        let mut db = HistoryDb::new();
+        let mut args = default_args(0);
+        args.h_days = 0;
+        assert!(db.predict_next_activity(args).is_err());
+        let mut args = default_args(0);
+        args.s_secs = 0;
+        assert!(db.predict_next_activity(args).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Heap-less tables clustered on a `BIGINT` primary key.
+//!
+//! Every table in the subset is clustered on exactly one integer primary
+//! key, exactly like `sys.pause_resume_history`'s clustered B-tree index
+//! on `time_snapshot` (§5).  Rows live directly in the `prorp-storage`
+//! B+Tree, keyed by the primary key, so point lookups are `O(log n)` and
+//! key-range scans are `O(log n + m)`.
+
+use crate::ast::ColumnDef;
+use prorp_storage::BTree;
+use prorp_types::ProrpError;
+use std::ops::Bound;
+
+/// One table: schema plus clustered rows.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    columns: Vec<ColumnDef>,
+    pk_index: usize,
+    rows: BTree<Vec<i64>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProrpError::Sql`] unless the schema has at least one
+    /// column, exactly one `PRIMARY KEY`, and unique column names.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self, ProrpError> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(ProrpError::Sql(format!("table {name} has no columns")));
+        }
+        let pk_cols: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.primary_key)
+            .map(|(i, _)| i)
+            .collect();
+        if pk_cols.len() != 1 {
+            return Err(ProrpError::Sql(format!(
+                "table {name} must declare exactly one PRIMARY KEY column, found {}",
+                pk_cols.len()
+            )));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(ProrpError::Sql(format!(
+                    "table {name} declares column {} twice",
+                    c.name
+                )));
+            }
+        }
+        Ok(Table {
+            name,
+            columns,
+            pk_index: pk_cols[0],
+            rows: BTree::new(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of the clustered primary-key column.
+    pub fn pk_index(&self) -> usize {
+        self.pk_index
+    }
+
+    /// Name of the clustered primary-key column.
+    pub fn pk_name(&self) -> &str {
+        &self.columns[self.pk_index].name
+    }
+
+    /// Position of `column` in the schema.
+    pub fn column_index(&self, column: &str) -> Result<usize, ProrpError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == column)
+            .ok_or_else(|| {
+                ProrpError::Sql(format!(
+                    "unknown column {column} in table {}",
+                    self.name
+                ))
+            })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a full row (values in schema order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProrpError::Sql`] on arity mismatch and
+    /// [`ProrpError::Storage`] on a duplicate primary key.
+    pub fn insert_row(&mut self, row: Vec<i64>) -> Result<(), ProrpError> {
+        if row.len() != self.columns.len() {
+            return Err(ProrpError::Sql(format!(
+                "row arity {} does not match schema arity {} of table {}",
+                row.len(),
+                self.columns.len(),
+                self.name
+            )));
+        }
+        let key = row[self.pk_index];
+        self.rows.insert(key, row)
+    }
+
+    /// Scan rows whose primary key falls in `[lo, hi]` bounds, ascending.
+    pub fn scan(
+        &self,
+        lo: Bound<i64>,
+        hi: Bound<i64>,
+    ) -> impl Iterator<Item = &Vec<i64>> + '_ {
+        self.rows.range(lo, hi).map(|(_, row)| row)
+    }
+
+    /// Delete the row with primary key `key`; returns whether it existed.
+    pub fn delete_key(&mut self, key: i64) -> bool {
+        self.rows.remove(key).is_some()
+    }
+
+    /// Overwrite one non-key cell of the row with primary key `key`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects updates to the clustered key (a keyed update is a
+    /// delete + insert in this engine, as in most storage engines) and
+    /// unknown keys.
+    pub fn update_cell(&mut self, key: i64, column: usize, value: i64) -> Result<(), ProrpError> {
+        if column == self.pk_index {
+            return Err(ProrpError::Sql(format!(
+                "updating the clustered key of table {} is not supported",
+                self.name
+            )));
+        }
+        match self.rows.get_mut(key) {
+            Some(row) => {
+                row[column] = value;
+                Ok(())
+            }
+            None => Err(ProrpError::Sql(format!(
+                "no row with key {key} in table {}",
+                self.name
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnType;
+
+    fn history_schema() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef {
+                name: "time_snapshot".into(),
+                ty: ColumnType::BigInt,
+                primary_key: true,
+            },
+            ColumnDef {
+                name: "event_type".into(),
+                ty: ColumnType::Int,
+                primary_key: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(Table::new("t", vec![]).is_err());
+        let no_pk = vec![ColumnDef {
+            name: "a".into(),
+            ty: ColumnType::Int,
+            primary_key: false,
+        }];
+        assert!(Table::new("t", no_pk).is_err());
+        let dup = vec![
+            ColumnDef {
+                name: "a".into(),
+                ty: ColumnType::Int,
+                primary_key: true,
+            },
+            ColumnDef {
+                name: "a".into(),
+                ty: ColumnType::Int,
+                primary_key: false,
+            },
+        ];
+        assert!(Table::new("t", dup).is_err());
+        assert!(Table::new("t", history_schema()).is_ok());
+    }
+
+    #[test]
+    fn insert_scan_delete_roundtrip() {
+        let mut t = Table::new("h", history_schema()).unwrap();
+        t.insert_row(vec![30, 0]).unwrap();
+        t.insert_row(vec![10, 1]).unwrap();
+        t.insert_row(vec![20, 0]).unwrap();
+        assert_eq!(t.len(), 3);
+        // Duplicate PK rejected.
+        assert!(t.insert_row(vec![10, 1]).is_err());
+        // Arity checked.
+        assert!(t.insert_row(vec![40]).is_err());
+        let keys: Vec<i64> = t
+            .scan(Bound::Included(10), Bound::Included(25))
+            .map(|r| r[0])
+            .collect();
+        assert_eq!(keys, vec![10, 20]);
+        assert!(t.delete_key(20));
+        assert!(!t.delete_key(20));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = Table::new("h", history_schema()).unwrap();
+        assert_eq!(t.column_index("event_type").unwrap(), 1);
+        assert!(t.column_index("nope").is_err());
+        assert_eq!(t.pk_name(), "time_snapshot");
+        assert_eq!(t.pk_index(), 0);
+    }
+}

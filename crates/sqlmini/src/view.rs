@@ -1,0 +1,169 @@
+//! The customer-facing materialized view of the history table.
+//!
+//! §5: "We will publish a materialized view over this history to the
+//! customers.  To this end, we convert both columns to human-readable
+//! format, i.e., epoch time is converted to date time, while event type
+//! is converted to string.  The customers will have read access to this
+//! table but no write access."
+//!
+//! [`CustomerView`] renders exactly that: read-only rows of
+//! `(UTC datetime string, "activity started" / "activity ended")`.
+//! Epoch-to-civil conversion uses the standard days-from-civil inverse
+//! (Howard Hinnant's algorithm), valid across the whole `i64` second
+//! range we use.
+
+use crate::exec::Params;
+use crate::procedures::{HistoryDb, HISTORY_TABLE};
+use prorp_types::ProrpError;
+
+/// Convert a day count since 1970-01-01 to `(year, month, day)`.
+///
+/// Hinnant's `civil_from_days`, proleptic Gregorian calendar.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Render an epoch-second timestamp as `YYYY-MM-DD HH:MM:SS` (UTC).
+pub fn format_epoch(epoch_secs: i64) -> String {
+    let days = epoch_secs.div_euclid(86_400);
+    let sod = epoch_secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}",
+        sod / 3_600,
+        (sod % 3_600) / 60,
+        sod % 60
+    )
+}
+
+/// One row of the customer view.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViewRow {
+    /// Human-readable UTC datetime.
+    pub datetime: String,
+    /// `"activity started"` or `"activity ended"`.
+    pub event: &'static str,
+}
+
+/// A read-only snapshot of the history in customer-readable form.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CustomerView {
+    /// Rows in timestamp order.
+    pub rows: Vec<ViewRow>,
+}
+
+impl CustomerView {
+    /// Materialise the view from the history database (read-only: the
+    /// underlying table is not modified).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SQL execution failures.
+    pub fn materialize(db: &mut HistoryDb) -> Result<Self, ProrpError> {
+        let rs = db
+            .database_mut()
+            .run(
+                &format!(
+                    "SELECT time_snapshot, event_type FROM {HISTORY_TABLE}
+                     ORDER BY time_snapshot ASC"
+                ),
+                &Params::new(),
+            )?
+            .result
+            .expect("SELECT returns rows");
+        let rows = rs
+            .rows
+            .iter()
+            .map(|row| {
+                let ts = row[0].ok_or_else(|| {
+                    ProrpError::Sql("time_snapshot is non-nullable".into())
+                })?;
+                let event = match row[1] {
+                    Some(1) => "activity started",
+                    Some(0) => "activity ended",
+                    other => {
+                        return Err(ProrpError::Sql(format!(
+                            "unexpected event_type {other:?}"
+                        )))
+                    }
+                };
+                Ok(ViewRow {
+                    datetime: format_epoch(ts),
+                    event,
+                })
+            })
+            .collect::<Result<Vec<_>, ProrpError>>()?;
+        Ok(CustomerView { rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_conversion_hits_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(1), (1970, 1, 2));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29)); // leap day
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // 2023-09-01, the paper's first evaluation day.
+        assert_eq!(civil_from_days(19_601), (2023, 9, 1));
+    }
+
+    #[test]
+    fn civil_conversion_roundtrips_against_days_from_civil() {
+        // Inverse check via Hinnant's days_from_civil.
+        fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+            let y = if m <= 2 { y - 1 } else { y };
+            let era = y.div_euclid(400);
+            let yoe = y.rem_euclid(400);
+            let mp = i64::from((m + 9) % 12);
+            let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+            let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+            era * 146_097 + doe - 719_468
+        }
+        for z in (-1_000_000..1_000_000).step_by(9_973) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "day {z}");
+        }
+    }
+
+    #[test]
+    fn format_epoch_is_iso_like() {
+        assert_eq!(format_epoch(0), "1970-01-01 00:00:00");
+        assert_eq!(format_epoch(1_693_554_896), "2023-09-01 07:54:56");
+        assert_eq!(format_epoch(-1), "1969-12-31 23:59:59");
+    }
+
+    #[test]
+    fn customer_view_renders_the_history() {
+        let mut db = HistoryDb::new();
+        db.insert_history(1_693_551_600, 1).unwrap(); // 2023-09-01 07:00
+        db.insert_history(1_693_555_200, 0).unwrap(); // 2023-09-01 08:00
+        let view = CustomerView::materialize(&mut db).unwrap();
+        assert_eq!(view.rows.len(), 2);
+        assert_eq!(view.rows[0].datetime, "2023-09-01 07:00:00");
+        assert_eq!(view.rows[0].event, "activity started");
+        assert_eq!(view.rows[1].event, "activity ended");
+        // Read-only: the table is untouched.
+        assert_eq!(db.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_history_yields_an_empty_view() {
+        let mut db = HistoryDb::new();
+        let view = CustomerView::materialize(&mut db).unwrap();
+        assert!(view.rows.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Model-based testing of the SQL engine: a random statement stream runs
+//! against both the engine and a naive `Vec<(i64, i64)>` model; every
+//! query result, affected-row count, and duplicate-key outcome must
+//! agree.  This pins the planner's range extraction (the part with the
+//! most edge cases — mixed inclusive/exclusive bounds, contradictions,
+//! parameter binding) to an implementation too simple to be wrong.
+
+use proptest::prelude::*;
+use prorp_sqlmini::{Database, Params};
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Insert { k: i64, v: i64 },
+    Delete { lo: i64, hi: i64 },
+    Update { lo: i64, hi: i64, v: i64 },
+    CountRange { lo: i64, hi: i64 },
+    MinMaxWhereV { v: i64 },
+    SelectLimit { desc: bool, limit: usize },
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let key = -100i64..100;
+    let val = 0i64..4;
+    prop_oneof![
+        4 => (key.clone(), val.clone()).prop_map(|(k, v)| Stmt::Insert { k, v }),
+        1 => (key.clone(), 0i64..60).prop_map(|(lo, w)| Stmt::Delete { lo, hi: lo + w }),
+        1 => (key.clone(), 0i64..60, val.clone())
+            .prop_map(|(lo, w, v)| Stmt::Update { lo, hi: lo + w, v }),
+        2 => (key.clone(), 0i64..120).prop_map(|(lo, w)| Stmt::CountRange { lo, hi: lo + w }),
+        2 => val.prop_map(|v| Stmt::MinMaxWhereV { v }),
+        1 => (any::<bool>(), 0usize..10).prop_map(|(desc, limit)| Stmt::SelectLimit { desc, limit }),
+    ]
+}
+
+/// The trivially-correct model: a sorted association list.
+#[derive(Default)]
+struct Model {
+    rows: Vec<(i64, i64)>,
+}
+
+impl Model {
+    fn insert(&mut self, k: i64, v: i64) -> bool {
+        match self.rows.binary_search_by_key(&k, |(k, _)| *k) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.rows.insert(pos, (k, v));
+                true
+            }
+        }
+    }
+
+    fn in_range(&self, lo: i64, hi: i64) -> Vec<(i64, i64)> {
+        self.rows
+            .iter()
+            .copied()
+            .filter(|(k, _)| lo <= *k && *k <= hi)
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engine_matches_the_model(stmts in prop::collection::vec(stmt_strategy(), 1..120)) {
+        let mut db = Database::new();
+        db.run(
+            "CREATE TABLE t (k BIGINT PRIMARY KEY, v INT)",
+            &Params::new(),
+        )
+        .unwrap();
+        let mut model = Model::default();
+
+        for stmt in stmts {
+            match stmt {
+                Stmt::Insert { k, v } => {
+                    let mut p = Params::new();
+                    p.bind("k", k).bind("v", v);
+                    let result = db.run("INSERT INTO t (k, v) VALUES (@k, @v)", &p);
+                    let model_ok = model.insert(k, v);
+                    prop_assert_eq!(result.is_ok(), model_ok, "insert {}", k);
+                }
+                Stmt::Delete { lo, hi } => {
+                    let mut p = Params::new();
+                    p.bind("lo", lo).bind("hi", hi);
+                    let out = db
+                        .run("DELETE FROM t WHERE k >= @lo AND k <= @hi", &p)
+                        .unwrap();
+                    let doomed = model.in_range(lo, hi);
+                    prop_assert_eq!(out.rows_affected, doomed.len());
+                    model.rows.retain(|(k, _)| !(lo <= *k && *k <= hi));
+                }
+                Stmt::Update { lo, hi, v } => {
+                    let mut p = Params::new();
+                    p.bind("lo", lo).bind("hi", hi).bind("v", v);
+                    let out = db
+                        .run("UPDATE t SET v = @v WHERE k >= @lo AND k <= @hi", &p)
+                        .unwrap();
+                    let mut touched = 0;
+                    for (k, val) in model.rows.iter_mut() {
+                        if lo <= *k && *k <= hi {
+                            *val = v;
+                            touched += 1;
+                        }
+                    }
+                    prop_assert_eq!(out.rows_affected, touched);
+                }
+                Stmt::CountRange { lo, hi } => {
+                    let mut p = Params::new();
+                    p.bind("lo", lo).bind("hi", hi);
+                    let got = db
+                        .run("SELECT COUNT(*) FROM t WHERE k >= @lo AND k <= @hi", &p)
+                        .unwrap()
+                        .result
+                        .unwrap()
+                        .scalar()
+                        .unwrap()
+                        .unwrap_or(0);
+                    prop_assert_eq!(got as usize, model.in_range(lo, hi).len());
+                }
+                Stmt::MinMaxWhereV { v } => {
+                    let mut p = Params::new();
+                    p.bind("v", v);
+                    let rs = db
+                        .run("SELECT MIN(k), MAX(k) FROM t WHERE v = @v", &p)
+                        .unwrap()
+                        .result
+                        .unwrap();
+                    let matching: Vec<i64> = model
+                        .rows
+                        .iter()
+                        .filter(|(_, val)| *val == v)
+                        .map(|(k, _)| *k)
+                        .collect();
+                    prop_assert_eq!(rs.rows[0][0], matching.first().copied());
+                    prop_assert_eq!(rs.rows[0][1], matching.last().copied());
+                }
+                Stmt::SelectLimit { desc, limit } => {
+                    let sql = if desc {
+                        format!("SELECT k FROM t ORDER BY k DESC LIMIT {limit}")
+                    } else {
+                        format!("SELECT k FROM t ORDER BY k ASC LIMIT {limit}")
+                    };
+                    let rs = db.run(&sql, &Params::new()).unwrap().result.unwrap();
+                    let got: Vec<i64> = rs.rows.iter().map(|r| r[0].unwrap()).collect();
+                    let mut expected: Vec<i64> = model.rows.iter().map(|(k, _)| *k).collect();
+                    if desc {
+                        expected.reverse();
+                    }
+                    expected.truncate(limit);
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        // Final full-table agreement.
+        let rs = db
+            .run("SELECT k, v FROM t", &Params::new())
+            .unwrap()
+            .result
+            .unwrap();
+        let got: Vec<(i64, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].unwrap(), r[1].unwrap()))
+            .collect();
+        prop_assert_eq!(got, model.rows);
+    }
+}

@@ -1,0 +1,334 @@
+//! The per-database activity history table — `sys.pause_resume_history`.
+//!
+//! Schema (§5): `time_snapshot BIGINT` (unique, clustered B-tree index) and
+//! `event_type INT` (1 = start of activity, 0 = end).  The two maintenance
+//! procedures are transliterated here:
+//!
+//! * [`HistoryTable::insert_history`] — Algorithm 2: insert-if-not-exists;
+//! * [`HistoryTable::delete_old_history`] — Algorithm 3: trim to the last
+//!   `h` time units while *keeping the oldest tuple* so the database's
+//!   lifespan remains computable, and report whether the database is "old"
+//!   (existed for at least `h`).
+//!
+//! The prediction procedure's range aggregation (Algorithm 4 lines 19–24:
+//! `MIN`/`MAX` of login timestamps within a window) is served by
+//! [`HistoryTable::first_last_login_in`].
+
+use crate::btree::BTree;
+use crate::page::{self, Record};
+use prorp_types::{ActivityEvent, EventKind, Seconds, Timestamp};
+use std::ops::Bound;
+
+/// Result of one [`HistoryTable::delete_old_history`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeleteOutcome {
+    /// Whether the database existed before the start of recent history —
+    /// the `@old` output parameter of Algorithm 3 that gates reliable
+    /// prediction in Algorithm 1 (lines 10, 19, 26).
+    pub old: bool,
+    /// Number of tuples permanently deleted.
+    pub deleted: usize,
+}
+
+/// Storage-overhead figures for one history table (Figure 10a–b).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StorageStats {
+    /// Number of tuples currently stored.
+    pub tuples: usize,
+    /// Logical size: tuples × 16 bytes (two 64-bit integers, §9.3).
+    pub logical_bytes: usize,
+    /// Physical size when serialised to 8-KiB slotted pages.
+    pub page_bytes: usize,
+    /// Number of pages the table serialises to.
+    pub pages: usize,
+    /// Depth of the clustered index.
+    pub index_depth: usize,
+}
+
+/// The `sys.pause_resume_history` table of one database.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryTable {
+    index: BTree<i64>,
+}
+
+impl HistoryTable {
+    /// An empty history.
+    pub fn new() -> Self {
+        HistoryTable::default()
+    }
+
+    /// Algorithm 2 — `sys.InsertHistory(@time, @type)`.
+    ///
+    /// Inserts the event unless a tuple with the same `time_snapshot`
+    /// already exists (the `IF NOT EXISTS` guard).  Returns `true` when a
+    /// tuple was inserted.  `O(log n)` via the clustered index.
+    pub fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
+        if self.index.contains_key(ts.as_secs()) {
+            return false;
+        }
+        self.index
+            .insert(ts.as_secs(), i64::from(kind.as_i32()))
+            .expect("contains_key checked; insert cannot collide");
+        true
+    }
+
+    /// Convenience wrapper over [`insert_history`](Self::insert_history)
+    /// for an [`ActivityEvent`].
+    pub fn insert_event(&mut self, ev: ActivityEvent) -> bool {
+        self.insert_history(ev.ts, ev.kind)
+    }
+
+    /// Algorithm 3 — `sys.DeleteOldHistory(@h, @now, @old OUTPUT)`.
+    ///
+    /// Computes `historyStart = now − h`.  If the oldest tuple predates it,
+    /// the database is old and every tuple strictly between the oldest
+    /// tuple and `historyStart` is deleted (the oldest tuple itself is kept
+    /// to preserve the lifespan).  Otherwise the database is new and
+    /// nothing is deleted.
+    pub fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
+        let history_start = (now - h).as_secs();
+        let Some((min_ts, _)) = self.index.min_entry() else {
+            return DeleteOutcome {
+                old: false,
+                deleted: 0,
+            };
+        };
+        if min_ts < history_start {
+            let deleted = self.index.delete_exclusive_range(min_ts, history_start);
+            DeleteOutcome { old: true, deleted }
+        } else {
+            DeleteOutcome {
+                old: false,
+                deleted: 0,
+            }
+        }
+    }
+
+    /// `SELECT MIN(time_snapshot), MAX(time_snapshot) WHERE event_type = 1
+    /// AND lo <= time_snapshot AND time_snapshot <= hi`
+    /// (Algorithm 4 lines 19–24).
+    ///
+    /// Returns `None` when no login falls inside the closed window.
+    pub fn first_last_login_in(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp)> {
+        let mut first = None;
+        let mut last = None;
+        for (k, v) in self
+            .index
+            .range(Bound::Included(lo.as_secs()), Bound::Included(hi.as_secs()))
+        {
+            if *v == 1 {
+                if first.is_none() {
+                    first = Some(Timestamp(k));
+                }
+                last = Some(Timestamp(k));
+            }
+        }
+        first.zip(last)
+    }
+
+    /// Number of logins (`event_type = 1`) inside the closed window
+    /// `[lo, hi]` — used by the login-count confidence ablation.
+    pub fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
+        self.index
+            .range(Bound::Included(lo.as_secs()), Bound::Included(hi.as_secs()))
+            .filter(|(_, v)| **v == 1)
+            .count() as i64
+    }
+
+    /// Whether any event (login *or* logout) falls inside `[lo, hi]`.
+    pub fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
+        self.index
+            .range(Bound::Included(lo.as_secs()), Bound::Included(hi.as_secs()))
+            .next()
+            .is_some()
+    }
+
+    /// Oldest tuple's timestamp — the database's observable lifespan start.
+    pub fn min_timestamp(&self) -> Option<Timestamp> {
+        self.index.min_entry().map(|(k, _)| Timestamp(k))
+    }
+
+    /// Newest tuple's timestamp.
+    pub fn max_timestamp(&self) -> Option<Timestamp> {
+        self.index.max_entry().map(|(k, _)| Timestamp(k))
+    }
+
+    /// Number of tuples stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the history holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// All events in timestamp order — the materialised read-only view §5
+    /// plans to publish to customers.
+    pub fn events(&self) -> Vec<ActivityEvent> {
+        self.index
+            .iter()
+            .map(|(k, v)| ActivityEvent {
+                ts: Timestamp(k),
+                kind: if *v == 1 {
+                    EventKind::Start
+                } else {
+                    EventKind::End
+                },
+            })
+            .collect()
+    }
+
+    /// Events as page records, for backup serialisation.
+    pub(crate) fn records(&self) -> Vec<Record> {
+        self.index
+            .iter()
+            .map(|(k, v)| Record { key: k, value: *v })
+            .collect()
+    }
+
+    /// Rebuild from page records (backup restore path).  Backup streams
+    /// are written in key order, so the clustered index is bulk-loaded in
+    /// one `O(n)` bottom-up pass.
+    pub(crate) fn from_records(records: &[Record]) -> Result<Self, prorp_types::ProrpError> {
+        let pairs: Vec<(i64, i64)> = records.iter().map(|r| (r.key, r.value)).collect();
+        Ok(HistoryTable {
+            index: BTree::bulk_load(pairs)?,
+        })
+    }
+
+    /// Storage-overhead statistics (Figure 10a–b).
+    pub fn stats(&self) -> StorageStats {
+        let tuples = self.len();
+        let pages = page::pages_for(tuples);
+        StorageStats {
+            tuples,
+            logical_bytes: tuples * page::RECORD_SIZE,
+            page_bytes: pages * page::PAGE_SIZE,
+            pages,
+            index_depth: self.index.depth(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn insert_is_idempotent_per_timestamp() {
+        let mut h = HistoryTable::new();
+        assert!(h.insert_history(t(100), EventKind::Start));
+        assert!(!h.insert_history(t(100), EventKind::End));
+        assert_eq!(h.len(), 1);
+        // The original event type wins (IF NOT EXISTS semantics).
+        assert_eq!(h.events()[0].kind, EventKind::Start);
+    }
+
+    #[test]
+    fn delete_old_history_keeps_oldest_tuple() {
+        let mut h = HistoryTable::new();
+        // Events at days 0, 1, 2, ..., 40 (start events).
+        for d in 0..=40 {
+            h.insert_history(t(d * 86_400), EventKind::Start);
+        }
+        let now = t(40 * 86_400);
+        let outcome = h.delete_old_history(Seconds::days(28), now);
+        assert!(outcome.old);
+        // historyStart = day 12. Tuples strictly between day 0 and day 12
+        // are deleted: days 1..=11 → 11 tuples.
+        assert_eq!(outcome.deleted, 11);
+        assert_eq!(h.min_timestamp(), Some(t(0)), "oldest tuple preserved");
+        assert!(h.any_event_in(t(12 * 86_400), now));
+        assert!(!h.any_event_in(t(1), t(12 * 86_400 - 1)));
+    }
+
+    #[test]
+    fn young_database_is_not_old() {
+        let mut h = HistoryTable::new();
+        h.insert_history(t(1_000), EventKind::Start);
+        let outcome = h.delete_old_history(Seconds::days(28), t(2_000));
+        assert!(!outcome.old);
+        assert_eq!(outcome.deleted, 0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn delete_on_empty_history_is_noop() {
+        let mut h = HistoryTable::new();
+        let outcome = h.delete_old_history(Seconds::days(28), t(1_000_000));
+        assert_eq!(
+            outcome,
+            DeleteOutcome {
+                old: false,
+                deleted: 0
+            }
+        );
+    }
+
+    #[test]
+    fn boundary_tuple_at_history_start_survives() {
+        let mut h = HistoryTable::new();
+        let now = t(100_000);
+        let hist = Seconds(10_000);
+        let start = (now - hist).as_secs(); // 90_000
+        h.insert_history(t(50_000), EventKind::Start); // oldest, kept
+        h.insert_history(t(start), EventKind::Start); // exactly at boundary
+        h.insert_history(t(95_000), EventKind::End);
+        let outcome = h.delete_old_history(hist, now);
+        assert!(outcome.old);
+        assert_eq!(outcome.deleted, 0, "boundary tuple is not strictly inside");
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn first_last_login_filters_event_type() {
+        let mut h = HistoryTable::new();
+        h.insert_history(t(10), EventKind::End); // not a login
+        h.insert_history(t(20), EventKind::Start);
+        h.insert_history(t(30), EventKind::End);
+        h.insert_history(t(40), EventKind::Start);
+        h.insert_history(t(50), EventKind::End);
+        assert_eq!(h.first_last_login_in(t(0), t(100)), Some((t(20), t(40))));
+        assert_eq!(h.first_last_login_in(t(25), t(100)), Some((t(40), t(40))));
+        assert_eq!(h.first_last_login_in(t(41), t(100)), None);
+        // Closed bounds include both ends.
+        assert_eq!(h.first_last_login_in(t(20), t(20)), Some((t(20), t(20))));
+    }
+
+    #[test]
+    fn events_view_is_ordered_and_typed() {
+        let mut h = HistoryTable::new();
+        h.insert_history(t(30), EventKind::End);
+        h.insert_history(t(10), EventKind::Start);
+        let evs = h.events();
+        assert_eq!(
+            evs,
+            vec![ActivityEvent::start(t(10)), ActivityEvent::end(t(30))]
+        );
+    }
+
+    #[test]
+    fn stats_match_paper_arithmetic() {
+        let mut h = HistoryTable::new();
+        for i in 0..500 {
+            h.insert_history(t(i * 60), EventKind::Start);
+        }
+        let s = h.stats();
+        assert_eq!(s.tuples, 500);
+        // 500 tuples × 16 B = 8 000 B ≈ the "within 7 KB on average" of
+        // Figure 10b for ~450-tuple histories.
+        assert_eq!(s.logical_bytes, 8_000);
+        assert_eq!(s.pages, 2);
+        assert_eq!(s.page_bytes, 2 * page::PAGE_SIZE);
+        assert!(s.index_depth >= 1);
+    }
+}

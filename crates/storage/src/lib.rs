@@ -1,0 +1,42 @@
+//! Embedded storage engine for the per-database activity history.
+//!
+//! §5 of the paper persists each database's activity history in an internal
+//! table `sys.pause_resume_history(time_snapshot BIGINT, event_type INT)`
+//! with a **clustered B-tree index** on `time_snapshot`, and keeps the
+//! control-plane metadata (`sys.databases`) that the proactive resume
+//! operation scans (Algorithm 5).  This crate reproduces those substrates:
+//!
+//! * [`btree`] — an order-configurable B+Tree over `i64` keys giving the
+//!   `O(log n)` point operations and `O(log n + m)` range operations the
+//!   paper's complexity analysis assumes;
+//! * [`page`] — slotted 8-KiB pages (over [`bytes`]) used to serialise the
+//!   tree for backups and to account history size in bytes (Figure 10b);
+//! * [`history`] — the `sys.pause_resume_history` table with the exact
+//!   semantics of Algorithm 2 (`InsertHistory`) and Algorithm 3
+//!   (`DeleteOldHistory`), including the paper's "keep the oldest tuple to
+//!   determine lifespan" rule;
+//! * [`metadata`] — the `sys.databases` metadata store with a secondary
+//!   index on `start_of_pred_activity` so the Algorithm 5 scan is a range
+//!   lookup rather than a full scan;
+//! * [`backup`] — page-image backup and restore, exercised by the
+//!   load-balancing *database move* in the simulator (§3.3: "history must
+//!   move with it");
+//! * [`wal`] — a write-ahead log bridging the gap between backups: every
+//!   Algorithm 2/3 mutation is logged before it is applied, and crash
+//!   recovery replays the log tail over the last backup image.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backup;
+pub mod btree;
+pub mod history;
+pub mod metadata;
+pub mod page;
+pub mod wal;
+
+pub use backup::{backup_history, restore_history};
+pub use btree::BTree;
+pub use history::{DeleteOutcome, HistoryTable, StorageStats};
+pub use metadata::{DbMeta, MetadataStore};
+pub use wal::{DurableHistory, WalRecord, WriteAheadLog};

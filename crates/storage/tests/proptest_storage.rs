@@ -1,0 +1,250 @@
+//! Property-based tests for the storage substrate: the B+Tree is checked
+//! against `std::collections::BTreeMap` as a model, the page codec and the
+//! backup stream against identity round-trips, and Algorithm 3 against its
+//! specification.
+
+use proptest::prelude::*;
+use prorp_storage::page::{decode_page, encode_page, records_per_page, Record};
+use prorp_storage::wal::{DurableHistory, WriteAheadLog};
+use prorp_storage::{backup_history, restore_history, BTree, HistoryTable};
+use prorp_types::{EventKind, Seconds, Timestamp};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Operations the model test replays against both implementations.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    DeleteRange(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (-200i64..200).prop_map(Op::Insert),
+        2 => (-200i64..200).prop_map(Op::Remove),
+        1 => (-200i64..200, 0i64..100).prop_map(|(lo, w)| Op::DeleteRange(lo, lo + w)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn btree_matches_btreemap_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = BTree::with_order(4);
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    let tree_res = tree.insert(k, k);
+                    let existed = model.contains_key(&k);
+                    prop_assert_eq!(tree_res.is_err(), existed);
+                    model.entry(k).or_insert(k);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                Op::DeleteRange(lo, hi) => {
+                    // std's BTreeMap::range panics on equal excluded bounds;
+                    // our tree treats the empty exclusive range as a no-op.
+                    let expected: Vec<i64> = if lo < hi {
+                        model
+                            .range((Bound::Excluded(lo), Bound::Excluded(hi)))
+                            .map(|(k, _)| *k)
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let removed = tree.delete_exclusive_range(lo, hi);
+                    prop_assert_eq!(removed, expected.len());
+                    for k in expected {
+                        model.remove(&k);
+                    }
+                }
+            }
+            tree.check_invariants();
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        let tree_keys: Vec<i64> = tree.iter().map(|(k, _)| k).collect();
+        let model_keys: Vec<i64> = model.keys().copied().collect();
+        prop_assert_eq!(tree_keys, model_keys);
+        prop_assert_eq!(tree.min_entry().map(|(k, _)| k), model.keys().next().copied());
+        prop_assert_eq!(tree.max_entry().map(|(k, _)| k), model.keys().last().copied());
+    }
+
+    #[test]
+    fn btree_range_matches_model(
+        keys in prop::collection::btree_set(-500i64..500, 0..300),
+        lo in -600i64..600,
+        width in 0i64..400,
+    ) {
+        let mut tree = BTree::new();
+        for &k in &keys {
+            tree.insert(k, ()).unwrap();
+        }
+        let hi = lo + width;
+        let got: Vec<i64> = tree
+            .range(Bound::Included(lo), Bound::Included(hi))
+            .map(|(k, _)| k)
+            .collect();
+        let expected: Vec<i64> = keys.range(lo..=hi).copied().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn page_roundtrip_is_identity(
+        entries in prop::collection::btree_map(
+            proptest::num::i64::ANY,
+            0i64..2,
+            0..records_per_page(),
+        )
+    ) {
+        let records: Vec<Record> = entries
+            .iter()
+            .map(|(k, v)| Record { key: *k, value: *v })
+            .collect();
+        let page = encode_page(&records).unwrap();
+        prop_assert_eq!(decode_page(&page).unwrap(), records);
+    }
+
+    #[test]
+    fn backup_roundtrip_preserves_history(
+        stamps in prop::collection::btree_set(0i64..1_000_000, 0..1_200)
+    ) {
+        let mut table = HistoryTable::new();
+        for (i, ts) in stamps.iter().enumerate() {
+            let kind = if i % 2 == 0 { EventKind::Start } else { EventKind::End };
+            assert!(table.insert_history(Timestamp(*ts), kind));
+        }
+        let stream = backup_history(&table).unwrap();
+        let restored = restore_history(&stream).unwrap();
+        prop_assert_eq!(restored.events(), table.events());
+    }
+
+    #[test]
+    fn delete_old_history_spec(
+        stamps in prop::collection::btree_set(0i64..2_000_000, 1..300),
+        h in 1i64..1_000_000,
+        now in 0i64..3_000_000,
+    ) {
+        let mut table = HistoryTable::new();
+        for ts in &stamps {
+            table.insert_history(Timestamp(*ts), EventKind::Start);
+        }
+        let min = *stamps.iter().next().unwrap();
+        let history_start = now - h;
+        let outcome = table.delete_old_history(Seconds(h), Timestamp(now));
+
+        // Spec: old iff the minimum predates history start.
+        prop_assert_eq!(outcome.old, min < history_start);
+        // The oldest tuple always survives.
+        prop_assert_eq!(table.min_timestamp(), Some(Timestamp(min)));
+        // Exactly the tuples strictly inside (min, history_start) die.
+        let expected_dead = stamps
+            .iter()
+            .filter(|&&ts| min < ts && ts < history_start)
+            .count();
+        prop_assert_eq!(outcome.deleted, expected_dead);
+        prop_assert_eq!(table.len(), stamps.len() - expected_dead);
+    }
+
+    #[test]
+    fn first_last_login_matches_filtered_scan(
+        events in prop::collection::btree_map(0i64..10_000, 0i64..2, 0..200),
+        lo in 0i64..10_000,
+        width in 0i64..5_000,
+    ) {
+        let mut table = HistoryTable::new();
+        for (ts, kind) in &events {
+            let kind = EventKind::from_i32(*kind as i32).unwrap();
+            table.insert_history(Timestamp(*ts), kind);
+        }
+        let hi = lo + width;
+        let logins: Vec<i64> = events
+            .iter()
+            .filter(|(ts, v)| **v == 1 && lo <= **ts && **ts <= hi)
+            .map(|(ts, _)| *ts)
+            .collect();
+        let expected = match (logins.first(), logins.last()) {
+            (Some(f), Some(l)) => Some((Timestamp(*f), Timestamp(*l))),
+            _ => None,
+        };
+        prop_assert_eq!(table.first_last_login_in(Timestamp(lo), Timestamp(hi)), expected);
+    }
+}
+
+/// WAL mutations the crash-recovery property replays.
+#[derive(Clone, Debug)]
+enum WalOp {
+    Insert(i64, bool),
+    Trim { h: i64, now: i64 },
+}
+
+fn wal_op_strategy() -> impl Strategy<Value = WalOp> {
+    prop_oneof![
+        5 => (0i64..1_000_000, any::<bool>()).prop_map(|(ts, s)| WalOp::Insert(ts, s)),
+        1 => (1i64..500_000, 0i64..1_500_000).prop_map(|(h, now)| WalOp::Trim { h, now }),
+    ]
+}
+
+proptest! {
+    /// Crash anywhere after a checkpoint: backup + WAL replay must
+    /// reproduce the live table exactly.
+    #[test]
+    fn wal_recovery_reproduces_the_live_table(
+        pre in prop::collection::vec(wal_op_strategy(), 0..40),
+        post in prop::collection::vec(wal_op_strategy(), 0..40),
+    ) {
+        let mut durable = DurableHistory::new();
+        let apply = |d: &mut DurableHistory, op: &WalOp| match op {
+            WalOp::Insert(ts, start) => {
+                let kind = if *start { EventKind::Start } else { EventKind::End };
+                d.insert_history(Timestamp(*ts), kind);
+            }
+            WalOp::Trim { h, now } => {
+                d.delete_old_history(Seconds(*h), Timestamp(*now));
+            }
+        };
+        for op in &pre {
+            apply(&mut durable, op);
+        }
+        let backup = durable.checkpoint().unwrap();
+        for op in &post {
+            apply(&mut durable, op);
+        }
+        let wal_image = durable.wal().as_bytes().to_vec();
+        let recovered = DurableHistory::recover(&backup, &wal_image).unwrap();
+        prop_assert_eq!(recovered.table().events(), durable.table().events());
+    }
+
+    /// A truncated WAL image recovers a consistent *prefix* of the
+    /// mutation stream (never an error, never an impossible state).
+    #[test]
+    fn torn_wal_recovers_a_prefix(
+        ops in prop::collection::vec(wal_op_strategy(), 1..30),
+        cut in 0usize..800,
+    ) {
+        let mut durable = DurableHistory::new();
+        let backup = durable.checkpoint().unwrap();
+        for op in &ops {
+            match op {
+                WalOp::Insert(ts, start) => {
+                    let kind = if *start { EventKind::Start } else { EventKind::End };
+                    durable.insert_history(Timestamp(*ts), kind);
+                }
+                WalOp::Trim { h, now } => {
+                    durable.delete_old_history(Seconds(*h), Timestamp(*now));
+                }
+            }
+        }
+        let image = durable.wal().as_bytes();
+        let cut = cut.min(image.len());
+        // Records are 26 bytes: compute how many full records survive.
+        let survivors = cut / 26;
+        let torn = &image[..cut];
+        let decoded = WriteAheadLog::decode(torn).unwrap();
+        prop_assert_eq!(decoded.len(), survivors);
+        // Recovery over the torn log never fails.
+        let recovered = DurableHistory::recover(&backup, torn).unwrap();
+        prop_assert!(recovered.table().len() <= durable.table().len().max(ops.len()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Five-number summaries for the workflow-frequency box plots
+//! (Figures 11 and 12).
+
+use std::fmt;
+
+/// Min / Q1 / median / Q3 / max over a sample of counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxPlot {
+    /// Sample size.
+    pub n: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl BoxPlot {
+    /// Compute the summary; returns `None` on an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let h = p * (sorted.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+            }
+        };
+        Some(BoxPlot {
+            n: sorted.len(),
+            min: sorted[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Convenience constructor from integer counts.
+    pub fn from_counts(counts: &[usize]) -> Option<Self> {
+        let samples: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::from_samples(&samples)
+    }
+}
+
+impl fmt::Display for BoxPlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min={:.0} q1={:.0} med={:.0} q3={:.0} max={:.0} (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_on_a_known_sample() {
+        let b = BoxPlot::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.n, 5);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.max, 5.0);
+    }
+
+    #[test]
+    fn interpolation_between_ranks() {
+        let b = BoxPlot::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(b.q1, 1.75);
+        assert_eq!(b.median, 2.5);
+        assert_eq!(b.q3, 3.25);
+    }
+
+    #[test]
+    fn single_sample_collapses() {
+        let b = BoxPlot::from_samples(&[7.0]).unwrap();
+        assert_eq!((b.min, b.q1, b.median, b.q3, b.max), (7.0, 7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(BoxPlot::from_samples(&[]).is_none());
+        assert!(BoxPlot::from_samples(&[f64::NAN]).is_none());
+        assert!(BoxPlot::from_counts(&[]).is_none());
+    }
+
+    #[test]
+    fn from_counts_and_display() {
+        let b = BoxPlot::from_counts(&[10, 20, 30]).unwrap();
+        assert_eq!(b.median, 20.0);
+        let s = b.to_string();
+        assert!(s.contains("med=20"), "{s}");
+        assert!(s.contains("n=3"), "{s}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Empirical CDFs and percentiles (the Figure 10 presentation).
+
+use std::fmt::Write as _;
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| !v.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `p`-quantile (nearest-rank), `p` in `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Render the standard percentile row used by the experiment
+    /// binaries: p50 / p90 / p99 / max, with a unit suffix.
+    pub fn summary_row(&self, unit: &str) -> String {
+        let mut out = String::new();
+        match (
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max(),
+            self.mean(),
+        ) {
+            (Some(p50), Some(p90), Some(p99), Some(max), Some(mean)) => {
+                let _ = write!(
+                    out,
+                    "mean={mean:.2}{unit} p50={p50:.2}{unit} p90={p90:.2}{unit} p99={p99:.2}{unit} max={max:.2}{unit} (n={})",
+                    self.len()
+                );
+            }
+            _ => out.push_str("(no samples)"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_a_known_distribution() {
+        let cdf = Cdf::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(cdf.len(), 100);
+        assert_eq!(cdf.percentile(0.50), Some(50.0));
+        assert_eq!(cdf.percentile(0.90), Some(90.0));
+        assert_eq!(cdf.percentile(0.99), Some(99.0));
+        assert_eq!(cdf.percentile(1.0), Some(100.0));
+        assert_eq!(cdf.percentile(0.0), Some(1.0)); // clamped to first rank
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(100.0));
+        assert_eq!(cdf.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn cdf_at_matches_definition() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.cdf_at(0.5), 0.0);
+        assert_eq!(cdf.cdf_at(1.0), 0.25);
+        assert_eq!(cdf.cdf_at(2.0), 0.75);
+        assert_eq!(cdf.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_and_nans_are_handled() {
+        let cdf = Cdf::from_samples(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_graceful() {
+        let cdf = Cdf::from_samples(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.percentile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+        assert_eq!(cdf.cdf_at(1.0), 0.0);
+        assert_eq!(cdf.summary_row("ms"), "(no samples)");
+    }
+
+    #[test]
+    fn summary_row_contains_all_quantiles() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0]);
+        let row = cdf.summary_row("ms");
+        for needle in ["mean=", "p50=", "p90=", "p99=", "max=", "n=3"] {
+            assert!(row.contains(needle), "{row}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The append-only telemetry event log.
+//!
+//! §8: "Customer activity and resource allocation decisions are persisted
+//! long-term for offline evaluation of KPI metrics" — in production via
+//! the Cosmos big-data platform, here an in-memory append-only log with
+//! retention trimming that the offline training pipeline reads.
+
+use prorp_types::{DatabaseId, Seconds, Timestamp};
+use std::collections::HashMap;
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TelemetryKind {
+    /// First login after an idle interval; `available` records whether
+    /// resources were already allocated.
+    Login {
+        /// Resources were available at login time.
+        available: bool,
+    },
+    /// The database entered a logical pause.
+    LogicalPause,
+    /// The database was physically paused (reclamation workflow).
+    PhysicalPause,
+    /// The control plane pre-warmed the database (Algorithm 5).
+    ProactiveResume,
+    /// The predictor failed and the reactive fallback engaged.
+    ForecastFailure,
+    /// The database was moved to another node for load balancing.
+    Move,
+    /// A system maintenance job ran; `forced` records whether it needed a
+    /// maintenance-only resume (§11 future work 4 exists to avoid these).
+    Maintenance {
+        /// The database had to be resumed just for the job.
+        forced: bool,
+    },
+}
+
+impl TelemetryKind {
+    /// Stable label for aggregation keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            TelemetryKind::Login { available: true } => "login-available",
+            TelemetryKind::Login { available: false } => "login-unavailable",
+            TelemetryKind::LogicalPause => "logical-pause",
+            TelemetryKind::PhysicalPause => "physical-pause",
+            TelemetryKind::ProactiveResume => "proactive-resume",
+            TelemetryKind::ForecastFailure => "forecast-failure",
+            TelemetryKind::Move => "move",
+            TelemetryKind::Maintenance { forced: true } => "maintenance-forced",
+            TelemetryKind::Maintenance { forced: false } => "maintenance-piggybacked",
+        }
+    }
+}
+
+/// One telemetry record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TelemetryEvent {
+    /// When it happened.
+    pub ts: Timestamp,
+    /// Which database.
+    pub db: DatabaseId,
+    /// What happened.
+    pub kind: TelemetryKind,
+}
+
+/// An append-only, time-ordered event log.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryLog {
+    events: Vec<TelemetryEvent>,
+}
+
+impl TelemetryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TelemetryLog::default()
+    }
+
+    /// Append one event.  Events must arrive in non-decreasing timestamp
+    /// order (the simulator guarantees this).
+    pub fn record(&mut self, ts: Timestamp, db: DatabaseId, kind: TelemetryKind) {
+        debug_assert!(
+            self.events.last().map_or(true, |e| e.ts <= ts),
+            "telemetry must be appended in time order"
+        );
+        self.events.push(TelemetryEvent { ts, db, kind });
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events (time-ordered).
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Events within `[from, to)`.
+    pub fn range(&self, from: Timestamp, to: Timestamp) -> &[TelemetryEvent] {
+        let lo = self.events.partition_point(|e| e.ts < from);
+        let hi = self.events.partition_point(|e| e.ts < to);
+        &self.events[lo..hi]
+    }
+
+    /// Count events per kind label.
+    pub fn counts(&self) -> HashMap<&'static str, usize> {
+        let mut out = HashMap::new();
+        for e in &self.events {
+            *out.entry(e.kind.label()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Count events of one kind per fixed-width time bin — the input to
+    /// the Figure 11/12 box plots (workflows per scan interval).
+    pub fn counts_per_bin(
+        &self,
+        kind: TelemetryKind,
+        from: Timestamp,
+        to: Timestamp,
+        bin: Seconds,
+    ) -> Vec<usize> {
+        assert!(bin.as_secs() > 0, "bin width must be positive");
+        let span = (to - from).as_secs().max(0);
+        let bins = (span as usize).div_ceil(bin.as_secs() as usize).max(1);
+        let mut out = vec![0usize; bins];
+        for e in self.range(from, to) {
+            if e.kind == kind {
+                let idx = ((e.ts - from).as_secs() / bin.as_secs()) as usize;
+                out[idx.min(bins - 1)] += 1;
+            }
+        }
+        out
+    }
+
+    /// Drop events older than `retain` before `now` (long-term storage
+    /// has finite retention; the training pipeline reads "several months"
+    /// of it).
+    pub fn trim(&mut self, now: Timestamp, retain: Seconds) {
+        let cutoff = now - retain;
+        let keep_from = self.events.partition_point(|e| e.ts < cutoff);
+        self.events.drain(..keep_from);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(id: u64) -> DatabaseId {
+        DatabaseId(id)
+    }
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut log = TelemetryLog::new();
+        log.record(t(1), db(1), TelemetryKind::Login { available: true });
+        log.record(t(2), db(1), TelemetryKind::LogicalPause);
+        log.record(t(3), db(2), TelemetryKind::Login { available: false });
+        log.record(t(4), db(2), TelemetryKind::PhysicalPause);
+        assert_eq!(log.len(), 4);
+        let counts = log.counts();
+        assert_eq!(counts["login-available"], 1);
+        assert_eq!(counts["login-unavailable"], 1);
+        assert_eq!(counts["physical-pause"], 1);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let mut log = TelemetryLog::new();
+        for i in 0..10 {
+            log.record(t(i * 10), db(0), TelemetryKind::LogicalPause);
+        }
+        let r = log.range(t(20), t(50));
+        assert_eq!(r.len(), 3); // 20, 30, 40
+        assert_eq!(r[0].ts, t(20));
+        assert_eq!(r.last().unwrap().ts, t(40));
+    }
+
+    #[test]
+    fn counts_per_bin_shapes_figure_11() {
+        let mut log = TelemetryLog::new();
+        // 3 proactive resumes in bin 0, 1 in bin 2.
+        for ts in [5, 20, 59] {
+            log.record(t(ts), db(0), TelemetryKind::ProactiveResume);
+        }
+        log.record(t(60), db(0), TelemetryKind::PhysicalPause); // other kind
+        log.record(t(130), db(0), TelemetryKind::ProactiveResume);
+        let bins = log.counts_per_bin(TelemetryKind::ProactiveResume, t(0), t(180), Seconds(60));
+        assert_eq!(bins, vec![3, 0, 1]);
+    }
+
+    #[test]
+    fn trim_enforces_retention() {
+        let mut log = TelemetryLog::new();
+        for i in 0..100 {
+            log.record(t(i), db(0), TelemetryKind::Move);
+        }
+        log.trim(t(99), Seconds(10));
+        assert_eq!(log.len(), 11); // 89..=99
+        assert_eq!(log.events()[0].ts, t(89));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_panics() {
+        let log = TelemetryLog::new();
+        let _ = log.counts_per_bin(TelemetryKind::Move, t(0), t(10), Seconds(0));
+    }
+}

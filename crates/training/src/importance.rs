@@ -1,0 +1,172 @@
+//! Knob-importance analysis — the paper's future-work item 2 (§11).
+//!
+//! "So far, we have manually selected the most impactful knobs to tune
+//! based on our domain knowledge.  However, knob selection can be
+//! automated, as defined by the state-of-the-art approaches in academia."
+//!
+//! This module computes each knob's *main effect* from a completed sweep:
+//! group the evaluated configurations by the knob's value, average the
+//! utility within each group, and report the spread between the best and
+//! worst group.  A knob whose settings barely move the mean utility can
+//! be dropped from the next grid (shrinking the sweep multiplicatively),
+//! which is precisely what §9.2 found by hand for the history length.
+
+use crate::sweep::SweepRow;
+use prorp_types::Seasonality;
+
+/// One knob's measured main effect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnobImportance {
+    /// Knob name (`"window"`, `"confidence"`, `"history_len"`,
+    /// `"seasonality"`).
+    pub knob: &'static str,
+    /// Spread between the best and worst per-value mean utility.
+    pub utility_range: f64,
+    /// Number of distinct values the sweep covered.
+    pub distinct_values: usize,
+}
+
+/// Group key extraction per knob.  Float knobs are keyed by bit pattern
+/// (sweeps use exact grid values, so this is safe).
+fn group_means(
+    rows: &[SweepRow],
+    idle_weight: f64,
+    key: impl Fn(&SweepRow) -> u64,
+) -> Vec<(u64, f64)> {
+    let mut acc: Vec<(u64, f64, usize)> = Vec::new();
+    for row in rows {
+        let k = key(row);
+        let u = row.kpi.utility(idle_weight);
+        match acc.iter_mut().find(|(g, _, _)| *g == k) {
+            Some((_, sum, n)) => {
+                *sum += u;
+                *n += 1;
+            }
+            None => acc.push((k, u, 1)),
+        }
+    }
+    acc.into_iter()
+        .map(|(k, sum, n)| (k, sum / n as f64))
+        .collect()
+}
+
+fn spread(means: &[(u64, f64)]) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, m) in means {
+        lo = lo.min(*m);
+        hi = hi.max(*m);
+    }
+    if means.is_empty() {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+/// Rank the four tuned knobs by main-effect utility spread, descending.
+///
+/// Knobs the sweep held constant report a zero range with one distinct
+/// value — candidates for removal from the next grid.
+pub fn rank_knobs(rows: &[SweepRow], idle_weight: f64) -> Vec<KnobImportance> {
+    let mut out = Vec::with_capacity(4);
+    let w = group_means(rows, idle_weight, |r| r.config.window.as_secs() as u64);
+    out.push(KnobImportance {
+        knob: "window",
+        utility_range: spread(&w),
+        distinct_values: w.len(),
+    });
+    let c = group_means(rows, idle_weight, |r| r.config.confidence.to_bits());
+    out.push(KnobImportance {
+        knob: "confidence",
+        utility_range: spread(&c),
+        distinct_values: c.len(),
+    });
+    let h = group_means(rows, idle_weight, |r| r.config.history_len.as_secs() as u64);
+    out.push(KnobImportance {
+        knob: "history_len",
+        utility_range: spread(&h),
+        distinct_values: h.len(),
+    });
+    let s = group_means(rows, idle_weight, |r| match r.config.seasonality {
+        Seasonality::Daily => 0,
+        Seasonality::Weekly => 1,
+    });
+    out.push(KnobImportance {
+        knob: "seasonality",
+        utility_range: spread(&s),
+        distinct_values: s.len(),
+    });
+    out.sort_by(|a, b| {
+        b.utility_range
+            .partial_cmp(&a.utility_range)
+            .expect("utilities are finite")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prorp_telemetry::KpiReport;
+    use prorp_types::{PolicyConfig, Seconds};
+
+    /// Synthetic sweep where confidence drives QoS strongly, the window
+    /// drives it weakly, and history length not at all.
+    fn synthetic_rows() -> Vec<SweepRow> {
+        let mut rows = Vec::new();
+        for &w_hours in &[1i64, 7] {
+            for &c in &[0.1, 0.8] {
+                for &h_days in &[14i64, 28] {
+                    let config = PolicyConfig {
+                        window: Seconds::hours(w_hours),
+                        confidence: c,
+                        history_len: Seconds::days(h_days),
+                        ..PolicyConfig::default()
+                    };
+                    let kpi = KpiReport {
+                        logins_available: if c < 0.5 { 90 } else { 50 }
+                            + if w_hours > 4 { 3 } else { 0 },
+                        logins_unavailable: 100,
+                        ..Default::default()
+                    };
+                    rows.push(SweepRow { config, kpi });
+                }
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn confidence_dominates_the_synthetic_sweep() {
+        let ranked = rank_knobs(&synthetic_rows(), 0.0);
+        assert_eq!(ranked[0].knob, "confidence");
+        assert!(ranked[0].utility_range > 10.0);
+        // History length has no effect at all.
+        let history = ranked.iter().find(|k| k.knob == "history_len").unwrap();
+        assert!(history.utility_range < 1e-9);
+        assert_eq!(history.distinct_values, 2);
+        // Seasonality was held constant: one group, zero spread.
+        let seasonality = ranked.iter().find(|k| k.knob == "seasonality").unwrap();
+        assert_eq!(seasonality.distinct_values, 1);
+        assert_eq!(seasonality.utility_range, 0.0);
+    }
+
+    #[test]
+    fn window_beats_history_but_loses_to_confidence() {
+        let ranked = rank_knobs(&synthetic_rows(), 0.0);
+        let pos = |name: &str| ranked.iter().position(|k| k.knob == name).unwrap();
+        assert!(pos("confidence") < pos("window"));
+        assert!(pos("window") < pos("history_len"));
+    }
+
+    #[test]
+    fn empty_sweep_is_harmless() {
+        let ranked = rank_knobs(&[], 0.5);
+        assert_eq!(ranked.len(), 4);
+        for k in ranked {
+            assert_eq!(k.utility_range, 0.0);
+            assert_eq!(k.distinct_values, 0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The offline training pipeline (§8).
+//!
+//! "To account for potential data drifts over time and prevent accuracy
+//! drops, we reset the values of these parameters if better configuration
+//! can be found. … The pipeline varies the parameters of activity
+//! prediction, computes the KPI metrics, and selects the configuration
+//! that finds the best middle ground between quality of service and
+//! operational cost efficiency."
+//!
+//! In production this runs on Azure ML over months of Cosmos telemetry,
+//! once per region per month.  Here the same pipeline runs in-process: a
+//! [`grid::ParameterGrid`] enumerates knob configurations, each is
+//! evaluated by simulating the fleet on a **training interval**, the
+//! best-utility configuration is selected, and its KPIs are confirmed on
+//! a held-out **test interval** (the Figure 7 style train/test split).
+//! Candidate evaluations are independent, so they fan out over a
+//! crossbeam-channel worker pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod importance;
+pub mod pipeline;
+pub mod sweep;
+
+pub use grid::ParameterGrid;
+pub use importance::{rank_knobs, KnobImportance};
+pub use pipeline::{TrainingOutcome, TrainingPipeline};
+pub use sweep::{sweep_proactive_configs, SweepRow};

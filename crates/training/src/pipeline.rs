@@ -1,0 +1,147 @@
+//! The end-to-end training pipeline: sweep → select → validate.
+
+use crate::grid::ParameterGrid;
+use crate::sweep::{sweep_proactive_configs, SweepRow};
+use prorp_sim::{SimConfig, SimPolicy, Simulation};
+use prorp_telemetry::KpiReport;
+use prorp_types::{PolicyConfig, ProrpError, Timestamp};
+use prorp_workload::Trace;
+
+/// Result of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct TrainingOutcome {
+    /// Every candidate with its training-interval KPIs.
+    pub evaluated: Vec<SweepRow>,
+    /// The selected configuration.
+    pub best: PolicyConfig,
+    /// The best candidate's training-interval KPIs.
+    pub train_kpi: KpiReport,
+    /// The selected configuration's KPIs on the held-out test interval.
+    pub test_kpi: KpiReport,
+}
+
+/// The §8 training pipeline.
+#[derive(Clone, Debug)]
+pub struct TrainingPipeline {
+    /// Simulation template: fleet layout, latencies, full time range.
+    pub sim_template: SimConfig,
+    /// Start of the held-out test interval; training measures KPIs on
+    /// `[sim_template.measure_from, test_from)` and testing on
+    /// `[test_from, sim_template.end)`.
+    pub test_from: Timestamp,
+    /// Idle-time weight in the selection utility
+    /// (`qos_pct − weight × idle_pct`); §9.2 "prioritizes quality of
+    /// service over operational costs", so the default is below 1.
+    pub idle_weight: f64,
+    /// Worker threads for the sweep.
+    pub workers: usize,
+}
+
+impl TrainingPipeline {
+    /// Run the pipeline: evaluate `grid` on the training interval, pick
+    /// the best-utility candidate, and validate it on the test interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid and simulation failures.
+    pub fn run(&self, grid: &ParameterGrid, traces: &[Trace]) -> Result<TrainingOutcome, ProrpError> {
+        if self.test_from <= self.sim_template.measure_from
+            || self.test_from >= self.sim_template.end
+        {
+            return Err(ProrpError::InvalidConfig(format!(
+                "test_from {:?} must split ({:?}, {:?})",
+                self.test_from, self.sim_template.measure_from, self.sim_template.end
+            )));
+        }
+        let configs = grid.configs()?;
+
+        // Training interval: measure on [measure_from, test_from).
+        let mut train_template = self.sim_template.clone();
+        train_template.end = self.test_from;
+        let evaluated =
+            sweep_proactive_configs(&train_template, traces, &configs, self.workers)?;
+
+        let best_row = evaluated
+            .iter()
+            .max_by(|a, b| {
+                a.kpi
+                    .utility(self.idle_weight)
+                    .partial_cmp(&b.kpi.utility(self.idle_weight))
+                    .expect("utilities are finite")
+            })
+            .expect("grid guaranteed non-empty");
+        let best = best_row.config;
+        let train_kpi = best_row.kpi;
+
+        // Test interval: measure on [test_from, end).
+        let mut test_config = self.sim_template.clone();
+        test_config.measure_from = self.test_from;
+        test_config.policy = SimPolicy::Proactive(best);
+        let test_kpi = Simulation::new(test_config, traces.to_vec())?.run()?.kpi;
+
+        Ok(TrainingOutcome {
+            evaluated,
+            best,
+            train_kpi,
+            test_kpi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prorp_types::Seconds;
+    use prorp_workload::{RegionName, RegionProfile};
+
+    fn pipeline() -> (TrainingPipeline, Vec<Trace>) {
+        let start = Timestamp(0);
+        let end = start + Seconds::days(36);
+        let measure = start + Seconds::days(28);
+        let test_from = start + Seconds::days(32);
+        let template = SimConfig::new(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            start,
+            end,
+            measure,
+        );
+        let traces =
+            RegionProfile::for_region(RegionName::Eu1).generate_fleet(15, start, end, 31);
+        (
+            TrainingPipeline {
+                sim_template: template,
+                test_from,
+                idle_weight: 0.5,
+                workers: 4,
+            },
+            traces,
+        )
+    }
+
+    #[test]
+    fn pipeline_selects_the_highest_utility_config() {
+        let (pipeline, traces) = pipeline();
+        let outcome = pipeline.run(&ParameterGrid::coarse(), &traces).unwrap();
+        assert_eq!(outcome.evaluated.len(), ParameterGrid::coarse().len());
+        let best_utility = outcome.train_kpi.utility(pipeline.idle_weight);
+        for row in &outcome.evaluated {
+            assert!(
+                row.kpi.utility(pipeline.idle_weight) <= best_utility + 1e-9,
+                "{:?} beats the selected config",
+                row.config
+            );
+        }
+        // The selected config performs sanely on the held-out interval.
+        assert!(outcome.test_kpi.qos_pct() >= 0.0);
+    }
+
+    #[test]
+    fn bad_test_split_is_rejected() {
+        let (mut pipeline, traces) = pipeline();
+        pipeline.test_from = pipeline.sim_template.measure_from;
+        assert!(pipeline.run(&ParameterGrid::coarse(), &traces).is_err());
+        let (mut pipeline, traces2) = self::pipeline();
+        pipeline.test_from = pipeline.sim_template.end;
+        assert!(pipeline.run(&ParameterGrid::coarse(), &traces2).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Configuration knobs of the proactive policy — Table 1 of the paper.
+//!
+//! | knob | meaning | paper default |
+//! |------|---------|---------------|
+//! | `l`  | duration of logical pause | 7 hours |
+//! | `h`  | history length | 28 days |
+//! | `p`  | prediction horizon | 1 day |
+//! | `c`  | confidence threshold | 0.1 |
+//! | `w`  | window size | 7 hours |
+//! | `s`  | window slide | 5 minutes |
+//! | `k`  | pre-warm time interval | 5 minutes |
+//!
+//! §3.1 mandates "no human in the loop": these knobs are retuned by the
+//! offline training pipeline (`prorp-training`), so the struct is cheap to
+//! copy, serialisable, and validated on construction.
+
+use crate::error::ProrpError;
+use crate::time::Seconds;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seasonality of the activity pattern Algorithm 4 searches for.
+///
+/// The paper's default is daily; §9.2 reports weekly seasonality achieves
+/// similar results, and the training pipeline tunes it (§8).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Seasonality {
+    /// Compare each candidate window against the same clock window on each
+    /// of the previous `h` days.
+    #[default]
+    Daily,
+    /// Compare against the same window on the same weekday of previous
+    /// weeks (so `h` days of history yield `h / 7` comparison windows).
+    Weekly,
+}
+
+impl Seasonality {
+    /// The period of the pattern.
+    #[inline]
+    pub const fn period(self) -> Seconds {
+        match self {
+            Seasonality::Daily => Seconds::days(1),
+            Seasonality::Weekly => Seconds::weeks(1),
+        }
+    }
+}
+
+impl fmt::Display for Seasonality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Seasonality::Daily => write!(f, "daily"),
+            Seasonality::Weekly => write!(f, "weekly"),
+        }
+    }
+}
+
+/// The full knob set of Table 1 plus the seasonality choice of §8.
+///
+/// # Examples
+///
+/// ```
+/// use prorp_types::{PolicyConfig, Seconds};
+///
+/// // Production defaults (Table 1) …
+/// let config = PolicyConfig::default();
+/// assert_eq!(config.logical_pause, Seconds::hours(7));
+/// assert_eq!(config.confidence, 0.1);
+///
+/// // … or tuned knobs, validated at build time.
+/// let tuned = PolicyConfig::builder()
+///     .window(Seconds::hours(2))
+///     .confidence(0.5)
+///     .build()
+///     .unwrap();
+/// assert_eq!(tuned.window_positions(), 265);
+/// assert!(PolicyConfig::builder().confidence(0.0).build().is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// `l` — duration of logical pause before resources may be physically
+    /// paused.
+    pub logical_pause: Seconds,
+    /// `h` — length of retained history used for prediction.
+    pub history_len: Seconds,
+    /// `p` — prediction horizon (how far ahead Algorithm 4 looks).
+    pub horizon: Seconds,
+    /// `c` — confidence threshold a window's activity probability must meet.
+    pub confidence: f64,
+    /// `w` — sliding window size.
+    pub window: Seconds,
+    /// `s` — window slide.
+    pub slide: Seconds,
+    /// `k` — pre-warm interval: resources are resumed `k` ahead of the
+    /// predicted activity start.
+    pub prewarm: Seconds,
+    /// Seasonality of the detected pattern.
+    pub seasonality: Seasonality,
+}
+
+impl Default for PolicyConfig {
+    /// The production defaults of Table 1.
+    fn default() -> Self {
+        PolicyConfig {
+            logical_pause: Seconds::hours(7),
+            history_len: Seconds::days(28),
+            horizon: Seconds::days(1),
+            confidence: 0.1,
+            window: Seconds::hours(7),
+            slide: Seconds::minutes(5),
+            prewarm: Seconds::minutes(5),
+            seasonality: Seasonality::Daily,
+        }
+    }
+}
+
+impl PolicyConfig {
+    /// Start building a config from the Table 1 defaults.
+    pub fn builder() -> PolicyConfigBuilder {
+        PolicyConfigBuilder {
+            config: PolicyConfig::default(),
+        }
+    }
+
+    /// Number of seasonal periods covered by the retained history — the
+    /// denominator of the window-activity probability (Algorithm 4 line 36).
+    #[inline]
+    pub fn periods_in_history(&self) -> i64 {
+        self.history_len.as_secs() / self.seasonality.period().as_secs()
+    }
+
+    /// Number of window positions the outer loop of Algorithm 4 evaluates:
+    /// one per slide until the window no longer fits in the horizon.
+    #[inline]
+    pub fn window_positions(&self) -> i64 {
+        let usable = self.horizon - self.window;
+        if usable.is_negative() {
+            0
+        } else {
+            usable.as_secs() / self.slide.as_secs() + 1
+        }
+    }
+
+    /// Validate knob ranges; returns `self` for chaining.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive durations, a confidence outside `(0, 1]`, a
+    /// window wider than the horizon, and a history shorter than one
+    /// seasonal period (which would make the probability denominator zero).
+    pub fn validate(&self) -> Result<&Self, ProrpError> {
+        fn positive(name: &str, v: Seconds) -> Result<(), ProrpError> {
+            if v.as_secs() <= 0 {
+                Err(ProrpError::InvalidConfig(format!(
+                    "{name} must be positive, got {v:?}"
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        positive("logical_pause (l)", self.logical_pause)?;
+        positive("history_len (h)", self.history_len)?;
+        positive("horizon (p)", self.horizon)?;
+        positive("window (w)", self.window)?;
+        positive("slide (s)", self.slide)?;
+        positive("prewarm (k)", self.prewarm)?;
+        if !(self.confidence > 0.0 && self.confidence <= 1.0) {
+            return Err(ProrpError::InvalidConfig(format!(
+                "confidence (c) must be in (0, 1], got {}",
+                self.confidence
+            )));
+        }
+        if self.window > self.horizon {
+            return Err(ProrpError::InvalidConfig(format!(
+                "window (w = {:?}) must not exceed the horizon (p = {:?})",
+                self.window, self.horizon
+            )));
+        }
+        if self.periods_in_history() < 1 {
+            return Err(ProrpError::InvalidConfig(format!(
+                "history ({:?}) must cover at least one {} period",
+                self.history_len, self.seasonality
+            )));
+        }
+        Ok(self)
+    }
+}
+
+/// Builder for [`PolicyConfig`]; starts from the Table 1 defaults and
+/// validates on [`build`](PolicyConfigBuilder::build).
+#[derive(Clone, Debug)]
+pub struct PolicyConfigBuilder {
+    config: PolicyConfig,
+}
+
+impl PolicyConfigBuilder {
+    /// Set `l`, the logical-pause duration.
+    pub fn logical_pause(mut self, v: Seconds) -> Self {
+        self.config.logical_pause = v;
+        self
+    }
+
+    /// Set `h`, the history length.
+    pub fn history_len(mut self, v: Seconds) -> Self {
+        self.config.history_len = v;
+        self
+    }
+
+    /// Set `p`, the prediction horizon.
+    pub fn horizon(mut self, v: Seconds) -> Self {
+        self.config.horizon = v;
+        self
+    }
+
+    /// Set `c`, the confidence threshold.
+    pub fn confidence(mut self, v: f64) -> Self {
+        self.config.confidence = v;
+        self
+    }
+
+    /// Set `w`, the window size.
+    pub fn window(mut self, v: Seconds) -> Self {
+        self.config.window = v;
+        self
+    }
+
+    /// Set `s`, the window slide.
+    pub fn slide(mut self, v: Seconds) -> Self {
+        self.config.slide = v;
+        self
+    }
+
+    /// Set `k`, the pre-warm interval.
+    pub fn prewarm(mut self, v: Seconds) -> Self {
+        self.config.prewarm = v;
+        self
+    }
+
+    /// Set the pattern seasonality.
+    pub fn seasonality(mut self, v: Seasonality) -> Self {
+        self.config.seasonality = v;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<PolicyConfig, ProrpError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let c = PolicyConfig::default();
+        assert_eq!(c.logical_pause, Seconds::hours(7));
+        assert_eq!(c.history_len, Seconds::days(28));
+        assert_eq!(c.horizon, Seconds::days(1));
+        assert_eq!(c.confidence, 0.1);
+        assert_eq!(c.window, Seconds::hours(7));
+        assert_eq!(c.slide, Seconds::minutes(5));
+        assert_eq!(c.prewarm, Seconds::minutes(5));
+        assert_eq!(c.seasonality, Seasonality::Daily);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn periods_in_history_depends_on_seasonality() {
+        let daily = PolicyConfig::default();
+        assert_eq!(daily.periods_in_history(), 28);
+        let weekly = PolicyConfig::builder()
+            .seasonality(Seasonality::Weekly)
+            .build()
+            .unwrap();
+        assert_eq!(weekly.periods_in_history(), 4);
+    }
+
+    #[test]
+    fn window_positions_counts_outer_loop_iterations() {
+        // Default: (24h - 7h) / 5min + 1 = 205 window positions.
+        assert_eq!(PolicyConfig::default().window_positions(), 205);
+        // Window == horizon: a single position.
+        let c = PolicyConfig::builder()
+            .window(Seconds::days(1))
+            .build()
+            .unwrap();
+        assert_eq!(c.window_positions(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs() {
+        assert!(PolicyConfig::builder().confidence(0.0).build().is_err());
+        assert!(PolicyConfig::builder().confidence(1.5).build().is_err());
+        assert!(PolicyConfig::builder()
+            .window(Seconds::days(2))
+            .build()
+            .is_err());
+        assert!(PolicyConfig::builder()
+            .slide(Seconds::ZERO)
+            .build()
+            .is_err());
+        assert!(PolicyConfig::builder()
+            .history_len(Seconds::days(3))
+            .seasonality(Seasonality::Weekly)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let c = PolicyConfig::builder()
+            .logical_pause(Seconds::hours(2))
+            .history_len(Seconds::days(14))
+            .horizon(Seconds::days(1))
+            .confidence(0.5)
+            .window(Seconds::hours(3))
+            .slide(Seconds::minutes(10))
+            .prewarm(Seconds::minutes(1))
+            .seasonality(Seasonality::Weekly)
+            .build()
+            .unwrap();
+        assert_eq!(c.logical_pause, Seconds::hours(2));
+        assert_eq!(c.history_len, Seconds::days(14));
+        assert_eq!(c.confidence, 0.5);
+        assert_eq!(c.window, Seconds::hours(3));
+        assert_eq!(c.slide, Seconds::minutes(10));
+        assert_eq!(c.prewarm, Seconds::minutes(1));
+        assert_eq!(c.seasonality, Seasonality::Weekly);
+    }
+}

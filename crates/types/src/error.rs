@@ -1,0 +1,77 @@
+//! The workspace-wide error type.
+//!
+//! Kept deliberately small: §3.2 of the paper requires that a failure in
+//! any proactive component degrades the system to the reactive policy
+//! rather than failing the database, so errors are values that flow to the
+//! policy layer, not panics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors shared across the ProRP crates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProrpError {
+    /// A malformed activity event or event stream.
+    InvalidEvent(String),
+    /// A configuration knob outside its legal range.
+    InvalidConfig(String),
+    /// A storage-layer failure (duplicate key, corrupt page, …).
+    Storage(String),
+    /// A SQL-layer failure (parse error, unknown table, type mismatch, …).
+    Sql(String),
+    /// A forecasting failure; the policy falls back to reactive decisions.
+    Forecast(String),
+    /// A simulator invariant violation (e.g. capacity accounting bug).
+    Simulation(String),
+    /// An injected fault (used by tests exercising the reactive fallback).
+    FaultInjected(String),
+}
+
+impl ProrpError {
+    /// Short machine-readable category name, used by telemetry counters.
+    pub fn category(&self) -> &'static str {
+        match self {
+            ProrpError::InvalidEvent(_) => "invalid_event",
+            ProrpError::InvalidConfig(_) => "invalid_config",
+            ProrpError::Storage(_) => "storage",
+            ProrpError::Sql(_) => "sql",
+            ProrpError::Forecast(_) => "forecast",
+            ProrpError::Simulation(_) => "simulation",
+            ProrpError::FaultInjected(_) => "fault_injected",
+        }
+    }
+}
+
+impl fmt::Display for ProrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProrpError::InvalidEvent(m) => write!(f, "invalid activity event: {m}"),
+            ProrpError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            ProrpError::Storage(m) => write!(f, "storage error: {m}"),
+            ProrpError::Sql(m) => write!(f, "sql error: {m}"),
+            ProrpError::Forecast(m) => write!(f, "forecast error: {m}"),
+            ProrpError::Simulation(m) => write!(f, "simulation error: {m}"),
+            ProrpError::FaultInjected(m) => write!(f, "injected fault: {m}"),
+        }
+    }
+}
+
+impl Error for ProrpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = ProrpError::Storage("page overflow".into());
+        assert_eq!(e.to_string(), "storage error: page overflow");
+        assert_eq!(e.category(), "storage");
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn Error> = Box::new(ProrpError::Forecast("no history".into()));
+        assert!(e.to_string().contains("no history"));
+    }
+}

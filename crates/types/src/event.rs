@@ -1,0 +1,277 @@
+//! Customer-activity events and sessions.
+//!
+//! §5 of the paper tracks the *start* and *end* of customer activity (not
+//! resume/pause timestamps, which system maintenance also triggers).  The
+//! history table stores one row per event: `(time_snapshot, event_type)`
+//! where `event_type = 1` marks a start and `0` an end.
+//!
+//! A [`Session`] is the closed interval between a matched start/end pair;
+//! traces in the `prorp-workload` crate are generated as sessions and
+//! lowered to events at the storage boundary.
+
+use crate::error::ProrpError;
+use crate::time::{Seconds, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether an event opens or closes a customer-activity interval.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// End of customer activity (`event_type = 0`).
+    End,
+    /// Start of customer activity — a login after an idle interval
+    /// (`event_type = 1`).
+    Start,
+}
+
+impl EventKind {
+    /// The integer encoding used by the history table schema (§5).
+    #[inline]
+    pub const fn as_i32(self) -> i32 {
+        match self {
+            EventKind::End => 0,
+            EventKind::Start => 1,
+        }
+    }
+
+    /// Decode the history-table integer encoding.
+    pub fn from_i32(v: i32) -> Result<Self, ProrpError> {
+        match v {
+            0 => Ok(EventKind::End),
+            1 => Ok(EventKind::Start),
+            other => Err(ProrpError::InvalidEvent(format!(
+                "event_type must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Start => write!(f, "start"),
+            EventKind::End => write!(f, "end"),
+        }
+    }
+}
+
+/// One row of the activity history: a timestamped start or end of activity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ActivityEvent {
+    /// When the event happened (epoch seconds — `time_snapshot`).
+    pub ts: Timestamp,
+    /// Start or end of activity (`event_type`).
+    pub kind: EventKind,
+}
+
+impl ActivityEvent {
+    /// A start-of-activity event.
+    #[inline]
+    pub const fn start(ts: Timestamp) -> Self {
+        ActivityEvent {
+            ts,
+            kind: EventKind::Start,
+        }
+    }
+
+    /// An end-of-activity event.
+    #[inline]
+    pub const fn end(ts: Timestamp) -> Self {
+        ActivityEvent {
+            ts,
+            kind: EventKind::End,
+        }
+    }
+}
+
+/// A contiguous interval of customer activity: `[start, end]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Session {
+    /// First login of the session.
+    pub start: Timestamp,
+    /// Last activity of the session.
+    pub end: Timestamp,
+}
+
+impl Session {
+    /// Build a session, validating that it does not end before it starts.
+    pub fn new(start: Timestamp, end: Timestamp) -> Result<Self, ProrpError> {
+        if end < start {
+            return Err(ProrpError::InvalidEvent(format!(
+                "session end {end:?} precedes start {start:?}"
+            )));
+        }
+        Ok(Session { start, end })
+    }
+
+    /// Length of the session.
+    #[inline]
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// Whether `t` falls inside the closed interval.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether this session overlaps the closed interval `[lo, hi]`.
+    #[inline]
+    pub fn overlaps(&self, lo: Timestamp, hi: Timestamp) -> bool {
+        self.start <= hi && lo <= self.end
+    }
+
+    /// Lower this session to its two boundary events.
+    #[inline]
+    pub fn to_events(&self) -> [ActivityEvent; 2] {
+        [
+            ActivityEvent::start(self.start),
+            ActivityEvent::end(self.end),
+        ]
+    }
+}
+
+impl fmt::Display for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.start, self.end)
+    }
+}
+
+/// Pair a time-ordered event stream back into sessions.
+///
+/// The inverse of flattening sessions with [`Session::to_events`]:
+/// a `Start` must be followed by an `End`.  Used when replaying persisted
+/// history (e.g. after a restore) into trace form.
+///
+/// # Errors
+///
+/// Returns [`ProrpError::InvalidEvent`] on unordered timestamps, repeated
+/// starts, or an end without a start.  A trailing unmatched `Start` is
+/// reported as a still-open session via the second tuple element.
+pub fn pair_events(
+    events: &[ActivityEvent],
+) -> Result<(Vec<Session>, Option<Timestamp>), ProrpError> {
+    let mut sessions = Vec::with_capacity(events.len() / 2);
+    let mut open: Option<Timestamp> = None;
+    let mut prev: Option<Timestamp> = None;
+    for ev in events {
+        if let Some(p) = prev {
+            if ev.ts < p {
+                return Err(ProrpError::InvalidEvent(format!(
+                    "events out of order: {:?} after {:?}",
+                    ev.ts, p
+                )));
+            }
+        }
+        prev = Some(ev.ts);
+        match (ev.kind, open) {
+            (EventKind::Start, None) => open = Some(ev.ts),
+            (EventKind::Start, Some(s)) => {
+                return Err(ProrpError::InvalidEvent(format!(
+                    "start at {:?} while session opened at {s:?} is still open",
+                    ev.ts
+                )));
+            }
+            (EventKind::End, Some(s)) => {
+                sessions.push(Session::new(s, ev.ts)?);
+                open = None;
+            }
+            (EventKind::End, None) => {
+                return Err(ProrpError::InvalidEvent(format!(
+                    "end at {:?} without a matching start",
+                    ev.ts
+                )));
+            }
+        }
+    }
+    Ok((sessions, open))
+}
+
+/// Compute the idle gaps between consecutive sessions of a time-ordered,
+/// non-overlapping session list.
+///
+/// This is the quantity Figure 3 of the paper studies: the distribution of
+/// idle-interval durations and their contribution to total idle time.
+pub fn idle_gaps(sessions: &[Session]) -> Vec<Seconds> {
+    sessions
+        .windows(2)
+        .map(|w| w[1].start - w[0].end)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn event_kind_roundtrips_through_integer_encoding() {
+        for kind in [EventKind::Start, EventKind::End] {
+            assert_eq!(EventKind::from_i32(kind.as_i32()).unwrap(), kind);
+        }
+        assert!(EventKind::from_i32(2).is_err());
+    }
+
+    #[test]
+    fn session_rejects_inverted_interval() {
+        assert!(Session::new(t(10), t(5)).is_err());
+        assert!(Session::new(t(5), t(5)).is_ok());
+    }
+
+    #[test]
+    fn session_geometry() {
+        let s = Session::new(t(10), t(20)).unwrap();
+        assert_eq!(s.duration(), Seconds(10));
+        assert!(s.contains(t(10)) && s.contains(t(20)) && s.contains(t(15)));
+        assert!(!s.contains(t(9)) && !s.contains(t(21)));
+        assert!(s.overlaps(t(20), t(30)));
+        assert!(s.overlaps(t(0), t(10)));
+        assert!(!s.overlaps(t(21), t(30)));
+    }
+
+    #[test]
+    fn pairing_inverts_flattening() {
+        let sessions = vec![
+            Session::new(t(0), t(5)).unwrap(),
+            Session::new(t(10), t(12)).unwrap(),
+        ];
+        let events: Vec<_> = sessions.iter().flat_map(|s| s.to_events()).collect();
+        let (paired, open) = pair_events(&events).unwrap();
+        assert_eq!(paired, sessions);
+        assert!(open.is_none());
+    }
+
+    #[test]
+    fn pairing_reports_trailing_open_session() {
+        let events = vec![
+            ActivityEvent::start(t(0)),
+            ActivityEvent::end(t(5)),
+            ActivityEvent::start(t(9)),
+        ];
+        let (paired, open) = pair_events(&events).unwrap();
+        assert_eq!(paired.len(), 1);
+        assert_eq!(open, Some(t(9)));
+    }
+
+    #[test]
+    fn pairing_rejects_malformed_streams() {
+        assert!(pair_events(&[ActivityEvent::end(t(1))]).is_err());
+        assert!(pair_events(&[ActivityEvent::start(t(1)), ActivityEvent::start(t(2))]).is_err());
+        assert!(pair_events(&[ActivityEvent::start(t(5)), ActivityEvent::end(t(1))]).is_err());
+    }
+
+    #[test]
+    fn idle_gaps_between_sessions() {
+        let sessions = vec![
+            Session::new(t(0), t(10)).unwrap(),
+            Session::new(t(40), t(50)).unwrap(),
+            Session::new(t(55), t(60)).unwrap(),
+        ];
+        assert_eq!(idle_gaps(&sessions), vec![Seconds(30), Seconds(5)]);
+        assert!(idle_gaps(&sessions[..1]).is_empty());
+    }
+}

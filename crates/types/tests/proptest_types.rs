@@ -1,0 +1,96 @@
+//! Property tests for the shared vocabulary: time arithmetic laws,
+//! session/event round-trips, and the Definition 2.2 classification.
+
+use proptest::prelude::*;
+use prorp_types::event::{idle_gaps, pair_events};
+use prorp_types::{AllocationClass, Seconds, Session, Timestamp};
+
+// Keep arithmetic away from i64 overflow territory.
+const T_MAX: i64 = 1 << 40;
+
+proptest! {
+    #[test]
+    fn timestamp_addition_is_invertible(t in -T_MAX..T_MAX, d in -T_MAX..T_MAX) {
+        let ts = Timestamp(t);
+        let dur = Seconds(d);
+        prop_assert_eq!((ts + dur) - dur, ts);
+        prop_assert_eq!((ts + dur) - ts, dur);
+        prop_assert_eq!(ts.since(ts + dur), -dur);
+    }
+
+    #[test]
+    fn day_decomposition_reassembles(t in -T_MAX..T_MAX) {
+        let ts = Timestamp(t);
+        let reassembled = ts.day_index() * 86_400 + ts.second_of_day();
+        prop_assert_eq!(reassembled, t);
+        prop_assert!((0..86_400).contains(&ts.second_of_day()));
+        prop_assert!((0..24).contains(&ts.hour_of_day()));
+        prop_assert!((0..7).contains(&ts.day_of_week()));
+        prop_assert!(ts.start_of_day() <= ts);
+        prop_assert!(ts - ts.start_of_day() < Seconds::days(1));
+    }
+
+    #[test]
+    fn align_down_is_idempotent_and_monotone(
+        t in -T_MAX..T_MAX,
+        step in 1i64..100_000,
+    ) {
+        let ts = Timestamp(t);
+        let step = Seconds(step);
+        let aligned = ts.align_down(step);
+        prop_assert!(aligned <= ts);
+        prop_assert!(ts - aligned < step);
+        prop_assert_eq!(aligned.align_down(step), aligned);
+    }
+
+    #[test]
+    fn session_event_roundtrip(
+        bounds in prop::collection::btree_set(0i64..1_000_000, 2..60)
+    ) {
+        // Build disjoint sessions from consecutive pairs of sorted stamps.
+        let stamps: Vec<i64> = bounds.into_iter().collect();
+        let sessions: Vec<Session> = stamps
+            .chunks_exact(2)
+            .map(|w| Session::new(Timestamp(w[0]), Timestamp(w[1])).unwrap())
+            .collect();
+        let events: Vec<_> = sessions.iter().flat_map(|s| s.to_events()).collect();
+        let (paired, open) = pair_events(&events).unwrap();
+        prop_assert_eq!(paired, sessions.clone());
+        prop_assert!(open.is_none());
+        // Idle gaps are positive and one fewer than the sessions.
+        let gaps = idle_gaps(&sessions);
+        prop_assert_eq!(gaps.len(), sessions.len().saturating_sub(1));
+        prop_assert!(gaps.iter().all(|g| g.as_secs() > 0));
+        // Total span = active + idle.
+        if let (Some(first), Some(last)) = (sessions.first(), sessions.last()) {
+            let span = last.end - first.start;
+            let active: i64 = sessions.iter().map(|s| s.duration().as_secs()).sum();
+            let idle: i64 = gaps.iter().map(|g| g.as_secs()).sum();
+            prop_assert_eq!(span.as_secs(), active + idle);
+        }
+    }
+
+    #[test]
+    fn definition_2_2_is_a_total_partition(demand in any::<bool>(), allocated in any::<bool>()) {
+        let class = AllocationClass::classify(demand, allocated);
+        // Correct iff demand equals allocation.
+        prop_assert_eq!(class.is_correct(), demand == allocated);
+        // Each (D, A) pair maps to exactly its class.
+        let expected = match (demand, allocated) {
+            (true, true) => AllocationClass::Used,
+            (false, false) => AllocationClass::Saved,
+            (false, true) => AllocationClass::Idle,
+            (true, false) => AllocationClass::Unavailable,
+        };
+        prop_assert_eq!(class, expected);
+    }
+
+    #[test]
+    fn seconds_display_roundtrips_magnitude(d in -T_MAX..T_MAX) {
+        // Display never panics and always mentions a colon-separated time.
+        let s = Seconds(d).to_string();
+        prop_assert!(s.contains(':'), "{s}");
+        let t = Timestamp(d.max(0)).to_string();
+        prop_assert!(t.starts_with("day "), "{t}");
+    }
+}

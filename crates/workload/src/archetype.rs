@@ -1,0 +1,636 @@
+//! Per-database activity archetypes.
+//!
+//! §1 of the paper: "There are databases with stable usage, databases
+//! that follow a weekly or a daily pattern, and databases that have short
+//! unpredictable spikes of activity.  Furthermore, resource utilization
+//! may change over time for each database."  Each variant below generates
+//! a session list for one synthetic database; [`Archetype::Drifting`]
+//! covers the "changes over time" clause that motivates the §8 training
+//! pipeline.
+
+use prorp_types::{Seconds, Session, Timestamp};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hours are expressed as fractional clock hours `[0, 24)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Nearly continuous usage with brief nightly dips — the "stable
+    /// usage" population.  Long sessions, short gaps.
+    Stable {
+        /// Mean session length in hours.
+        session_hours: f64,
+        /// Mean gap between sessions in minutes.
+        gap_minutes: f64,
+    },
+    /// A daily business-hours pattern: one main session per day starting
+    /// near `start_hour`, occasionally skipped.
+    Daily {
+        /// Clock hour the session starts at.
+        start_hour: f64,
+        /// Session duration in hours.
+        duration_hours: f64,
+        /// Uniform jitter (± minutes) on the start time.
+        jitter_minutes: f64,
+        /// Probability a given day has no session.
+        skip_probability: f64,
+    },
+    /// A weekly pattern: sessions only on the given days of the week
+    /// (day 0 = the epoch's weekday).
+    Weekly {
+        /// Active days of week, e.g. `[0, 1, 2, 3, 4]` for a five-day
+        /// working week.
+        active_days: Vec<i64>,
+        /// Clock hour the session starts at.
+        start_hour: f64,
+        /// Session duration in hours.
+        duration_hours: f64,
+        /// Uniform jitter (± minutes) on the start time.
+        jitter_minutes: f64,
+    },
+    /// Short unpredictable spikes: a Poisson-like arrival of brief
+    /// sessions with no time-of-day structure.
+    Bursty {
+        /// Mean sessions per day.
+        sessions_per_day: f64,
+        /// Mean session length in minutes.
+        session_minutes: f64,
+    },
+    /// Mostly idle with rare activity — the long-idle tail of Figure 3(b).
+    Dormant {
+        /// Mean days between sessions.
+        days_between_sessions: f64,
+        /// Session duration in minutes.
+        session_minutes: f64,
+    },
+    /// Many short sessions separated by sub-hour gaps — the head of
+    /// Figure 3(a) (72 % of idle intervals within one hour).
+    Fragmented {
+        /// Clock hour the active period starts.
+        start_hour: f64,
+        /// Length of the daily active period in hours.
+        span_hours: f64,
+        /// Mean session length in minutes within the span.
+        session_minutes: f64,
+        /// Mean gap length in minutes within the span.
+        gap_minutes: f64,
+    },
+    /// A base pattern with whole days randomly gone quiet — vacations,
+    /// deploy freezes, weekends off.  Quiet days cap the detector's
+    /// attainable confidence at roughly `1 − skip`, which is what lets a
+    /// high confidence threshold (Figure 9) filter even "always-on"
+    /// databases.
+    WithQuietDays {
+        /// The regular pattern.
+        base: Box<Archetype>,
+        /// Probability a given day is entirely quiet.
+        skip_probability: f64,
+    },
+    /// A base pattern plus sparse off-pattern sessions at random times —
+    /// real daily-pattern customers also log in at odd hours, and those
+    /// logins are what keeps the proactive policy's QoS below 100 %.
+    WithOffPattern {
+        /// The regular pattern.
+        base: Box<Archetype>,
+        /// Mean off-pattern sessions per day (Poisson-like renewal).
+        extra_per_day: f64,
+        /// Mean off-pattern session length in minutes.
+        extra_minutes: f64,
+    },
+    /// Behaviour that switches archetype partway through the trace —
+    /// the data drift §8's monthly re-training exists for.
+    Drifting {
+        /// Behaviour before the switch.
+        before: Box<Archetype>,
+        /// Behaviour after the switch.
+        after: Box<Archetype>,
+        /// Day index (from trace start) at which behaviour switches.
+        switch_day: i64,
+    },
+}
+
+impl Archetype {
+    /// Short label for telemetry and experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Archetype::Stable { .. } => "stable",
+            Archetype::Daily { .. } => "daily",
+            Archetype::Weekly { .. } => "weekly",
+            Archetype::Bursty { .. } => "bursty",
+            Archetype::Dormant { .. } => "dormant",
+            Archetype::Fragmented { .. } => "fragmented",
+            Archetype::WithQuietDays { base, .. } => base.label(),
+            Archetype::WithOffPattern { base, .. } => base.label(),
+            Archetype::Drifting { .. } => "drifting",
+        }
+    }
+
+    /// Generate this database's sessions over `[start, end)`.
+    ///
+    /// The output is time-ordered and disjoint with at least one second
+    /// between consecutive sessions, and every session is clipped to the
+    /// interval.
+    pub fn generate(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        rng: &mut StdRng,
+    ) -> Vec<Session> {
+        let mut sessions = match self {
+            Archetype::Stable {
+                session_hours,
+                gap_minutes,
+            } => gen_alternating(
+                start,
+                end,
+                Seconds((session_hours * 3600.0) as i64),
+                Seconds((gap_minutes * 60.0) as i64),
+                rng,
+            ),
+            Archetype::Daily {
+                start_hour,
+                duration_hours,
+                jitter_minutes,
+                skip_probability,
+            } => gen_daily(
+                start,
+                end,
+                |_| true,
+                *start_hour,
+                *duration_hours,
+                *jitter_minutes,
+                *skip_probability,
+                rng,
+            ),
+            Archetype::Weekly {
+                active_days,
+                start_hour,
+                duration_hours,
+                jitter_minutes,
+            } => gen_daily(
+                start,
+                end,
+                |day: Timestamp| active_days.contains(&day.day_of_week()),
+                *start_hour,
+                *duration_hours,
+                *jitter_minutes,
+                0.0,
+                rng,
+            ),
+            Archetype::Bursty {
+                sessions_per_day,
+                session_minutes,
+            } => {
+                let mean_gap_secs = if *sessions_per_day > 0.0 {
+                    86_400.0 / sessions_per_day
+                } else {
+                    f64::INFINITY
+                };
+                gen_renewal(
+                    start,
+                    end,
+                    mean_gap_secs,
+                    session_minutes * 60.0,
+                    rng,
+                )
+            }
+            Archetype::Dormant {
+                days_between_sessions,
+                session_minutes,
+            } => gen_renewal(
+                start,
+                end,
+                days_between_sessions * 86_400.0,
+                session_minutes * 60.0,
+                rng,
+            ),
+            Archetype::Fragmented {
+                start_hour,
+                span_hours,
+                session_minutes,
+                gap_minutes,
+            } => gen_fragmented(
+                start,
+                end,
+                *start_hour,
+                *span_hours,
+                *session_minutes,
+                *gap_minutes,
+                rng,
+            ),
+            Archetype::WithQuietDays {
+                base,
+                skip_probability,
+            } => {
+                let sessions = base.generate(start, end, rng);
+                let first_day = start.day_index();
+                let last_day = end.day_index();
+                let quiet: std::collections::HashSet<i64> = (first_day..=last_day)
+                    .filter(|_| rng.random_bool(skip_probability.clamp(0.0, 1.0)))
+                    .collect();
+                sessions
+                    .into_iter()
+                    .filter(|s| !quiet.contains(&s.start.day_index()))
+                    .collect()
+            }
+            Archetype::WithOffPattern {
+                base,
+                extra_per_day,
+                extra_minutes,
+            } => {
+                let mut s = base.generate(start, end, rng);
+                let mean_gap_secs = if *extra_per_day > 0.0 {
+                    86_400.0 / extra_per_day
+                } else {
+                    f64::INFINITY
+                };
+                s.extend(gen_renewal(
+                    start,
+                    end,
+                    mean_gap_secs,
+                    extra_minutes * 60.0,
+                    rng,
+                ));
+                s
+            }
+            Archetype::Drifting {
+                before,
+                after,
+                switch_day,
+            } => {
+                let switch = start + Seconds::days(*switch_day);
+                let switch = switch.min(end).max(start);
+                let mut s = before.generate(start, switch, rng);
+                let mut tail = after.generate(switch, end, rng);
+                // Drop overlap at the seam.
+                if let (Some(last), Some(first)) = (s.last(), tail.first()) {
+                    if first.start <= last.end {
+                        tail.remove(0);
+                    }
+                }
+                s.append(&mut tail);
+                s
+            }
+        };
+        clip_and_sanitise(&mut sessions, start, end);
+        sessions
+    }
+}
+
+impl fmt::Display for Archetype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Exponential sample with the given mean (inverse-CDF method).
+fn exp_sample(mean: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Alternate session/gap with ±50 % uniform noise around the means.
+fn gen_alternating(
+    start: Timestamp,
+    end: Timestamp,
+    session: Seconds,
+    gap: Seconds,
+    rng: &mut StdRng,
+) -> Vec<Session> {
+    let mut out = Vec::new();
+    let mut cursor = start;
+    let noisy = |mean: i64, rng: &mut StdRng| -> i64 {
+        let lo = (mean / 2).max(1);
+        let hi = (mean * 3 / 2).max(lo + 1);
+        rng.random_range(lo..hi)
+    };
+    while cursor < end {
+        let dur = Seconds(noisy(session.as_secs().max(2), rng));
+        let s_end = (cursor + dur).min(end);
+        if let Ok(s) = Session::new(cursor, s_end) {
+            out.push(s);
+        }
+        cursor = s_end + Seconds(noisy(gap.as_secs().max(2), rng));
+    }
+    out
+}
+
+/// One session per qualifying day at `start_hour ± jitter`.
+#[allow(clippy::too_many_arguments)]
+fn gen_daily(
+    start: Timestamp,
+    end: Timestamp,
+    day_filter: impl Fn(Timestamp) -> bool,
+    start_hour: f64,
+    duration_hours: f64,
+    jitter_minutes: f64,
+    skip_probability: f64,
+    rng: &mut StdRng,
+) -> Vec<Session> {
+    let mut out = Vec::new();
+    let mut day = start.start_of_day();
+    while day < end {
+        if day_filter(day) && !rng.random_bool(skip_probability.clamp(0.0, 1.0)) {
+            let jitter = if jitter_minutes > 0.0 {
+                rng.random_range(-(jitter_minutes * 60.0) as i64..=(jitter_minutes * 60.0) as i64)
+            } else {
+                0
+            };
+            let s_start = day + Seconds((start_hour * 3600.0) as i64) + Seconds(jitter);
+            let s_end = s_start + Seconds((duration_hours * 3600.0).max(60.0) as i64);
+            if let Ok(s) = Session::new(s_start, s_end) {
+                out.push(s);
+            }
+        }
+        day += Seconds::days(1);
+    }
+    out
+}
+
+/// A renewal process of activity *clusters*: exponential inter-cluster
+/// gaps, and within each cluster a geometric number of short sessions
+/// separated by sub-hour gaps.  Clustering matches how sparse customers
+/// actually behave (a spike of work = several connections in a row) and
+/// supplies the short-gap head of Figure 3(a) without adding predictable
+/// structure.
+const CLUSTER_CONTINUE_P: f64 = 0.55;
+const CLUSTER_GAP_MEAN_SECS: f64 = 15.0 * 60.0;
+
+fn gen_renewal(
+    start: Timestamp,
+    end: Timestamp,
+    mean_gap_secs: f64,
+    mean_session_secs: f64,
+    rng: &mut StdRng,
+) -> Vec<Session> {
+    let mut out = Vec::new();
+    if !mean_gap_secs.is_finite() {
+        return out;
+    }
+    let mut cursor = start + Seconds(exp_sample(mean_gap_secs, rng) as i64);
+    while cursor < end {
+        // One cluster: a first session, then geometric continuations.
+        loop {
+            let dur = Seconds((exp_sample(mean_session_secs, rng) as i64).max(30));
+            let s_end = cursor + dur;
+            if let Ok(s) = Session::new(cursor, s_end) {
+                out.push(s);
+            }
+            cursor = s_end;
+            if cursor >= end || !rng.random_bool(CLUSTER_CONTINUE_P) {
+                break;
+            }
+            cursor += Seconds((exp_sample(CLUSTER_GAP_MEAN_SECS, rng) as i64).clamp(60, 3_000));
+        }
+        cursor += Seconds((exp_sample(mean_gap_secs, rng) as i64).max(60));
+    }
+    out
+}
+
+/// A daily active span filled with short session/gap alternation.
+fn gen_fragmented(
+    start: Timestamp,
+    end: Timestamp,
+    start_hour: f64,
+    span_hours: f64,
+    session_minutes: f64,
+    gap_minutes: f64,
+    rng: &mut StdRng,
+) -> Vec<Session> {
+    let mut out = Vec::new();
+    let mut day = start.start_of_day();
+    while day < end {
+        let span_start = day + Seconds((start_hour * 3600.0) as i64);
+        let span_end = span_start + Seconds((span_hours * 3600.0) as i64);
+        let mut cursor = span_start;
+        while cursor < span_end {
+            let dur = Seconds((exp_sample(session_minutes * 60.0, rng) as i64).max(30));
+            let s_end = (cursor + dur).min(span_end);
+            if let Ok(s) = Session::new(cursor, s_end) {
+                out.push(s);
+            }
+            cursor = s_end + Seconds((exp_sample(gap_minutes * 60.0, rng) as i64).max(30));
+        }
+        day += Seconds::days(1);
+    }
+    out
+}
+
+/// Clip to `[start, end)`, drop empty/inverted sessions, and enforce a
+/// minimum one-second gap between consecutive sessions.
+fn clip_and_sanitise(sessions: &mut Vec<Session>, start: Timestamp, end: Timestamp) {
+    sessions.retain(|s| s.end > start && s.start < end);
+    for s in sessions.iter_mut() {
+        s.start = s.start.max(start);
+        s.end = s.end.min(end - Seconds(1)).max(s.start);
+    }
+    sessions.sort_by_key(|s| s.start);
+    let mut cleaned: Vec<Session> = Vec::with_capacity(sessions.len());
+    for s in sessions.drain(..) {
+        match cleaned.last_mut() {
+            Some(prev) if s.start <= prev.end + Seconds(1) => {
+                // Merge touching/overlapping sessions.
+                prev.end = prev.end.max(s.end);
+            }
+            _ => cleaned.push(s),
+        }
+    }
+    *sessions = cleaned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const DAY: i64 = 86_400;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn check_well_formed(sessions: &[Session], start: Timestamp, end: Timestamp) {
+        for s in sessions {
+            assert!(s.start <= s.end, "inverted session {s}");
+            assert!(s.start >= start && s.end < end, "session {s} outside range");
+        }
+        for w in sessions.windows(2) {
+            assert!(
+                w[1].start > w[0].end + Seconds(0),
+                "sessions overlap or touch: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn all_archetypes_generate_well_formed_traces() {
+        let start = Timestamp(0);
+        let end = Timestamp(30 * DAY);
+        let archetypes: Vec<Archetype> = vec![
+            Archetype::Stable {
+                session_hours: 6.0,
+                gap_minutes: 20.0,
+            },
+            Archetype::Daily {
+                start_hour: 9.0,
+                duration_hours: 8.0,
+                jitter_minutes: 15.0,
+                skip_probability: 0.05,
+            },
+            Archetype::Weekly {
+                active_days: vec![0, 1, 2, 3, 4],
+                start_hour: 8.0,
+                duration_hours: 9.0,
+                jitter_minutes: 20.0,
+            },
+            Archetype::Bursty {
+                sessions_per_day: 3.0,
+                session_minutes: 15.0,
+            },
+            Archetype::Dormant {
+                days_between_sessions: 5.0,
+                session_minutes: 30.0,
+            },
+            Archetype::Fragmented {
+                start_hour: 8.0,
+                span_hours: 10.0,
+                session_minutes: 10.0,
+                gap_minutes: 15.0,
+            },
+        ];
+        for a in &archetypes {
+            let sessions = a.generate(start, end, &mut rng(42));
+            assert!(!sessions.is_empty(), "{a} generated nothing");
+            check_well_formed(&sessions, start, end);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Archetype::Bursty {
+            sessions_per_day: 5.0,
+            session_minutes: 20.0,
+        };
+        let s1 = a.generate(Timestamp(0), Timestamp(10 * DAY), &mut rng(7));
+        let s2 = a.generate(Timestamp(0), Timestamp(10 * DAY), &mut rng(7));
+        let s3 = a.generate(Timestamp(0), Timestamp(10 * DAY), &mut rng(8));
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3, "different seeds should differ");
+    }
+
+    #[test]
+    fn daily_sessions_land_near_the_start_hour() {
+        let a = Archetype::Daily {
+            start_hour: 9.0,
+            duration_hours: 2.0,
+            jitter_minutes: 10.0,
+            skip_probability: 0.0,
+        };
+        let sessions = a.generate(Timestamp(0), Timestamp(20 * DAY), &mut rng(1));
+        assert_eq!(sessions.len(), 20);
+        for s in &sessions {
+            let hour = s.start.second_of_day() as f64 / 3600.0;
+            assert!(
+                (hour - 9.0).abs() <= 0.2,
+                "session starts at clock hour {hour}"
+            );
+        }
+    }
+
+    #[test]
+    fn weekly_respects_active_days() {
+        let a = Archetype::Weekly {
+            active_days: vec![2, 4],
+            start_hour: 10.0,
+            duration_hours: 1.0,
+            jitter_minutes: 0.0,
+        };
+        let sessions = a.generate(Timestamp(0), Timestamp(28 * DAY), &mut rng(3));
+        assert_eq!(sessions.len(), 8); // 2 days/week × 4 weeks
+        for s in &sessions {
+            assert!([2, 4].contains(&s.start.day_of_week()));
+        }
+    }
+
+    #[test]
+    fn dormant_traces_are_sparse() {
+        let a = Archetype::Dormant {
+            days_between_sessions: 7.0,
+            session_minutes: 30.0,
+        };
+        let sessions = a.generate(Timestamp(0), Timestamp(56 * DAY), &mut rng(11));
+        assert!(
+            sessions.len() <= 20,
+            "dormant produced {} sessions",
+            sessions.len()
+        );
+    }
+
+    #[test]
+    fn fragmented_produces_mostly_short_gaps() {
+        let a = Archetype::Fragmented {
+            start_hour: 8.0,
+            span_hours: 10.0,
+            session_minutes: 10.0,
+            gap_minutes: 15.0,
+        };
+        let sessions = a.generate(Timestamp(0), Timestamp(14 * DAY), &mut rng(5));
+        let gaps = prorp_types::event::idle_gaps(&sessions);
+        let short = gaps.iter().filter(|g| g.as_secs() < 3_600).count();
+        assert!(
+            short as f64 / gaps.len() as f64 > 0.7,
+            "expected mostly sub-hour gaps, got {short}/{}",
+            gaps.len()
+        );
+    }
+
+    #[test]
+    fn drifting_switches_behaviour_at_the_switch_day() {
+        let a = Archetype::Drifting {
+            before: Box::new(Archetype::Daily {
+                start_hour: 9.0,
+                duration_hours: 1.0,
+                jitter_minutes: 0.0,
+                skip_probability: 0.0,
+            }),
+            after: Box::new(Archetype::Daily {
+                start_hour: 21.0,
+                duration_hours: 1.0,
+                jitter_minutes: 0.0,
+                skip_probability: 0.0,
+            }),
+            switch_day: 10,
+        };
+        let sessions = a.generate(Timestamp(0), Timestamp(20 * DAY), &mut rng(9));
+        check_well_formed(&sessions, Timestamp(0), Timestamp(20 * DAY));
+        for s in &sessions {
+            let hour = s.start.hour_of_day();
+            if s.start.day_index() < 10 {
+                assert_eq!(hour, 9, "before switch at {}", s.start);
+            } else {
+                assert_eq!(hour, 21, "after switch at {}", s.start);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_cover_every_variant() {
+        let d = Archetype::Drifting {
+            before: Box::new(Archetype::Stable {
+                session_hours: 1.0,
+                gap_minutes: 1.0,
+            }),
+            after: Box::new(Archetype::Dormant {
+                days_between_sessions: 1.0,
+                session_minutes: 1.0,
+            }),
+            switch_day: 1,
+        };
+        assert_eq!(d.label(), "drifting");
+        assert_eq!(d.to_string(), "drifting");
+    }
+}

@@ -1,0 +1,176 @@
+//! Idle-interval statistics (the Figure 3 quantities).
+//!
+//! The paper's motivating measurement: "72 % of idle intervals are within
+//! one hour … however, these short idle intervals contribute only 5 % to
+//! the total idle time duration."  [`IdleStats`] computes both marginals,
+//! plus the bucketed histogram the Figure 3 bench prints.
+
+use crate::trace::Trace;
+use prorp_types::{event::idle_gaps, Seconds};
+
+/// Histogram bucket upper bounds (seconds); the last bucket is open.
+pub const BUCKET_BOUNDS: [i64; 7] = [
+    15 * 60,        // < 15 min
+    30 * 60,        // 15–30 min
+    60 * 60,        // 30–60 min
+    2 * 60 * 60,    // 1–2 h
+    8 * 60 * 60,    // 2–8 h
+    24 * 60 * 60,   // 8–24 h
+    7 * 86_400,     // 1–7 d
+];
+
+/// Labels matching [`BUCKET_BOUNDS`] plus the open tail.
+pub const BUCKET_LABELS: [&str; 8] = [
+    "<15m", "15-30m", "30-60m", "1-2h", "2-8h", "8-24h", "1-7d", ">7d",
+];
+
+/// Aggregate idle-gap statistics over a fleet of traces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IdleStats {
+    /// All idle gaps in seconds, unsorted.
+    gaps: Vec<i64>,
+}
+
+impl IdleStats {
+    /// Collect every between-session idle gap across the fleet.
+    pub fn from_traces(traces: &[Trace]) -> Self {
+        let mut gaps = Vec::new();
+        for t in traces {
+            gaps.extend(idle_gaps(&t.sessions).into_iter().map(|g| g.as_secs()));
+        }
+        IdleStats { gaps }
+    }
+
+    /// Number of idle intervals observed.
+    pub fn count(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Total idle time.
+    pub fn total(&self) -> Seconds {
+        Seconds(self.gaps.iter().sum())
+    }
+
+    /// Fraction of idle intervals shorter than `threshold`
+    /// (Figure 3(a)'s headline: ≈ 0.72 at one hour).
+    pub fn fraction_below(&self, threshold: Seconds) -> f64 {
+        if self.gaps.is_empty() {
+            return 0.0;
+        }
+        let short = self
+            .gaps
+            .iter()
+            .filter(|&&g| g < threshold.as_secs())
+            .count();
+        short as f64 / self.gaps.len() as f64
+    }
+
+    /// Share of total idle *duration* carried by intervals shorter than
+    /// `threshold` (Figure 3(b)'s headline: ≈ 0.05 at one hour).
+    pub fn duration_share_below(&self, threshold: Seconds) -> f64 {
+        let total: i64 = self.gaps.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let short: i64 = self
+            .gaps
+            .iter()
+            .filter(|&&g| g < threshold.as_secs())
+            .sum();
+        short as f64 / total as f64
+    }
+
+    /// Histogram over [`BUCKET_BOUNDS`]: `(count, total_seconds)` per
+    /// bucket, including the open tail.
+    pub fn histogram(&self) -> [(usize, i64); 8] {
+        let mut out = [(0usize, 0i64); 8];
+        for &g in &self.gaps {
+            let idx = BUCKET_BOUNDS
+                .iter()
+                .position(|&b| g < b)
+                .unwrap_or(BUCKET_BOUNDS.len());
+            out[idx].0 += 1;
+            out[idx].1 += g;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{RegionName, RegionProfile};
+    use prorp_types::{DatabaseId, Session, Timestamp};
+
+    fn trace(gaps: &[i64]) -> Trace {
+        // Build sessions of length 10 separated by the given gaps.
+        let mut sessions = Vec::new();
+        let mut cursor = 0i64;
+        sessions.push(Session::new(Timestamp(cursor), Timestamp(cursor + 10)).unwrap());
+        cursor += 10;
+        for &g in gaps {
+            let start = cursor + g;
+            sessions.push(Session::new(Timestamp(start), Timestamp(start + 10)).unwrap());
+            cursor = start + 10;
+        }
+        Trace::new(DatabaseId(0), "test", sessions).unwrap()
+    }
+
+    #[test]
+    fn fractions_match_hand_computation() {
+        // Gaps: 3 short (10 min) + 1 long (10 h).
+        let t = trace(&[600, 600, 600, 36_000]);
+        let stats = IdleStats::from_traces(&[t]);
+        assert_eq!(stats.count(), 4);
+        assert!((stats.fraction_below(Seconds::hours(1)) - 0.75).abs() < 1e-9);
+        let share = stats.duration_share_below(Seconds::hours(1));
+        assert!((share - 1_800.0 / 37_800.0).abs() < 1e-9);
+        assert_eq!(stats.total(), Seconds(37_800));
+    }
+
+    #[test]
+    fn histogram_buckets_cover_everything() {
+        let t = trace(&[60, 1_200, 2_400, 5_000, 10_000, 50_000, 200_000, 1_000_000]);
+        let stats = IdleStats::from_traces(&[t]);
+        let hist = stats.histogram();
+        let total: usize = hist.iter().map(|(c, _)| c).sum();
+        assert_eq!(total, stats.count());
+        let dur: i64 = hist.iter().map(|(_, d)| d).sum();
+        assert_eq!(dur, stats.total().as_secs());
+        assert_eq!(hist[7].0, 1, ">7d bucket holds the 1Ms gap");
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = IdleStats::from_traces(&[]);
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.fraction_below(Seconds::hours(1)), 0.0);
+        assert_eq!(stats.duration_share_below(Seconds::hours(1)), 0.0);
+    }
+
+    /// The Figure 3 calibration: the synthetic fleet must reproduce the
+    /// paper's marginals — a large majority of idle intervals are
+    /// sub-hour, yet they carry only a small share of total idle time.
+    #[test]
+    fn region_mix_reproduces_figure_3_marginals() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let fleet = profile.generate_fleet(
+            300,
+            Timestamp(0),
+            Timestamp(0) + Seconds::days(28),
+            42,
+        );
+        let stats = IdleStats::from_traces(&fleet);
+        let frac = stats.fraction_below(Seconds::hours(1));
+        let share = stats.duration_share_below(Seconds::hours(1));
+        assert!(
+            (0.55..=0.85).contains(&frac),
+            "short-interval fraction {frac:.3} outside the Figure 3(a) band"
+        );
+        assert!(
+            share <= 0.15,
+            "short-interval duration share {share:.3} outside the Figure 3(b) band"
+        );
+        assert!(stats.count() > 3_000, "fleet should produce many gaps");
+    }
+}

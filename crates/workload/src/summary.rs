@@ -1,0 +1,167 @@
+//! Fleet composition summaries.
+//!
+//! The paper's workload sections (§1, §9.1) characterise the fleet by
+//! archetype prevalence and per-database activity rates; this module
+//! computes the same characterisation for a synthetic fleet so that
+//! experiment outputs can state exactly what mix they ran on.
+
+use crate::idle::IdleStats;
+use crate::trace::Trace;
+use prorp_types::Seconds;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics for one archetype within a fleet.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ArchetypeSummary {
+    /// Databases of this archetype.
+    pub databases: usize,
+    /// Total sessions across those databases.
+    pub sessions: usize,
+    /// Total active time.
+    pub active: Seconds,
+    /// Mean sessions per database per day over the summarised span.
+    pub sessions_per_db_day: f64,
+    /// Mean active fraction of wall time.
+    pub active_fraction: f64,
+}
+
+/// A whole-fleet composition report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetSummary {
+    /// Per-archetype aggregates, keyed by archetype label.
+    pub archetypes: BTreeMap<String, ArchetypeSummary>,
+    /// Total databases.
+    pub databases: usize,
+    /// Fleet-wide logins per database-day.
+    pub logins_per_db_day: f64,
+    /// Fraction of idle intervals shorter than one hour (Figure 3a).
+    pub short_idle_fraction: f64,
+    /// Share of idle duration carried by sub-hour intervals (Figure 3b).
+    pub short_idle_duration_share: f64,
+}
+
+impl FleetSummary {
+    /// Summarise a fleet over the span `[start, end)` implied by its
+    /// traces (empty traces contribute databases but no activity).
+    pub fn from_traces(traces: &[Trace], span: Seconds) -> Self {
+        let days = (span.as_secs() as f64 / 86_400.0).max(f64::EPSILON);
+        let mut archetypes: BTreeMap<String, ArchetypeSummary> = BTreeMap::new();
+        let mut total_sessions = 0usize;
+        for t in traces {
+            let entry = archetypes.entry(t.archetype.clone()).or_default();
+            entry.databases += 1;
+            entry.sessions += t.sessions.len();
+            entry.active = entry.active + t.total_active();
+            total_sessions += t.sessions.len();
+        }
+        for entry in archetypes.values_mut() {
+            let db_days = entry.databases as f64 * days;
+            entry.sessions_per_db_day = entry.sessions as f64 / db_days.max(f64::EPSILON);
+            entry.active_fraction =
+                entry.active.as_secs() as f64 / (db_days * 86_400.0).max(f64::EPSILON);
+        }
+        let idle = IdleStats::from_traces(traces);
+        FleetSummary {
+            databases: traces.len(),
+            logins_per_db_day: total_sessions as f64
+                / (traces.len() as f64 * days).max(f64::EPSILON),
+            short_idle_fraction: idle.fraction_below(Seconds::hours(1)),
+            short_idle_duration_share: idle.duration_share_below(Seconds::hours(1)),
+            archetypes,
+        }
+    }
+}
+
+impl fmt::Display for FleetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} databases, {:.2} logins per database-day; sub-hour idle: {:.1}% of intervals, {:.1}% of duration",
+            self.databases,
+            self.logins_per_db_day,
+            100.0 * self.short_idle_fraction,
+            100.0 * self.short_idle_duration_share
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>5} {:>10} {:>16} {:>14}",
+            "archetype", "dbs", "share", "sessions/db-day", "active-time %"
+        )?;
+        for (label, a) in &self.archetypes {
+            writeln!(
+                f,
+                "{:<12} {:>5} {:>9.1}% {:>16.2} {:>13.1}%",
+                label,
+                a.databases,
+                100.0 * a.databases as f64 / self.databases.max(1) as f64,
+                a.sessions_per_db_day,
+                100.0 * a.active_fraction
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{RegionName, RegionProfile};
+    use prorp_types::{DatabaseId, Session, Timestamp};
+
+    #[test]
+    fn summary_counts_by_archetype() {
+        let s1 = Session::new(Timestamp(0), Timestamp(3_600)).unwrap();
+        let s2 = Session::new(Timestamp(7_200), Timestamp(10_800)).unwrap();
+        let traces = vec![
+            Trace::new(DatabaseId(0), "daily", vec![s1, s2]).unwrap(),
+            Trace::new(DatabaseId(1), "daily", vec![s1]).unwrap(),
+            Trace::new(DatabaseId(2), "dormant", vec![]).unwrap(),
+        ];
+        let summary = FleetSummary::from_traces(&traces, Seconds::days(1));
+        assert_eq!(summary.databases, 3);
+        let daily = &summary.archetypes["daily"];
+        assert_eq!(daily.databases, 2);
+        assert_eq!(daily.sessions, 3);
+        assert!((daily.sessions_per_db_day - 1.5).abs() < 1e-9);
+        // 3 sessions x 1h over 2 db-days.
+        assert!((daily.active_fraction - 3.0 / 48.0).abs() < 1e-9);
+        assert_eq!(summary.archetypes["dormant"].sessions, 0);
+        assert!((summary.logins_per_db_day - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_fleet_summary_is_calibration_consistent() {
+        let span = Seconds::days(28);
+        let traces = RegionProfile::for_region(RegionName::Eu1).generate_fleet(
+            200,
+            Timestamp(0),
+            Timestamp(0) + span,
+            42,
+        );
+        let summary = FleetSummary::from_traces(&traces, span);
+        // The calibration targets (§2 of DESIGN.md): about one login per
+        // database-day and mostly-short idle intervals with a small
+        // duration share.
+        assert!(
+            (0.4..2.0).contains(&summary.logins_per_db_day),
+            "logins/db-day = {}",
+            summary.logins_per_db_day
+        );
+        assert!(summary.short_idle_fraction > 0.5);
+        assert!(summary.short_idle_duration_share < 0.15);
+        // Dormant databases dominate the population.
+        let dormant_share = summary.archetypes["dormant"].databases as f64 / 200.0;
+        assert!(dormant_share > 0.4, "dormant share {dormant_share}");
+        let rendered = summary.to_string();
+        assert!(rendered.contains("archetype"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_fleet_is_harmless() {
+        let summary = FleetSummary::from_traces(&[], Seconds::days(1));
+        assert_eq!(summary.databases, 0);
+        assert_eq!(summary.logins_per_db_day, 0.0);
+        assert!(summary.archetypes.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Trace containers and serialisation.
+//!
+//! A [`Trace`] is the ground-truth activity of one database: the ordered,
+//! disjoint customer sessions the simulator replays.  Traces round-trip
+//! through a simple CSV (`db_id,start,end` per session) so experiments
+//! can persist and reload the exact workload they ran on.
+
+use prorp_types::{ActivityEvent, DatabaseId, ProrpError, Session, Timestamp};
+use std::fmt::Write as _;
+
+/// The ground-truth activity of one synthetic database.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// The database this trace belongs to.
+    pub db: DatabaseId,
+    /// Label of the archetype that produced it (for stratified reports).
+    pub archetype: String,
+    /// Time-ordered, disjoint sessions.
+    pub sessions: Vec<Session>,
+}
+
+impl Trace {
+    /// Build a trace, validating ordering and disjointness.
+    pub fn new(
+        db: DatabaseId,
+        archetype: impl Into<String>,
+        sessions: Vec<Session>,
+    ) -> Result<Self, ProrpError> {
+        for w in sessions.windows(2) {
+            if w[1].start <= w[0].end {
+                return Err(ProrpError::InvalidEvent(format!(
+                    "trace sessions must be ordered and disjoint: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        Ok(Trace {
+            db,
+            archetype: archetype.into(),
+            sessions,
+        })
+    }
+
+    /// Flatten to boundary events in time order.
+    pub fn events(&self) -> Vec<ActivityEvent> {
+        self.sessions.iter().flat_map(|s| s.to_events()).collect()
+    }
+
+    /// First login strictly after `now`, if any.
+    pub fn next_login_after(&self, now: Timestamp) -> Option<Timestamp> {
+        let idx = self.sessions.partition_point(|s| s.start <= now);
+        self.sessions.get(idx).map(|s| s.start)
+    }
+
+    /// Total active time.
+    pub fn total_active(&self) -> prorp_types::Seconds {
+        self.sessions
+            .iter()
+            .fold(prorp_types::Seconds::ZERO, |acc, s| acc + s.duration())
+    }
+
+    /// Time span from first session start to last session end.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.sessions.first()?.start, self.sessions.last()?.end))
+    }
+}
+
+/// Serialise traces to the CSV interchange form (`db_id,archetype,start,end`).
+pub fn to_csv(traces: &[Trace]) -> String {
+    let mut out = String::from("db_id,archetype,start,end\n");
+    for trace in traces {
+        for s in &trace.sessions {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                trace.db.raw(),
+                trace.archetype,
+                s.start.as_secs(),
+                s.end.as_secs()
+            );
+        }
+    }
+    out
+}
+
+/// Parse traces back from [`to_csv`] output.  Sessions of each database
+/// must appear in time order; databases may interleave.
+pub fn from_csv(csv: &str) -> Result<Vec<Trace>, ProrpError> {
+    let mut per_db: Vec<(DatabaseId, String, Vec<Session>)> = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 {
+            if line != "db_id,archetype,start,end" {
+                return Err(ProrpError::InvalidEvent(format!(
+                    "bad CSV header: {line:?}"
+                )));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let err = |what: &str| {
+            ProrpError::InvalidEvent(format!("line {}: {what}: {line:?}", lineno + 1))
+        };
+        let db: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing db_id"))?
+            .parse()
+            .map_err(|_| err("bad db_id"))?;
+        let archetype = parts.next().ok_or_else(|| err("missing archetype"))?;
+        let start: i64 = parts
+            .next()
+            .ok_or_else(|| err("missing start"))?
+            .parse()
+            .map_err(|_| err("bad start"))?;
+        let end: i64 = parts
+            .next()
+            .ok_or_else(|| err("missing end"))?
+            .parse()
+            .map_err(|_| err("bad end"))?;
+        if parts.next().is_some() {
+            return Err(err("too many fields"));
+        }
+        let session = Session::new(Timestamp(start), Timestamp(end))
+            .map_err(|e| err(&e.to_string()))?;
+        let db = DatabaseId(db);
+        match per_db.iter_mut().find(|(id, _, _)| *id == db) {
+            Some((_, _, sessions)) => sessions.push(session),
+            None => per_db.push((db, archetype.to_string(), vec![session])),
+        }
+    }
+    per_db
+        .into_iter()
+        .map(|(db, archetype, sessions)| Trace::new(db, archetype, sessions))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(a: i64, b: i64) -> Session {
+        Session::new(Timestamp(a), Timestamp(b)).unwrap()
+    }
+
+    fn sample() -> Vec<Trace> {
+        vec![
+            Trace::new(DatabaseId(1), "daily", vec![s(0, 10), s(100, 150)]).unwrap(),
+            Trace::new(DatabaseId(2), "bursty", vec![s(5, 6)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn validation_rejects_disorder_and_overlap() {
+        assert!(Trace::new(DatabaseId(1), "x", vec![s(10, 20), s(5, 8)]).is_err());
+        assert!(Trace::new(DatabaseId(1), "x", vec![s(0, 10), s(10, 20)]).is_err());
+        assert!(Trace::new(DatabaseId(1), "x", vec![s(0, 10), s(11, 20)]).is_ok());
+    }
+
+    #[test]
+    fn events_and_lookup() {
+        let t = &sample()[0];
+        assert_eq!(t.events().len(), 4);
+        assert_eq!(t.next_login_after(Timestamp(0)), Some(Timestamp(100)));
+        assert_eq!(t.next_login_after(Timestamp(-1)), Some(Timestamp(0)));
+        assert_eq!(t.next_login_after(Timestamp(100)), None);
+        assert_eq!(t.total_active(), prorp_types::Seconds(60));
+        assert_eq!(t.span(), Some((Timestamp(0), Timestamp(150))));
+    }
+
+    #[test]
+    fn csv_roundtrip_is_identity() {
+        let traces = sample();
+        let csv = to_csv(&traces);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed, traces);
+    }
+
+    #[test]
+    fn csv_parse_errors_are_descriptive() {
+        assert!(from_csv("nonsense\n").is_err());
+        let bad_session = "db_id,archetype,start,end\n1,x,50,10\n";
+        assert!(from_csv(bad_session).is_err());
+        let bad_field = "db_id,archetype,start,end\n1,x,abc,10\n";
+        assert!(from_csv(bad_field).is_err());
+        let extra = "db_id,archetype,start,end\n1,x,1,2,3\n";
+        assert!(from_csv(extra).is_err());
+        // Blank lines are tolerated.
+        assert!(from_csv("db_id,archetype,start,end\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for trace generation and serialisation: every archetype
+//! emits well-formed traces under random parameters, and the CSV codec is
+//! an identity on generated fleets.
+
+use proptest::prelude::*;
+use prorp_types::{Seconds, Timestamp};
+use prorp_workload::trace::{from_csv, to_csv};
+use prorp_workload::{Archetype, RegionName, RegionProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn archetype_strategy() -> impl Strategy<Value = Archetype> {
+    prop_oneof![
+        (1.0f64..12.0, 5.0f64..60.0).prop_map(|(session_hours, gap_minutes)| {
+            Archetype::Stable {
+                session_hours,
+                gap_minutes,
+            }
+        }),
+        (0.0f64..23.0, 0.5f64..10.0, 0.0f64..180.0, 0.0f64..0.5).prop_map(
+            |(start_hour, duration_hours, jitter_minutes, skip_probability)| Archetype::Daily {
+                start_hour,
+                duration_hours,
+                jitter_minutes,
+                skip_probability,
+            }
+        ),
+        (0.05f64..3.0, 1.0f64..120.0).prop_map(|(sessions_per_day, session_minutes)| {
+            Archetype::Bursty {
+                sessions_per_day,
+                session_minutes,
+            }
+        }),
+        (1.0f64..30.0, 1.0f64..120.0).prop_map(|(days_between_sessions, session_minutes)| {
+            Archetype::Dormant {
+                days_between_sessions,
+                session_minutes,
+            }
+        }),
+        (0.0f64..16.0, 1.0f64..8.0, 2.0f64..40.0, 2.0f64..60.0).prop_map(
+            |(start_hour, span_hours, session_minutes, gap_minutes)| Archetype::Fragmented {
+                start_hour,
+                span_hours,
+                session_minutes,
+                gap_minutes,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_archetype_emits_well_formed_traces(
+        archetype in archetype_strategy(),
+        seed in any::<u64>(),
+        days in 1i64..40,
+    ) {
+        let start = Timestamp(0);
+        let end = start + Seconds::days(days);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sessions = archetype.generate(start, end, &mut rng);
+        for s in &sessions {
+            prop_assert!(s.start <= s.end);
+            prop_assert!(s.start >= start && s.end < end);
+        }
+        for w in sessions.windows(2) {
+            prop_assert!(w[1].start > w[0].end, "{} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_on_generated_fleets(
+        n in 1usize..20,
+        seed in any::<u64>(),
+        days in 3i64..20,
+    ) {
+        let profile = RegionProfile::for_region(RegionName::Us2);
+        let traces = profile.generate_fleet(
+            n,
+            Timestamp(0),
+            Timestamp(0) + Seconds::days(days),
+            seed,
+        );
+        let csv = to_csv(&traces);
+        let parsed = from_csv(&csv).unwrap();
+        // Databases with no sessions do not appear in the CSV; every
+        // parsed trace must match its source exactly.
+        let nonempty: Vec<_> = traces
+            .iter()
+            .filter(|t| !t.sessions.is_empty())
+            .cloned()
+            .collect();
+        prop_assert_eq!(parsed, nonempty);
+    }
+}

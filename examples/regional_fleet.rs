@@ -1,0 +1,71 @@
+//! A region-scale fleet under all three policies, with the operational
+//! machinery turned on: load balancing (history moves with the database,
+//! §3.3), fault injection into resume workflows, and the §7 diagnostics
+//! and mitigation runner.
+//!
+//! ```text
+//! cargo run --release -p prorp-bench --example regional_fleet
+//! PRORP_FLEET=500 cargo run --release -p prorp-bench --example regional_fleet
+//! ```
+
+use prorp_bench::ExperimentScale;
+use prorp_sim::{SimPolicy, Simulation};
+use prorp_types::{PolicyConfig, Seconds};
+use prorp_workload::RegionName;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let traces = scale.fleet_for(RegionName::Eu1);
+    println!(
+        "Regional fleet: {} databases in EU1 for {} days (KPIs after day {})\n",
+        scale.fleet, scale.days, scale.warmup_days
+    );
+
+    for policy in [
+        SimPolicy::Reactive,
+        SimPolicy::Proactive(PolicyConfig::default()),
+        SimPolicy::Optimal,
+    ] {
+        let label = policy.label();
+        let mut config = scale.sim_config(policy);
+        // Exercise the operational subsystems.
+        config.rebalance_period = Some(Seconds::hours(4));
+        config.rebalance_threshold = 4;
+        config.diagnostics_period = Some(Seconds::minutes(5));
+        config.stuck_probability = 0.02; // 2 % of resume workflows hang
+        config.stuck_timeout = Seconds::minutes(10);
+        config.maintenance_period = Some(Seconds::days(1)); // nightly backups
+        let report = Simulation::new(config, traces.clone())
+            .expect("valid config")
+            .run()
+            .expect("simulation completes");
+
+        println!("═══ {label} ═══");
+        println!("{}", report.kpi);
+        println!(
+            "Cluster: {} spill moves, {} balance moves (history shipped via backup/restore), {} oversubscriptions",
+            report.spill_moves, report.balance_moves, report.oversubscriptions
+        );
+        println!(
+            "Diagnostics: {} mitigations, {} incidents escalated",
+            report.mitigations, report.incidents
+        );
+        println!(
+            "Maintenance: {} jobs piggybacked on predicted activity, {} forced resumes ({:.0}% piggybacked)",
+            report.maintenance.piggybacked,
+            report.maintenance.forced_resumes,
+            100.0 * report.maintenance.piggyback_rate()
+        );
+        let max_batch = report.resume_batches.iter().max().copied().unwrap_or(0);
+        println!(
+            "Proactive-resume scan: {} iterations, largest batch {} databases",
+            report.resume_batches.len(),
+            max_batch
+        );
+        let total_tuples: usize = report.history_stats.iter().map(|s| s.tuples).sum();
+        let total_kib: usize = report.history_stats.iter().map(|s| s.logical_bytes).sum::<usize>() / 1024;
+        println!(
+            "History store: {total_tuples} tuples across the fleet ({total_kib} KiB logical)\n"
+        );
+    }
+}

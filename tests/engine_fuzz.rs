@@ -1,0 +1,187 @@
+//! Property-based fuzzing of the Algorithm 1 engine: arbitrary (but
+//! time-ordered) event sequences — including stale timers, duplicate
+//! logins, and mistimed pre-warms — must never panic, must keep the
+//! lifecycle coherent, and must emit only well-formed actions.
+
+use proptest::prelude::*;
+use prorp_core::{
+    DatabasePolicy, EngineAction, EngineEvent, ProactiveEngine, ReactiveEngine, TimerToken,
+};
+use prorp_forecast::{FailEvery, ProbabilisticPredictor};
+use prorp_types::{DbState, PolicyConfig, Seconds, Timestamp};
+
+#[derive(Clone, Debug)]
+enum FuzzStep {
+    /// Advance time and toggle activity (start if idle, end if active).
+    ToggleActivity { advance_secs: i64 },
+    /// Deliver the most recently scheduled timer (may be stale by now).
+    DeliverPendingTimer { advance_secs: i64 },
+    /// Deliver a forged timer token (never scheduled).
+    DeliverBogusTimer { advance_secs: i64, token: u64 },
+    /// Deliver a proactive resume regardless of state.
+    ProactiveResume { advance_secs: i64 },
+    /// Deliver a duplicate of the last activity edge.
+    RepeatLastEdge { advance_secs: i64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = FuzzStep> {
+    let advance = 0i64..200_000;
+    prop_oneof![
+        4 => advance.clone().prop_map(|advance_secs| FuzzStep::ToggleActivity { advance_secs }),
+        2 => advance.clone().prop_map(|advance_secs| FuzzStep::DeliverPendingTimer { advance_secs }),
+        1 => (advance.clone(), 0u64..100)
+            .prop_map(|(advance_secs, token)| FuzzStep::DeliverBogusTimer { advance_secs, token }),
+        2 => advance.clone().prop_map(|advance_secs| FuzzStep::ProactiveResume { advance_secs }),
+        1 => advance.prop_map(|advance_secs| FuzzStep::RepeatLastEdge { advance_secs }),
+    ]
+}
+
+/// Drive an engine through the fuzz script, checking invariants after
+/// every event.
+fn drive(engine: &mut dyn DatabasePolicy, steps: &[FuzzStep]) -> Result<(), TestCaseError> {
+    let mut now = Timestamp(0);
+    let mut active = false;
+    let mut pending_timer: Option<(Timestamp, TimerToken)> = None;
+    let mut last_edge_was_start = false;
+    let mut max_token_seen = 0u64;
+
+    let check_actions = |now: Timestamp,
+                             actions: &[EngineAction],
+                             max_token_seen: &mut u64|
+     -> Result<Option<(Timestamp, TimerToken)>, TestCaseError> {
+        let mut scheduled = None;
+        for a in actions {
+            match a {
+                EngineAction::ScheduleTimer(at, token) => {
+                    prop_assert!(*at >= now, "timer {at:?} scheduled in the past of {now:?}");
+                    prop_assert!(
+                        token.0 > *max_token_seen,
+                        "timer tokens must be fresh and increasing"
+                    );
+                    *max_token_seen = token.0;
+                    prop_assert!(scheduled.is_none(), "at most one timer per event");
+                    scheduled = Some((*at, *token));
+                }
+                EngineAction::Allocate | EngineAction::Reclaim | EngineAction::SetPredictedStart(_) => {}
+            }
+        }
+        Ok(scheduled)
+    };
+
+    for step in steps {
+        let (advance, event) = match *step {
+            FuzzStep::ToggleActivity { advance_secs } => {
+                let ev = if active {
+                    EngineEvent::ActivityEnd
+                } else {
+                    EngineEvent::ActivityStart
+                };
+                (advance_secs, ev)
+            }
+            FuzzStep::DeliverPendingTimer { advance_secs } => match pending_timer {
+                Some((_, token)) => (advance_secs, EngineEvent::Timer(token)),
+                None => continue,
+            },
+            FuzzStep::DeliverBogusTimer {
+                advance_secs,
+                token,
+            } => (advance_secs, EngineEvent::Timer(TimerToken(token))),
+            FuzzStep::ProactiveResume { advance_secs } => {
+                (advance_secs, EngineEvent::ProactiveResume)
+            }
+            FuzzStep::RepeatLastEdge { advance_secs } => {
+                let ev = if last_edge_was_start {
+                    EngineEvent::ActivityStart
+                } else {
+                    EngineEvent::ActivityEnd
+                };
+                (advance_secs, ev)
+            }
+        };
+        now += Seconds(advance);
+        let before = engine.counters();
+        let actions = engine.on_event(now, event);
+        if let Some(t) = check_actions(now, &actions, &mut max_token_seen)? {
+            pending_timer = Some(t);
+        }
+
+        // Track ground truth.
+        match event {
+            EngineEvent::ActivityStart => {
+                if !active {
+                    active = true;
+                    last_edge_was_start = true;
+                    prop_assert_eq!(engine.state(), DbState::Resumed);
+                }
+            }
+            EngineEvent::ActivityEnd => {
+                if active {
+                    active = false;
+                    last_edge_was_start = false;
+                    prop_assert_ne!(
+                        engine.state(),
+                        DbState::Resumed,
+                        "idle database must not stay resumed"
+                    );
+                }
+            }
+            EngineEvent::Timer(_) | EngineEvent::ProactiveResume => {}
+        }
+
+        // Counters are monotone.
+        let after = engine.counters();
+        prop_assert!(after.logins_available >= before.logins_available);
+        prop_assert!(after.logins_unavailable >= before.logins_unavailable);
+        prop_assert!(after.physical_pauses >= before.physical_pauses);
+        prop_assert!(after.predictions >= before.predictions);
+
+        // While active, the engine must report Resumed.
+        if active {
+            prop_assert_eq!(engine.state(), DbState::Resumed);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn proactive_engine_survives_arbitrary_event_orderings(
+        steps in prop::collection::vec(step_strategy(), 1..200)
+    ) {
+        let config = PolicyConfig {
+            history_len: Seconds::days(5),
+            ..PolicyConfig::default()
+        };
+        let mut engine = ProactiveEngine::new(
+            config,
+            ProbabilisticPredictor::new(config).unwrap(),
+        )
+        .unwrap();
+        drive(&mut engine, &steps)?;
+    }
+
+    #[test]
+    fn proactive_engine_with_flaky_forecast_survives(
+        steps in prop::collection::vec(step_strategy(), 1..200),
+        fail_period in 1u64..5,
+    ) {
+        let config = PolicyConfig {
+            history_len: Seconds::days(5),
+            ..PolicyConfig::default()
+        };
+        let predictor = FailEvery::new(ProbabilisticPredictor::new(config).unwrap(), fail_period);
+        let mut engine = ProactiveEngine::new(config, predictor).unwrap();
+        drive(&mut engine, &steps)?;
+    }
+
+    #[test]
+    fn reactive_engine_survives_arbitrary_event_orderings(
+        steps in prop::collection::vec(step_strategy(), 1..200)
+    ) {
+        let mut engine =
+            ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
+        drive(&mut engine, &steps)?;
+    }
+}
