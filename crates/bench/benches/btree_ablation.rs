@@ -87,7 +87,10 @@ fn bench_range(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("btree", n), &(), |b, ()| {
             b.iter(|| {
                 btree
-                    .range(Bound::Included(black_box(lo)), Bound::Included(black_box(hi)))
+                    .range(
+                        Bound::Included(black_box(lo)),
+                        Bound::Included(black_box(hi)),
+                    )
                     .map(|(_, v)| *v)
                     .sum::<i64>()
             });

@@ -1,0 +1,109 @@
+//! Fleet-scaling sweep: wall-clock time of one simulation run as a
+//! function of the shard count.
+//!
+//! The sharded runner (see `prorp_sim::shard`) partitions the fleet by
+//! id-hash and runs one event loop per worker thread; this bench sweeps
+//! the shard count over the same fleet and seed, reports per-shard
+//! throughput, and verifies on the fly that every shard count produces
+//! identical KPIs (the determinism guarantee the speedup rests on).
+//!
+//! Knobs (environment variables):
+//!
+//! * `PRORP_FLEET`  — fleet size in databases (default 100 000);
+//! * `PRORP_DAYS`   — simulated days (default 14, measuring from day 10);
+//! * `PRORP_SHARDS` — comma-separated shard counts (default `1,2,4,8`).
+//!
+//! Wall-clock speedup tracks the number of *physical cores*: on a
+//! single-core host the sweep still validates determinism and reports
+//! per-shard event throughput, but the elapsed times will not improve.
+
+use prorp_sim::{SimConfig, SimPolicy, Simulation};
+use prorp_types::{PolicyConfig, Timestamp};
+use prorp_workload::{RegionName, RegionProfile};
+use std::time::Instant;
+
+const DAY: i64 = 86_400;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_shards(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&s| s > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let fleet = env_usize("PRORP_FLEET", 100_000);
+    let days = env_usize("PRORP_DAYS", 14) as i64;
+    let shard_counts = env_shards("PRORP_SHARDS", &[1, 2, 4, 8]);
+    let end = Timestamp(days * DAY);
+    let measure_from = Timestamp(((days * 5) / 7).max(1) * DAY);
+
+    println!("fleet_scaling: {fleet} databases, {days} simulated days, shards {shard_counts:?}");
+    let gen_started = Instant::now();
+    let traces =
+        RegionProfile::for_region(RegionName::Eu1).generate_fleet(fleet, Timestamp(0), end, 1_031);
+    println!(
+        "trace generation: {:.2}s",
+        gen_started.elapsed().as_secs_f64()
+    );
+
+    let mut baseline_kpi = None;
+    let mut baseline_secs = None;
+    println!(
+        "{:>7} {:>10} {:>9} {:>12} {:>8}",
+        "shards", "wall[s]", "speedup", "events/s", "qos[%]"
+    );
+    for &shards in &shard_counts {
+        let mut cfg = SimConfig::new(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            Timestamp(0),
+            end,
+            measure_from,
+        );
+        cfg.shards = shards;
+        let sim = Simulation::new(cfg, traces.clone()).expect("valid config");
+        let started = Instant::now();
+        let report = sim.run().expect("simulation runs");
+        let secs = started.elapsed().as_secs_f64();
+
+        match baseline_kpi {
+            None => {
+                baseline_kpi = Some(report.kpi);
+                baseline_secs = Some(secs);
+            }
+            Some(kpi) => assert_eq!(
+                report.kpi, kpi,
+                "KPIs must be identical across shard counts"
+            ),
+        }
+        let events: u64 = report
+            .shard_counters
+            .iter()
+            .map(|c| c.events_processed)
+            .sum();
+        println!(
+            "{:>7} {:>10.2} {:>8.2}x {:>12.0} {:>8.2}",
+            shards,
+            secs,
+            baseline_secs.unwrap_or(secs) / secs,
+            events as f64 / secs,
+            report.kpi.qos_pct()
+        );
+        for c in &report.shard_counters {
+            println!("    {c}");
+        }
+    }
+}

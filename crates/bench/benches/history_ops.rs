@@ -71,5 +71,10 @@ fn bench_range_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert, bench_delete_old, bench_range_aggregate);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_delete_old,
+    bench_range_aggregate
+);
 criterion_main!(benches);

@@ -39,9 +39,7 @@ fn full_scan(store: &MetadataStore, n: u64, now: Timestamp, k: Seconds, width: S
         .filter_map(|id| store.get(DatabaseId(id)))
         .filter(|meta| {
             meta.state == DbState::PhysicallyPaused
-                && meta
-                    .pred_start
-                    .is_some_and(|p| lo <= p && p <= hi)
+                && meta.pred_start.is_some_and(|p| lo <= p && p <= hi)
         })
         .count()
 }
@@ -77,7 +75,11 @@ fn bench_sql_scan(c: &mut Criterion) {
         sql.upsert(id, state, Some((id % 86_400) as i64)).unwrap();
     }
     group.bench_function(BenchmarkId::from_parameter(n), |b| {
-        b.iter(|| sql.databases_to_resume(black_box(40_000), 300, 60).unwrap().len());
+        b.iter(|| {
+            sql.databases_to_resume(black_box(40_000), 300, 60)
+                .unwrap()
+                .len()
+        });
     });
     group.finish();
 }

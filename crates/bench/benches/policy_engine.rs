@@ -60,8 +60,7 @@ fn bench_policies(c: &mut Criterion) {
     group.bench_function("reactive", |b| {
         b.iter_batched(
             || {
-                let mut e =
-                    ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
+                let mut e = ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
                 for d in 0..28 {
                     e.on_event(Timestamp(d * DAY + 9 * HOUR), EngineEvent::ActivityStart);
                     e.on_event(Timestamp(d * DAY + 10 * HOUR), EngineEvent::ActivityEnd);

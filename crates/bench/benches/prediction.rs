@@ -30,13 +30,9 @@ fn bench_latency_vs_history_size(c: &mut Criterion) {
     for &per_day in &[1i64, 8, 40] {
         let h = history(per_day);
         let p = ProbabilisticPredictor::new(PolicyConfig::default()).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(h.len()),
-            &h,
-            |b, h| {
-                b.iter(|| p.predict_at(black_box(h), Timestamp(28 * DAY)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(h.len()), &h, |b, h| {
+            b.iter(|| p.predict_at(black_box(h), Timestamp(28 * DAY)));
+        });
     }
     group.finish();
 }

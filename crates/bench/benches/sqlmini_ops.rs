@@ -87,5 +87,10 @@ fn bench_sql_vs_native_prediction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_range_query, bench_sql_vs_native_prediction);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_range_query,
+    bench_sql_vs_native_prediction
+);
 criterion_main!(benches);

@@ -32,12 +32,7 @@ fn bench_full_simulation(c: &mut Criterion) {
     use prorp_sim::{SimConfig, SimPolicy, Simulation};
     use prorp_types::PolicyConfig;
     let profile = RegionProfile::for_region(RegionName::Eu1);
-    let traces = profile.generate_fleet(
-        50,
-        Timestamp(0),
-        Timestamp(0) + Seconds::days(32),
-        42,
-    );
+    let traces = profile.generate_fleet(50, Timestamp(0), Timestamp(0) + Seconds::days(32), 42);
     let mut group = c.benchmark_group("sim/end_to_end");
     group.sample_size(10);
     group.bench_function("proactive_50db_32d", |b| {

@@ -31,8 +31,7 @@ fn main() {
         ("windows (paper)", ConfidenceBasis::Windows),
         ("logins (ablated)", ConfidenceBasis::Logins),
     ] {
-        let predictor =
-            ProbabilisticPredictor::with_basis(config, basis).expect("valid knobs");
+        let predictor = ProbabilisticPredictor::with_basis(config, basis).expect("valid knobs");
         let mut report = AccuracyReport::default();
         for trace in &traces {
             let mut history = HistoryTable::new();

@@ -21,8 +21,8 @@ fn main() {
         .collect();
     let template = scale.sim_config(prorp_sim::SimPolicy::Proactive(PolicyConfig::default()));
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let rows = sweep_proactive_configs(&template, &traces, &configs, workers)
-        .expect("sweep completes");
+    let rows =
+        sweep_proactive_configs(&template, &traces, &configs, workers).expect("sweep completes");
 
     println!(
         "Figure 8: varying window size ({} databases, EU1, c = 0.1)",

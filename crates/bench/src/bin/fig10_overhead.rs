@@ -73,10 +73,9 @@ fn main() {
 
     // The engines' own in-vivo latency accounting corroborates (c).
     let mean_ns: f64 = {
-        let (sum, n) = report
-            .counters
-            .iter()
-            .fold((0u64, 0u64), |(s, n), c| (s + c.prediction_ns_sum, n + c.predictions));
+        let (sum, n) = report.counters.iter().fold((0u64, 0u64), |(s, n), c| {
+            (s + c.prediction_ns_sum, n + c.predictions)
+        });
         if n == 0 {
             0.0
         } else {

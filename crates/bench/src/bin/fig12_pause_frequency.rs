@@ -23,7 +23,10 @@ fn main() {
         scale.fleet
     );
     println!();
-    for (label, report) in [("proactive (gray)", &proactive), ("reactive (white)", &reactive)] {
+    for (label, report) in [
+        ("proactive (gray)", &proactive),
+        ("reactive (white)", &reactive),
+    ] {
         println!("{label}:");
         println!("{:<10} pause-count five-number summary", "interval");
         for minutes in [1i64, 5, 10, 15] {

@@ -11,23 +11,15 @@ fn main() {
     println!("{:-<66}", "");
     println!(
         "{:<6} {:<42} {}",
-        "l",
-        "duration of logical pause",
-        c.logical_pause
+        "l", "duration of logical pause", c.logical_pause
     );
     println!("{:<6} {:<42} {}", "h", "history length", c.history_len);
     println!("{:<6} {:<42} {}", "p", "prediction horizon", c.horizon);
-    println!(
-        "{:<6} {:<42} {}",
-        "c", "confidence threshold", c.confidence
-    );
+    println!("{:<6} {:<42} {}", "c", "confidence threshold", c.confidence);
     println!("{:<6} {:<42} {}", "w", "window size", c.window);
     println!("{:<6} {:<42} {}", "s", "window slide", c.slide);
     println!("{:<6} {:<42} {}", "k", "pre-warm time interval", c.prewarm);
-    println!(
-        "{:<6} {:<42} {}",
-        "", "seasonality", c.seasonality
-    );
+    println!("{:<6} {:<42} {}", "", "seasonality", c.seasonality);
     println!("{:-<66}", "");
     println!(
         "derived: {} window positions per prediction, {} periods in history",

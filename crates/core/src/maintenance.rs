@@ -195,7 +195,12 @@ mod tests {
                 Timestamp(5_000),
             )
             .unwrap();
-        assert_eq!(slot, MaintenanceSlot::ForcedResume { start: Timestamp(5_000) });
+        assert_eq!(
+            slot,
+            MaintenanceSlot::ForcedResume {
+                start: Timestamp(5_000)
+            }
+        );
         assert!(!slot.is_free());
     }
 
@@ -205,19 +210,34 @@ mod tests {
         let slot = s
             .place(Timestamp(0), None, Seconds(300), Timestamp(5_000))
             .unwrap();
-        assert_eq!(slot, MaintenanceSlot::ForcedResume { start: Timestamp(5_000) });
+        assert_eq!(
+            slot,
+            MaintenanceSlot::ForcedResume {
+                start: Timestamp(5_000)
+            }
+        );
     }
 
     #[test]
     fn stats_accumulate_and_rate_computes() {
         let mut s = MaintenanceScheduler::new();
         assert_eq!(s.stats().piggyback_rate(), 1.0, "vacuous rate");
-        s.place(Timestamp(0), Some(&pred(10, 20)), Seconds(5), Timestamp(100))
-            .unwrap();
+        s.place(
+            Timestamp(0),
+            Some(&pred(10, 20)),
+            Seconds(5),
+            Timestamp(100),
+        )
+        .unwrap();
         s.place(Timestamp(0), None, Seconds(5), Timestamp(100))
             .unwrap();
-        s.place(Timestamp(0), Some(&pred(10, 20)), Seconds(5), Timestamp(100))
-            .unwrap();
+        s.place(
+            Timestamp(0),
+            Some(&pred(10, 20)),
+            Seconds(5),
+            Timestamp(100),
+        )
+        .unwrap();
         let stats = s.stats();
         assert_eq!(stats.piggybacked, 2);
         assert_eq!(stats.forced_resumes, 1);

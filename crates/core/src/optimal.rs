@@ -9,9 +9,7 @@
 //! without mechanism delays and exists purely as the yard-stick every
 //! real policy is measured against.
 
-use crate::engine::{
-    DatabasePolicy, EngineAction, EngineCounters, EngineEvent, PolicyKind,
-};
+use crate::engine::{DatabasePolicy, EngineAction, EngineCounters, EngineEvent, PolicyKind};
 use crate::tracker::ActivityTracker;
 use prorp_forecast::OraclePredictor;
 use prorp_storage::HistoryTable;

@@ -188,10 +188,7 @@ mod tests {
         assert_eq!(eng.state(), DbState::PhysicallyPaused);
         assert_eq!(
             actions,
-            vec![
-                EngineAction::SetPredictedStart(None),
-                EngineAction::Reclaim
-            ]
+            vec![EngineAction::SetPredictedStart(None), EngineAction::Reclaim]
         );
         // Next login is a reactive resume.
         let actions = eng.on_event(at + Seconds::hours(1), EngineEvent::ActivityStart);

@@ -70,9 +70,61 @@ impl ProactiveResumeOp {
         selected
     }
 
+    /// Run one iteration at `now` over a *sharded* metadata store: the
+    /// same Algorithm 5 selection as [`run`](Self::run), but the scan
+    /// batches over shard-local `sys.databases` partitions (see
+    /// [`MetadataStore::partition`]) instead of one global pass.
+    ///
+    /// Because partitioning assigns every row to exactly one shard, the
+    /// union of the per-partition range lookups equals the global scan;
+    /// the combined batch is re-sorted by `(start_of_pred_activity, id)`
+    /// so the result is byte-identical to `run` on the unsharded store,
+    /// no matter how many partitions the rows were split into.  One
+    /// combined batch size is recorded per iteration, keeping the
+    /// Figure 11 statistics comparable across shard counts.
+    pub fn run_sharded(&mut self, now: Timestamp, partitions: &[MetadataStore]) -> Vec<DatabaseId> {
+        let mut selected: Vec<(Timestamp, DatabaseId)> = partitions
+            .iter()
+            .flat_map(|p| {
+                p.databases_to_resume(now, self.prewarm, self.period)
+                    .into_iter()
+                    .map(|db| {
+                        let pred = p
+                            .get(db)
+                            .and_then(|m| m.pred_start)
+                            .expect("selected rows carry a prediction");
+                        (pred, db)
+                    })
+            })
+            .collect();
+        selected.sort_unstable();
+        self.batch_sizes.push(selected.len());
+        self.next_run = now + self.period;
+        selected.into_iter().map(|(_, db)| db).collect()
+    }
+
     /// Batch sizes of all iterations so far (Figure 11 input).
     pub fn batch_sizes(&self) -> &[usize] {
         &self.batch_sizes
+    }
+
+    /// Merge per-shard batch-size series into the fleet-wide series.
+    ///
+    /// When each simulation shard runs its own `ProactiveResumeOp` on the
+    /// same tick schedule (same first run and period), iteration `i` of
+    /// every shard covers the same pre-warm slot, so the fleet-wide batch
+    /// size of iteration `i` is the element-wise sum.  Shards that ran
+    /// fewer iterations (e.g. an empty shard whose queue drained early)
+    /// contribute zero to the missing tail.
+    pub fn sum_shard_batches(per_shard: &[Vec<usize>]) -> Vec<usize> {
+        let len = per_shard.iter().map(Vec::len).max().unwrap_or(0);
+        let mut out = vec![0usize; len];
+        for series in per_shard {
+            for (slot, b) in out.iter_mut().zip(series) {
+                *slot += b;
+            }
+        }
+        out
     }
 
     /// Largest batch observed.
@@ -119,8 +171,7 @@ mod tests {
     fn consecutive_iterations_cover_consecutive_slots() {
         let store = store_with_paused(&[(1, 360), (2, 430), (3, 490)]);
         let mut op =
-            ProactiveResumeOp::new(Seconds::minutes(5), Seconds::minutes(1), Timestamp(0))
-                .unwrap();
+            ProactiveResumeOp::new(Seconds::minutes(5), Seconds::minutes(1), Timestamp(0)).unwrap();
         let mut picked_all = Vec::new();
         let mut now = Timestamp(0);
         for _ in 0..4 {
@@ -143,5 +194,37 @@ mod tests {
     fn rejects_bad_configuration() {
         assert!(ProactiveResumeOp::new(Seconds::ZERO, Seconds(60), Timestamp(0)).is_err());
         assert!(ProactiveResumeOp::new(Seconds(60), Seconds(-1), Timestamp(0)).is_err());
+    }
+
+    #[test]
+    fn sharded_scan_matches_the_global_scan() {
+        // Many paused databases with predictions straddling the slot; the
+        // sharded scan over any partition count must return the same
+        // batch, in the same (pred_start, id) order, as the global scan.
+        let preds: Vec<(u64, i64)> = (0..120).map(|i| (i, 300 + (i as i64 * 7) % 130)).collect();
+        let store = store_with_paused(&preds);
+        for shards in [1usize, 2, 3, 8] {
+            let mut global =
+                ProactiveResumeOp::new(Seconds(300), Seconds(60), Timestamp(0)).unwrap();
+            let mut sharded =
+                ProactiveResumeOp::new(Seconds(300), Seconds(60), Timestamp(0)).unwrap();
+            let expected = global.run(Timestamp(0), &store);
+            let parts = store.partition(shards);
+            let got = sharded.run_sharded(Timestamp(0), &parts);
+            assert_eq!(got, expected, "{shards} shards");
+            assert_eq!(sharded.batch_sizes(), global.batch_sizes());
+            assert_eq!(sharded.next_run(), global.next_run());
+        }
+    }
+
+    #[test]
+    fn shard_batches_sum_elementwise() {
+        let merged = ProactiveResumeOp::sum_shard_batches(&[
+            vec![1, 2, 3],
+            vec![4, 0, 1, 9], // longer series dominates the tail
+            vec![],           // empty shard contributes nothing
+        ]);
+        assert_eq!(merged, vec![5, 2, 4, 9]);
+        assert!(ProactiveResumeOp::sum_shard_batches(&[]).is_empty());
     }
 }

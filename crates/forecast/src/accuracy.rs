@@ -32,7 +32,10 @@ pub enum PredictionOutcome {
 impl PredictionOutcome {
     /// Whether the predictor's decision matched reality.
     pub fn is_correct(self) -> bool {
-        matches!(self, PredictionOutcome::Hit | PredictionOutcome::CorrectSilence)
+        matches!(
+            self,
+            PredictionOutcome::Hit | PredictionOutcome::CorrectSilence
+        )
     }
 }
 

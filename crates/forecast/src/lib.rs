@@ -28,7 +28,9 @@ pub use accuracy::{score_prediction, AccuracyReport, PredictionOutcome};
 pub use baselines::{FailEvery, HourlyHistogramPredictor, LastGapPredictor, NeverPredictor};
 pub use oracle::OraclePredictor;
 pub use probabilistic::{ConfidenceBasis, ProbabilisticPredictor};
-pub use seasonality::{detect_seasonality, recurrence_score, score_seasonalities, SeasonalityScores};
+pub use seasonality::{
+    detect_seasonality, recurrence_score, score_seasonalities, SeasonalityScores,
+};
 
 use prorp_storage::HistoryTable;
 use prorp_types::{Prediction, ProrpError, Timestamp};

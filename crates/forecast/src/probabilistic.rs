@@ -134,9 +134,7 @@ impl ProbabilisticPredictor {
                 // line 36 as published.
                 ConfidenceBasis::Windows => windows_with_activity as f64 / periods as f64,
                 // The ablated alternative §6 argues against.
-                ConfidenceBasis::Logins => {
-                    (login_count as f64 / periods as f64).min(1.0)
-                }
+                ConfidenceBasis::Logins => (login_count as f64 / periods as f64).min(1.0),
             };
             let improves = match &best {
                 None => windows_with_activity > 0 && prob >= self.config.confidence,
@@ -174,7 +172,7 @@ impl Predictor for ProbabilisticPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prorp_types::{EventKind, Seconds, Seasonality};
+    use prorp_types::{EventKind, Seasonality, Seconds};
 
     const DAY: i64 = 86_400;
     const HOUR: i64 = 3_600;

@@ -138,8 +138,7 @@ impl DiurnalDemandModel {
             } else {
                 0
             };
-            let spike_slots: Vec<usize> =
-                (0..n_spikes).map(|_| rng.random_range(0..spd)).collect();
+            let spike_slots: Vec<usize> = (0..n_spikes).map(|_| rng.random_range(0..spd)).collect();
             for s in 0..spd {
                 let hour = s as f64 * slot.as_secs() as f64 / 3_600.0;
                 let base = if hour >= self.business_hours.0 && hour < self.business_hours.1 {

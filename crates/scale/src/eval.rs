@@ -114,7 +114,7 @@ mod tests {
         assert_eq!(r.served, 10.0); // 2 + 0 + 4 + 4
         assert_eq!(r.throttled, 2.0); // slot 2: 6 > 4
         assert_eq!(r.wasted, 2.0); // slot 0: 4 > 2
-        // served + throttled = demand; served + wasted = allocated.
+                                   // served + throttled = demand; served + wasted = allocated.
         assert_eq!(r.served + r.throttled, r.demand);
         assert_eq!(r.served + r.wasted, r.allocated);
         assert!((r.service_rate() - 10.0 / 12.0).abs() < 1e-12);

@@ -30,6 +30,11 @@ pub enum AllocationOutcome {
 #[derive(Clone, Debug)]
 pub struct Cluster {
     nodes: Vec<Node>,
+    /// Raw id of the first node; node ids are `first_node..first_node +
+    /// nodes.len()`.  The sharded simulator gives each shard its own
+    /// cluster with a distinct node range so reports never confuse two
+    /// shards' nodes.
+    first_node: u32,
     home_of: HashMap<DatabaseId, NodeId>,
     /// Databases moved because their home node was full on resume.
     pub spill_moves: u64,
@@ -40,21 +45,49 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Build `node_count` nodes of `capacity` units each.
+    /// Build `node_count` nodes of `capacity` units each, with node ids
+    /// `0..node_count`.
     ///
     /// # Errors
     ///
     /// Rejects an empty cluster or zero capacity.
     pub fn new(node_count: usize, capacity: usize) -> Result<Self, ProrpError> {
+        Cluster::with_node_range(0, node_count, capacity)
+    }
+
+    /// Build `node_count` nodes of `capacity` units each, with node ids
+    /// `first_node..first_node + node_count` — shard `s` of a sharded
+    /// simulation uses `first_node = s * node_count` so every node id in
+    /// the region is globally unique.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty cluster, zero capacity, or a node range that
+    /// overflows `u32`.
+    pub fn with_node_range(
+        first_node: u32,
+        node_count: usize,
+        capacity: usize,
+    ) -> Result<Self, ProrpError> {
         if node_count == 0 || capacity == 0 {
             return Err(ProrpError::Simulation(format!(
                 "cluster needs nodes and capacity, got {node_count} x {capacity}"
             )));
         }
+        if u32::try_from(node_count)
+            .ok()
+            .and_then(|n| first_node.checked_add(n))
+            .is_none()
+        {
+            return Err(ProrpError::Simulation(format!(
+                "node range {first_node}..+{node_count} overflows"
+            )));
+        }
         Ok(Cluster {
             nodes: (0..node_count)
-                .map(|i| Node::new(NodeId(i as u32), capacity))
+                .map(|i| Node::new(NodeId(first_node + i as u32), capacity))
                 .collect(),
+            first_node,
             home_of: HashMap::new(),
             spill_moves: 0,
             balance_moves: 0,
@@ -62,8 +95,13 @@ impl Cluster {
         })
     }
 
+    fn idx(&self, id: NodeId) -> usize {
+        (id.raw() - self.first_node) as usize
+    }
+
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.raw() as usize]
+        let i = self.idx(id);
+        &mut self.nodes[i]
     }
 
     /// The node a database is homed on.
@@ -114,7 +152,7 @@ impl Cluster {
             .max_by_key(|n| n.free())
             .expect("cluster is non-empty")
             .id();
-        if self.nodes[target.raw() as usize].free() == 0 {
+        if self.nodes[self.idx(target)].free() == 0 {
             // Whole cluster full: force the allocation (over-subscribe).
             self.oversubscriptions += 1;
             let node = self.node_mut(home);
@@ -148,7 +186,7 @@ impl Cluster {
         if home == target {
             return Ok(());
         }
-        let had_allocation = self.nodes[home.raw() as usize].has_allocation(db);
+        let had_allocation = self.nodes[self.idx(home)].has_allocation(db);
         self.node_mut(home).remove_home(db);
         let t = self.node_mut(target);
         t.add_home(db);
@@ -165,12 +203,12 @@ impl Cluster {
     pub fn rebalance_step(&mut self, threshold: usize) -> Option<(DatabaseId, NodeId, NodeId)> {
         let hot = self.nodes.iter().max_by_key(|n| n.in_use())?.id();
         let cold = self.nodes.iter().min_by_key(|n| n.in_use())?.id();
-        let hot_use = self.nodes[hot.raw() as usize].in_use();
-        let cold_use = self.nodes[cold.raw() as usize].in_use();
+        let hot_use = self.nodes[self.idx(hot)].in_use();
+        let cold_use = self.nodes[self.idx(cold)].in_use();
         if hot == cold || hot_use.saturating_sub(cold_use) <= threshold {
             return None;
         }
-        if self.nodes[cold.raw() as usize].free() == 0 {
+        if self.nodes[self.idx(cold)].free() == 0 {
             return None;
         }
         // Pick any allocated database on the hot node (deterministic:
@@ -178,7 +216,7 @@ impl Cluster {
         let candidate = self
             .home_of
             .iter()
-            .filter(|(db, node)| **node == hot && self.nodes[hot.raw() as usize].has_allocation(**db))
+            .filter(|(db, node)| **node == hot && self.nodes[self.idx(hot)].has_allocation(**db))
             .map(|(db, _)| *db)
             .min()?;
         self.move_database(candidate, cold).ok()?;
@@ -292,5 +330,28 @@ mod tests {
     fn rejects_degenerate_clusters() {
         assert!(Cluster::new(0, 5).is_err());
         assert!(Cluster::new(3, 0).is_err());
+        assert!(Cluster::with_node_range(u32::MAX - 1, 4, 5).is_err());
+    }
+
+    #[test]
+    fn offset_node_ranges_behave_like_base_zero() {
+        // Shard 3 of a 4-node-per-shard region: nodes 12..16.
+        let mut c = Cluster::with_node_range(12, 4, 2).unwrap();
+        for i in 0..8 {
+            c.place(db(i));
+        }
+        for n in c.nodes() {
+            assert!((12..16).contains(&n.id().raw()), "node {:?}", n.id());
+            assert_eq!(n.homed_count(), 2, "even spread");
+        }
+        let home = c.home_of(db(0)).unwrap();
+        assert!(matches!(
+            c.allocate(db(0)).unwrap(),
+            AllocationOutcome::OnHomeNode
+        ));
+        let target = NodeId(if home == NodeId(12) { 15 } else { 12 });
+        c.move_database(db(0), target).unwrap();
+        assert_eq!(c.home_of(db(0)), Some(target));
+        assert_eq!(c.total_in_use(), 1);
     }
 }

@@ -70,12 +70,24 @@ pub struct SimConfig {
     pub maintenance_deadline: Seconds,
     /// RNG seed for fault injection.
     pub seed: u64,
+    /// Number of simulation shards (worker threads).  Databases are
+    /// partitioned by id-hash ([`prorp_types::DatabaseId::shard_of`]) and
+    /// each shard runs its own event loop on its own cluster slice;
+    /// per-shard results are merged deterministically, so the same seed
+    /// yields identical KPIs for 1 and N shards (see
+    /// [`crate::shard`] for the exact guarantee).
+    pub shards: usize,
 }
 
 impl SimConfig {
     /// A config with production-like defaults over `[start, end)`,
     /// measuring from `measure_from`.
-    pub fn new(policy: SimPolicy, start: Timestamp, end: Timestamp, measure_from: Timestamp) -> Self {
+    pub fn new(
+        policy: SimPolicy,
+        start: Timestamp,
+        end: Timestamp,
+        measure_from: Timestamp,
+    ) -> Self {
         SimConfig {
             policy,
             start,
@@ -96,6 +108,7 @@ impl SimConfig {
             maintenance_duration: Seconds::minutes(20),
             maintenance_deadline: Seconds::hours(24),
             seed: 0,
+            shards: 1,
         }
     }
 
@@ -131,6 +144,11 @@ impl SimConfig {
         if self.maintenance_duration.as_secs() <= 0 || self.maintenance_deadline.as_secs() <= 0 {
             return Err(ProrpError::InvalidConfig(
                 "maintenance duration and deadline must be positive".into(),
+            ));
+        }
+        if self.shards == 0 {
+            return Err(ProrpError::InvalidConfig(
+                "shard count must be at least 1".into(),
             ));
         }
         if !(0.0..=1.0).contains(&self.stuck_probability) {
@@ -193,6 +211,12 @@ mod tests {
         let mut c = base();
         c.stuck_probability = 1.5;
         assert!(c.validate().is_err());
+        let mut c = base();
+        c.shards = 0;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.shards = 8;
+        c.validate().unwrap();
         let mut c = base();
         c.policy = SimPolicy::Proactive(PolicyConfig {
             confidence: 0.0,

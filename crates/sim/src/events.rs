@@ -131,7 +131,9 @@ mod tests {
         q.push(Timestamp(30), SimEvent::ActivityStart(db(1)));
         q.push(Timestamp(10), SimEvent::ActivityStart(db(2)));
         q.push(Timestamp(20), SimEvent::ActivityEnd(db(3)));
-        let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_secs()).collect();
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_secs())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

@@ -6,32 +6,23 @@
 //! metadata publication), runs the Algorithm 5 scan, and accounts every
 //! second of fleet time into the §8 segment kinds.
 //!
-//! One run is fully deterministic given the config seed and the traces.
+//! The event loop itself lives in [`crate::shard`]: the fleet is
+//! partitioned by database-id hash into [`SimConfig::shards`] shards,
+//! each shard runs a complete loop (on its own worker thread when more
+//! than one shard is configured), and this module merges the per-shard
+//! outcomes into one [`SimReport`].  The merge works on integer totals
+//! and counts only, so one run is fully deterministic given the config
+//! seed and the traces — and, under uncontended capacity, bit-identical
+//! across shard counts.
 
-use crate::cluster::{AllocationOutcome, Cluster};
-use crate::config::{SimConfig, SimPolicy};
-use crate::diagnostics::DiagnosticsRunner;
-use crate::events::{EventQueue, SimEvent};
-use prorp_core::{
-    DatabasePolicy, EngineAction, EngineCounters, EngineEvent, MaintenanceScheduler,
-    MaintenanceStats, OptimalEngine, PolicyKind, ProactiveEngine, ProactiveResumeOp,
-    ReactiveEngine,
-};
-use prorp_forecast::ProbabilisticPredictor;
-use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
-use prorp_telemetry::{KpiReport, SegmentAccumulator, SegmentKind, TelemetryKind, TelemetryLog};
-use prorp_types::{DatabaseId, DbState, ProrpError, Seconds, Timestamp};
+use crate::config::SimConfig;
+use crate::shard::{self, ShardOutcome};
+use prorp_core::{EngineCounters, MaintenanceStats, ProactiveResumeOp};
+use prorp_storage::StorageStats;
+use prorp_telemetry::{KpiReport, SegmentAccumulator, ShardCounters, TelemetryKind, TelemetryLog};
+use prorp_types::{DatabaseId, ProrpError, Seconds, Timestamp};
 use prorp_workload::Trace;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-/// One simulated database: its policy engine plus bookkeeping.
-struct DbSim {
-    engine: Box<dyn DatabasePolicy>,
-    acc: SegmentAccumulator,
-    demand: bool,
-    resume_in_flight: bool,
-}
+use std::collections::HashMap;
 
 /// Results of one simulation run.
 #[derive(Clone, Debug)]
@@ -42,11 +33,12 @@ pub struct SimReport {
     pub kpi: KpiReport,
     /// Full telemetry log (whole run, timestamped).
     pub telemetry: TelemetryLog,
-    /// Per-database engine counters (whole run).
+    /// Per-database engine counters (whole run), in input-trace order.
     pub counters: Vec<EngineCounters>,
     /// Batch sizes of each proactive-resume scan iteration (Figure 11).
     pub resume_batches: Vec<usize>,
-    /// Per-database history storage statistics at end of run (Figure 10).
+    /// Per-database history storage statistics at end of run (Figure 10),
+    /// in input-trace order.
     pub history_stats: Vec<StorageStats>,
     /// Databases moved because a resume found the home node full.
     pub spill_moves: u64,
@@ -61,6 +53,9 @@ pub struct SimReport {
     /// Maintenance placement quality (§11 future work 4); all zeros when
     /// maintenance is disabled.
     pub maintenance: MaintenanceStats,
+    /// Per-shard timing/throughput counters, one entry per shard in
+    /// shard order (a single entry for an unsharded run).
+    pub shard_counters: Vec<ShardCounters>,
     /// Measurement window start.
     pub measure_from: Timestamp,
     /// Simulation end.
@@ -94,21 +89,13 @@ impl Simulation {
         Ok(Simulation { config, traces })
     }
 
-    fn build_engine(&self, trace: &Trace) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
-        Ok(match &self.config.policy {
-            SimPolicy::Reactive => Box::new(ReactiveEngine::new(
-                Seconds::hours(7),
-                Seconds::days(28),
-            )?),
-            SimPolicy::Proactive(pc) => {
-                let predictor = ProbabilisticPredictor::new(*pc)?;
-                Box::new(ProactiveEngine::new(*pc, predictor)?)
-            }
-            SimPolicy::Optimal => Box::new(OptimalEngine::new(trace.sessions.clone())?),
-        })
-    }
-
     /// Run to completion and report.
+    ///
+    /// With `config.shards == 1` the whole fleet runs on the calling
+    /// thread; with more shards the fleet is partitioned by id-hash and
+    /// each shard's event loop runs on its own scoped worker thread.
+    /// Either way the merged report is identical (see [`crate::shard`]
+    /// for the determinism guarantee).
     ///
     /// # Errors
     ///
@@ -116,277 +103,93 @@ impl Simulation {
     /// violations (these indicate bugs, not bad inputs).
     pub fn run(self) -> Result<SimReport, ProrpError> {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut queue = EventQueue::new();
-        let mut cluster = Cluster::new(cfg.nodes, cfg.node_capacity)?;
-        let mut metadata = MetadataStore::new();
-        let mut telemetry = TelemetryLog::new();
-        let mut diagnostics = DiagnosticsRunner::new(cfg.stuck_timeout);
-        let mut resume_op =
-            ProactiveResumeOp::new(cfg.prewarm, cfg.resume_op_period, cfg.start)?;
-        let mut maintenance = MaintenanceScheduler::new();
-        let is_optimal = matches!(cfg.policy, SimPolicy::Optimal);
+        let partitions = shard::partition_fleet(&self.traces, cfg.shards);
+        let shard_traces: Vec<Vec<&Trace>> = partitions
+            .iter()
+            .map(|idxs| idxs.iter().map(|&i| &self.traces[i]).collect())
+            .collect();
 
-        // Build per-database state and enqueue every trace event.
-        let mut dbs: Vec<DbSim> = Vec::with_capacity(self.traces.len());
-        for trace in self.traces.iter() {
-            let engine = self.build_engine(trace)?;
-            let mut acc = SegmentAccumulator::new();
-            // Until the first login the fleet holds no resources for the
-            // database (§2.1: a new serverless database starts paused
-            // from the fleet's perspective).
-            acc.transition(cfg.start, SegmentKind::Saved);
-            dbs.push(DbSim {
-                engine,
-                acc,
-                demand: false,
-                resume_in_flight: false,
-            });
-            cluster.place(trace.db);
-            metadata.set_state(trace.db, DbState::Resumed);
-            for s in &trace.sessions {
-                if s.start >= cfg.start && s.start < cfg.end {
-                    queue.push(s.start, SimEvent::ActivityStart(trace.db));
-                }
-                if s.end >= cfg.start && s.end < cfg.end {
-                    queue.push(s.end, SimEvent::ActivityEnd(trace.db));
-                }
-            }
-        }
-        let db_index = |id: DatabaseId| id.raw() as usize;
+        let outcomes: Vec<ShardOutcome> = if cfg.shards == 1 {
+            vec![shard::run_shard(cfg, 0, &shard_traces[0])?]
+        } else {
+            let joined = crossbeam::scope(|scope| {
+                let handles: Vec<_> = shard_traces
+                    .iter()
+                    .enumerate()
+                    .map(|(i, traces)| scope.spawn(move |_| shard::run_shard(cfg, i, traces)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(ProrpError::Simulation("shard worker panicked".into()))
+                        })
+                    })
+                    .collect::<Vec<Result<ShardOutcome, ProrpError>>>()
+            })
+            .map_err(|_| ProrpError::Simulation("shard scope panicked".into()))?;
+            joined.into_iter().collect::<Result<Vec<_>, _>>()?
+        };
 
-        queue.push(cfg.measure_from, SimEvent::MeasureStart);
-        if !is_optimal {
-            queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
-        }
-        if let Some(p) = cfg.diagnostics_period {
-            queue.push(cfg.start + p, SimEvent::DiagnosticsTick);
-        }
-        if let Some(p) = cfg.rebalance_period {
-            queue.push(cfg.start + p, SimEvent::RebalanceTick);
-        }
-        if let Some(p) = cfg.maintenance_period {
-            // Stagger first due times across the fleet so jobs do not all
-            // land in the same second.
-            for trace in self.traces.iter() {
-                let stagger = Seconds((trace.db.raw() as i64 % p.as_secs().max(1)).max(1));
-                queue.push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
-            }
-        }
+        self.merge(outcomes)
+    }
 
-        let mut balance_moves_history = 0u64;
+    /// Merge per-shard outcomes into the fleet report.
+    ///
+    /// Every merged quantity is shard-order-independent: segment totals
+    /// and workflow counts are integer sums, per-database rows are
+    /// re-ordered to the input-trace order, batch sizes sum element-wise
+    /// per tick, and the telemetry log is k-way merged by timestamp.
+    /// Fleet KPI fractions are computed once from the summed totals —
+    /// never by averaging per-shard ratios — so a shard with zero
+    /// databases contributes nothing instead of dragging the QoS/COGS
+    /// percentages toward its (undefined) local ratio.
+    fn merge(&self, outcomes: Vec<ShardOutcome>) -> Result<SimReport, ProrpError> {
+        let cfg = &self.config;
+        let order: HashMap<DatabaseId, usize> = self
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.db, i))
+            .collect();
 
-        while let Some((now, event)) = queue.pop() {
-            if now >= cfg.end {
-                break;
-            }
-            match event {
-                SimEvent::MeasureStart => {
-                    for d in dbs.iter_mut() {
-                        d.acc.reset_keeping_open(now);
-                    }
-                }
-                SimEvent::ActivityStart(id) => {
-                    let idx = db_index(id);
-                    let was_state = dbs[idx].engine.state();
-                    let kind = dbs[idx].engine.kind();
-                    let prewarmed = matches!(
-                        dbs[idx].acc.open_kind(),
-                        Some(SegmentKind::ProactiveIdleWrong)
-                            | Some(SegmentKind::ProactiveIdleCorrect)
-                    );
-                    dbs[idx].demand = true;
-                    let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityStart);
-                    let available =
-                        was_state != DbState::PhysicallyPaused || kind == PolicyKind::Optimal;
-                    telemetry.record(now, id, TelemetryKind::Login { available });
-                    metadata.set_state(id, DbState::Resumed);
-                    // Hold compute while serving (idempotent).
-                    let outcome = cluster.allocate(id)?;
-                    if available {
-                        if prewarmed {
-                            dbs[idx]
-                                .acc
-                                .reclassify_open(SegmentKind::ProactiveIdleCorrect);
-                        }
-                        dbs[idx].acc.transition(now, SegmentKind::Active);
-                    } else {
-                        // Reactive resume: the customer waits out the
-                        // allocation workflow (§2.2's delay).
-                        dbs[idx].acc.transition(now, SegmentKind::Unavailable);
-                        let mut latency = cfg.resume_latency;
-                        if matches!(outcome, AllocationOutcome::Moved { .. }) {
-                            latency = latency + cfg.move_penalty;
-                        }
-                        diagnostics.workflow_started(id, now);
-                        dbs[idx].resume_in_flight = true;
-                        let hangs = cfg.stuck_probability > 0.0
-                            && rng.random_bool(cfg.stuck_probability);
-                        if !hangs {
-                            queue.push(now + latency, SimEvent::WorkflowComplete(id));
-                        }
-                    }
-                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
-                }
-                SimEvent::ActivityEnd(id) => {
-                    let idx = db_index(id);
-                    if !dbs[idx].demand {
-                        continue;
-                    }
-                    dbs[idx].demand = false;
-                    dbs[idx].resume_in_flight = false;
-                    let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityEnd);
-                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
-                    let state = dbs[idx].engine.state();
-                    metadata.set_state(id, state);
-                    match state {
-                        DbState::LogicallyPaused => {
-                            telemetry.record(now, id, TelemetryKind::LogicalPause);
-                            dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
-                        }
-                        DbState::PhysicallyPaused => {
-                            telemetry.record(now, id, TelemetryKind::PhysicalPause);
-                            dbs[idx].acc.transition(now, SegmentKind::Saved);
-                        }
-                        DbState::Resumed => {
-                            // Engines always leave Resumed on ActivityEnd;
-                            // defensive only.
-                            dbs[idx].acc.transition(now, SegmentKind::Active);
-                        }
-                    }
-                }
-                SimEvent::EngineTimer(id, token) => {
-                    let idx = db_index(id);
-                    let before = dbs[idx].engine.state();
-                    let actions = dbs[idx]
-                        .engine
-                        .on_event(now, EngineEvent::Timer(token));
-                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
-                    let after = dbs[idx].engine.state();
-                    if before == DbState::LogicallyPaused && after == DbState::PhysicallyPaused {
-                        telemetry.record(now, id, TelemetryKind::PhysicalPause);
-                        dbs[idx].acc.transition(now, SegmentKind::Saved);
-                    }
-                    metadata.set_state(id, after);
-                }
-                SimEvent::ResumeOpTick => {
-                    let selected = resume_op.run(now, &metadata);
-                    for id in selected {
-                        queue.push(now, SimEvent::ProactiveResume(id));
-                    }
-                    if resume_op.next_run() < cfg.end {
-                        queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
-                    }
-                }
-                SimEvent::ProactiveResume(id) => {
-                    let idx = db_index(id);
-                    if dbs[idx].engine.state() != DbState::PhysicallyPaused || dbs[idx].demand {
-                        continue; // raced with a login
-                    }
-                    let actions = dbs[idx]
-                        .engine
-                        .on_event(now, EngineEvent::ProactiveResume);
-                    if actions.is_empty() {
-                        continue; // the engine declined (e.g. reactive)
-                    }
-                    telemetry.record(now, id, TelemetryKind::ProactiveResume);
-                    cluster.allocate(id)?;
-                    // Optimistically "wrong" until the login proves it
-                    // correct.
-                    dbs[idx]
-                        .acc
-                        .transition(now, SegmentKind::ProactiveIdleWrong);
-                    metadata.set_state(id, dbs[idx].engine.state());
-                    self.apply_actions(&actions, id, now, &mut queue, &mut metadata, &mut cluster);
-                }
-                SimEvent::WorkflowComplete(id) => {
-                    let idx = db_index(id);
-                    diagnostics.workflow_completed(id);
-                    if !dbs[idx].resume_in_flight {
-                        continue; // superseded (activity ended meanwhile)
-                    }
-                    dbs[idx].resume_in_flight = false;
-                    match dbs[idx].engine.state() {
-                        DbState::Resumed if dbs[idx].demand => {
-                            dbs[idx].acc.transition(now, SegmentKind::Active);
-                        }
-                        DbState::LogicallyPaused => {
-                            dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
-                        }
-                        _ => {}
-                    }
-                }
-                SimEvent::DiagnosticsTick => {
-                    for id in diagnostics.sweep(now) {
-                        // Mitigation force-completes the workflow now.
-                        queue.push(now, SimEvent::WorkflowComplete(id));
-                    }
-                    if let Some(p) = cfg.diagnostics_period {
-                        queue.push(now + p, SimEvent::DiagnosticsTick);
-                    }
-                }
-                SimEvent::MaintenanceDue(id) => {
-                    let idx = db_index(id);
-                    let prediction = dbs[idx].engine.current_prediction();
-                    let deadline = now + cfg.maintenance_deadline;
-                    let slot = maintenance.place(
-                        now,
-                        prediction.as_ref(),
-                        cfg.maintenance_duration,
-                        deadline,
-                    )?;
-                    if slot.start() < cfg.end {
-                        queue.push(slot.start(), SimEvent::MaintenanceRun(id));
-                    }
-                    telemetry.record(
-                        now,
-                        id,
-                        TelemetryKind::Maintenance {
-                            forced: !slot.is_free(),
-                        },
-                    );
-                    if let Some(p) = cfg.maintenance_period {
-                        queue.push(now + p, SimEvent::MaintenanceDue(id));
-                    }
-                }
-                SimEvent::MaintenanceRun(id) => {
-                    // §3.3: maintenance resumes are NOT recorded as customer
-                    // activity and do not move the policy state machine.  A
-                    // job on a physically paused database briefly allocates
-                    // and releases compute (the backend load the scheduler
-                    // minimises); a job on a resumed or logically paused
-                    // database rides the existing allocation.
-                    let idx = db_index(id);
-                    if dbs[idx].engine.state() == DbState::PhysicallyPaused {
-                        let _ = cluster.allocate(id)?;
-                        cluster.release(id);
-                    }
-                }
-                SimEvent::RebalanceTick => {
-                    if let Some((moved, _, _)) = cluster.rebalance_step(cfg.rebalance_threshold) {
-                        // Ship the history with the database (§3.3): the
-                        // move serialises pages and restores them on the
-                        // destination node.
-                        let idx = db_index(moved);
-                        let bytes = backup_history(dbs[idx].engine.history())?;
-                        let restored = restore_history(&bytes)?;
-                        dbs[idx].engine.restore_history(restored);
-                        telemetry.record(now, moved, TelemetryKind::Move);
-                        balance_moves_history += 1;
-                    }
-                    if let Some(p) = cfg.rebalance_period {
-                        queue.push(now + p, SimEvent::RebalanceTick);
-                    }
-                }
-            }
-        }
-
-        // Close the books.
         let mut fleet_acc = SegmentAccumulator::new();
-        for d in dbs.iter_mut() {
-            d.acc.close(cfg.end);
-            fleet_acc.merge(&d.acc);
+        let mut counters: Vec<Option<EngineCounters>> = vec![None; self.traces.len()];
+        let mut history_stats: Vec<Option<StorageStats>> = vec![None; self.traces.len()];
+        let mut forecast_failures = 0u64;
+        let mut spill_moves = 0u64;
+        let mut balance_moves = 0u64;
+        let mut oversubscriptions = 0u64;
+        let mut mitigations = 0u64;
+        let mut incidents = 0u64;
+        let mut maintenance = MaintenanceStats::default();
+        let mut shard_counters = Vec::with_capacity(outcomes.len());
+        let mut shard_batches = Vec::with_capacity(outcomes.len());
+        let mut shard_logs = Vec::with_capacity(outcomes.len());
+
+        for outcome in outcomes {
+            for (id, acc, ctr, stats) in &outcome.dbs {
+                fleet_acc.merge(acc);
+                forecast_failures += ctr.forecast_failures;
+                let at = *order
+                    .get(id)
+                    .ok_or_else(|| ProrpError::Simulation(format!("unknown database {id}")))?;
+                counters[at] = Some(*ctr);
+                history_stats[at] = Some(*stats);
+            }
+            spill_moves += outcome.spill_moves;
+            balance_moves += outcome.balance_moves;
+            oversubscriptions += outcome.oversubscriptions;
+            mitigations += outcome.mitigations;
+            incidents += outcome.incidents;
+            maintenance.piggybacked += outcome.maintenance.piggybacked;
+            maintenance.forced_resumes += outcome.maintenance.forced_resumes;
+            shard_batches.push(outcome.resume_batches);
+            shard_counters.push(outcome.counters);
+            shard_logs.push(outcome.telemetry);
         }
+
+        let telemetry = TelemetryLog::merge(shard_logs);
         let mut kpi = KpiReport::from_segments(&fleet_acc);
         for e in telemetry.range(cfg.measure_from, cfg.end) {
             match e.kind {
@@ -398,80 +201,42 @@ impl Simulation {
                 _ => {}
             }
         }
-        kpi.forecast_failures = dbs
-            .iter()
-            .map(|d| d.engine.counters().forecast_failures)
-            .sum();
+        kpi.forecast_failures = forecast_failures;
 
-        let counters: Vec<EngineCounters> =
-            dbs.iter().map(|d| d.engine.counters()).collect();
-        let history_stats: Vec<StorageStats> =
-            dbs.iter().map(|d| d.engine.history().stats()).collect();
-        debug_assert_eq!(balance_moves_history, cluster.balance_moves);
+        fn collect<T>(rows: Vec<Option<T>>, what: &str) -> Result<Vec<T>, ProrpError> {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    r.ok_or_else(|| {
+                        ProrpError::Simulation(format!("trace {i} missing from merged {what}"))
+                    })
+                })
+                .collect()
+        }
 
         Ok(SimReport {
             policy_label: cfg.policy.label(),
             kpi,
             telemetry,
-            counters,
-            resume_batches: resume_op.batch_sizes().to_vec(),
-            history_stats,
-            spill_moves: cluster.spill_moves,
-            balance_moves: cluster.balance_moves,
-            oversubscriptions: cluster.oversubscriptions,
-            mitigations: diagnostics.mitigations,
-            incidents: diagnostics.incidents,
-            maintenance: maintenance.stats(),
+            counters: collect(counters, "counters")?,
+            resume_batches: ProactiveResumeOp::sum_shard_batches(&shard_batches),
+            history_stats: collect(history_stats, "history stats")?,
+            spill_moves,
+            balance_moves,
+            oversubscriptions,
+            mitigations,
+            incidents,
+            maintenance,
+            shard_counters,
             measure_from: cfg.measure_from,
             end: cfg.end,
         })
     }
-
-    /// Execute the side effects an engine requested.
-    fn apply_actions(
-        &self,
-        actions: &[EngineAction],
-        id: DatabaseId,
-        now: Timestamp,
-        queue: &mut EventQueue,
-        metadata: &mut MetadataStore,
-        cluster: &mut Cluster,
-    ) {
-        let is_optimal = matches!(self.config.policy, SimPolicy::Optimal);
-        for action in actions {
-            match action {
-                EngineAction::Allocate => {
-                    // Allocation is performed by the event handlers (they
-                    // know the latency context); nothing extra here.
-                }
-                EngineAction::Reclaim => {
-                    cluster.release(id);
-                }
-                EngineAction::SetPredictedStart(pred) => {
-                    metadata.set_prediction(id, *pred);
-                    if is_optimal {
-                        // The oracle policy bypasses the periodic scan and
-                        // resumes exactly on time (zero-latency idealisation).
-                        if let Some(at) = pred {
-                            if *at >= now && *at < self.config.end {
-                                queue.push(*at, SimEvent::ProactiveResume(id));
-                            }
-                        }
-                    }
-                }
-                EngineAction::ScheduleTimer(at, token) => {
-                    if *at < self.config.end {
-                        queue.push(*at, SimEvent::EngineTimer(id, *token));
-                    }
-                }
-            }
-        }
-    }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SimPolicy;
     use prorp_types::{PolicyConfig, Session};
     use prorp_workload::{RegionName, RegionProfile};
 
@@ -485,9 +250,7 @@ mod tests {
     /// One database with a strict 09:00–17:00 daily pattern for 35 days.
     fn daily_trace() -> Trace {
         let sessions: Vec<Session> = (0..35)
-            .map(|d| {
-                Session::new(t(d * DAY + 9 * HOUR), t(d * DAY + 17 * HOUR)).unwrap()
-            })
+            .map(|d| Session::new(t(d * DAY + 9 * HOUR), t(d * DAY + 17 * HOUR)).unwrap())
             .collect();
         Trace::new(DatabaseId(0), "daily", sessions).unwrap()
     }
@@ -497,7 +260,10 @@ mod tests {
     }
 
     fn run(policy: SimPolicy, traces: Vec<Trace>) -> SimReport {
-        Simulation::new(config_for(policy), traces).unwrap().run().unwrap()
+        Simulation::new(config_for(policy), traces)
+            .unwrap()
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -553,7 +319,10 @@ mod tests {
     fn fleet_simulation_is_deterministic() {
         let profile = RegionProfile::for_region(RegionName::Eu1);
         let traces = profile.generate_fleet(40, t(0), t(35 * DAY), 17);
-        let a = run(SimPolicy::Proactive(PolicyConfig::default()), traces.clone());
+        let a = run(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            traces.clone(),
+        );
         let b = run(SimPolicy::Proactive(PolicyConfig::default()), traces);
         assert_eq!(a.kpi, b.kpi);
         assert_eq!(a.resume_batches, b.resume_batches);
@@ -565,7 +334,10 @@ mod tests {
         let profile = RegionProfile::for_region(RegionName::Eu1);
         let traces = profile.generate_fleet(60, t(0), t(35 * DAY), 3);
         let reactive = run(SimPolicy::Reactive, traces.clone());
-        let proactive = run(SimPolicy::Proactive(PolicyConfig::default()), traces.clone());
+        let proactive = run(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            traces.clone(),
+        );
         let optimal = run(SimPolicy::Optimal, traces);
         assert!(
             proactive.kpi.qos_pct() > reactive.kpi.qos_pct(),
@@ -671,12 +443,7 @@ mod tests {
                 Trace::new(DatabaseId(i as u64), "daily", sessions).unwrap()
             })
             .collect();
-        let mut cfg = SimConfig::new(
-            SimPolicy::Reactive,
-            t(0),
-            t(32 * DAY),
-            t(28 * DAY),
-        );
+        let mut cfg = SimConfig::new(SimPolicy::Reactive, t(0), t(32 * DAY), t(28 * DAY));
         cfg.nodes = 4;
         cfg.node_capacity = 3; // 12 slots for 20 concurrently active DBs
         let report = Simulation::new(cfg, traces).unwrap().run().unwrap();
@@ -706,7 +473,10 @@ mod tests {
 
     #[test]
     fn forecast_failures_zero_without_fault_injection() {
-        let report = run(SimPolicy::Proactive(PolicyConfig::default()), vec![daily_trace()]);
+        let report = run(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            vec![daily_trace()],
+        );
         assert_eq!(report.kpi.forecast_failures, 0);
     }
 }

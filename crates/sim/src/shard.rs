@@ -1,0 +1,562 @@
+//! The per-shard event loop of the sharded fleet simulation.
+//!
+//! A region-scale run (§9 evaluates fleets of hundreds of thousands of
+//! databases) is embarrassingly parallel *almost* everywhere: policy
+//! engines, segment accounting, and the Algorithm 5 scan are all
+//! per-database or per-partition work.  This module exploits that by
+//! partitioning the fleet by id-hash ([`DatabaseId::shard_of`]) into
+//! `SimConfig::shards` shards and running one complete event loop per
+//! shard, each with its own:
+//!
+//! * [`EventQueue`] over the shard's traces only;
+//! * cluster slice ([`Cluster::with_node_range`]) with globally unique
+//!   node ids, full `nodes × node_capacity` per shard;
+//! * shard-local `sys.databases` partition ([`MetadataStore`]) scanned by
+//!   a shard-local Algorithm 5 [`ProactiveResumeOp`] on the *same* tick
+//!   schedule as every other shard;
+//! * diagnostics runner and maintenance scheduler.
+//!
+//! # Determinism guarantee
+//!
+//! The merged report is a pure function of `(seed, traces)` regardless of
+//! the shard count: every cross-shard quantity is either an integer sum
+//! (segment totals, login/workflow counts, batch sizes per tick) or a
+//! deterministic k-way merge (the telemetry log).  The one stateful
+//! global in the single-threaded driver — the fault-injection RNG — is
+//! replaced by a *stateless* per-`(seed, database, timestamp)` SplitMix64
+//! draw (`workflow_hangs`), so whether a workflow hangs does not depend
+//! on which shard processes it or in what order.  Fleet KPIs are computed
+//! once, from the summed integer segment totals, never by averaging
+//! per-shard ratios — which is also why an empty shard (zero databases
+//! hash into it) contributes exactly nothing instead of skewing the
+//! QoS/COGS fractions.
+//!
+//! The guarantee covers uncontended capacity (the default
+//! `nodes × node_capacity` is sized so resumes never spill).  Under
+//! deliberate capacity pressure the partitioning itself changes placement
+//! dynamics — two databases that competed for one node may land in
+//! different shards — exactly as moving a database to a different ring
+//! would in production.
+
+use crate::cluster::{AllocationOutcome, Cluster};
+use crate::config::{SimConfig, SimPolicy};
+use crate::diagnostics::DiagnosticsRunner;
+use crate::events::{EventQueue, SimEvent};
+use prorp_core::{
+    DatabasePolicy, EngineAction, EngineCounters, EngineEvent, MaintenanceScheduler,
+    MaintenanceStats, OptimalEngine, PolicyKind, ProactiveEngine, ProactiveResumeOp,
+    ReactiveEngine,
+};
+use prorp_forecast::ProbabilisticPredictor;
+use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
+use prorp_telemetry::{
+    SegmentAccumulator, SegmentKind, ShardCounters, TelemetryKind, TelemetryLog,
+};
+use prorp_types::{DatabaseId, DbState, ProrpError, Seconds, Timestamp};
+use prorp_workload::Trace;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One simulated database: its policy engine plus bookkeeping.
+struct DbSim {
+    id: DatabaseId,
+    engine: Box<dyn DatabasePolicy>,
+    acc: SegmentAccumulator,
+    demand: bool,
+    resume_in_flight: bool,
+}
+
+/// Everything one shard worker produced; the runner merges these into the
+/// fleet-level [`SimReport`](crate::SimReport).
+pub(crate) struct ShardOutcome {
+    /// Per-database results in shard-trace order: `(id, closed segment
+    /// accumulator, engine counters, history storage stats)`.
+    pub dbs: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)>,
+    /// The shard's time-ordered telemetry log.
+    pub telemetry: TelemetryLog,
+    /// Algorithm 5 batch sizes, one entry per scan tick.
+    pub resume_batches: Vec<usize>,
+    /// Spill moves on this shard's cluster slice.
+    pub spill_moves: u64,
+    /// Load-balancing moves on this shard's cluster slice.
+    pub balance_moves: u64,
+    /// Over-subscription incidents on this shard's cluster slice.
+    pub oversubscriptions: u64,
+    /// Hung workflows the shard's diagnostics runner force-completed.
+    pub mitigations: u64,
+    /// Repeat stuck databases escalated as incidents.
+    pub incidents: u64,
+    /// Maintenance placement counters.
+    pub maintenance: MaintenanceStats,
+    /// Timing/throughput counters for this worker.
+    pub counters: ShardCounters,
+}
+
+/// Partition trace indices by database-id hash into `shard_count` groups.
+///
+/// Returns one `Vec` of indices into `traces` per shard; every trace
+/// appears in exactly one group.  Within a group the original trace order
+/// is preserved.
+///
+/// # Panics
+///
+/// Panics when `shard_count` is zero.
+pub fn partition_fleet(traces: &[Trace], shard_count: usize) -> Vec<Vec<usize>> {
+    assert!(shard_count > 0, "shard_count must be positive");
+    let mut parts = vec![Vec::new(); shard_count];
+    for (i, trace) in traces.iter().enumerate() {
+        parts[trace.db.shard_of(shard_count)].push(i);
+    }
+    parts
+}
+
+/// Stateless fault-injection draw: does the resume workflow that database
+/// `db` starts at `now` hang?
+///
+/// A pure function of `(seed, db, now)` via chained SplitMix64, so the
+/// outcome is independent of shard layout and event interleaving — the
+/// property that makes sharded runs reproduce the single-threaded run
+/// bit-for-bit.
+fn workflow_hangs(seed: u64, db: DatabaseId, now: Timestamp, probability: f64) -> bool {
+    if probability <= 0.0 {
+        return false;
+    }
+    let mut h = rand::splitmix64(seed ^ 0x5175_636B_5072_6F62); // stream tag
+    h = rand::splitmix64(h ^ db.raw());
+    h = rand::splitmix64(h ^ now.as_secs() as u64);
+    // 53 mantissa bits → uniform in [0, 1).
+    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < probability
+}
+
+fn build_engine(cfg: &SimConfig, trace: &Trace) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
+    Ok(match &cfg.policy {
+        SimPolicy::Reactive => Box::new(ReactiveEngine::new(Seconds::hours(7), Seconds::days(28))?),
+        SimPolicy::Proactive(pc) => {
+            let predictor = ProbabilisticPredictor::new(*pc)?;
+            Box::new(ProactiveEngine::new(*pc, predictor)?)
+        }
+        SimPolicy::Optimal => Box::new(OptimalEngine::new(trace.sessions.clone())?),
+    })
+}
+
+/// Execute the side effects an engine requested.
+fn apply_actions(
+    cfg: &SimConfig,
+    actions: &[EngineAction],
+    id: DatabaseId,
+    now: Timestamp,
+    queue: &mut EventQueue,
+    metadata: &mut MetadataStore,
+    cluster: &mut Cluster,
+) {
+    let is_optimal = matches!(cfg.policy, SimPolicy::Optimal);
+    for action in actions {
+        match action {
+            EngineAction::Allocate => {
+                // Allocation is performed by the event handlers (they
+                // know the latency context); nothing extra here.
+            }
+            EngineAction::Reclaim => {
+                cluster.release(id);
+            }
+            EngineAction::SetPredictedStart(pred) => {
+                metadata.set_prediction(id, *pred);
+                if is_optimal {
+                    // The oracle policy bypasses the periodic scan and
+                    // resumes exactly on time (zero-latency idealisation).
+                    if let Some(at) = pred {
+                        if *at >= now && *at < cfg.end {
+                            queue.push(*at, SimEvent::ProactiveResume(id));
+                        }
+                    }
+                }
+            }
+            EngineAction::ScheduleTimer(at, token) => {
+                if *at < cfg.end {
+                    queue.push(*at, SimEvent::EngineTimer(id, *token));
+                }
+            }
+        }
+    }
+}
+
+/// Run one shard's complete event loop over `traces` (the shard's subset
+/// of the fleet) and return its mergeable outcome.
+pub(crate) fn run_shard(
+    cfg: &SimConfig,
+    shard: usize,
+    traces: &[&Trace],
+) -> Result<ShardOutcome, ProrpError> {
+    let started = Instant::now();
+    let mut counters = ShardCounters::new(shard, traces.len());
+    let mut queue = EventQueue::new();
+    // Each shard owns a full-size slice of the region: `nodes` nodes of
+    // `node_capacity`, with globally unique node ids.
+    let first_node = u32::try_from(shard * cfg.nodes).map_err(|_| {
+        ProrpError::Simulation(format!("node range for shard {shard} overflows u32"))
+    })?;
+    let mut cluster = Cluster::with_node_range(first_node, cfg.nodes, cfg.node_capacity)?;
+    let mut metadata = MetadataStore::new();
+    let mut telemetry = TelemetryLog::new();
+    let mut diagnostics = DiagnosticsRunner::new(cfg.stuck_timeout);
+    // Every shard ticks on the same schedule (first run at `cfg.start`,
+    // same period), so batch sizes merge element-wise across shards.
+    let mut resume_op = ProactiveResumeOp::new(cfg.prewarm, cfg.resume_op_period, cfg.start)?;
+    let mut maintenance = MaintenanceScheduler::new();
+    let is_optimal = matches!(cfg.policy, SimPolicy::Optimal);
+
+    // Build per-database state and enqueue every trace event.
+    let mut dbs: Vec<DbSim> = Vec::with_capacity(traces.len());
+    let mut db_index: HashMap<DatabaseId, usize> = HashMap::with_capacity(traces.len());
+    for trace in traces {
+        let engine = build_engine(cfg, trace)?;
+        let mut acc = SegmentAccumulator::new();
+        // Until the first login the fleet holds no resources for the
+        // database (§2.1: a new serverless database starts paused from
+        // the fleet's perspective).
+        acc.transition(cfg.start, SegmentKind::Saved);
+        db_index.insert(trace.db, dbs.len());
+        dbs.push(DbSim {
+            id: trace.db,
+            engine,
+            acc,
+            demand: false,
+            resume_in_flight: false,
+        });
+        cluster.place(trace.db);
+        metadata.set_state(trace.db, DbState::Resumed);
+        for s in &trace.sessions {
+            if s.start >= cfg.start && s.start < cfg.end {
+                queue.push(s.start, SimEvent::ActivityStart(trace.db));
+            }
+            if s.end >= cfg.start && s.end < cfg.end {
+                queue.push(s.end, SimEvent::ActivityEnd(trace.db));
+            }
+        }
+    }
+    let db_index = |id: DatabaseId| -> usize {
+        *db_index
+            .get(&id)
+            .expect("event for a database of another shard")
+    };
+
+    queue.push(cfg.measure_from, SimEvent::MeasureStart);
+    if !is_optimal {
+        queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
+    }
+    if let Some(p) = cfg.diagnostics_period {
+        queue.push(cfg.start + p, SimEvent::DiagnosticsTick);
+    }
+    if let Some(p) = cfg.rebalance_period {
+        queue.push(cfg.start + p, SimEvent::RebalanceTick);
+    }
+    if let Some(p) = cfg.maintenance_period {
+        // Stagger first due times across the fleet so jobs do not all
+        // land in the same second.
+        for trace in traces {
+            let stagger = Seconds((trace.db.raw() as i64 % p.as_secs().max(1)).max(1));
+            queue.push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
+        }
+    }
+
+    let mut balance_moves_history = 0u64;
+
+    while let Some((now, event)) = queue.pop() {
+        if now >= cfg.end {
+            break;
+        }
+        counters.events_processed += 1;
+        match event {
+            SimEvent::MeasureStart => {
+                for d in dbs.iter_mut() {
+                    d.acc.reset_keeping_open(now);
+                }
+            }
+            SimEvent::ActivityStart(id) => {
+                let idx = db_index(id);
+                let was_state = dbs[idx].engine.state();
+                let kind = dbs[idx].engine.kind();
+                let prewarmed = matches!(
+                    dbs[idx].acc.open_kind(),
+                    Some(SegmentKind::ProactiveIdleWrong) | Some(SegmentKind::ProactiveIdleCorrect)
+                );
+                dbs[idx].demand = true;
+                let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityStart);
+                let available =
+                    was_state != DbState::PhysicallyPaused || kind == PolicyKind::Optimal;
+                telemetry.record(now, id, TelemetryKind::Login { available });
+                metadata.set_state(id, DbState::Resumed);
+                // Hold compute while serving (idempotent).
+                let outcome = cluster.allocate(id)?;
+                if available {
+                    if prewarmed {
+                        dbs[idx]
+                            .acc
+                            .reclassify_open(SegmentKind::ProactiveIdleCorrect);
+                    }
+                    dbs[idx].acc.transition(now, SegmentKind::Active);
+                } else {
+                    // Reactive resume: the customer waits out the
+                    // allocation workflow (§2.2's delay).
+                    dbs[idx].acc.transition(now, SegmentKind::Unavailable);
+                    let mut latency = cfg.resume_latency;
+                    if matches!(outcome, AllocationOutcome::Moved { .. }) {
+                        latency = latency + cfg.move_penalty;
+                    }
+                    diagnostics.workflow_started(id, now);
+                    dbs[idx].resume_in_flight = true;
+                    if !workflow_hangs(cfg.seed, id, now, cfg.stuck_probability) {
+                        queue.push(now + latency, SimEvent::WorkflowComplete(id));
+                    }
+                }
+                apply_actions(
+                    cfg,
+                    &actions,
+                    id,
+                    now,
+                    &mut queue,
+                    &mut metadata,
+                    &mut cluster,
+                );
+            }
+            SimEvent::ActivityEnd(id) => {
+                let idx = db_index(id);
+                if !dbs[idx].demand {
+                    continue;
+                }
+                dbs[idx].demand = false;
+                dbs[idx].resume_in_flight = false;
+                let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityEnd);
+                apply_actions(
+                    cfg,
+                    &actions,
+                    id,
+                    now,
+                    &mut queue,
+                    &mut metadata,
+                    &mut cluster,
+                );
+                let state = dbs[idx].engine.state();
+                metadata.set_state(id, state);
+                match state {
+                    DbState::LogicallyPaused => {
+                        telemetry.record(now, id, TelemetryKind::LogicalPause);
+                        dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
+                    }
+                    DbState::PhysicallyPaused => {
+                        telemetry.record(now, id, TelemetryKind::PhysicalPause);
+                        dbs[idx].acc.transition(now, SegmentKind::Saved);
+                    }
+                    DbState::Resumed => {
+                        // Engines always leave Resumed on ActivityEnd;
+                        // defensive only.
+                        dbs[idx].acc.transition(now, SegmentKind::Active);
+                    }
+                }
+            }
+            SimEvent::EngineTimer(id, token) => {
+                let idx = db_index(id);
+                let before = dbs[idx].engine.state();
+                let actions = dbs[idx].engine.on_event(now, EngineEvent::Timer(token));
+                apply_actions(
+                    cfg,
+                    &actions,
+                    id,
+                    now,
+                    &mut queue,
+                    &mut metadata,
+                    &mut cluster,
+                );
+                let after = dbs[idx].engine.state();
+                if before == DbState::LogicallyPaused && after == DbState::PhysicallyPaused {
+                    telemetry.record(now, id, TelemetryKind::PhysicalPause);
+                    dbs[idx].acc.transition(now, SegmentKind::Saved);
+                }
+                metadata.set_state(id, after);
+            }
+            SimEvent::ResumeOpTick => {
+                counters.resume_scans += 1;
+                let selected = resume_op.run(now, &metadata);
+                for id in selected {
+                    queue.push(now, SimEvent::ProactiveResume(id));
+                }
+                if resume_op.next_run() < cfg.end {
+                    queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
+                }
+            }
+            SimEvent::ProactiveResume(id) => {
+                let idx = db_index(id);
+                if dbs[idx].engine.state() != DbState::PhysicallyPaused || dbs[idx].demand {
+                    continue; // raced with a login
+                }
+                let actions = dbs[idx].engine.on_event(now, EngineEvent::ProactiveResume);
+                if actions.is_empty() {
+                    continue; // the engine declined (e.g. reactive)
+                }
+                telemetry.record(now, id, TelemetryKind::ProactiveResume);
+                cluster.allocate(id)?;
+                // Optimistically "wrong" until the login proves it
+                // correct.
+                dbs[idx]
+                    .acc
+                    .transition(now, SegmentKind::ProactiveIdleWrong);
+                metadata.set_state(id, dbs[idx].engine.state());
+                apply_actions(
+                    cfg,
+                    &actions,
+                    id,
+                    now,
+                    &mut queue,
+                    &mut metadata,
+                    &mut cluster,
+                );
+            }
+            SimEvent::WorkflowComplete(id) => {
+                let idx = db_index(id);
+                diagnostics.workflow_completed(id);
+                if !dbs[idx].resume_in_flight {
+                    continue; // superseded (activity ended meanwhile)
+                }
+                dbs[idx].resume_in_flight = false;
+                match dbs[idx].engine.state() {
+                    DbState::Resumed if dbs[idx].demand => {
+                        dbs[idx].acc.transition(now, SegmentKind::Active);
+                    }
+                    DbState::LogicallyPaused => {
+                        dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
+                    }
+                    _ => {}
+                }
+            }
+            SimEvent::DiagnosticsTick => {
+                for id in diagnostics.sweep(now) {
+                    // Mitigation force-completes the workflow now.
+                    queue.push(now, SimEvent::WorkflowComplete(id));
+                }
+                if let Some(p) = cfg.diagnostics_period {
+                    queue.push(now + p, SimEvent::DiagnosticsTick);
+                }
+            }
+            SimEvent::MaintenanceDue(id) => {
+                let idx = db_index(id);
+                let prediction = dbs[idx].engine.current_prediction();
+                let deadline = now + cfg.maintenance_deadline;
+                let slot = maintenance.place(
+                    now,
+                    prediction.as_ref(),
+                    cfg.maintenance_duration,
+                    deadline,
+                )?;
+                if slot.start() < cfg.end {
+                    queue.push(slot.start(), SimEvent::MaintenanceRun(id));
+                }
+                telemetry.record(
+                    now,
+                    id,
+                    TelemetryKind::Maintenance {
+                        forced: !slot.is_free(),
+                    },
+                );
+                if let Some(p) = cfg.maintenance_period {
+                    queue.push(now + p, SimEvent::MaintenanceDue(id));
+                }
+            }
+            SimEvent::MaintenanceRun(id) => {
+                // §3.3: maintenance resumes are NOT recorded as customer
+                // activity and do not move the policy state machine.  A
+                // job on a physically paused database briefly allocates
+                // and releases compute (the backend load the scheduler
+                // minimises); a job on a resumed or logically paused
+                // database rides the existing allocation.
+                let idx = db_index(id);
+                if dbs[idx].engine.state() == DbState::PhysicallyPaused {
+                    let _ = cluster.allocate(id)?;
+                    cluster.release(id);
+                }
+            }
+            SimEvent::RebalanceTick => {
+                if let Some((moved, _, _)) = cluster.rebalance_step(cfg.rebalance_threshold) {
+                    // Ship the history with the database (§3.3): the
+                    // move serialises pages and restores them on the
+                    // destination node.
+                    let idx = db_index(moved);
+                    let bytes = backup_history(dbs[idx].engine.history())?;
+                    let restored = restore_history(&bytes)?;
+                    dbs[idx].engine.restore_history(restored);
+                    telemetry.record(now, moved, TelemetryKind::Move);
+                    balance_moves_history += 1;
+                }
+                if let Some(p) = cfg.rebalance_period {
+                    queue.push(now + p, SimEvent::RebalanceTick);
+                }
+            }
+        }
+    }
+
+    debug_assert_eq!(balance_moves_history, cluster.balance_moves);
+
+    // Close the books.
+    let db_results: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)> = dbs
+        .iter_mut()
+        .map(|d| {
+            d.acc.close(cfg.end);
+            (d.id, d.acc, d.engine.counters(), d.engine.history().stats())
+        })
+        .collect();
+
+    counters.telemetry_events = telemetry.len() as u64;
+    counters.set_wall_clock(started.elapsed());
+
+    Ok(ShardOutcome {
+        dbs: db_results,
+        telemetry,
+        resume_batches: resume_op.batch_sizes().to_vec(),
+        spill_moves: cluster.spill_moves,
+        balance_moves: cluster.balance_moves,
+        oversubscriptions: cluster.oversubscriptions,
+        mitigations: diagnostics.mitigations,
+        incidents: diagnostics.incidents,
+        maintenance: maintenance.stats(),
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prorp_types::Session;
+
+    fn trace(id: u64) -> Trace {
+        let sessions = vec![Session::new(Timestamp(100), Timestamp(200)).unwrap()];
+        Trace::new(DatabaseId(id), "test", sessions).unwrap()
+    }
+
+    #[test]
+    fn partition_covers_every_trace_exactly_once() {
+        let traces: Vec<Trace> = (0..100).map(trace).collect();
+        for shards in [1usize, 2, 3, 8] {
+            let parts = partition_fleet(&traces, shards);
+            assert_eq!(parts.len(), shards);
+            let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<usize>>(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_stateless_and_respects_extremes() {
+        let (db, at) = (DatabaseId(7), Timestamp(12_345));
+        assert!(!workflow_hangs(1, db, at, 0.0));
+        assert!(workflow_hangs(1, db, at, 1.0));
+        // Pure function: same inputs, same outcome.
+        assert_eq!(
+            workflow_hangs(42, db, at, 0.5),
+            workflow_hangs(42, db, at, 0.5)
+        );
+        // Roughly calibrated: p=0.3 over many draws lands near 30%.
+        let hits = (0..10_000)
+            .filter(|i| workflow_hangs(9, DatabaseId(*i), Timestamp(500), 0.3))
+            .count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+}

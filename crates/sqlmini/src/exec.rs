@@ -83,7 +83,11 @@ impl Database {
     }
 
     /// Execute a parsed statement.
-    pub fn execute(&mut self, stmt: &Statement, params: &Params) -> Result<ExecOutcome, ProrpError> {
+    pub fn execute(
+        &mut self,
+        stmt: &Statement,
+        params: &Params,
+    ) -> Result<ExecOutcome, ProrpError> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 if self.tables.contains_key(name) {
@@ -158,9 +162,7 @@ impl Database {
                 // Resolve assignment targets and values first.
                 let resolved: Vec<(usize, i64)> = assignments
                     .iter()
-                    .map(|(col, expr)| {
-                        Ok((t.column_index(col)?, resolve_expr(expr, params)?))
-                    })
+                    .map(|(col, expr)| Ok((t.column_index(col)?, resolve_expr(expr, params)?)))
                     .collect::<Result<_, ProrpError>>()?;
                 if let Some((idx, _)) = resolved.iter().find(|(idx, _)| *idx == t.pk_index()) {
                     let col = &t.columns()[*idx].name;
@@ -378,7 +380,9 @@ impl Database {
         let stmt = crate::parser::parse_statement(sql)?;
         let (verb, table_name, predicate) = match &stmt {
             Statement::Select(s) => ("SELECT", &s.table, s.predicate.as_ref()),
-            Statement::Update { table, predicate, .. } => ("UPDATE", table, predicate.as_ref()),
+            Statement::Update {
+                table, predicate, ..
+            } => ("UPDATE", table, predicate.as_ref()),
             Statement::Delete { table, predicate } => ("DELETE", table, predicate.as_ref()),
             Statement::CreateTable { .. } | Statement::Insert { .. } => {
                 return Err(ProrpError::Sql(
@@ -533,9 +537,7 @@ mod tests {
     #[test]
     fn scalar_helper() {
         let mut db = history_db();
-        let out = db
-            .run("SELECT COUNT(*) FROM h", &Params::new())
-            .unwrap();
+        let out = db.run("SELECT COUNT(*) FROM h", &Params::new()).unwrap();
         assert_eq!(out.result.unwrap().scalar().unwrap(), Some(5));
         let out = db.run("SELECT * FROM h", &Params::new()).unwrap();
         assert!(out.result.unwrap().scalar().is_err());
@@ -615,7 +617,10 @@ mod tests {
         let mut db = history_db();
         // Unknown column.
         assert!(db
-            .run("INSERT INTO h (nope, event_type) VALUES (1, 2)", &Params::new())
+            .run(
+                "INSERT INTO h (nope, event_type) VALUES (1, 2)",
+                &Params::new()
+            )
             .is_err());
         // Missing column.
         assert!(db
@@ -663,7 +668,10 @@ mod tests {
             .unwrap();
         assert_eq!(out.rows_affected, 3);
         let rs = db
-            .run("SELECT COUNT(*) FROM h WHERE event_type = 9", &Params::new())
+            .run(
+                "SELECT COUNT(*) FROM h WHERE event_type = 9",
+                &Params::new(),
+            )
             .unwrap();
         assert_eq!(rs.result.unwrap().scalar().unwrap(), Some(3));
     }
@@ -734,7 +742,10 @@ mod tests {
         assert!(empty.contains("empty result"), "{empty}");
 
         assert!(db
-            .explain("INSERT INTO h (time_snapshot, event_type) VALUES (1, 1)", &Params::new())
+            .explain(
+                "INSERT INTO h (time_snapshot, event_type) VALUES (1, 1)",
+                &Params::new()
+            )
             .is_err());
     }
 

@@ -231,10 +231,8 @@ mod tests {
 
     #[test]
     fn tokenizes_the_algorithm_2_shape() {
-        let tokens = tokenize(
-            "SELECT * FROM sys.pause_resume_history WHERE time_snapshot = @time",
-        )
-        .unwrap();
+        let tokens =
+            tokenize("SELECT * FROM sys.pause_resume_history WHERE time_snapshot = @time").unwrap();
         assert_eq!(
             tokens,
             vec![

@@ -38,7 +38,7 @@ pub mod table;
 pub mod view;
 
 pub use exec::{Database, ExecOutcome, Params, ResultSet};
-pub use parser::parse_statement;
 pub use metadata_sql::MetadataDb;
+pub use parser::parse_statement;
 pub use procedures::{HistoryDb, PredictArgs};
 pub use view::{format_epoch, CustomerView};

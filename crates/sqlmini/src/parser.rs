@@ -468,11 +468,11 @@ mod tests {
         let stmt = parse_statement("SELECT COUNT(*) FROM h WHERE event_type = -1").unwrap();
         match stmt {
             Statement::Select(sel) => {
-                assert_eq!(sel.projections, vec![Projection::Aggregate(AggFunc::Count, None)]);
                 assert_eq!(
-                    sel.predicate.unwrap().conjuncts[0].value,
-                    Expr::Literal(-1)
+                    sel.projections,
+                    vec![Projection::Aggregate(AggFunc::Count, None)]
                 );
+                assert_eq!(sel.predicate.unwrap().conjuncts[0].value, Expr::Literal(-1));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -57,9 +57,9 @@ impl ScanPlan {
 pub fn resolve_expr(expr: &Expr, params: &Params) -> Result<i64, ProrpError> {
     match expr {
         Expr::Literal(v) => Ok(*v),
-        Expr::Param(name) => params.get(name).ok_or_else(|| {
-            ProrpError::Sql(format!("unbound parameter @{name}"))
-        }),
+        Expr::Param(name) => params
+            .get(name)
+            .ok_or_else(|| ProrpError::Sql(format!("unbound parameter @{name}"))),
     }
 }
 
@@ -145,9 +145,7 @@ fn tighten_hi(current: &mut Bound<i64>, new: Bound<i64>) {
 
 fn bounds_empty(lo: Bound<i64>, hi: Bound<i64>) -> bool {
     match (lo_key(lo), hi_key(hi)) {
-        (Some((l, l_ex)), Some((h, h_ex))) => {
-            l > h || (l == h && (l_ex || h_ex))
-        }
+        (Some((l, l_ex)), Some((h, h_ex))) => l > h || (l == h && (l_ex || h_ex)),
         _ => false,
     }
 }
@@ -205,8 +203,7 @@ mod tests {
     #[test]
     fn equality_pins_both_bounds() {
         let t = table();
-        let plan =
-            compile_predicate(&t, Some(&pred("time_snapshot = 7")), &Params::new()).unwrap();
+        let plan = compile_predicate(&t, Some(&pred("time_snapshot = 7")), &Params::new()).unwrap();
         assert_eq!(plan.lo, Bound::Included(7));
         assert_eq!(plan.hi, Bound::Included(7));
     }
@@ -243,12 +240,8 @@ mod tests {
     #[test]
     fn ne_on_pk_is_residual_not_a_bound() {
         let t = table();
-        let plan = compile_predicate(
-            &t,
-            Some(&pred("time_snapshot <> 5")),
-            &Params::new(),
-        )
-        .unwrap();
+        let plan =
+            compile_predicate(&t, Some(&pred("time_snapshot <> 5")), &Params::new()).unwrap();
         assert_eq!(plan.lo, Bound::Unbounded);
         assert_eq!(plan.residual.len(), 1);
         assert!(!plan.row_matches(&[5, 0]));
@@ -273,8 +266,7 @@ mod tests {
         let t = table();
         let mut params = Params::new();
         params.bind("now", 42);
-        let plan =
-            compile_predicate(&t, Some(&pred("time_snapshot <= @now")), &params).unwrap();
+        let plan = compile_predicate(&t, Some(&pred("time_snapshot <= @now")), &params).unwrap();
         assert_eq!(plan.hi, Bound::Included(42));
         let err =
             compile_predicate(&t, Some(&pred("time_snapshot <= @other")), &params).unwrap_err();

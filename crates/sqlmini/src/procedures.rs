@@ -236,7 +236,7 @@ impl HistoryDb {
             }
 
             let prob = win_with_activity as f64 / args.h_days as f64; // line 36
-            // Lines 37–46 under the interpretation documented above.
+                                                                      // Lines 37–46 under the interpretation documented above.
             if win_with_activity > 0 && prob >= args.c && (prob > prev_prob || best.is_none()) {
                 prev_prob = prob;
                 best = Some((win_start + earliest_offset, win_start + last_offset));
@@ -296,7 +296,7 @@ mod tests {
         let (old, deleted) = db.delete_old_history(28, 40 * DAY).unwrap();
         assert!(old);
         assert_eq!(deleted, 11); // days 1..=11 strictly inside (day0, day12)
-        // Oldest survives.
+                                 // Oldest survives.
         let min = db
             .database_mut()
             .run(

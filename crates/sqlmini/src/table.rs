@@ -86,10 +86,7 @@ impl Table {
             .iter()
             .position(|c| c.name == column)
             .ok_or_else(|| {
-                ProrpError::Sql(format!(
-                    "unknown column {column} in table {}",
-                    self.name
-                ))
+                ProrpError::Sql(format!("unknown column {column} in table {}", self.name))
             })
     }
 
@@ -123,11 +120,7 @@ impl Table {
     }
 
     /// Scan rows whose primary key falls in `[lo, hi]` bounds, ascending.
-    pub fn scan(
-        &self,
-        lo: Bound<i64>,
-        hi: Bound<i64>,
-    ) -> impl Iterator<Item = &Vec<i64>> + '_ {
+    pub fn scan(&self, lo: Bound<i64>, hi: Bound<i64>) -> impl Iterator<Item = &Vec<i64>> + '_ {
         self.rows.range(lo, hi).map(|(_, row)| row)
     }
 

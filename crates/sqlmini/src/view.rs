@@ -84,16 +84,13 @@ impl CustomerView {
             .rows
             .iter()
             .map(|row| {
-                let ts = row[0].ok_or_else(|| {
-                    ProrpError::Sql("time_snapshot is non-nullable".into())
-                })?;
+                let ts = row[0]
+                    .ok_or_else(|| ProrpError::Sql("time_snapshot is non-nullable".into()))?;
                 let event = match row[1] {
                     Some(1) => "activity started",
                     Some(0) => "activity ended",
                     other => {
-                        return Err(ProrpError::Sql(format!(
-                            "unexpected event_type {other:?}"
-                        )))
+                        return Err(ProrpError::Sql(format!("unexpected event_type {other:?}")))
                     }
                 };
                 Ok(ViewRow {

@@ -124,7 +124,10 @@ mod tests {
         let table = table_with(3);
         let mut stream = backup_history(&table).unwrap();
         stream[0] ^= 0xff;
-        assert!(restore_history(&stream).unwrap_err().to_string().contains("magic"));
+        assert!(restore_history(&stream)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
         let mut stream = backup_history(&table).unwrap();
         stream[4] = 99;
         assert!(restore_history(&stream)

@@ -231,10 +231,7 @@ impl<V> BTree<V> {
                     next.push(children.pop().expect("len checked"));
                     continue;
                 }
-                let keys: Vec<i64> = children[1..]
-                    .iter()
-                    .map(Self::min_key_of)
-                    .collect();
+                let keys: Vec<i64> = children[1..].iter().map(Self::min_key_of).collect();
                 next.push(Node::Internal { keys, children });
             }
             level = next;
@@ -513,12 +510,8 @@ impl<'a, V> RangeIter<'a, V> {
                 Node::Leaf { entries } => {
                     let start = match lo {
                         Bound::Unbounded => 0,
-                        Bound::Included(l) => {
-                            entries.partition_point(|(k, _)| *k < l)
-                        }
-                        Bound::Excluded(l) => {
-                            entries.partition_point(|(k, _)| *k <= l)
-                        }
+                        Bound::Included(l) => entries.partition_point(|(k, _)| *k < l),
+                        Bound::Excluded(l) => entries.partition_point(|(k, _)| *k <= l),
                     };
                     stack.push((node, start));
                     break;
@@ -535,7 +528,6 @@ impl<'a, V> RangeIter<'a, V> {
         }
         RangeIter { stack, hi }
     }
-
 }
 
 impl<'a, V> Iterator for RangeIter<'a, V> {
@@ -716,7 +708,9 @@ mod tests {
         // A deterministic pseudo-random walk.
         let mut x: i64 = 12345;
         for step in 0..2_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 33) % 300;
             if step % 3 == 0 {
                 assert_eq!(t.remove(key), model.remove(&key));

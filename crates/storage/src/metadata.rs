@@ -146,6 +146,28 @@ impl MetadataStore {
             .collect()
     }
 
+    /// Split the store into `shard_count` shard-local stores by id-hash
+    /// ([`DatabaseId::shard_of`]), each with its own secondary
+    /// `start_of_pred_activity` index.
+    ///
+    /// Every row lands in exactly one partition, so the union of the
+    /// partitions' [`databases_to_resume`](Self::databases_to_resume)
+    /// results equals the global scan — this is what lets the Algorithm 5
+    /// scan run shard-parallel (one worker per partition) without any
+    /// cross-shard coordination.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero.
+    pub fn partition(&self, shard_count: usize) -> Vec<MetadataStore> {
+        assert!(shard_count > 0, "shard_count must be positive");
+        let mut out = vec![MetadataStore::new(); shard_count];
+        for (db, meta) in &self.rows {
+            out[db.shard_of(shard_count)].upsert(*db, *meta);
+        }
+        out
+    }
+
     /// Count of rows in each lifecycle state (diagnostics, Figure 11/12).
     pub fn state_counts(&self) -> (usize, usize, usize) {
         let mut counts = (0, 0, 0);
@@ -266,6 +288,31 @@ mod tests {
         paused_at(&mut store, 2, 900);
         assert_eq!(store.overdue_resumes(Timestamp(500)), vec![db(1)]);
         assert!(store.overdue_resumes(Timestamp(50)).is_empty());
+    }
+
+    #[test]
+    fn partition_covers_every_row_exactly_once() {
+        let mut store = MetadataStore::new();
+        for id in 0..200 {
+            paused_at(&mut store, id, 1_000 + id as i64);
+        }
+        let parts = store.partition(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(MetadataStore::len).sum::<usize>(), 200);
+        for id in 0..200 {
+            let owners = parts.iter().filter(|p| p.get(db(id)).is_some()).count();
+            assert_eq!(owners, 1, "db {id} must live in exactly one partition");
+        }
+        // Shard-local scans union to the global scan.
+        let (now, k, width) = (Timestamp(0), Seconds(1_000), Seconds(60));
+        let mut local: Vec<DatabaseId> = parts
+            .iter()
+            .flat_map(|p| p.databases_to_resume(now, k, width))
+            .collect();
+        local.sort_unstable();
+        let mut global = store.databases_to_resume(now, k, width);
+        global.sort_unstable();
+        assert_eq!(local, global);
     }
 
     #[test]

@@ -161,7 +161,10 @@ pub const fn pages_for(n: usize) -> usize {
 
 /// Serialise an arbitrary-length record run into page images.
 pub fn encode_pages(records: &[Record]) -> Result<Vec<Bytes>, ProrpError> {
-    records.chunks(records_per_page()).map(encode_page).collect()
+    records
+        .chunks(records_per_page())
+        .map(encode_page)
+        .collect()
 }
 
 /// Decode a sequence of page images back into one record run.
@@ -221,10 +224,7 @@ mod tests {
                 key: i64::MIN,
                 value: 1,
             },
-            Record {
-                key: -1,
-                value: 0,
-            },
+            Record { key: -1, value: 0 },
             Record {
                 key: i64::MAX,
                 value: 1,

@@ -241,10 +241,15 @@ impl DurableHistory {
     }
 
     /// Logged trim (Algorithm 3).
-    pub fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> crate::history::DeleteOutcome {
+    pub fn delete_old_history(
+        &mut self,
+        h: Seconds,
+        now: Timestamp,
+    ) -> crate::history::DeleteOutcome {
         let history_start = (now - h).as_secs();
         let min = self.table.min_timestamp().map(|t| t.as_secs()).unwrap_or(0);
-        self.wal.append(WalRecord::DeleteRange { min, history_start });
+        self.wal
+            .append(WalRecord::DeleteRange { min, history_start });
         self.table.delete_old_history(h, now)
     }
 

@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn single_sample_collapses() {
         let b = BoxPlot::from_samples(&[7.0]).unwrap();
-        assert_eq!((b.min, b.q1, b.median, b.q3, b.max), (7.0, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(
+            (b.min, b.q1, b.median, b.q3, b.max),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
     }
 
     #[test]

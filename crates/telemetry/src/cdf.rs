@@ -32,8 +32,7 @@ impl Cdf {
             return None;
         }
         let p = p.clamp(0.0, 1.0);
-        let rank = ((p * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         Some(self.sorted[rank - 1])
     }
 

@@ -208,7 +208,12 @@ mod tests {
             ..Default::default()
         };
         let s = r.to_string();
-        for needle in ["QoS: 90.0%", "Idle:", "Workflows: 3 proactive", "4 physical"] {
+        for needle in [
+            "QoS: 90.0%",
+            "Idle:",
+            "Workflows: 3 proactive",
+            "4 physical",
+        ] {
             assert!(s.contains(needle), "missing {needle:?} in {s}");
         }
     }

@@ -14,7 +14,10 @@
 //! * [`cdf`] — empirical CDFs and percentiles (Figure 10);
 //! * [`boxplot`] — five-number summaries (Figures 11 and 12);
 //! * [`log`] — the append-only telemetry event log the offline training
-//!   pipeline consumes.
+//!   pipeline consumes;
+//! * [`shard`] — per-shard timing/throughput counters for the sharded
+//!   parallel simulator (operational telemetry about the simulator
+//!   itself, not the simulated fleet).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,9 +27,11 @@ pub mod cdf;
 pub mod kpi;
 pub mod log;
 pub mod segments;
+pub mod shard;
 
 pub use boxplot::BoxPlot;
 pub use cdf::Cdf;
 pub use kpi::KpiReport;
 pub use log::{TelemetryEvent, TelemetryKind, TelemetryLog};
 pub use segments::{SegmentAccumulator, SegmentKind};
+pub use shard::ShardCounters;

@@ -138,6 +138,42 @@ impl TelemetryLog {
         out
     }
 
+    /// Merge per-shard logs into one time-ordered log.
+    ///
+    /// Each input log is individually time-ordered (the per-shard event
+    /// loops append in time order); a k-way merge by timestamp restores
+    /// the global order the single-threaded simulator would have
+    /// produced.  Ties at one timestamp resolve by input (shard) index,
+    /// so the merge is deterministic for a fixed shard layout.
+    pub fn merge(shards: Vec<TelemetryLog>) -> TelemetryLog {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let total = shards.iter().map(TelemetryLog::len).sum();
+        let mut sources: Vec<std::vec::IntoIter<TelemetryEvent>> =
+            shards.into_iter().map(|l| l.events.into_iter()).collect();
+        // Heap of (next timestamp, source index); the event itself is
+        // pulled from its source when the head wins.
+        let mut heads: Vec<Option<TelemetryEvent>> =
+            sources.iter_mut().map(Iterator::next).collect();
+        let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|e| Reverse((e.ts, i))))
+            .collect();
+        let mut merged = Vec::with_capacity(total);
+        while let Some(Reverse((_, i))) = heap.pop() {
+            let event = heads[i].take().expect("heap entries have a live head");
+            merged.push(event);
+            if let Some(next) = sources[i].next() {
+                debug_assert!(event.ts <= next.ts, "shard logs must be time-ordered");
+                heads[i] = Some(next);
+                heap.push(Reverse((next.ts, i)));
+            }
+        }
+        TelemetryLog { events: merged }
+    }
+
     /// Drop events older than `retain` before `now` (long-term storage
     /// has finite retention; the training pipeline reads "several months"
     /// of it).
@@ -197,6 +233,41 @@ mod tests {
         log.record(t(130), db(0), TelemetryKind::ProactiveResume);
         let bins = log.counts_per_bin(TelemetryKind::ProactiveResume, t(0), t(180), Seconds(60));
         assert_eq!(bins, vec![3, 0, 1]);
+    }
+
+    #[test]
+    fn merge_restores_global_time_order() {
+        let mut a = TelemetryLog::new();
+        let mut b = TelemetryLog::new();
+        let mut c = TelemetryLog::new();
+        for i in [0i64, 3, 6, 9] {
+            a.record(t(i), db(1), TelemetryKind::LogicalPause);
+        }
+        for i in [1i64, 4, 7] {
+            b.record(t(i), db(2), TelemetryKind::PhysicalPause);
+        }
+        for i in [2i64, 5, 8] {
+            c.record(t(i), db(3), TelemetryKind::Move);
+        }
+        let merged = TelemetryLog::merge(vec![a, b, c]);
+        assert_eq!(merged.len(), 10);
+        let stamps: Vec<i64> = merged.events().iter().map(|e| e.ts.as_secs()).collect();
+        assert_eq!(stamps, (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn merge_breaks_timestamp_ties_by_shard_index() {
+        let mut a = TelemetryLog::new();
+        let mut b = TelemetryLog::new();
+        a.record(t(5), db(1), TelemetryKind::Move);
+        b.record(t(5), db(2), TelemetryKind::Move);
+        b.record(t(5), db(3), TelemetryKind::Move);
+        let merged = TelemetryLog::merge(vec![a, b]);
+        let order: Vec<u64> = merged.events().iter().map(|e| e.db.raw()).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        // Empty inputs are fine.
+        assert!(TelemetryLog::merge(vec![]).is_empty());
+        assert!(TelemetryLog::merge(vec![TelemetryLog::new()]).is_empty());
     }
 
     #[test]

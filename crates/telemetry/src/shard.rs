@@ -1,0 +1,104 @@
+//! Per-shard execution counters for the sharded fleet simulation.
+//!
+//! When the simulator partitions the fleet across worker threads (one
+//! event loop per shard), each worker reports how much work it did and
+//! how long it took.  These counters are *operational* telemetry about
+//! the simulator itself — wall-clock time, events processed, scan
+//! iterations — not simulated-world telemetry (that lives in
+//! [`TelemetryLog`](crate::TelemetryLog)); they feed the `fleet_scaling`
+//! bench and let a run's progress be attributed to individual shards.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What one shard worker did during a simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardCounters {
+    /// Shard index in `[0, shard_count)`.
+    pub shard: usize,
+    /// Databases assigned to this shard by id-hash.
+    pub databases: usize,
+    /// Simulation events the shard's event loop processed.
+    pub events_processed: u64,
+    /// Algorithm 5 scan iterations the shard ran.
+    pub resume_scans: u64,
+    /// Telemetry records the shard emitted.
+    pub telemetry_events: u64,
+    /// Wall-clock time of the shard's event loop, in microseconds.
+    ///
+    /// Stored as an integer so the struct stays `Copy + Eq`; use
+    /// [`wall_clock`](Self::wall_clock) for a [`Duration`] view.
+    pub wall_clock_micros: u64,
+}
+
+impl ShardCounters {
+    /// Fresh counters for shard `shard` owning `databases` databases.
+    pub fn new(shard: usize, databases: usize) -> Self {
+        ShardCounters {
+            shard,
+            databases,
+            ..ShardCounters::default()
+        }
+    }
+
+    /// Wall-clock time of the shard's event loop.
+    pub fn wall_clock(&self) -> Duration {
+        Duration::from_micros(self.wall_clock_micros)
+    }
+
+    /// Record the measured event-loop duration.
+    pub fn set_wall_clock(&mut self, elapsed: Duration) {
+        self.wall_clock_micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+    }
+
+    /// Event-loop throughput in events per wall-clock second (0 when no
+    /// time was recorded).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_clock_micros == 0 {
+            return 0.0;
+        }
+        self.events_processed as f64 * 1e6 / self.wall_clock_micros as f64
+    }
+}
+
+impl fmt::Display for ShardCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {}: {} dbs, {} events, {} scans in {:.3}s ({:.0} events/s)",
+            self.shard,
+            self.databases,
+            self.events_processed,
+            self.resume_scans,
+            self.wall_clock_micros as f64 / 1e6,
+            self.events_per_sec()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_events_over_wall_clock() {
+        let mut c = ShardCounters::new(3, 10);
+        assert_eq!(c.shard, 3);
+        assert_eq!(c.databases, 10);
+        assert_eq!(c.events_per_sec(), 0.0, "no division by zero");
+        c.events_processed = 2_000;
+        c.set_wall_clock(Duration::from_millis(500));
+        assert_eq!(c.wall_clock(), Duration::from_millis(500));
+        assert!((c.events_per_sec() - 4_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_mentions_shard_and_throughput() {
+        let mut c = ShardCounters::new(1, 5);
+        c.events_processed = 100;
+        c.set_wall_clock(Duration::from_secs(1));
+        let s = c.to_string();
+        assert!(s.contains("shard 1"), "{s}");
+        assert!(s.contains("100 events/s"), "{s}");
+    }
+}

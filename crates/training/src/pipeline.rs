@@ -44,7 +44,11 @@ impl TrainingPipeline {
     /// # Errors
     ///
     /// Propagates grid and simulation failures.
-    pub fn run(&self, grid: &ParameterGrid, traces: &[Trace]) -> Result<TrainingOutcome, ProrpError> {
+    pub fn run(
+        &self,
+        grid: &ParameterGrid,
+        traces: &[Trace],
+    ) -> Result<TrainingOutcome, ProrpError> {
         if self.test_from <= self.sim_template.measure_from
             || self.test_from >= self.sim_template.end
         {
@@ -58,8 +62,7 @@ impl TrainingPipeline {
         // Training interval: measure on [measure_from, test_from).
         let mut train_template = self.sim_template.clone();
         train_template.end = self.test_from;
-        let evaluated =
-            sweep_proactive_configs(&train_template, traces, &configs, self.workers)?;
+        let evaluated = sweep_proactive_configs(&train_template, traces, &configs, self.workers)?;
 
         let best_row = evaluated
             .iter()
@@ -105,8 +108,7 @@ mod tests {
             end,
             measure,
         );
-        let traces =
-            RegionProfile::for_region(RegionName::Eu1).generate_fleet(15, start, end, 31);
+        let traces = RegionProfile::for_region(RegionName::Eu1).generate_fleet(15, start, end, 31);
         (
             TrainingPipeline {
                 sim_template: template,

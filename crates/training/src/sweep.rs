@@ -69,9 +69,7 @@ pub fn sweep_proactive_configs(
         }
         rows.into_iter()
             .map(|r| {
-                r.ok_or_else(|| {
-                    ProrpError::Simulation("sweep worker dropped a candidate".into())
-                })
+                r.ok_or_else(|| ProrpError::Simulation("sweep worker dropped a candidate".into()))
             })
             .collect::<Result<Vec<_>, _>>()
     })
@@ -94,8 +92,7 @@ mod tests {
             end,
             measure,
         );
-        let traces =
-            RegionProfile::for_region(RegionName::Eu1).generate_fleet(12, start, end, 21);
+        let traces = RegionProfile::for_region(RegionName::Eu1).generate_fleet(12, start, end, 21);
         (template, traces)
     }
 

@@ -16,14 +16,13 @@
 
 use crate::error::ProrpError;
 use crate::time::Seconds;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Seasonality of the activity pattern Algorithm 4 searches for.
 ///
 /// The paper's default is daily; §9.2 reports weekly seasonality achieves
 /// similar results, and the training pipeline tunes it (§8).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Seasonality {
     /// Compare each candidate window against the same clock window on each
     /// of the previous `h` days.
@@ -75,7 +74,7 @@ impl fmt::Display for Seasonality {
 /// assert_eq!(tuned.window_positions(), 265);
 /// assert!(PolicyConfig::builder().confidence(0.0).build().is_err());
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct PolicyConfig {
     /// `l` — duration of logical pause before resources may be physically
     /// paused.

@@ -11,11 +11,10 @@
 
 use crate::error::ProrpError;
 use crate::time::{Seconds, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether an event opens or closes a customer-activity interval.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum EventKind {
     /// End of customer activity (`event_type = 0`).
     End,
@@ -56,7 +55,7 @@ impl fmt::Display for EventKind {
 }
 
 /// One row of the activity history: a timestamped start or end of activity.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ActivityEvent {
     /// When the event happened (epoch seconds — `time_snapshot`).
     pub ts: Timestamp,
@@ -85,7 +84,7 @@ impl ActivityEvent {
 }
 
 /// A contiguous interval of customer activity: `[start, end]`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Session {
     /// First login of the session.
     pub start: Timestamp,
@@ -194,10 +193,7 @@ pub fn pair_events(
 /// This is the quantity Figure 3 of the paper studies: the distribution of
 /// idle-interval durations and their contribution to total idle time.
 pub fn idle_gaps(sessions: &[Session]) -> Vec<Seconds> {
-    sessions
-        .windows(2)
-        .map(|w| w[1].start - w[0].end)
-        .collect()
+    sessions.windows(2).map(|w| w[1].start - w[0].end).collect()
 }
 
 #[cfg(test)]

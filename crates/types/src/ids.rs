@@ -5,14 +5,13 @@
 //! "passed a node index where a database id was expected" bug at zero
 //! runtime cost.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $prefix:literal, $inner:ty) => {
         $(#[$meta])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
         )]
         pub struct $name(pub $inner);
 
@@ -51,6 +50,33 @@ id_type!(
     "db-",
     u64
 );
+
+impl DatabaseId {
+    /// The shard (of `shard_count`) this database belongs to.
+    ///
+    /// Sharding is a pure function of the id: the id is mixed through
+    /// SplitMix64 and reduced with a multiply-shift, so the assignment is
+    /// stable across runs and uniform even for dense sequential ids (a
+    /// plain `id % shard_count` would put every database of a
+    /// sequentially-numbered fleet with `shard_count` aligned strides on
+    /// the same worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero.
+    #[inline]
+    pub fn shard_of(self, shard_count: usize) -> usize {
+        assert!(shard_count > 0, "shard_count must be positive");
+        // SplitMix64 finaliser (Steele et al.), identical to the mixing
+        // function in the workload generators.
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Multiply-shift reduction: unbiased bucket in [0, shard_count).
+        ((z as u128 * shard_count as u128) >> 64) as usize
+    }
+}
 
 id_type!(
     /// Identifies one compute node within a cluster.
@@ -93,5 +119,35 @@ mod tests {
     fn from_raw_roundtrips() {
         let id: DatabaseId = 42u64.into();
         assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for id in 0..1_000u64 {
+            let s = DatabaseId(id).shard_of(8);
+            assert!(s < 8);
+            assert_eq!(s, DatabaseId(id).shard_of(8), "pure function of the id");
+        }
+        assert_eq!(DatabaseId(123).shard_of(1), 0);
+    }
+
+    #[test]
+    fn shard_assignment_spreads_sequential_ids() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for id in 0..8_000u64 {
+            counts[DatabaseId(id).shard_of(shards)] += 1;
+        }
+        // Uniform expectation is 1000 per shard; a good mix stays well
+        // within ±20%.
+        for (s, c) in counts.iter().enumerate() {
+            assert!((800..1_200).contains(c), "shard {s} got {c} of 8000");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_count must be positive")]
+    fn zero_shards_panics() {
+        let _ = DatabaseId(1).shard_of(0);
     }
 }

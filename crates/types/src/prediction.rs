@@ -1,7 +1,6 @@
 //! The output of the next-activity predictor (§6).
 
 use crate::time::{Seconds, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A predicted interval of customer activity with the confidence of the
@@ -10,7 +9,7 @@ use std::fmt;
 /// Algorithm 4 encodes "no activity predicted" as `start = 0`; in Rust the
 /// caller holds an `Option<Prediction>` instead, so a present value always
 /// carries a meaningful interval.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Prediction {
     /// Predicted start of the next customer activity (first login within
     /// the winning window, projected one period ahead).

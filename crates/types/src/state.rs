@@ -1,7 +1,6 @@
 //! Database lifecycle states (Figure 4) and allocation correctness classes
 //! (Definition 2.2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The proactive resume-and-pause lifecycle of a serverless database,
@@ -14,7 +13,7 @@ use std::fmt;
 /// * `PhysicallyPaused` — resources reclaimed; a resume (reactive or
 ///   proactive) must run a resource-allocation workflow before logins can be
 ///   served.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DbState {
     /// Resources allocated and serving (or ready to serve) the workload.
     Resumed,
@@ -45,7 +44,7 @@ impl fmt::Display for DbState {
 
 /// The four correctness classes of Definition 2.2, crossing resource demand
 /// `D(d,t)` with resource allocation `A(d,t)`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AllocationClass {
     /// `D = A = 1`: resources correctly allocated (used).
     Used,

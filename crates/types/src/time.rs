@@ -10,7 +10,6 @@
 //! `winStart - prevDay*24*60*60` (Algorithm 4, line 16) total even near the
 //! start of a synthetic trace.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
 
@@ -24,7 +23,7 @@ pub const SECS_PER_DAY: i64 = 24 * SECS_PER_HOUR;
 pub const SECS_PER_WEEK: i64 = 7 * SECS_PER_DAY;
 
 /// A signed duration in whole seconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Seconds(pub i64);
 
 impl Seconds {
@@ -189,7 +188,7 @@ impl Rem<Seconds> for Seconds {
 /// Matches the paper's `time_snapshot BIGINT` column exactly (§5, footnote 1:
 /// "Epoch time corresponds to the number of seconds passed since January 1,
 /// 1970").
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub i64);
 
 impl Timestamp {

@@ -10,13 +10,13 @@ use prorp_types::{event::idle_gaps, Seconds};
 
 /// Histogram bucket upper bounds (seconds); the last bucket is open.
 pub const BUCKET_BOUNDS: [i64; 7] = [
-    15 * 60,        // < 15 min
-    30 * 60,        // 15–30 min
-    60 * 60,        // 30–60 min
-    2 * 60 * 60,    // 1–2 h
-    8 * 60 * 60,    // 2–8 h
-    24 * 60 * 60,   // 8–24 h
-    7 * 86_400,     // 1–7 d
+    15 * 60,      // < 15 min
+    30 * 60,      // 15–30 min
+    60 * 60,      // 30–60 min
+    2 * 60 * 60,  // 1–2 h
+    8 * 60 * 60,  // 2–8 h
+    24 * 60 * 60, // 8–24 h
+    7 * 86_400,   // 1–7 d
 ];
 
 /// Labels matching [`BUCKET_BOUNDS`] plus the open tail.
@@ -72,11 +72,7 @@ impl IdleStats {
         if total == 0 {
             return 0.0;
         }
-        let short: i64 = self
-            .gaps
-            .iter()
-            .filter(|&&g| g < threshold.as_secs())
-            .sum();
+        let short: i64 = self.gaps.iter().filter(|&&g| g < threshold.as_secs()).sum();
         short as f64 / total as f64
     }
 
@@ -154,12 +150,7 @@ mod tests {
     #[test]
     fn region_mix_reproduces_figure_3_marginals() {
         let profile = RegionProfile::for_region(RegionName::Eu1);
-        let fleet = profile.generate_fleet(
-            300,
-            Timestamp(0),
-            Timestamp(0) + Seconds::days(28),
-            42,
-        );
+        let fleet = profile.generate_fleet(300, Timestamp(0), Timestamp(0) + Seconds::days(28), 42);
         let stats = IdleStats::from_traces(&fleet);
         let frac = stats.fraction_below(Seconds::hours(1));
         let share = stats.duration_share_below(Seconds::hours(1));

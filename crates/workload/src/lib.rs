@@ -31,6 +31,6 @@ pub mod trace;
 
 pub use archetype::Archetype;
 pub use idle::IdleStats;
-pub use region::{RegionProfile, RegionName};
+pub use region::{RegionName, RegionProfile};
 pub use summary::FleetSummary;
 pub use trace::Trace;

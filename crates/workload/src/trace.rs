@@ -100,9 +100,8 @@ pub fn from_csv(csv: &str) -> Result<Vec<Trace>, ProrpError> {
             continue;
         }
         let mut parts = line.split(',');
-        let err = |what: &str| {
-            ProrpError::InvalidEvent(format!("line {}: {what}: {line:?}", lineno + 1))
-        };
+        let err =
+            |what: &str| ProrpError::InvalidEvent(format!("line {}: {what}: {line:?}", lineno + 1));
         let db: u64 = parts
             .next()
             .ok_or_else(|| err("missing db_id"))?
@@ -122,8 +121,8 @@ pub fn from_csv(csv: &str) -> Result<Vec<Trace>, ProrpError> {
         if parts.next().is_some() {
             return Err(err("too many fields"));
         }
-        let session = Session::new(Timestamp(start), Timestamp(end))
-            .map_err(|e| err(&e.to_string()))?;
+        let session =
+            Session::new(Timestamp(start), Timestamp(end)).map_err(|e| err(&e.to_string()))?;
         let db = DatabaseId(db);
         match per_db.iter_mut().find(|(id, _, _)| *id == db) {
             Some((_, _, sessions)) => sessions.push(session),
@@ -187,6 +186,8 @@ mod tests {
         let extra = "db_id,archetype,start,end\n1,x,1,2,3\n";
         assert!(from_csv(extra).is_err());
         // Blank lines are tolerated.
-        assert!(from_csv("db_id,archetype,start,end\n\n").unwrap().is_empty());
+        assert!(from_csv("db_id,archetype,start,end\n\n")
+            .unwrap()
+            .is_empty());
     }
 }

@@ -25,7 +25,10 @@ fn main() {
         compare_binary_vs_incremental(&planner, &history, &test).expect("planning succeeds");
 
     println!("Incremental capacity auto-scaling (future work 1)");
-    println!("  demand: 21 days training, 7 days test, 15-minute slots, {}-vCore SKU", planner.max_vcores);
+    println!(
+        "  demand: 21 days training, 7 days test, 15-minute slots, {}-vCore SKU",
+        planner.max_vcores
+    );
     println!();
     println!(
         "  {:<22} {:>14} {:>12} {:>12}",

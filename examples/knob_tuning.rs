@@ -15,8 +15,7 @@ use prorp_workload::RegionName;
 fn main() {
     let scale = ExperimentScale::from_env();
     // Training measures days [warmup, warmup+2), testing days [.., end).
-    let mut sim_template =
-        scale.sim_config(SimPolicy::Proactive(PolicyConfig::default()));
+    let mut sim_template = scale.sim_config(SimPolicy::Proactive(PolicyConfig::default()));
     sim_template.end = scale.end();
     let test_from = scale.measure_from() + Seconds::days(2);
     let traces = scale.fleet_for(RegionName::Eu1);
@@ -49,7 +48,11 @@ fn main() {
         "window", "confidence", "QoS %", "idle %", "utility"
     );
     for row in &outcome.evaluated {
-        let marker = if row.config == outcome.best { " <= selected" } else { "" };
+        let marker = if row.config == outcome.best {
+            " <= selected"
+        } else {
+            ""
+        };
         println!(
             "{:<10} {:<12.1} {:>8.1} {:>8.2} {:>9.2}{marker}",
             format!("{} h", row.config.window.as_secs() / 3600),

@@ -63,7 +63,12 @@ fn main() {
             max_batch
         );
         let total_tuples: usize = report.history_stats.iter().map(|s| s.tuples).sum();
-        let total_kib: usize = report.history_stats.iter().map(|s| s.logical_bytes).sum::<usize>() / 1024;
+        let total_kib: usize = report
+            .history_stats
+            .iter()
+            .map(|s| s.logical_bytes)
+            .sum::<usize>()
+            / 1024;
         println!(
             "History store: {total_tuples} tuples across the fleet ({total_kib} KiB logical)\n"
         );

@@ -64,7 +64,12 @@ fn main() {
     for row in &rs.rows {
         let ts = row[0].expect("not null");
         let kind = if row[1] == Some(1) { "start" } else { "end" };
-        println!("  day {:>2} {:02}:{:02}  {kind}", ts / DAY, (ts % DAY) / HOUR, (ts % HOUR) / 60);
+        println!(
+            "  day {:>2} {:02}:{:02}  {kind}",
+            ts / DAY,
+            (ts % DAY) / HOUR,
+            (ts % HOUR) / 60
+        );
     }
 
     // EXPLAIN shows the clustered-index range plan behind the queries.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything a change must pass before it ships.
+#
+#   ./scripts/check.sh
+#
+# Runs, in order: release build, the full test suite, rustdoc (warnings
+# are errors), and the formatting check.  Fails fast on the first broken
+# step.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+run cargo fmt --check
+
+echo "==> all checks passed"

@@ -39,7 +39,10 @@ fn predictions_survive_a_move() {
     // path bulk-loads bottom-up) so compare the logical stats only.
     assert_eq!(history.events(), restored.events());
     assert_eq!(history.stats().tuples, restored.stats().tuples);
-    assert_eq!(history.stats().logical_bytes, restored.stats().logical_bytes);
+    assert_eq!(
+        history.stats().logical_bytes,
+        restored.stats().logical_bytes
+    );
 }
 
 #[test]
@@ -93,7 +96,10 @@ fn simulated_moves_do_not_degrade_the_proactive_policy() {
         .iter()
         .filter(|e| e.kind == TelemetryKind::Move)
         .count();
-    assert!(move_count > 0, "load balancing must actually move databases");
+    assert!(
+        move_count > 0,
+        "load balancing must actually move databases"
+    );
     // §3.3's requirement: proactive capability is uninterrupted — QoS on
     // the moving cluster stays within noise of the still cluster.
     assert!(

@@ -76,9 +76,7 @@ fn time_accounting_is_exhaustive() {
 fn telemetry_agrees_with_kpi_counters() {
     let traces = fleet(30, 32, 11);
     let report = run(SimPolicy::Proactive(PolicyConfig::default()), &traces, 32);
-    let window = report
-        .telemetry
-        .range(report.measure_from, report.end);
+    let window = report.telemetry.range(report.measure_from, report.end);
     let logins_avail = window
         .iter()
         .filter(|e| e.kind == TelemetryKind::Login { available: true })

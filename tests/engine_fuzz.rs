@@ -46,8 +46,8 @@ fn drive(engine: &mut dyn DatabasePolicy, steps: &[FuzzStep]) -> Result<(), Test
     let mut max_token_seen = 0u64;
 
     let check_actions = |now: Timestamp,
-                             actions: &[EngineAction],
-                             max_token_seen: &mut u64|
+                         actions: &[EngineAction],
+                         max_token_seen: &mut u64|
      -> Result<Option<(Timestamp, TimerToken)>, TestCaseError> {
         let mut scheduled = None;
         for a in actions {
@@ -62,7 +62,9 @@ fn drive(engine: &mut dyn DatabasePolicy, steps: &[FuzzStep]) -> Result<(), Test
                     prop_assert!(scheduled.is_none(), "at most one timer per event");
                     scheduled = Some((*at, *token));
                 }
-                EngineAction::Allocate | EngineAction::Reclaim | EngineAction::SetPredictedStart(_) => {}
+                EngineAction::Allocate
+                | EngineAction::Reclaim
+                | EngineAction::SetPredictedStart(_) => {}
             }
         }
         Ok(scheduled)

@@ -14,10 +14,7 @@ const HOUR: i64 = 3_600;
 
 /// Drive an engine through a session list, delivering its own timers,
 /// and record `(login_ts, was_available)` plus the physical pause count.
-fn drive(
-    engine: &mut dyn DatabasePolicy,
-    sessions: &[(i64, i64)],
-) -> (Vec<(i64, bool)>, u64) {
+fn drive(engine: &mut dyn DatabasePolicy, sessions: &[(i64, i64)]) -> (Vec<(i64, bool)>, u64) {
     let mut pending: Option<(Timestamp, TimerToken)> = None;
     let mut logins = Vec::new();
     for &(start, end) in sessions {
@@ -64,13 +61,9 @@ fn sessions() -> Vec<(i64, i64)> {
 #[test]
 fn dead_forecast_equals_reactive_policy() {
     // Predictor that always fails.
-    let mut proactive_dead = ProactiveEngine::new(
-        config(),
-        FailEvery::new(NeverPredictor, 1),
-    )
-    .unwrap();
-    let mut reactive =
-        ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
+    let mut proactive_dead =
+        ProactiveEngine::new(config(), FailEvery::new(NeverPredictor, 1)).unwrap();
+    let mut reactive = ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
 
     let (avail_dead, pauses_dead) = drive(&mut proactive_dead, &sessions());
     let (avail_reactive, pauses_reactive) = drive(&mut reactive, &sessions());
@@ -88,13 +81,9 @@ fn dead_forecast_equals_reactive_policy() {
 
 #[test]
 fn healthy_forecast_beats_the_fallback() {
-    let mut proactive = ProactiveEngine::new(
-        config(),
-        ProbabilisticPredictor::new(config()).unwrap(),
-    )
-    .unwrap();
-    let mut reactive =
-        ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
+    let mut proactive =
+        ProactiveEngine::new(config(), ProbabilisticPredictor::new(config()).unwrap()).unwrap();
+    let mut reactive = ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
     // NOTE: no control plane here, so the proactive engine cannot be
     // pre-warmed; but it still pauses more precisely.  The interesting
     // comparison is that it never does *worse* than reactive on

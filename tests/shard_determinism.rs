@@ -1,0 +1,146 @@
+//! Sharded-simulation determinism: the merged report of an N-shard run
+//! must be bit-identical (KPIs, batch series, counts) to the
+//! single-threaded run on the same seed, and the id-hash partitioning
+//! must cover every database exactly once.
+
+use prorp_core::EngineCounters;
+use prorp_sim::{partition_fleet, SimConfig, SimPolicy, SimReport, Simulation};
+use prorp_types::{PolicyConfig, Timestamp};
+use prorp_workload::{RegionName, RegionProfile, Trace};
+use std::collections::HashSet;
+
+const DAY: i64 = 86_400;
+
+fn fleet(size: usize) -> Vec<Trace> {
+    RegionProfile::for_region(RegionName::Eu1).generate_fleet(
+        size,
+        Timestamp(0),
+        Timestamp(35 * DAY),
+        21,
+    )
+}
+
+/// Engine counters with the wall-clock prediction-overhead fields zeroed:
+/// those measure real elapsed nanoseconds and differ between any two runs
+/// (sharded or not); every logical counter must still match exactly.
+fn logical(counters: &[EngineCounters]) -> Vec<EngineCounters> {
+    counters
+        .iter()
+        .map(|c| EngineCounters {
+            prediction_ns_sum: 0,
+            prediction_ns_max: 0,
+            ..*c
+        })
+        .collect()
+}
+
+fn run_with_shards(policy: SimPolicy, traces: Vec<Trace>, shards: usize) -> SimReport {
+    let mut cfg = SimConfig::new(
+        policy,
+        Timestamp(0),
+        Timestamp(35 * DAY),
+        Timestamp(30 * DAY),
+    );
+    cfg.shards = shards;
+    Simulation::new(cfg, traces).unwrap().run().unwrap()
+}
+
+#[test]
+fn same_seed_yields_identical_kpis_for_1_2_and_8_shards() {
+    let traces = fleet(48);
+    let baseline = run_with_shards(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        traces.clone(),
+        1,
+    );
+    assert_eq!(baseline.shard_counters.len(), 1);
+    for shards in [2usize, 8] {
+        let sharded = run_with_shards(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            traces.clone(),
+            shards,
+        );
+        // KpiReport is Copy + PartialEq over raw counts and f64
+        // fractions: equality here means bit-identical KPIs.
+        assert_eq!(sharded.kpi, baseline.kpi, "{shards} shards");
+        assert_eq!(sharded.resume_batches, baseline.resume_batches);
+        assert_eq!(sharded.telemetry.len(), baseline.telemetry.len());
+        assert_eq!(sharded.telemetry.counts(), baseline.telemetry.counts());
+        assert_eq!(
+            logical(&sharded.counters),
+            logical(&baseline.counters),
+            "input-trace order"
+        );
+        assert_eq!(sharded.history_stats, baseline.history_stats);
+        assert_eq!(sharded.spill_moves, baseline.spill_moves);
+        assert_eq!(sharded.oversubscriptions, baseline.oversubscriptions);
+        assert_eq!(sharded.maintenance, baseline.maintenance);
+        assert_eq!(sharded.shard_counters.len(), shards);
+        let worked: usize = sharded.shard_counters.iter().map(|c| c.databases).sum();
+        assert_eq!(worked, traces.len());
+    }
+}
+
+#[test]
+fn sharding_is_deterministic_under_fault_injection() {
+    // The stateless per-(seed, db, timestamp) fault draw must make stuck
+    // workflows independent of the shard layout.
+    let traces = fleet(32);
+    let mut reports = Vec::new();
+    for shards in [1usize, 4] {
+        let mut cfg = SimConfig::new(
+            SimPolicy::Reactive,
+            Timestamp(0),
+            Timestamp(35 * DAY),
+            Timestamp(30 * DAY),
+        );
+        cfg.shards = shards;
+        cfg.stuck_probability = 0.5;
+        cfg.seed = 7;
+        cfg.diagnostics_period = Some(prorp_types::Seconds::minutes(10));
+        reports.push(Simulation::new(cfg, traces.clone()).unwrap().run().unwrap());
+    }
+    assert_eq!(reports[0].kpi, reports[1].kpi);
+    assert_eq!(reports[0].mitigations, reports[1].mitigations);
+    assert_eq!(reports[0].incidents, reports[1].incidents);
+    assert!(reports[0].mitigations > 0, "fault injection must bite");
+}
+
+#[test]
+fn partitioning_covers_every_database_exactly_once() {
+    let traces = fleet(200);
+    for shards in [1usize, 2, 3, 8, 16] {
+        let parts = partition_fleet(&traces, shards);
+        assert_eq!(parts.len(), shards);
+        let mut seen = HashSet::new();
+        for (s, part) in parts.iter().enumerate() {
+            for &i in part {
+                assert_eq!(traces[i].db.shard_of(shards), s, "stable assignment");
+                assert!(seen.insert(i), "trace {i} assigned twice ({shards} shards)");
+            }
+        }
+        assert_eq!(seen.len(), traces.len(), "{shards} shards must cover all");
+    }
+}
+
+#[test]
+fn empty_shards_do_not_skew_merged_kpis() {
+    // More shards than databases: several shards own zero databases.
+    // Their (empty) outcomes must contribute nothing — the merged KPI
+    // fractions come from summed segment totals, not per-shard ratios.
+    let traces = fleet(5);
+    let baseline = run_with_shards(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        traces.clone(),
+        1,
+    );
+    let sharded = run_with_shards(SimPolicy::Proactive(PolicyConfig::default()), traces, 16);
+    assert_eq!(sharded.shard_counters.len(), 16);
+    assert!(
+        sharded.shard_counters.iter().any(|c| c.databases == 0),
+        "test needs at least one empty shard"
+    );
+    assert_eq!(sharded.kpi, baseline.kpi);
+    assert_eq!(sharded.kpi.qos_pct(), baseline.kpi.qos_pct());
+    assert_eq!(sharded.resume_batches, baseline.resume_batches);
+}

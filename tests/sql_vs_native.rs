@@ -170,12 +170,7 @@ proptest! {
 #[test]
 fn strict_daily_pattern_spot_check() {
     let events: Vec<(i64, i64)> = (0..7)
-        .flat_map(|d| {
-            [
-                (d * DAY + 9 * HOUR, 1),
-                (d * DAY + 10 * HOUR, 0),
-            ]
-        })
+        .flat_map(|d| [(d * DAY + 9 * HOUR, 1), (d * DAY + 10 * HOUR, 0)])
         .collect();
     let (mut sql, native) = build_both(&events);
     let now = 7 * DAY;

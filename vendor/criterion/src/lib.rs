@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface the workspace's benches use
+//! ([`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros) on a simple
+//! wall-clock harness: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the mean/min per-iteration time is printed
+//! to stdout.  No statistical analysis, plots, or saved baselines —
+//! numbers are indicative, suitable for the A-vs-B ablations in
+//! `crates/bench`, and the binaries still accept (and ignore) the
+//! harness flags cargo passes such as `--bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost; only the variants the
+/// workspace uses exist, and the stub times routines individually
+/// regardless, so the variant is informational.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; setup runs before every routine call.
+    #[default]
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark's display name, `group/function/parameter` style.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A name combining a function label and a parameter, rendered as
+    /// `label/parameter`.
+    pub fn new(label: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", label.into()),
+        }
+    }
+
+    /// A name that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    /// Mean per-iteration time of each collected sample.
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that makes one
+        // sample take roughly a millisecond so Instant overhead vanishes.
+        let calib = Instant::now();
+        std::hint::black_box(routine());
+        let once = calib.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.results.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher<'_>)) {
+    let mut results = Vec::with_capacity(samples);
+    f(&mut Bencher {
+        samples,
+        results: &mut results,
+    });
+    if results.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    let min = results.iter().min().copied().unwrap_or_default();
+    println!(
+        "{name:<48} mean {:>12}   min {:>12}   ({} samples)",
+        format_duration(mean),
+        format_duration(min),
+        results.len()
+    );
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut f = f;
+        run_one(&id.into().label, self.sample_size, |b| f(b));
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut f = f;
+        let name = format!("{}/{}", self.name, id.into().label);
+        run_one(&name, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut f = f;
+        let name = format!("{}/{}", self.name, id.into().label);
+        run_one(&name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (benches run eagerly, so this just ends it).
+    pub fn finish(self) {}
+}
+
+/// Declare a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags such as `--bench` that cargo passes.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut results = Vec::new();
+        let mut b = Bencher {
+            samples: 5,
+            results: &mut results,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut results = Vec::new();
+        let mut b = Bencher {
+            samples: 3,
+            results: &mut results,
+        };
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("btree", 100).label, "btree/100");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+        assert_eq!(BenchmarkId::from("parse").label, "parse");
+    }
+
+    #[test]
+    fn group_runs_benches_eagerly() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        let mut calls = 0;
+        group.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+}

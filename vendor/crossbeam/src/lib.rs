@@ -1,0 +1,271 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities the workspace uses — [`scope`]d threads
+//! and unbounded MPMC [`channel`]s — implemented on top of
+//! `std::thread::scope` and `Mutex<VecDeque>`/`Condvar`.  Semantics
+//! match crossbeam where the workspace depends on them: senders and
+//! receivers are cloneable, `recv` blocks until a message arrives or
+//! every sender is dropped, and `scope` returns `Err` if any spawned
+//! worker panicked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scoped-thread context, passed to the [`scope`] closure and to every
+/// spawned worker (crossbeam's workers can spawn siblings).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker that may borrow from the enclosing scope.  The
+    /// worker receives the scope itself as its argument.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Run `f` with a scope whose spawned workers are all joined before this
+/// function returns.  Returns `Err` with the panic payload if `f` or any
+/// worker panicked.
+///
+/// # Errors
+///
+/// The boxed panic payload of whichever thread panicked first.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Unbounded multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloning adds another consumer competing for
+    /// messages (MPMC work-queue semantics, not broadcast).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Returned by [`Sender::send`] when every receiver is gone; carries
+    /// the rejected message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Returned by [`Receiver::recv`] when the channel is empty and every
+    /// sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message, waking one blocked receiver.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.shared
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last producer gone: wake all receivers so blocked
+                // `recv` calls can observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] once the queue is empty and every sender has
+        /// been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .expect("channel mutex poisoned");
+            }
+        }
+
+        /// A blocking iterator that yields messages until the channel
+        /// disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Blocking iterator over received messages; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn scoped_workers_drain_a_shared_queue() {
+        let (task_tx, task_rx) = channel::unbounded::<u64>();
+        let (out_tx, out_rx) = channel::unbounded::<u64>();
+        for i in 0..100 {
+            task_tx.send(i).unwrap();
+        }
+        drop(task_tx);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                let task_rx = task_rx.clone();
+                let out_tx = out_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(i) = task_rx.recv() {
+                        out_tx.send(i * 2).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        drop(out_tx);
+        let mut doubled: Vec<u64> = out_rx.iter().collect();
+        doubled.sort_unstable();
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_reports_worker_panics_as_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker failure"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value() {
+        let sum = super::scope(|scope| {
+            let h1 = scope.spawn(|_| 40);
+            let h2 = scope.spawn(|_| 2);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 42);
+    }
+}

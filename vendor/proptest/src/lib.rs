@@ -1,0 +1,748 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Property tests in this workspace run against the subset of proptest
+//! implemented here: [`Strategy`](strategy::Strategy) over ranges,
+//! tuples, `prop_map`, weighted [`prop_oneof!`], the
+//! [`collection`]/[`option`] combinators, [`any`](arbitrary::any), and
+//! the [`proptest!`]/[`prop_assert!`] macros.  Inputs are drawn from a
+//! deterministic per-test RNG (seeded from the test's name and case
+//! index), so failures reproduce exactly on re-run.  There is no
+//! shrinking: a failing case panics with the generated inputs' assertion
+//! message, and `.proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+/// The RNG every strategy draws from.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Value-generation strategies and combinators.
+pub mod strategy {
+    use super::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree or shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erase the concrete strategy type (used by `prop_oneof!` to
+        /// mix heterogeneous arms).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Ranges of numbers are strategies drawing uniformly.
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A weighted choice among boxed strategies; see `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut ticket = rng.random_range(0..self.total_weight);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if ticket < weight {
+                    return arm.generate(rng);
+                }
+                ticket -= weight;
+            }
+            unreachable!("ticket exceeded total weight");
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+/// Default strategies for primitive types; see [`arbitrary::any`].
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::{RngCore, RngExt};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draw one value uniformly over the whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-balanced, wide dynamic range.
+            let unit: f64 = rng.random();
+            let exp: i32 = rng.random_range(-64..64);
+            (unit - 0.5) * (2f64).powi(exp)
+        }
+    }
+
+    /// The strategy returned by [`any`]; also the type of constants like
+    /// [`crate::num::i64::ANY`].
+    pub struct Any<A>(pub(crate) PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over `A`'s entire domain.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+/// Full-domain strategy constants, mirroring `proptest::num`.
+pub mod num {
+    /// Strategies for `i64`.
+    pub mod i64 {
+        use std::marker::PhantomData;
+
+        /// Any `i64`.
+        pub const ANY: crate::arbitrary::Any<i64> = crate::arbitrary::Any(PhantomData);
+    }
+
+    /// Strategies for `u64`.
+    pub mod u64 {
+        use std::marker::PhantomData;
+
+        /// Any `u64`.
+        pub const ANY: crate::arbitrary::Any<u64> = crate::arbitrary::Any(PhantomData);
+    }
+}
+
+/// Strategies for collections of generated values.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngExt;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// A requested collection size: either exact or a `min..max` range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn draw(self, rng: &mut TestRng) -> usize {
+            if self.min + 1 >= self.max_exclusive {
+                self.min
+            } else {
+                rng.random_range(self.min..self.max_exclusive)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the yield, so cap the attempts rather
+            // than loop forever on narrow element domains.
+            let mut attempts = target.saturating_mul(20) + 50;
+            while set.len() < target && attempts > 0 {
+                set.insert(self.element.generate(rng));
+                attempts -= 1;
+            }
+            set
+        }
+    }
+
+    /// A `BTreeSet` of values from `element`, with a size in `size`
+    /// (best-effort when the element domain is narrow).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.draw(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = target.saturating_mul(20) + 50;
+            while map.len() < target && attempts > 0 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts -= 1;
+            }
+            map
+        }
+    }
+
+    /// A `BTreeMap` with keys from `key` and values from `value`, sized
+    /// in `size` (best-effort when the key domain is narrow).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+/// Strategies over `Option`, mirroring `proptest::option`.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Weighted toward Some, like proptest's default.
+            if rng.random_bool(0.8) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` of a value from `inner` most of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Test execution: configuration, case errors, and the case loop the
+/// [`proptest!`] macro drives.
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-test configuration (only the case count is honoured).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// How many generated cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; this workspace's CI budget
+            // prefers fewer, and explicit `with_cases` overrides anyway.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The input was rejected (not counted as a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// An input rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// One case's outcome.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Run `case` for every generated input.  Called by [`crate::proptest!`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first falsified
+    /// case, reporting the test name and case index — the seed is a pure
+    /// function of both, so re-running reproduces the failure.
+    pub fn run_cases(
+        config: ProptestConfig,
+        name: &str,
+        mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
+        let name_hash = fnv1a(name.as_bytes());
+        for index in 0..config.cases {
+            let seed = name_hash ^ (u64::from(index)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("property `{name}` falsified at case {index}: {message}");
+                }
+            }
+        }
+    }
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` combinator namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{collection, num, option};
+    }
+}
+
+/// Assert a boolean property, failing the current case (not panicking
+/// directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, showing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// [`prop_assert!`] for inequality, showing the shared value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// A strategy choosing among arms, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases($config, stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                let __proptest_outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                __proptest_outcome
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Push(i64),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (-100i64..100).prop_map(Op::Push),
+            1 => (0u8..1).prop_map(|_| Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -50i64..50, y in 0.5f64..2.0) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn vec_sizes_respect_the_request(
+            xs in prop::collection::vec(0i64..10, 3..7),
+            exact in prop::collection::vec(any::<bool>(), 4),
+        ) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert_eq!(exact.len(), 4);
+        }
+
+        #[test]
+        fn sets_and_maps_honour_minimums(
+            set in prop::collection::btree_set(0i64..1_000_000, 2..40),
+            map in prop::collection::btree_map(0i64..1_000_000, any::<u64>(), 0..20),
+        ) {
+            prop_assert!(set.len() >= 2);
+            prop_assert!(map.len() < 20);
+        }
+
+        #[test]
+        fn oneof_reaches_every_arm(ops in prop::collection::vec(op_strategy(), 40..80)) {
+            prop_assert!(ops.iter().any(|o| matches!(o, Op::Push(_))));
+            prop_assert_ne!(ops.len(), 0);
+        }
+
+        #[test]
+        fn question_mark_propagates(flag in any::<bool>()) {
+            fn helper(flag: bool) -> Result<u8, TestCaseError> {
+                prop_assert!(flag || !flag);
+                Ok(u8::from(flag))
+            }
+            let v = helper(flag)?;
+            prop_assert!(v <= 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name_and_index() {
+        use crate::strategy::Strategy;
+        let strat = 0i64..1_000_000;
+        let mut first = Vec::new();
+        crate::test_runner::run_cases(ProptestConfig::with_cases(5), "det", |rng| {
+            first.push(strat.generate(rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run_cases(ProptestConfig::with_cases(5), "det", |rng| {
+            second.push(strat.generate(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert!(first.windows(2).any(|w| w[0] != w[1]), "cases vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic_with_the_case_index() {
+        crate::test_runner::run_cases(ProptestConfig::default(), "boom", |_| {
+            Err(TestCaseError::fail("always fails"))
+        });
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        use crate::strategy::Strategy;
+        let strat = crate::option::of(0i64..10);
+        let mut some = 0;
+        let mut none = 0;
+        crate::test_runner::run_cases(ProptestConfig::with_cases(200), "opt", |rng| {
+            match strat.generate(rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+            Ok(())
+        });
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+}
