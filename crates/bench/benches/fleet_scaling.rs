@@ -67,13 +67,15 @@ fn main() {
         "shards", "wall[s]", "speedup", "events/s", "qos[%]"
     );
     for &shards in &shard_counts {
-        let mut cfg = SimConfig::new(
+        let cfg = SimConfig::builder(
             SimPolicy::Proactive(PolicyConfig::default()),
             Timestamp(0),
             end,
             measure_from,
-        );
-        cfg.shards = shards;
+        )
+        .shards(shards)
+        .build()
+        .expect("valid config");
         let sim = Simulation::new(cfg, traces.clone()).expect("valid config");
         let started = Instant::now();
         let report = sim.run().expect("simulation runs");

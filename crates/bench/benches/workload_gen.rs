@@ -37,12 +37,14 @@ fn bench_full_simulation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("proactive_50db_32d", |b| {
         b.iter(|| {
-            let config = SimConfig::new(
+            let config = SimConfig::builder(
                 SimPolicy::Proactive(PolicyConfig::default()),
                 Timestamp(0),
                 Timestamp(0) + Seconds::days(32),
                 Timestamp(0) + Seconds::days(28),
-            );
+            )
+            .build()
+            .unwrap();
             Simulation::new(config, traces.clone())
                 .unwrap()
                 .run()

@@ -81,11 +81,12 @@ impl ExperimentScale {
 
     /// A simulation config template for this scale.
     pub fn sim_config(&self, policy: SimPolicy) -> SimConfig {
-        let mut cfg = SimConfig::new(policy, self.start(), self.end(), self.measure_from());
         // Size the cluster to the fleet with ~25 % headroom.
-        cfg.node_capacity = (self.fleet / 4).max(8);
-        cfg.nodes = 5;
-        cfg
+        SimConfig::builder(policy, self.start(), self.end(), self.measure_from())
+            .node_capacity((self.fleet / 4).max(8))
+            .nodes(5)
+            .build()
+            .expect("experiment defaults are valid")
     }
 }
 
@@ -149,6 +150,7 @@ mod tests {
         assert!(scale.start() < scale.measure_from());
         assert!(scale.measure_from() < scale.end());
         let cfg = scale.sim_config(SimPolicy::Reactive);
-        cfg.validate().unwrap();
+        assert_eq!(cfg.nodes, 5);
+        assert!(!cfg.fault().injects_stage_faults());
     }
 }

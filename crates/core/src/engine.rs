@@ -89,6 +89,12 @@ pub struct EngineCounters {
     pub predictions: u64,
     /// Predictor failures absorbed by the reactive fallback (§3.2).
     pub forecast_failures: u64,
+    /// Times the predictor circuit breaker opened (re-opens after a
+    /// failed half-open probe included).
+    pub breaker_opens: u64,
+    /// Re-predictions short-circuited to the reactive fallback because
+    /// the breaker was open (the predictor was not invoked).
+    pub breaker_fallbacks: u64,
     /// Total wall-clock nanoseconds spent inside the predictor.
     pub prediction_ns_sum: u64,
     /// Worst single prediction latency in nanoseconds.

@@ -23,6 +23,12 @@
 //! * [`resume_op`] — Algorithm 5: the periodic control-plane scan that
 //!   pre-warms physically paused databases `k` ahead of predicted
 //!   activity;
+//! * [`workflow`] — the §7 staged resume workflow (allocate node →
+//!   attach storage → warm cache → mark resumed) with deterministic
+//!   per-stage fault draws, retry/backoff, and incident escalation;
+//! * [`breaker`] — the predictor circuit breaker that pins a database to
+//!   reactive behaviour after repeated forecast failures (§3.2) and
+//!   re-probes after a cool-down;
 //! * [`maintenance`] — the §11 future-work extension: schedule system
 //!   maintenance inside predicted-online windows so backups and updates
 //!   stop forcing maintenance-only resumes.
@@ -30,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod engine;
 pub mod maintenance;
 pub mod optimal;
@@ -37,7 +44,9 @@ pub mod proactive;
 pub mod reactive;
 pub mod resume_op;
 pub mod tracker;
+pub mod workflow;
 
+pub use breaker::CircuitBreaker;
 pub use engine::{
     DatabasePolicy, EngineAction, EngineCounters, EngineEvent, PolicyKind, TimerToken,
 };
@@ -47,3 +56,4 @@ pub use proactive::ProactiveEngine;
 pub use reactive::ReactiveEngine;
 pub use resume_op::ProactiveResumeOp;
 pub use tracker::ActivityTracker;
+pub use workflow::{ResumeWorkflow, StageOutcome};

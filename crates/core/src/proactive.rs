@@ -27,13 +27,16 @@
 //!    whereas the latter is an informed decision that lets an old database
 //!    skip straight to the physical pause (Transition ❸).
 
+use crate::breaker::CircuitBreaker;
 use crate::engine::{
     DatabasePolicy, EngineAction, EngineCounters, EngineEvent, PolicyKind, TimerToken,
 };
 use crate::tracker::ActivityTracker;
 use prorp_forecast::Predictor;
 use prorp_storage::HistoryTable;
-use prorp_types::{DbState, EventKind, PolicyConfig, Prediction, ProrpError, Timestamp};
+use prorp_types::{
+    BreakerConfig, DbState, EventKind, PolicyConfig, Prediction, ProrpError, Timestamp,
+};
 use std::time::Instant;
 
 /// The forecast the engine is currently acting on.
@@ -59,6 +62,7 @@ pub struct ProactiveEngine<P> {
     /// (Algorithm 3 output).
     old: bool,
     forecast: ForecastState,
+    breaker: CircuitBreaker,
     pause_start: Timestamp,
     next_token: u64,
     live_token: Option<TimerToken>,
@@ -73,7 +77,25 @@ impl<P: Predictor> ProactiveEngine<P> {
     ///
     /// Propagates configuration validation failures.
     pub fn new(config: PolicyConfig, predictor: P) -> Result<Self, ProrpError> {
+        Self::with_breaker(config, predictor, BreakerConfig::default())
+    }
+
+    /// Build an engine with explicit predictor circuit-breaker knobs
+    /// (§3.2): after `breaker.failure_threshold` consecutive forecast
+    /// failures the engine stops invoking the predictor — behaving
+    /// exactly like the reactive baseline — and re-probes after
+    /// `breaker.cooldown`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn with_breaker(
+        config: PolicyConfig,
+        predictor: P,
+        breaker: BreakerConfig,
+    ) -> Result<Self, ProrpError> {
         config.validate()?;
+        breaker.validate()?;
         Ok(ProactiveEngine {
             config,
             predictor,
@@ -82,6 +104,7 @@ impl<P: Predictor> ProactiveEngine<P> {
             active: false,
             old: false,
             forecast: ForecastState::Predicted(None),
+            breaker: CircuitBreaker::new(breaker),
             pause_start: Timestamp::EPOCH,
             next_token: 0,
             live_token: None,
@@ -107,6 +130,13 @@ impl<P: Predictor> ProactiveEngine<P> {
         self.forecast == ForecastState::Unavailable
     }
 
+    /// Whether the predictor circuit breaker is suppressing predictions
+    /// at `now` (the engine is pinned to reactive behaviour until the
+    /// cool-down elapses).
+    pub fn breaker_open(&self, now: Timestamp) -> bool {
+        self.breaker.is_open(now)
+    }
+
     /// Access the activity tracker (used by the simulator's move path).
     pub fn tracker_mut(&mut self) -> &mut ActivityTracker {
         &mut self.tracker
@@ -128,6 +158,10 @@ impl<P: Predictor> ProactiveEngine<P> {
 
     /// Lines 8–9 / 24–25: trim history (Algorithm 3), then run the
     /// predictor, degrading to [`ForecastState::Unavailable`] on error.
+    ///
+    /// While the circuit breaker is open the predictor is not invoked at
+    /// all: the engine short-circuits to the reactive fallback until the
+    /// cool-down admits a half-open probe.
     fn repredict(&mut self, now: Timestamp) {
         self.tracker.flush();
         let outcome = self
@@ -135,6 +169,11 @@ impl<P: Predictor> ProactiveEngine<P> {
             .history_mut()
             .delete_old_history(self.config.history_len, now);
         self.old = outcome.old;
+        if !self.breaker.allows(now) {
+            self.counters.breaker_fallbacks += 1;
+            self.forecast = ForecastState::Unavailable;
+            return;
+        }
         let started = Instant::now();
         let result = self.predictor.predict(self.tracker.history(), now);
         let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -142,9 +181,15 @@ impl<P: Predictor> ProactiveEngine<P> {
         self.counters.prediction_ns_sum += elapsed;
         self.counters.prediction_ns_max = self.counters.prediction_ns_max.max(elapsed);
         match result {
-            Ok(p) => self.forecast = ForecastState::Predicted(p),
+            Ok(p) => {
+                self.breaker.record_success();
+                self.forecast = ForecastState::Predicted(p);
+            }
             Err(_) => {
                 self.counters.forecast_failures += 1;
+                if self.breaker.record_failure(now) {
+                    self.counters.breaker_opens += 1;
+                }
                 self.forecast = ForecastState::Unavailable;
             }
         }

@@ -63,26 +63,18 @@ impl ProactiveResumeOp {
     /// the next run.  The caller delivers
     /// [`EngineEvent::ProactiveResume`](crate::EngineEvent::ProactiveResume)
     /// to each returned database.
-    pub fn run(&mut self, now: Timestamp, metadata: &MetadataStore) -> Vec<DatabaseId> {
-        let selected = metadata.databases_to_resume(now, self.prewarm, self.period);
-        self.batch_sizes.push(selected.len());
-        self.next_run = now + self.period;
-        selected
-    }
-
-    /// Run one iteration at `now` over a *sharded* metadata store: the
-    /// same Algorithm 5 selection as [`run`](Self::run), but the scan
-    /// batches over shard-local `sys.databases` partitions (see
-    /// [`MetadataStore::partition`]) instead of one global pass.
     ///
+    /// The scan runs over the `sys.databases` partitions of a sharded
+    /// metadata store (see [`MetadataStore::partition`]); an unsharded
+    /// store is the 1-partition slice (`std::slice::from_ref(&store)`).
     /// Because partitioning assigns every row to exactly one shard, the
-    /// union of the per-partition range lookups equals the global scan;
-    /// the combined batch is re-sorted by `(start_of_pred_activity, id)`
-    /// so the result is byte-identical to `run` on the unsharded store,
-    /// no matter how many partitions the rows were split into.  One
-    /// combined batch size is recorded per iteration, keeping the
-    /// Figure 11 statistics comparable across shard counts.
-    pub fn run_sharded(&mut self, now: Timestamp, partitions: &[MetadataStore]) -> Vec<DatabaseId> {
+    /// union of the per-partition range lookups equals a global scan; the
+    /// combined batch is re-sorted by `(start_of_pred_activity, id)` so
+    /// the result is byte-identical no matter how many partitions the
+    /// rows were split into.  One combined batch size is recorded per
+    /// iteration, keeping the Figure 11 statistics comparable across
+    /// shard counts.
+    pub fn run(&mut self, now: Timestamp, partitions: &[MetadataStore]) -> Vec<DatabaseId> {
         let mut selected: Vec<(Timestamp, DatabaseId)> = partitions
             .iter()
             .flat_map(|p| {
@@ -160,7 +152,7 @@ mod tests {
             ProactiveResumeOp::new(Seconds::minutes(5), Seconds::minutes(1), Timestamp(60))
                 .unwrap();
         // At now = 60: slot is [60+300, 60+300+60] = [360, 420].
-        let picked = op.run(Timestamp(60), &store);
+        let picked = op.run(Timestamp(60), std::slice::from_ref(&store));
         assert_eq!(picked, vec![DatabaseId(1), DatabaseId(2)]);
         assert_eq!(op.next_run(), Timestamp(120));
         assert_eq!(op.batch_sizes(), &[2]);
@@ -175,7 +167,7 @@ mod tests {
         let mut picked_all = Vec::new();
         let mut now = Timestamp(0);
         for _ in 0..4 {
-            picked_all.extend(op.run(now, &store));
+            picked_all.extend(op.run(now, std::slice::from_ref(&store)));
             now = op.next_run();
         }
         // Slots: [300,360], [360,420], [420,480], [480,540] — every
@@ -199,8 +191,8 @@ mod tests {
     #[test]
     fn sharded_scan_matches_the_global_scan() {
         // Many paused databases with predictions straddling the slot; the
-        // sharded scan over any partition count must return the same
-        // batch, in the same (pred_start, id) order, as the global scan.
+        // scan over any partition count must return the same batch, in
+        // the same (pred_start, id) order, as the 1-partition scan.
         let preds: Vec<(u64, i64)> = (0..120).map(|i| (i, 300 + (i as i64 * 7) % 130)).collect();
         let store = store_with_paused(&preds);
         for shards in [1usize, 2, 3, 8] {
@@ -208,9 +200,9 @@ mod tests {
                 ProactiveResumeOp::new(Seconds(300), Seconds(60), Timestamp(0)).unwrap();
             let mut sharded =
                 ProactiveResumeOp::new(Seconds(300), Seconds(60), Timestamp(0)).unwrap();
-            let expected = global.run(Timestamp(0), &store);
+            let expected = global.run(Timestamp(0), std::slice::from_ref(&store));
             let parts = store.partition(shards);
-            let got = sharded.run_sharded(Timestamp(0), &parts);
+            let got = sharded.run(Timestamp(0), &parts);
             assert_eq!(got, expected, "{shards} shards");
             assert_eq!(sharded.batch_sizes(), global.batch_sizes());
             assert_eq!(sharded.next_run(), global.next_run());

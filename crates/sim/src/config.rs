@@ -1,6 +1,16 @@
 //! Simulation configuration.
+//!
+//! [`SimConfig`] is built through [`SimConfig::builder`], which validates
+//! every knob at [`SimConfigBuilder::build`].  The control-plane fault
+//! layer (stage latencies and failure probabilities, retry budget,
+//! predictor circuit breaker, forecast fault injection) is configured
+//! *only* through the builder: the [`FaultConfig`] lives in a private
+//! field, so a hand-mutated config cannot bypass its validation.
 
-use prorp_types::{PolicyConfig, ProrpError, Seconds, Timestamp};
+use prorp_types::{
+    BreakerConfig, FaultConfig, PolicyConfig, ProrpError, RetryPolicy, Seconds, Timestamp,
+    WorkflowStage,
+};
 
 /// Which resource-allocation policy the fleet runs.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +35,9 @@ impl SimPolicy {
 }
 
 /// All simulator knobs.
+///
+/// Construct with [`SimConfig::builder`]; the legacy [`SimConfig::new`] +
+/// [`SimConfig::validate`] pair survives one release as a deprecated shim.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
     /// The policy under test.
@@ -36,7 +49,9 @@ pub struct SimConfig {
     /// KPIs are measured from here (time before is warm-up during which
     /// databases accrue the history the predictor needs).
     pub measure_from: Timestamp,
-    /// Latency of a resource-allocation (resume) workflow.
+    /// Total failure-free latency of a resource-allocation (resume)
+    /// workflow; the builder splits it over the four workflow stages
+    /// unless explicit stage latencies were given.
     pub resume_latency: Seconds,
     /// Extra latency when a resume requires a cross-node move (§1).
     pub move_penalty: Seconds,
@@ -77,12 +92,15 @@ pub struct SimConfig {
     /// yields identical KPIs for 1 and N shards (see
     /// [`crate::shard`] for the exact guarantee).
     pub shards: usize,
+    /// The control-plane fault layer (stage latencies/failure
+    /// probabilities, retry policy, predictor circuit breaker, forecast
+    /// fault injection).  Private on purpose: these knobs are set only
+    /// through [`SimConfig::builder`], which validates them at `build()`.
+    fault: FaultConfig,
 }
 
 impl SimConfig {
-    /// A config with production-like defaults over `[start, end)`,
-    /// measuring from `measure_from`.
-    pub fn new(
+    fn with_defaults(
         policy: SimPolicy,
         start: Timestamp,
         end: Timestamp,
@@ -109,11 +127,57 @@ impl SimConfig {
             maintenance_deadline: Seconds::hours(24),
             seed: 0,
             shards: 1,
+            fault: FaultConfig::default(),
         }
     }
 
+    /// Start building a config with production-like defaults over
+    /// `[start, end)`, measuring from `measure_from`.  Every knob is
+    /// validated when [`SimConfigBuilder::build`] runs.
+    pub fn builder(
+        policy: SimPolicy,
+        start: Timestamp,
+        end: Timestamp,
+        measure_from: Timestamp,
+    ) -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::with_defaults(policy, start, end, measure_from),
+            explicit_stage_latencies: None,
+        }
+    }
+
+    /// A config with production-like defaults over `[start, end)`,
+    /// measuring from `measure_from`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimConfig::builder(..).build(), which validates every knob"
+    )]
+    pub fn new(
+        policy: SimPolicy,
+        start: Timestamp,
+        end: Timestamp,
+        measure_from: Timestamp,
+    ) -> Self {
+        SimConfig::with_defaults(policy, start, end, measure_from)
+    }
+
     /// Validate knob consistency.
+    #[deprecated(
+        since = "0.2.0",
+        note = "validation happens in SimConfig::builder(..).build()"
+    )]
     pub fn validate(&self) -> Result<(), ProrpError> {
+        self.check()
+    }
+
+    /// The control-plane fault layer this config runs with.
+    pub fn fault(&self) -> &FaultConfig {
+        &self.fault
+    }
+
+    /// Validate knob consistency (internal: `build()` and the simulation
+    /// entry points call this).
+    pub(crate) fn check(&self) -> Result<(), ProrpError> {
         if self.end <= self.start {
             return Err(ProrpError::InvalidConfig(format!(
                 "simulation end {:?} must follow start {:?}",
@@ -157,6 +221,7 @@ impl SimConfig {
                 self.stuck_probability
             )));
         }
+        self.fault.validate()?;
         if let SimPolicy::Proactive(pc) = &self.policy {
             pc.validate()?;
         }
@@ -164,12 +229,190 @@ impl SimConfig {
     }
 }
 
+/// Builder for [`SimConfig`]; obtained from [`SimConfig::builder`].
+///
+/// Setters are chainable and unchecked; [`build`](Self::build) validates
+/// the whole configuration at once.  Unless
+/// [`stage_latencies`](Self::stage_latencies) is called, the four
+/// workflow-stage latencies are derived from
+/// [`resume_latency`](Self::resume_latency) (50/25/15/10 % split), so the
+/// stages always sum to the configured end-to-end resume latency.
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+    explicit_stage_latencies: Option<[Seconds; WorkflowStage::COUNT]>,
+}
+
+impl SimConfigBuilder {
+    /// Total failure-free resume-workflow latency (stage latencies are
+    /// derived from it unless set explicitly).
+    pub fn resume_latency(mut self, v: Seconds) -> Self {
+        self.cfg.resume_latency = v;
+        self
+    }
+
+    /// Extra latency for a cross-node move.
+    pub fn move_penalty(mut self, v: Seconds) -> Self {
+        self.cfg.move_penalty = v;
+        self
+    }
+
+    /// Number of compute nodes.
+    pub fn nodes(mut self, v: usize) -> Self {
+        self.cfg.nodes = v;
+        self
+    }
+
+    /// Allocation units per node.
+    pub fn node_capacity(mut self, v: usize) -> Self {
+        self.cfg.node_capacity = v;
+        self
+    }
+
+    /// Period of the Algorithm 5 proactive-resume scan.
+    pub fn resume_op_period(mut self, v: Seconds) -> Self {
+        self.cfg.resume_op_period = v;
+        self
+    }
+
+    /// Pre-warm lead time `k`.
+    pub fn prewarm(mut self, v: Seconds) -> Self {
+        self.cfg.prewarm = v;
+        self
+    }
+
+    /// Enable the diagnostics-and-mitigation runner with this period.
+    pub fn diagnostics_period(mut self, v: Seconds) -> Self {
+        self.cfg.diagnostics_period = Some(v);
+        self
+    }
+
+    /// Probability that a resume workflow silently hangs.
+    pub fn stuck_probability(mut self, v: f64) -> Self {
+        self.cfg.stuck_probability = v;
+        self
+    }
+
+    /// Age after which the diagnostics runner mitigates a hung workflow.
+    pub fn stuck_timeout(mut self, v: Seconds) -> Self {
+        self.cfg.stuck_timeout = v;
+        self
+    }
+
+    /// Enable the load-balancing step with this period.
+    pub fn rebalance_period(mut self, v: Seconds) -> Self {
+        self.cfg.rebalance_period = Some(v);
+        self
+    }
+
+    /// Load spread (units) that triggers a balancing move.
+    pub fn rebalance_threshold(mut self, v: usize) -> Self {
+        self.cfg.rebalance_threshold = v;
+        self
+    }
+
+    /// Enable per-database maintenance jobs with this period.
+    pub fn maintenance_period(mut self, v: Seconds) -> Self {
+        self.cfg.maintenance_period = Some(v);
+        self
+    }
+
+    /// Duration of one maintenance job.
+    pub fn maintenance_duration(mut self, v: Seconds) -> Self {
+        self.cfg.maintenance_duration = v;
+        self
+    }
+
+    /// How long a due maintenance job may wait for a predicted-online
+    /// window.
+    pub fn maintenance_deadline(mut self, v: Seconds) -> Self {
+        self.cfg.maintenance_deadline = v;
+        self
+    }
+
+    /// RNG seed for fault injection.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Number of simulation shards (worker threads).
+    pub fn shards(mut self, v: usize) -> Self {
+        self.cfg.shards = v;
+        self
+    }
+
+    /// Explicit per-stage workflow latencies (overrides the split derived
+    /// from [`resume_latency`](Self::resume_latency)).
+    pub fn stage_latencies(mut self, v: [Seconds; WorkflowStage::COUNT]) -> Self {
+        self.explicit_stage_latencies = Some(v);
+        self
+    }
+
+    /// Failure probability of one workflow stage.
+    pub fn stage_failure_probability(mut self, stage: WorkflowStage, p: f64) -> Self {
+        self.cfg.fault.stages[stage.index()].failure_probability = p;
+        self
+    }
+
+    /// Uniform failure probability across all workflow stages.
+    pub fn stage_failure_probabilities(mut self, p: f64) -> Self {
+        for s in &mut self.cfg.fault.stages {
+            s.failure_probability = p;
+        }
+        self
+    }
+
+    /// Retry policy for failed workflow stages.
+    pub fn retry(mut self, v: RetryPolicy) -> Self {
+        self.cfg.fault.retry = v;
+        self
+    }
+
+    /// Predictor circuit-breaker knobs (§3.2 reactive fallback).
+    pub fn breaker(mut self, v: BreakerConfig) -> Self {
+        self.cfg.fault.breaker = v;
+        self
+    }
+
+    /// Forecast fault injection: every n-th prediction fails.
+    pub fn forecast_fail_every(mut self, n: u32) -> Self {
+        self.cfg.fault.forecast_fail_every = Some(n);
+        self
+    }
+
+    /// Validate every knob and produce the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProrpError::InvalidConfig`] describing the first
+    /// offending knob.
+    pub fn build(mut self) -> Result<SimConfig, ProrpError> {
+        // Derive stage latencies from the end-to-end resume latency
+        // unless explicit latencies were given; failure probabilities
+        // set through the builder are preserved either way.
+        let latencies = match self.explicit_stage_latencies {
+            Some(explicit) => explicit,
+            None => FaultConfig::stages_for_total(self.cfg.resume_latency).map(|s| s.latency),
+        };
+        for (slot, latency) in self.cfg.fault.stages.iter_mut().zip(latencies) {
+            slot.latency = latency;
+        }
+        if self.explicit_stage_latencies.is_some() {
+            // Keep the public total consistent with the explicit stages.
+            self.cfg.resume_latency = self.cfg.fault.total_latency();
+        }
+        self.cfg.check()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn base() -> SimConfig {
-        SimConfig::new(
+    fn base() -> SimConfigBuilder {
+        SimConfig::builder(
             SimPolicy::Reactive,
             Timestamp(0),
             Timestamp(1_000_000),
@@ -179,50 +422,135 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        base().validate().unwrap();
-        SimConfig::new(
+        base().build().unwrap();
+        SimConfig::builder(
             SimPolicy::Proactive(PolicyConfig::default()),
             Timestamp(0),
             Timestamp(10),
             Timestamp(0),
         )
-        .validate()
+        .build()
         .unwrap();
     }
 
     #[test]
     fn bad_windows_are_rejected() {
-        let mut c = base();
-        c.end = Timestamp(0);
-        assert!(c.validate().is_err());
-        let mut c = base();
-        c.measure_from = Timestamp(-5);
-        assert!(c.validate().is_err());
-        let mut c = base();
-        c.measure_from = c.end;
-        assert!(c.validate().is_err());
+        assert!(SimConfig::builder(
+            SimPolicy::Reactive,
+            Timestamp(0),
+            Timestamp(0),
+            Timestamp(0)
+        )
+        .build()
+        .is_err());
+        assert!(SimConfig::builder(
+            SimPolicy::Reactive,
+            Timestamp(0),
+            Timestamp(10),
+            Timestamp(-5)
+        )
+        .build()
+        .is_err());
+        assert!(SimConfig::builder(
+            SimPolicy::Reactive,
+            Timestamp(0),
+            Timestamp(10),
+            Timestamp(10)
+        )
+        .build()
+        .is_err());
     }
 
     #[test]
     fn bad_knobs_are_rejected() {
-        let mut c = base();
-        c.nodes = 0;
-        assert!(c.validate().is_err());
-        let mut c = base();
-        c.stuck_probability = 1.5;
-        assert!(c.validate().is_err());
-        let mut c = base();
-        c.shards = 0;
-        assert!(c.validate().is_err());
-        let mut c = base();
-        c.shards = 8;
-        c.validate().unwrap();
-        let mut c = base();
-        c.policy = SimPolicy::Proactive(PolicyConfig {
-            confidence: 0.0,
-            ..PolicyConfig::default()
-        });
-        assert!(c.validate().is_err());
+        assert!(base().nodes(0).build().is_err());
+        assert!(base().stuck_probability(1.5).build().is_err());
+        assert!(base().shards(0).build().is_err());
+        base().shards(8).build().unwrap();
+        assert!(SimConfig::builder(
+            SimPolicy::Proactive(PolicyConfig {
+                confidence: 0.0,
+                ..PolicyConfig::default()
+            }),
+            Timestamp(0),
+            Timestamp(10),
+            Timestamp(0),
+        )
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn fault_knobs_land_only_on_the_builder_and_are_validated() {
+        let cfg = base()
+            .stage_failure_probabilities(0.2)
+            .stage_failure_probability(WorkflowStage::WarmCache, 0.5)
+            .retry(RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Seconds(5),
+                max_backoff: Seconds(20),
+            })
+            .breaker(BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Seconds::hours(1),
+            })
+            .forecast_fail_every(4)
+            .build()
+            .unwrap();
+        let f = cfg.fault();
+        assert_eq!(
+            f.stage(WorkflowStage::AllocateNode).failure_probability,
+            0.2
+        );
+        assert_eq!(f.stage(WorkflowStage::WarmCache).failure_probability, 0.5);
+        assert_eq!(f.retry.max_attempts, 2);
+        assert_eq!(f.breaker.failure_threshold, 1);
+        assert_eq!(f.forecast_fail_every, Some(4));
+
+        assert!(base().stage_failure_probabilities(1.5).build().is_err());
+        assert!(base()
+            .retry(RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        assert!(base().forecast_fail_every(0).build().is_err());
+    }
+
+    #[test]
+    fn stage_latencies_default_to_the_resume_latency_split() {
+        let cfg = base().build().unwrap();
+        assert_eq!(cfg.fault().total_latency(), Seconds(60));
+        let cfg = base().resume_latency(Seconds(200)).build().unwrap();
+        assert_eq!(cfg.fault().total_latency(), Seconds(200));
+        assert_eq!(
+            cfg.fault().stage(WorkflowStage::AllocateNode).latency,
+            Seconds(100)
+        );
+        // Explicit latencies win and re-derive the public total.
+        let cfg = base()
+            .resume_latency(Seconds(200))
+            .stage_latencies([Seconds(1), Seconds(2), Seconds(3), Seconds(4)])
+            .build()
+            .unwrap();
+        assert_eq!(cfg.fault().total_latency(), Seconds(10));
+        assert_eq!(cfg.resume_latency, Seconds(10));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_works_one_release() {
+        let cfg = SimConfig::new(
+            SimPolicy::Reactive,
+            Timestamp(0),
+            Timestamp(1_000),
+            Timestamp(500),
+        );
+        cfg.validate().unwrap();
+        // The shim carries the default (inert) fault layer.
+        assert_eq!(cfg.fault().total_latency(), Seconds(60));
+        assert!(!cfg.fault().injects_stage_faults());
     }
 
     #[test]

@@ -15,6 +15,10 @@ use std::collections::BinaryHeap;
 pub enum SimEvent {
     /// The measurement window opens (KPI accumulators re-base).
     MeasureStart,
+    /// One stage of a staged resume workflow finished executing for this
+    /// database (evaluate its deterministic fault draw: advance, retry,
+    /// or give up).
+    WorkflowStageDone(DatabaseId),
     /// A resume (allocation) workflow finished for this database.
     WorkflowComplete(DatabaseId),
     /// The control plane pre-warms this database (Algorithm 5 delivery).
@@ -42,16 +46,17 @@ impl SimEvent {
     fn priority(&self) -> u8 {
         match self {
             SimEvent::MeasureStart => 0,
-            SimEvent::WorkflowComplete(_) => 1,
-            SimEvent::ProactiveResume(_) => 2,
-            SimEvent::ResumeOpTick => 3,
-            SimEvent::DiagnosticsTick => 4,
-            SimEvent::RebalanceTick => 5,
-            SimEvent::MaintenanceDue(_) => 6,
-            SimEvent::MaintenanceRun(_) => 7,
-            SimEvent::EngineTimer(..) => 8,
-            SimEvent::ActivityStart(_) => 9,
-            SimEvent::ActivityEnd(_) => 10,
+            SimEvent::WorkflowStageDone(_) => 1,
+            SimEvent::WorkflowComplete(_) => 2,
+            SimEvent::ProactiveResume(_) => 3,
+            SimEvent::ResumeOpTick => 4,
+            SimEvent::DiagnosticsTick => 5,
+            SimEvent::RebalanceTick => 6,
+            SimEvent::MaintenanceDue(_) => 7,
+            SimEvent::MaintenanceRun(_) => 8,
+            SimEvent::EngineTimer(..) => 9,
+            SimEvent::ActivityStart(_) => 10,
+            SimEvent::ActivityEnd(_) => 11,
         }
     }
 }
@@ -145,11 +150,13 @@ mod tests {
         q.push(t, SimEvent::ActivityStart(db(1)));
         q.push(t, SimEvent::ProactiveResume(db(1)));
         q.push(t, SimEvent::WorkflowComplete(db(1)));
+        q.push(t, SimEvent::WorkflowStageDone(db(1)));
         q.push(t, SimEvent::ResumeOpTick);
         let order: Vec<SimEvent> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(
             order,
             vec![
+                SimEvent::WorkflowStageDone(db(1)),
                 SimEvent::WorkflowComplete(db(1)),
                 SimEvent::ProactiveResume(db(1)),
                 SimEvent::ResumeOpTick,

@@ -12,7 +12,10 @@
 //!   before customer logins, so a pre-warm scheduled for second `t`
 //!   benefits a login at second `t`;
 //! * [`config`] — simulation knobs: policy choice, workflow latencies,
-//!   fleet layout, scan periods, fault injection;
+//!   fleet layout, scan periods, fault injection.  Built through
+//!   [`SimConfig::builder`], which owns the fault-layer knobs (stage
+//!   failure probabilities, retry policy, predictor circuit breaker) and
+//!   validates everything at `build()`;
 //! * [`runner`] — the driver: partitions the fleet by id-hash, fans the
 //!   shards out over worker threads, and merges the per-shard outcomes
 //!   into one [`SimReport`];
@@ -26,7 +29,7 @@
 //!   KPIs stay bit-identical to a single-threaded run;
 //! * [`diagnostics`] — the §7 diagnostics-and-mitigation runner: detects
 //!   stuck workflows (fault injection), mitigates them, and escalates
-//!   repeat offenders as incidents.
+//!   repeat offenders and retry-budget exhaustions as incidents.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod node;
 pub mod runner;
 pub mod shard;
 
-pub use config::{SimConfig, SimPolicy};
+pub use config::{SimConfig, SimConfigBuilder, SimPolicy};
+pub use diagnostics::{DiagnosticsRunner, Mitigation};
 pub use runner::{SimReport, Simulation};
 pub use shard::partition_fleet;

@@ -19,7 +19,10 @@ use crate::config::SimConfig;
 use crate::shard::{self, ShardOutcome};
 use prorp_core::{EngineCounters, MaintenanceStats, ProactiveResumeOp};
 use prorp_storage::StorageStats;
-use prorp_telemetry::{KpiReport, SegmentAccumulator, ShardCounters, TelemetryKind, TelemetryLog};
+use prorp_telemetry::{
+    IncidentLog, KpiReport, SegmentAccumulator, ShardCounters, TelemetryKind, TelemetryLog,
+    WorkflowStats,
+};
 use prorp_types::{DatabaseId, ProrpError, Seconds, Timestamp};
 use prorp_workload::Trace;
 use std::collections::HashMap;
@@ -48,8 +51,17 @@ pub struct SimReport {
     pub oversubscriptions: u64,
     /// Hung workflows force-completed by the diagnostics runner.
     pub mitigations: u64,
-    /// Repeat stuck databases escalated as incidents.
+    /// Escalations to the on-call engineer: repeat stuck databases plus
+    /// retry-budget exhaustions (equals `incident_log.len()`).
     pub incidents: u64,
+    /// Staged workflows that exhausted their retry budget.
+    pub giveups: u64,
+    /// Staged-workflow telemetry: per-stage latency histograms plus
+    /// retry/giveup and circuit-breaker counters, fleet-wide.
+    pub workflow: WorkflowStats,
+    /// Fleet-wide incident log in canonical `(time, database, kind)`
+    /// order — identical at any shard count.
+    pub incident_log: IncidentLog,
     /// Maintenance placement quality (§11 future work 4); all zeros when
     /// maintenance is disabled.
     pub maintenance: MaintenanceStats,
@@ -85,7 +97,7 @@ impl Simulation {
     ///
     /// Propagates config validation failures.
     pub fn new(config: SimConfig, traces: Vec<Trace>) -> Result<Self, ProrpError> {
-        config.validate()?;
+        config.check()?;
         Ok(Simulation { config, traces })
     }
 
@@ -162,10 +174,13 @@ impl Simulation {
         let mut oversubscriptions = 0u64;
         let mut mitigations = 0u64;
         let mut incidents = 0u64;
+        let mut giveups = 0u64;
         let mut maintenance = MaintenanceStats::default();
         let mut shard_counters = Vec::with_capacity(outcomes.len());
         let mut shard_batches = Vec::with_capacity(outcomes.len());
         let mut shard_logs = Vec::with_capacity(outcomes.len());
+        let mut shard_workflows = Vec::with_capacity(outcomes.len());
+        let mut shard_incident_logs = Vec::with_capacity(outcomes.len());
 
         for outcome in outcomes {
             for (id, acc, ctr, stats) in &outcome.dbs {
@@ -182,11 +197,14 @@ impl Simulation {
             oversubscriptions += outcome.oversubscriptions;
             mitigations += outcome.mitigations;
             incidents += outcome.incidents;
+            giveups += outcome.giveups;
             maintenance.piggybacked += outcome.maintenance.piggybacked;
             maintenance.forced_resumes += outcome.maintenance.forced_resumes;
             shard_batches.push(outcome.resume_batches);
             shard_counters.push(outcome.counters);
             shard_logs.push(outcome.telemetry);
+            shard_workflows.push(outcome.workflow);
+            shard_incident_logs.push(outcome.incident_log);
         }
 
         let telemetry = TelemetryLog::merge(shard_logs);
@@ -226,6 +244,11 @@ impl Simulation {
             oversubscriptions,
             mitigations,
             incidents,
+            giveups,
+            // The merges are commutative sums / a canonical sort, so the
+            // fleet-wide values are identical at any shard count.
+            workflow: WorkflowStats::merge(&shard_workflows),
+            incident_log: IncidentLog::merge(shard_incident_logs),
             maintenance,
             shard_counters,
             measure_from: cfg.measure_from,
@@ -256,7 +279,9 @@ mod tests {
     }
 
     fn config_for(policy: SimPolicy) -> SimConfig {
-        SimConfig::new(policy, t(0), t(35 * DAY), t(30 * DAY))
+        SimConfig::builder(policy, t(0), t(35 * DAY), t(30 * DAY))
+            .build()
+            .unwrap()
     }
 
     fn run(policy: SimPolicy, traces: Vec<Trace>) -> SimReport {
@@ -443,9 +468,11 @@ mod tests {
                 Trace::new(DatabaseId(i as u64), "daily", sessions).unwrap()
             })
             .collect();
-        let mut cfg = SimConfig::new(SimPolicy::Reactive, t(0), t(32 * DAY), t(28 * DAY));
-        cfg.nodes = 4;
-        cfg.node_capacity = 3; // 12 slots for 20 concurrently active DBs
+        let cfg = SimConfig::builder(SimPolicy::Reactive, t(0), t(32 * DAY), t(28 * DAY))
+            .nodes(4)
+            .node_capacity(3) // 12 slots for 20 concurrently active DBs
+            .build()
+            .unwrap();
         let report = Simulation::new(cfg, traces).unwrap().run().unwrap();
         assert!(
             report.spill_moves + report.oversubscriptions > 0,
@@ -469,6 +496,22 @@ mod tests {
             "{:?}",
             report.maintenance
         );
+    }
+
+    #[test]
+    fn staged_workflows_populate_histograms_without_faults() {
+        // Default config: stage faults off, so every reactive resume
+        // walks all four stages cleanly in exactly resume_latency.
+        let report = run(SimPolicy::Reactive, vec![daily_trace()]);
+        let w = &report.workflow;
+        assert!(w.total_stage_completions() > 0);
+        assert_eq!(w.stage_completions[0], w.stage_completions[3]);
+        assert!(w.workflow_latency.count() > 0);
+        assert_eq!(w.workflow_latency.max(), Seconds(60));
+        assert_eq!(w.retries, 0);
+        assert_eq!(w.giveups, 0);
+        assert_eq!(report.giveups, 0);
+        assert!(report.incident_log.is_empty());
     }
 
     #[test]

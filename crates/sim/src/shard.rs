@@ -20,12 +20,14 @@
 //!
 //! The merged report is a pure function of `(seed, traces)` regardless of
 //! the shard count: every cross-shard quantity is either an integer sum
-//! (segment totals, login/workflow counts, batch sizes per tick) or a
-//! deterministic k-way merge (the telemetry log).  The one stateful
-//! global in the single-threaded driver — the fault-injection RNG — is
-//! replaced by a *stateless* per-`(seed, database, timestamp)` SplitMix64
-//! draw (`workflow_hangs`), so whether a workflow hangs does not depend
-//! on which shard processes it or in what order.  Fleet KPIs are computed
+//! (segment totals, login/workflow counts, retry/giveup counters, stage
+//! latency histograms, batch sizes per tick) or a deterministic k-way
+//! merge (the telemetry log, the incident log).  No stateful RNG exists
+//! anywhere in the loop: whether a workflow hangs (`workflow_hangs`),
+//! whether a workflow *stage* fails, and how much jitter its backoff
+//! draws ([`ResumeWorkflow`]) are all stateless per-key SplitMix64
+//! draws, so fault behaviour does not depend on which shard processes a
+//! database or in what order.  Fleet KPIs are computed
 //! once, from the summed integer segment totals, never by averaging
 //! per-shard ratios — which is also why an empty shard (zero databases
 //! hash into it) contributes exactly nothing instead of skewing the
@@ -45,12 +47,13 @@ use crate::events::{EventQueue, SimEvent};
 use prorp_core::{
     DatabasePolicy, EngineAction, EngineCounters, EngineEvent, MaintenanceScheduler,
     MaintenanceStats, OptimalEngine, PolicyKind, ProactiveEngine, ProactiveResumeOp,
-    ReactiveEngine,
+    ReactiveEngine, ResumeWorkflow, StageOutcome,
 };
-use prorp_forecast::ProbabilisticPredictor;
+use prorp_forecast::{FailEvery, ProbabilisticPredictor};
 use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
 use prorp_telemetry::{
-    SegmentAccumulator, SegmentKind, ShardCounters, TelemetryKind, TelemetryLog,
+    IncidentKind, IncidentLog, SegmentAccumulator, SegmentKind, ShardCounters, TelemetryKind,
+    TelemetryLog, WorkflowStats,
 };
 use prorp_types::{DatabaseId, DbState, ProrpError, Seconds, Timestamp};
 use prorp_workload::Trace;
@@ -64,6 +67,15 @@ struct DbSim {
     acc: SegmentAccumulator,
     demand: bool,
     resume_in_flight: bool,
+}
+
+/// One in-flight staged workflow plus the timestamp its single
+/// outstanding [`SimEvent::WorkflowStageDone`] event was scheduled for.
+/// A cancelled-and-restarted workflow leaves stale stage events in the
+/// queue; comparing against `expected_at` rejects them.
+struct ActiveWorkflow {
+    wf: ResumeWorkflow,
+    expected_at: Timestamp,
 }
 
 /// Everything one shard worker produced; the runner merges these into the
@@ -84,8 +96,15 @@ pub(crate) struct ShardOutcome {
     pub oversubscriptions: u64,
     /// Hung workflows the shard's diagnostics runner force-completed.
     pub mitigations: u64,
-    /// Repeat stuck databases escalated as incidents.
+    /// Escalations: repeat stuck databases plus retry-budget exhaustions.
     pub incidents: u64,
+    /// Staged workflows that exhausted their retry budget.
+    pub giveups: u64,
+    /// Staged-workflow telemetry: per-stage latency histograms plus
+    /// retry/giveup/breaker counters.
+    pub workflow: WorkflowStats,
+    /// The shard's incident log (canonically ordered by the merge).
+    pub incident_log: IncidentLog,
     /// Maintenance placement counters.
     pub maintenance: MaintenanceStats,
     /// Timing/throughput counters for this worker.
@@ -133,7 +152,18 @@ fn build_engine(cfg: &SimConfig, trace: &Trace) -> Result<Box<dyn DatabasePolicy
         SimPolicy::Reactive => Box::new(ReactiveEngine::new(Seconds::hours(7), Seconds::days(28))?),
         SimPolicy::Proactive(pc) => {
             let predictor = ProbabilisticPredictor::new(*pc)?;
-            Box::new(ProactiveEngine::new(*pc, predictor)?)
+            let breaker = cfg.fault().breaker;
+            // Forecast fault injection wraps the predictor so every n-th
+            // prediction fails, exercising the §3.2 fallback and the
+            // circuit breaker.
+            match cfg.fault().forecast_fail_every {
+                Some(n) => Box::new(ProactiveEngine::with_breaker(
+                    *pc,
+                    FailEvery::new(predictor, u64::from(n)),
+                    breaker,
+                )?),
+                None => Box::new(ProactiveEngine::with_breaker(*pc, predictor, breaker)?),
+            }
         }
         SimPolicy::Optimal => Box::new(OptimalEngine::new(trace.sessions.clone())?),
     })
@@ -199,6 +229,10 @@ pub(crate) fn run_shard(
     let mut metadata = MetadataStore::new();
     let mut telemetry = TelemetryLog::new();
     let mut diagnostics = DiagnosticsRunner::new(cfg.stuck_timeout);
+    let faults = cfg.fault();
+    let mut workflows: HashMap<DatabaseId, ActiveWorkflow> = HashMap::new();
+    let mut workflow_stats = WorkflowStats::default();
+    let mut incident_log = IncidentLog::new();
     // Every shard ticks on the same schedule (first run at `cfg.start`,
     // same period), so batch sizes merge element-wise across shards.
     let mut resume_op = ProactiveResumeOp::new(cfg.prewarm, cfg.resume_op_period, cfg.start)?;
@@ -296,17 +330,22 @@ pub(crate) fn run_shard(
                     }
                     dbs[idx].acc.transition(now, SegmentKind::Active);
                 } else {
-                    // Reactive resume: the customer waits out the
-                    // allocation workflow (§2.2's delay).
+                    // Reactive resume: the customer waits out the staged
+                    // allocation workflow (§2.2's delay; §7's stages).
                     dbs[idx].acc.transition(now, SegmentKind::Unavailable);
-                    let mut latency = cfg.resume_latency;
+                    let mut move_penalty = Seconds::ZERO;
                     if matches!(outcome, AllocationOutcome::Moved { .. }) {
-                        latency = latency + cfg.move_penalty;
+                        move_penalty = cfg.move_penalty;
                     }
                     diagnostics.workflow_started(id, now);
                     dbs[idx].resume_in_flight = true;
+                    // A hung workflow schedules nothing; the diagnostics
+                    // sweep is its only way out.
                     if !workflow_hangs(cfg.seed, id, now, cfg.stuck_probability) {
-                        queue.push(now + latency, SimEvent::WorkflowComplete(id));
+                        let wf = ResumeWorkflow::new(id, now, move_penalty);
+                        let expected_at = wf.first_ready_at(faults);
+                        queue.push(expected_at, SimEvent::WorkflowStageDone(id));
+                        workflows.insert(id, ActiveWorkflow { wf, expected_at });
                     }
                 }
                 apply_actions(
@@ -326,6 +365,12 @@ pub(crate) fn run_shard(
                 }
                 dbs[idx].demand = false;
                 dbs[idx].resume_in_flight = false;
+                // A still-running staged workflow is superseded: drop its
+                // state (stale stage events are rejected by expected_at)
+                // and retire it from the diagnostics queue.
+                if workflows.remove(&id).is_some() {
+                    diagnostics.workflow_completed(id);
+                }
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityEnd);
                 apply_actions(
                     cfg,
@@ -376,7 +421,7 @@ pub(crate) fn run_shard(
             }
             SimEvent::ResumeOpTick => {
                 counters.resume_scans += 1;
-                let selected = resume_op.run(now, &metadata);
+                let selected = resume_op.run(now, std::slice::from_ref(&metadata));
                 for id in selected {
                     queue.push(now, SimEvent::ProactiveResume(id));
                 }
@@ -411,6 +456,52 @@ pub(crate) fn run_shard(
                     &mut cluster,
                 );
             }
+            SimEvent::WorkflowStageDone(id) => {
+                // One stage of a staged resume finished executing: draw
+                // its deterministic verdict and advance/retry/give up.
+                let Some(active) = workflows.get_mut(&id) else {
+                    continue; // workflow superseded or force-completed
+                };
+                if active.expected_at != now {
+                    continue; // stale event of a cancelled workflow
+                }
+                match active.wf.on_stage_executed(now, cfg.seed, faults) {
+                    StageOutcome::Completed {
+                        stage,
+                        spent,
+                        next_ready_at,
+                    } => {
+                        workflow_stats.record_stage(stage, spent);
+                        match next_ready_at {
+                            Some(at) => {
+                                active.expected_at = at;
+                                queue.push(at, SimEvent::WorkflowStageDone(id));
+                            }
+                            None => {
+                                let total = now.since(active.wf.started());
+                                workflow_stats.record_workflow(total);
+                                workflows.remove(&id);
+                                queue.push(now, SimEvent::WorkflowComplete(id));
+                            }
+                        }
+                    }
+                    StageOutcome::Retry { ready_at, .. } => {
+                        workflow_stats.retries += 1;
+                        active.expected_at = ready_at;
+                        queue.push(ready_at, SimEvent::WorkflowStageDone(id));
+                    }
+                    StageOutcome::Exhausted { stage, .. } => {
+                        // Retry budget burned: escalate an incident and
+                        // let the mitigation path force-complete the
+                        // resume (the on-call engineer's fix).
+                        workflow_stats.giveups += 1;
+                        workflows.remove(&id);
+                        diagnostics.retry_exhausted(id);
+                        incident_log.push(now, id, IncidentKind::RetryExhausted { stage });
+                        queue.push(now, SimEvent::WorkflowComplete(id));
+                    }
+                }
+            }
             SimEvent::WorkflowComplete(id) => {
                 let idx = db_index(id);
                 diagnostics.workflow_completed(id);
@@ -429,9 +520,14 @@ pub(crate) fn run_shard(
                 }
             }
             SimEvent::DiagnosticsTick => {
-                for id in diagnostics.sweep(now) {
-                    // Mitigation force-completes the workflow now.
-                    queue.push(now, SimEvent::WorkflowComplete(id));
+                for m in diagnostics.sweep(now) {
+                    if m.escalated {
+                        incident_log.push(now, m.db, IncidentKind::StuckWorkflow);
+                    }
+                    // Mitigation force-completes the workflow now; drop
+                    // any staged state so stale stage events are ignored.
+                    workflows.remove(&m.db);
+                    queue.push(now, SimEvent::WorkflowComplete(m.db));
                 }
                 if let Some(p) = cfg.diagnostics_period {
                     queue.push(now + p, SimEvent::DiagnosticsTick);
@@ -507,6 +603,11 @@ pub(crate) fn run_shard(
     counters.telemetry_events = telemetry.len() as u64;
     counters.set_wall_clock(started.elapsed());
 
+    // Predictor circuit-breaker activity lives in the per-engine
+    // counters; fold the shard totals into the workflow telemetry.
+    workflow_stats.breaker_opens = db_results.iter().map(|r| r.2.breaker_opens).sum();
+    workflow_stats.breaker_fallbacks = db_results.iter().map(|r| r.2.breaker_fallbacks).sum();
+
     Ok(ShardOutcome {
         dbs: db_results,
         telemetry,
@@ -516,6 +617,9 @@ pub(crate) fn run_shard(
         oversubscriptions: cluster.oversubscriptions,
         mitigations: diagnostics.mitigations,
         incidents: diagnostics.incidents,
+        giveups: diagnostics.giveups,
+        workflow: workflow_stats,
+        incident_log,
         maintenance: maintenance.stats(),
         counters,
     })

@@ -15,6 +15,9 @@
 //! * [`boxplot`] — five-number summaries (Figures 11 and 12);
 //! * [`log`] — the append-only telemetry event log the offline training
 //!   pipeline consumes;
+//! * [`fault`] — control-plane fault-layer telemetry (§7): per-stage
+//!   workflow latency histograms, retry/giveup/fallback counters, and
+//!   the deterministic incident log;
 //! * [`shard`] — per-shard timing/throughput counters for the sharded
 //!   parallel simulator (operational telemetry about the simulator
 //!   itself, not the simulated fleet).
@@ -24,6 +27,7 @@
 
 pub mod boxplot;
 pub mod cdf;
+pub mod fault;
 pub mod kpi;
 pub mod log;
 pub mod segments;
@@ -31,6 +35,7 @@ pub mod shard;
 
 pub use boxplot::BoxPlot;
 pub use cdf::Cdf;
+pub use fault::{IncidentEntry, IncidentKind, IncidentLog, LatencyHistogram, WorkflowStats};
 pub use kpi::KpiReport;
 pub use log::{TelemetryEvent, TelemetryKind, TelemetryLog};
 pub use segments::{SegmentAccumulator, SegmentKind};

@@ -102,12 +102,14 @@ mod tests {
         let end = start + Seconds::days(36);
         let measure = start + Seconds::days(28);
         let test_from = start + Seconds::days(32);
-        let template = SimConfig::new(
+        let template = SimConfig::builder(
             SimPolicy::Proactive(PolicyConfig::default()),
             start,
             end,
             measure,
-        );
+        )
+        .build()
+        .unwrap();
         let traces = RegionProfile::for_region(RegionName::Eu1).generate_fleet(15, start, end, 31);
         (
             TrainingPipeline {

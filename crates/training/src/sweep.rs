@@ -86,12 +86,14 @@ mod tests {
         let start = Timestamp(0);
         let end = start + Seconds::days(32);
         let measure = start + Seconds::days(28);
-        let template = SimConfig::new(
+        let template = SimConfig::builder(
             SimPolicy::Proactive(PolicyConfig::default()),
             start,
             end,
             measure,
-        );
+        )
+        .build()
+        .unwrap();
         let traces = RegionProfile::for_region(RegionName::Eu1).generate_fleet(12, start, end, 21);
         (template, traces)
     }

@@ -4,11 +4,17 @@
 //! any proactive component degrades the system to the reactive policy
 //! rather than failing the database, so errors are values that flow to the
 //! policy layer, not panics.
+//!
+//! The enum is `#[non_exhaustive]`: downstream matches must carry a
+//! wildcard arm so new failure classes (like the workflow variants added
+//! with the control-plane fault layer) do not break them.
 
+use crate::workflow::WorkflowStage;
 use std::error::Error;
 use std::fmt;
 
 /// Errors shared across the ProRP crates.
+#[non_exhaustive]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ProrpError {
     /// A malformed activity event or event stream.
@@ -25,6 +31,23 @@ pub enum ProrpError {
     Simulation(String),
     /// An injected fault (used by tests exercising the reactive fallback).
     FaultInjected(String),
+    /// One attempt of a resume-workflow stage failed (§7 control plane).
+    WorkflowStageFailed {
+        /// The stage that failed.
+        stage: WorkflowStage,
+        /// Which attempt failed (1-based; 1 is the first try).
+        attempt: u32,
+        /// The underlying failure.
+        cause: Box<ProrpError>,
+    },
+    /// A workflow stage exhausted its retry budget and was escalated to
+    /// the diagnostics runner as an incident.
+    RetryExhausted {
+        /// The stage that gave up.
+        stage: WorkflowStage,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+    },
 }
 
 impl ProrpError {
@@ -38,6 +61,8 @@ impl ProrpError {
             ProrpError::Forecast(_) => "forecast",
             ProrpError::Simulation(_) => "simulation",
             ProrpError::FaultInjected(_) => "fault_injected",
+            ProrpError::WorkflowStageFailed { .. } => "workflow_stage",
+            ProrpError::RetryExhausted { .. } => "retry_exhausted",
         }
     }
 }
@@ -52,11 +77,31 @@ impl fmt::Display for ProrpError {
             ProrpError::Forecast(m) => write!(f, "forecast error: {m}"),
             ProrpError::Simulation(m) => write!(f, "simulation error: {m}"),
             ProrpError::FaultInjected(m) => write!(f, "injected fault: {m}"),
+            ProrpError::WorkflowStageFailed {
+                stage,
+                attempt,
+                cause,
+            } => write!(
+                f,
+                "resume workflow stage {stage} failed on attempt {attempt}: {cause}"
+            ),
+            ProrpError::RetryExhausted { stage, attempts } => write!(
+                f,
+                "resume workflow stage {stage} exhausted its retry budget \
+                 after {attempts} attempts; escalating to diagnostics"
+            ),
         }
     }
 }
 
-impl Error for ProrpError {}
+impl Error for ProrpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProrpError::WorkflowStageFailed { cause, .. } => Some(cause.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -73,5 +118,27 @@ mod tests {
     fn error_trait_object_compatible() {
         let e: Box<dyn Error> = Box::new(ProrpError::Forecast("no history".into()));
         assert!(e.to_string().contains("no history"));
+    }
+
+    #[test]
+    fn workflow_variants_are_structured_and_chain_sources() {
+        let e = ProrpError::WorkflowStageFailed {
+            stage: WorkflowStage::AttachStorage,
+            attempt: 2,
+            cause: Box::new(ProrpError::FaultInjected("injected stage fault".into())),
+        };
+        assert_eq!(e.category(), "workflow_stage");
+        assert!(e.to_string().contains("attach-storage"));
+        assert!(e.to_string().contains("attempt 2"));
+        let source = e.source().expect("stage failures carry a cause");
+        assert!(source.to_string().contains("injected stage fault"));
+
+        let g = ProrpError::RetryExhausted {
+            stage: WorkflowStage::WarmCache,
+            attempts: 3,
+        };
+        assert_eq!(g.category(), "retry_exhausted");
+        assert!(g.source().is_none());
+        assert!(g.to_string().contains("3 attempts"));
     }
 }

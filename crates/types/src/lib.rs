@@ -12,6 +12,8 @@
 //! * [`config`] — the configuration knobs of Table 1 with their published
 //!   default values;
 //! * [`prediction`] — the output of the next-activity predictor (§6);
+//! * [`workflow`] — the staged resume-workflow vocabulary and the
+//!   control-plane fault-layer knobs (§7);
 //! * [`error`] — the shared error type.
 //!
 //! Everything here is plain data: no I/O, no randomness, no clocks.
@@ -26,6 +28,7 @@ pub mod ids;
 pub mod prediction;
 pub mod state;
 pub mod time;
+pub mod workflow;
 
 pub use config::{PolicyConfig, PolicyConfigBuilder, Seasonality};
 pub use error::ProrpError;
@@ -34,6 +37,7 @@ pub use ids::{ClusterId, DatabaseId, NodeId};
 pub use prediction::Prediction;
 pub use state::{AllocationClass, DbState};
 pub use time::{Seconds, Timestamp};
+pub use workflow::{BreakerConfig, FaultConfig, RetryPolicy, StageFault, WorkflowStage};
 
 /// Convenient result alias used across the workspace.
 pub type Result<T, E = ProrpError> = std::result::Result<T, E>;

@@ -38,12 +38,14 @@ fn main() {
         SimPolicy::Optimal,
     ] {
         let label = policy.label();
-        let config = SimConfig::new(
+        let config = SimConfig::builder(
             policy,
             Timestamp(0),
             Timestamp(35 * DAY),
             Timestamp(28 * DAY),
-        );
+        )
+        .build()
+        .expect("valid config");
         let report = Simulation::new(config, vec![trace.clone()])
             .expect("valid config")
             .run()

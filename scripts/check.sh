@@ -3,9 +3,9 @@
 #
 #   ./scripts/check.sh
 #
-# Runs, in order: release build, the full test suite, rustdoc (warnings
-# are errors), and the formatting check.  Fails fast on the first broken
-# step.
+# Runs, in order: release build, the full test suite, clippy (warnings
+# are errors), rustdoc (warnings are errors), and the formatting check.
+# Fails fast on the first broken step.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +17,7 @@ run() {
 
 run cargo build --release
 run cargo test -q
+run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 run cargo fmt --check
 

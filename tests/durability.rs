@@ -71,12 +71,14 @@ fn simulated_moves_do_not_degrade_the_proactive_policy() {
         Timestamp(32 * DAY),
         77,
     );
-    let base = SimConfig::new(
+    let base = SimConfig::builder(
         SimPolicy::Proactive(PolicyConfig::default()),
         Timestamp(0),
         Timestamp(32 * DAY),
         Timestamp(28 * DAY),
-    );
+    )
+    .build()
+    .unwrap();
     // Without moves.
     let still = Simulation::new(base.clone(), traces.clone())
         .unwrap()

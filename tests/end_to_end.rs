@@ -18,12 +18,14 @@ fn fleet(n: usize, days: i64, seed: u64) -> Vec<Trace> {
 }
 
 fn run(policy: SimPolicy, traces: &[Trace], days: i64) -> SimReport {
-    let config = SimConfig::new(
+    let config = SimConfig::builder(
         policy,
         Timestamp(0),
         Timestamp(days * DAY),
         Timestamp((days - 4) * DAY),
-    );
+    )
+    .build()
+    .expect("valid config");
     Simulation::new(config, traces.to_vec())
         .expect("valid config")
         .run()
@@ -154,13 +156,15 @@ fn history_sizes_stay_in_the_figure_10_regime() {
 fn one_day_measurement_windows_work() {
     // Figure 7 measures single days; the KPI plumbing must support it.
     let traces = fleet(20, 30, 9);
-    let mut config = SimConfig::new(
+    let config = SimConfig::builder(
         SimPolicy::Proactive(PolicyConfig::default()),
         Timestamp(0),
         Timestamp(29 * DAY),
         Timestamp(28 * DAY),
-    );
-    config.node_capacity = 30;
+    )
+    .node_capacity(30)
+    .build()
+    .expect("valid config");
     let report = Simulation::new(config, traces)
         .expect("valid config")
         .run()

@@ -1,13 +1,19 @@
 //! §3.2 "Default to Reactive Database-Scoped Decisions": when the
 //! forecast component is down, the proactive engine must behave exactly
 //! like the reactive baseline — same availability outcomes, same pause
-//! cadence — and recover once the component comes back.
+//! cadence — and recover once the component comes back.  The predictor
+//! circuit breaker hardens the same fallback: after repeated failures
+//! the engine stops calling the predictor entirely (still bit-matching
+//! reactive) and re-probes only after a cool-down.
 
 use prorp_core::{
     DatabasePolicy, EngineAction, EngineEvent, ProactiveEngine, ReactiveEngine, TimerToken,
 };
-use prorp_forecast::{FailEvery, NeverPredictor, ProbabilisticPredictor};
-use prorp_types::{DbState, PolicyConfig, Seconds, Timestamp};
+use prorp_forecast::{FailEvery, NeverPredictor, Predictor, ProbabilisticPredictor};
+use prorp_storage::HistoryTable;
+use prorp_types::{
+    BreakerConfig, DbState, PolicyConfig, Prediction, ProrpError, Seconds, Timestamp,
+};
 
 const DAY: i64 = 86_400;
 const HOUR: i64 = 3_600;
@@ -99,6 +105,103 @@ fn healthy_forecast_beats_the_fallback() {
     assert_eq!(avail_pro.len(), avail_re.len());
     assert!(pro_avail <= avail_pro.len() && re_avail <= avail_re.len());
     assert_eq!(proactive.counters().forecast_failures, 0);
+}
+
+/// Fails the first `n` predictions, then delegates to the inner
+/// predictor — models a forecast component outage that ends.
+struct FailFirst<P> {
+    inner: P,
+    remaining: u32,
+}
+
+impl<P: Predictor> Predictor for FailFirst<P> {
+    fn predict(
+        &mut self,
+        history: &HistoryTable,
+        now: Timestamp,
+    ) -> Result<Option<Prediction>, ProrpError> {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            return Err(ProrpError::Forecast("component outage".into()));
+        }
+        self.inner.predict(history, now)
+    }
+
+    fn name(&self) -> &'static str {
+        "fail-first"
+    }
+}
+
+#[test]
+fn open_breaker_bit_matches_the_reactive_baseline() {
+    // Threshold 1 and an effectively infinite cool-down: the very first
+    // forecast failure opens the breaker for the whole run.
+    let breaker = BreakerConfig {
+        failure_threshold: 1,
+        cooldown: Seconds::days(365),
+    };
+    let mut degraded = ProactiveEngine::with_breaker(
+        config(),
+        FailEvery::new(ProbabilisticPredictor::new(config()).unwrap(), 1),
+        breaker,
+    )
+    .unwrap();
+    let mut reactive = ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
+
+    let (avail_degraded, pauses_degraded) = drive(&mut degraded, &sessions());
+    let (avail_reactive, pauses_reactive) = drive(&mut reactive, &sessions());
+
+    assert_eq!(
+        avail_degraded, avail_reactive,
+        "an open breaker must reproduce reactive availability bit-for-bit"
+    );
+    assert_eq!(pauses_degraded, pauses_reactive);
+    let c = degraded.counters();
+    assert_eq!(c.predictions, 1, "only the opening probe ran");
+    assert_eq!(c.forecast_failures, 1);
+    assert_eq!(c.breaker_opens, 1);
+    assert!(
+        c.breaker_fallbacks > 0,
+        "every later re-prediction short-circuited"
+    );
+    assert!(degraded.breaker_open(Timestamp(35 * DAY)));
+}
+
+#[test]
+fn breaker_reprobes_after_cooldown_and_recovers() {
+    // Five failures trip the threshold-2 breaker twice; after the
+    // outage ends, the next half-open probe succeeds and the engine
+    // returns to proactive behaviour.
+    let breaker = BreakerConfig {
+        failure_threshold: 2,
+        cooldown: Seconds::hours(12),
+    };
+    let predictor = FailFirst {
+        inner: ProbabilisticPredictor::new(config()).unwrap(),
+        remaining: 5,
+    };
+    let mut engine = ProactiveEngine::with_breaker(config(), predictor, breaker).unwrap();
+    let (logins, _) = drive(&mut engine, &sessions());
+    assert_eq!(logins.len(), sessions().len());
+    let c = engine.counters();
+    assert_eq!(c.forecast_failures, 5, "the outage was fully consumed");
+    assert!(c.breaker_opens >= 1, "the breaker must have tripped");
+    assert!(
+        c.breaker_fallbacks > 0,
+        "open windows must have suppressed predictor calls"
+    );
+    assert!(
+        c.predictions > c.forecast_failures,
+        "post-outage probes must have succeeded"
+    );
+    assert!(
+        !engine.breaker_open(Timestamp(35 * DAY)),
+        "a successful probe closes the breaker"
+    );
+    assert!(
+        engine.current_prediction().is_some() || !engine.forecast_unavailable(),
+        "the engine is predicting again"
+    );
 }
 
 #[test]

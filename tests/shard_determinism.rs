@@ -1,11 +1,11 @@
 //! Sharded-simulation determinism: the merged report of an N-shard run
-//! must be bit-identical (KPIs, batch series, counts) to the
-//! single-threaded run on the same seed, and the id-hash partitioning
-//! must cover every database exactly once.
+//! must be bit-identical (KPIs, batch series, counts, workflow stats,
+//! incident log) to the single-threaded run on the same seed, and the
+//! id-hash partitioning must cover every database exactly once.
 
 use prorp_core::EngineCounters;
 use prorp_sim::{partition_fleet, SimConfig, SimPolicy, SimReport, Simulation};
-use prorp_types::{PolicyConfig, Timestamp};
+use prorp_types::{PolicyConfig, RetryPolicy, Seconds, Timestamp};
 use prorp_workload::{RegionName, RegionProfile, Trace};
 use std::collections::HashSet;
 
@@ -35,13 +35,15 @@ fn logical(counters: &[EngineCounters]) -> Vec<EngineCounters> {
 }
 
 fn run_with_shards(policy: SimPolicy, traces: Vec<Trace>, shards: usize) -> SimReport {
-    let mut cfg = SimConfig::new(
+    let cfg = SimConfig::builder(
         policy,
         Timestamp(0),
         Timestamp(35 * DAY),
         Timestamp(30 * DAY),
-    );
-    cfg.shards = shards;
+    )
+    .shards(shards)
+    .build()
+    .unwrap();
     Simulation::new(cfg, traces).unwrap().run().unwrap()
 }
 
@@ -72,6 +74,11 @@ fn same_seed_yields_identical_kpis_for_1_2_and_8_shards() {
             "input-trace order"
         );
         assert_eq!(sharded.history_stats, baseline.history_stats);
+        assert_eq!(sharded.workflow, baseline.workflow);
+        assert_eq!(
+            sharded.incident_log.entries(),
+            baseline.incident_log.entries()
+        );
         assert_eq!(sharded.spill_moves, baseline.spill_moves);
         assert_eq!(sharded.oversubscriptions, baseline.oversubscriptions);
         assert_eq!(sharded.maintenance, baseline.maintenance);
@@ -88,22 +95,80 @@ fn sharding_is_deterministic_under_fault_injection() {
     let traces = fleet(32);
     let mut reports = Vec::new();
     for shards in [1usize, 4] {
-        let mut cfg = SimConfig::new(
+        let cfg = SimConfig::builder(
             SimPolicy::Reactive,
             Timestamp(0),
             Timestamp(35 * DAY),
             Timestamp(30 * DAY),
-        );
-        cfg.shards = shards;
-        cfg.stuck_probability = 0.5;
-        cfg.seed = 7;
-        cfg.diagnostics_period = Some(prorp_types::Seconds::minutes(10));
+        )
+        .shards(shards)
+        .stuck_probability(0.5)
+        .seed(7)
+        .diagnostics_period(Seconds::minutes(10))
+        .build()
+        .unwrap();
         reports.push(Simulation::new(cfg, traces.clone()).unwrap().run().unwrap());
     }
     assert_eq!(reports[0].kpi, reports[1].kpi);
     assert_eq!(reports[0].mitigations, reports[1].mitigations);
     assert_eq!(reports[0].incidents, reports[1].incidents);
     assert!(reports[0].mitigations > 0, "fault injection must bite");
+}
+
+#[test]
+fn stage_faults_and_incident_logs_are_shard_invariant() {
+    // Nonzero stage-failure probability: retries, backoff jitter, retry
+    // exhaustion, and incident escalation must all come out of stateless
+    // per-key draws, so KPIs, workflow stats (per-stage histograms,
+    // retry/giveup counters), and the canonical incident log are
+    // bit-identical at 1, 2, and 8 shards.
+    let traces = fleet(48);
+    let build = |shards: usize| {
+        SimConfig::builder(
+            SimPolicy::Reactive,
+            Timestamp(0),
+            Timestamp(35 * DAY),
+            Timestamp(30 * DAY),
+        )
+        .shards(shards)
+        .seed(13)
+        .stage_failure_probabilities(0.35)
+        .retry(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Seconds(20),
+            max_backoff: Seconds::minutes(2),
+        })
+        .diagnostics_period(Seconds::minutes(10))
+        .build()
+        .unwrap()
+    };
+    let baseline = Simulation::new(build(1), traces.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(baseline.workflow.retries > 0, "faults must force retries");
+    assert!(baseline.giveups > 0, "some budgets must exhaust");
+    assert_eq!(
+        baseline.incidents as usize,
+        baseline.incident_log.len(),
+        "every escalation is logged"
+    );
+    for shards in [2usize, 8] {
+        let sharded = Simulation::new(build(shards), traces.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(sharded.kpi, baseline.kpi, "{shards} shards");
+        assert_eq!(sharded.workflow, baseline.workflow, "{shards} shards");
+        assert_eq!(sharded.giveups, baseline.giveups);
+        assert_eq!(sharded.mitigations, baseline.mitigations);
+        assert_eq!(sharded.incidents, baseline.incidents);
+        assert_eq!(
+            sharded.incident_log.entries(),
+            baseline.incident_log.entries(),
+            "{shards} shards: canonical incident order"
+        );
+    }
 }
 
 #[test]

@@ -696,7 +696,7 @@ mod tests {
         #[test]
         fn question_mark_propagates(flag in any::<bool>()) {
             fn helper(flag: bool) -> Result<u8, TestCaseError> {
-                prop_assert!(flag || !flag);
+                prop_assert!(usize::from(flag) < 2);
                 Ok(u8::from(flag))
             }
             let v = helper(flag)?;
