@@ -29,6 +29,8 @@
 //! * [`breaker`] — the predictor circuit breaker that pins a database to
 //!   reactive behaviour after repeated forecast failures (§3.2) and
 //!   re-probes after a cool-down;
+//! * [`invariants`] — the observational lifecycle checker the simulator
+//!   threads through every engine under its `strict-invariants` feature;
 //! * [`maintenance`] — the §11 future-work extension: schedule system
 //!   maintenance inside predicted-online windows so backups and updates
 //!   stop forcing maintenance-only resumes.
@@ -38,6 +40,7 @@
 
 pub mod breaker;
 pub mod engine;
+pub mod invariants;
 pub mod maintenance;
 pub mod optimal;
 pub mod proactive;
@@ -50,6 +53,7 @@ pub use breaker::CircuitBreaker;
 pub use engine::{
     DatabasePolicy, EngineAction, EngineCounters, EngineEvent, PolicyKind, TimerToken,
 };
+pub use invariants::LifecycleInvariants;
 pub use maintenance::{MaintenanceScheduler, MaintenanceSlot, MaintenanceStats};
 pub use optimal::OptimalEngine;
 pub use proactive::ProactiveEngine;

@@ -169,6 +169,15 @@ impl<P: Predictor> ProactiveEngine<P> {
             .history_mut()
             .delete_old_history(self.config.history_len, now);
         self.old = outcome.old;
+        if self.config.prediction_disabled() {
+            // `p = 0`: prediction is switched off, not failing.  Take the
+            // §3.2 reactive-fallback path (logical pause for `l`, then
+            // physical pause) without invoking the predictor, counting a
+            // failure, or touching the breaker — the engine then behaves
+            // exactly like the reactive baseline.
+            self.forecast = ForecastState::Unavailable;
+            return;
+        }
         if !self.breaker.allows(now) {
             self.counters.breaker_fallbacks += 1;
             self.forecast = ForecastState::Unavailable;
@@ -524,6 +533,42 @@ mod tests {
             "pre-warm must not be later than the login"
         );
         assert!(real_next - pred_start <= Seconds::hours(3));
+    }
+
+    #[test]
+    fn zero_horizon_degenerates_to_reactive_behaviour() {
+        // `p = 0` disables prediction: even an old database with a strong
+        // daily pattern must take the reactive path — logical pause after
+        // every logout, physical pause only after `l` — instead of the
+        // Transition ❸ immediate physical pause.
+        let cfg = PolicyConfig::builder()
+            .history_len(Seconds::days(5))
+            .confidence(0.5)
+            .window(Seconds::hours(2))
+            .logical_pause(Seconds::hours(7))
+            .horizon(Seconds::ZERO)
+            .build()
+            .unwrap();
+        let predictor = ProbabilisticPredictor::new(cfg).unwrap();
+        let mut eng = ProactiveEngine::new(cfg, predictor).unwrap();
+        let actions = run_daily_sessions(&mut eng, 6);
+        assert!(eng.is_old(), "six days of history make the database old");
+        assert_eq!(eng.state(), DbState::LogicallyPaused);
+        assert!(eng.current_prediction().is_none());
+        let (at, tok) = match actions.as_slice() {
+            [EngineAction::ScheduleTimer(at, tok)] => (*at, *tok),
+            other => panic!("unexpected {other:?}"),
+        };
+        // The wake is the reactive idle timeout, not a predicted end.
+        assert_eq!(at, t(5 * DAY + 10 * HOUR) + Seconds::hours(7));
+        let actions = eng.on_event(at, EngineEvent::Timer(tok));
+        assert_eq!(eng.state(), DbState::PhysicallyPaused);
+        assert!(actions.contains(&EngineAction::SetPredictedStart(None)));
+        // Disabled ≠ failing: nothing was predicted, nothing failed.
+        let c = eng.counters();
+        assert_eq!(c.predictions, 0);
+        assert_eq!(c.forecast_failures, 0);
+        assert_eq!(c.breaker_fallbacks, 0);
     }
 
     #[test]

@@ -36,8 +36,7 @@ impl SimPolicy {
 
 /// All simulator knobs.
 ///
-/// Construct with [`SimConfig::builder`]; the legacy [`SimConfig::new`] +
-/// [`SimConfig::validate`] pair survives one release as a deprecated shim.
+/// Construct with [`SimConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct SimConfig {
     /// The policy under test.
@@ -144,30 +143,6 @@ impl SimConfig {
             cfg: SimConfig::with_defaults(policy, start, end, measure_from),
             explicit_stage_latencies: None,
         }
-    }
-
-    /// A config with production-like defaults over `[start, end)`,
-    /// measuring from `measure_from`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SimConfig::builder(..).build(), which validates every knob"
-    )]
-    pub fn new(
-        policy: SimPolicy,
-        start: Timestamp,
-        end: Timestamp,
-        measure_from: Timestamp,
-    ) -> Self {
-        SimConfig::with_defaults(policy, start, end, measure_from)
-    }
-
-    /// Validate knob consistency.
-    #[deprecated(
-        since = "0.2.0",
-        note = "validation happens in SimConfig::builder(..).build()"
-    )]
-    pub fn validate(&self) -> Result<(), ProrpError> {
-        self.check()
     }
 
     /// The control-plane fault layer this config runs with.
@@ -539,16 +514,8 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_works_one_release() {
-        let cfg = SimConfig::new(
-            SimPolicy::Reactive,
-            Timestamp(0),
-            Timestamp(1_000),
-            Timestamp(500),
-        );
-        cfg.validate().unwrap();
-        // The shim carries the default (inert) fault layer.
+    fn default_fault_layer_is_inert() {
+        let cfg = base().build().unwrap();
         assert_eq!(cfg.fault().total_latency(), Seconds(60));
         assert!(!cfg.fault().injects_stage_faults());
     }

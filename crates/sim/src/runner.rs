@@ -84,6 +84,37 @@ impl SimReport {
     }
 }
 
+/// KPI accounting identities the merge must preserve (checked in
+/// strict-invariants builds): every fraction lies in `[0, 1]` and the six
+/// segment fractions partition the measured window exactly.
+#[cfg(feature = "strict-invariants")]
+fn check_kpi_identities(kpi: &KpiReport) -> Result<(), ProrpError> {
+    const EPS: f64 = 1e-9;
+    let fracs = [
+        ("active", kpi.active_frac),
+        ("logical-idle", kpi.idle_logical_frac),
+        ("proactive-correct", kpi.idle_proactive_correct_frac),
+        ("proactive-wrong", kpi.idle_proactive_wrong_frac),
+        ("saved", kpi.saved_frac),
+        ("unavailable", kpi.unavailable_frac),
+    ];
+    for (name, f) in fracs {
+        if !(-EPS..=1.0 + EPS).contains(&f) {
+            return Err(ProrpError::InvariantViolation(format!(
+                "KPI fraction {name} = {f} outside [0, 1]"
+            )));
+        }
+    }
+    let sum: f64 = fracs.iter().map(|(_, f)| f).sum();
+    // An empty fleet legitimately reports all-zero fractions.
+    if sum != 0.0 && (sum - 1.0).abs() > 1e-6 {
+        return Err(ProrpError::InvariantViolation(format!(
+            "segment fractions sum to {sum}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
 /// A configured simulation, ready to run.
 pub struct Simulation {
     config: SimConfig,
@@ -220,6 +251,8 @@ impl Simulation {
             }
         }
         kpi.forecast_failures = forecast_failures;
+        #[cfg(feature = "strict-invariants")]
+        check_kpi_identities(&kpi)?;
 
         fn collect<T>(rows: Vec<Option<T>>, what: &str) -> Result<Vec<T>, ProrpError> {
             rows.into_iter()

@@ -44,6 +44,8 @@ use crate::cluster::{AllocationOutcome, Cluster};
 use crate::config::{SimConfig, SimPolicy};
 use crate::diagnostics::DiagnosticsRunner;
 use crate::events::{EventQueue, SimEvent};
+#[cfg(feature = "strict-invariants")]
+use prorp_core::LifecycleInvariants;
 use prorp_core::{
     DatabasePolicy, EngineAction, EngineCounters, EngineEvent, MaintenanceScheduler,
     MaintenanceStats, OptimalEngine, PolicyKind, ProactiveEngine, ProactiveResumeOp,
@@ -67,6 +69,23 @@ struct DbSim {
     acc: SegmentAccumulator,
     demand: bool,
     resume_in_flight: bool,
+    /// Observational lifecycle checker (strict-invariants builds only).
+    #[cfg(feature = "strict-invariants")]
+    shadow: LifecycleInvariants,
+}
+
+/// Validate the engine's post-event state against the shadow lifecycle
+/// checker.  Compiled out (always `Ok`) unless `strict-invariants` is on.
+#[cfg(feature = "strict-invariants")]
+fn observe_shadow(d: &mut DbSim, now: Timestamp, event: EngineEvent) -> Result<(), ProrpError> {
+    let after = d.engine.state();
+    d.shadow.observe(now, event, after)
+}
+
+#[cfg(not(feature = "strict-invariants"))]
+#[inline(always)]
+fn observe_shadow(_d: &mut DbSim, _now: Timestamp, _event: EngineEvent) -> Result<(), ProrpError> {
+    Ok(())
 }
 
 /// One in-flight staged workflow plus the timestamp its single
@@ -250,12 +269,16 @@ pub(crate) fn run_shard(
         // the fleet's perspective).
         acc.transition(cfg.start, SegmentKind::Saved);
         db_index.insert(trace.db, dbs.len());
+        #[cfg(feature = "strict-invariants")]
+        let shadow = LifecycleInvariants::new(trace.db, cfg.start, engine.state());
         dbs.push(DbSim {
             id: trace.db,
             engine,
             acc,
             demand: false,
             resume_in_flight: false,
+            #[cfg(feature = "strict-invariants")]
+            shadow,
         });
         cluster.place(trace.db);
         metadata.set_state(trace.db, DbState::Resumed);
@@ -316,6 +339,7 @@ pub(crate) fn run_shard(
                 );
                 dbs[idx].demand = true;
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityStart);
+                observe_shadow(&mut dbs[idx], now, EngineEvent::ActivityStart)?;
                 let available =
                     was_state != DbState::PhysicallyPaused || kind == PolicyKind::Optimal;
                 telemetry.record(now, id, TelemetryKind::Login { available });
@@ -372,6 +396,7 @@ pub(crate) fn run_shard(
                     diagnostics.workflow_completed(id);
                 }
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityEnd);
+                observe_shadow(&mut dbs[idx], now, EngineEvent::ActivityEnd)?;
                 apply_actions(
                     cfg,
                     &actions,
@@ -403,6 +428,7 @@ pub(crate) fn run_shard(
                 let idx = db_index(id);
                 let before = dbs[idx].engine.state();
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::Timer(token));
+                observe_shadow(&mut dbs[idx], now, EngineEvent::Timer(token))?;
                 apply_actions(
                     cfg,
                     &actions,
@@ -435,6 +461,7 @@ pub(crate) fn run_shard(
                     continue; // raced with a login
                 }
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::ProactiveResume);
+                observe_shadow(&mut dbs[idx], now, EngineEvent::ProactiveResume)?;
                 if actions.is_empty() {
                     continue; // the engine declined (e.g. reactive)
                 }
@@ -592,13 +619,28 @@ pub(crate) fn run_shard(
     debug_assert_eq!(balance_moves_history, cluster.balance_moves);
 
     // Close the books.
-    let db_results: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)> = dbs
-        .iter_mut()
-        .map(|d| {
-            d.acc.close(cfg.end);
-            (d.id, d.acc, d.engine.counters(), d.engine.history().stats())
-        })
-        .collect();
+    let mut db_results: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)> =
+        Vec::with_capacity(dbs.len());
+    for d in dbs.iter_mut() {
+        d.acc.close(cfg.end);
+        #[cfg(feature = "strict-invariants")]
+        {
+            // History tuples must come back in strictly ascending
+            // timestamp order from a structurally sound B-tree, and every
+            // closed book must account for exactly the measured window.
+            LifecycleInvariants::check_history(d.id, d.engine.history())?;
+            let measured = d.acc.grand_total();
+            let expected = cfg.end.since(cfg.measure_from);
+            if measured != expected {
+                return Err(ProrpError::InvariantViolation(format!(
+                    "db {:?}: segment totals cover {measured:?} of a \
+                     {expected:?} measurement window",
+                    d.id
+                )));
+            }
+        }
+        db_results.push((d.id, d.acc, d.engine.counters(), d.engine.history().stats()));
+    }
 
     counters.telemetry_events = telemetry.len() as u64;
     counters.set_wall_clock(started.elapsed());

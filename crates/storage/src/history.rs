@@ -201,6 +201,17 @@ impl HistoryTable {
         })
     }
 
+    /// Verify the clustered index's structural invariants (key ordering,
+    /// node occupancy, depth balance); used by the strict-invariants
+    /// checker and property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        self.index.check_invariants();
+    }
+
     /// Storage-overhead statistics (Figure 10a–b).
     pub fn stats(&self) -> StorageStats {
         let tuples = self.len();

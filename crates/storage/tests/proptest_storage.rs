@@ -248,3 +248,148 @@ proptest! {
         prop_assert!(recovered.table().len() <= durable.table().len().max(ops.len()));
     }
 }
+
+proptest! {
+    /// Bulk loading is a pure round-trip: for any key set and any legal
+    /// order, the packed tree holds exactly the input pairs, in order,
+    /// with valid node invariants — identical in contents to a tree
+    /// grown by one-at-a-time inserts.
+    #[test]
+    fn bulk_load_roundtrips_any_key_set(
+        keys in prop::collection::btree_set(-10_000i64..10_000, 0..600),
+        order in 3usize..48,
+    ) {
+        let pairs: Vec<(i64, i64)> = keys.iter().map(|&k| (k, k * 3)).collect();
+        let bulk = BTree::bulk_load_with_order(pairs.clone(), order).unwrap();
+        bulk.check_invariants();
+
+        let mut grown = BTree::with_order(order);
+        for &(k, v) in &pairs {
+            grown.insert(k, v).unwrap();
+        }
+        prop_assert_eq!(bulk.len(), grown.len());
+        let bulk_entries: Vec<(i64, i64)> = bulk.iter().map(|(k, v)| (k, *v)).collect();
+        let grown_entries: Vec<(i64, i64)> = grown.iter().map(|(k, v)| (k, *v)).collect();
+        prop_assert_eq!(&bulk_entries, &pairs, "bulk load must preserve the input");
+        prop_assert_eq!(bulk_entries, grown_entries);
+        for &(k, v) in &pairs {
+            prop_assert_eq!(bulk.get(k), Some(&v));
+        }
+        prop_assert_eq!(bulk.min_entry().map(|(k, _)| k), keys.iter().next().copied());
+        prop_assert_eq!(bulk.max_entry().map(|(k, _)| k), keys.iter().last().copied());
+    }
+
+    /// The exclusive-range scan agrees with the model for arbitrary
+    /// bounds, including empty, inverted, and all-covering ranges.
+    #[test]
+    fn keys_in_exclusive_range_matches_model(
+        keys in prop::collection::btree_set(-500i64..500, 0..300),
+        lo in -700i64..700,
+        width in -100i64..500,
+    ) {
+        let mut tree = BTree::new();
+        for &k in &keys {
+            tree.insert(k, ()).unwrap();
+        }
+        let hi = lo + width;
+        let expected: Vec<i64> = if lo < hi {
+            keys.range((Bound::Excluded(lo), Bound::Excluded(hi)))
+                .copied()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        prop_assert_eq!(tree.keys_in_exclusive_range(lo, hi), expected);
+    }
+
+    /// Checkpointing is stable and truncating: it empties the WAL,
+    /// recovering from the backup alone reproduces the table, and a
+    /// second checkpoint over the unchanged table is byte-identical.
+    #[test]
+    fn checkpoint_truncates_and_is_stable(
+        ops in prop::collection::vec(wal_op_strategy(), 0..60),
+    ) {
+        let mut durable = DurableHistory::new();
+        for op in &ops {
+            match op {
+                WalOp::Insert(ts, start) => {
+                    let kind = if *start { EventKind::Start } else { EventKind::End };
+                    durable.insert_history(Timestamp(*ts), kind);
+                }
+                WalOp::Trim { h, now } => {
+                    durable.delete_old_history(Seconds(*h), Timestamp(*now));
+                }
+            }
+        }
+        let backup = durable.checkpoint().unwrap();
+        prop_assert!(durable.wal().is_empty(), "checkpoint must truncate the log");
+        let recovered = DurableHistory::recover(&backup, &[]).unwrap();
+        prop_assert_eq!(recovered.table().events(), durable.table().events());
+        let again = durable.checkpoint().unwrap();
+        prop_assert_eq!(backup, again, "checkpoint over an unchanged table must be stable");
+    }
+
+    /// Recovery is idempotent: recovering, checkpointing the recovered
+    /// replica, and recovering again converges after one step.
+    #[test]
+    fn recover_of_recover_is_identity(
+        pre in prop::collection::vec(wal_op_strategy(), 0..30),
+        post in prop::collection::vec(wal_op_strategy(), 0..30),
+    ) {
+        let mut durable = DurableHistory::new();
+        let apply = |d: &mut DurableHistory, op: &WalOp| match op {
+            WalOp::Insert(ts, start) => {
+                let kind = if *start { EventKind::Start } else { EventKind::End };
+                d.insert_history(Timestamp(*ts), kind);
+            }
+            WalOp::Trim { h, now } => {
+                d.delete_old_history(Seconds(*h), Timestamp(*now));
+            }
+        };
+        for op in &pre {
+            apply(&mut durable, op);
+        }
+        let backup = durable.checkpoint().unwrap();
+        for op in &post {
+            apply(&mut durable, op);
+        }
+        let wal_image = durable.wal().as_bytes().to_vec();
+        let mut first = DurableHistory::recover(&backup, &wal_image).unwrap();
+        let second_backup = first.checkpoint().unwrap();
+        let second = DurableHistory::recover(&second_backup, &[]).unwrap();
+        prop_assert_eq!(second.table().events(), durable.table().events());
+    }
+
+    /// `DurableHistory::recover` is exactly backup-restore plus a manual
+    /// decode-and-replay of the log — no hidden state rides along.
+    #[test]
+    fn recover_equals_manual_decode_and_replay(
+        pre in prop::collection::vec(wal_op_strategy(), 0..30),
+        post in prop::collection::vec(wal_op_strategy(), 1..30),
+    ) {
+        let mut durable = DurableHistory::new();
+        let apply = |d: &mut DurableHistory, op: &WalOp| match op {
+            WalOp::Insert(ts, start) => {
+                let kind = if *start { EventKind::Start } else { EventKind::End };
+                d.insert_history(Timestamp(*ts), kind);
+            }
+            WalOp::Trim { h, now } => {
+                d.delete_old_history(Seconds(*h), Timestamp(*now));
+            }
+        };
+        for op in &pre {
+            apply(&mut durable, op);
+        }
+        let backup = durable.checkpoint().unwrap();
+        for op in &post {
+            apply(&mut durable, op);
+        }
+        let image = durable.wal().as_bytes();
+        let recovered = DurableHistory::recover(&backup, image).unwrap();
+
+        let mut manual = restore_history(&backup).unwrap();
+        let records = WriteAheadLog::decode(image).unwrap();
+        WriteAheadLog::replay(&records, &mut manual).unwrap();
+        prop_assert_eq!(recovered.table().events(), manual.events());
+    }
+}

@@ -1,0 +1,194 @@
+//! Proptest strategies over the space the paper explores.
+//!
+//! Three generators cover the three axes of a simulated experiment:
+//!
+//! * [`fleet_spec`] — *which databases*: a region archetype mix, a fleet
+//!   size, and a workload seed, expanded into traces by
+//!   [`FleetSpec::traces`];
+//! * [`policy_config`] — *which knobs*: the Table 1 parameters inside
+//!   their validated ranges (`w ≤ p`, positive durations, confidence in
+//!   `(0, 1)`), with an occasional weekly seasonality when the history
+//!   is long enough to support it;
+//! * [`fault_plan`] — *which failures*: the control-plane fault layer
+//!   (per-stage failure probabilities, retry budget, predictor circuit
+//!   breaker, forecast fault injection, and stuck-workflow probability
+//!   paired with a diagnostics period so hung workflows are mitigated).
+//!
+//! Everything generated here is valid by construction: the property
+//! tests assert behaviour, not knob validation, so a strategy that could
+//! emit a rejected configuration would only waste cases.
+
+use proptest::prelude::*;
+use prorp_sim::SimConfigBuilder;
+use prorp_types::{
+    BreakerConfig, PolicyConfig, RetryPolicy, Seasonality, Seconds, Timestamp, WorkflowStage,
+};
+use prorp_workload::{RegionName, RegionProfile, Trace};
+
+use crate::oracles::{DAY, SPAN_DAYS};
+
+/// A compact, `Copy` description of a generated fleet.  Kept separate
+/// from the traces themselves so failing cases print as a three-field
+/// spec instead of thousands of session timestamps.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetSpec {
+    /// Which region archetype mix generates the traces.
+    pub region: RegionName,
+    /// Number of databases in the fleet.
+    pub size: usize,
+    /// Workload-generator seed.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// Expand the spec into traces over the standard 35-day window.
+    pub fn traces(&self) -> Vec<Trace> {
+        RegionProfile::for_region(self.region).generate_fleet(
+            self.size,
+            Timestamp(0),
+            Timestamp(SPAN_DAYS * DAY),
+            self.seed,
+        )
+    }
+}
+
+/// Strategy over small fleets: any of the four evaluation regions,
+/// 6–12 databases, and an arbitrary workload seed.  Small on purpose —
+/// the differential oracles run two or three full simulations per case.
+pub fn fleet_spec() -> impl Strategy<Value = FleetSpec> {
+    (0usize..4, 6usize..13, 0u64..1_000_000).prop_map(|(region, size, seed)| FleetSpec {
+        region: RegionName::all()[region],
+        size,
+        seed,
+    })
+}
+
+/// Strategy over the Table 1 policy knobs, constrained to the validated
+/// region of the space: positive durations, `w ≤ p`, confidence in
+/// `(0, 1)`, and weekly seasonality only when at least four weeks of
+/// history back it.
+pub fn policy_config() -> impl Strategy<Value = PolicyConfig> {
+    (
+        (1i64..13, 7i64..36, 6i64..49),          // l hours, h days, p hours
+        (5u32..91, 1i64..6, 5i64..61, 1i64..16), // c %, w hours, s minutes, k minutes
+        0u32..5,                                 // seasonality pick: one in five weekly
+    )
+        .prop_map(|((l, h, p), (c, w, s, k), season)| {
+            let seasonality = if season == 0 && h >= 28 {
+                Seasonality::Weekly
+            } else {
+                Seasonality::Daily
+            };
+            PolicyConfig {
+                logical_pause: Seconds::hours(l),
+                history_len: Seconds::days(h),
+                horizon: Seconds::hours(p),
+                confidence: f64::from(c) / 100.0,
+                window: Seconds::hours(w),
+                slide: Seconds::minutes(s),
+                prewarm: Seconds::minutes(k),
+                seasonality,
+            }
+        })
+}
+
+/// A generated control-plane fault schedule.  [`FaultPlan::apply`]
+/// installs it on a [`SimConfigBuilder`]; [`FaultPlan::quiescent`] is
+/// the identity plan every generated plan degenerates to when all its
+/// probabilities are zeroed.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Uniform failure probability across all four workflow stages.
+    pub stage_failure: f64,
+    /// Extra failure probability on the warm-cache stage (the flakiest
+    /// stage in production folklore).
+    pub warm_cache_extra: f64,
+    /// Retry budget for failed stages.
+    pub retry: RetryPolicy,
+    /// Predictor circuit-breaker knobs.
+    pub breaker: BreakerConfig,
+    /// Forecast fault injection: every n-th prediction fails.
+    pub forecast_fail_every: Option<u32>,
+    /// Probability that a resume workflow silently hangs; when positive,
+    /// [`FaultPlan::apply`] also enables the diagnostics runner so hung
+    /// workflows are mitigated instead of stalling forever.
+    pub stuck_probability: f64,
+    /// Fault-injection RNG seed.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: zero probabilities, default retry/breaker.
+    pub fn quiescent() -> FaultPlan {
+        FaultPlan {
+            stage_failure: 0.0,
+            warm_cache_extra: 0.0,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            forecast_fail_every: None,
+            stuck_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Install the plan on a builder.
+    pub fn apply(&self, b: SimConfigBuilder) -> SimConfigBuilder {
+        let mut b = b
+            .seed(self.seed)
+            .stage_failure_probabilities(self.stage_failure)
+            .stage_failure_probability(
+                WorkflowStage::WarmCache,
+                (self.stage_failure + self.warm_cache_extra).min(1.0),
+            )
+            .retry(self.retry)
+            .breaker(self.breaker)
+            .stuck_probability(self.stuck_probability);
+        if let Some(n) = self.forecast_fail_every {
+            b = b.forecast_fail_every(n);
+        }
+        if self.stuck_probability > 0.0 {
+            b = b.diagnostics_period(Seconds::minutes(5));
+        }
+        b
+    }
+}
+
+/// Strategy over fault schedules.  Probabilities stay moderate and the
+/// retry budget generous enough that most workflows still complete;
+/// give-ups and incidents are allowed — the oracles assert determinism
+/// and equivalence, not success.
+pub fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0u32..40, 0u32..30),         // stage %, warm-cache extra %
+        (2u32..6, 5i64..61, 1i64..7), // attempts, base backoff s, max multiple
+        (1u32..5, 10i64..181),        // breaker threshold, cooldown minutes
+        prop::option::of(2u32..9),    // forecast fail-every
+        (0u32..3, 0u64..1_000_000),   // stuck pick (one in three), fault seed
+    )
+        .prop_map(
+            |(
+                (fail, extra),
+                (attempts, base, mult),
+                (threshold, cooldown),
+                every,
+                (stuck, seed),
+            )| {
+                FaultPlan {
+                    stage_failure: f64::from(fail) / 100.0,
+                    warm_cache_extra: f64::from(extra) / 100.0,
+                    retry: RetryPolicy {
+                        max_attempts: attempts,
+                        base_backoff: Seconds(base),
+                        max_backoff: Seconds(base * mult),
+                    },
+                    breaker: BreakerConfig {
+                        failure_threshold: threshold,
+                        cooldown: Seconds::minutes(cooldown),
+                    },
+                    forecast_fail_every: every,
+                    stuck_probability: if stuck == 0 { 0.05 } else { 0.0 },
+                    seed,
+                }
+            },
+        )
+}

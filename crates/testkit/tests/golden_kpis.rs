@@ -1,0 +1,139 @@
+//! Golden KPI snapshots over a seed × shard-count × fault-knob matrix.
+//!
+//! Each case runs one 16-database Eu1 fleet over the standard 35-day
+//! window and compares the rendered KPI surface byte-for-byte against
+//! `tests/goldens/<name>.json`.  The simulator promises bit-stable
+//! results for a fixed seed at any shard count, so *any* drift is either
+//! a deliberate semantic change — re-record with `scripts/bless.sh` and
+//! review the diff — or a regression this suite just caught.
+
+use prorp_sim::{SimConfigBuilder, SimPolicy, Simulation};
+use prorp_types::{BreakerConfig, PolicyConfig, RetryPolicy, Seconds, Timestamp};
+use prorp_workload::{RegionName, RegionProfile, Trace};
+use testkit::golden::{check_golden, render_report};
+use testkit::oracles::{DAY, MEASURE_DAY, SPAN_DAYS};
+
+struct Case {
+    name: &'static str,
+    policy: fn() -> SimPolicy,
+    shards: usize,
+    fleet_seed: u64,
+    fault_seed: u64,
+    tweak: fn(SimConfigBuilder) -> SimConfigBuilder,
+}
+
+fn clean(b: SimConfigBuilder) -> SimConfigBuilder {
+    b
+}
+
+fn flaky_stages(b: SimConfigBuilder) -> SimConfigBuilder {
+    b.stage_failure_probabilities(0.25)
+        .retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Seconds(20),
+            max_backoff: Seconds::minutes(2),
+        })
+        .stuck_probability(0.05)
+        .diagnostics_period(Seconds::minutes(5))
+}
+
+fn breaker_faults(b: SimConfigBuilder) -> SimConfigBuilder {
+    b.forecast_fail_every(3).breaker(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: Seconds::hours(2),
+    })
+}
+
+fn proactive() -> SimPolicy {
+    SimPolicy::Proactive(PolicyConfig::default())
+}
+
+const MATRIX: &[Case] = &[
+    Case {
+        name: "reactive_s1_clean",
+        policy: || SimPolicy::Reactive,
+        shards: 1,
+        fleet_seed: 101,
+        fault_seed: 0,
+        tweak: clean,
+    },
+    Case {
+        name: "reactive_s2_faulty",
+        policy: || SimPolicy::Reactive,
+        shards: 2,
+        fleet_seed: 102,
+        fault_seed: 17,
+        tweak: flaky_stages,
+    },
+    Case {
+        name: "proactive_s1_clean",
+        policy: proactive,
+        shards: 1,
+        fleet_seed: 103,
+        fault_seed: 0,
+        tweak: clean,
+    },
+    Case {
+        name: "proactive_s3_faulty",
+        policy: proactive,
+        shards: 3,
+        fleet_seed: 104,
+        fault_seed: 23,
+        tweak: flaky_stages,
+    },
+    Case {
+        name: "proactive_s1_breaker",
+        policy: proactive,
+        shards: 1,
+        fleet_seed: 105,
+        fault_seed: 29,
+        tweak: breaker_faults,
+    },
+    Case {
+        name: "optimal_s1_clean",
+        policy: || SimPolicy::Optimal,
+        shards: 1,
+        fleet_seed: 106,
+        fault_seed: 0,
+        tweak: clean,
+    },
+];
+
+fn fleet(seed: u64) -> Vec<Trace> {
+    RegionProfile::for_region(RegionName::Eu1).generate_fleet(
+        16,
+        Timestamp(0),
+        Timestamp(SPAN_DAYS * DAY),
+        seed,
+    )
+}
+
+#[test]
+fn golden_kpi_matrix() {
+    let mut drifts = Vec::new();
+    for case in MATRIX {
+        let b = prorp_sim::SimConfig::builder(
+            (case.policy)(),
+            Timestamp(0),
+            Timestamp(SPAN_DAYS * DAY),
+            Timestamp(MEASURE_DAY * DAY),
+        )
+        .shards(case.shards)
+        .seed(case.fault_seed);
+        let cfg = (case.tweak)(b).build().expect("matrix configs validate");
+        let report = Simulation::new(cfg, fleet(case.fleet_seed))
+            .unwrap()
+            .run()
+            .unwrap();
+        if let Err(msg) = check_golden(case.name, &render_report(&report)) {
+            drifts.push(msg);
+        }
+    }
+    assert!(
+        drifts.is_empty(),
+        "{} of {} golden snapshots drifted:\n\n{}",
+        drifts.len(),
+        MATRIX.len(),
+        drifts.join("\n\n")
+    );
+}

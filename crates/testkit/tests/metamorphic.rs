@@ -1,0 +1,142 @@
+//! Metamorphic edge cases: configurations that *look* different but are
+//! semantically the identity must produce bit-identical reports.
+
+use proptest::prelude::*;
+use prorp_sim::SimPolicy;
+use prorp_types::{PolicyConfig, Seconds};
+use testkit::oracles::{assert_behaviour_equal, assert_reports_equal, builder, run, run_policy};
+use testkit::strategies::{fault_plan, fleet_spec, policy_config, FleetSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Zeroing every probability in a generated fault plan turns it into
+    /// the identity: retry budgets, breaker knobs, and fault seeds that
+    /// never fire must leave the whole report untouched.
+    #[test]
+    fn zero_probability_fault_layer_is_the_identity(
+        spec in fleet_spec(),
+        pc in policy_config(),
+        plan in fault_plan(),
+        reactive_pick in any::<bool>(),
+    ) {
+        let policy = if reactive_pick {
+            SimPolicy::Reactive
+        } else {
+            SimPolicy::Proactive(pc)
+        };
+        let mut quiet = plan;
+        quiet.stage_failure = 0.0;
+        quiet.warm_cache_extra = 0.0;
+        quiet.forecast_fail_every = None;
+        quiet.stuck_probability = 0.0;
+        let defused = run(
+            quiet.apply(builder(policy.clone())).build().unwrap(),
+            spec.traces(),
+        );
+        let clean = run_policy(policy, &spec.traces());
+        assert_reports_equal(&defused, &clean, &format!("defused {quiet:?}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// A zero prediction horizon (`p = 0`) switches prediction off: the
+    /// proactive engine must degenerate to the reactive baseline — same
+    /// KPIs, same workflows, zero predictions attempted — for any fleet
+    /// and any remaining knob values.
+    #[test]
+    fn zero_horizon_proactive_is_the_reactive_baseline(
+        spec in fleet_spec(),
+        pc in policy_config(),
+    ) {
+        // Pin `l` and `h` to the values the reactive baseline hard-codes
+        // so the pause schedules and history trims line up; with the
+        // horizon at zero no other knob can influence behaviour.
+        let pc = PolicyConfig {
+            horizon: Seconds::ZERO,
+            logical_pause: Seconds::hours(7),
+            history_len: Seconds::days(28),
+            ..pc
+        };
+        let traces = spec.traces();
+        let disabled = run_policy(SimPolicy::Proactive(pc), &traces);
+        let reactive = run_policy(SimPolicy::Reactive, &traces);
+
+        for c in &disabled.counters {
+            prop_assert_eq!(c.predictions, 0, "p = 0 must never invoke the predictor");
+            prop_assert_eq!(c.forecast_failures, 0);
+            prop_assert_eq!(c.breaker_fallbacks, 0);
+        }
+        prop_assert_eq!(disabled.kpi.proactive_resumes, 0);
+        // Behaviour only: the two engines trim history at different
+        // instants, so storage internals may take different shapes.
+        assert_behaviour_equal(&disabled, &reactive, &format!("p = 0 on {spec:?}"));
+    }
+}
+
+/// Fixed-fleet regression for the fault-free metamorphic identity,
+/// pinned so a strategy change cannot silently shrink its coverage:
+/// explicit zero probabilities, a custom retry budget, a diagnostics
+/// runner, and a live breaker config must all be inert without faults.
+#[test]
+fn fault_probability_zero_runs_bit_identical_to_fault_free() {
+    let spec = FleetSpec {
+        region: prorp_workload::RegionName::Eu1,
+        size: 16,
+        seed: 7,
+    };
+    let armed = run(
+        builder(SimPolicy::Reactive)
+            .seed(99)
+            .stage_failure_probabilities(0.0)
+            .stuck_probability(0.0)
+            .retry(prorp_types::RetryPolicy {
+                max_attempts: 5,
+                base_backoff: Seconds(10),
+                max_backoff: Seconds::minutes(2),
+            })
+            .breaker(prorp_types::BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Seconds::minutes(1),
+            })
+            .diagnostics_period(Seconds::minutes(5))
+            .build()
+            .unwrap(),
+        spec.traces(),
+    );
+    let clean = run_policy(SimPolicy::Reactive, &spec.traces());
+    assert_reports_equal(&armed, &clean, "p(fault) = 0 fixed fleet");
+    assert_eq!(armed.workflow.retries, 0);
+    assert_eq!(armed.incidents, 0);
+    assert_eq!(armed.mitigations, 0);
+}
+
+/// Fixed-fleet regression for the `p = 0` degeneration on a proactive
+/// config that differs from the baseline in every *other* knob.
+#[test]
+fn zero_horizon_fixed_fleet_regression() {
+    let spec = FleetSpec {
+        region: prorp_workload::RegionName::Us2,
+        size: 16,
+        seed: 41,
+    };
+    let pc = PolicyConfig {
+        horizon: Seconds::ZERO,
+        confidence: 0.75,
+        window: Seconds::hours(2),
+        slide: Seconds::minutes(10),
+        prewarm: Seconds::minutes(1),
+        ..PolicyConfig::default()
+    };
+    let traces = spec.traces();
+    let disabled = run_policy(SimPolicy::Proactive(pc), &traces);
+    let reactive = run_policy(SimPolicy::Reactive, &traces);
+    assert_behaviour_equal(&disabled, &reactive, "p = 0 fixed fleet");
+    assert_eq!(disabled.kpi.proactive_resumes, 0);
+    assert!(
+        disabled.kpi.physical_pauses > 0,
+        "fleet must exercise pauses"
+    );
+}

@@ -1,0 +1,51 @@
+//! The strategies must emit only valid-by-construction values: a
+//! generator that can produce a rejected config would burn property
+//! cases on validation errors instead of behaviour.
+
+use proptest::prelude::*;
+use prorp_sim::SimPolicy;
+use testkit::oracles::builder;
+use testkit::strategies::{fault_plan, fleet_spec, policy_config};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated knob set passes [`prorp_types::PolicyConfig`]
+    /// validation, and window never exceeds horizon.
+    #[test]
+    fn generated_policy_configs_validate(pc in policy_config()) {
+        prop_assert!(pc.validate().is_ok(), "rejected: {pc:?}");
+        prop_assert!(pc.window <= pc.horizon);
+        prop_assert!(!pc.prediction_disabled());
+    }
+
+    /// Every generated fault plan builds a valid simulator config.
+    #[test]
+    fn generated_fault_plans_build(pc in policy_config(), plan in fault_plan()) {
+        let cfg = plan.apply(builder(SimPolicy::Proactive(pc))).build();
+        prop_assert!(cfg.is_ok(), "rejected: {plan:?} -> {cfg:?}");
+        let cfg = cfg.unwrap();
+        prop_assert_eq!(
+            cfg.diagnostics_period.is_some(),
+            plan.stuck_probability > 0.0,
+            "stuck workflows need the diagnostics runner"
+        );
+    }
+
+    /// Fleet expansion is deterministic: the same spec yields the same
+    /// traces, and each database appears exactly once.
+    #[test]
+    fn fleet_specs_expand_deterministically(spec in fleet_spec()) {
+        let a = spec.traces();
+        let b = spec.traces();
+        prop_assert_eq!(a.len(), spec.size);
+        let mut ids: Vec<_> = a.iter().map(|t| t.db).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), spec.size, "duplicate database ids");
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.db, y.db);
+            prop_assert_eq!(&x.sessions, &y.sessions);
+        }
+    }
+}

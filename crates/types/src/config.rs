@@ -139,13 +139,23 @@ impl PolicyConfig {
         }
     }
 
+    /// Whether prediction is disabled (`p = 0`): Algorithm 4 evaluates no
+    /// windows, every forecast is "no activity expected", and the policy
+    /// degenerates to the reactive baseline.
+    #[inline]
+    pub fn prediction_disabled(&self) -> bool {
+        self.horizon.as_secs() == 0
+    }
+
     /// Validate knob ranges; returns `self` for chaining.
     ///
     /// # Errors
     ///
-    /// Rejects non-positive durations, a confidence outside `(0, 1]`, a
-    /// window wider than the horizon, and a history shorter than one
-    /// seasonal period (which would make the probability denominator zero).
+    /// Rejects non-positive durations (a zero horizon is permitted and
+    /// means "prediction disabled"), a confidence outside `(0, 1]`, a
+    /// window wider than a non-zero horizon, and a history shorter than
+    /// one seasonal period (which would make the probability denominator
+    /// zero).
     pub fn validate(&self) -> Result<&Self, ProrpError> {
         fn positive(name: &str, v: Seconds) -> Result<(), ProrpError> {
             if v.as_secs() <= 0 {
@@ -158,7 +168,12 @@ impl PolicyConfig {
         }
         positive("logical_pause (l)", self.logical_pause)?;
         positive("history_len (h)", self.history_len)?;
-        positive("horizon (p)", self.horizon)?;
+        if self.horizon.is_negative() {
+            return Err(ProrpError::InvalidConfig(format!(
+                "horizon (p) must be non-negative, got {:?}",
+                self.horizon
+            )));
+        }
         positive("window (w)", self.window)?;
         positive("slide (s)", self.slide)?;
         positive("prewarm (k)", self.prewarm)?;
@@ -168,7 +183,7 @@ impl PolicyConfig {
                 self.confidence
             )));
         }
-        if self.window > self.horizon {
+        if !self.prediction_disabled() && self.window > self.horizon {
             return Err(ProrpError::InvalidConfig(format!(
                 "window (w = {:?}) must not exceed the horizon (p = {:?})",
                 self.window, self.horizon
@@ -286,6 +301,25 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.window_positions(), 1);
+    }
+
+    #[test]
+    fn zero_horizon_disables_prediction() {
+        // `p = 0` is a legal knob meaning "never predict": no window fits
+        // in the horizon, so Algorithm 4 evaluates zero positions, and the
+        // window > horizon check is moot.
+        let c = PolicyConfig::builder()
+            .horizon(Seconds::ZERO)
+            .build()
+            .unwrap();
+        assert!(c.prediction_disabled());
+        assert_eq!(c.window_positions(), 0);
+        assert!(!PolicyConfig::default().prediction_disabled());
+        // A negative horizon stays illegal.
+        assert!(PolicyConfig::builder()
+            .horizon(Seconds(-1))
+            .build()
+            .is_err());
     }
 
     #[test]

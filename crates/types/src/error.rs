@@ -29,6 +29,10 @@ pub enum ProrpError {
     Forecast(String),
     /// A simulator invariant violation (e.g. capacity accounting bug).
     Simulation(String),
+    /// A lifecycle/accounting invariant violated under the
+    /// `strict-invariants` checker (illegal state transition, time going
+    /// backwards, history out of order, KPI identity broken).
+    InvariantViolation(String),
     /// An injected fault (used by tests exercising the reactive fallback).
     FaultInjected(String),
     /// One attempt of a resume-workflow stage failed (§7 control plane).
@@ -60,6 +64,7 @@ impl ProrpError {
             ProrpError::Sql(_) => "sql",
             ProrpError::Forecast(_) => "forecast",
             ProrpError::Simulation(_) => "simulation",
+            ProrpError::InvariantViolation(_) => "invariant",
             ProrpError::FaultInjected(_) => "fault_injected",
             ProrpError::WorkflowStageFailed { .. } => "workflow_stage",
             ProrpError::RetryExhausted { .. } => "retry_exhausted",
@@ -76,6 +81,7 @@ impl fmt::Display for ProrpError {
             ProrpError::Sql(m) => write!(f, "sql error: {m}"),
             ProrpError::Forecast(m) => write!(f, "forecast error: {m}"),
             ProrpError::Simulation(m) => write!(f, "simulation error: {m}"),
+            ProrpError::InvariantViolation(m) => write!(f, "invariant violated: {m}"),
             ProrpError::FaultInjected(m) => write!(f, "injected fault: {m}"),
             ProrpError::WorkflowStageFailed {
                 stage,

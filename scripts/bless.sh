@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Re-record the golden KPI snapshots in tests/goldens/ after an
+# *intentional* change to simulator semantics.
+#
+#   ./scripts/bless.sh
+#
+# Runs the testkit golden suite with BLESS=1 so every matrix case
+# rewrites its snapshot, then prints the resulting diff for review.
+# Treat that diff like any other code change: every drifted number
+# needs an explanation in the PR.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BLESS=1 cargo test -q -p testkit --test golden_kpis
+
+echo "==> goldens re-blessed; review the drift:"
+git --no-pager diff --stat -- tests/goldens/

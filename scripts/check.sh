@@ -3,9 +3,11 @@
 #
 #   ./scripts/check.sh
 #
-# Runs, in order: release build, the full test suite, clippy (warnings
-# are errors), rustdoc (warnings are errors), and the formatting check.
-# Fails fast on the first broken step.
+# Runs, in order: release build, the full test suite, the golden KPI
+# snapshot check (bit-stable simulator output; re-record intentional
+# changes with scripts/bless.sh), clippy (warnings are errors), rustdoc
+# (warnings are errors), and the formatting check.  Fails fast on the
+# first broken step.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +19,7 @@ run() {
 
 run cargo build --release
 run cargo test -q
+run env BLESS=0 cargo test -q -p testkit --test golden_kpis
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 run cargo fmt --check

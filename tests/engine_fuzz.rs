@@ -2,13 +2,23 @@
 //! time-ordered) event sequences — including stale timers, duplicate
 //! logins, and mistimed pre-warms — must never panic, must keep the
 //! lifecycle coherent, and must emit only well-formed actions.
+//!
+//! The second half fuzzes the §7 control-plane machinery in isolation:
+//! the predictor circuit breaker against an independent spec-level model
+//! of its open → half-open → close protocol, and the staged resume
+//! workflow's retry path against the [`prorp_types::RetryPolicy`]
+//! backoff contract under generated fault schedules.
 
 use proptest::prelude::*;
 use prorp_core::{
-    DatabasePolicy, EngineAction, EngineEvent, ProactiveEngine, ReactiveEngine, TimerToken,
+    CircuitBreaker, DatabasePolicy, EngineAction, EngineEvent, ProactiveEngine, ReactiveEngine,
+    ResumeWorkflow, StageOutcome, TimerToken,
 };
 use prorp_forecast::{FailEvery, ProbabilisticPredictor};
-use prorp_types::{DbState, PolicyConfig, Seconds, Timestamp};
+use prorp_types::{
+    BreakerConfig, DatabaseId, DbState, FaultConfig, PolicyConfig, RetryPolicy, Seconds, Timestamp,
+    WorkflowStage,
+};
 
 #[derive(Clone, Debug)]
 enum FuzzStep {
@@ -186,4 +196,249 @@ proptest! {
             ReactiveEngine::new(Seconds::hours(7), Seconds::days(28)).unwrap();
         drive(&mut engine, &steps)?;
     }
+}
+
+/// Spec-level mirror of the breaker protocol, written from the §3.2
+/// description rather than the implementation: closed while the failure
+/// run is short, open for one cool-down once it reaches the threshold,
+/// half-open exactly at the cool-down boundary, closed again on a
+/// successful probe, re-opened for a fresh cool-down on a failed one.
+#[derive(Clone, Copy, Debug)]
+enum BreakerMode {
+    Closed { run: u32 },
+    Open { until: i64 },
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive a breaker through its own protocol (predictions attempted
+    /// only when `allows` says so) with generated outcome schedules and
+    /// check `allows` / `is_open` / `opens` against the model at every
+    /// step — covering open → half-open → close and open → half-open →
+    /// re-open transitions whenever the schedule produces them.
+    #[test]
+    fn breaker_follows_the_open_halfopen_close_protocol(
+        threshold in 0u32..4,
+        cooldown in 10i64..2_000,
+        schedule in prop::collection::vec((0i64..5_000, any::<bool>()), 1..150),
+    ) {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Seconds(cooldown),
+        });
+        let mut mode = BreakerMode::Closed { run: 0 };
+        let mut model_opens = 0u64;
+        let mut now = 0i64;
+        for (advance, fail) in schedule {
+            now += advance;
+            let expect_allows = match mode {
+                BreakerMode::Closed { .. } => true,
+                BreakerMode::Open { until } => now >= until,
+            };
+            prop_assert_eq!(breaker.allows(Timestamp(now)), expect_allows);
+            prop_assert_eq!(breaker.is_open(Timestamp(now)), !expect_allows);
+            if !expect_allows {
+                // The engine never invokes the predictor while open, so
+                // neither does the fuzz driver.
+                continue;
+            }
+            if fail {
+                let opened = breaker.record_failure(Timestamp(now));
+                match mode {
+                    BreakerMode::Open { .. } => {
+                        // A failed half-open probe re-opens immediately.
+                        mode = BreakerMode::Open { until: now + cooldown };
+                        model_opens += 1;
+                        prop_assert!(opened, "failed probe must re-open");
+                    }
+                    BreakerMode::Closed { run } if threshold > 0 && run + 1 >= threshold => {
+                        mode = BreakerMode::Open { until: now + cooldown };
+                        model_opens += 1;
+                        prop_assert!(opened, "threshold reached must open");
+                    }
+                    BreakerMode::Closed { run } => {
+                        mode = BreakerMode::Closed {
+                            run: if threshold == 0 { 0 } else { run + 1 },
+                        };
+                        prop_assert!(!opened);
+                    }
+                }
+            } else {
+                breaker.record_success();
+                mode = BreakerMode::Closed { run: 0 };
+            }
+            prop_assert_eq!(breaker.opens(), model_opens);
+        }
+    }
+
+    /// Drive a staged resume workflow to termination under a generated
+    /// fault schedule and check the retry contract at every transition:
+    /// stages advance strictly in order with attempts reset, attempt
+    /// counts never exceed the budget, every retry lands after the
+    /// stage's execution latency and within the capped backoff window,
+    /// exhaustion reports exactly the budget — and the entire outcome
+    /// sequence replays bit-identically from the same seed.
+    #[test]
+    fn workflow_retry_path_honours_the_fault_schedule(
+        seed in any::<u64>(),
+        db in 0u64..1_000,
+        started in 0i64..100_000,
+        move_penalty in 0i64..300,
+        latencies in prop::collection::vec(1i64..120, 4),
+        fail_pct in prop::collection::vec(0u32..101, 4),
+        max_attempts in 1u32..6,
+        base_backoff in 1i64..60,
+        backoff_mult in 1i64..8,
+    ) {
+        let mut faults = FaultConfig::default();
+        for (i, slot) in faults.stages.iter_mut().enumerate() {
+            slot.latency = Seconds(latencies[i]);
+            slot.failure_probability = f64::from(fail_pct[i]) / 100.0;
+        }
+        faults.retry = RetryPolicy {
+            max_attempts,
+            base_backoff: Seconds(base_backoff),
+            max_backoff: Seconds(base_backoff * backoff_mult),
+        };
+
+        let run = |faults: &FaultConfig| -> Result<Vec<StageOutcome>, TestCaseError> {
+            let mut wf = ResumeWorkflow::new(DatabaseId(db), Timestamp(started), Seconds(move_penalty));
+            let mut now = wf.first_ready_at(faults);
+            prop_assert_eq!(
+                now,
+                Timestamp(started) + Seconds(latencies[0]) + Seconds(move_penalty),
+                "first stage carries the move penalty"
+            );
+            let mut outcomes = Vec::new();
+            let mut executions = 0u32;
+            loop {
+                executions += 1;
+                prop_assert!(
+                    executions <= 4 * max_attempts,
+                    "workflow must terminate within the attempt budget"
+                );
+                let stage = wf.stage();
+                let attempt = wf.attempt();
+                let outcome = wf.on_stage_executed(now, seed, faults);
+                outcomes.push(outcome);
+                match outcome {
+                    StageOutcome::Completed { stage: done, next_ready_at, .. } => {
+                        prop_assert_eq!(done, stage);
+                        match next_ready_at {
+                            Some(t) => {
+                                prop_assert_eq!(wf.stage().index(), done.index() + 1);
+                                prop_assert_eq!(wf.attempt(), 1, "attempts reset per stage");
+                                prop_assert_eq!(
+                                    t,
+                                    now + Seconds(latencies[wf.stage().index()]),
+                                    "next stage executes after its latency"
+                                );
+                                now = t;
+                            }
+                            None => {
+                                prop_assert_eq!(done, WorkflowStage::MarkResumed);
+                                return Ok(outcomes);
+                            }
+                        }
+                    }
+                    StageOutcome::Retry { stage: failed, attempt: next, ready_at } => {
+                        prop_assert_eq!(failed, stage);
+                        prop_assert_eq!(next, attempt + 1);
+                        prop_assert!(next <= max_attempts, "retry beyond the budget");
+                        // ready_at = now + equal-jitter backoff + stage
+                        // latency (move penalty folded into the first
+                        // stage), where the backoff never exceeds the cap.
+                        let penalty = if stage == WorkflowStage::AllocateNode {
+                            move_penalty
+                        } else {
+                            0
+                        };
+                        let latency = Seconds(latencies[stage.index()] + penalty);
+                        prop_assert!(
+                            ready_at >= now + latency,
+                            "retry cannot finish before the stage executes"
+                        );
+                        prop_assert!(
+                            ready_at <= now + latency + Seconds(base_backoff * backoff_mult).max(Seconds(1)),
+                            "backoff exceeded its cap"
+                        );
+                        now = ready_at;
+                    }
+                    StageOutcome::Exhausted { stage: dead, attempts } => {
+                        prop_assert_eq!(dead, stage);
+                        prop_assert_eq!(
+                            attempts, max_attempts,
+                            "exhaustion must spend the whole budget"
+                        );
+                        return Ok(outcomes);
+                    }
+                }
+            }
+        };
+
+        let first = run(&faults)?;
+        let second = run(&faults)?;
+        prop_assert_eq!(first, second, "fault draws must be deterministic");
+    }
+
+    /// Metamorphic identity: with every failure probability at zero the
+    /// workflow completes in exactly four executions, never retries, and
+    /// finishes at `started + move_penalty + Σ stage latencies`.
+    #[test]
+    fn fault_free_workflow_completes_on_schedule(
+        seed in any::<u64>(),
+        db in 0u64..1_000,
+        started in 0i64..100_000,
+        move_penalty in 0i64..300,
+        latencies in prop::collection::vec(1i64..120, 4),
+    ) {
+        let mut faults = FaultConfig::default();
+        for (i, slot) in faults.stages.iter_mut().enumerate() {
+            slot.latency = Seconds(latencies[i]);
+            slot.failure_probability = 0.0;
+        }
+        let mut wf = ResumeWorkflow::new(DatabaseId(db), Timestamp(started), Seconds(move_penalty));
+        let mut now = wf.first_ready_at(&faults);
+        let mut completions = 0;
+        loop {
+            match wf.on_stage_executed(now, seed, &faults) {
+                StageOutcome::Completed { next_ready_at: Some(t), .. } => {
+                    completions += 1;
+                    now = t;
+                }
+                StageOutcome::Completed { next_ready_at: None, .. } => {
+                    completions += 1;
+                    break;
+                }
+                other => prop_assert!(false, "fault-free run produced {other:?}"),
+            }
+        }
+        prop_assert_eq!(completions, 4);
+        prop_assert_eq!(wf.total_retries(), 0);
+        let total: i64 = latencies.iter().sum();
+        prop_assert_eq!(now, Timestamp(started) + Seconds(move_penalty) + Seconds(total));
+    }
+}
+
+/// Deterministic spot check pinning one full breaker cycle — open on the
+/// second failure, half-open probe that fails and re-opens, then a
+/// successful probe that closes — so a strategy change can never silently
+/// stop covering the three-state walk.
+#[test]
+fn breaker_full_cycle_spot_check() {
+    let mut b = CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: Seconds(100),
+    });
+    assert!(!b.record_failure(Timestamp(0)));
+    assert!(b.record_failure(Timestamp(10)), "second failure opens");
+    assert!(b.is_open(Timestamp(109)));
+    assert!(b.allows(Timestamp(110)), "half-open at the cool-down");
+    assert!(b.record_failure(Timestamp(110)), "failed probe re-opens");
+    assert!(b.is_open(Timestamp(209)));
+    assert!(b.allows(Timestamp(210)));
+    b.record_success();
+    assert!(!b.is_open(Timestamp(211)));
+    assert_eq!(b.opens(), 2);
 }
