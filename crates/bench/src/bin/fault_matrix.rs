@@ -9,9 +9,11 @@
 //! the circuit breaker stay in the loop.
 //!
 //! Knobs: the usual `PRORP_FLEET` / `PRORP_DAYS` / `PRORP_WARMUP` /
-//! `PRORP_SEED`, plus `PRORP_SHARDS` for the worker count.
+//! `PRORP_SEED`, plus `PRORP_SHARDS` for the worker count.  Pass
+//! `--json <path>` to additionally write the grid as a machine-readable
+//! JSON document.
 
-use prorp_bench::{env_usize, ExperimentScale};
+use prorp_bench::{env_usize, json_path_from_args, write_json, ExperimentScale, JsonValue};
 use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation};
 use prorp_types::{PolicyConfig, RetryPolicy, Seconds};
 use prorp_workload::RegionName;
@@ -47,6 +49,7 @@ fn resume_secs(report: &SimReport) -> f64 {
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let json_path = json_path_from_args();
     let shards = env_usize("PRORP_SHARDS", 4);
     let traces = scale.fleet_for(RegionName::Eu1);
 
@@ -62,6 +65,7 @@ fn main() {
     );
 
     let mut baseline_qos = None;
+    let mut rows: Vec<JsonValue> = Vec::new();
     for &p in &PROBABILITIES {
         for &budget in &BUDGETS {
             let cfg = cell_config(&scale, shards, p, budget);
@@ -84,8 +88,29 @@ fn main() {
                 report.mitigations,
                 resume_secs(&report),
             );
+            rows.push(JsonValue::object(vec![
+                ("failure_probability", JsonValue::Float(p)),
+                ("retry_budget", JsonValue::UInt(u64::from(budget))),
+                ("qos_pct", JsonValue::Float(qos)),
+                ("retries", JsonValue::UInt(report.workflow.retries)),
+                ("giveups", JsonValue::UInt(report.giveups)),
+                ("incidents", JsonValue::UInt(report.incidents)),
+                ("mitigations", JsonValue::UInt(report.mitigations)),
+                ("resume_mean_secs", JsonValue::Float(resume_secs(&report))),
+            ]));
         }
         println!();
+    }
+    if let Some(path) = json_path {
+        let doc = JsonValue::object(vec![
+            ("fleet", JsonValue::UInt(scale.fleet as u64)),
+            ("days", JsonValue::Int(scale.days)),
+            ("seed", JsonValue::UInt(scale.seed)),
+            ("shards", JsonValue::UInt(shards as u64)),
+            ("region", JsonValue::Str("eu1".into())),
+            ("rows", JsonValue::Array(rows)),
+        ]);
+        write_json(&path, &doc);
     }
 
     if let Some(base) = baseline_qos {

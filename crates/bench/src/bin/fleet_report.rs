@@ -2,23 +2,76 @@
 //! did we actually run on" companion to every experiment (§9.1 describes
 //! the paper's equivalent: "hundreds of thousands of Azure SQL databases
 //! are currently deployed in these four regions").
+//!
+//! Pass `--json <path>` to additionally write the composition as a
+//! machine-readable JSON document (used by `scripts/check.sh` to emit
+//! `results/BENCH_fleet.json`).
 
-use prorp_bench::ExperimentScale;
+use prorp_bench::{json_path_from_args, write_json, ExperimentScale, JsonValue};
 use prorp_types::Seconds;
 use prorp_workload::{FleetSummary, RegionName};
 
+fn region_json(summary: &FleetSummary) -> JsonValue {
+    let archetypes: Vec<(String, JsonValue)> = summary
+        .archetypes
+        .iter()
+        .map(|(label, a)| {
+            (
+                label.clone(),
+                JsonValue::object(vec![
+                    ("databases", JsonValue::UInt(a.databases as u64)),
+                    ("sessions", JsonValue::UInt(a.sessions as u64)),
+                    (
+                        "sessions_per_db_day",
+                        JsonValue::Float(a.sessions_per_db_day),
+                    ),
+                    ("active_fraction", JsonValue::Float(a.active_fraction)),
+                ]),
+            )
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("databases", JsonValue::UInt(summary.databases as u64)),
+        (
+            "logins_per_db_day",
+            JsonValue::Float(summary.logins_per_db_day),
+        ),
+        (
+            "short_idle_fraction",
+            JsonValue::Float(summary.short_idle_fraction),
+        ),
+        (
+            "short_idle_duration_share",
+            JsonValue::Float(summary.short_idle_duration_share),
+        ),
+        ("archetypes", JsonValue::Object(archetypes)),
+    ])
+}
+
 fn main() {
     let scale = ExperimentScale::from_env();
+    let json_path = json_path_from_args();
     let span = Seconds::days(scale.days);
     println!(
         "Synthetic fleet composition ({} databases per region, {} days, seed {})",
         scale.fleet, scale.days, scale.seed
     );
+    let mut regions: Vec<(String, JsonValue)> = Vec::new();
     for region in RegionName::all() {
         let traces = scale.fleet_for(region);
         let summary = FleetSummary::from_traces(&traces, span);
         println!();
         println!("═══ {region} ═══");
         print!("{summary}");
+        regions.push((region.to_string(), region_json(&summary)));
+    }
+    if let Some(path) = json_path {
+        let doc = JsonValue::object(vec![
+            ("fleet", JsonValue::UInt(scale.fleet as u64)),
+            ("days", JsonValue::Int(scale.days)),
+            ("seed", JsonValue::UInt(scale.seed)),
+            ("regions", JsonValue::Object(regions)),
+        ]);
+        write_json(&path, &doc);
     }
 }

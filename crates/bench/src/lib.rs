@@ -9,6 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
+pub use json::{json_path_from_args, write_json, JsonValue};
+
 use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation};
 use prorp_types::{PolicyConfig, Seconds, Timestamp};
 use prorp_workload::{RegionName, RegionProfile, Trace};

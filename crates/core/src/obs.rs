@@ -1,0 +1,199 @@
+//! Typed metric-handle bundles registered by the core components.
+//!
+//! Each control-plane component registers its own named handles against
+//! the shard-local `MetricsRegistry` and exposes a small typed bundle, so
+//! instrumentation sites update fields instead of string-looking-up
+//! metrics on the hot path.  Every name here carries the `prorp_` prefix:
+//! all of these metrics are pure functions of the simulated event stream
+//! and therefore bit-identical at any shard count.  (The volatile
+//! `sim_self_*` self-observations are registered by the shard runner, not
+//! here.)
+//!
+//! The engine bundle is fed by *counter deltas*: [`EngineCounters`] is
+//! `Copy`, so the shard runner captures it before and after each engine
+//! event and calls [`EngineMetrics::observe_delta`] — no instrumentation
+//! inside the engines themselves, which keeps the disabled-observability
+//! fast path free of even a branch.
+
+use crate::engine::EngineCounters;
+use prorp_obs::{Counter, MetricsRegistry};
+
+/// Handles for the per-database engine counters (all policy kinds).
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    logins_available: Counter,
+    logins_unavailable: Counter,
+    logical_pauses: Counter,
+    physical_pauses: Counter,
+    proactive_resumes: Counter,
+    predictions: Counter,
+    forecast_failures: Counter,
+}
+
+impl EngineMetrics {
+    /// Register the engine counter metrics.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            logins_available: reg.counter("prorp_logins_available_total"),
+            logins_unavailable: reg.counter("prorp_logins_unavailable_total"),
+            logical_pauses: reg.counter("prorp_logical_pauses_total"),
+            physical_pauses: reg.counter("prorp_physical_pauses_total"),
+            proactive_resumes: reg.counter("prorp_proactive_resumes_total"),
+            predictions: reg.counter("prorp_predictions_total"),
+            forecast_failures: reg.counter("prorp_forecast_failures_total"),
+        }
+    }
+
+    /// Fold the difference between two counter readings (taken around one
+    /// engine event) into the metrics.  Wall-clock fields
+    /// (`prediction_ns_*`) are deliberately not exported here — they feed
+    /// the volatile `sim_self_*` family instead.
+    pub fn observe_delta(&self, before: &EngineCounters, after: &EngineCounters) {
+        self.logins_available
+            .add(after.logins_available - before.logins_available);
+        self.logins_unavailable
+            .add(after.logins_unavailable - before.logins_unavailable);
+        self.logical_pauses
+            .add(after.logical_pauses - before.logical_pauses);
+        self.physical_pauses
+            .add(after.physical_pauses - before.physical_pauses);
+        self.proactive_resumes
+            .add(after.proactive_resumes - before.proactive_resumes);
+        self.predictions.add(after.predictions - before.predictions);
+        self.forecast_failures
+            .add(after.forecast_failures - before.forecast_failures);
+    }
+}
+
+/// Handles for the predictor circuit breaker, registered through
+/// [`CircuitBreaker::register_metrics`](crate::CircuitBreaker::register_metrics).
+#[derive(Clone, Debug)]
+pub struct BreakerMetrics {
+    opens: Counter,
+    closes: Counter,
+    fallbacks: Counter,
+}
+
+impl BreakerMetrics {
+    pub(crate) fn register(reg: &MetricsRegistry) -> Self {
+        BreakerMetrics {
+            opens: reg.counter("prorp_breaker_opens_total"),
+            closes: reg.counter("prorp_breaker_closes_total"),
+            fallbacks: reg.counter("prorp_breaker_fallbacks_total"),
+        }
+    }
+
+    /// A breaker tripped open (first open or failed half-open re-probe).
+    pub fn opened(&self) {
+        self.opens.inc();
+    }
+
+    /// A breaker closed after a successful half-open re-probe.
+    pub fn closed(&self) {
+        self.closes.inc();
+    }
+
+    /// A re-prediction was short-circuited to the reactive fallback.
+    pub fn fallback(&self) {
+        self.fallbacks.inc();
+    }
+}
+
+/// Handles for the Algorithm 5 proactive resume scan, registered through
+/// [`ProactiveResumeOp::register_metrics`](crate::ProactiveResumeOp::register_metrics).
+#[derive(Clone, Debug)]
+pub struct ResumeOpMetrics {
+    selected: Counter,
+    scans: Counter,
+}
+
+impl ResumeOpMetrics {
+    pub(crate) fn register(reg: &MetricsRegistry) -> Self {
+        ResumeOpMetrics {
+            selected: reg.counter("prorp_resume_op_selected_total"),
+            // Scan ticks fire once per shard per period, so the fleet
+            // total varies with the shard count: volatile by definition.
+            scans: reg.counter("sim_self_resume_op_scans_total"),
+        }
+    }
+
+    /// One scan completed, selecting `batch` databases for pre-warm.
+    pub fn observe_scan(&self, batch: usize) {
+        self.scans.inc();
+        self.selected.add(batch as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prorp_types::Timestamp;
+
+    #[test]
+    fn engine_metrics_accumulate_deltas() {
+        let reg = MetricsRegistry::new();
+        let m = EngineMetrics::register(&reg);
+        let before = EngineCounters::default();
+        let mut after = before;
+        after.logins_available = 2;
+        after.predictions = 1;
+        after.prediction_ns_sum = 12_345; // wall clock: must not surface
+        m.observe_delta(&before, &after);
+        m.observe_delta(&after, &after); // zero delta is a no-op
+        let snap = reg.snapshot(Timestamp(0));
+        assert_eq!(
+            snap.get("prorp_logins_available_total")
+                .unwrap()
+                .as_counter(),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("prorp_predictions_total").unwrap().as_counter(),
+            Some(1)
+        );
+        assert!(snap
+            .entries
+            .iter()
+            .all(|e| !e.name.contains("prediction_ns")));
+    }
+
+    #[test]
+    fn breaker_and_resume_op_bundles_register_expected_names() {
+        let reg = MetricsRegistry::new();
+        let b = BreakerMetrics::register(&reg);
+        b.opened();
+        b.fallback();
+        b.fallback();
+        b.closed();
+        let r = ResumeOpMetrics::register(&reg);
+        r.observe_scan(3);
+        r.observe_scan(0);
+        let snap = reg.snapshot(Timestamp(0));
+        assert_eq!(
+            snap.get("prorp_breaker_opens_total").unwrap().as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("prorp_breaker_fallbacks_total")
+                .unwrap()
+                .as_counter(),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("prorp_breaker_closes_total").unwrap().as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("prorp_resume_op_selected_total")
+                .unwrap()
+                .as_counter(),
+            Some(3)
+        );
+        assert_eq!(
+            snap.get("sim_self_resume_op_scans_total")
+                .unwrap()
+                .as_counter(),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! `prorp-trace` — query a JSONL trace from the command line.
+//!
+//! ```text
+//! prorp-trace <trace.jsonl> summary
+//! prorp-trace <trace.jsonl> timeline <db-id> [limit]
+//! prorp-trace <trace.jsonl> slowest-stages [n]
+//! prorp-trace <trace.jsonl> breaker
+//! prorp-trace <trace.jsonl> qos-misses [limit]
+//! ```
+//!
+//! The input is the stream written by `prorp_obs::trace_jsonl` (the
+//! `ObsReport::trace` of a run).  All output is a deterministic function
+//! of the trace bytes, so CI runs the CLI against a golden trace.
+
+use prorp_obs::query;
+use prorp_obs::span::{SpanKind, TraceRecord};
+use prorp_types::DatabaseId;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: prorp-trace <trace.jsonl> <command> [args]\n\
+commands:\n\
+  summary              record counts by kind and the covered time range\n\
+  timeline <db> [n]    chronological records of one database (default all)\n\
+  slowest-stages [n]   slowest successful workflow stages (default 10)\n\
+  breaker              circuit-breaker open/close episodes\n\
+  qos-misses [n]       unavailable logins with predictor attribution";
+
+fn describe(kind: &SpanKind) -> String {
+    match kind {
+        SpanKind::Lifecycle { from, to } => format!("lifecycle {from} -> {to}"),
+        SpanKind::Login { available: true } => "login served".into(),
+        SpanKind::Login { available: false } => "login UNAVAILABLE".into(),
+        SpanKind::Predict { outcome } => format!("predict {}", outcome.label()),
+        SpanKind::Breaker { transition } => format!("breaker {}", transition.label()),
+        SpanKind::WorkflowStage {
+            stage,
+            attempt,
+            result,
+        } => format!("stage {stage} attempt {attempt} {}", result.label()),
+        SpanKind::Workflow { outcome } => format!("workflow {}", outcome.label()),
+        SpanKind::ProactiveResume => "proactive resume scheduled".into(),
+        SpanKind::Mitigation { escalated: false } => "mitigated stuck workflow".into(),
+        SpanKind::Mitigation { escalated: true } => "mitigated stuck workflow (escalated)".into(),
+        SpanKind::Checkpoint { bytes } => format!("checkpoint {bytes}B"),
+        SpanKind::Recover { bytes } => format!("recover {bytes}B"),
+    }
+}
+
+fn print_summary(records: &[TraceRecord]) {
+    let s = query::summary(records);
+    println!("records:   {}", s.records);
+    println!("databases: {}", s.databases);
+    match (s.start, s.end) {
+        (Some(start), Some(end)) => println!("range:     {start} .. {end}"),
+        _ => println!("range:     (empty trace)"),
+    }
+    for (kind, count) in &s.by_kind {
+        println!("  {kind:<16} {count}");
+    }
+}
+
+fn print_timeline(records: &[TraceRecord], db: DatabaseId, limit: usize) {
+    let timeline = query::timeline(records, db);
+    if timeline.is_empty() {
+        println!("no records for {db}");
+        return;
+    }
+    for r in timeline.iter().take(limit) {
+        if r.start == r.end {
+            println!("{}  {}", r.start, describe(&r.kind));
+        } else {
+            println!(
+                "{}  {} ({}s)",
+                r.start,
+                describe(&r.kind),
+                r.duration().as_secs()
+            );
+        }
+    }
+    if timeline.len() > limit {
+        println!("... {} more records", timeline.len() - limit);
+    }
+}
+
+fn print_slowest(records: &[TraceRecord], n: usize) {
+    let stages = query::slowest_stages(records, n);
+    if stages.is_empty() {
+        println!("no completed workflow stages in trace");
+        return;
+    }
+    for s in stages {
+        println!(
+            "{:>6}s  {:<14} {}  at {}",
+            s.duration.as_secs(),
+            s.stage.label(),
+            s.db,
+            s.start
+        );
+    }
+}
+
+fn print_breaker(records: &[TraceRecord]) {
+    let episodes = query::breaker_episodes(records);
+    if episodes.is_empty() {
+        println!("no breaker episodes in trace");
+        return;
+    }
+    for e in episodes {
+        match e.closed {
+            Some(closed) => println!(
+                "{}  opened {} closed {} ({} fallbacks)",
+                e.db, e.opened, closed, e.fallbacks
+            ),
+            None => println!(
+                "{}  opened {} STILL OPEN ({} fallbacks)",
+                e.db, e.opened, e.fallbacks
+            ),
+        }
+    }
+}
+
+fn print_qos_misses(records: &[TraceRecord], limit: usize) {
+    let misses = query::qos_misses(records);
+    if misses.is_empty() {
+        println!("no QoS misses in trace");
+        return;
+    }
+    for m in misses.iter().take(limit) {
+        match m.last_predict {
+            Some(at) => println!(
+                "{}  {} cause={} (last predict {})",
+                m.at,
+                m.db,
+                m.cause.label(),
+                at
+            ),
+            None => println!("{}  {} cause={}", m.at, m.db, m.cause.label()),
+        }
+    }
+    if misses.len() > limit {
+        println!("... {} more misses", misses.len() - limit);
+    }
+}
+
+fn parse_count(arg: Option<&String>, default: usize) -> Result<usize, String> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad count {s:?}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let [path, command, rest @ ..] = args else {
+        return Err(USAGE.into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let records = prorp_obs::parse_trace_jsonl(&text).map_err(|e| e.to_string())?;
+    match command.as_str() {
+        "summary" => print_summary(&records),
+        "timeline" => {
+            let Some(db) = rest.first() else {
+                return Err("timeline needs a numeric database id".into());
+            };
+            let db: u64 = db
+                .trim_start_matches("db-")
+                .parse()
+                .map_err(|_| format!("bad database id {db:?}"))?;
+            let limit = parse_count(rest.get(1), usize::MAX)?;
+            print_timeline(&records, DatabaseId(db), limit);
+        }
+        "slowest-stages" => print_slowest(&records, parse_count(rest.first(), 10)?),
+        "breaker" => print_breaker(&records),
+        "qos-misses" => print_qos_misses(&records, parse_count(rest.first(), usize::MAX)?),
+        other => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Observability configuration carried by the simulator config.
+
+use prorp_types::{ProrpError, Result, Seconds};
+
+/// Observability knobs, set through `SimConfig::builder().observe(..)`.
+///
+/// The default is **off**: no sinks are built, no handles registered, and
+/// the instrumentation sites in the shard runner reduce to one branch on
+/// an `Option` — the zero-overhead-when-disabled fast path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ObsConfig {
+    /// Master switch: when `false` the simulator allocates no
+    /// observability state at all.
+    pub enabled: bool,
+    /// Take a metrics snapshot every this much simulated time (`None` =
+    /// only the final end-of-run snapshot).  Snapshots land *before* any
+    /// simulation event at the same instant, so a snapshot at `T` covers
+    /// exactly the events strictly before `T` on every shard.
+    pub snapshot_every: Option<Seconds>,
+}
+
+impl ObsConfig {
+    /// Observability disabled (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Tracing and metrics enabled, with only the end-of-run snapshot.
+    pub fn on() -> Self {
+        ObsConfig {
+            enabled: true,
+            snapshot_every: None,
+        }
+    }
+
+    /// Tracing and metrics enabled with periodic mid-run snapshots.
+    pub fn with_snapshots(every: Seconds) -> Self {
+        ObsConfig {
+            enabled: true,
+            snapshot_every: Some(every),
+        }
+    }
+
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive snapshot period and snapshots requested
+    /// while observability is disabled.
+    pub fn check(&self) -> Result<()> {
+        if let Some(every) = self.snapshot_every {
+            if every <= Seconds::ZERO {
+                return Err(ProrpError::InvalidConfig(format!(
+                    "obs snapshot period must be positive, got {}s",
+                    every.as_secs()
+                )));
+            }
+            if !self.enabled {
+                return Err(ProrpError::InvalidConfig(
+                    "obs snapshots require observability to be enabled".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_and_valid() {
+        let cfg = ObsConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.check().is_ok());
+        assert_eq!(cfg, ObsConfig::off());
+    }
+
+    #[test]
+    fn constructors_enable_the_right_knobs() {
+        assert!(ObsConfig::on().enabled);
+        assert_eq!(ObsConfig::on().snapshot_every, None);
+        let periodic = ObsConfig::with_snapshots(Seconds::hours(6));
+        assert!(periodic.enabled);
+        assert_eq!(periodic.snapshot_every, Some(Seconds::hours(6)));
+        assert!(periodic.check().is_ok());
+    }
+
+    #[test]
+    fn check_rejects_bad_knobs() {
+        let zero = ObsConfig::with_snapshots(Seconds::ZERO);
+        assert_eq!(zero.check().unwrap_err().category(), "invalid_config");
+        let disabled_with_period = ObsConfig {
+            enabled: false,
+            snapshot_every: Some(Seconds::hours(1)),
+        };
+        assert!(disabled_with_period.check().is_err());
+    }
+}

@@ -1,0 +1,598 @@
+//! Exporters: JSONL trace streams and Prometheus text format.
+//!
+//! Everything here is hand-rolled canonical JSON in the style of the
+//! testkit goldens — fixed key order, no whitespace, one record per line —
+//! so exports are byte-comparable without a JSON library, and the
+//! determinism promise ("identical bytes for identical `(seed, config)`")
+//! can be asserted with `assert_eq!` on strings.
+//!
+//! * [`trace_jsonl`] / [`parse_trace_jsonl`] — the trace stream, one span
+//!   per line, losslessly round-trippable (the `prorp-trace` CLI reads
+//!   this format);
+//! * [`snapshots_jsonl`] — the metrics-snapshot series, **deterministic
+//!   metrics only** (volatile `sim_self_*` readings are dropped so the
+//!   stream is shard-layout invariant);
+//! * [`prometheus_text`] — one snapshot in Prometheus exposition format,
+//!   **including** the volatile `sim_self_*` self-observations, which is
+//!   what an operator scraping a live fleet wants to see.
+
+use crate::metrics::{is_volatile, MetricValue, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use crate::span::{
+    BreakerTransition, PredictOutcome, SpanKind, StageResult, TraceRecord, WorkflowOutcome,
+};
+use prorp_types::{DatabaseId, DbState, ProrpError, Result, Timestamp, WorkflowStage};
+use std::fmt::Write as _;
+
+/// Render one trace record as a single JSON line (no trailing newline).
+///
+/// Key order is fixed: `start`, `end`, `db`, `seq`, `kind`, then the
+/// kind-specific fields in declaration order.
+pub fn record_json(r: &TraceRecord) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"start\":{},\"end\":{},\"db\":{},\"seq\":{},\"kind\":\"{}\"",
+        r.start.as_secs(),
+        r.end.as_secs(),
+        r.db.raw(),
+        r.seq,
+        r.kind.label()
+    );
+    match r.kind {
+        SpanKind::Lifecycle { from, to } => {
+            let _ = write!(out, ",\"from\":\"{from}\",\"to\":\"{to}\"");
+        }
+        SpanKind::Login { available } => {
+            let _ = write!(out, ",\"available\":{available}");
+        }
+        SpanKind::Predict { outcome } => {
+            let _ = write!(out, ",\"outcome\":\"{}\"", outcome.label());
+        }
+        SpanKind::Breaker { transition } => {
+            let _ = write!(out, ",\"transition\":\"{}\"", transition.label());
+        }
+        SpanKind::WorkflowStage {
+            stage,
+            attempt,
+            result,
+        } => {
+            let _ = write!(
+                out,
+                ",\"stage\":\"{}\",\"attempt\":{attempt},\"result\":\"{}\"",
+                stage.label(),
+                result.label()
+            );
+        }
+        SpanKind::Workflow { outcome } => {
+            let _ = write!(out, ",\"outcome\":\"{}\"", outcome.label());
+        }
+        SpanKind::ProactiveResume => {}
+        SpanKind::Mitigation { escalated } => {
+            let _ = write!(out, ",\"escalated\":{escalated}");
+        }
+        SpanKind::Checkpoint { bytes } => {
+            let _ = write!(out, ",\"bytes\":{bytes}");
+        }
+        SpanKind::Recover { bytes } => {
+            let _ = write!(out, ",\"bytes\":{bytes}");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render a whole trace as JSONL (one record per line, trailing newline
+/// after every line).
+pub fn trace_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96);
+    for r in records {
+        out.push_str(&record_json(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a metrics-snapshot series as JSONL, deterministic metrics only.
+///
+/// Each line is `{"at":T,"metrics":{...}}` with metric names in sorted
+/// order; counters and gauges render as bare integers, histograms as
+/// `{"count":..,"sum":..,"buckets":[..]}`.
+pub fn snapshots_jsonl(snaps: &[MetricsSnapshot]) -> String {
+    let mut out = String::new();
+    for snap in snaps {
+        let _ = write!(out, "{{\"at\":{},\"metrics\":{{", snap.at.as_secs());
+        let mut first = true;
+        for entry in snap.entries.iter().filter(|e| !is_volatile(e.name)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":", entry.name);
+            match entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    let _ = write!(out, "{{\"count\":{count},\"sum\":{sum},\"buckets\":[");
+                    for (i, b) in buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Render one snapshot in Prometheus text exposition format.
+///
+/// Volatile `sim_self_*` metrics are included — this is the operator-facing
+/// export.  Histograms emit cumulative `_bucket{le="..."}` series with
+/// upper bounds `2^i - 1` (observations are whole seconds, so bucket `i`'s
+/// half-open `[2^(i-1), 2^i)` range is exactly "≤ 2^i − 1"), plus `_sum`
+/// and `_count`.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for entry in &snap.entries {
+        let name = entry.name;
+        let _ = writeln!(out, "# TYPE {name} {}", entry.value.kind());
+        match entry.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+            } => {
+                let mut cumulative = 0u64;
+                for (i, b) in buckets.iter().enumerate() {
+                    cumulative += b;
+                    if i + 1 == HISTOGRAM_BUCKETS {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    } else {
+                        let le = (1u64 << i) - 1;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                }
+                let _ = writeln!(out, "{name}_sum {sum}");
+                let _ = writeln!(out, "{name}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+/// One scalar value inside a flat JSON object.
+#[derive(Clone, PartialEq, Debug)]
+enum Scalar {
+    Int(i64),
+    Bool(bool),
+    Str(String),
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(line: &'a str) -> Self {
+        Scanner {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> ProrpError {
+        ProrpError::Observability(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(self.err("escape sequences are not used by this format"));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn scalar(&mut self) -> Result<Scalar> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b't') | Some(b'f') => {
+                let rest = &self.bytes[self.pos..];
+                if rest.starts_with(b"true") {
+                    self.pos += 4;
+                    Ok(Scalar::Bool(true))
+                } else if rest.starts_with(b"false") {
+                    self.pos += 5;
+                    Ok(Scalar::Bool(false))
+                } else {
+                    Err(self.err("expected true/false"))
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => {
+                let start = self.pos;
+                if self.bytes[self.pos] == b'-' {
+                    self.pos += 1;
+                }
+                while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                text.parse::<i64>()
+                    .map(Scalar::Int)
+                    .map_err(|_| self.err("integer out of range"))
+            }
+            _ => Err(self.err("expected a scalar value")),
+        }
+    }
+
+    /// Parse one flat `{"key":scalar,...}` object, rejecting trailing
+    /// garbage.
+    fn flat_object(&mut self) -> Result<Vec<(String, Scalar)>> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                let key = self.string()?;
+                self.eat(b':')?;
+                let value = self.scalar()?;
+                fields.push((key, value));
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after object"));
+        }
+        Ok(fields)
+    }
+}
+
+struct Fields {
+    fields: Vec<(String, Scalar)>,
+    line: usize,
+}
+
+impl Fields {
+    fn err(&self, what: &str) -> ProrpError {
+        ProrpError::Observability(format!("trace line {}: {what}", self.line))
+    }
+
+    fn get(&self, key: &str) -> Result<&Scalar> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| self.err(&format!("missing field {key:?}")))
+    }
+
+    fn int(&self, key: &str) -> Result<i64> {
+        match self.get(key)? {
+            Scalar::Int(v) => Ok(*v),
+            _ => Err(self.err(&format!("field {key:?} is not an integer"))),
+        }
+    }
+
+    fn uint(&self, key: &str) -> Result<u64> {
+        u64::try_from(self.int(key)?).map_err(|_| self.err(&format!("field {key:?} is negative")))
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool> {
+        match self.get(key)? {
+            Scalar::Bool(v) => Ok(*v),
+            _ => Err(self.err(&format!("field {key:?} is not a boolean"))),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str> {
+        match self.get(key)? {
+            Scalar::Str(v) => Ok(v),
+            _ => Err(self.err(&format!("field {key:?} is not a string"))),
+        }
+    }
+}
+
+fn db_state(fields: &Fields, key: &str) -> Result<DbState> {
+    match fields.str(key)? {
+        "resumed" => Ok(DbState::Resumed),
+        "logically-paused" => Ok(DbState::LogicallyPaused),
+        "physically-paused" => Ok(DbState::PhysicallyPaused),
+        other => Err(fields.err(&format!("unknown lifecycle state {other:?}"))),
+    }
+}
+
+fn stage(fields: &Fields) -> Result<WorkflowStage> {
+    let label = fields.str("stage")?;
+    WorkflowStage::ALL
+        .into_iter()
+        .find(|s| s.label() == label)
+        .ok_or_else(|| fields.err(&format!("unknown workflow stage {label:?}")))
+}
+
+fn span_kind(fields: &Fields) -> Result<SpanKind> {
+    Ok(match fields.str("kind")? {
+        "lifecycle" => SpanKind::Lifecycle {
+            from: db_state(fields, "from")?,
+            to: db_state(fields, "to")?,
+        },
+        "login" => SpanKind::Login {
+            available: fields.boolean("available")?,
+        },
+        "predict" => SpanKind::Predict {
+            outcome: match fields.str("outcome")? {
+                "predicted" => PredictOutcome::Predicted,
+                "failed" => PredictOutcome::Failed,
+                "breaker-fallback" => PredictOutcome::BreakerFallback,
+                other => return Err(fields.err(&format!("unknown predict outcome {other:?}"))),
+            },
+        },
+        "breaker" => SpanKind::Breaker {
+            transition: match fields.str("transition")? {
+                "opened" => BreakerTransition::Opened,
+                "closed" => BreakerTransition::Closed,
+                other => return Err(fields.err(&format!("unknown breaker transition {other:?}"))),
+            },
+        },
+        "workflow-stage" => SpanKind::WorkflowStage {
+            stage: stage(fields)?,
+            attempt: u32::try_from(fields.uint("attempt")?)
+                .map_err(|_| fields.err("attempt out of range"))?,
+            result: match fields.str("result")? {
+                "ok" => StageResult::Ok,
+                "retry" => StageResult::Retry,
+                "exhausted" => StageResult::Exhausted,
+                other => return Err(fields.err(&format!("unknown stage result {other:?}"))),
+            },
+        },
+        "workflow" => SpanKind::Workflow {
+            outcome: match fields.str("outcome")? {
+                "completed" => WorkflowOutcome::Completed,
+                "gave-up" => WorkflowOutcome::GaveUp,
+                other => return Err(fields.err(&format!("unknown workflow outcome {other:?}"))),
+            },
+        },
+        "proactive-resume" => SpanKind::ProactiveResume,
+        "mitigation" => SpanKind::Mitigation {
+            escalated: fields.boolean("escalated")?,
+        },
+        "checkpoint" => SpanKind::Checkpoint {
+            bytes: fields.uint("bytes")?,
+        },
+        "recover" => SpanKind::Recover {
+            bytes: fields.uint("bytes")?,
+        },
+        other => return Err(fields.err(&format!("unknown span kind {other:?}"))),
+    })
+}
+
+/// Parse a JSONL trace produced by [`trace_jsonl`] (blank lines are
+/// skipped, so concatenated or hand-edited streams still load).
+///
+/// # Errors
+///
+/// Returns [`ProrpError::Observability`] naming the offending line for any
+/// malformed record.
+pub fn parse_trace_jsonl(input: &str) -> Result<Vec<TraceRecord>> {
+    let mut records = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = Fields {
+            fields: Scanner::new(line)
+                .flat_object()
+                .map_err(|e| ProrpError::Observability(format!("trace line {}: {e}", idx + 1)))?,
+            line: idx + 1,
+        };
+        records.push(TraceRecord {
+            start: Timestamp(fields.int("start")?),
+            end: Timestamp(fields.int("end")?),
+            db: DatabaseId(fields.uint("db")?),
+            seq: fields.uint("seq")?,
+            kind: span_kind(&fields)?,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let mut seq = 0..;
+        let mut mk = |start: i64, end: i64, kind: SpanKind| TraceRecord {
+            start: Timestamp(start),
+            end: Timestamp(end),
+            db: DatabaseId(7),
+            seq: seq.next().unwrap(),
+            kind,
+        };
+        vec![
+            mk(
+                0,
+                0,
+                SpanKind::Lifecycle {
+                    from: DbState::Resumed,
+                    to: DbState::LogicallyPaused,
+                },
+            ),
+            mk(5, 5, SpanKind::Login { available: false }),
+            mk(
+                6,
+                6,
+                SpanKind::Predict {
+                    outcome: PredictOutcome::Failed,
+                },
+            ),
+            mk(
+                7,
+                7,
+                SpanKind::Breaker {
+                    transition: BreakerTransition::Opened,
+                },
+            ),
+            mk(
+                10,
+                40,
+                SpanKind::WorkflowStage {
+                    stage: WorkflowStage::AttachStorage,
+                    attempt: 2,
+                    result: StageResult::Retry,
+                },
+            ),
+            mk(
+                10,
+                90,
+                SpanKind::Workflow {
+                    outcome: WorkflowOutcome::Completed,
+                },
+            ),
+            mk(95, 95, SpanKind::ProactiveResume),
+            mk(99, 99, SpanKind::Mitigation { escalated: true }),
+            mk(100, 103, SpanKind::Checkpoint { bytes: 4096 }),
+            mk(104, 106, SpanKind::Recover { bytes: 4096 }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_kind() {
+        let records = sample_records();
+        let text = trace_jsonl(&records);
+        assert_eq!(text.lines().count(), records.len());
+        let parsed = parse_trace_jsonl(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn record_json_has_fixed_key_order() {
+        let r = sample_records().remove(4);
+        assert_eq!(
+            record_json(&r),
+            "{\"start\":10,\"end\":40,\"db\":7,\"seq\":4,\"kind\":\"workflow-stage\",\
+             \"stage\":\"attach-storage\",\"attempt\":2,\"result\":\"retry\"}"
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "{\"start\":1}",
+            "{\"start\":1,\"end\":1,\"db\":1,\"seq\":0,\"kind\":\"nope\"}",
+            "{\"start\":1,\"end\":1,\"db\":-1,\"seq\":0,\"kind\":\"proactive-resume\"}",
+            "{\"start\":1,\"end\":1,\"db\":1,\"seq\":0,\"kind\":\"login\",\"available\":7}",
+            "{\"start\":1,\"end\":1,\"db\":1,\"seq\":0,\"kind\":\"proactive-resume\"} extra",
+        ] {
+            let err = parse_trace_jsonl(bad).unwrap_err();
+            assert_eq!(err.category(), "observability", "input: {bad}");
+            assert!(err.to_string().contains("line 1"), "input: {bad}");
+        }
+    }
+
+    #[test]
+    fn parser_skips_blank_lines() {
+        let text = format!("\n{}\n\n", record_json(&sample_records()[6]));
+        assert_eq!(parse_trace_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn snapshots_jsonl_drops_volatile_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("prorp_c").add(3);
+        reg.gauge("prorp_g").set(-2);
+        reg.counter("sim_self_events_processed_total").add(99);
+        let h = reg.histogram("prorp_h_seconds");
+        h.observe(1);
+        let text = snapshots_jsonl(&[reg.snapshot(Timestamp(3600))]);
+        assert!(text.starts_with("{\"at\":3600,\"metrics\":{"));
+        assert!(text.contains("\"prorp_c\":3"));
+        assert!(text.contains("\"prorp_g\":-2"));
+        assert!(text.contains("\"prorp_h_seconds\":{\"count\":1,\"sum\":1,\"buckets\":[0,1,0"));
+        assert!(!text.contains("sim_self"), "volatile metrics excluded");
+    }
+
+    #[test]
+    fn prometheus_text_includes_volatile_and_histogram_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("prorp_logins_available_total").add(5);
+        reg.gauge("sim_self_databases").set(64);
+        let h = reg.histogram("prorp_workflow_seconds");
+        h.observe(0);
+        h.observe(3);
+        h.observe(1 << 30);
+        let text = prometheus_text(&reg.snapshot(Timestamp(0)));
+        assert!(text.contains("# TYPE prorp_logins_available_total counter"));
+        assert!(text.contains("prorp_logins_available_total 5"));
+        assert!(text.contains("# TYPE sim_self_databases gauge"));
+        assert!(text.contains("sim_self_databases 64"));
+        assert!(text.contains("prorp_workflow_seconds_bucket{le=\"0\"} 1"));
+        assert!(text.contains("prorp_workflow_seconds_bucket{le=\"3\"} 2"));
+        assert!(text.contains("prorp_workflow_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains(&format!("prorp_workflow_seconds_sum {}", 3 + (1 << 30))));
+        assert!(text.contains("prorp_workflow_seconds_count 3"));
+    }
+}

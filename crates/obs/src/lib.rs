@@ -1,0 +1,64 @@
+//! Deterministic runtime observability for the ProRP reproduction.
+//!
+//! The simulator's original instrumentation was purely *offline*: KPIs
+//! aggregated into a `SimReport` after the run.  This crate adds the
+//! *online* substrate a production control plane needs — per-database
+//! span traces and a live metrics registry — while keeping the
+//! reproduction's core promise: **bit-identical output for identical
+//! `(seed, config)` at any shard count**.
+//!
+//! Three rules make that work:
+//!
+//! 1. **Simulated clocks only.**  Spans and snapshots are stamped with
+//!    simulated timestamps; wall-clock readings are allowed only in
+//!    metrics prefixed `sim_self_*`, which every determinism surface
+//!    filters out (see [`is_volatile`]).
+//! 2. **Canonical merge order.**  Trace records carry a per-database
+//!    sequence number; the merged trace is sorted by
+//!    `(start, database, seq)`.  Each database lives on exactly one
+//!    shard, so the result is independent of the shard layout — the same
+//!    discipline `TelemetryLog::merge` uses for telemetry.
+//! 3. **Snapshots before events.**  Mid-run metrics snapshots are taken
+//!    *before* any simulation event at the same instant, so a snapshot at
+//!    `T` covers exactly the events strictly before `T` on every shard.
+//!
+//! The pieces:
+//!
+//! * [`span`] — the [`TraceSink`] trait, the [`SpanKind`] taxonomy
+//!   (lifecycle transitions per Algorithm 1, staged resume workflows per
+//!   Algorithm 5, predictor invocations per Algorithm 4, B-tree
+//!   checkpoint/recover), and the deterministic [`TraceBuffer`];
+//! * [`metrics`] — [`Counter`]/[`Gauge`]/[`Histogram`] handles, the
+//!   [`MetricsRegistry`], and mergeable [`MetricsSnapshot`]s;
+//! * [`config`] — the [`ObsConfig`] knob carried by `SimConfig`;
+//! * [`report`] — the merged [`ObsReport`] attached to a `SimReport`;
+//! * [`export`] — JSONL and Prometheus text exporters plus the JSONL
+//!   parser the CLI uses;
+//! * [`query`] — operator queries (timelines, slowest stages, breaker
+//!   episodes, QoS-miss attribution) backing the `prorp-trace` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod export;
+pub mod metrics;
+pub mod query;
+pub mod report;
+pub mod span;
+
+pub use config::ObsConfig;
+pub use export::{parse_trace_jsonl, prometheus_text, record_json, snapshots_jsonl, trace_jsonl};
+pub use metrics::{
+    is_volatile, Counter, Gauge, Histogram, MetricEntry, MetricValue, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use query::{
+    breaker_episodes, qos_misses, slowest_stages, summary, timeline, BreakerEpisode, QosMiss,
+    QosMissCause, StageLatency, TraceSummary,
+};
+pub use report::ObsReport;
+pub use span::{
+    BreakerTransition, NullSink, PredictOutcome, SpanKind, StageResult, TraceBuffer, TraceRecord,
+    TraceSink, WorkflowOutcome,
+};

@@ -1,0 +1,524 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles are cheap `Rc` clones over shard-local cells — each simulation
+//! shard owns one [`MetricsRegistry`] and runs single-threaded, so no
+//! atomics are needed and registration/update cost is a pointer chase.
+//! Snapshots taken at the same *simulated* instant on every shard merge
+//! into one fleet-wide snapshot by elementwise integer sums, the same
+//! discipline `TelemetryLog::merge` uses.
+//!
+//! Two metric families exist, distinguished by name prefix:
+//!
+//! * `prorp_*` — **deterministic**: pure functions of the simulated event
+//!   stream, bit-identical at any shard count;
+//! * `sim_self_*` — **volatile**: self-observations of the simulator
+//!   process (wall-clock micros, per-shard scan counts).  Included in the
+//!   Prometheus export for operators but excluded from the JSONL export
+//!   and from every determinism assertion — see [`is_volatile`].
+
+use prorp_types::{ProrpError, Timestamp};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Number of histogram buckets; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`, bucket 0 holds zero (and negative) values, and the
+/// last bucket absorbs everything above — the same layout as the
+/// telemetry crate's `LatencyHistogram`.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A monotonically-increasing counter handle.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct HistogramData {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: i64,
+}
+
+/// A fixed-bucket power-of-two histogram handle (integer observations,
+/// typically seconds of simulated time).
+#[derive(Clone, Default, Debug)]
+pub struct Histogram(Rc<RefCell<HistogramData>>);
+
+impl Histogram {
+    fn bucket_of(value: i64) -> usize {
+        let v = value.max(0) as u64;
+        if v == 0 {
+            return 0;
+        }
+        let idx = 64 - v.leading_zeros() as usize; // floor(log2) + 1
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Record one observation (negative values clamp to zero).
+    #[inline]
+    pub fn observe(&self, value: i64) {
+        let clamped = value.max(0);
+        let mut data = self.0.borrow_mut();
+        data.buckets[Self::bucket_of(clamped)] += 1;
+        data.count += 1;
+        data.sum += clamped;
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram reading.
+    Histogram {
+        /// Per-bucket counts (see [`HISTOGRAM_BUCKETS`]).
+        buckets: [u64; HISTOGRAM_BUCKETS],
+        /// Total number of observations.
+        count: u64,
+        /// Sum of all observations.
+        sum: i64,
+    },
+}
+
+impl MetricValue {
+    /// The Prometheus type name of this value.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+
+    /// Counter reading, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading, if this is a gauge.
+    pub fn as_gauge(&self) -> Option<i64> {
+        match self {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// `(count, sum)` of a histogram reading, if this is a histogram.
+    pub fn as_histogram(&self) -> Option<(u64, i64)> {
+        match self {
+            MetricValue::Histogram { count, sum, .. } => Some((*count, *sum)),
+            _ => None,
+        }
+    }
+
+    fn merge_from(&mut self, other: &MetricValue, name: &str) -> Result<(), ProrpError> {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                *a += b;
+                Ok(())
+            }
+            // Our gauges are per-shard sub-totals of fleet quantities
+            // (e.g. workflows in flight), so the fleet reading is the sum.
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                *a += b;
+                Ok(())
+            }
+            (
+                MetricValue::Histogram {
+                    buckets: ab,
+                    count: ac,
+                    sum: asum,
+                },
+                MetricValue::Histogram {
+                    buckets: bb,
+                    count: bc,
+                    sum: bsum,
+                },
+            ) => {
+                for (slot, b) in ab.iter_mut().zip(bb) {
+                    *slot += b;
+                }
+                *ac += bc;
+                *asum += bsum;
+                Ok(())
+            }
+            _ => Err(ProrpError::Observability(format!(
+                "metric {name} changed kind between shards"
+            ))),
+        }
+    }
+}
+
+/// One named metric reading inside a snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MetricEntry {
+    /// The metric name (`prorp_*` deterministic, `sim_self_*` volatile).
+    pub name: &'static str,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// `true` for self-observations of the simulator process (`sim_self_*`),
+/// which vary with shard count and wall clocks and are therefore excluded
+/// from determinism assertions and the JSONL export.
+#[inline]
+pub fn is_volatile(name: &str) -> bool {
+    name.starts_with("sim_self_")
+}
+
+/// All metric readings of one registry at one simulated instant,
+/// sorted by metric name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MetricsSnapshot {
+    /// The simulated instant the snapshot was taken.
+    pub at: Timestamp,
+    /// The readings, sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one reading by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|e| e.name.cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].value)
+    }
+
+    /// A copy with the volatile (`sim_self_*`) readings removed — the
+    /// deterministic surface that must be bit-identical across shard
+    /// layouts.
+    pub fn deterministic(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at: self.at,
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| !is_volatile(e.name))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Merge per-shard snapshot *series* into one fleet-wide series.
+    ///
+    /// Every shard snapshots at the same simulated instants (the schedule
+    /// comes from the shared configuration), so the series are zipped
+    /// elementwise and each position merged by integer sums.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the series disagree on length, instants, metric names, or
+    /// metric kinds — any of which means the shards were configured
+    /// inconsistently.
+    pub fn merge(parts: Vec<Vec<MetricsSnapshot>>) -> Result<Vec<MetricsSnapshot>, ProrpError> {
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Ok(Vec::new());
+        };
+        for series in parts {
+            if series.len() != merged.len() {
+                return Err(ProrpError::Observability(format!(
+                    "snapshot series length mismatch across shards: {} vs {}",
+                    merged.len(),
+                    series.len()
+                )));
+            }
+            for (acc, snap) in merged.iter_mut().zip(series) {
+                acc.merge_from(&snap)?;
+            }
+        }
+        Ok(merged)
+    }
+
+    fn merge_from(&mut self, other: &MetricsSnapshot) -> Result<(), ProrpError> {
+        if self.at != other.at {
+            return Err(ProrpError::Observability(format!(
+                "snapshot instants differ across shards: {:?} vs {:?}",
+                self.at, other.at
+            )));
+        }
+        if self.entries.len() != other.entries.len() {
+            return Err(ProrpError::Observability(format!(
+                "snapshot at {:?} has {} metrics on one shard, {} on another",
+                self.at,
+                self.entries.len(),
+                other.entries.len()
+            )));
+        }
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            if a.name != b.name {
+                return Err(ProrpError::Observability(format!(
+                    "snapshot metric name mismatch: {} vs {}",
+                    a.name, b.name
+                )));
+            }
+            a.value.merge_from(&b.value, a.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A shard-local registry of named metrics.
+///
+/// Cloning shares the underlying slots, so components can hold their own
+/// copy and register handles independently; registering the same name
+/// twice with the same kind returns the existing handle (idempotent).
+///
+/// # Panics
+///
+/// Registration panics when a name is re-registered with a different
+/// kind — that is a programming error, not a runtime condition.
+#[derive(Clone, Default, Debug)]
+pub struct MetricsRegistry {
+    slots: Rc<RefCell<Vec<(&'static str, Slot)>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &'static str, make: impl FnOnce() -> Slot) -> Slot {
+        let mut slots = self.slots.borrow_mut();
+        if let Some((_, slot)) = slots.iter().find(|(n, _)| *n == name) {
+            return slot.clone();
+        }
+        let slot = make();
+        slots.push((name, slot.clone()));
+        slot
+    }
+
+    /// Register (or fetch) a counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        match self.register(name, || Slot::Counter(Counter::default())) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        match self.register(name, || Slot::Gauge(Gauge::default())) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) a histogram.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        match self.register(name, || Slot::Histogram(Histogram::default())) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Read every registered metric at simulated instant `at`, sorted by
+    /// name.
+    pub fn snapshot(&self, at: Timestamp) -> MetricsSnapshot {
+        let slots = self.slots.borrow();
+        let mut entries: Vec<MetricEntry> = slots
+            .iter()
+            .map(|(name, slot)| MetricEntry {
+                name,
+                value: match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => {
+                        let data = h.0.borrow();
+                        MetricValue::Histogram {
+                            buckets: data.buckets,
+                            count: data.count,
+                            sum: data.sum,
+                        }
+                    }
+                },
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(b.name));
+        MetricsSnapshot { at, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("prorp_logins_available_total");
+        let b = reg.counter("prorp_logins_available_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit the same cell");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("prorp_thing");
+        let _ = reg.gauge("prorp_thing");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("prorp_z").set(-4);
+        reg.counter("prorp_a").add(7);
+        let h = reg.histogram("prorp_m_seconds");
+        h.observe(3);
+        h.observe(300);
+        let snap = reg.snapshot(Timestamp(60));
+        let names: Vec<_> = snap.entries.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["prorp_a", "prorp_m_seconds", "prorp_z"]);
+        assert_eq!(snap.get("prorp_a"), Some(&MetricValue::Counter(7)));
+        assert_eq!(snap.get("prorp_z").unwrap().as_gauge(), Some(-4));
+        assert_eq!(
+            snap.get("prorp_m_seconds").unwrap().as_histogram(),
+            Some((2, 303))
+        );
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn merge_sums_elementwise() {
+        let mk = |n: u64| {
+            let reg = MetricsRegistry::new();
+            reg.counter("prorp_c").add(n);
+            reg.histogram("prorp_h_seconds").observe(n as i64);
+            reg.gauge("sim_self_databases").set(n as i64);
+            vec![reg.snapshot(Timestamp(10)), reg.snapshot(Timestamp(20))]
+        };
+        let merged = MetricsSnapshot::merge(vec![mk(1), mk(2), mk(4)]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].get("prorp_c").unwrap().as_counter(), Some(7));
+        assert_eq!(
+            merged[0].get("sim_self_databases").unwrap().as_gauge(),
+            Some(7)
+        );
+        assert_eq!(
+            merged[1].get("prorp_h_seconds").unwrap().as_histogram(),
+            Some((3, 7))
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("prorp_c");
+        let one = vec![reg.snapshot(Timestamp(10))];
+        let err = MetricsSnapshot::merge(vec![one.clone(), Vec::new()]).unwrap_err();
+        assert_eq!(err.category(), "observability");
+
+        let other = MetricsRegistry::new();
+        other.counter("prorp_d");
+        let err = MetricsSnapshot::merge(vec![one.clone(), vec![other.snapshot(Timestamp(10))]])
+            .unwrap_err();
+        assert!(err.to_string().contains("name mismatch"));
+
+        let late = MetricsRegistry::new();
+        late.counter("prorp_c");
+        let err =
+            MetricsSnapshot::merge(vec![one, vec![late.snapshot(Timestamp(11))]]).unwrap_err();
+        assert!(err.to_string().contains("instants differ"));
+    }
+
+    #[test]
+    fn deterministic_filter_drops_volatile_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("prorp_c").inc();
+        reg.counter("sim_self_events_processed_total").inc();
+        let snap = reg.snapshot(Timestamp(0));
+        assert_eq!(snap.entries.len(), 2);
+        let det = snap.deterministic();
+        assert_eq!(det.entries.len(), 1);
+        assert_eq!(det.entries[0].name, "prorp_c");
+        assert!(is_volatile("sim_self_wall_clock_micros"));
+        assert!(!is_volatile("prorp_logins_available_total"));
+    }
+
+    #[test]
+    fn histogram_buckets_match_telemetry_layout() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(-5);
+        h.observe(1);
+        h.observe(3);
+        h.observe(1 << 40);
+        let data = h.0.borrow();
+        assert_eq!(data.buckets[0], 2);
+        assert_eq!(data.buckets[1], 1);
+        assert_eq!(data.buckets[2], 1);
+        assert_eq!(data.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(data.count, 5);
+        assert_eq!(data.sum, 4 + (1 << 40));
+    }
+}

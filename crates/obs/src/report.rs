@@ -1,0 +1,82 @@
+//! The merged observability output of one simulation run.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{TraceBuffer, TraceRecord};
+use prorp_types::{ProrpError, Result};
+
+/// Everything the observability layer collected during one run: the
+/// canonical trace and the metrics-snapshot series (periodic snapshots,
+/// if configured, plus the end-of-run snapshot last).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ObsReport {
+    /// The merged trace, in canonical `(start, db, seq)` order.
+    pub trace: Vec<TraceRecord>,
+    /// Fleet-wide metrics snapshots in chronological order; the last one
+    /// is always the end-of-run snapshot.
+    pub snapshots: Vec<MetricsSnapshot>,
+}
+
+impl ObsReport {
+    /// Merge per-shard reports into the fleet-wide report.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the per-shard snapshot series are inconsistent (see
+    /// [`MetricsSnapshot::merge`]).
+    pub fn merge(parts: Vec<ObsReport>) -> Result<ObsReport, ProrpError> {
+        let mut traces = Vec::with_capacity(parts.len());
+        let mut snapshots = Vec::with_capacity(parts.len());
+        for part in parts {
+            traces.push(part.trace);
+            snapshots.push(part.snapshots);
+        }
+        Ok(ObsReport {
+            trace: TraceBuffer::merge(traces),
+            snapshots: MetricsSnapshot::merge(snapshots)?,
+        })
+    }
+
+    /// The end-of-run snapshot, if any snapshot was taken.
+    pub fn final_snapshot(&self) -> Option<&MetricsSnapshot> {
+        self.snapshots.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::{SpanKind, TraceSink};
+    use prorp_types::{DatabaseId, Timestamp};
+
+    fn part(db: u64, count: u64) -> ObsReport {
+        let mut buf = TraceBuffer::new();
+        buf.event(
+            Timestamp(db as i64),
+            DatabaseId(db),
+            SpanKind::ProactiveResume,
+        );
+        let reg = MetricsRegistry::new();
+        reg.counter("prorp_c").add(count);
+        ObsReport {
+            trace: buf.into_records(),
+            snapshots: vec![reg.snapshot(Timestamp(100))],
+        }
+    }
+
+    #[test]
+    fn merge_combines_traces_and_snapshots() {
+        let merged = ObsReport::merge(vec![part(2, 3), part(1, 4)]).unwrap();
+        assert_eq!(merged.trace.len(), 2);
+        assert!(merged.trace[0].db < merged.trace[1].db, "canonical order");
+        let last = merged.final_snapshot().unwrap();
+        assert_eq!(last.get("prorp_c").unwrap().as_counter(), Some(7));
+    }
+
+    #[test]
+    fn empty_merge_is_empty() {
+        let merged = ObsReport::merge(Vec::new()).unwrap();
+        assert!(merged.trace.is_empty());
+        assert!(merged.final_snapshot().is_none());
+    }
+}

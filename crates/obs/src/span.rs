@@ -1,0 +1,367 @@
+//! The span/event model and deterministic trace buffers.
+//!
+//! A *span* is one unit of control-plane work with a start and end in
+//! **simulated** time: a lifecycle transition of the Algorithm 1 FSM, one
+//! stage (or the whole) of an Algorithm 5 staged resume workflow, one
+//! predictor invocation of Algorithm 4, or a B-tree checkpoint/recover
+//! during a rebalance move.  An *event* is a zero-width span
+//! (`start == end`), used for points such as logins or breaker trips.
+//!
+//! Because spans are stamped with simulated timestamps only — never wall
+//! clocks — and ordered by the canonical key
+//! `(start, database id, per-database sequence number)`, a merged trace is
+//! **bit-identical at any shard count**: every database lives on exactly
+//! one shard, so its per-database emission order (the sequence number) is
+//! independent of how databases are partitioned across workers.  This
+//! extends the deterministic-merge discipline of `TelemetryLog::merge` to
+//! trace streams.
+
+use prorp_types::{DatabaseId, DbState, Timestamp, WorkflowStage};
+use std::collections::HashMap;
+
+/// How one predictor invocation (Algorithm 4) ended.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PredictOutcome {
+    /// The forecaster produced a usable next-activity prediction.
+    Predicted,
+    /// The forecaster failed; the engine recorded a forecast failure.
+    Failed,
+    /// The circuit breaker was open, so the engine skipped the forecaster
+    /// and fell back to the reactive policy.
+    BreakerFallback,
+}
+
+impl PredictOutcome {
+    /// Stable lowercase label used by the exporters.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PredictOutcome::Predicted => "predicted",
+            PredictOutcome::Failed => "failed",
+            PredictOutcome::BreakerFallback => "breaker-fallback",
+        }
+    }
+}
+
+/// A circuit-breaker state change observed on one database.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BreakerTransition {
+    /// Repeated forecast failures tripped the breaker open.
+    Opened,
+    /// A successful re-probe closed the breaker again.
+    Closed,
+}
+
+impl BreakerTransition {
+    /// Stable lowercase label used by the exporters.
+    pub const fn label(self) -> &'static str {
+        match self {
+            BreakerTransition::Opened => "opened",
+            BreakerTransition::Closed => "closed",
+        }
+    }
+}
+
+/// How one attempt of a resume-workflow stage ended.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StageResult {
+    /// The attempt completed and the workflow advanced.
+    Ok,
+    /// The attempt failed; a retry is scheduled with backoff.
+    Retry,
+    /// The attempt failed and the retry budget is exhausted; the workflow
+    /// is escalated to the diagnostics runner.
+    Exhausted,
+}
+
+impl StageResult {
+    /// Stable lowercase label used by the exporters.
+    pub const fn label(self) -> &'static str {
+        match self {
+            StageResult::Ok => "ok",
+            StageResult::Retry => "retry",
+            StageResult::Exhausted => "exhausted",
+        }
+    }
+}
+
+/// How a whole staged resume workflow ended.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkflowOutcome {
+    /// All four stages completed and the database reached `Resumed`.
+    Completed,
+    /// A stage exhausted its retries and the workflow gave up.
+    GaveUp,
+}
+
+impl WorkflowOutcome {
+    /// Stable lowercase label used by the exporters.
+    pub const fn label(self) -> &'static str {
+        match self {
+            WorkflowOutcome::Completed => "completed",
+            WorkflowOutcome::GaveUp => "gave-up",
+        }
+    }
+}
+
+/// What a trace span describes.
+///
+/// One variant per observable control-plane action; the taxonomy mirrors
+/// the paper's algorithms so an operator reading a trace can map every
+/// record back to a pseudocode line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// A lifecycle transition of the Algorithm 1 FSM (Figure 4).
+    Lifecycle {
+        /// State before the transition.
+        from: DbState,
+        /// State after the transition.
+        to: DbState,
+    },
+    /// A customer login event; `available` is the QoS outcome.
+    Login {
+        /// Whether the database could serve the login immediately.
+        available: bool,
+    },
+    /// One predictor invocation (Algorithm 4 / `repredict`).
+    Predict {
+        /// How the invocation ended.
+        outcome: PredictOutcome,
+    },
+    /// A circuit-breaker state change.
+    Breaker {
+        /// Which way the breaker moved.
+        transition: BreakerTransition,
+    },
+    /// One attempt of one resume-workflow stage (Algorithm 5 control
+    /// plane).  The span covers the simulated stage latency; retries are
+    /// zero-width events at the failure point.
+    WorkflowStage {
+        /// The stage attempted.
+        stage: WorkflowStage,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// How the attempt ended.
+        result: StageResult,
+    },
+    /// A whole staged resume workflow, from start to completion/give-up.
+    Workflow {
+        /// How the workflow ended.
+        outcome: WorkflowOutcome,
+    },
+    /// A database selected by the proactive resume scan (Algorithm 5).
+    ProactiveResume,
+    /// A diagnostics-runner mitigation of a stuck workflow (§7).
+    Mitigation {
+        /// Whether the mitigation escalated (repeat offender).
+        escalated: bool,
+    },
+    /// A B-tree metadata checkpoint taken during a rebalance move.
+    Checkpoint {
+        /// Size of the checkpoint image in bytes.
+        bytes: u64,
+    },
+    /// A B-tree metadata recovery from a checkpoint image.
+    Recover {
+        /// Size of the recovered image in bytes.
+        bytes: u64,
+    },
+}
+
+impl SpanKind {
+    /// Stable lowercase label naming the variant, used as the `kind` field
+    /// of the JSONL export and by the query layer.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Lifecycle { .. } => "lifecycle",
+            SpanKind::Login { .. } => "login",
+            SpanKind::Predict { .. } => "predict",
+            SpanKind::Breaker { .. } => "breaker",
+            SpanKind::WorkflowStage { .. } => "workflow-stage",
+            SpanKind::Workflow { .. } => "workflow",
+            SpanKind::ProactiveResume => "proactive-resume",
+            SpanKind::Mitigation { .. } => "mitigation",
+            SpanKind::Checkpoint { .. } => "checkpoint",
+            SpanKind::Recover { .. } => "recover",
+        }
+    }
+}
+
+/// One record of a trace: a span plus its canonical-order key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// Simulated start of the span.
+    pub start: Timestamp,
+    /// Simulated end of the span (`== start` for point events).
+    pub end: Timestamp,
+    /// The database the span belongs to.
+    pub db: DatabaseId,
+    /// Per-database emission sequence number (0-based).  Unique within a
+    /// database, so `(start, db, seq)` totally orders any merged trace.
+    pub seq: u64,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+impl TraceRecord {
+    /// The canonical merge-order key.
+    #[inline]
+    pub fn sort_key(&self) -> (i64, u64, u64) {
+        (self.start.as_secs(), self.db.raw(), self.seq)
+    }
+
+    /// Span duration in simulated time (zero for point events).
+    #[inline]
+    pub fn duration(&self) -> prorp_types::Seconds {
+        self.end.since(self.start)
+    }
+}
+
+/// Destination for spans emitted by instrumented components.
+///
+/// Implementations must not look at wall clocks: everything needed to
+/// reproduce a trace bit-for-bit is in the arguments.
+pub trait TraceSink {
+    /// Record a span covering `[start, end]` in simulated time.
+    fn span(&mut self, start: Timestamp, end: Timestamp, db: DatabaseId, kind: SpanKind);
+
+    /// Record a zero-width point event.
+    fn event(&mut self, at: Timestamp, db: DatabaseId, kind: SpanKind) {
+        self.span(at, at, db, kind);
+    }
+}
+
+/// A sink that drops everything — the disabled-observability fast path.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn span(&mut self, _: Timestamp, _: Timestamp, _: DatabaseId, _: SpanKind) {}
+}
+
+/// An in-memory sink that assigns per-database sequence numbers as spans
+/// arrive, preserving each database's emission order across shard merges.
+#[derive(Clone, Default, Debug)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    next_seq: HashMap<DatabaseId, u64>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Consume the buffer, yielding records in emission order.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Merge per-shard record streams into one canonical trace.
+    ///
+    /// Records are sorted by [`TraceRecord::sort_key`].  Each database
+    /// lives on exactly one shard, so its sequence numbers came from a
+    /// single buffer and the result is independent of the shard layout.
+    pub fn merge(parts: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> = parts.into_iter().flatten().collect();
+        all.sort_by_key(TraceRecord::sort_key);
+        all
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn span(&mut self, start: Timestamp, end: Timestamp, db: DatabaseId, kind: SpanKind) {
+        let seq = self.next_seq.entry(db).or_insert(0);
+        self.records.push(TraceRecord {
+            start,
+            end,
+            db,
+            seq: *seq,
+            kind,
+        });
+        *seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(buf: &mut TraceBuffer, start: i64, db: u64) {
+        buf.event(
+            Timestamp(start),
+            DatabaseId(db),
+            SpanKind::Login { available: true },
+        );
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_database() {
+        let mut buf = TraceBuffer::new();
+        rec(&mut buf, 10, 1);
+        rec(&mut buf, 20, 2);
+        rec(&mut buf, 30, 1);
+        let records = buf.into_records();
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 0, "db-2 starts its own sequence");
+        assert_eq!(records[2].seq, 1);
+    }
+
+    #[test]
+    fn merge_is_shard_layout_invariant() {
+        // Same per-database streams, partitioned two different ways.
+        let mut a1 = TraceBuffer::new();
+        rec(&mut a1, 10, 1);
+        rec(&mut a1, 10, 2);
+        rec(&mut a1, 30, 1);
+        let merged_one = TraceBuffer::merge(vec![a1.into_records()]);
+
+        let mut b1 = TraceBuffer::new();
+        rec(&mut b1, 10, 1);
+        rec(&mut b1, 30, 1);
+        let mut b2 = TraceBuffer::new();
+        rec(&mut b2, 10, 2);
+        let merged_two = TraceBuffer::merge(vec![b2.into_records(), b1.into_records()]);
+
+        assert_eq!(merged_one, merged_two);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.event(Timestamp(0), DatabaseId(0), SpanKind::ProactiveResume);
+        sink.span(
+            Timestamp(0),
+            Timestamp(5),
+            DatabaseId(0),
+            SpanKind::Checkpoint { bytes: 64 },
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            SpanKind::Lifecycle {
+                from: DbState::Resumed,
+                to: DbState::LogicallyPaused
+            }
+            .label(),
+            "lifecycle"
+        );
+        assert_eq!(PredictOutcome::BreakerFallback.label(), "breaker-fallback");
+        assert_eq!(WorkflowOutcome::GaveUp.label(), "gave-up");
+        assert_eq!(StageResult::Exhausted.label(), "exhausted");
+        assert_eq!(BreakerTransition::Opened.label(), "opened");
+    }
+}

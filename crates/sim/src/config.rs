@@ -7,6 +7,7 @@
 //! *only* through the builder: the [`FaultConfig`] lives in a private
 //! field, so a hand-mutated config cannot bypass its validation.
 
+use prorp_obs::ObsConfig;
 use prorp_types::{
     BreakerConfig, FaultConfig, PolicyConfig, ProrpError, RetryPolicy, Seconds, Timestamp,
     WorkflowStage,
@@ -96,6 +97,11 @@ pub struct SimConfig {
     /// fault injection).  Private on purpose: these knobs are set only
     /// through [`SimConfig::builder`], which validates them at `build()`.
     fault: FaultConfig,
+    /// Runtime observability (span traces + metrics snapshots).  Private
+    /// for the same reason as `fault`: set through
+    /// [`SimConfigBuilder::observe`], validated at `build()`.  Defaults
+    /// to disabled, which is the zero-overhead fast path.
+    observe: ObsConfig,
 }
 
 impl SimConfig {
@@ -127,6 +133,7 @@ impl SimConfig {
             seed: 0,
             shards: 1,
             fault: FaultConfig::default(),
+            observe: ObsConfig::default(),
         }
     }
 
@@ -148,6 +155,11 @@ impl SimConfig {
     /// The control-plane fault layer this config runs with.
     pub fn fault(&self) -> &FaultConfig {
         &self.fault
+    }
+
+    /// The observability knobs this config runs with.
+    pub fn observe(&self) -> &ObsConfig {
+        &self.observe
     }
 
     /// Validate knob consistency (internal: `build()` and the simulation
@@ -197,6 +209,7 @@ impl SimConfig {
             )));
         }
         self.fault.validate()?;
+        self.observe.check()?;
         if let SimPolicy::Proactive(pc) = &self.policy {
             pc.validate()?;
         }
@@ -353,6 +366,13 @@ impl SimConfigBuilder {
     /// Forecast fault injection: every n-th prediction fails.
     pub fn forecast_fail_every(mut self, n: u32) -> Self {
         self.cfg.fault.forecast_fail_every = Some(n);
+        self
+    }
+
+    /// Runtime observability: span traces and metrics snapshots
+    /// (see [`prorp_obs::ObsConfig`]).
+    pub fn observe(mut self, v: ObsConfig) -> Self {
+        self.cfg.observe = v;
         self
     }
 
@@ -518,6 +538,21 @@ mod tests {
         let cfg = base().build().unwrap();
         assert_eq!(cfg.fault().total_latency(), Seconds(60));
         assert!(!cfg.fault().injects_stage_faults());
+    }
+
+    #[test]
+    fn observe_knob_defaults_off_and_is_validated() {
+        let cfg = base().build().unwrap();
+        assert!(!cfg.observe().enabled);
+        let cfg = base()
+            .observe(ObsConfig::with_snapshots(Seconds::hours(6)))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.observe().snapshot_every, Some(Seconds::hours(6)));
+        assert!(base()
+            .observe(ObsConfig::with_snapshots(Seconds::ZERO))
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -94,6 +94,13 @@ impl DiagnosticsRunner {
         self.peak_in_flight
     }
 
+    /// Register the runner's observability handles
+    /// ([`DiagnosticsMetrics`](crate::obs::DiagnosticsMetrics)) against a
+    /// shard-local metrics registry.
+    pub fn register_metrics(reg: &prorp_obs::MetricsRegistry) -> crate::obs::DiagnosticsMetrics {
+        crate::obs::DiagnosticsMetrics::register(reg)
+    }
+
     /// One periodic sweep: returns a [`Mitigation`] for every workflow
     /// that exceeded the timeout, removing it from the in-flight set.
     /// A database mitigated (or given up on) before escalates.

@@ -13,6 +13,11 @@ use std::collections::BinaryHeap;
 /// A simulation event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SimEvent {
+    /// A periodic observability metrics snapshot is due.  Runs before
+    /// every other event at its instant, so a snapshot at `T` covers
+    /// exactly the events strictly before `T` — a shard-layout-invariant
+    /// cut of the run.
+    ObsSnapshot,
     /// The measurement window opens (KPI accumulators re-base).
     MeasureStart,
     /// One stage of a staged resume workflow finished executing for this
@@ -45,18 +50,19 @@ impl SimEvent {
     /// Tie-break priority at equal timestamps (lower runs first).
     fn priority(&self) -> u8 {
         match self {
-            SimEvent::MeasureStart => 0,
-            SimEvent::WorkflowStageDone(_) => 1,
-            SimEvent::WorkflowComplete(_) => 2,
-            SimEvent::ProactiveResume(_) => 3,
-            SimEvent::ResumeOpTick => 4,
-            SimEvent::DiagnosticsTick => 5,
-            SimEvent::RebalanceTick => 6,
-            SimEvent::MaintenanceDue(_) => 7,
-            SimEvent::MaintenanceRun(_) => 8,
-            SimEvent::EngineTimer(..) => 9,
-            SimEvent::ActivityStart(_) => 10,
-            SimEvent::ActivityEnd(_) => 11,
+            SimEvent::ObsSnapshot => 0,
+            SimEvent::MeasureStart => 1,
+            SimEvent::WorkflowStageDone(_) => 2,
+            SimEvent::WorkflowComplete(_) => 3,
+            SimEvent::ProactiveResume(_) => 4,
+            SimEvent::ResumeOpTick => 5,
+            SimEvent::DiagnosticsTick => 6,
+            SimEvent::RebalanceTick => 7,
+            SimEvent::MaintenanceDue(_) => 8,
+            SimEvent::MaintenanceRun(_) => 9,
+            SimEvent::EngineTimer(..) => 10,
+            SimEvent::ActivityStart(_) => 11,
+            SimEvent::ActivityEnd(_) => 12,
         }
     }
 }
@@ -152,10 +158,12 @@ mod tests {
         q.push(t, SimEvent::WorkflowComplete(db(1)));
         q.push(t, SimEvent::WorkflowStageDone(db(1)));
         q.push(t, SimEvent::ResumeOpTick);
+        q.push(t, SimEvent::ObsSnapshot);
         let order: Vec<SimEvent> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(
             order,
             vec![
+                SimEvent::ObsSnapshot,
                 SimEvent::WorkflowStageDone(db(1)),
                 SimEvent::WorkflowComplete(db(1)),
                 SimEvent::ProactiveResume(db(1)),

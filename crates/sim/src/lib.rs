@@ -29,7 +29,14 @@
 //!   KPIs stay bit-identical to a single-threaded run;
 //! * [`diagnostics`] — the §7 diagnostics-and-mitigation runner: detects
 //!   stuck workflows (fault injection), mitigates them, and escalates
-//!   repeat offenders and retry-budget exhaustions as incidents.
+//!   repeat offenders and retry-budget exhaustions as incidents;
+//! * [`obs`] — shard-local wiring of the deterministic observability
+//!   layer (`prorp-obs`): builds the trace buffer and metrics registry
+//!   when `SimConfig::builder().observe(..)` enables them, turns engine
+//!   counter deltas into spans, and snapshots metrics on the
+//!   [`SimEvent::ObsSnapshot`](events::SimEvent::ObsSnapshot) schedule.
+//!   The merged [`ObsReport`](prorp_obs::ObsReport) rides on
+//!   [`SimReport::obs`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,10 +46,13 @@ pub mod config;
 pub mod diagnostics;
 pub mod events;
 pub mod node;
+pub mod obs;
 pub mod runner;
 pub mod shard;
 
 pub use config::{SimConfig, SimConfigBuilder, SimPolicy};
 pub use diagnostics::{DiagnosticsRunner, Mitigation};
+pub use obs::DiagnosticsMetrics;
+pub use prorp_obs::ObsConfig;
 pub use runner::{SimReport, Simulation};
 pub use shard::partition_fleet;

@@ -1,0 +1,574 @@
+//! Shard-local observability wiring for the event loop.
+//!
+//! `ShardObs` is the single object the shard runner threads through its
+//! instrumentation sites when `SimConfig::observe()` is enabled.  It owns
+//! the shard's [`TraceBuffer`], its [`MetricsRegistry`], and every typed
+//! metric-handle bundle, so the event loop itself stays free of metric
+//! names.  When observability is disabled the runner holds
+//! `Option::<ShardObs>::None` and every site reduces to one branch.
+//!
+//! # How engine activity is observed
+//!
+//! The policy engines are never instrumented directly.  Instead the
+//! runner captures the engine's `Copy` [`EngineCounters`] (and
+//! [`DbState`]) immediately before and after each `on_event` call and
+//! hands both readings to `ShardObs::on_engine_event`, which turns the
+//! *deltas* into spans and metric increments:
+//!
+//! * a state change emits a `lifecycle` span (Algorithm 1, Figure 4);
+//! * prediction/forecast-failure/fallback deltas emit `predict` spans
+//!   with the matching [`PredictOutcome`];
+//! * a breaker-open delta emits a `breaker opened` span and marks the
+//!   database open; the next successful prediction on a marked database
+//!   emits the matching `breaker closed` span (the engine closes its
+//!   breaker exactly on that success — see `CircuitBreaker::
+//!   record_success` — so the derivation is exact, not heuristic).
+//!
+//! All spans carry simulated timestamps only, so the merged trace is
+//! bit-identical at any shard count (see `prorp_obs::span`).
+
+use crate::diagnostics::DiagnosticsRunner;
+use prorp_core::{
+    BreakerMetrics, CircuitBreaker, EngineCounters, EngineMetrics, ProactiveResumeOp,
+    ResumeOpMetrics,
+};
+use prorp_obs::{
+    BreakerTransition, Counter, Histogram, MetricsRegistry, MetricsSnapshot, ObsReport,
+    PredictOutcome, SpanKind, StageResult, TraceBuffer, TraceSink, WorkflowOutcome,
+};
+use prorp_types::{DatabaseId, DbState, Timestamp, WorkflowStage};
+use std::collections::HashSet;
+
+/// Handles for the §7 diagnostics-and-mitigation runner, registered
+/// through [`DiagnosticsRunner::register_metrics`].
+#[derive(Clone, Debug)]
+pub struct DiagnosticsMetrics {
+    mitigations: Counter,
+    incidents: Counter,
+    giveups: Counter,
+}
+
+impl DiagnosticsMetrics {
+    pub(crate) fn register(reg: &MetricsRegistry) -> Self {
+        DiagnosticsMetrics {
+            mitigations: reg.counter("prorp_mitigations_total"),
+            incidents: reg.counter("prorp_incidents_total"),
+            giveups: reg.counter("prorp_workflow_giveups_total"),
+        }
+    }
+}
+
+/// Per-shard self-observations fed into the volatile `sim_self_*` gauges
+/// at snapshot time.  These describe the simulator *process* (wall
+/// clocks, per-shard work counts), vary with the shard layout, and are
+/// therefore excluded from every determinism assertion.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SelfObservations {
+    /// Simulation events the shard's loop has processed so far.
+    pub events_processed: u64,
+    /// Telemetry records the shard has emitted so far.
+    pub telemetry_events: u64,
+    /// Databases assigned to this shard.
+    pub databases: usize,
+    /// Wall-clock micros since the shard loop started.
+    pub wall_clock_micros: u64,
+    /// Resume workflows currently tracked by the diagnostics runner.
+    pub workflows_in_flight: usize,
+}
+
+/// All observability state of one shard: trace buffer, metrics registry,
+/// typed handle bundles, and the snapshot series.
+pub(crate) struct ShardObs {
+    trace: TraceBuffer,
+    registry: MetricsRegistry,
+    engine: EngineMetrics,
+    breaker: BreakerMetrics,
+    resume_op: ResumeOpMetrics,
+    diagnostics: DiagnosticsMetrics,
+    lifecycle_transitions: Counter,
+    stage_seconds: Histogram,
+    workflow_seconds: Histogram,
+    workflow_retries: Counter,
+    checkpoints: Counter,
+    checkpoint_bytes: Counter,
+    recovers: Counter,
+    /// Databases whose predictor breaker is currently open; lets the next
+    /// successful prediction be attributed as the breaker-closing probe.
+    breaker_open: HashSet<DatabaseId>,
+    snapshots: Vec<MetricsSnapshot>,
+}
+
+impl ShardObs {
+    /// Build the shard's observability state, registering every metric
+    /// up front so all shards snapshot identical name sets.
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let engine = EngineMetrics::register(&registry);
+        let breaker = CircuitBreaker::register_metrics(&registry);
+        let resume_op = ProactiveResumeOp::register_metrics(&registry);
+        let diagnostics = DiagnosticsRunner::register_metrics(&registry);
+        let lifecycle_transitions = registry.counter("prorp_lifecycle_transitions_total");
+        let stage_seconds = registry.histogram("prorp_workflow_stage_seconds");
+        let workflow_seconds = registry.histogram("prorp_workflow_seconds");
+        let workflow_retries = registry.counter("prorp_workflow_retries_total");
+        let checkpoints = registry.counter("prorp_checkpoints_total");
+        let checkpoint_bytes = registry.counter("prorp_checkpoint_bytes_total");
+        let recovers = registry.counter("prorp_recovers_total");
+        // Volatile self-observations: registered eagerly (so merges see
+        // consistent name sets) but only written at snapshot time.
+        registry.gauge("prorp_workflows_in_flight");
+        registry.gauge("sim_self_events_processed");
+        registry.gauge("sim_self_telemetry_events");
+        registry.gauge("sim_self_trace_records");
+        registry.gauge("sim_self_databases");
+        registry.gauge("sim_self_wall_clock_micros");
+        ShardObs {
+            trace: TraceBuffer::new(),
+            registry,
+            engine,
+            breaker,
+            resume_op,
+            diagnostics,
+            lifecycle_transitions,
+            stage_seconds,
+            workflow_seconds,
+            workflow_retries,
+            checkpoints,
+            checkpoint_bytes,
+            recovers,
+            breaker_open: HashSet::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Fold one engine event into spans and metrics from its
+    /// before/after counter and state readings.
+    pub(crate) fn on_engine_event(
+        &mut self,
+        now: Timestamp,
+        db: DatabaseId,
+        before_state: DbState,
+        before: &EngineCounters,
+        after_state: DbState,
+        after: &EngineCounters,
+    ) {
+        self.engine.observe_delta(before, after);
+        if before_state != after_state {
+            self.lifecycle_transitions.inc();
+            self.trace.event(
+                now,
+                db,
+                SpanKind::Lifecycle {
+                    from: before_state,
+                    to: after_state,
+                },
+            );
+        }
+        let fallbacks = after.breaker_fallbacks - before.breaker_fallbacks;
+        for _ in 0..fallbacks {
+            self.breaker.fallback();
+            self.trace.event(
+                now,
+                db,
+                SpanKind::Predict {
+                    outcome: PredictOutcome::BreakerFallback,
+                },
+            );
+        }
+        let predictions = after.predictions - before.predictions;
+        let failures = after.forecast_failures - before.forecast_failures;
+        for _ in 0..failures {
+            self.trace.event(
+                now,
+                db,
+                SpanKind::Predict {
+                    outcome: PredictOutcome::Failed,
+                },
+            );
+        }
+        for _ in 0..predictions.saturating_sub(failures) {
+            self.trace.event(
+                now,
+                db,
+                SpanKind::Predict {
+                    outcome: PredictOutcome::Predicted,
+                },
+            );
+        }
+        if after.breaker_opens > before.breaker_opens {
+            self.breaker.opened();
+            self.breaker_open.insert(db);
+            self.trace.event(
+                now,
+                db,
+                SpanKind::Breaker {
+                    transition: BreakerTransition::Opened,
+                },
+            );
+        } else if predictions > failures && self.breaker_open.remove(&db) {
+            // A successful prediction on a breaker-open database is the
+            // half-open re-probe that closed the breaker.
+            self.breaker.closed();
+            self.trace.event(
+                now,
+                db,
+                SpanKind::Breaker {
+                    transition: BreakerTransition::Closed,
+                },
+            );
+        }
+    }
+
+    /// A customer login landed; `available` is the QoS outcome.
+    pub(crate) fn on_login(&mut self, now: Timestamp, db: DatabaseId, available: bool) {
+        self.trace.event(now, db, SpanKind::Login { available });
+    }
+
+    /// The Algorithm 5 scan delivered a pre-warm to this database.
+    pub(crate) fn on_proactive_resume(&mut self, now: Timestamp, db: DatabaseId) {
+        self.trace.event(now, db, SpanKind::ProactiveResume);
+    }
+
+    /// One scan tick selected `batch` databases.
+    pub(crate) fn on_scan(&mut self, batch: usize) {
+        self.resume_op.observe_scan(batch);
+    }
+
+    /// A workflow stage attempt succeeded after `spent` (entry to
+    /// success); the span covers that window.
+    pub(crate) fn on_stage_completed(
+        &mut self,
+        now: Timestamp,
+        db: DatabaseId,
+        stage: WorkflowStage,
+        attempt: u32,
+        spent: prorp_types::Seconds,
+    ) {
+        self.stage_seconds.observe(spent.as_secs());
+        self.trace.span(
+            now - spent,
+            now,
+            db,
+            SpanKind::WorkflowStage {
+                stage,
+                attempt,
+                result: StageResult::Ok,
+            },
+        );
+    }
+
+    /// A stage attempt failed transiently; `attempt` is the retry about
+    /// to run.
+    pub(crate) fn on_stage_retry(
+        &mut self,
+        now: Timestamp,
+        db: DatabaseId,
+        stage: WorkflowStage,
+        attempt: u32,
+    ) {
+        self.workflow_retries.inc();
+        self.trace.event(
+            now,
+            db,
+            SpanKind::WorkflowStage {
+                stage,
+                attempt,
+                result: StageResult::Retry,
+            },
+        );
+    }
+
+    /// A stage burned its whole retry budget after `attempts` tries; the
+    /// workflow (running since `started`) gives up and escalates.
+    pub(crate) fn on_stage_exhausted(
+        &mut self,
+        now: Timestamp,
+        db: DatabaseId,
+        stage: WorkflowStage,
+        attempts: u32,
+        started: Timestamp,
+    ) {
+        self.diagnostics.giveups.inc();
+        self.diagnostics.incidents.inc();
+        self.trace.event(
+            now,
+            db,
+            SpanKind::WorkflowStage {
+                stage,
+                attempt: attempts,
+                result: StageResult::Exhausted,
+            },
+        );
+        self.trace.span(
+            started,
+            now,
+            db,
+            SpanKind::Workflow {
+                outcome: WorkflowOutcome::GaveUp,
+            },
+        );
+    }
+
+    /// A staged workflow (running since `started`) completed its final
+    /// stage.
+    pub(crate) fn on_workflow_completed(
+        &mut self,
+        now: Timestamp,
+        db: DatabaseId,
+        started: Timestamp,
+    ) {
+        self.workflow_seconds.observe(now.since(started).as_secs());
+        self.trace.span(
+            started,
+            now,
+            db,
+            SpanKind::Workflow {
+                outcome: WorkflowOutcome::Completed,
+            },
+        );
+    }
+
+    /// The diagnostics sweep force-completed a stuck workflow.
+    pub(crate) fn on_mitigation(&mut self, now: Timestamp, db: DatabaseId, escalated: bool) {
+        self.diagnostics.mitigations.inc();
+        if escalated {
+            self.diagnostics.incidents.inc();
+        }
+        self.trace
+            .event(now, db, SpanKind::Mitigation { escalated });
+    }
+
+    /// A rebalance move checkpointed this database's history B-tree into
+    /// a `bytes`-byte image and recovered it on the destination.
+    pub(crate) fn on_move_with_history(&mut self, now: Timestamp, db: DatabaseId, bytes: u64) {
+        self.checkpoints.inc();
+        self.checkpoint_bytes.add(bytes);
+        self.recovers.inc();
+        self.trace.event(now, db, SpanKind::Checkpoint { bytes });
+        self.trace.event(now, db, SpanKind::Recover { bytes });
+    }
+
+    /// Take one metrics snapshot at simulated instant `at`, refreshing
+    /// the gauges from the current self-observations first.
+    pub(crate) fn take_snapshot(&mut self, at: Timestamp, stats: SelfObservations) {
+        self.registry
+            .gauge("prorp_workflows_in_flight")
+            .set(stats.workflows_in_flight as i64);
+        self.registry
+            .gauge("sim_self_events_processed")
+            .set(stats.events_processed as i64);
+        self.registry
+            .gauge("sim_self_telemetry_events")
+            .set(stats.telemetry_events as i64);
+        self.registry
+            .gauge("sim_self_trace_records")
+            .set(self.trace.len() as i64);
+        self.registry
+            .gauge("sim_self_databases")
+            .set(stats.databases as i64);
+        self.registry
+            .gauge("sim_self_wall_clock_micros")
+            .set(stats.wall_clock_micros.min(i64::MAX as u64) as i64);
+        self.snapshots.push(self.registry.snapshot(at));
+    }
+
+    /// Consume the shard's observability state into its mergeable report.
+    pub(crate) fn finish(self) -> ObsReport {
+        ObsReport {
+            trace: self.trace.into_records(),
+            snapshots: self.snapshots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prorp_types::Seconds;
+
+    #[test]
+    fn engine_event_deltas_become_spans_and_metrics() {
+        let mut obs = ShardObs::new();
+        let before = EngineCounters::default();
+        let mut after = before;
+        after.predictions = 1;
+        after.logical_pauses = 1;
+        obs.on_engine_event(
+            Timestamp(60),
+            DatabaseId(3),
+            DbState::Resumed,
+            &before,
+            DbState::LogicallyPaused,
+            &after,
+        );
+        let report = {
+            let mut o = obs;
+            o.take_snapshot(Timestamp(100), SelfObservations::default());
+            o.finish()
+        };
+        assert_eq!(report.trace.len(), 2, "lifecycle + predict");
+        let snap = report.final_snapshot().unwrap();
+        assert_eq!(
+            snap.get("prorp_lifecycle_transitions_total")
+                .unwrap()
+                .as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("prorp_predictions_total").unwrap().as_counter(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn breaker_open_then_success_derives_a_close() {
+        let mut obs = ShardObs::new();
+        let db = DatabaseId(9);
+        let before = EngineCounters::default();
+
+        // Event 1: forecast failure trips the breaker open.
+        let mut opened = before;
+        opened.predictions = 1;
+        opened.forecast_failures = 1;
+        opened.breaker_opens = 1;
+        obs.on_engine_event(
+            Timestamp(10),
+            db,
+            DbState::Resumed,
+            &before,
+            DbState::Resumed,
+            &opened,
+        );
+
+        // Event 2: the half-open re-probe succeeds → breaker closed.
+        let mut closed = opened;
+        closed.predictions = 2;
+        obs.on_engine_event(
+            Timestamp(20),
+            db,
+            DbState::Resumed,
+            &opened,
+            DbState::Resumed,
+            &closed,
+        );
+
+        let mut o = obs;
+        o.take_snapshot(Timestamp(30), SelfObservations::default());
+        let report = o.finish();
+        let snap = report.final_snapshot().unwrap();
+        assert_eq!(
+            snap.get("prorp_breaker_opens_total").unwrap().as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("prorp_breaker_closes_total").unwrap().as_counter(),
+            Some(1)
+        );
+        let breaker_spans: Vec<_> = report
+            .trace
+            .iter()
+            .filter(|r| matches!(r.kind, SpanKind::Breaker { .. }))
+            .collect();
+        assert_eq!(breaker_spans.len(), 2);
+        assert_eq!(
+            breaker_spans[0].kind,
+            SpanKind::Breaker {
+                transition: BreakerTransition::Opened
+            }
+        );
+        assert_eq!(
+            breaker_spans[1].kind,
+            SpanKind::Breaker {
+                transition: BreakerTransition::Closed
+            }
+        );
+    }
+
+    #[test]
+    fn workflow_sites_fill_histograms_and_spans() {
+        let mut obs = ShardObs::new();
+        let db = DatabaseId(1);
+        obs.on_stage_completed(
+            Timestamp(130),
+            db,
+            WorkflowStage::AllocateNode,
+            1,
+            Seconds(30),
+        );
+        obs.on_stage_retry(Timestamp(150), db, WorkflowStage::AttachStorage, 2);
+        obs.on_workflow_completed(Timestamp(180), db, Timestamp(100));
+        obs.on_mitigation(Timestamp(200), db, true);
+        obs.on_move_with_history(Timestamp(210), db, 4_096);
+        obs.take_snapshot(Timestamp(300), SelfObservations::default());
+        let report = obs.finish();
+        let snap = report.final_snapshot().unwrap();
+        assert_eq!(
+            snap.get("prorp_workflow_stage_seconds")
+                .unwrap()
+                .as_histogram(),
+            Some((1, 30))
+        );
+        assert_eq!(
+            snap.get("prorp_workflow_seconds").unwrap().as_histogram(),
+            Some((1, 80))
+        );
+        assert_eq!(
+            snap.get("prorp_workflow_retries_total")
+                .unwrap()
+                .as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("prorp_mitigations_total").unwrap().as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("prorp_incidents_total").unwrap().as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("prorp_checkpoint_bytes_total")
+                .unwrap()
+                .as_counter(),
+            Some(4_096)
+        );
+        // The stage span covers [entry, success].
+        let stage = report
+            .trace
+            .iter()
+            .find(|r| matches!(r.kind, SpanKind::WorkflowStage { .. }))
+            .unwrap();
+        assert_eq!(stage.start, Timestamp(100));
+        assert_eq!(stage.end, Timestamp(130));
+    }
+
+    #[test]
+    fn snapshots_carry_self_observations_as_volatile_gauges() {
+        let mut obs = ShardObs::new();
+        obs.take_snapshot(
+            Timestamp(500),
+            SelfObservations {
+                events_processed: 42,
+                telemetry_events: 7,
+                databases: 3,
+                wall_clock_micros: 12_345,
+                workflows_in_flight: 2,
+            },
+        );
+        let report = obs.finish();
+        let snap = report.final_snapshot().unwrap();
+        assert_eq!(snap.at, Timestamp(500));
+        assert_eq!(
+            snap.get("sim_self_wall_clock_micros").unwrap().as_gauge(),
+            Some(12_345)
+        );
+        assert_eq!(
+            snap.get("prorp_workflows_in_flight").unwrap().as_gauge(),
+            Some(2)
+        );
+        // The volatile gauges vanish from the deterministic surface.
+        let det = snap.deterministic();
+        assert!(det.get("sim_self_wall_clock_micros").is_none());
+        assert!(det.get("prorp_workflows_in_flight").is_some());
+    }
+}

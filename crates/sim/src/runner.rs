@@ -18,6 +18,7 @@
 use crate::config::SimConfig;
 use crate::shard::{self, ShardOutcome};
 use prorp_core::{EngineCounters, MaintenanceStats, ProactiveResumeOp};
+use prorp_obs::ObsReport;
 use prorp_storage::StorageStats;
 use prorp_telemetry::{
     IncidentLog, KpiReport, SegmentAccumulator, ShardCounters, TelemetryKind, TelemetryLog,
@@ -68,6 +69,10 @@ pub struct SimReport {
     /// Per-shard timing/throughput counters, one entry per shard in
     /// shard order (a single entry for an unsharded run).
     pub shard_counters: Vec<ShardCounters>,
+    /// Merged observability output — the canonical trace plus the
+    /// metrics-snapshot series — when `SimConfig::observe()` enabled the
+    /// observability layer; `None` otherwise.
+    pub obs: Option<ObsReport>,
     /// Measurement window start.
     pub measure_from: Timestamp,
     /// Simulation end.
@@ -212,6 +217,7 @@ impl Simulation {
         let mut shard_logs = Vec::with_capacity(outcomes.len());
         let mut shard_workflows = Vec::with_capacity(outcomes.len());
         let mut shard_incident_logs = Vec::with_capacity(outcomes.len());
+        let mut shard_obs = Vec::with_capacity(outcomes.len());
 
         for outcome in outcomes {
             for (id, acc, ctr, stats) in &outcome.dbs {
@@ -236,7 +242,15 @@ impl Simulation {
             shard_logs.push(outcome.telemetry);
             shard_workflows.push(outcome.workflow);
             shard_incident_logs.push(outcome.incident_log);
+            if let Some(o) = outcome.obs {
+                shard_obs.push(o);
+            }
         }
+        let obs = if cfg.observe().enabled {
+            Some(ObsReport::merge(shard_obs)?)
+        } else {
+            None
+        };
 
         let telemetry = TelemetryLog::merge(shard_logs);
         let mut kpi = KpiReport::from_segments(&fleet_acc);
@@ -284,6 +298,7 @@ impl Simulation {
             incident_log: IncidentLog::merge(shard_incident_logs),
             maintenance,
             shard_counters,
+            obs,
             measure_from: cfg.measure_from,
             end: cfg.end,
         })
@@ -545,6 +560,100 @@ mod tests {
         assert_eq!(w.giveups, 0);
         assert_eq!(report.giveups, 0);
         assert!(report.incident_log.is_empty());
+    }
+
+    #[test]
+    fn observability_is_off_by_default() {
+        let report = run(SimPolicy::Reactive, vec![daily_trace()]);
+        assert!(report.obs.is_none());
+    }
+
+    #[test]
+    fn enabled_observability_reports_trace_and_snapshots() {
+        let cfg = SimConfig::builder(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            t(0),
+            t(35 * DAY),
+            t(30 * DAY),
+        )
+        .observe(crate::ObsConfig::with_snapshots(Seconds::days(7)))
+        .build()
+        .unwrap();
+        let report = Simulation::new(cfg, vec![daily_trace()])
+            .unwrap()
+            .run()
+            .unwrap();
+        let obs = report.obs.as_ref().expect("observability enabled");
+        assert!(!obs.trace.is_empty());
+        // Snapshots at days 7/14/21/28 (day 35 coincides with the end)
+        // plus the end-of-run snapshot.
+        assert_eq!(obs.snapshots.len(), 5);
+        assert_eq!(obs.final_snapshot().unwrap().at, t(35 * DAY));
+        // The trace's login spans reconcile with the metric counters.
+        let login_spans = obs
+            .trace
+            .iter()
+            .filter(|r| matches!(r.kind, prorp_obs::SpanKind::Login { .. }))
+            .count() as u64;
+        let snap = obs.final_snapshot().unwrap();
+        let avail = snap
+            .get("prorp_logins_available_total")
+            .unwrap()
+            .as_counter()
+            .unwrap();
+        let unavail = snap
+            .get("prorp_logins_unavailable_total")
+            .unwrap()
+            .as_counter()
+            .unwrap();
+        assert_eq!(login_spans, avail + unavail);
+        // Mid-run snapshots are monotone in the counters.
+        let first = obs.snapshots[0]
+            .get("prorp_logins_available_total")
+            .unwrap()
+            .as_counter()
+            .unwrap();
+        assert!(first <= avail);
+        // KPIs are untouched by enabling observability.
+        let baseline = run(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            vec![daily_trace()],
+        );
+        assert_eq!(report.kpi, baseline.kpi);
+    }
+
+    #[test]
+    fn observability_output_is_shard_count_invariant() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let traces = profile.generate_fleet(30, t(0), t(35 * DAY), 11);
+        let run_with = |shards: usize| {
+            let cfg = SimConfig::builder(
+                SimPolicy::Proactive(PolicyConfig::default()),
+                t(0),
+                t(35 * DAY),
+                t(30 * DAY),
+            )
+            .shards(shards)
+            .observe(crate::ObsConfig::with_snapshots(Seconds::days(10)))
+            .build()
+            .unwrap();
+            Simulation::new(cfg, traces.clone())
+                .unwrap()
+                .run()
+                .unwrap()
+                .obs
+                .unwrap()
+        };
+        let one = run_with(1);
+        let four = run_with(4);
+        assert_eq!(one.trace, four.trace, "traces must be bit-identical");
+        let det = |r: &ObsReport| {
+            r.snapshots
+                .iter()
+                .map(|s| s.deterministic())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(det(&one), det(&four), "deterministic metrics must match");
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::cluster::{AllocationOutcome, Cluster};
 use crate::config::{SimConfig, SimPolicy};
 use crate::diagnostics::DiagnosticsRunner;
 use crate::events::{EventQueue, SimEvent};
+use crate::obs::{SelfObservations, ShardObs};
 #[cfg(feature = "strict-invariants")]
 use prorp_core::LifecycleInvariants;
 use prorp_core::{
@@ -52,6 +53,7 @@ use prorp_core::{
     ReactiveEngine, ResumeWorkflow, StageOutcome,
 };
 use prorp_forecast::{FailEvery, ProbabilisticPredictor};
+use prorp_obs::ObsReport;
 use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
 use prorp_telemetry::{
     IncidentKind, IncidentLog, SegmentAccumulator, SegmentKind, ShardCounters, TelemetryKind,
@@ -128,6 +130,9 @@ pub(crate) struct ShardOutcome {
     pub maintenance: MaintenanceStats,
     /// Timing/throughput counters for this worker.
     pub counters: ShardCounters,
+    /// The shard's observability output (`None` when observability is
+    /// disabled in the config).
+    pub obs: Option<ObsReport>,
 }
 
 /// Partition trace indices by database-id hash into `shard_count` groups.
@@ -257,6 +262,9 @@ pub(crate) fn run_shard(
     let mut resume_op = ProactiveResumeOp::new(cfg.prewarm, cfg.resume_op_period, cfg.start)?;
     let mut maintenance = MaintenanceScheduler::new();
     let is_optimal = matches!(cfg.policy, SimPolicy::Optimal);
+    // Disabled observability stays `None`: no allocations, no handles,
+    // and every instrumentation site below is one branch on the Option.
+    let mut obs: Option<ShardObs> = cfg.observe().enabled.then(ShardObs::new);
 
     // Build per-database state and enqueue every trace event.
     let mut dbs: Vec<DbSim> = Vec::with_capacity(traces.len());
@@ -315,6 +323,11 @@ pub(crate) fn run_shard(
             queue.push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
         }
     }
+    if let Some(p) = cfg.observe().snapshot_every {
+        if cfg.start + p < cfg.end {
+            queue.push(cfg.start + p, SimEvent::ObsSnapshot);
+        }
+    }
 
     let mut balance_moves_history = 0u64;
 
@@ -324,6 +337,26 @@ pub(crate) fn run_shard(
         }
         counters.events_processed += 1;
         match event {
+            SimEvent::ObsSnapshot => {
+                if let Some(o) = obs.as_mut() {
+                    o.take_snapshot(
+                        now,
+                        SelfObservations {
+                            events_processed: counters.events_processed,
+                            telemetry_events: telemetry.len() as u64,
+                            databases: dbs.len(),
+                            wall_clock_micros: started.elapsed().as_micros().min(u64::MAX as u128)
+                                as u64,
+                            workflows_in_flight: diagnostics.in_flight_count(),
+                        },
+                    );
+                }
+                if let Some(p) = cfg.observe().snapshot_every {
+                    if now + p < cfg.end {
+                        queue.push(now + p, SimEvent::ObsSnapshot);
+                    }
+                }
+            }
             SimEvent::MeasureStart => {
                 for d in dbs.iter_mut() {
                     d.acc.reset_keeping_open(now);
@@ -338,11 +371,23 @@ pub(crate) fn run_shard(
                     Some(SegmentKind::ProactiveIdleWrong) | Some(SegmentKind::ProactiveIdleCorrect)
                 );
                 dbs[idx].demand = true;
+                let obs_before = obs.as_ref().map(|_| dbs[idx].engine.counters());
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityStart);
                 observe_shadow(&mut dbs[idx], now, EngineEvent::ActivityStart)?;
                 let available =
                     was_state != DbState::PhysicallyPaused || kind == PolicyKind::Optimal;
                 telemetry.record(now, id, TelemetryKind::Login { available });
+                if let Some(o) = obs.as_mut() {
+                    o.on_engine_event(
+                        now,
+                        id,
+                        was_state,
+                        &obs_before.unwrap(),
+                        dbs[idx].engine.state(),
+                        &dbs[idx].engine.counters(),
+                    );
+                    o.on_login(now, id, available);
+                }
                 metadata.set_state(id, DbState::Resumed);
                 // Hold compute while serving (idempotent).
                 let outcome = cluster.allocate(id)?;
@@ -395,6 +440,9 @@ pub(crate) fn run_shard(
                 if workflows.remove(&id).is_some() {
                     diagnostics.workflow_completed(id);
                 }
+                let obs_before = obs
+                    .as_ref()
+                    .map(|_| (dbs[idx].engine.state(), dbs[idx].engine.counters()));
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityEnd);
                 observe_shadow(&mut dbs[idx], now, EngineEvent::ActivityEnd)?;
                 apply_actions(
@@ -408,6 +456,17 @@ pub(crate) fn run_shard(
                 );
                 let state = dbs[idx].engine.state();
                 metadata.set_state(id, state);
+                if let Some(o) = obs.as_mut() {
+                    let (before_state, before) = obs_before.unwrap();
+                    o.on_engine_event(
+                        now,
+                        id,
+                        before_state,
+                        &before,
+                        state,
+                        &dbs[idx].engine.counters(),
+                    );
+                }
                 match state {
                     DbState::LogicallyPaused => {
                         telemetry.record(now, id, TelemetryKind::LogicalPause);
@@ -427,6 +486,7 @@ pub(crate) fn run_shard(
             SimEvent::EngineTimer(id, token) => {
                 let idx = db_index(id);
                 let before = dbs[idx].engine.state();
+                let obs_before = obs.as_ref().map(|_| dbs[idx].engine.counters());
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::Timer(token));
                 observe_shadow(&mut dbs[idx], now, EngineEvent::Timer(token))?;
                 apply_actions(
@@ -444,10 +504,23 @@ pub(crate) fn run_shard(
                     dbs[idx].acc.transition(now, SegmentKind::Saved);
                 }
                 metadata.set_state(id, after);
+                if let Some(o) = obs.as_mut() {
+                    o.on_engine_event(
+                        now,
+                        id,
+                        before,
+                        &obs_before.unwrap(),
+                        after,
+                        &dbs[idx].engine.counters(),
+                    );
+                }
             }
             SimEvent::ResumeOpTick => {
                 counters.resume_scans += 1;
                 let selected = resume_op.run(now, std::slice::from_ref(&metadata));
+                if let Some(o) = obs.as_mut() {
+                    o.on_scan(selected.len());
+                }
                 for id in selected {
                     queue.push(now, SimEvent::ProactiveResume(id));
                 }
@@ -460,12 +533,29 @@ pub(crate) fn run_shard(
                 if dbs[idx].engine.state() != DbState::PhysicallyPaused || dbs[idx].demand {
                     continue; // raced with a login
                 }
+                let obs_before = obs
+                    .as_ref()
+                    .map(|_| (dbs[idx].engine.state(), dbs[idx].engine.counters()));
                 let actions = dbs[idx].engine.on_event(now, EngineEvent::ProactiveResume);
                 observe_shadow(&mut dbs[idx], now, EngineEvent::ProactiveResume)?;
+                if let Some(o) = obs.as_mut() {
+                    let (before_state, before) = obs_before.unwrap();
+                    o.on_engine_event(
+                        now,
+                        id,
+                        before_state,
+                        &before,
+                        dbs[idx].engine.state(),
+                        &dbs[idx].engine.counters(),
+                    );
+                }
                 if actions.is_empty() {
                     continue; // the engine declined (e.g. reactive)
                 }
                 telemetry.record(now, id, TelemetryKind::ProactiveResume);
+                if let Some(o) = obs.as_mut() {
+                    o.on_proactive_resume(now, id);
+                }
                 cluster.allocate(id)?;
                 // Optimistically "wrong" until the login proves it
                 // correct.
@@ -492,6 +582,8 @@ pub(crate) fn run_shard(
                 if active.expected_at != now {
                     continue; // stale event of a cancelled workflow
                 }
+                let wf_started = active.wf.started();
+                let executed_attempt = active.wf.attempt();
                 match active.wf.on_stage_executed(now, cfg.seed, faults) {
                     StageOutcome::Completed {
                         stage,
@@ -499,29 +591,45 @@ pub(crate) fn run_shard(
                         next_ready_at,
                     } => {
                         workflow_stats.record_stage(stage, spent);
+                        if let Some(o) = obs.as_mut() {
+                            o.on_stage_completed(now, id, stage, executed_attempt, spent);
+                        }
                         match next_ready_at {
                             Some(at) => {
                                 active.expected_at = at;
                                 queue.push(at, SimEvent::WorkflowStageDone(id));
                             }
                             None => {
-                                let total = now.since(active.wf.started());
+                                let total = now.since(wf_started);
                                 workflow_stats.record_workflow(total);
+                                if let Some(o) = obs.as_mut() {
+                                    o.on_workflow_completed(now, id, wf_started);
+                                }
                                 workflows.remove(&id);
                                 queue.push(now, SimEvent::WorkflowComplete(id));
                             }
                         }
                     }
-                    StageOutcome::Retry { ready_at, .. } => {
+                    StageOutcome::Retry {
+                        stage,
+                        attempt: next_attempt,
+                        ready_at,
+                    } => {
                         workflow_stats.retries += 1;
+                        if let Some(o) = obs.as_mut() {
+                            o.on_stage_retry(now, id, stage, next_attempt);
+                        }
                         active.expected_at = ready_at;
                         queue.push(ready_at, SimEvent::WorkflowStageDone(id));
                     }
-                    StageOutcome::Exhausted { stage, .. } => {
+                    StageOutcome::Exhausted { stage, attempts } => {
                         // Retry budget burned: escalate an incident and
                         // let the mitigation path force-complete the
                         // resume (the on-call engineer's fix).
                         workflow_stats.giveups += 1;
+                        if let Some(o) = obs.as_mut() {
+                            o.on_stage_exhausted(now, id, stage, attempts, wf_started);
+                        }
                         workflows.remove(&id);
                         diagnostics.retry_exhausted(id);
                         incident_log.push(now, id, IncidentKind::RetryExhausted { stage });
@@ -548,6 +656,9 @@ pub(crate) fn run_shard(
             }
             SimEvent::DiagnosticsTick => {
                 for m in diagnostics.sweep(now) {
+                    if let Some(o) = obs.as_mut() {
+                        o.on_mitigation(now, m.db, m.escalated);
+                    }
                     if m.escalated {
                         incident_log.push(now, m.db, IncidentKind::StuckWorkflow);
                     }
@@ -607,6 +718,9 @@ pub(crate) fn run_shard(
                     let restored = restore_history(&bytes)?;
                     dbs[idx].engine.restore_history(restored);
                     telemetry.record(now, moved, TelemetryKind::Move);
+                    if let Some(o) = obs.as_mut() {
+                        o.on_move_with_history(now, moved, bytes.len() as u64);
+                    }
                     balance_moves_history += 1;
                 }
                 if let Some(p) = cfg.rebalance_period {
@@ -650,6 +764,22 @@ pub(crate) fn run_shard(
     workflow_stats.breaker_opens = db_results.iter().map(|r| r.2.breaker_opens).sum();
     workflow_stats.breaker_fallbacks = db_results.iter().map(|r| r.2.breaker_fallbacks).sum();
 
+    // The end-of-run snapshot is always taken at `cfg.end`, on every
+    // shard, so the merged series stays aligned.
+    let obs_report = obs.map(|mut o| {
+        o.take_snapshot(
+            cfg.end,
+            SelfObservations {
+                events_processed: counters.events_processed,
+                telemetry_events: counters.telemetry_events,
+                databases: dbs.len(),
+                wall_clock_micros: counters.wall_clock_micros,
+                workflows_in_flight: diagnostics.in_flight_count(),
+            },
+        );
+        o.finish()
+    });
+
     Ok(ShardOutcome {
         dbs: db_results,
         telemetry,
@@ -664,6 +794,7 @@ pub(crate) fn run_shard(
         incident_log,
         maintenance: maintenance.stats(),
         counters,
+        obs: obs_report,
     })
 }
 

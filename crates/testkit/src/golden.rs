@@ -135,7 +135,21 @@ pub fn render_report(report: &SimReport) -> String {
 /// Returns a human-readable description of the drift (or of the missing
 /// file) suitable for a test panic message.
 pub fn check_golden(name: &str, rendered: &str) -> Result<(), String> {
-    let path = goldens_dir().join(format!("{name}.json"));
+    check_golden_file(&format!("{name}.json"), rendered)
+}
+
+/// Compare rendered text against the golden file `file_name` (with its
+/// extension spelled out — `.jsonl` traces and `.prom` metric exports
+/// use this directly; [`check_golden`] appends `.json` for KPI
+/// snapshots).  Blessing and drift reporting behave exactly like
+/// [`check_golden`].
+///
+/// # Errors
+///
+/// Returns a human-readable description of the drift (or of the missing
+/// file) suitable for a test panic message.
+pub fn check_golden_file(file_name: &str, rendered: &str) -> Result<(), String> {
+    let path = goldens_dir().join(file_name);
     if std::env::var("BLESS").as_deref() == Ok("1") {
         fs::create_dir_all(goldens_dir())
             .map_err(|e| format!("cannot create {}: {e}", goldens_dir().display()))?;
@@ -150,7 +164,7 @@ pub fn check_golden(name: &str, rendered: &str) -> Result<(), String> {
     })?;
     if expected != rendered {
         return Err(format!(
-            "KPI drift against golden {name}.json.\n\
+            "drift against golden {file_name}.\n\
              If this change is intentional, re-bless with scripts/bless.sh \
              and review the diff.\n\
              --- expected ---\n{expected}\n--- actual ---\n{rendered}"

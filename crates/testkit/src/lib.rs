@@ -40,7 +40,7 @@ pub mod golden;
 pub mod oracles;
 pub mod strategies;
 
-pub use golden::{check_golden, goldens_dir, render_report};
+pub use golden::{check_golden, check_golden_file, goldens_dir, render_report};
 pub use oracles::{
     assert_behaviour_equal, assert_reports_equal, builder, logical, run, run_policy,
 };

@@ -1,0 +1,184 @@
+//! Observability conformance: the online metrics/trace surface must
+//! agree with the offline report, survive arbitrary fault plans, and
+//! stay pinned to golden exports.
+//!
+//! Three layers:
+//!
+//! * a reconciliation property — for generated fleets and fault plans,
+//!   every counter in the final metrics snapshot must equal the
+//!   corresponding `SimReport` aggregate (the snapshot is built from
+//!   live counter deltas, the report from offline folds; agreement means
+//!   neither path drops or double-counts an event);
+//! * a shard-invariance property — the JSONL trace of a generated
+//!   scenario is byte-identical at 1 and 3 shards;
+//! * golden exports — a fixed faulty scenario's trace (`.jsonl`) and
+//!   deterministic Prometheus text (`.prom`) are pinned under
+//!   `tests/goldens/`, re-recordable with `scripts/bless.sh`.  The CI
+//!   gate also runs the `prorp-trace` CLI against the golden trace.
+
+use proptest::prelude::*;
+use prorp_core::EngineCounters;
+use prorp_obs::{prometheus_text, trace_jsonl, ObsConfig, SpanKind};
+use prorp_sim::{SimPolicy, SimReport};
+use prorp_types::{PolicyConfig, Seconds};
+use testkit::golden::check_golden_file;
+use testkit::oracles::{builder, run};
+use testkit::strategies::{fault_plan, fleet_spec, FaultPlan, FleetSpec};
+
+fn run_observed(spec: &FleetSpec, plan: &FaultPlan, shards: usize) -> SimReport {
+    let cfg = plan
+        .apply(builder(SimPolicy::Proactive(PolicyConfig::default())))
+        .shards(shards)
+        .observe(ObsConfig::with_snapshots(Seconds::days(7)))
+        .build()
+        .expect("observed configs validate");
+    run(cfg, spec.traces())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The final metrics snapshot and the offline `SimReport` are two
+    /// independent aggregations of the same event stream; every shared
+    /// quantity must match exactly.
+    #[test]
+    fn snapshot_totals_reconcile_with_the_report(
+        spec in fleet_spec(),
+        plan in fault_plan(),
+    ) {
+        let report = run_observed(&spec, &plan, 2);
+        let obs = report.obs.as_ref().expect("observability was enabled");
+        let snap = obs.final_snapshot().expect("a final snapshot is always taken");
+        let counter = |name: &str| {
+            snap.get(name)
+                .and_then(|v| v.as_counter())
+                .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+        };
+        // Engine counters: the metrics accumulate per-event deltas, the
+        // report sums final per-database counters.
+        let engine_sum =
+            |f: fn(&EngineCounters) -> u64| report.counters.iter().map(f).sum::<u64>();
+        prop_assert_eq!(
+            counter("prorp_logins_available_total"),
+            engine_sum(|c| c.logins_available)
+        );
+        prop_assert_eq!(
+            counter("prorp_logins_unavailable_total"),
+            engine_sum(|c| c.logins_unavailable)
+        );
+        prop_assert_eq!(
+            counter("prorp_logical_pauses_total"),
+            engine_sum(|c| c.logical_pauses)
+        );
+        prop_assert_eq!(
+            counter("prorp_physical_pauses_total"),
+            engine_sum(|c| c.physical_pauses)
+        );
+        prop_assert_eq!(
+            counter("prorp_proactive_resumes_total"),
+            engine_sum(|c| c.proactive_resumes)
+        );
+        prop_assert_eq!(
+            counter("prorp_predictions_total"),
+            engine_sum(|c| c.predictions)
+        );
+        prop_assert_eq!(
+            counter("prorp_forecast_failures_total"),
+            engine_sum(|c| c.forecast_failures)
+        );
+        prop_assert_eq!(
+            counter("prorp_breaker_opens_total"),
+            engine_sum(|c| c.breaker_opens)
+        );
+        prop_assert_eq!(
+            counter("prorp_breaker_fallbacks_total"),
+            engine_sum(|c| c.breaker_fallbacks)
+        );
+        // Workflow and diagnostics layers.
+        prop_assert_eq!(counter("prorp_workflow_retries_total"), report.workflow.retries);
+        prop_assert_eq!(counter("prorp_workflow_giveups_total"), report.giveups);
+        prop_assert_eq!(counter("prorp_mitigations_total"), report.mitigations);
+        prop_assert_eq!(counter("prorp_incidents_total"), report.incidents);
+        let (stage_count, _) = snap
+            .get("prorp_workflow_stage_seconds")
+            .and_then(|v| v.as_histogram())
+            .expect("stage histogram registered");
+        prop_assert_eq!(
+            stage_count,
+            report.workflow.stage_completions.iter().sum::<u64>(),
+            "every completed stage is one histogram observation"
+        );
+        // Trace-level identity: one Login span per served/refused login.
+        let login_spans = obs
+            .trace
+            .iter()
+            .filter(|r| matches!(r.kind, SpanKind::Login { .. }))
+            .count() as u64;
+        prop_assert_eq!(
+            login_spans,
+            counter("prorp_logins_available_total")
+                + counter("prorp_logins_unavailable_total")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For any generated fleet and fault plan, the rendered trace bytes
+    /// do not depend on the shard layout.
+    #[test]
+    fn trace_bytes_are_shard_layout_invariant(
+        spec in fleet_spec(),
+        plan in fault_plan(),
+    ) {
+        let single = run_observed(&spec, &plan, 1);
+        let sharded = run_observed(&spec, &plan, 3);
+        let t1 = trace_jsonl(&single.obs.expect("obs on").trace);
+        let t3 = trace_jsonl(&sharded.obs.expect("obs on").trace);
+        prop_assert_eq!(t1, t3, "trace bytes must not depend on sharding");
+    }
+}
+
+/// The fixed scenario behind the golden exports: a small Eu1 fleet with
+/// flaky stages and forecast faults, so the trace exercises retries,
+/// give-ups, breaker episodes, and mitigations.
+fn golden_scenario() -> SimReport {
+    let plan = FaultPlan {
+        stage_failure: 0.25,
+        warm_cache_extra: 0.1,
+        forecast_fail_every: Some(3),
+        stuck_probability: 0.05,
+        seed: 29,
+        ..FaultPlan::quiescent()
+    };
+    let spec = FleetSpec {
+        region: prorp_workload::RegionName::Eu1,
+        size: 8,
+        seed: 7,
+    };
+    run_observed(&spec, &plan, 2)
+}
+
+#[test]
+fn golden_trace_and_prometheus_exports() {
+    let report = golden_scenario();
+    let obs = report.obs.expect("observability was enabled");
+    let mut drifts = Vec::new();
+    if let Err(msg) = check_golden_file("trace_small.jsonl", &trace_jsonl(&obs.trace)) {
+        drifts.push(msg);
+    }
+    let snap = obs
+        .final_snapshot()
+        .expect("a final snapshot is always taken")
+        .deterministic();
+    if let Err(msg) = check_golden_file("metrics_small.prom", &prometheus_text(&snap)) {
+        drifts.push(msg);
+    }
+    assert!(
+        drifts.is_empty(),
+        "{} golden export(s) drifted:\n\n{}",
+        drifts.len(),
+        drifts.join("\n\n")
+    );
+}

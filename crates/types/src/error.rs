@@ -35,6 +35,9 @@ pub enum ProrpError {
     InvariantViolation(String),
     /// An injected fault (used by tests exercising the reactive fallback).
     FaultInjected(String),
+    /// An observability-layer failure (malformed trace stream, metric
+    /// snapshots that cannot be merged, exporter input errors).
+    Observability(String),
     /// One attempt of a resume-workflow stage failed (§7 control plane).
     WorkflowStageFailed {
         /// The stage that failed.
@@ -66,6 +69,7 @@ impl ProrpError {
             ProrpError::Simulation(_) => "simulation",
             ProrpError::InvariantViolation(_) => "invariant",
             ProrpError::FaultInjected(_) => "fault_injected",
+            ProrpError::Observability(_) => "observability",
             ProrpError::WorkflowStageFailed { .. } => "workflow_stage",
             ProrpError::RetryExhausted { .. } => "retry_exhausted",
         }
@@ -83,6 +87,7 @@ impl fmt::Display for ProrpError {
             ProrpError::Simulation(m) => write!(f, "simulation error: {m}"),
             ProrpError::InvariantViolation(m) => write!(f, "invariant violated: {m}"),
             ProrpError::FaultInjected(m) => write!(f, "injected fault: {m}"),
+            ProrpError::Observability(m) => write!(f, "observability error: {m}"),
             ProrpError::WorkflowStageFailed {
                 stage,
                 attempt,

@@ -13,6 +13,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BLESS=1 cargo test -q -p testkit --test golden_kpis
+BLESS=1 cargo test -q -p testkit --test obs_conformance
 
 echo "==> goldens re-blessed; review the drift:"
 git --no-pager diff --stat -- tests/goldens/

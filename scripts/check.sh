@@ -3,11 +3,14 @@
 #
 #   ./scripts/check.sh
 #
-# Runs, in order: release build, the full test suite, the golden KPI
-# snapshot check (bit-stable simulator output; re-record intentional
-# changes with scripts/bless.sh), clippy (warnings are errors), rustdoc
-# (warnings are errors), and the formatting check.  Fails fast on the
-# first broken step.
+# Runs, in order: the feature-matrix builds (no default features, the
+# default release build, and all features so `strict-invariants` and the
+# observability layer compile together), the full test suite, the golden
+# snapshot checks (bit-stable simulator output; re-record intentional
+# changes with scripts/bless.sh), the `prorp-trace` CLI against the
+# golden trace, the machine-readable fleet-composition export, clippy
+# (warnings are errors), rustdoc (warnings are errors), and the
+# formatting check.  Fails fast on the first broken step.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,9 +20,25 @@ run() {
     "$@"
 }
 
+# Feature matrix: every combination a downstream crate can select.
+run cargo build --workspace --no-default-features
 run cargo build --release
+run cargo build --workspace --all-features
+
 run cargo test -q
 run env BLESS=0 cargo test -q -p testkit --test golden_kpis
+run env BLESS=0 cargo test -q -p testkit --test obs_conformance
+
+# The trace-query CLI must keep parsing the pinned trace format.
+run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
+    tests/goldens/trace_small.jsonl summary
+run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
+    tests/goldens/trace_small.jsonl qos-misses 5
+
+# Machine-readable fleet composition for downstream tooling.
+run cargo run --release -q -p prorp-bench --bin fleet_report -- \
+    --json results/BENCH_fleet.json
+
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 run cargo fmt --check

@@ -4,8 +4,9 @@
 //! id-hash partitioning must cover every database exactly once.
 
 use prorp_core::EngineCounters;
-use prorp_sim::{partition_fleet, SimConfig, SimPolicy, SimReport, Simulation};
-use prorp_types::{PolicyConfig, RetryPolicy, Seconds, Timestamp};
+use prorp_obs::{snapshots_jsonl, trace_jsonl};
+use prorp_sim::{partition_fleet, ObsConfig, SimConfig, SimPolicy, SimReport, Simulation};
+use prorp_types::{BreakerConfig, PolicyConfig, RetryPolicy, Seconds, Timestamp};
 use prorp_workload::{RegionName, RegionProfile, Trace};
 use std::collections::HashSet;
 
@@ -168,6 +169,63 @@ fn stage_faults_and_incident_logs_are_shard_invariant() {
             baseline.incident_log.entries(),
             "{shards} shards: canonical incident order"
         );
+    }
+}
+
+#[test]
+fn observability_streams_are_byte_identical_across_shard_layouts() {
+    // The observability layer promises the same determinism contract as
+    // the KPI surface: the JSONL trace and the deterministic snapshot
+    // series must come out byte-for-byte identical at 1, 2, and 8
+    // shards.  The fault plan mirrors what the testkit generates —
+    // flaky stages with a retry budget, forecast faults tripping the
+    // circuit breaker, and stuck workflows swept by diagnostics — so
+    // every span kind shows up in the compared trace.
+    let traces = fleet(32);
+    let run = |shards: usize| {
+        let cfg = SimConfig::builder(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            Timestamp(0),
+            Timestamp(35 * DAY),
+            Timestamp(30 * DAY),
+        )
+        .shards(shards)
+        .seed(23)
+        .stage_failure_probabilities(0.3)
+        .retry(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Seconds(20),
+            max_backoff: Seconds::minutes(2),
+        })
+        .breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Seconds::minutes(45),
+        })
+        .forecast_fail_every(3)
+        .stuck_probability(0.05)
+        .diagnostics_period(Seconds::minutes(10))
+        .observe(ObsConfig::with_snapshots(Seconds::days(7)))
+        .build()
+        .unwrap();
+        let report = Simulation::new(cfg, traces.clone()).unwrap().run().unwrap();
+        let obs = report.obs.expect("observability was enabled");
+        (trace_jsonl(&obs.trace), snapshots_jsonl(&obs.snapshots))
+    };
+    let (trace_1, snaps_1) = run(1);
+    assert!(
+        trace_1.lines().count() > 1_000,
+        "the fault plan must produce a rich trace, got {} records",
+        trace_1.lines().count()
+    );
+    assert_eq!(
+        snaps_1.lines().count(),
+        5,
+        "7-day period over 35 days: four mid-run snapshots plus the final one"
+    );
+    for shards in [2usize, 8] {
+        let (trace_n, snaps_n) = run(shards);
+        assert_eq!(trace_n, trace_1, "{shards}-shard trace bytes");
+        assert_eq!(snaps_n, snaps_1, "{shards}-shard snapshot bytes");
     }
 }
 
