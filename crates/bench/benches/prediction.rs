@@ -4,7 +4,7 @@
 //! analysis).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prorp_forecast::ProbabilisticPredictor;
+use prorp_forecast::{IncrementalPredictor, ProbabilisticPredictor};
 use prorp_storage::HistoryTable;
 use prorp_types::{EventKind, PolicyConfig, Seasonality, Seconds, Timestamp};
 use std::hint::black_box;
@@ -79,10 +79,39 @@ fn bench_slide_granularity(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_naive_vs_incremental(c: &mut Criterion) {
+    // The PR 5 tentpole A/B: the from-scratch Algorithm 4 scan against
+    // the slot-index + cursor-sweep predictor on the same table, at the
+    // Table 1 defaults.  Both arms must return identical predictions
+    // (enforced by the testkit differential oracle); only the cost may
+    // differ.
+    let mut group = c.benchmark_group("prediction/index_ab");
+    for &per_day in &[1i64, 8, 40] {
+        let config = PolicyConfig::default();
+        let mut h = history(per_day);
+        h.configure_slot_index(config.seasonality.period(), config.slide);
+        let naive = ProbabilisticPredictor::new(config).unwrap();
+        let fast = IncrementalPredictor::new(config).unwrap();
+        assert_eq!(
+            naive.predict_at(&h, Timestamp(28 * DAY)),
+            fast.predict_at(&h, Timestamp(28 * DAY)),
+            "A/B arms must agree before being timed"
+        );
+        group.bench_with_input(BenchmarkId::new("naive", h.len()), &h, |b, h| {
+            b.iter(|| naive.predict_at(black_box(h), Timestamp(28 * DAY)));
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", h.len()), &h, |b, h| {
+            b.iter(|| fast.predict_at(black_box(h), Timestamp(28 * DAY)));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_latency_vs_history_size,
     bench_seasonality,
-    bench_slide_granularity
+    bench_slide_granularity,
+    bench_naive_vs_incremental
 );
 criterion_main!(benches);

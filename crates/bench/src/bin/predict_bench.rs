@@ -1,0 +1,255 @@
+//! Prediction-index A/B harness — the PR 5 tentpole measurement.
+//!
+//! Times the naive from-scratch Algorithm 4 scan against the
+//! incremental predictor (login cache + slot-index bitmap + cursor
+//! sweep) on identical tables, then runs the same fleet simulation
+//! twice — once per predictor via the `naive_predictor` knob — to show
+//! the end-to-end win.  Both arms are bit-identical in behaviour (the
+//! testkit differential oracles enforce it); this harness asserts
+//! prediction and KPI equality again as a cheap belt-and-braces check
+//! and reports only the cost difference.
+//!
+//! Flags:
+//!
+//! * `--smoke` — small fleet and few timing repetitions, for CI
+//!   (`scripts/check.sh`);
+//! * `--json <path>` — write the machine-readable summary
+//!   (`results/BENCH_predict.json` by convention).
+//!
+//! Micro numbers are best-of-R means (minimum over repetitions of the
+//! per-call mean), which suppresses scheduler noise without hiding the
+//! steady-state cost.
+
+use prorp_bench::{json_path_from_args, write_json, ExperimentScale, JsonValue};
+use prorp_forecast::{ConfidenceBasis, IncrementalPredictor, ProbabilisticPredictor};
+use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation};
+use prorp_storage::HistoryTable;
+use prorp_types::{EventKind, PolicyConfig, Seasonality, Seconds, Timestamp};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DAY: i64 = 86_400;
+const HOUR: i64 = 3_600;
+
+/// A 28-day history with `per_day` sessions per day (the criterion
+/// bench's shape, so micro numbers line up across harnesses).
+fn history(per_day: i64) -> HistoryTable {
+    let mut h = HistoryTable::new();
+    for d in 0..28 {
+        for s in 0..per_day {
+            let start = d * DAY + 8 * HOUR + s * (10 * HOUR / per_day.max(1));
+            h.insert_history(Timestamp(start), EventKind::Start);
+            h.insert_history(Timestamp(start + 1_200), EventKind::End);
+        }
+    }
+    h
+}
+
+/// Best-of-`reps` mean nanoseconds per call of `f`.
+fn time_ns<F: FnMut()>(reps: usize, iters: usize, mut f: F) -> f64 {
+    // One untimed warm-up pass populates caches and branch predictors.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_call = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_call);
+    }
+    best
+}
+
+struct MicroCase {
+    name: &'static str,
+    per_day: i64,
+    config: PolicyConfig,
+    basis: ConfidenceBasis,
+}
+
+fn micro_cases() -> Vec<MicroCase> {
+    let default = PolicyConfig::default();
+    vec![
+        MicroCase {
+            name: "default",
+            per_day: 8,
+            config: default,
+            basis: ConfidenceBasis::Windows,
+        },
+        MicroCase {
+            name: "sparse_history",
+            per_day: 1,
+            config: default,
+            basis: ConfidenceBasis::Windows,
+        },
+        MicroCase {
+            name: "dense_history",
+            per_day: 40,
+            config: default,
+            basis: ConfidenceBasis::Windows,
+        },
+        MicroCase {
+            name: "weekly",
+            per_day: 8,
+            config: PolicyConfig {
+                seasonality: Seasonality::Weekly,
+                ..default
+            },
+            basis: ConfidenceBasis::Windows,
+        },
+        MicroCase {
+            name: "logins_basis",
+            per_day: 8,
+            config: default,
+            basis: ConfidenceBasis::Logins,
+        },
+        MicroCase {
+            name: "fine_slide",
+            per_day: 8,
+            config: PolicyConfig {
+                slide: Seconds::minutes(1),
+                ..default
+            },
+            basis: ConfidenceBasis::Windows,
+        },
+    ]
+}
+
+/// Run the fleet once with the chosen predictor arm, returning the
+/// report and the wall-clock seconds of the `run()` call.
+fn fleet_run(scale: &ExperimentScale, naive: bool) -> (SimReport, f64) {
+    let cfg: SimConfig = SimConfig::builder(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        scale.start(),
+        scale.end(),
+        scale.measure_from(),
+    )
+    .node_capacity((scale.fleet / 4).max(8))
+    .nodes(5)
+    .naive_predictor(naive)
+    .build()
+    .expect("experiment defaults are valid");
+    let traces = scale.fleet_for(prorp_workload::RegionName::Eu1);
+    let sim = Simulation::new(cfg, traces).expect("experiment config is valid");
+    let t0 = Instant::now();
+    let report = sim.run().expect("simulation completes");
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = json_path_from_args();
+    let (reps, iters) = if smoke { (3, 30) } else { (7, 200) };
+
+    println!(
+        "Prediction-index A/B ({} mode): naive Algorithm 4 scan vs incremental index",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!();
+    println!(
+        "{:<16} {:>6} {:>14} {:>14} {:>9}",
+        "case", "rows", "naive ns/op", "incr ns/op", "speedup"
+    );
+
+    let mut micro_rows = Vec::new();
+    let mut default_speedup = 0.0;
+    for case in micro_cases() {
+        let mut h = history(case.per_day);
+        h.configure_slot_index(case.config.seasonality.period(), case.config.slide);
+        let naive = ProbabilisticPredictor::with_basis(case.config, case.basis).unwrap();
+        let fast = IncrementalPredictor::with_basis(case.config, case.basis).unwrap();
+        let now = Timestamp(28 * DAY);
+        assert_eq!(
+            naive.predict_at(&h, now),
+            fast.predict_at(&h, now),
+            "{}: A/B arms disagree — differential bug",
+            case.name
+        );
+        let naive_ns = time_ns(reps, iters, || {
+            black_box(naive.predict_at(black_box(&h), now));
+        });
+        let fast_ns = time_ns(reps, iters, || {
+            black_box(fast.predict_at(black_box(&h), now));
+        });
+        let speedup = naive_ns / fast_ns;
+        if case.name == "default" {
+            default_speedup = speedup;
+        }
+        println!(
+            "{:<16} {:>6} {:>14.0} {:>14.0} {:>8.1}x",
+            case.name,
+            h.len(),
+            naive_ns,
+            fast_ns,
+            speedup
+        );
+        micro_rows.push(JsonValue::object(vec![
+            ("case", JsonValue::Str(case.name.into())),
+            ("rows", JsonValue::UInt(h.len() as u64)),
+            ("naive_ns_per_op", JsonValue::Float(naive_ns)),
+            ("incremental_ns_per_op", JsonValue::Float(fast_ns)),
+            ("speedup", JsonValue::Float(speedup)),
+        ]));
+    }
+
+    // End-to-end: the same fleet through both predictor arms.  Reports
+    // must agree on every KPI; only wall clock may differ.
+    let scale = if smoke {
+        ExperimentScale {
+            fleet: 30,
+            days: 32,
+            warmup_days: 28,
+            seed: 42,
+        }
+    } else {
+        ExperimentScale::from_env()
+    };
+    let (fast_report, fast_s) = fleet_run(&scale, false);
+    let (naive_report, naive_s) = fleet_run(&scale, true);
+    assert_eq!(
+        fast_report.kpi, naive_report.kpi,
+        "fleet KPIs diverged between predictor arms — differential bug"
+    );
+    let fleet_speedup = naive_s / fast_s;
+    let predictor_ns =
+        |r: &SimReport| -> u64 { r.counters.iter().map(|c| c.prediction_ns_sum).sum() };
+    let (naive_pred_ns, fast_pred_ns) = (predictor_ns(&naive_report), predictor_ns(&fast_report));
+    println!();
+    println!(
+        "fleet ({} dbs, {} days): naive {:.2}s, incremental {:.2}s — {:.1}x; KPIs identical",
+        scale.fleet, scale.days, naive_s, fast_s, fleet_speedup
+    );
+    println!(
+        "  predictor time in fleet run: naive {:.0}ms, incremental {:.0}ms (sum over engines)",
+        naive_pred_ns as f64 / 1e6,
+        fast_pred_ns as f64 / 1e6,
+    );
+
+    if let Some(path) = json_path {
+        let value = JsonValue::object(vec![
+            (
+                "mode",
+                JsonValue::Str(if smoke { "smoke" } else { "full" }.into()),
+            ),
+            ("micro", JsonValue::Array(micro_rows)),
+            ("default_speedup", JsonValue::Float(default_speedup)),
+            (
+                "fleet",
+                JsonValue::object(vec![
+                    ("databases", JsonValue::UInt(scale.fleet as u64)),
+                    ("days", JsonValue::Int(scale.days)),
+                    ("naive_s", JsonValue::Float(naive_s)),
+                    ("incremental_s", JsonValue::Float(fast_s)),
+                    ("speedup", JsonValue::Float(fleet_speedup)),
+                    ("naive_prediction_ns_sum", JsonValue::UInt(naive_pred_ns)),
+                    (
+                        "incremental_prediction_ns_sum",
+                        JsonValue::UInt(fast_pred_ns),
+                    ),
+                ]),
+            ),
+        ]);
+        write_json(&path, &value);
+    }
+}

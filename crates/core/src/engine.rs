@@ -95,6 +95,9 @@ pub struct EngineCounters {
     /// Re-predictions short-circuited to the reactive fallback because
     /// the breaker was open (the predictor was not invoked).
     pub breaker_fallbacks: u64,
+    /// Re-predictions answered from the engine's `(history version, now)`
+    /// prediction cache without invoking the predictor.
+    pub prediction_cache_hits: u64,
     /// Total wall-clock nanoseconds spent inside the predictor.
     pub prediction_ns_sum: u64,
     /// Worst single prediction latency in nanoseconds.

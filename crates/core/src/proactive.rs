@@ -67,6 +67,14 @@ pub struct ProactiveEngine<P> {
     next_token: u64,
     live_token: Option<TimerToken>,
     counters: EngineCounters,
+    /// Last successful predictor run, keyed on the exact inputs
+    /// `(history mutation version, now)`: a re-prediction with an
+    /// unchanged history at the same instant (an ActivityEnd and a timer
+    /// wake landing on the same second, say) reuses the stored forecast
+    /// instead of re-running the sweep.  Cleared when a restore swaps
+    /// the whole history table (versions of different tables are not
+    /// comparable).
+    cached: Option<(u64, Timestamp, Option<Prediction>)>,
 }
 
 impl<P: Predictor> ProactiveEngine<P> {
@@ -96,10 +104,16 @@ impl<P: Predictor> ProactiveEngine<P> {
     ) -> Result<Self, ProrpError> {
         config.validate()?;
         breaker.validate()?;
+        let mut tracker = ActivityTracker::new();
+        if predictor.wants_slot_index() {
+            tracker
+                .history_mut()
+                .configure_slot_index(config.seasonality.period(), config.slide);
+        }
         Ok(ProactiveEngine {
             config,
             predictor,
-            tracker: ActivityTracker::new(),
+            tracker,
             state: DbState::Resumed,
             active: false,
             old: false,
@@ -109,6 +123,7 @@ impl<P: Predictor> ProactiveEngine<P> {
             next_token: 0,
             live_token: None,
             counters: EngineCounters::default(),
+            cached: None,
         })
     }
 
@@ -183,6 +198,18 @@ impl<P: Predictor> ProactiveEngine<P> {
             self.forecast = ForecastState::Unavailable;
             return;
         }
+        // Prediction cache: a prediction is a pure function of the
+        // (trimmed) history contents and `now`, so when neither changed
+        // since the last successful run the stored forecast is reused
+        // verbatim — the predictor is not invoked at all.
+        let version = self.tracker.history().version();
+        if let Some((v, at, p)) = self.cached {
+            if v == version && at == now {
+                self.counters.prediction_cache_hits += 1;
+                self.forecast = ForecastState::Predicted(p);
+                return;
+            }
+        }
         let started = Instant::now();
         let result = self.predictor.predict(self.tracker.history(), now);
         let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -193,6 +220,7 @@ impl<P: Predictor> ProactiveEngine<P> {
             Ok(p) => {
                 self.breaker.record_success();
                 self.forecast = ForecastState::Predicted(p);
+                self.cached = Some((version, now, p));
             }
             Err(_) => {
                 self.counters.forecast_failures += 1;
@@ -384,6 +412,14 @@ impl<P: Predictor> DatabasePolicy for ProactiveEngine<P> {
 
     fn restore_history(&mut self, history: HistoryTable) {
         self.tracker.replace_history(history);
+        // The restored table restarts its mutation-version counter, so
+        // cached `(version, now)` keys would collide across tables.
+        self.cached = None;
+        if self.predictor.wants_slot_index() {
+            self.tracker
+                .history_mut()
+                .configure_slot_index(self.config.seasonality.period(), self.config.slide);
+        }
     }
 
     fn current_prediction(&self) -> Option<Prediction> {
@@ -421,8 +457,8 @@ mod tests {
 
     /// Drive one day of 09:00–10:00 activity plus the engine's timers.
     /// Returns the timer requests emitted on the final pause decision.
-    fn run_daily_sessions(
-        eng: &mut ProactiveEngine<ProbabilisticPredictor>,
+    fn run_daily_sessions<P: Predictor>(
+        eng: &mut ProactiveEngine<P>,
         days: i64,
     ) -> Vec<EngineAction> {
         let mut last = Vec::new();
@@ -707,6 +743,82 @@ mod tests {
         // And the engine stays logically paused awaiting more activity in
         // the predicted interval (line 19's `now < next.end`).
         assert_eq!(eng.state(), DbState::LogicallyPaused);
+    }
+
+    #[test]
+    fn incremental_predictor_engine_matches_naive_engine() {
+        use prorp_forecast::IncrementalPredictor;
+        let mut naive = engine();
+        let mut incr =
+            ProactiveEngine::new(config(), IncrementalPredictor::new(config()).unwrap()).unwrap();
+        assert!(
+            incr.history().slot_index().is_some(),
+            "engine configures the slot index for predictors that want it"
+        );
+        assert!(
+            naive.history().slot_index().is_none(),
+            "naive reference engines stay free of index maintenance"
+        );
+        let a = run_daily_sessions(&mut naive, 6);
+        let b = run_daily_sessions(&mut incr, 6);
+        assert_eq!(a, b, "action streams diverged");
+        assert_eq!(naive.state(), incr.state());
+        assert_eq!(naive.current_prediction(), incr.current_prediction());
+        let (mut ca, mut cb) = (naive.counters(), incr.counters());
+        ca.prediction_ns_sum = 0;
+        ca.prediction_ns_max = 0;
+        cb.prediction_ns_sum = 0;
+        cb.prediction_ns_max = 0;
+        assert_eq!(ca, cb, "logical counters diverged");
+    }
+
+    #[test]
+    fn unchanged_history_at_same_instant_hits_the_prediction_cache() {
+        let mut eng = engine();
+        eng.on_event(t(100), EngineEvent::ActivityStart);
+        let actions = eng.on_event(t(200), EngineEvent::ActivityEnd);
+        assert_eq!(eng.counters().predictions, 1);
+        let (_, tok) = match actions.as_slice() {
+            [EngineAction::ScheduleTimer(at, tok)] => (*at, *tok),
+            other => panic!("unexpected {other:?}"),
+        };
+        // A timer delivered at the very same second with no intervening
+        // history mutation re-predicts over identical inputs: served
+        // from the cache, predictor not invoked.
+        eng.on_event(t(200), EngineEvent::Timer(tok));
+        let c = eng.counters();
+        assert_eq!(c.predictions, 1, "cached repredict must not re-run");
+        assert_eq!(c.prediction_cache_hits, 1);
+        // A later timer (different `now`) misses the cache.
+        let actions = eng.on_event(t(200), EngineEvent::Timer(tok));
+        if let Some((at, tok)) = actions.iter().find_map(|a| match a {
+            EngineAction::ScheduleTimer(at, tok) => Some((*at, *tok)),
+            _ => None,
+        }) {
+            eng.on_event(at, EngineEvent::Timer(tok));
+            assert!(eng.counters().predictions >= 2);
+        }
+    }
+
+    #[test]
+    fn restore_invalidates_the_prediction_cache_and_reindexes() {
+        use prorp_forecast::IncrementalPredictor;
+        let mk = || ProactiveEngine::new(config(), IncrementalPredictor::new(config()).unwrap());
+        let mut eng = mk().unwrap();
+        run_daily_sessions(&mut eng, 6);
+        let snapshot = eng.history().clone();
+        let mut moved = mk().unwrap();
+        moved.on_event(t(100), EngineEvent::ActivityStart);
+        moved.on_event(t(200), EngineEvent::ActivityEnd);
+        moved.restore_history(snapshot);
+        let ix = moved.history().slot_index().expect("index reconfigured");
+        assert_eq!(ix.total_logins() as usize, moved.history().logins().len());
+        moved.history().check_invariants();
+        // The next cycle predicts from the restored table, not a stale
+        // cache entry keyed on the old table's version.
+        moved.on_event(t(6 * DAY + 9 * HOUR), EngineEvent::ActivityStart);
+        moved.on_event(t(6 * DAY + 10 * HOUR), EngineEvent::ActivityEnd);
+        assert!(moved.current_prediction().is_some());
     }
 
     #[test]

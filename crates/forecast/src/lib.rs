@@ -20,12 +20,14 @@
 
 pub mod accuracy;
 pub mod baselines;
+pub mod incremental;
 pub mod oracle;
 pub mod probabilistic;
 pub mod seasonality;
 
 pub use accuracy::{score_prediction, AccuracyReport, PredictionOutcome};
 pub use baselines::{FailEvery, HourlyHistogramPredictor, LastGapPredictor, NeverPredictor};
+pub use incremental::{IncrementalPredictor, SharedScratch, SweepScratch};
 pub use oracle::OraclePredictor;
 pub use probabilistic::{ConfidenceBasis, ProbabilisticPredictor};
 pub use seasonality::{
@@ -54,4 +56,13 @@ pub trait Predictor {
 
     /// Short name for telemetry and experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Whether this predictor benefits from the history table's
+    /// slot-occupancy index ([`HistoryTable::configure_slot_index`]).
+    /// Engines configure the index on their history only when the
+    /// predictor asks for it, so reference/naive runs stay free of
+    /// index-maintenance overhead.  Wrappers must forward this.
+    fn wants_slot_index(&self) -> bool {
+        false
+    }
 }

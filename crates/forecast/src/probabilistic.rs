@@ -103,6 +103,11 @@ impl ProbabilisticPredictor {
         let period = self.config.seasonality.period();
         let periods = self.config.periods_in_history();
         debug_assert!(periods >= 1, "validated config covers >= 1 period");
+        // Degenerate horizon (`w > p`, including the `p = 0` disable
+        // sentinel): no window position fits, so skip the loop setup.
+        if w > self.config.horizon {
+            return None;
+        }
 
         let pred_end = now + self.config.horizon;
         let mut win_start = now;
@@ -116,16 +121,18 @@ impl ProbabilisticPredictor {
             let mut last_offset = prorp_types::Seconds::ZERO; // line 12
 
             // Inner loop (lines 15–35): same clock window on each of the
-            // previous `periods` seasonal periods.
+            // previous `periods` seasonal periods.  One combined scan
+            // returns MIN, MAX and COUNT at once, so the Logins basis no
+            // longer pays a second range scan per window.
             for prev in 1..=periods {
                 let lo = win_start - period * prev;
                 let hi = lo + w;
-                if let Some((first, last)) = history.first_last_login_in(lo, hi) {
+                if let Some((first, last, count)) = history.login_window_stats(lo, hi) {
                     earliest_offset = earliest_offset.min(first - lo);
                     last_offset = last_offset.max(last - lo);
                     windows_with_activity += 1;
                     if self.basis == ConfidenceBasis::Logins {
-                        login_count += history.count_logins_in(lo, hi);
+                        login_count += count;
                     }
                 }
             }
@@ -343,6 +350,33 @@ mod tests {
             a.predict_at(&history, t(5 * DAY)),
             b.predict_at(&history, t(5 * DAY))
         );
+    }
+
+    #[test]
+    fn zero_horizon_is_equivalent_to_no_prediction() {
+        // `p = 0` disables prediction (PolicyConfig::prediction_disabled);
+        // predict_at must pin that to `None` without entering the sweep,
+        // even over a history with a perfect pattern.
+        let history = history_on_days(&[0, 1, 2, 3, 4], 9);
+        let cfg = PolicyConfig {
+            horizon: Seconds::ZERO,
+            ..config(0.5, 2)
+        };
+        let p = ProbabilisticPredictor {
+            config: cfg,
+            basis: ConfidenceBasis::Windows,
+        };
+        assert_eq!(p.predict_at(&history, t(5 * DAY)), None);
+        // Any horizon shorter than the window is equally degenerate.
+        let cfg = PolicyConfig {
+            horizon: Seconds::hours(1),
+            ..config(0.5, 2)
+        };
+        let p = ProbabilisticPredictor {
+            config: cfg,
+            basis: ConfidenceBasis::Windows,
+        };
+        assert_eq!(p.predict_at(&history, t(5 * DAY)), None);
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub struct SimConfig {
     pub maintenance_deadline: Seconds,
     /// RNG seed for fault injection.
     pub seed: u64,
+    /// Run the proactive policy on the naive reference predictor (B-tree
+    /// range scans per window) instead of the default incremental
+    /// prediction index.  The two are bit-identical in behaviour — this
+    /// knob exists for A/B benchmarking and differential testing.
+    pub naive_predictor: bool,
     /// Number of simulation shards (worker threads).  Databases are
     /// partitioned by id-hash ([`prorp_types::DatabaseId::shard_of`]) and
     /// each shard runs its own event loop on its own cluster slice;
@@ -131,6 +136,7 @@ impl SimConfig {
             maintenance_duration: Seconds::minutes(20),
             maintenance_deadline: Seconds::hours(24),
             seed: 0,
+            naive_predictor: false,
             shards: 1,
             fault: FaultConfig::default(),
             observe: ObsConfig::default(),
@@ -321,6 +327,13 @@ impl SimConfigBuilder {
     /// RNG seed for fault injection.
     pub fn seed(mut self, v: u64) -> Self {
         self.cfg.seed = v;
+        self
+    }
+
+    /// Use the naive reference predictor instead of the incremental
+    /// prediction index (bit-identical behaviour; A/B benchmarking).
+    pub fn naive_predictor(mut self, v: bool) -> Self {
+        self.cfg.naive_predictor = v;
         self
     }
 

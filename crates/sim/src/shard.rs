@@ -52,7 +52,9 @@ use prorp_core::{
     MaintenanceStats, OptimalEngine, PolicyKind, ProactiveEngine, ProactiveResumeOp,
     ReactiveEngine, ResumeWorkflow, StageOutcome,
 };
-use prorp_forecast::{FailEvery, ProbabilisticPredictor};
+use prorp_forecast::{
+    FailEvery, IncrementalPredictor, Predictor, ProbabilisticPredictor, SharedScratch, SweepScratch,
+};
 use prorp_obs::ObsReport;
 use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
 use prorp_telemetry::{
@@ -171,22 +173,44 @@ fn workflow_hangs(seed: u64, db: DatabaseId, now: Timestamp, probability: f64) -
     ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < probability
 }
 
-fn build_engine(cfg: &SimConfig, trace: &Trace) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
+/// Wrap a predictor in the forecast fault injection (every n-th
+/// prediction fails, exercising the §3.2 fallback and the circuit
+/// breaker) when configured, and box the resulting proactive engine.
+fn proactive_engine<P: Predictor + 'static>(
+    cfg: &SimConfig,
+    pc: &prorp_types::PolicyConfig,
+    predictor: P,
+) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
+    let breaker = cfg.fault().breaker;
+    Ok(match cfg.fault().forecast_fail_every {
+        Some(n) => Box::new(ProactiveEngine::with_breaker(
+            *pc,
+            FailEvery::new(predictor, u64::from(n)),
+            breaker,
+        )?),
+        None => Box::new(ProactiveEngine::with_breaker(*pc, predictor, breaker)?),
+    })
+}
+
+fn build_engine(
+    cfg: &SimConfig,
+    trace: &Trace,
+    scratch: &SharedScratch,
+) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
     Ok(match &cfg.policy {
         SimPolicy::Reactive => Box::new(ReactiveEngine::new(Seconds::hours(7), Seconds::days(28))?),
         SimPolicy::Proactive(pc) => {
-            let predictor = ProbabilisticPredictor::new(*pc)?;
-            let breaker = cfg.fault().breaker;
-            // Forecast fault injection wraps the predictor so every n-th
-            // prediction fails, exercising the §3.2 fallback and the
-            // circuit breaker.
-            match cfg.fault().forecast_fail_every {
-                Some(n) => Box::new(ProactiveEngine::with_breaker(
+            if cfg.naive_predictor {
+                proactive_engine(cfg, pc, ProbabilisticPredictor::new(*pc)?)?
+            } else {
+                // Default: the incremental prediction index, sharing one
+                // cursor-scratch allocation across the shard's engines.
+                let predictor = IncrementalPredictor::with_scratch(
                     *pc,
-                    FailEvery::new(predictor, u64::from(n)),
-                    breaker,
-                )?),
-                None => Box::new(ProactiveEngine::with_breaker(*pc, predictor, breaker)?),
+                    prorp_forecast::ConfidenceBasis::Windows,
+                    scratch.clone(),
+                )?;
+                proactive_engine(cfg, pc, predictor)?
             }
         }
         SimPolicy::Optimal => Box::new(OptimalEngine::new(trace.sessions.clone())?),
@@ -266,11 +290,14 @@ pub(crate) fn run_shard(
     // and every instrumentation site below is one branch on the Option.
     let mut obs: Option<ShardObs> = cfg.observe().enabled.then(ShardObs::new);
 
-    // Build per-database state and enqueue every trace event.
+    // Build per-database state and enqueue every trace event.  All the
+    // shard's incremental predictors share one cursor-scratch buffer:
+    // engines live and run on this worker thread only.
+    let scratch = SweepScratch::shared();
     let mut dbs: Vec<DbSim> = Vec::with_capacity(traces.len());
     let mut db_index: HashMap<DatabaseId, usize> = HashMap::with_capacity(traces.len());
     for trace in traces {
-        let engine = build_engine(cfg, trace)?;
+        let engine = build_engine(cfg, trace, &scratch)?;
         let mut acc = SegmentAccumulator::new();
         // Until the first login the fleet holds no resources for the
         // database (§2.1: a new serverless database starts paused from

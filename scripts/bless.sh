@@ -15,5 +15,11 @@ cd "$(dirname "$0")/.."
 BLESS=1 cargo test -q -p testkit --test golden_kpis
 BLESS=1 cargo test -q -p testkit --test obs_conformance
 
+# Re-record the full-scale prediction-index A/B numbers alongside the
+# goldens (timings are machine-dependent; the committed file documents a
+# representative run, the smoke run in check.sh guards the equivalence).
+cargo run --release -q -p prorp-bench --bin predict_bench -- \
+    --json results/BENCH_predict.json
+
 echo "==> goldens re-blessed; review the drift:"
-git --no-pager diff --stat -- tests/goldens/
+git --no-pager diff --stat -- tests/goldens/ results/

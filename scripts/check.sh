@@ -29,6 +29,11 @@ run cargo test -q
 run env BLESS=0 cargo test -q -p testkit --test golden_kpis
 run env BLESS=0 cargo test -q -p testkit --test obs_conformance
 
+# The incremental prediction index must stay bit-identical to the naive
+# Algorithm 4 scan (single-table interleavings, whole-fleet reports, and
+# shard invariance with the index enabled).
+run cargo test -q -p testkit --test prediction_index
+
 # The trace-query CLI must keep parsing the pinned trace format.
 run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
     tests/goldens/trace_small.jsonl summary
@@ -38,6 +43,12 @@ run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
 # Machine-readable fleet composition for downstream tooling.
 run cargo run --release -q -p prorp-bench --bin fleet_report -- \
     --json results/BENCH_fleet.json
+
+# Prediction-index A/B in smoke mode: asserts naive ≡ incremental on
+# every timed case and records the speedups (timings vary run to run;
+# scripts/bless.sh re-records the full-scale numbers).
+run cargo run --release -q -p prorp-bench --bin predict_bench -- \
+    --smoke --json results/BENCH_predict.json
 
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
