@@ -1,0 +1,245 @@
+//! Million-database scaling sweep — the PR 6 tentpole measurement.
+//!
+//! Runs the proactive policy over lazily generated fleets of increasing
+//! size and over increasing shard counts, recording wall time,
+//! events/second, and peak resident memory per `(fleet size × shard
+//! count)` cell into `results/BENCH_scale.json`.  The fleet is never
+//! materialised: each shard worker pulls its own id-hash partition from
+//! a [`LazyFleet`] via [`Simulation::run_streamed`], and telemetry runs
+//! in [`TelemetryMode::Summary`] so the report holds per-label counts
+//! instead of tens of millions of events.
+//!
+//! Before timing each fleet size, the harness re-proves the shard
+//! determinism contract at scale: every shard count must produce
+//! bit-identical KPIs (and, at the smallest size, bit-identical KPIs to
+//! the fully materialised [`Simulation::run`] path).
+//!
+//! Flags:
+//!
+//! * `--dbs 10k,100k,1m` — fleet sizes (k/m suffixes);
+//! * `--shards 1,4,16` — shard counts per fleet size;
+//! * `--days 8` — simulated days (KPIs measured over the last 2);
+//! * `--json <path>` — machine-readable output
+//!   (`results/BENCH_scale.json` by convention);
+//! * `--smoke` — tiny sweep for CI (`scripts/check.sh`).
+//!
+//! Peak RSS is read from `/proc/self/status` (`VmHWM`); the high-water
+//! mark is reset through `/proc/self/clear_refs` before each cell, so
+//! cells are independent even though they share one process.  On
+//! platforms without procfs both values report as zero.
+
+use prorp_bench::{json_path_from_args, write_json, JsonValue};
+use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation, TelemetryMode};
+use prorp_types::{PolicyConfig, Seconds, Timestamp};
+use prorp_workload::{LazyFleet, RegionName, RegionProfile, TraceSource};
+use std::time::Instant;
+
+/// Parse one fleet-size token: `500`, `10k`, `1m`.
+fn parse_size(tok: &str) -> usize {
+    let t = tok.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.strip_suffix('m') {
+        Some(d) => (d.to_string(), 1_000_000),
+        None => match t.strip_suffix('k') {
+            Some(d) => (d.to_string(), 1_000),
+            None => (t.clone(), 1),
+        },
+    };
+    let base: usize = digits
+        .parse()
+        .unwrap_or_else(|_| panic!("bad fleet size {tok:?} (want e.g. 500, 10k, 1m)"));
+    base * mult
+}
+
+/// Parse a comma-separated list with `parse_size` semantics.
+fn parse_list(spec: &str) -> Vec<usize> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(parse_size)
+        .collect()
+}
+
+/// Value following `flag` in the argument list, if present.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    match args.get(at + 1) {
+        Some(v) => Some(v.clone()),
+        None => {
+            eprintln!("{flag} requires an argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Reset the process peak-RSS high-water mark (Linux; no-op elsewhere).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Current peak RSS in bytes from `VmHWM` (0 where procfs is absent).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The proactive-policy config for one cell of the sweep.
+fn config_for(dbs: usize, shards: usize, days: i64) -> SimConfig {
+    let start = Timestamp(0);
+    let end = start + Seconds::days(days);
+    let measure_from = start + Seconds::days((days - 2).max(1));
+    SimConfig::builder(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        start,
+        end,
+        measure_from,
+    )
+    .node_capacity((dbs / 4).max(8))
+    .nodes(5)
+    .shards(shards)
+    .telemetry_mode(TelemetryMode::Summary)
+    .build()
+    .expect("scale-sweep defaults are valid")
+}
+
+/// One timed cell: stream `fleet` through `shards` workers.
+fn run_cell(fleet: &LazyFleet, dbs: usize, shards: usize, days: i64) -> (SimReport, f64) {
+    let cfg = config_for(dbs, shards, days);
+    let t0 = Instant::now();
+    let report = Simulation::run_streamed(cfg, fleet).expect("scale-sweep run completes");
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_path_from_args();
+
+    let (default_dbs, default_shards) = if smoke {
+        ("500,2k", "1,2")
+    } else {
+        ("10k,100k,1m", "1,4,16")
+    };
+    let mut sizes = parse_list(&arg_value(&args, "--dbs").unwrap_or_else(|| default_dbs.into()));
+    let shard_counts =
+        parse_list(&arg_value(&args, "--shards").unwrap_or_else(|| default_shards.into()));
+    let days: i64 = arg_value(&args, "--days")
+        .map(|v| v.parse().expect("--days wants an integer"))
+        .unwrap_or(8);
+    assert!(
+        days >= 3,
+        "--days must be at least 3 (2 measured + warm-up)"
+    );
+    assert!(!sizes.is_empty() && !shard_counts.is_empty());
+    // Smallest first: cheap cells validate the sweep before the big ones
+    // spend minutes, and RSS grows monotonically within the sweep.
+    sizes.sort_unstable();
+
+    println!(
+        "Scale sweep ({} mode): {} days, fleets {:?}, shards {:?}",
+        if smoke { "smoke" } else { "full" },
+        days,
+        sizes,
+        shard_counts
+    );
+    println!();
+    println!(
+        "{:>10} {:>7} {:>9} {:>12} {:>13} {:>12} {:>7}",
+        "databases", "shards", "wall s", "events", "events/s", "peak RSS MB", "QoS %"
+    );
+
+    let profile = RegionProfile::for_region(RegionName::Eu1);
+    let mut entries = Vec::new();
+    for &dbs in &sizes {
+        let start = Timestamp(0);
+        let end = start + Seconds::days(days);
+        let fleet = LazyFleet::new(profile.clone(), dbs, start, end, 42);
+
+        // Determinism gate: at the smallest size, the streamed path must
+        // match the materialised path bit for bit.
+        if dbs == sizes[0] && dbs <= 10_000 {
+            let eager: Vec<_> = fleet.iter().collect();
+            let materialised = Simulation::new(config_for(dbs, shard_counts[0], days), eager)
+                .expect("config valid")
+                .run()
+                .expect("materialised run completes");
+            let (streamed, _) = run_cell(&fleet, dbs, shard_counts[0], days);
+            assert_eq!(
+                materialised.kpi, streamed.kpi,
+                "run_streamed diverged from run at {dbs} databases"
+            );
+        }
+
+        let mut baseline_kpi = None;
+        for &shards in &shard_counts {
+            reset_peak_rss();
+            let (report, wall_s) = run_cell(&fleet, dbs, shards, days);
+            let rss = peak_rss_bytes();
+            // Shard-invariance gate at every scale: KPIs must not depend
+            // on the shard count.
+            match &baseline_kpi {
+                None => baseline_kpi = Some(report.kpi),
+                Some(kpi) => assert_eq!(
+                    *kpi, report.kpi,
+                    "KPIs diverged between shard counts at {dbs} databases"
+                ),
+            }
+            let events: u64 = report
+                .shard_counters
+                .iter()
+                .map(|c| c.events_processed)
+                .sum();
+            let events_per_sec = events as f64 / wall_s.max(1e-9);
+            println!(
+                "{:>10} {:>7} {:>9.2} {:>12} {:>13.0} {:>12.1} {:>7.2}",
+                dbs,
+                shards,
+                wall_s,
+                events,
+                events_per_sec,
+                rss as f64 / (1024.0 * 1024.0),
+                report.kpi.qos_pct()
+            );
+            entries.push(JsonValue::object(vec![
+                ("databases", JsonValue::UInt(dbs as u64)),
+                ("shards", JsonValue::UInt(shards as u64)),
+                ("days", JsonValue::Int(days)),
+                ("wall_s", JsonValue::Float(wall_s)),
+                ("events", JsonValue::UInt(events)),
+                ("events_per_sec", JsonValue::Float(events_per_sec)),
+                ("peak_rss_bytes", JsonValue::UInt(rss)),
+                ("qos_pct", JsonValue::Float(report.kpi.qos_pct())),
+                (
+                    "telemetry_events",
+                    JsonValue::UInt(report.telemetry_summary.total()),
+                ),
+            ]));
+        }
+        // The lazy source stays O(1) memory, so confirm nothing pinned
+        // the fleet: len is parameters-only.
+        assert_eq!(TraceSource::len(&fleet), dbs);
+    }
+
+    if let Some(path) = json_path {
+        let value = JsonValue::object(vec![
+            (
+                "mode",
+                JsonValue::Str(if smoke { "smoke" } else { "full" }.into()),
+            ),
+            ("days", JsonValue::Int(days)),
+            ("entries", JsonValue::Array(entries)),
+        ]);
+        write_json(&path, &value);
+    }
+}

@@ -270,13 +270,52 @@ impl TraceBuffer {
 
     /// Merge per-shard record streams into one canonical trace.
     ///
-    /// Records are sorted by [`TraceRecord::sort_key`].  Each database
+    /// The output is ordered by [`TraceRecord::sort_key`].  Each database
     /// lives on exactly one shard, so its sequence numbers came from a
     /// single buffer and the result is independent of the shard layout.
+    ///
+    /// Parts that already arrive in canonical order (the shard runner
+    /// sorts its buffer on the worker thread before handing it over) are
+    /// k-way merged without re-sorting, so the fleet-wide combine step is
+    /// a single linear pass; an unsorted part is detected and sorted
+    /// first, preserving the old flatten-and-sort semantics for ad-hoc
+    /// callers.
     pub fn merge(parts: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
-        let mut all: Vec<TraceRecord> = parts.into_iter().flatten().collect();
-        all.sort_by_key(TraceRecord::sort_key);
-        all
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        /// Heap entry: (record sort key, source index).
+        type HeapKey = Reverse<((i64, u64, u64), usize)>;
+
+        let total = parts.iter().map(Vec::len).sum();
+        let mut sources: Vec<std::vec::IntoIter<TraceRecord>> = parts
+            .into_iter()
+            .map(|mut part| {
+                if !part.windows(2).all(|w| w[0].sort_key() <= w[1].sort_key()) {
+                    part.sort_by_key(TraceRecord::sort_key);
+                }
+                part.into_iter()
+            })
+            .collect();
+        // Heap of (next sort key, source index); ties across sources
+        // cannot happen in a sharded run (each database's records sit in
+        // one part), but the source index makes the order total anyway.
+        let mut heads: Vec<Option<TraceRecord>> = sources.iter_mut().map(Iterator::next).collect();
+        let mut heap: BinaryHeap<HeapKey> = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|r| Reverse((r.sort_key(), i))))
+            .collect();
+        let mut merged = Vec::with_capacity(total);
+        while let Some(Reverse((_, i))) = heap.pop() {
+            let record = heads[i].take().expect("heap entries have a live head");
+            merged.push(record);
+            if let Some(next) = sources[i].next() {
+                heads[i] = Some(next);
+                heap.push(Reverse((next.sort_key(), i)));
+            }
+        }
+        merged
     }
 }
 
@@ -335,6 +374,36 @@ mod tests {
         let merged_two = TraceBuffer::merge(vec![b2.into_records(), b1.into_records()]);
 
         assert_eq!(merged_one, merged_two);
+    }
+
+    #[test]
+    fn merge_sorts_backdated_parts_before_k_way_merging() {
+        // A backdated span (start before the previous record's) leaves a
+        // buffer out of canonical order; merge must detect and sort it.
+        let mut unsorted = TraceBuffer::new();
+        rec(&mut unsorted, 50, 1);
+        unsorted.span(
+            Timestamp(10),
+            Timestamp(50),
+            DatabaseId(1),
+            SpanKind::Workflow {
+                outcome: WorkflowOutcome::Completed,
+            },
+        );
+        let mut sorted = TraceBuffer::new();
+        rec(&mut sorted, 20, 2);
+        rec(&mut sorted, 60, 2);
+
+        let a = unsorted.into_records();
+        let b = sorted.into_records();
+        let mut want: Vec<TraceRecord> = a.iter().chain(b.iter()).copied().collect();
+        want.sort_by_key(TraceRecord::sort_key);
+
+        let merged = TraceBuffer::merge(vec![a, b]);
+        assert_eq!(merged, want);
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].sort_key() <= w[1].sort_key()));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! field, so a hand-mutated config cannot bypass its validation.
 
 use prorp_obs::ObsConfig;
+use prorp_telemetry::TelemetryMode;
 use prorp_types::{
     BreakerConfig, FaultConfig, PolicyConfig, ProrpError, RetryPolicy, Seconds, Timestamp,
     WorkflowStage,
@@ -97,6 +98,13 @@ pub struct SimConfig {
     /// yields identical KPIs for 1 and N shards (see
     /// [`crate::shard`] for the exact guarantee).
     pub shards: usize,
+    /// Whether the merged per-event telemetry log is materialised in the
+    /// report ([`TelemetryMode::Full`], the default) or folded into
+    /// per-label counts only ([`TelemetryMode::Summary`]).  KPIs are
+    /// identical either way — Summary mode exists so million-database
+    /// runs do not hold tens of millions of telemetry events in the
+    /// final report.
+    pub telemetry_mode: TelemetryMode,
     /// The control-plane fault layer (stage latencies/failure
     /// probabilities, retry policy, predictor circuit breaker, forecast
     /// fault injection).  Private on purpose: these knobs are set only
@@ -138,6 +146,7 @@ impl SimConfig {
             seed: 0,
             naive_predictor: false,
             shards: 1,
+            telemetry_mode: TelemetryMode::Full,
             fault: FaultConfig::default(),
             observe: ObsConfig::default(),
         }
@@ -386,6 +395,12 @@ impl SimConfigBuilder {
     /// (see [`prorp_obs::ObsConfig`]).
     pub fn observe(mut self, v: ObsConfig) -> Self {
         self.cfg.observe = v;
+        self
+    }
+
+    /// Telemetry materialisation mode (see [`SimConfig::telemetry_mode`]).
+    pub fn telemetry_mode(mut self, v: TelemetryMode) -> Self {
+        self.cfg.telemetry_mode = v;
         self
     }
 

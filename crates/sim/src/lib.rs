@@ -18,7 +18,15 @@
 //!   validates everything at `build()`;
 //! * [`runner`] — the driver: partitions the fleet by id-hash, fans the
 //!   shards out over worker threads, and merges the per-shard outcomes
-//!   into one [`SimReport`];
+//!   into one [`SimReport`].  [`Simulation::run_streamed`] does the same
+//!   over a [`prorp_workload::TraceSource`] without ever materialising
+//!   the whole fleet;
+//! * [`fleet`] — struct-of-arrays per-shard database state: one arena of
+//!   homogeneous policy engines (`EngineArena`, internal), flat
+//!   segment-accumulator and flag columns ([`BitSet`]), and a dense
+//!   [`DbIndexMap`] from database id to arena slot.  This is what lets
+//!   one shard hold hundreds of thousands of databases without a boxed
+//!   allocation per database;
 //! * [`shard`] — the per-shard event loop: replays traces through
 //!   per-database policy engines, executes their actions (allocation
 //!   workflows with latency, reclamation, timers, metadata publication),
@@ -39,12 +47,13 @@
 //!   [`SimReport::obs`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cluster;
 pub mod config;
 pub mod diagnostics;
 pub mod events;
+pub mod fleet;
 pub mod node;
 pub mod obs;
 pub mod runner;
@@ -52,7 +61,9 @@ pub mod shard;
 
 pub use config::{SimConfig, SimConfigBuilder, SimPolicy};
 pub use diagnostics::{DiagnosticsRunner, Mitigation};
+pub use fleet::{BitSet, DbIndexMap};
 pub use obs::DiagnosticsMetrics;
 pub use prorp_obs::ObsConfig;
+pub use prorp_telemetry::{TelemetryMode, TelemetrySummary};
 pub use runner::{SimReport, Simulation};
 pub use shard::partition_fleet;

@@ -373,9 +373,18 @@ impl ShardObs {
     }
 
     /// Consume the shard's observability state into its mergeable report.
+    ///
+    /// The shard's trace buffer is sorted into canonical
+    /// `(start, db, seq)` order here, on the worker thread — backdated
+    /// spans (whose `start` lies before the previous record's) make the
+    /// raw emission order non-canonical — so the fleet-wide
+    /// `TraceBuffer::merge` can k-way merge pre-sorted parts in one
+    /// linear pass.
     pub(crate) fn finish(self) -> ObsReport {
+        let mut trace = self.trace.into_records();
+        trace.sort_by_key(|r| r.sort_key());
         ObsReport {
-            trace: self.trace.into_records(),
+            trace,
             snapshots: self.snapshots,
         }
     }

@@ -22,10 +22,11 @@ use prorp_obs::ObsReport;
 use prorp_storage::StorageStats;
 use prorp_telemetry::{
     IncidentLog, KpiReport, SegmentAccumulator, ShardCounters, TelemetryKind, TelemetryLog,
-    WorkflowStats,
+    TelemetryMergeIter, TelemetryMode, TelemetrySummary, WorkflowStats,
 };
 use prorp_types::{DatabaseId, ProrpError, Seconds, Timestamp};
-use prorp_workload::Trace;
+use prorp_workload::{Trace, TraceSource};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Results of one simulation run.
@@ -35,8 +36,14 @@ pub struct SimReport {
     pub policy_label: &'static str,
     /// Fleet-level KPIs over the measurement window.
     pub kpi: KpiReport,
-    /// Full telemetry log (whole run, timestamped).
+    /// Full telemetry log (whole run, timestamped).  Empty when the run
+    /// used [`TelemetryMode::Summary`] — consult
+    /// [`telemetry_summary`](Self::telemetry_summary) instead.
     pub telemetry: TelemetryLog,
+    /// Per-label event counts over the whole run, computed during the
+    /// streaming merge.  Populated in every mode; in
+    /// [`TelemetryMode::Summary`] runs it is the only telemetry output.
+    pub telemetry_summary: TelemetrySummary,
     /// Per-database engine counters (whole run), in input-trace order.
     pub counters: Vec<EngineCounters>,
     /// Batch sizes of each proactive-resume scan iteration (Figure 11).
@@ -83,6 +90,9 @@ impl SimReport {
     /// Workflow counts per `bin` over the measurement window — the
     /// Figure 11 ([`TelemetryKind::ProactiveResume`]) and Figure 12
     /// ([`TelemetryKind::PhysicalPause`]) inputs.
+    ///
+    /// All-zero in [`TelemetryMode::Summary`] runs (the per-event log the
+    /// bins are cut from is not materialised).
     pub fn workflow_bins(&self, kind: TelemetryKind, bin: Seconds) -> Vec<usize> {
         self.telemetry
             .counts_per_bin(kind, self.measure_from, self.end, bin)
@@ -152,19 +162,24 @@ impl Simulation {
     pub fn run(self) -> Result<SimReport, ProrpError> {
         let cfg = &self.config;
         let partitions = shard::partition_fleet(&self.traces, cfg.shards);
-        let shard_traces: Vec<Vec<&Trace>> = partitions
-            .iter()
-            .map(|idxs| idxs.iter().map(|&i| &self.traces[i]).collect())
-            .collect();
 
         let outcomes: Vec<ShardOutcome> = if cfg.shards == 1 {
-            vec![shard::run_shard(cfg, 0, &shard_traces[0])?]
+            let traces = partitions[0]
+                .iter()
+                .map(|&i| Cow::Borrowed(&self.traces[i]));
+            vec![shard::run_shard(cfg, 0, partitions[0].len(), traces)?]
         } else {
+            let traces = &self.traces;
             let joined = crossbeam::scope(|scope| {
-                let handles: Vec<_> = shard_traces
+                let handles: Vec<_> = partitions
                     .iter()
                     .enumerate()
-                    .map(|(i, traces)| scope.spawn(move |_| shard::run_shard(cfg, i, traces)))
+                    .map(|(i, idxs)| {
+                        scope.spawn(move |_| {
+                            let part = idxs.iter().map(|&j| Cow::Borrowed(&traces[j]));
+                            shard::run_shard(cfg, i, idxs.len(), part)
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -179,31 +194,111 @@ impl Simulation {
             joined.into_iter().collect::<Result<Vec<_>, _>>()?
         };
 
-        self.merge(outcomes)
-    }
-
-    /// Merge per-shard outcomes into the fleet report.
-    ///
-    /// Every merged quantity is shard-order-independent: segment totals
-    /// and workflow counts are integer sums, per-database rows are
-    /// re-ordered to the input-trace order, batch sizes sum element-wise
-    /// per tick, and the telemetry log is k-way merged by timestamp.
-    /// Fleet KPI fractions are computed once from the summed totals —
-    /// never by averaging per-shard ratios — so a shard with zero
-    /// databases contributes nothing instead of dragging the QoS/COGS
-    /// percentages toward its (undefined) local ratio.
-    fn merge(&self, outcomes: Vec<ShardOutcome>) -> Result<SimReport, ProrpError> {
-        let cfg = &self.config;
         let order: HashMap<DatabaseId, usize> = self
             .traces
             .iter()
             .enumerate()
             .map(|(i, t)| (t.db, i))
             .collect();
+        merge_outcomes(cfg, &order, self.traces.len(), outcomes)
+    }
 
+    /// Run over a [`TraceSource`] without materialising the fleet.
+    ///
+    /// Each shard worker generates exactly its own id-hash partition of
+    /// the fleet, one trace at a time, while building its event queue —
+    /// so peak memory holds the per-database engine state but never a
+    /// million session vectors at once.  For any source whose `trace(i)`
+    /// agrees with a materialised `Vec<Trace>` (e.g.
+    /// [`prorp_workload::LazyFleet`] vs
+    /// [`prorp_workload::RegionProfile::generate_fleet`]), the report is
+    /// bit-identical to [`Simulation::run`] over that vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation failures, rejects duplicate database
+    /// ids in the source, and returns [`ProrpError::Simulation`] on
+    /// internal invariant violations.
+    pub fn run_streamed<S: TraceSource + ?Sized>(
+        config: SimConfig,
+        source: &S,
+    ) -> Result<SimReport, ProrpError> {
+        config.check()?;
+        let cfg = &config;
+        let n = source.len();
+
+        // One cheap id pass sizes the shards and fixes the output order.
+        let mut shard_sizes = vec![0usize; cfg.shards];
+        let mut order: HashMap<DatabaseId, usize> = HashMap::with_capacity(n);
+        for i in 0..n {
+            let id = source.db_id(i);
+            shard_sizes[id.shard_of(cfg.shards)] += 1;
+            if order.insert(id, i).is_some() {
+                return Err(ProrpError::Simulation(format!(
+                    "duplicate database id {id} in trace source"
+                )));
+            }
+        }
+
+        let outcomes: Vec<ShardOutcome> = if cfg.shards == 1 {
+            let traces = (0..n).map(|i| Cow::Owned(source.trace(i)));
+            vec![shard::run_shard(cfg, 0, n, traces)?]
+        } else {
+            let joined = crossbeam::scope(|scope| {
+                let handles: Vec<_> = shard_sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &size)| {
+                        scope.spawn(move |_| {
+                            let part = (0..n)
+                                .filter(|&i| source.db_id(i).shard_of(cfg.shards) == s)
+                                .map(|i| Cow::Owned(source.trace(i)));
+                            shard::run_shard(cfg, s, size, part)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(ProrpError::Simulation("shard worker panicked".into()))
+                        })
+                    })
+                    .collect::<Vec<Result<ShardOutcome, ProrpError>>>()
+            })
+            .map_err(|_| ProrpError::Simulation("shard scope panicked".into()))?;
+            joined.into_iter().collect::<Result<Vec<_>, _>>()?
+        };
+
+        merge_outcomes(cfg, &order, n, outcomes)
+    }
+}
+
+/// Merge per-shard outcomes into the fleet report.
+///
+/// Every merged quantity is shard-order-independent: segment totals
+/// and workflow counts are integer sums, per-database rows are
+/// re-ordered to the input-trace order (`order` maps id → input
+/// position, `n` is the fleet size), batch sizes sum element-wise
+/// per tick, and the telemetry log is k-way merged by timestamp.
+/// Fleet KPI fractions are computed once from the summed totals —
+/// never by averaging per-shard ratios — so a shard with zero
+/// databases contributes nothing instead of dragging the QoS/COGS
+/// percentages toward its (undefined) local ratio.
+///
+/// The KPI event counts and the per-label summary are folded out of a
+/// single pass over the streaming merge iterator; the merged log itself
+/// is materialised only in [`TelemetryMode::Full`] runs.
+fn merge_outcomes(
+    cfg: &SimConfig,
+    order: &HashMap<DatabaseId, usize>,
+    n: usize,
+    outcomes: Vec<ShardOutcome>,
+) -> Result<SimReport, ProrpError> {
+    {
         let mut fleet_acc = SegmentAccumulator::new();
-        let mut counters: Vec<Option<EngineCounters>> = vec![None; self.traces.len()];
-        let mut history_stats: Vec<Option<StorageStats>> = vec![None; self.traces.len()];
+        let mut counters: Vec<Option<EngineCounters>> = vec![None; n];
+        let mut history_stats: Vec<Option<StorageStats>> = vec![None; n];
         let mut forecast_failures = 0u64;
         let mut spill_moves = 0u64;
         let mut balance_moves = 0u64;
@@ -252,18 +347,31 @@ impl Simulation {
             None
         };
 
-        let telemetry = TelemetryLog::merge(shard_logs);
+        // One pass over the streaming k-way merge feeds the KPI event
+        // counts and the per-label summary; the merged log is only
+        // written out when the run materialises telemetry.
+        let materialise = cfg.telemetry_mode == TelemetryMode::Full;
         let mut kpi = KpiReport::from_segments(&fleet_acc);
-        for e in telemetry.range(cfg.measure_from, cfg.end) {
-            match e.kind {
-                TelemetryKind::Login { available: true } => kpi.logins_available += 1,
-                TelemetryKind::Login { available: false } => kpi.logins_unavailable += 1,
-                TelemetryKind::ProactiveResume => kpi.proactive_resumes += 1,
-                TelemetryKind::PhysicalPause => kpi.physical_pauses += 1,
-                TelemetryKind::ForecastFailure => kpi.forecast_failures += 1,
-                _ => {}
+        let mut summary = TelemetrySummary::new();
+        let mut iter = TelemetryMergeIter::new(shard_logs);
+        let mut merged_events = Vec::with_capacity(if materialise { iter.remaining() } else { 0 });
+        for e in &mut iter {
+            summary.observe(&e);
+            if e.ts >= cfg.measure_from && e.ts < cfg.end {
+                match e.kind {
+                    TelemetryKind::Login { available: true } => kpi.logins_available += 1,
+                    TelemetryKind::Login { available: false } => kpi.logins_unavailable += 1,
+                    TelemetryKind::ProactiveResume => kpi.proactive_resumes += 1,
+                    TelemetryKind::PhysicalPause => kpi.physical_pauses += 1,
+                    TelemetryKind::ForecastFailure => kpi.forecast_failures += 1,
+                    _ => {}
+                }
+            }
+            if materialise {
+                merged_events.push(e);
             }
         }
+        let telemetry = TelemetryLog::from_sorted_events(merged_events);
         kpi.forecast_failures = forecast_failures;
         #[cfg(feature = "strict-invariants")]
         check_kpi_identities(&kpi)?;
@@ -283,6 +391,7 @@ impl Simulation {
             policy_label: cfg.policy.label(),
             kpi,
             telemetry,
+            telemetry_summary: summary,
             counters: collect(counters, "counters")?,
             resume_batches: ProactiveResumeOp::sum_shard_batches(&shard_batches),
             history_stats: collect(history_stats, "history stats")?,

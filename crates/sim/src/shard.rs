@@ -44,17 +44,15 @@ use crate::cluster::{AllocationOutcome, Cluster};
 use crate::config::{SimConfig, SimPolicy};
 use crate::diagnostics::DiagnosticsRunner;
 use crate::events::{EventQueue, SimEvent};
+use crate::fleet::FleetState;
 use crate::obs::{SelfObservations, ShardObs};
 #[cfg(feature = "strict-invariants")]
 use prorp_core::LifecycleInvariants;
 use prorp_core::{
-    DatabasePolicy, EngineAction, EngineCounters, EngineEvent, MaintenanceScheduler,
-    MaintenanceStats, OptimalEngine, PolicyKind, ProactiveEngine, ProactiveResumeOp,
-    ReactiveEngine, ResumeWorkflow, StageOutcome,
+    EngineAction, EngineCounters, EngineEvent, MaintenanceScheduler, MaintenanceStats, PolicyKind,
+    ProactiveResumeOp, ResumeWorkflow, StageOutcome,
 };
-use prorp_forecast::{
-    FailEvery, IncrementalPredictor, Predictor, ProbabilisticPredictor, SharedScratch, SweepScratch,
-};
+use prorp_forecast::SweepScratch;
 use prorp_obs::ObsReport;
 use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
 use prorp_telemetry::{
@@ -63,32 +61,31 @@ use prorp_telemetry::{
 };
 use prorp_types::{DatabaseId, DbState, ProrpError, Seconds, Timestamp};
 use prorp_workload::Trace;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::time::Instant;
-
-/// One simulated database: its policy engine plus bookkeeping.
-struct DbSim {
-    id: DatabaseId,
-    engine: Box<dyn DatabasePolicy>,
-    acc: SegmentAccumulator,
-    demand: bool,
-    resume_in_flight: bool,
-    /// Observational lifecycle checker (strict-invariants builds only).
-    #[cfg(feature = "strict-invariants")]
-    shadow: LifecycleInvariants,
-}
 
 /// Validate the engine's post-event state against the shadow lifecycle
 /// checker.  Compiled out (always `Ok`) unless `strict-invariants` is on.
 #[cfg(feature = "strict-invariants")]
-fn observe_shadow(d: &mut DbSim, now: Timestamp, event: EngineEvent) -> Result<(), ProrpError> {
-    let after = d.engine.state();
-    d.shadow.observe(now, event, after)
+fn observe_shadow(
+    fleet: &mut FleetState,
+    idx: usize,
+    now: Timestamp,
+    event: EngineEvent,
+) -> Result<(), ProrpError> {
+    let after = fleet.engines.get(idx).state();
+    fleet.shadows[idx].observe(now, event, after)
 }
 
 #[cfg(not(feature = "strict-invariants"))]
 #[inline(always)]
-fn observe_shadow(_d: &mut DbSim, _now: Timestamp, _event: EngineEvent) -> Result<(), ProrpError> {
+fn observe_shadow(
+    _fleet: &mut FleetState,
+    _idx: usize,
+    _now: Timestamp,
+    _event: EngineEvent,
+) -> Result<(), ProrpError> {
     Ok(())
 }
 
@@ -173,50 +170,6 @@ fn workflow_hangs(seed: u64, db: DatabaseId, now: Timestamp, probability: f64) -
     ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < probability
 }
 
-/// Wrap a predictor in the forecast fault injection (every n-th
-/// prediction fails, exercising the §3.2 fallback and the circuit
-/// breaker) when configured, and box the resulting proactive engine.
-fn proactive_engine<P: Predictor + 'static>(
-    cfg: &SimConfig,
-    pc: &prorp_types::PolicyConfig,
-    predictor: P,
-) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
-    let breaker = cfg.fault().breaker;
-    Ok(match cfg.fault().forecast_fail_every {
-        Some(n) => Box::new(ProactiveEngine::with_breaker(
-            *pc,
-            FailEvery::new(predictor, u64::from(n)),
-            breaker,
-        )?),
-        None => Box::new(ProactiveEngine::with_breaker(*pc, predictor, breaker)?),
-    })
-}
-
-fn build_engine(
-    cfg: &SimConfig,
-    trace: &Trace,
-    scratch: &SharedScratch,
-) -> Result<Box<dyn DatabasePolicy>, ProrpError> {
-    Ok(match &cfg.policy {
-        SimPolicy::Reactive => Box::new(ReactiveEngine::new(Seconds::hours(7), Seconds::days(28))?),
-        SimPolicy::Proactive(pc) => {
-            if cfg.naive_predictor {
-                proactive_engine(cfg, pc, ProbabilisticPredictor::new(*pc)?)?
-            } else {
-                // Default: the incremental prediction index, sharing one
-                // cursor-scratch allocation across the shard's engines.
-                let predictor = IncrementalPredictor::with_scratch(
-                    *pc,
-                    prorp_forecast::ConfidenceBasis::Windows,
-                    scratch.clone(),
-                )?;
-                proactive_engine(cfg, pc, predictor)?
-            }
-        }
-        SimPolicy::Optimal => Box::new(OptimalEngine::new(trace.sessions.clone())?),
-    })
-}
-
 /// Execute the side effects an engine requested.
 fn apply_actions(
     cfg: &SimConfig,
@@ -259,14 +212,21 @@ fn apply_actions(
 }
 
 /// Run one shard's complete event loop over `traces` (the shard's subset
-/// of the fleet) and return its mergeable outcome.
-pub(crate) fn run_shard(
+/// of the fleet, consumed one trace at a time so a streamed source never
+/// materialises the whole partition) and return its mergeable outcome.
+/// `expected_dbs` pre-sizes the per-database arrays; an inexact hint
+/// costs a reallocation, nothing else.
+pub(crate) fn run_shard<'a, I>(
     cfg: &SimConfig,
     shard: usize,
-    traces: &[&Trace],
-) -> Result<ShardOutcome, ProrpError> {
+    expected_dbs: usize,
+    traces: I,
+) -> Result<ShardOutcome, ProrpError>
+where
+    I: IntoIterator<Item = Cow<'a, Trace>>,
+{
     let started = Instant::now();
-    let mut counters = ShardCounters::new(shard, traces.len());
+    let mut counters = ShardCounters::new(shard, expected_dbs);
     let mut queue = EventQueue::new();
     // Each shard owns a full-size slice of the region: `nodes` nodes of
     // `node_capacity`, with globally unique node ids.
@@ -290,31 +250,23 @@ pub(crate) fn run_shard(
     // and every instrumentation site below is one branch on the Option.
     let mut obs: Option<ShardObs> = cfg.observe().enabled.then(ShardObs::new);
 
-    // Build per-database state and enqueue every trace event.  All the
-    // shard's incremental predictors share one cursor-scratch buffer:
-    // engines live and run on this worker thread only.
+    // Build per-database state and enqueue every trace event, consuming
+    // the shard's traces one at a time — a streamed source generates
+    // each trace on demand and drops it here, so the shard never holds
+    // its whole partition of login traces in memory.  All the shard's
+    // incremental predictors share one cursor-scratch buffer: engines
+    // live and run on this worker thread only.
+    //
+    // The maintenance first-due stagger is folded into this same pass
+    // (it used to be a separate loop after init).  Event order is
+    // unchanged: same-timestamp events of one type keep their relative
+    // trace order, and ties across event types resolve by the queue's
+    // per-variant priority, never by push order.
     let scratch = SweepScratch::shared();
-    let mut dbs: Vec<DbSim> = Vec::with_capacity(traces.len());
-    let mut db_index: HashMap<DatabaseId, usize> = HashMap::with_capacity(traces.len());
+    let mut fleet = FleetState::with_capacity(cfg, expected_dbs);
     for trace in traces {
-        let engine = build_engine(cfg, trace, &scratch)?;
-        let mut acc = SegmentAccumulator::new();
-        // Until the first login the fleet holds no resources for the
-        // database (§2.1: a new serverless database starts paused from
-        // the fleet's perspective).
-        acc.transition(cfg.start, SegmentKind::Saved);
-        db_index.insert(trace.db, dbs.len());
-        #[cfg(feature = "strict-invariants")]
-        let shadow = LifecycleInvariants::new(trace.db, cfg.start, engine.state());
-        dbs.push(DbSim {
-            id: trace.db,
-            engine,
-            acc,
-            demand: false,
-            resume_in_flight: false,
-            #[cfg(feature = "strict-invariants")]
-            shadow,
-        });
+        let trace = trace.as_ref();
+        fleet.push(cfg, trace, &scratch)?;
         cluster.place(trace.db);
         metadata.set_state(trace.db, DbState::Resumed);
         for s in &trace.sessions {
@@ -325,12 +277,14 @@ pub(crate) fn run_shard(
                 queue.push(s.end, SimEvent::ActivityEnd(trace.db));
             }
         }
+        if let Some(p) = cfg.maintenance_period {
+            // Stagger first due times across the fleet so jobs do not
+            // all land in the same second.
+            let stagger = Seconds((trace.db.raw() as i64 % p.as_secs().max(1)).max(1));
+            queue.push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
+        }
     }
-    let db_index = |id: DatabaseId| -> usize {
-        *db_index
-            .get(&id)
-            .expect("event for a database of another shard")
-    };
+    counters.databases = fleet.len();
 
     queue.push(cfg.measure_from, SimEvent::MeasureStart);
     if !is_optimal {
@@ -341,14 +295,6 @@ pub(crate) fn run_shard(
     }
     if let Some(p) = cfg.rebalance_period {
         queue.push(cfg.start + p, SimEvent::RebalanceTick);
-    }
-    if let Some(p) = cfg.maintenance_period {
-        // Stagger first due times across the fleet so jobs do not all
-        // land in the same second.
-        for trace in traces {
-            let stagger = Seconds((trace.db.raw() as i64 % p.as_secs().max(1)).max(1));
-            queue.push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
-        }
     }
     if let Some(p) = cfg.observe().snapshot_every {
         if cfg.start + p < cfg.end {
@@ -371,7 +317,7 @@ pub(crate) fn run_shard(
                         SelfObservations {
                             events_processed: counters.events_processed,
                             telemetry_events: telemetry.len() as u64,
-                            databases: dbs.len(),
+                            databases: fleet.len(),
                             wall_clock_micros: started.elapsed().as_micros().min(u64::MAX as u128)
                                 as u64,
                             workflows_in_flight: diagnostics.in_flight_count(),
@@ -385,22 +331,25 @@ pub(crate) fn run_shard(
                 }
             }
             SimEvent::MeasureStart => {
-                for d in dbs.iter_mut() {
-                    d.acc.reset_keeping_open(now);
+                for acc in fleet.accs.iter_mut() {
+                    acc.reset_keeping_open(now);
                 }
             }
             SimEvent::ActivityStart(id) => {
-                let idx = db_index(id);
-                let was_state = dbs[idx].engine.state();
-                let kind = dbs[idx].engine.kind();
+                let idx = fleet.index_of(id);
+                let was_state = fleet.engines.get(idx).state();
+                let kind = fleet.engines.get(idx).kind();
                 let prewarmed = matches!(
-                    dbs[idx].acc.open_kind(),
+                    fleet.accs[idx].open_kind(),
                     Some(SegmentKind::ProactiveIdleWrong) | Some(SegmentKind::ProactiveIdleCorrect)
                 );
-                dbs[idx].demand = true;
-                let obs_before = obs.as_ref().map(|_| dbs[idx].engine.counters());
-                let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityStart);
-                observe_shadow(&mut dbs[idx], now, EngineEvent::ActivityStart)?;
+                fleet.demand.set(idx, true);
+                let obs_before = obs.as_ref().map(|_| fleet.engines.get(idx).counters());
+                let actions = fleet
+                    .engines
+                    .get_mut(idx)
+                    .on_event(now, EngineEvent::ActivityStart);
+                observe_shadow(&mut fleet, idx, now, EngineEvent::ActivityStart)?;
                 let available =
                     was_state != DbState::PhysicallyPaused || kind == PolicyKind::Optimal;
                 telemetry.record(now, id, TelemetryKind::Login { available });
@@ -410,8 +359,8 @@ pub(crate) fn run_shard(
                         id,
                         was_state,
                         &obs_before.unwrap(),
-                        dbs[idx].engine.state(),
-                        &dbs[idx].engine.counters(),
+                        fleet.engines.get(idx).state(),
+                        &fleet.engines.get(idx).counters(),
                     );
                     o.on_login(now, id, available);
                 }
@@ -420,21 +369,19 @@ pub(crate) fn run_shard(
                 let outcome = cluster.allocate(id)?;
                 if available {
                     if prewarmed {
-                        dbs[idx]
-                            .acc
-                            .reclassify_open(SegmentKind::ProactiveIdleCorrect);
+                        fleet.accs[idx].reclassify_open(SegmentKind::ProactiveIdleCorrect);
                     }
-                    dbs[idx].acc.transition(now, SegmentKind::Active);
+                    fleet.accs[idx].transition(now, SegmentKind::Active);
                 } else {
                     // Reactive resume: the customer waits out the staged
                     // allocation workflow (§2.2's delay; §7's stages).
-                    dbs[idx].acc.transition(now, SegmentKind::Unavailable);
+                    fleet.accs[idx].transition(now, SegmentKind::Unavailable);
                     let mut move_penalty = Seconds::ZERO;
                     if matches!(outcome, AllocationOutcome::Moved { .. }) {
                         move_penalty = cfg.move_penalty;
                     }
                     diagnostics.workflow_started(id, now);
-                    dbs[idx].resume_in_flight = true;
+                    fleet.resume_in_flight.set(idx, true);
                     // A hung workflow schedules nothing; the diagnostics
                     // sweep is its only way out.
                     if !workflow_hangs(cfg.seed, id, now, cfg.stuck_probability) {
@@ -455,23 +402,29 @@ pub(crate) fn run_shard(
                 );
             }
             SimEvent::ActivityEnd(id) => {
-                let idx = db_index(id);
-                if !dbs[idx].demand {
+                let idx = fleet.index_of(id);
+                if !fleet.demand.get(idx) {
                     continue;
                 }
-                dbs[idx].demand = false;
-                dbs[idx].resume_in_flight = false;
+                fleet.demand.set(idx, false);
+                fleet.resume_in_flight.set(idx, false);
                 // A still-running staged workflow is superseded: drop its
                 // state (stale stage events are rejected by expected_at)
                 // and retire it from the diagnostics queue.
                 if workflows.remove(&id).is_some() {
                     diagnostics.workflow_completed(id);
                 }
-                let obs_before = obs
-                    .as_ref()
-                    .map(|_| (dbs[idx].engine.state(), dbs[idx].engine.counters()));
-                let actions = dbs[idx].engine.on_event(now, EngineEvent::ActivityEnd);
-                observe_shadow(&mut dbs[idx], now, EngineEvent::ActivityEnd)?;
+                let obs_before = obs.as_ref().map(|_| {
+                    (
+                        fleet.engines.get(idx).state(),
+                        fleet.engines.get(idx).counters(),
+                    )
+                });
+                let actions = fleet
+                    .engines
+                    .get_mut(idx)
+                    .on_event(now, EngineEvent::ActivityEnd);
+                observe_shadow(&mut fleet, idx, now, EngineEvent::ActivityEnd)?;
                 apply_actions(
                     cfg,
                     &actions,
@@ -481,7 +434,7 @@ pub(crate) fn run_shard(
                     &mut metadata,
                     &mut cluster,
                 );
-                let state = dbs[idx].engine.state();
+                let state = fleet.engines.get(idx).state();
                 metadata.set_state(id, state);
                 if let Some(o) = obs.as_mut() {
                     let (before_state, before) = obs_before.unwrap();
@@ -491,31 +444,34 @@ pub(crate) fn run_shard(
                         before_state,
                         &before,
                         state,
-                        &dbs[idx].engine.counters(),
+                        &fleet.engines.get(idx).counters(),
                     );
                 }
                 match state {
                     DbState::LogicallyPaused => {
                         telemetry.record(now, id, TelemetryKind::LogicalPause);
-                        dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
+                        fleet.accs[idx].transition(now, SegmentKind::LogicalPauseIdle);
                     }
                     DbState::PhysicallyPaused => {
                         telemetry.record(now, id, TelemetryKind::PhysicalPause);
-                        dbs[idx].acc.transition(now, SegmentKind::Saved);
+                        fleet.accs[idx].transition(now, SegmentKind::Saved);
                     }
                     DbState::Resumed => {
                         // Engines always leave Resumed on ActivityEnd;
                         // defensive only.
-                        dbs[idx].acc.transition(now, SegmentKind::Active);
+                        fleet.accs[idx].transition(now, SegmentKind::Active);
                     }
                 }
             }
             SimEvent::EngineTimer(id, token) => {
-                let idx = db_index(id);
-                let before = dbs[idx].engine.state();
-                let obs_before = obs.as_ref().map(|_| dbs[idx].engine.counters());
-                let actions = dbs[idx].engine.on_event(now, EngineEvent::Timer(token));
-                observe_shadow(&mut dbs[idx], now, EngineEvent::Timer(token))?;
+                let idx = fleet.index_of(id);
+                let before = fleet.engines.get(idx).state();
+                let obs_before = obs.as_ref().map(|_| fleet.engines.get(idx).counters());
+                let actions = fleet
+                    .engines
+                    .get_mut(idx)
+                    .on_event(now, EngineEvent::Timer(token));
+                observe_shadow(&mut fleet, idx, now, EngineEvent::Timer(token))?;
                 apply_actions(
                     cfg,
                     &actions,
@@ -525,10 +481,10 @@ pub(crate) fn run_shard(
                     &mut metadata,
                     &mut cluster,
                 );
-                let after = dbs[idx].engine.state();
+                let after = fleet.engines.get(idx).state();
                 if before == DbState::LogicallyPaused && after == DbState::PhysicallyPaused {
                     telemetry.record(now, id, TelemetryKind::PhysicalPause);
-                    dbs[idx].acc.transition(now, SegmentKind::Saved);
+                    fleet.accs[idx].transition(now, SegmentKind::Saved);
                 }
                 metadata.set_state(id, after);
                 if let Some(o) = obs.as_mut() {
@@ -538,7 +494,7 @@ pub(crate) fn run_shard(
                         before,
                         &obs_before.unwrap(),
                         after,
-                        &dbs[idx].engine.counters(),
+                        &fleet.engines.get(idx).counters(),
                     );
                 }
             }
@@ -556,15 +512,23 @@ pub(crate) fn run_shard(
                 }
             }
             SimEvent::ProactiveResume(id) => {
-                let idx = db_index(id);
-                if dbs[idx].engine.state() != DbState::PhysicallyPaused || dbs[idx].demand {
+                let idx = fleet.index_of(id);
+                if fleet.engines.get(idx).state() != DbState::PhysicallyPaused
+                    || fleet.demand.get(idx)
+                {
                     continue; // raced with a login
                 }
-                let obs_before = obs
-                    .as_ref()
-                    .map(|_| (dbs[idx].engine.state(), dbs[idx].engine.counters()));
-                let actions = dbs[idx].engine.on_event(now, EngineEvent::ProactiveResume);
-                observe_shadow(&mut dbs[idx], now, EngineEvent::ProactiveResume)?;
+                let obs_before = obs.as_ref().map(|_| {
+                    (
+                        fleet.engines.get(idx).state(),
+                        fleet.engines.get(idx).counters(),
+                    )
+                });
+                let actions = fleet
+                    .engines
+                    .get_mut(idx)
+                    .on_event(now, EngineEvent::ProactiveResume);
+                observe_shadow(&mut fleet, idx, now, EngineEvent::ProactiveResume)?;
                 if let Some(o) = obs.as_mut() {
                     let (before_state, before) = obs_before.unwrap();
                     o.on_engine_event(
@@ -572,8 +536,8 @@ pub(crate) fn run_shard(
                         id,
                         before_state,
                         &before,
-                        dbs[idx].engine.state(),
-                        &dbs[idx].engine.counters(),
+                        fleet.engines.get(idx).state(),
+                        &fleet.engines.get(idx).counters(),
                     );
                 }
                 if actions.is_empty() {
@@ -586,10 +550,8 @@ pub(crate) fn run_shard(
                 cluster.allocate(id)?;
                 // Optimistically "wrong" until the login proves it
                 // correct.
-                dbs[idx]
-                    .acc
-                    .transition(now, SegmentKind::ProactiveIdleWrong);
-                metadata.set_state(id, dbs[idx].engine.state());
+                fleet.accs[idx].transition(now, SegmentKind::ProactiveIdleWrong);
+                metadata.set_state(id, fleet.engines.get(idx).state());
                 apply_actions(
                     cfg,
                     &actions,
@@ -665,18 +627,18 @@ pub(crate) fn run_shard(
                 }
             }
             SimEvent::WorkflowComplete(id) => {
-                let idx = db_index(id);
+                let idx = fleet.index_of(id);
                 diagnostics.workflow_completed(id);
-                if !dbs[idx].resume_in_flight {
+                if !fleet.resume_in_flight.get(idx) {
                     continue; // superseded (activity ended meanwhile)
                 }
-                dbs[idx].resume_in_flight = false;
-                match dbs[idx].engine.state() {
-                    DbState::Resumed if dbs[idx].demand => {
-                        dbs[idx].acc.transition(now, SegmentKind::Active);
+                fleet.resume_in_flight.set(idx, false);
+                match fleet.engines.get(idx).state() {
+                    DbState::Resumed if fleet.demand.get(idx) => {
+                        fleet.accs[idx].transition(now, SegmentKind::Active);
                     }
                     DbState::LogicallyPaused => {
-                        dbs[idx].acc.transition(now, SegmentKind::LogicalPauseIdle);
+                        fleet.accs[idx].transition(now, SegmentKind::LogicalPauseIdle);
                     }
                     _ => {}
                 }
@@ -699,8 +661,8 @@ pub(crate) fn run_shard(
                 }
             }
             SimEvent::MaintenanceDue(id) => {
-                let idx = db_index(id);
-                let prediction = dbs[idx].engine.current_prediction();
+                let idx = fleet.index_of(id);
+                let prediction = fleet.engines.get(idx).current_prediction();
                 let deadline = now + cfg.maintenance_deadline;
                 let slot = maintenance.place(
                     now,
@@ -729,8 +691,8 @@ pub(crate) fn run_shard(
                 // and releases compute (the backend load the scheduler
                 // minimises); a job on a resumed or logically paused
                 // database rides the existing allocation.
-                let idx = db_index(id);
-                if dbs[idx].engine.state() == DbState::PhysicallyPaused {
+                let idx = fleet.index_of(id);
+                if fleet.engines.get(idx).state() == DbState::PhysicallyPaused {
                     let _ = cluster.allocate(id)?;
                     cluster.release(id);
                 }
@@ -740,10 +702,10 @@ pub(crate) fn run_shard(
                     // Ship the history with the database (§3.3): the
                     // move serialises pages and restores them on the
                     // destination node.
-                    let idx = db_index(moved);
-                    let bytes = backup_history(dbs[idx].engine.history())?;
+                    let idx = fleet.index_of(moved);
+                    let bytes = backup_history(fleet.engines.get(idx).history())?;
                     let restored = restore_history(&bytes)?;
-                    dbs[idx].engine.restore_history(restored);
+                    fleet.engines.get_mut(idx).restore_history(restored);
                     telemetry.record(now, moved, TelemetryKind::Move);
                     if let Some(o) = obs.as_mut() {
                         o.on_move_with_history(now, moved, bytes.len() as u64);
@@ -761,26 +723,32 @@ pub(crate) fn run_shard(
 
     // Close the books.
     let mut db_results: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)> =
-        Vec::with_capacity(dbs.len());
-    for d in dbs.iter_mut() {
-        d.acc.close(cfg.end);
+        Vec::with_capacity(fleet.len());
+    for idx in 0..fleet.len() {
+        let id = fleet.ids[idx];
+        fleet.accs[idx].close(cfg.end);
         #[cfg(feature = "strict-invariants")]
         {
             // History tuples must come back in strictly ascending
             // timestamp order from a structurally sound B-tree, and every
             // closed book must account for exactly the measured window.
-            LifecycleInvariants::check_history(d.id, d.engine.history())?;
-            let measured = d.acc.grand_total();
+            LifecycleInvariants::check_history(id, fleet.engines.get(idx).history())?;
+            let measured = fleet.accs[idx].grand_total();
             let expected = cfg.end.since(cfg.measure_from);
             if measured != expected {
                 return Err(ProrpError::InvariantViolation(format!(
-                    "db {:?}: segment totals cover {measured:?} of a \
-                     {expected:?} measurement window",
-                    d.id
+                    "db {id:?}: segment totals cover {measured:?} of a \
+                     {expected:?} measurement window"
                 )));
             }
         }
-        db_results.push((d.id, d.acc, d.engine.counters(), d.engine.history().stats()));
+        let engine = fleet.engines.get(idx);
+        db_results.push((
+            id,
+            fleet.accs[idx],
+            engine.counters(),
+            engine.history().stats(),
+        ));
     }
 
     counters.telemetry_events = telemetry.len() as u64;
@@ -799,7 +767,7 @@ pub(crate) fn run_shard(
             SelfObservations {
                 events_processed: counters.events_processed,
                 telemetry_events: counters.telemetry_events,
-                databases: dbs.len(),
+                databases: fleet.len(),
                 wall_clock_micros: counters.wall_clock_micros,
                 workflows_in_flight: diagnostics.in_flight_count(),
             },

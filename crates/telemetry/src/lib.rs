@@ -15,6 +15,10 @@
 //! * [`boxplot`] — five-number summaries (Figures 11 and 12);
 //! * [`log`] — the append-only telemetry event log the offline training
 //!   pipeline consumes;
+//! * [`merge`] — the streaming k-way merge over per-shard logs plus the
+//!   [`TelemetryMode`]/[`TelemetrySummary`] contract that lets
+//!   million-database runs fold telemetry into counts instead of
+//!   materialising it;
 //! * [`fault`] — control-plane fault-layer telemetry (§7): per-stage
 //!   workflow latency histograms, retry/giveup/fallback counters, and
 //!   the deterministic incident log;
@@ -23,13 +27,14 @@
 //!   itself, not the simulated fleet).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod boxplot;
 pub mod cdf;
 pub mod fault;
 pub mod kpi;
 pub mod log;
+pub mod merge;
 pub mod segments;
 pub mod shard;
 
@@ -38,5 +43,6 @@ pub use cdf::Cdf;
 pub use fault::{IncidentEntry, IncidentKind, IncidentLog, LatencyHistogram, WorkflowStats};
 pub use kpi::KpiReport;
 pub use log::{TelemetryEvent, TelemetryKind, TelemetryLog};
+pub use merge::{TelemetryMergeIter, TelemetryMode, TelemetrySummary};
 pub use segments::{SegmentAccumulator, SegmentKind};
 pub use shard::ShardCounters;

@@ -100,6 +100,23 @@ impl TelemetryLog {
         &self.events
     }
 
+    /// Consume the log, yielding its event buffer (time-ordered).  The
+    /// streaming merge uses this to drain shard logs without copying.
+    pub fn into_events(self) -> Vec<TelemetryEvent> {
+        self.events
+    }
+
+    /// Re-wrap an already time-ordered event buffer (e.g. the output of a
+    /// fully drained [`TelemetryMergeIter`](crate::merge::TelemetryMergeIter))
+    /// into a log without copying.
+    pub fn from_sorted_events(events: Vec<TelemetryEvent>) -> TelemetryLog {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "from_sorted_events requires time-ordered input"
+        );
+        TelemetryLog { events }
+    }
+
     /// Events within `[from, to)`.
     pub fn range(&self, from: Timestamp, to: Timestamp) -> &[TelemetryEvent] {
         let lo = self.events.partition_point(|e| e.ts < from);
@@ -145,32 +162,15 @@ impl TelemetryLog {
     /// the global order the single-threaded simulator would have
     /// produced.  Ties at one timestamp resolve by input (shard) index,
     /// so the merge is deterministic for a fixed shard layout.
+    ///
+    /// This is the materialising form of
+    /// [`TelemetryMergeIter`](crate::merge::TelemetryMergeIter); consumers
+    /// that only fold the stream (KPI counters, label summaries) should
+    /// drive the iterator directly and skip the output buffer.
     pub fn merge(shards: Vec<TelemetryLog>) -> TelemetryLog {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-
-        let total = shards.iter().map(TelemetryLog::len).sum();
-        let mut sources: Vec<std::vec::IntoIter<TelemetryEvent>> =
-            shards.into_iter().map(|l| l.events.into_iter()).collect();
-        // Heap of (next timestamp, source index); the event itself is
-        // pulled from its source when the head wins.
-        let mut heads: Vec<Option<TelemetryEvent>> =
-            sources.iter_mut().map(Iterator::next).collect();
-        let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = heads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, h)| h.map(|e| Reverse((e.ts, i))))
-            .collect();
-        let mut merged = Vec::with_capacity(total);
-        while let Some(Reverse((_, i))) = heap.pop() {
-            let event = heads[i].take().expect("heap entries have a live head");
-            merged.push(event);
-            if let Some(next) = sources[i].next() {
-                debug_assert!(event.ts <= next.ts, "shard logs must be time-ordered");
-                heads[i] = Some(next);
-                heap.push(Reverse((next.ts, i)));
-            }
-        }
+        let mut iter = crate::merge::TelemetryMergeIter::new(shards);
+        let mut merged = Vec::with_capacity(iter.remaining());
+        merged.extend(&mut iter);
         TelemetryLog { events: merged }
     }
 

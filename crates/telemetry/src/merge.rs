@@ -1,0 +1,219 @@
+//! Streaming k-way merge of per-shard telemetry logs.
+//!
+//! A sharded simulation run produces one time-ordered [`TelemetryLog`]
+//! per shard.  At fleet scale those logs are the largest post-run
+//! artifact (tens of millions of events for a million-database region),
+//! so the merge must not require the fleet-wide log *and* every shard
+//! buffer to coexist: [`TelemetryMergeIter`] yields the merged stream
+//! one event at a time, consuming the shard buffers as it goes, and the
+//! consumer decides whether to materialise.
+//!
+//! The merge order is canonical: events sort by `(timestamp, shard
+//! index)`, which reproduces exactly the order the previous materialised
+//! merge emitted — the shard-invariance oracles in the testkit hold
+//! bit-for-bit over this stream.
+//!
+//! [`TelemetryMode`] and [`TelemetrySummary`] are the streaming
+//! consumer's contract with the simulator: in
+//! [`Summary`](TelemetryMode::Summary) mode the simulator folds the
+//! stream into per-label counts (and its KPI window counters) without
+//! ever materialising the merged log — the memory that matters at
+//! million-database scale.
+
+use crate::log::{TelemetryEvent, TelemetryLog};
+use prorp_types::Timestamp;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// How the simulator retains the merged telemetry of a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TelemetryMode {
+    /// Materialise the full merged event log (the default): per-event
+    /// queries such as `counts_per_bin` (Figures 11/12) stay available
+    /// on the report.
+    #[default]
+    Full,
+    /// Stream the merge: keep only the [`TelemetrySummary`] label counts
+    /// and the KPI window counters, dropping each shard's buffer as it
+    /// drains.  The report's event log is empty.  This is the
+    /// million-database mode — memory stays proportional to the label
+    /// set, not the event count.
+    Summary,
+}
+
+/// Label-keyed event counts accumulated from the merged telemetry
+/// stream.
+///
+/// Deterministic by construction: the map is ordered by label and the
+/// counts are integer sums, so two runs that emit the same events
+/// produce equal summaries regardless of shard count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    total: u64,
+    per_label: BTreeMap<&'static str, u64>,
+}
+
+impl TelemetrySummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        TelemetrySummary::default()
+    }
+
+    /// Fold one merged event into the counts.
+    pub fn observe(&mut self, event: &TelemetryEvent) {
+        self.total += 1;
+        *self.per_label.entry(event.kind.label()).or_insert(0) += 1;
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events observed for one kind label (see
+    /// [`TelemetryKind::label`](crate::TelemetryKind::label)).
+    pub fn count(&self, label: &str) -> u64 {
+        self.per_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// All `(label, count)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.per_label.iter().map(|(l, c)| (*l, *c))
+    }
+
+    /// Build a summary from one already-merged log (equivalence anchor
+    /// for the streaming path).
+    pub fn from_log(log: &TelemetryLog) -> Self {
+        let mut s = TelemetrySummary::new();
+        for e in log.events() {
+            s.observe(e);
+        }
+        s
+    }
+}
+
+/// Streaming k-way merge over per-shard telemetry logs.
+///
+/// Yields events in canonical `(timestamp, shard index)` order.  Each
+/// shard's buffer is consumed incrementally; nothing beyond the k head
+/// events is buffered by the iterator itself.
+pub struct TelemetryMergeIter {
+    sources: Vec<std::vec::IntoIter<TelemetryEvent>>,
+    heads: Vec<Option<TelemetryEvent>>,
+    /// Min-heap of `(next timestamp, source index)`.
+    heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    remaining: usize,
+}
+
+impl TelemetryMergeIter {
+    /// Start a streaming merge over `shards` (each individually
+    /// time-ordered, as the per-shard event loops guarantee).
+    pub fn new(shards: Vec<TelemetryLog>) -> Self {
+        let remaining = shards.iter().map(TelemetryLog::len).sum();
+        let mut sources: Vec<std::vec::IntoIter<TelemetryEvent>> = shards
+            .into_iter()
+            .map(|l| l.into_events().into_iter())
+            .collect();
+        let heads: Vec<Option<TelemetryEvent>> = sources.iter_mut().map(Iterator::next).collect();
+        let heap: BinaryHeap<Reverse<(Timestamp, usize)>> = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|e| Reverse((e.ts, i))))
+            .collect();
+        TelemetryMergeIter {
+            sources,
+            heads,
+            heap,
+            remaining,
+        }
+    }
+
+    /// Exact number of events left in the merged stream.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for TelemetryMergeIter {
+    type Item = TelemetryEvent;
+
+    fn next(&mut self) -> Option<TelemetryEvent> {
+        let Reverse((_, i)) = self.heap.pop()?;
+        let event = self.heads[i].take().expect("heap entries have a live head");
+        self.remaining -= 1;
+        if let Some(next) = self.sources[i].next() {
+            debug_assert!(event.ts <= next.ts, "shard logs must be time-ordered");
+            self.heads[i] = Some(next);
+            self.heap.push(Reverse((next.ts, i)));
+        }
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::TelemetryKind;
+    use prorp_types::DatabaseId;
+
+    fn log_of(stamps: &[i64], db: u64) -> TelemetryLog {
+        let mut log = TelemetryLog::new();
+        for &ts in stamps {
+            log.record(Timestamp(ts), DatabaseId(db), TelemetryKind::Move);
+        }
+        log
+    }
+
+    #[test]
+    fn streaming_merge_equals_materialised_merge() {
+        let shards = vec![
+            log_of(&[0, 3, 6, 9], 1),
+            log_of(&[1, 4, 7], 2),
+            log_of(&[2, 5, 8], 3),
+            TelemetryLog::new(),
+        ];
+        let materialised = TelemetryLog::merge(shards.clone());
+        let streamed: Vec<TelemetryEvent> = TelemetryMergeIter::new(shards).collect();
+        assert_eq!(streamed, materialised.events());
+    }
+
+    #[test]
+    fn ties_resolve_by_shard_index_and_size_hint_is_exact() {
+        let shards = vec![log_of(&[5], 10), log_of(&[5, 5], 20)];
+        let mut iter = TelemetryMergeIter::new(shards);
+        assert_eq!(iter.size_hint(), (3, Some(3)));
+        assert_eq!(iter.remaining(), 3);
+        let order: Vec<u64> = (&mut iter).map(|e| e.db.raw()).collect();
+        assert_eq!(order, vec![10, 20, 20]);
+        assert_eq!(iter.remaining(), 0);
+        assert!(iter.next().is_none());
+    }
+
+    #[test]
+    fn summary_counts_labels() {
+        let mut log = TelemetryLog::new();
+        log.record(
+            Timestamp(1),
+            DatabaseId(1),
+            TelemetryKind::Login { available: true },
+        );
+        log.record(Timestamp(2), DatabaseId(1), TelemetryKind::ProactiveResume);
+        log.record(Timestamp(3), DatabaseId(2), TelemetryKind::ProactiveResume);
+        let summary = TelemetrySummary::from_log(&log);
+        assert_eq!(summary.total(), 3);
+        assert_eq!(summary.count("proactive-resume"), 2);
+        assert_eq!(summary.count("login-available"), 1);
+        assert_eq!(summary.count("physical-pause"), 0);
+        let pairs: Vec<_> = summary.iter().collect();
+        assert_eq!(pairs, vec![("login-available", 1), ("proactive-resume", 2)]);
+    }
+
+    #[test]
+    fn telemetry_mode_defaults_to_full() {
+        assert_eq!(TelemetryMode::default(), TelemetryMode::Full);
+    }
+}

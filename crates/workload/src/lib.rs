@@ -15,6 +15,9 @@
 //!   round-tripping;
 //! * [`region`] — per-region archetype mixes (EU1, EU2, US1, US2) and
 //!   fleet generation;
+//! * [`stream`] — the [`TraceSource`] streaming contract and
+//!   [`LazyFleet`], which generate traces on demand so million-database
+//!   fleets never hold every login trace in memory at once;
 //! * [`idle`] — idle-gap statistics used by the Figure 3 reproduction and
 //!   the calibration tests.
 //!
@@ -26,11 +29,13 @@
 pub mod archetype;
 pub mod idle;
 pub mod region;
+pub mod stream;
 pub mod summary;
 pub mod trace;
 
 pub use archetype::Archetype;
 pub use idle::IdleStats;
 pub use region::{RegionName, RegionProfile};
+pub use stream::{LazyFleet, TraceSource};
 pub use summary::FleetSummary;
 pub use trace::Trace;

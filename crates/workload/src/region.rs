@@ -229,9 +229,43 @@ impl RegionProfile {
         }
     }
 
+    fn region_salt(&self) -> u64 {
+        match self.name {
+            RegionName::Eu1 => 0x4555_3100,
+            RegionName::Eu2 => 0x4555_3200,
+            RegionName::Us1 => 0x5553_3100,
+            RegionName::Us2 => 0x5553_3200,
+        }
+    }
+
+    /// Generate the trace of database `i` alone over `[start, end)`.
+    ///
+    /// Each database draws from its own sub-stream keyed on
+    /// `(seed, region, i)`, so this is exactly the `i`-th element of
+    /// [`generate_fleet`](Self::generate_fleet) without materialising the
+    /// other `n - 1` traces — the random-access primitive behind
+    /// [`LazyFleet`](crate::LazyFleet) and the million-database scale
+    /// runs.
+    pub fn generate_trace(&self, i: usize, start: Timestamp, end: Timestamp, seed: u64) -> Trace {
+        // Per-database sub-stream keyed on (seed, region, i) so a
+        // fleet-size change does not reshuffle existing databases.
+        let mut db_rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                ^ self.region_salt(),
+        );
+        let archetype = self.sample_archetype(&mut db_rng);
+        let sessions = archetype.generate(start, end, &mut db_rng);
+        Trace::new(DatabaseId(i as u64), archetype.label(), sessions)
+            .expect("generator emits ordered disjoint sessions")
+    }
+
     /// Generate a fleet of `n` database traces over `[start, end)`.
     ///
-    /// Deterministic in `seed`; database ids are `0..n`.
+    /// Deterministic in `seed`; database ids are `0..n`.  Equivalent to
+    /// collecting [`generate_trace`](Self::generate_trace) for
+    /// `i in 0..n`; fleets too large to materialise should use
+    /// [`LazyFleet`](crate::LazyFleet) instead.
     pub fn generate_fleet(
         &self,
         n: usize,
@@ -239,26 +273,8 @@ impl RegionProfile {
         end: Timestamp,
         seed: u64,
     ) -> Vec<Trace> {
-        let region_salt = match self.name {
-            RegionName::Eu1 => 0x4555_3100,
-            RegionName::Eu2 => 0x4555_3200,
-            RegionName::Us1 => 0x5553_3100,
-            RegionName::Us2 => 0x5553_3200,
-        };
         (0..n)
-            .map(|i| {
-                // Per-database sub-stream keyed on (seed, region, i) so a
-                // fleet-size change does not reshuffle existing databases.
-                let mut db_rng = StdRng::seed_from_u64(
-                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(i as u64)
-                        ^ region_salt,
-                );
-                let archetype = self.sample_archetype(&mut db_rng);
-                let sessions = archetype.generate(start, end, &mut db_rng);
-                Trace::new(DatabaseId(i as u64), archetype.label(), sessions)
-                    .expect("generator emits ordered disjoint sessions")
-            })
+            .map(|i| self.generate_trace(i, start, end, seed))
             .collect()
     }
 }

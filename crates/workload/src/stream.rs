@@ -1,0 +1,193 @@
+//! Streaming fleet access for million-database runs.
+//!
+//! A materialised `Vec<Trace>` of a million databases holds a million
+//! session vectors and archetype strings at once — allocator traffic and
+//! resident memory the simulator never needs simultaneously, because
+//! each simulation shard only consumes its own id-hash partition of the
+//! fleet, one trace at a time, during event-queue construction.
+//!
+//! [`TraceSource`] is the random-access contract that makes streaming
+//! possible: database ids are enumerable without generating sessions
+//! (`db_id` is cheap), and any single trace can be produced on demand
+//! (`trace`).  [`LazyFleet`] implements it on top of
+//! [`RegionProfile::generate_trace`], whose per-database RNG sub-streams
+//! were independent from day one — so the `i`-th lazy trace is
+//! bit-identical to the `i`-th element of
+//! [`RegionProfile::generate_fleet`], and a sharded simulator can have
+//! each worker generate exactly its own partition in parallel with no
+//! coordination.
+
+use crate::region::RegionProfile;
+use crate::trace::Trace;
+use prorp_types::{DatabaseId, Timestamp};
+
+/// Random access to a fleet of traces without requiring the whole fleet
+/// in memory.
+///
+/// Implementations must be deterministic: `trace(i)` must return the
+/// same trace every time it is called, and `db_id(i)` must equal
+/// `trace(i).db` without doing the (potentially expensive) session
+/// generation.  `Sync` is required so simulation shards can pull their
+/// partitions from one shared source concurrently.
+pub trait TraceSource: Sync {
+    /// Number of databases in the fleet.
+    fn len(&self) -> usize;
+
+    /// Whether the fleet is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id of database `i` — must be cheap (no session generation).
+    fn db_id(&self, i: usize) -> DatabaseId;
+
+    /// Produce the full trace of database `i`.
+    fn trace(&self, i: usize) -> Trace;
+}
+
+/// A materialised fleet is trivially a source (traces are cloned out).
+impl TraceSource for [Trace] {
+    fn len(&self) -> usize {
+        <[Trace]>::len(self)
+    }
+
+    fn db_id(&self, i: usize) -> DatabaseId {
+        self[i].db
+    }
+
+    fn trace(&self, i: usize) -> Trace {
+        self[i].clone()
+    }
+}
+
+impl TraceSource for Vec<Trace> {
+    fn len(&self) -> usize {
+        <[Trace]>::len(self)
+    }
+
+    fn db_id(&self, i: usize) -> DatabaseId {
+        self[i].db
+    }
+
+    fn trace(&self, i: usize) -> Trace {
+        self[i].clone()
+    }
+}
+
+/// A fleet that generates each trace on demand instead of up front.
+///
+/// Holds only the generation parameters (profile, window, seed); every
+/// [`trace`](TraceSource::trace) call re-derives the database's private
+/// RNG sub-stream, so the fleet costs O(1) memory no matter how many
+/// databases it describes.  Database ids are dense `0..len`.
+#[derive(Clone, Debug)]
+pub struct LazyFleet {
+    profile: RegionProfile,
+    len: usize,
+    start: Timestamp,
+    end: Timestamp,
+    seed: u64,
+}
+
+impl LazyFleet {
+    /// A lazy fleet of `len` databases over `[start, end)`, bit-identical
+    /// to `profile.generate_fleet(len, start, end, seed)`.
+    pub fn new(
+        profile: RegionProfile,
+        len: usize,
+        start: Timestamp,
+        end: Timestamp,
+        seed: u64,
+    ) -> Self {
+        LazyFleet {
+            profile,
+            len,
+            start,
+            end,
+            seed,
+        }
+    }
+
+    /// Iterate the fleet in database order, generating one trace at a
+    /// time.
+    pub fn iter(&self) -> impl Iterator<Item = Trace> + '_ {
+        (0..self.len).map(|i| TraceSource::trace(self, i))
+    }
+}
+
+impl TraceSource for LazyFleet {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn db_id(&self, i: usize) -> DatabaseId {
+        debug_assert!(i < self.len, "database index {i} out of bounds");
+        DatabaseId(i as u64)
+    }
+
+    fn trace(&self, i: usize) -> Trace {
+        assert!(i < self.len, "database index {i} out of bounds");
+        self.profile
+            .generate_trace(i, self.start, self.end, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionName;
+    use prorp_types::Seconds;
+
+    fn window() -> (Timestamp, Timestamp) {
+        (Timestamp(0), Timestamp(0) + Seconds::days(10))
+    }
+
+    #[test]
+    fn lazy_fleet_matches_materialised_fleet_bit_for_bit() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let (t0, t1) = window();
+        let eager = profile.generate_fleet(40, t0, t1, 23);
+        let lazy = LazyFleet::new(profile, 40, t0, t1, 23);
+        assert_eq!(lazy.len(), eager.len());
+        for (i, want) in eager.iter().enumerate() {
+            assert_eq!(lazy.db_id(i), want.db);
+            assert_eq!(&lazy.trace(i), want, "database {i}");
+        }
+        let collected: Vec<Trace> = lazy.iter().collect();
+        assert_eq!(collected, eager);
+    }
+
+    #[test]
+    fn random_access_is_order_independent() {
+        let profile = RegionProfile::for_region(RegionName::Us2);
+        let (t0, t1) = window();
+        let lazy = LazyFleet::new(profile, 8, t0, t1, 5);
+        // Pull traces out of order; each must be self-consistent.
+        let last = lazy.trace(7);
+        let first = lazy.trace(0);
+        assert_eq!(lazy.trace(7), last);
+        assert_eq!(lazy.trace(0), first);
+        assert_ne!(first, last);
+    }
+
+    #[test]
+    fn slices_and_vecs_are_sources() {
+        let profile = RegionProfile::for_region(RegionName::Eu2);
+        let (t0, t1) = window();
+        let fleet = profile.generate_fleet(5, t0, t1, 3);
+        let as_slice: &[Trace] = &fleet;
+        assert_eq!(TraceSource::len(as_slice), 5);
+        assert_eq!(as_slice.db_id(2), fleet[2].db);
+        assert_eq!(TraceSource::trace(&fleet, 4), fleet[4]);
+        assert!(!TraceSource::is_empty(&fleet));
+        assert!(TraceSource::is_empty(&Vec::<Trace>::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn lazy_trace_bounds_are_checked() {
+        let profile = RegionProfile::for_region(RegionName::Eu1);
+        let (t0, t1) = window();
+        let _ = LazyFleet::new(profile, 2, t0, t1, 1).trace(2);
+    }
+}

@@ -21,5 +21,12 @@ BLESS=1 cargo test -q -p testkit --test obs_conformance
 cargo run --release -q -p prorp-bench --bin predict_bench -- \
     --json results/BENCH_predict.json
 
+# Re-record the million-database scale sweep (10k/100k/1m × 1/4/16
+# shards; several minutes of wall time at the top end).  As above:
+# timings and RSS are machine-dependent snapshots, the shard-invariance
+# and streamed-vs-materialised assertions are the guarantees.
+cargo run --release -q -p prorp-bench --bin scale_bench -- \
+    --json results/BENCH_scale.json
+
 echo "==> goldens re-blessed; review the drift:"
 git --no-pager diff --stat -- tests/goldens/ results/

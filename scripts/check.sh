@@ -50,6 +50,13 @@ run cargo run --release -q -p prorp-bench --bin fleet_report -- \
 run cargo run --release -q -p prorp-bench --bin predict_bench -- \
     --smoke --json results/BENCH_predict.json
 
+# Scale sweep in smoke mode: asserts streamed ≡ materialised and KPI
+# shard-invariance on a tiny fleet (the committed full-scale numbers in
+# results/BENCH_scale.json come from scripts/bless.sh).  The smoke JSON
+# is a scratch artefact — only the assertions matter here.
+run cargo run --release -q -p prorp-bench --bin scale_bench -- \
+    --smoke --json target/scale_smoke.json
+
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 run cargo fmt --check

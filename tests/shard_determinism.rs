@@ -5,9 +5,11 @@
 
 use prorp_core::EngineCounters;
 use prorp_obs::{snapshots_jsonl, trace_jsonl};
-use prorp_sim::{partition_fleet, ObsConfig, SimConfig, SimPolicy, SimReport, Simulation};
+use prorp_sim::{
+    partition_fleet, ObsConfig, SimConfig, SimPolicy, SimReport, Simulation, TelemetryMode,
+};
 use prorp_types::{BreakerConfig, PolicyConfig, RetryPolicy, Seconds, Timestamp};
-use prorp_workload::{RegionName, RegionProfile, Trace};
+use prorp_workload::{LazyFleet, RegionName, RegionProfile, Trace};
 use std::collections::HashSet;
 
 const DAY: i64 = 86_400;
@@ -243,6 +245,116 @@ fn partitioning_covers_every_database_exactly_once() {
             }
         }
         assert_eq!(seen.len(), traces.len(), "{shards} shards must cover all");
+    }
+}
+
+#[test]
+fn partitioning_edge_cases_are_well_formed() {
+    // Empty fleet: every shard exists and owns nothing.
+    let parts = partition_fleet(&[], 4);
+    assert_eq!(parts.len(), 4);
+    assert!(parts.iter().all(Vec::is_empty));
+
+    // Single database: exactly one shard owns exactly that trace, at any
+    // shard count.
+    let one = fleet(1);
+    for shards in [1usize, 2, 16] {
+        let parts = partition_fleet(&one, shards);
+        assert_eq!(parts.len(), shards);
+        let owned: Vec<usize> = parts.iter().flatten().copied().collect();
+        assert_eq!(owned, vec![0], "{shards} shards");
+        assert_eq!(parts[one[0].db.shard_of(shards)], vec![0]);
+    }
+
+    // More shards than databases: all traces covered once, the rest of
+    // the shards empty.
+    let five = fleet(5);
+    let parts = partition_fleet(&five, 16);
+    let total: usize = parts.iter().map(Vec::len).sum();
+    assert_eq!(total, 5);
+    assert!(parts.iter().filter(|p| p.is_empty()).count() >= 11);
+}
+
+#[test]
+fn streamed_run_matches_materialised_run_bit_for_bit() {
+    // A LazyFleet re-derives each database's RNG sub-stream on demand,
+    // and run_streamed has each shard generate only its own partition —
+    // the merged report must still equal the Vec<Trace> path exactly.
+    let profile = RegionProfile::for_region(RegionName::Eu1);
+    let lazy = LazyFleet::new(profile, 48, Timestamp(0), Timestamp(35 * DAY), 21);
+    let traces = fleet(48);
+    for shards in [1usize, 4] {
+        let build = || {
+            SimConfig::builder(
+                SimPolicy::Proactive(PolicyConfig::default()),
+                Timestamp(0),
+                Timestamp(35 * DAY),
+                Timestamp(30 * DAY),
+            )
+            .shards(shards)
+            .build()
+            .unwrap()
+        };
+        let materialised = Simulation::new(build(), traces.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let streamed = Simulation::run_streamed(build(), &lazy).unwrap();
+        assert_eq!(streamed.kpi, materialised.kpi, "{shards} shards");
+        assert_eq!(streamed.resume_batches, materialised.resume_batches);
+        assert_eq!(
+            streamed.telemetry.events(),
+            materialised.telemetry.events(),
+            "{shards} shards: merged telemetry logs"
+        );
+        assert_eq!(
+            logical(&streamed.counters),
+            logical(&materialised.counters),
+            "{shards} shards: input-trace order"
+        );
+        assert_eq!(streamed.history_stats, materialised.history_stats);
+        assert_eq!(streamed.workflow, materialised.workflow);
+    }
+}
+
+#[test]
+fn summary_telemetry_mode_preserves_kpis_and_label_counts() {
+    // Summary mode skips materialising the merged per-event log; KPIs
+    // and the per-label summary must be identical to Full mode.
+    let traces = fleet(48);
+    let build = |mode: TelemetryMode| {
+        SimConfig::builder(
+            SimPolicy::Proactive(PolicyConfig::default()),
+            Timestamp(0),
+            Timestamp(35 * DAY),
+            Timestamp(30 * DAY),
+        )
+        .shards(2)
+        .telemetry_mode(mode)
+        .build()
+        .unwrap()
+    };
+    let full = Simulation::new(build(TelemetryMode::Full), traces.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    let summary = Simulation::new(build(TelemetryMode::Summary), traces)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(summary.kpi, full.kpi);
+    assert_eq!(summary.resume_batches, full.resume_batches);
+    assert!(summary.telemetry.is_empty(), "Summary keeps no event log");
+    assert!(!full.telemetry.is_empty());
+    // Both modes fold the same per-label counts out of the stream.
+    assert_eq!(summary.telemetry_summary, full.telemetry_summary);
+    assert_eq!(full.telemetry_summary.total(), full.telemetry.len() as u64);
+    for (label, count) in full.telemetry.counts() {
+        assert_eq!(
+            summary.telemetry_summary.count(label),
+            count as u64,
+            "label {label}"
+        );
     }
 }
 
