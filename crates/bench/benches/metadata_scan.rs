@@ -52,7 +52,11 @@ fn bench_scan(c: &mut Criterion) {
     for &n in &[10_000u64, 100_000] {
         let store = populated_store(n);
         group.bench_with_input(BenchmarkId::new("indexed", n), &store, |b, store| {
-            b.iter(|| store.databases_to_resume(black_box(now), k, width).len());
+            b.iter(|| {
+                store
+                    .databases_to_resume_iter(black_box(now), k, width)
+                    .count()
+            });
         });
         group.bench_with_input(BenchmarkId::new("full_scan", n), &store, |b, store| {
             b.iter(|| full_scan(store, n, black_box(now), k, width));

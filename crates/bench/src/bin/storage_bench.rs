@@ -1,0 +1,345 @@
+//! Storage-backend A/B — the PR 7 tentpole measurement.
+//!
+//! Compares the two `HistoryStore` implementations behind the storage
+//! seam — the B+Tree [`HistoryTable`] and the LSM/MVCC [`LsmHistory`] —
+//! on the two axes the redesign trades between, writing the results to
+//! `results/BENCH_storage.json`:
+//!
+//! * **write amplification** — physical bytes written per logical byte
+//!   under the simulator's steady-state workload (periodic logins plus
+//!   daily Algorithm 3 trims).  The LSM number is *measured* from its
+//!   flush/compaction ledger ([`LsmMetrics`](prorp_storage::LsmMetrics));
+//!   the B+Tree number is measured through the repo's own durability
+//!   machinery ([`DurableHistory`]), which checkpoints the whole table
+//!   image — the same bytes the `Checkpoint` spans carry — on the same
+//!   cadence as the LSM memtable flush;
+//! * **window-scan latency** — `login_window_stats` over an Algorithm 4
+//!   style sliding sweep (7 h window, 5 min slide), per window position,
+//!   against the live B+Tree, the live LSM store, and a frozen
+//!   [`LsmSnapshot`](prorp_storage::LsmSnapshot).
+//!
+//! Before timing anything, the harness re-proves the redesign's oracle
+//! on a real fleet: the same traces and seed must produce bit-identical
+//! KPIs and telemetry with either backend at every shard count — the
+//! backend is a storage decision, not a behaviour decision.  The same
+//! property holds tuple-for-tuple in the scan sweep (each backend's
+//! window stats are checksummed and compared).
+//!
+//! Flags:
+//!
+//! * `--json <path>` — machine-readable output
+//!   (`results/BENCH_storage.json` by convention);
+//! * `--smoke` — small sizes for CI (`scripts/check.sh`); assertions
+//!   are identical, only the scale changes.
+
+use prorp_bench::{json_path_from_args, write_json, JsonValue};
+use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation, StorageBackend, TelemetryMode};
+use prorp_storage::{DurableHistory, HistoryRead, HistoryTable, LsmHistory, TimeTravel};
+use prorp_types::{EventKind, PolicyConfig, Seconds, Timestamp};
+use prorp_workload::{RegionName, RegionProfile, Trace};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Login cadence of the synthetic single-store workload.
+const CADENCE: i64 = 600;
+/// Algorithm 3 retention for the write-amplification runs.
+const RETENTION: Seconds = Seconds(28 * 86_400);
+/// Algorithm 4 window / slide for the scan sweep (Table 1).
+const WINDOW: i64 = 7 * 3_600;
+const SLIDE: i64 = 300;
+
+/// Measured LSM write amplification under the steady-state workload:
+/// one login every [`CADENCE`] seconds plus daily Algorithm 3 trims —
+/// the shape Algorithms 2 and 3 impose on every store in the fleet.
+fn lsm_write_amp(n: usize) -> (prorp_storage::LsmMetrics, usize) {
+    let mut store = LsmHistory::new();
+    let mut deleted = 0;
+    for i in 0..n {
+        let ts = Timestamp(i as i64 * CADENCE);
+        store.insert_history(ts, EventKind::Start);
+        if ts.as_secs() > 0 && ts.as_secs() % 86_400 == 0 {
+            deleted += store.delete_old_history(RETENTION, ts).deleted;
+        }
+    }
+    (store.metrics(), deleted)
+}
+
+/// B+Tree bytes written, measured through [`DurableHistory`]: the WAL
+/// covers every mutation and a checkpoint serialises the full table
+/// image every `cap` mutations (matching the LSM memtable cadence).
+fn btree_write_amp(n: usize, cap: usize) -> (usize, usize, usize, usize) {
+    let mut store = DurableHistory::new();
+    let mut mutations = 0usize;
+    let mut checkpoint_bytes = 0usize;
+    let mut checkpoints = 0usize;
+    let mut wal_bytes = 0usize;
+    let mut since_checkpoint = 0usize;
+    for i in 0..n {
+        let ts = Timestamp(i as i64 * CADENCE);
+        store.insert_history(ts, EventKind::Start);
+        mutations += 1;
+        since_checkpoint += 1;
+        if ts.as_secs() > 0 && ts.as_secs() % 86_400 == 0 {
+            let outcome = store.delete_old_history(RETENTION, ts);
+            mutations += outcome.deleted;
+            since_checkpoint += outcome.deleted;
+        }
+        if since_checkpoint >= cap {
+            wal_bytes += store.wal().byte_len();
+            checkpoint_bytes += store.checkpoint().expect("checkpoint succeeds").len();
+            checkpoints += 1;
+            since_checkpoint = 0;
+        }
+    }
+    wal_bytes += store.wal().byte_len();
+    (mutations, checkpoint_bytes, checkpoints, wal_bytes)
+}
+
+/// Sweep `login_window_stats` Algorithm 4 style; returns
+/// `(windows, ns_per_window, checksum)` — the checksum folds every
+/// window's `(first, last, count)` so backends can be compared.
+fn scan_sweep(store: &dyn HistoryRead) -> (usize, f64, u64) {
+    let (Some(min), Some(max)) = (store.min_timestamp(), store.max_timestamp()) else {
+        return (0, 0.0, 0);
+    };
+    let mut checksum = 0u64;
+    let mut windows = 0usize;
+    let t0 = Instant::now();
+    let mut lo = min.as_secs();
+    while lo <= max.as_secs() {
+        let stats = store.login_window_stats(Timestamp(lo), Timestamp(lo + WINDOW));
+        if let Some((first, last, count)) = black_box(stats) {
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(first.as_secs() as u64)
+                .wrapping_mul(31)
+                .wrapping_add(last.as_secs() as u64)
+                .wrapping_mul(31)
+                .wrapping_add(count as u64);
+        }
+        windows += 1;
+        lo += SLIDE;
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / windows.max(1) as f64;
+    (windows, ns, checksum)
+}
+
+/// A store of `n` logins at the synthetic cadence, per backend.
+fn build_stores(n: usize) -> (HistoryTable, LsmHistory) {
+    let mut btree = HistoryTable::new();
+    let mut lsm = LsmHistory::new();
+    for i in 0..n {
+        let ts = Timestamp(i as i64 * CADENCE);
+        btree.insert_history(ts, EventKind::Start);
+        lsm.insert_history(ts, EventKind::Start);
+    }
+    (btree, lsm)
+}
+
+/// The proactive fleet config for the equality gate.
+fn gate_config(dbs: usize, days: i64, shards: usize, backend: StorageBackend) -> SimConfig {
+    let start = Timestamp(0);
+    SimConfig::builder(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        start,
+        start + Seconds::days(days),
+        start + Seconds::days((days - 2).max(1)),
+    )
+    .node_capacity((dbs / 4).max(8))
+    .nodes(5)
+    .shards(shards)
+    .storage_backend(backend)
+    .telemetry_mode(TelemetryMode::Summary)
+    .build()
+    .expect("gate config is valid")
+}
+
+fn run_gate(
+    traces: &[Trace],
+    dbs: usize,
+    days: i64,
+    shards: usize,
+    b: StorageBackend,
+) -> SimReport {
+    Simulation::new(gate_config(dbs, days, shards, b), traces.to_vec())
+        .expect("gate config is valid")
+        .run()
+        .expect("gate run completes")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_path_from_args();
+
+    let (gate_dbs, gate_days, shard_counts): (usize, i64, &[usize]) = if smoke {
+        (40, 6, &[1, 2])
+    } else {
+        (150, 12, &[1, 2, 8])
+    };
+    let sizes: &[usize] = if smoke {
+        &[2_000, 6_000]
+    } else {
+        &[20_000, 100_000]
+    };
+
+    // ── Oracle: backend choice must not change behaviour ─────────────
+    println!(
+        "Equality gate: {gate_dbs} databases, {gate_days} days, shards {shard_counts:?}, \
+         btree vs lsm"
+    );
+    let traces = RegionProfile::for_region(RegionName::Eu1).generate_fleet(
+        gate_dbs,
+        Timestamp(0),
+        Timestamp(0) + Seconds::days(gate_days),
+        42,
+    );
+    let mut baseline = None;
+    for &shards in shard_counts {
+        for backend in [StorageBackend::BTree, StorageBackend::Lsm] {
+            let report = run_gate(&traces, gate_dbs, gate_days, shards, backend);
+            match &baseline {
+                None => baseline = Some((report.kpi, report.telemetry_summary.clone())),
+                Some((kpi, telemetry)) => {
+                    assert_eq!(
+                        *kpi,
+                        report.kpi,
+                        "KPIs diverged ({} at {shards} shards)",
+                        backend.label()
+                    );
+                    assert_eq!(
+                        *telemetry,
+                        report.telemetry_summary,
+                        "telemetry diverged ({} at {shards} shards)",
+                        backend.label()
+                    );
+                }
+            }
+        }
+    }
+    println!("  KPIs and telemetry bit-identical across backends and shard counts\n");
+
+    // ── Write amplification ──────────────────────────────────────────
+    let cap = prorp_storage::LsmConfig::default().memtable_cap;
+    println!(
+        "Write amplification ({CADENCE}s login cadence, daily trims at 28d retention, \
+         checkpoint/flush every {cap} mutations)"
+    );
+    println!(
+        "{:>9} {:>14} {:>15}",
+        "logins", "lsm (measured)", "btree (durable)"
+    );
+    let mut amp_entries = Vec::new();
+    for &n in sizes {
+        let (lsm, lsm_deleted) = lsm_write_amp(n);
+        let (mutations, checkpoint_bytes, checkpoints, wal_bytes) = btree_write_amp(n, cap);
+        let btree_amp = checkpoint_bytes as f64 / (mutations * 16) as f64;
+        println!(
+            "{:>9} {:>14.2} {:>15.2}",
+            n,
+            lsm.write_amplification(),
+            btree_amp
+        );
+        amp_entries.push(JsonValue::object(vec![
+            ("logins", JsonValue::UInt(n as u64)),
+            ("cadence_s", JsonValue::Int(CADENCE)),
+            ("retention_s", JsonValue::Int(RETENTION.as_secs())),
+            (
+                "lsm",
+                JsonValue::object(vec![
+                    ("write_amp", JsonValue::Float(lsm.write_amplification())),
+                    (
+                        "logical_bytes",
+                        JsonValue::UInt(lsm.logical_write_bytes as u64),
+                    ),
+                    ("flushed_bytes", JsonValue::UInt(lsm.flushed_bytes as u64)),
+                    (
+                        "compacted_bytes",
+                        JsonValue::UInt(lsm.compacted_bytes as u64),
+                    ),
+                    (
+                        "wal_appended_bytes",
+                        JsonValue::UInt(lsm.wal_appended_bytes as u64),
+                    ),
+                    ("flushes", JsonValue::UInt(lsm.flushes as u64)),
+                    ("compactions", JsonValue::UInt(lsm.compactions as u64)),
+                    ("trimmed_tuples", JsonValue::UInt(lsm_deleted as u64)),
+                ]),
+            ),
+            (
+                "btree",
+                JsonValue::object(vec![
+                    ("write_amp", JsonValue::Float(btree_amp)),
+                    ("logical_bytes", JsonValue::UInt((mutations * 16) as u64)),
+                    ("checkpoint_bytes", JsonValue::UInt(checkpoint_bytes as u64)),
+                    ("checkpoints", JsonValue::UInt(checkpoints as u64)),
+                    ("wal_bytes", JsonValue::UInt(wal_bytes as u64)),
+                ]),
+            ),
+        ]));
+    }
+    println!();
+
+    // ── Window-scan latency ──────────────────────────────────────────
+    println!(
+        "Window-scan latency ({}h window, {}min slide)",
+        WINDOW / 3_600,
+        SLIDE / 60
+    );
+    println!(
+        "{:>9} {:>9} {:>12} {:>12} {:>14}",
+        "logins", "windows", "btree ns/w", "lsm ns/w", "snapshot ns/w"
+    );
+    let mut scan_entries = Vec::new();
+    for &n in sizes {
+        let (btree, lsm) = build_stores(n);
+        let snapshot = lsm.snapshot(lsm.latest_seqno());
+        let (windows, btree_ns, btree_sum) = scan_sweep(&btree);
+        let (_, lsm_ns, lsm_sum) = scan_sweep(&lsm);
+        let (_, snap_ns, snap_sum) = scan_sweep(&snapshot);
+        assert_eq!(btree_sum, lsm_sum, "lsm scan diverged at {n} logins");
+        assert_eq!(btree_sum, snap_sum, "snapshot scan diverged at {n} logins");
+        println!(
+            "{:>9} {:>9} {:>12.0} {:>12.0} {:>14.0}",
+            n, windows, btree_ns, lsm_ns, snap_ns
+        );
+        scan_entries.push(JsonValue::object(vec![
+            ("logins", JsonValue::UInt(n as u64)),
+            ("windows", JsonValue::UInt(windows as u64)),
+            ("window_s", JsonValue::Int(WINDOW)),
+            ("slide_s", JsonValue::Int(SLIDE)),
+            ("btree_ns_per_window", JsonValue::Float(btree_ns)),
+            ("lsm_ns_per_window", JsonValue::Float(lsm_ns)),
+            ("snapshot_ns_per_window", JsonValue::Float(snap_ns)),
+        ]));
+    }
+
+    if let Some(path) = json_path {
+        let value = JsonValue::object(vec![
+            (
+                "mode",
+                JsonValue::Str(if smoke { "smoke" } else { "full" }.into()),
+            ),
+            (
+                "equality_gate",
+                JsonValue::object(vec![
+                    ("databases", JsonValue::UInt(gate_dbs as u64)),
+                    ("days", JsonValue::Int(gate_days)),
+                    (
+                        "shard_counts",
+                        JsonValue::Array(
+                            shard_counts
+                                .iter()
+                                .map(|&s| JsonValue::UInt(s as u64))
+                                .collect(),
+                        ),
+                    ),
+                    ("backends_identical", JsonValue::Bool(true)),
+                ]),
+            ),
+            ("write_amplification", JsonValue::Array(amp_entries)),
+            ("window_scan", JsonValue::Array(scan_entries)),
+        ]);
+        write_json(&path, &value);
+    }
+}

@@ -9,7 +9,7 @@
 //! `ReclaimResources()` call becomes an emitted action the resource
 //! manager executes (with real-world latency).
 
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryBackend;
 use prorp_types::{DbState, Timestamp};
 
 /// Identifies which policy family an engine implements; the simulator uses
@@ -149,12 +149,14 @@ pub trait DatabasePolicy {
 
     /// The database's activity history (for overhead accounting and the
     /// backup/move path).  The optimal oracle policy keeps one too — the
-    /// activity tracker of §5 runs regardless of policy.
-    fn history(&self) -> &HistoryTable;
+    /// activity tracker of §5 runs regardless of policy.  Held behind the
+    /// storage seam's [`HistoryBackend`] wrapper, so a fleet can run on
+    /// either the B+Tree or the LSM engine.
+    fn history(&self) -> &HistoryBackend;
 
-    /// Replace the history table (restore after a load-balancing move,
+    /// Replace the history store (restore after a load-balancing move,
     /// §3.3).
-    fn restore_history(&mut self, history: HistoryTable);
+    fn restore_history(&mut self, history: HistoryBackend);
 
     /// The next-activity prediction this policy currently holds, if any —
     /// consumed by prediction-aware maintenance scheduling (§11 future

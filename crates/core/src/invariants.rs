@@ -15,7 +15,7 @@
 //! makes the golden KPI snapshots valid with the feature on or off.
 
 use crate::engine::EngineEvent;
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryStore;
 use prorp_types::{DatabaseId, DbState, ProrpError, Timestamp};
 
 /// Shadow state machine validating one database's lifecycle.
@@ -102,15 +102,16 @@ impl LifecycleInvariants {
         Ok(())
     }
 
-    /// Validate the history table a run leaves behind: the B-tree index
-    /// must satisfy its structural invariants and yield strictly ascending
-    /// timestamps (every tuple is keyed by its timestamp).
+    /// Validate the history store a run leaves behind: the backend (B-tree
+    /// or LSM, behind the [`HistoryStore`] seam) must satisfy its
+    /// structural invariants and yield strictly ascending timestamps
+    /// (every tuple is keyed by its timestamp).
     ///
     /// # Errors
     ///
     /// Returns [`ProrpError::InvariantViolation`] naming the offending
     /// pair of events.
-    pub fn check_history(db: DatabaseId, history: &HistoryTable) -> Result<(), ProrpError> {
+    pub fn check_history(db: DatabaseId, history: &dyn HistoryStore) -> Result<(), ProrpError> {
         history.check_invariants();
         let events = history.events();
         for w in events.windows(2) {
@@ -129,6 +130,7 @@ impl LifecycleInvariants {
 mod tests {
     use super::*;
     use crate::engine::TimerToken;
+    use prorp_storage::{HistoryBackend, HistoryTable, StorageBackend};
     use prorp_types::EventKind;
 
     fn t(v: i64) -> Timestamp {
@@ -213,5 +215,10 @@ mod tests {
         h.insert_history(t(10), EventKind::Start);
         h.insert_history(t(20), EventKind::End);
         LifecycleInvariants::check_history(DatabaseId(1), &h).unwrap();
+        // The checker accepts any backend through the seam.
+        let mut b = HistoryBackend::new(StorageBackend::Lsm);
+        b.insert_history(t(10), EventKind::Start);
+        b.insert_history(t(20), EventKind::End);
+        LifecycleInvariants::check_history(DatabaseId(1), &b).unwrap();
     }
 }

@@ -33,7 +33,7 @@ use crate::engine::{
 };
 use crate::tracker::ActivityTracker;
 use prorp_forecast::Predictor;
-use prorp_storage::HistoryTable;
+use prorp_storage::{HistoryBackend, StorageBackend};
 use prorp_types::{
     BreakerConfig, DbState, EventKind, PolicyConfig, Prediction, ProrpError, Timestamp,
 };
@@ -102,9 +102,26 @@ impl<P: Predictor> ProactiveEngine<P> {
         predictor: P,
         breaker: BreakerConfig,
     ) -> Result<Self, ProrpError> {
+        Self::with_backend(config, predictor, breaker, StorageBackend::default())
+    }
+
+    /// Build an engine whose history lives in the given storage backend
+    /// (B+Tree or LSM).  Policy behaviour is backend-independent: the
+    /// same event sequence yields the same actions, predictions, and
+    /// counters on either engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn with_backend(
+        config: PolicyConfig,
+        predictor: P,
+        breaker: BreakerConfig,
+        backend: StorageBackend,
+    ) -> Result<Self, ProrpError> {
         config.validate()?;
         breaker.validate()?;
-        let mut tracker = ActivityTracker::new();
+        let mut tracker = ActivityTracker::with_backend(backend);
         if predictor.wants_slot_index() {
             tracker
                 .history_mut()
@@ -406,11 +423,11 @@ impl<P: Predictor> DatabasePolicy for ProactiveEngine<P> {
         self.counters
     }
 
-    fn history(&self) -> &HistoryTable {
+    fn history(&self) -> &HistoryBackend {
         self.tracker.history()
     }
 
-    fn restore_history(&mut self, history: HistoryTable) {
+    fn restore_history(&mut self, history: HistoryBackend) {
         self.tracker.replace_history(history);
         // The restored table restarts its mutation-version counter, so
         // cached `(version, now)` keys would collide across tables.

@@ -78,8 +78,7 @@ impl ProactiveResumeOp {
         let mut selected: Vec<(Timestamp, DatabaseId)> = partitions
             .iter()
             .flat_map(|p| {
-                p.databases_to_resume(now, self.prewarm, self.period)
-                    .into_iter()
+                p.databases_to_resume_iter(now, self.prewarm, self.period)
                     .map(|db| {
                         let pred = p
                             .get(db)

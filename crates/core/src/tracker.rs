@@ -6,26 +6,40 @@
 //! precision while the tuple insertion itself runs **off the critical
 //! path on a timer**.  [`ActivityTracker`] reproduces that split: `record`
 //! captures the precise timestamp into a small buffer, and `flush` moves
-//! buffered events into the history table (Algorithm 2 semantics).  The
+//! buffered events into the history store (Algorithm 2 semantics).  The
 //! engines flush before every read of the history — the prediction path
-//! must never observe a stale table.
+//! must never observe a stale store.
+//!
+//! The tracker owns its history through the storage seam's
+//! [`HistoryBackend`] wrapper, so one tracker serves either the B+Tree
+//! or the LSM engine; [`ActivityTracker::with_backend`] picks the
+//! engine at construction.
 
-use prorp_storage::HistoryTable;
+use prorp_storage::{HistoryBackend, StorageBackend};
 use prorp_types::{ActivityEvent, EventKind, Timestamp};
 
-/// Buffered writer of activity events into a [`HistoryTable`].
+/// Buffered writer of activity events into a [`HistoryBackend`].
 #[derive(Clone, Debug, Default)]
 pub struct ActivityTracker {
-    history: HistoryTable,
+    history: HistoryBackend,
     pending: Vec<ActivityEvent>,
     /// Events suppressed by the Algorithm 2 uniqueness guard.
     duplicates_suppressed: u64,
 }
 
 impl ActivityTracker {
-    /// A tracker over an empty history.
+    /// A tracker over an empty B+Tree-backed history (the default).
     pub fn new() -> Self {
         ActivityTracker::default()
+    }
+
+    /// A tracker over an empty history of the given backend kind.
+    pub fn with_backend(kind: StorageBackend) -> Self {
+        ActivityTracker {
+            history: HistoryBackend::new(kind),
+            pending: Vec::new(),
+            duplicates_suppressed: 0,
+        }
     }
 
     /// Capture a precise event timestamp (critical path: O(1), no index
@@ -34,7 +48,7 @@ impl ActivityTracker {
         self.pending.push(ActivityEvent { ts, kind });
     }
 
-    /// Move buffered events into the history table (off the critical
+    /// Move buffered events into the history store (off the critical
     /// path).  Returns how many tuples were inserted; duplicates by
     /// timestamp are suppressed per Algorithm 2.
     pub fn flush(&mut self) -> usize {
@@ -60,20 +74,20 @@ impl ActivityTracker {
     }
 
     /// Read access to the (flushed) history.
-    pub fn history(&self) -> &HistoryTable {
+    pub fn history(&self) -> &HistoryBackend {
         &self.history
     }
 
     /// Mutable access to the history for maintenance (Algorithm 3 runs
-    /// against the flushed table).
-    pub fn history_mut(&mut self) -> &mut HistoryTable {
+    /// against the flushed store).
+    pub fn history_mut(&mut self) -> &mut HistoryBackend {
         &mut self.history
     }
 
     /// Replace the history wholesale (restore after a move, §3.3).
     /// Pending events recorded on this node are preserved and will flush
-    /// into the restored table.
-    pub fn replace_history(&mut self, history: HistoryTable) {
+    /// into the restored store.
+    pub fn replace_history(&mut self, history: HistoryBackend) {
         self.history = history;
     }
 }
@@ -117,12 +131,27 @@ mod tests {
         tr.record(t(5), EventKind::Start);
         tr.flush();
         tr.record(t(30), EventKind::End); // pending across the move
-        let mut restored = HistoryTable::new();
+        let mut restored = HistoryBackend::default();
         restored.insert_history(t(5), EventKind::Start);
         restored.insert_history(t(10), EventKind::End);
         tr.replace_history(restored);
         assert_eq!(tr.pending_len(), 1);
         tr.flush();
         assert_eq!(tr.history().len(), 3);
+    }
+
+    #[test]
+    fn lsm_backed_tracker_behaves_identically() {
+        let mut a = ActivityTracker::with_backend(StorageBackend::BTree);
+        let mut b = ActivityTracker::with_backend(StorageBackend::Lsm);
+        for tr in [&mut a, &mut b] {
+            tr.record(t(10), EventKind::Start);
+            tr.record(t(10), EventKind::End);
+            tr.record(t(20), EventKind::End);
+            tr.flush();
+        }
+        assert_eq!(a.history().events(), b.history().events());
+        assert_eq!(a.history().version(), b.history().version());
+        assert_eq!(a.duplicates_suppressed(), b.duplicates_suppressed());
     }
 }

@@ -7,7 +7,7 @@
 //! principle is tested with.
 
 use crate::Predictor;
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryRead;
 use prorp_types::{Prediction, ProrpError, Seconds, Timestamp};
 
 /// Predicts nothing, ever.  The proactive policy running on top of this
@@ -20,7 +20,7 @@ pub struct NeverPredictor;
 impl Predictor for NeverPredictor {
     fn predict(
         &mut self,
-        _history: &HistoryTable,
+        _history: &dyn HistoryRead,
         _now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         Ok(None)
@@ -56,7 +56,7 @@ impl Default for LastGapPredictor {
 impl Predictor for LastGapPredictor {
     fn predict(
         &mut self,
-        history: &HistoryTable,
+        history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         // Collect login timestamps (event_type = 1), most recent last.
@@ -121,7 +121,7 @@ impl Default for HourlyHistogramPredictor {
 impl Predictor for HourlyHistogramPredictor {
     fn predict(
         &mut self,
-        history: &HistoryTable,
+        history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         if self.history_days <= 0 {
@@ -202,7 +202,7 @@ impl<P> FailEvery<P> {
 impl<P: Predictor> Predictor for FailEvery<P> {
     fn predict(
         &mut self,
-        history: &HistoryTable,
+        history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         self.calls += 1;
@@ -227,6 +227,7 @@ impl<P: Predictor> Predictor for FailEvery<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prorp_storage::HistoryTable;
     use prorp_types::EventKind;
 
     const DAY: i64 = 86_400;

@@ -5,10 +5,10 @@
 //!
 //! The naive reference performs `window_positions × periods_in_history`
 //! B-tree range scans per prediction (~5,700 at the Table 1 defaults).
-//! This implementation reads the two structures [`HistoryTable`] keeps
-//! current on every mutation instead:
+//! This implementation reads the two structures every history backend
+//! keeps current on every mutation instead:
 //!
-//! * the **sorted login cache** ([`HistoryTable::logins`]): for each
+//! * the **sorted login cache** ([`HistoryRead::logins`]): for each
 //!   seasonal period row the sweep keeps two monotone cursors — the
 //!   first login `>= lo` and the first login `> hi` — which only move
 //!   forward as the window slides, so the whole outer×inner loop costs
@@ -16,7 +16,7 @@
 //!   `O(window_positions × periods × log n)` tree descents, while the
 //!   aggregates (`MIN`, `MAX`, `COUNT` per window) come out *exactly* as
 //!   the reference computes them;
-//! * the **slot-occupancy bitmap** ([`HistoryTable::slot_index`], when
+//! * the **slot-occupancy bitmap** ([`HistoryRead::slot_index`], when
 //!   configured with the matching period): since
 //!   `winStart − period·prev ≡ winStart (mod period)`, one conservative
 //!   bitmap probe per window position skips the entire inner loop when
@@ -37,7 +37,7 @@
 
 use crate::probabilistic::ConfidenceBasis;
 use crate::Predictor;
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryRead;
 use prorp_types::{PolicyConfig, Prediction, ProrpError, Seconds, Timestamp};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -84,9 +84,10 @@ pub type SharedScratch = Rc<RefCell<SweepScratch>>;
 /// `now` — the naive implementation stays in the tree as the reference
 /// the differential oracles compare against.
 ///
-/// The predictor works on any [`HistoryTable`]; configuring the table's
-/// slot index with the predictor's period (see
-/// [`HistoryTable::configure_slot_index`]) additionally enables the
+/// The predictor works on any [`HistoryRead`] backend; configuring the
+/// store's slot index with the predictor's period (see
+/// [`configure_slot_index`](prorp_storage::HistoryStore::configure_slot_index))
+/// additionally enables the
 /// whole-window bitmap skip.  [`ProactiveEngine`] does this
 /// automatically for predictors whose [`Predictor::wants_slot_index`] is
 /// `true`.
@@ -145,7 +146,7 @@ impl IncrementalPredictor {
 
     /// Core of Algorithm 4 over the index; same contract as
     /// [`ProbabilisticPredictor::predict_at`](crate::ProbabilisticPredictor::predict_at).
-    pub fn predict_at(&self, history: &HistoryTable, now: Timestamp) -> Option<Prediction> {
+    pub fn predict_at(&self, history: &dyn HistoryRead, now: Timestamp) -> Option<Prediction> {
         let w = self.config.window;
         let s = self.config.slide;
         let period = self.config.seasonality.period();
@@ -256,7 +257,7 @@ impl IncrementalPredictor {
 impl Predictor for IncrementalPredictor {
     fn predict(
         &mut self,
-        history: &HistoryTable,
+        history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         Ok(self.predict_at(history, now))
@@ -275,6 +276,7 @@ impl Predictor for IncrementalPredictor {
 mod tests {
     use super::*;
     use crate::ProbabilisticPredictor;
+    use prorp_storage::HistoryTable;
     use prorp_types::{EventKind, Seasonality};
 
     const DAY: i64 = 86_400;

@@ -34,7 +34,7 @@ pub use seasonality::{
     detect_seasonality, recurrence_score, score_seasonalities, SeasonalityScores,
 };
 
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryRead;
 use prorp_types::{Prediction, ProrpError, Timestamp};
 
 /// A next-activity predictor.
@@ -44,21 +44,26 @@ use prorp_types::{Prediction, ProrpError, Timestamp};
 /// activity interval within the configured horizon, or `None` when no
 /// activity is expected (Algorithm 4's `start = 0` sentinel).
 ///
+/// The history arrives through the storage seam's read trait
+/// ([`HistoryRead`]), so one compiled predictor serves the B+Tree
+/// table, the LSM store, and frozen time-travel snapshots alike.
+///
 /// Errors signal component failure; per §3.2 the caller must degrade to
 /// the reactive policy, never crash the database.
 pub trait Predictor {
     /// Predict the next activity after `now`.
     fn predict(
         &mut self,
-        history: &HistoryTable,
+        history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError>;
 
     /// Short name for telemetry and experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Whether this predictor benefits from the history table's
-    /// slot-occupancy index ([`HistoryTable::configure_slot_index`]).
+    /// Whether this predictor benefits from the history store's
+    /// slot-occupancy index
+    /// ([`HistoryStore::configure_slot_index`](prorp_storage::HistoryStore::configure_slot_index)).
     /// Engines configure the index on their history only when the
     /// predictor asks for it, so reference/naive runs stay free of
     /// index-maintenance overhead.  Wrappers must forward this.

@@ -7,7 +7,7 @@
 //! against.
 
 use crate::Predictor;
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryRead;
 use prorp_types::{Prediction, ProrpError, Session, Timestamp};
 
 /// A predictor that reads the future from the ground-truth trace.
@@ -48,7 +48,7 @@ impl OraclePredictor {
 impl Predictor for OraclePredictor {
     fn predict(
         &mut self,
-        _history: &HistoryTable,
+        _history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         Ok(self.next_session_after(now).map(|s| Prediction {
@@ -66,6 +66,7 @@ impl Predictor for OraclePredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prorp_storage::HistoryTable;
 
     fn s(a: i64, b: i64) -> Session {
         Session::new(Timestamp(a), Timestamp(b)).unwrap()

@@ -16,7 +16,7 @@
 //! whose confidence climbs to a local maximum above the threshold.
 
 use crate::Predictor;
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryRead;
 use prorp_types::{PolicyConfig, Prediction, ProrpError, Timestamp};
 
 /// What the window probability counts — §6's explicit design choice:
@@ -97,7 +97,7 @@ impl ProbabilisticPredictor {
     }
 
     /// Core of Algorithm 4, shared by the trait impl.
-    pub fn predict_at(&self, history: &HistoryTable, now: Timestamp) -> Option<Prediction> {
+    pub fn predict_at(&self, history: &dyn HistoryRead, now: Timestamp) -> Option<Prediction> {
         let w = self.config.window;
         let s = self.config.slide;
         let period = self.config.seasonality.period();
@@ -165,7 +165,7 @@ impl ProbabilisticPredictor {
 impl Predictor for ProbabilisticPredictor {
     fn predict(
         &mut self,
-        history: &HistoryTable,
+        history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         Ok(self.predict_at(history, now))
@@ -179,6 +179,7 @@ impl Predictor for ProbabilisticPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prorp_storage::HistoryTable;
     use prorp_types::{EventKind, Seasonality, Seconds};
 
     const DAY: i64 = 86_400;

@@ -11,7 +11,7 @@
 //! at the daily period; a Monday-only pattern scores ~1/7 at the daily
 //! period but 1.0 at the weekly one.
 
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryRead;
 use prorp_types::{EventKind, Seasonality, Seconds};
 use std::collections::HashSet;
 
@@ -26,7 +26,7 @@ const BUCKET_WIDTH_SECS: i64 = 3_600;
 /// period: `periods hitting the bucket / periods spanned`, in `[0, 1]`.
 /// Histories spanning fewer than two periods score 0 (one sample proves
 /// nothing about recurrence).
-pub fn recurrence_score(history: &HistoryTable, period: Seconds) -> f64 {
+pub fn recurrence_score(history: &dyn HistoryRead, period: Seconds) -> f64 {
     let logins: Vec<i64> = history
         .events()
         .into_iter()
@@ -68,7 +68,7 @@ pub struct SeasonalityScores {
 }
 
 /// Score both periods on a history.
-pub fn score_seasonalities(history: &HistoryTable) -> SeasonalityScores {
+pub fn score_seasonalities(history: &dyn HistoryRead) -> SeasonalityScores {
     SeasonalityScores {
         daily: recurrence_score(history, Seconds::days(1)),
         weekly: recurrence_score(history, Seconds::weeks(1)),
@@ -83,7 +83,7 @@ pub const WEEKLY_MARGIN: f64 = 0.15;
 
 /// Pick the seasonality for a history: weekly only when its recurrence
 /// beats daily by [`WEEKLY_MARGIN`], otherwise the daily default.
-pub fn detect_seasonality(history: &HistoryTable) -> Seasonality {
+pub fn detect_seasonality(history: &dyn HistoryRead) -> Seasonality {
     let scores = score_seasonalities(history);
     if scores.weekly > scores.daily + WEEKLY_MARGIN {
         Seasonality::Weekly
@@ -95,6 +95,7 @@ pub fn detect_seasonality(history: &HistoryTable) -> Seasonality {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prorp_storage::HistoryTable;
     use prorp_types::Timestamp;
 
     const DAY: i64 = 86_400;

@@ -6,15 +6,16 @@
 //! prorp-trace <trace.jsonl> slowest-stages [n]
 //! prorp-trace <trace.jsonl> breaker
 //! prorp-trace <trace.jsonl> qos-misses [limit]
+//! prorp-trace <trace.jsonl> time-travel <db-id> <t> [knob=value ...]
 //! ```
 //!
 //! The input is the stream written by `prorp_obs::trace_jsonl` (the
 //! `ObsReport::trace` of a run).  All output is a deterministic function
 //! of the trace bytes, so CI runs the CLI against a golden trace.
 
-use prorp_obs::query;
 use prorp_obs::span::{SpanKind, TraceRecord};
-use prorp_types::DatabaseId;
+use prorp_obs::{query, timetravel};
+use prorp_types::{DatabaseId, PolicyConfig, Seasonality, Seconds, Timestamp};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: prorp-trace <trace.jsonl> <command> [args]\n\
@@ -23,7 +24,13 @@ commands:\n\
   timeline <db> [n]    chronological records of one database (default all)\n\
   slowest-stages [n]   slowest successful workflow stages (default 10)\n\
   breaker              circuit-breaker open/close episodes\n\
-  qos-misses [n]       unavailable logins with predictor attribution";
+  qos-misses [n]       unavailable logins with predictor attribution\n\
+  time-travel <db> <t> [knob=value ...]\n\
+                       replay the database's history into an LSM store,\n\
+                       snapshot it as of second t, and re-run Algorithm 4.\n\
+                       knobs (over the Table 1 defaults): confidence=<0..1>,\n\
+                       window=<s>, slide=<s>, history=<s>, horizon=<s>,\n\
+                       logical-pause=<s>, seasonality=daily|weekly";
 
 fn describe(kind: &SpanKind) -> String {
     match kind {
@@ -142,6 +149,62 @@ fn print_qos_misses(records: &[TraceRecord], limit: usize) {
     }
 }
 
+fn parse_policy(overrides: &[String]) -> Result<PolicyConfig, String> {
+    let mut b = PolicyConfig::builder();
+    for kv in overrides {
+        let Some((key, value)) = kv.split_once('=') else {
+            return Err(format!("bad override {kv:?}, expected knob=value"));
+        };
+        let secs = |v: &str| -> Result<Seconds, String> {
+            v.parse::<i64>()
+                .map(Seconds)
+                .map_err(|_| format!("bad value for {key}: {v:?} (want seconds)"))
+        };
+        b = match key {
+            "confidence" => b.confidence(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad confidence {value:?}"))?,
+            ),
+            "window" => b.window(secs(value)?),
+            "slide" => b.slide(secs(value)?),
+            "history" => b.history_len(secs(value)?),
+            "horizon" => b.horizon(secs(value)?),
+            "logical-pause" => b.logical_pause(secs(value)?),
+            "seasonality" => b.seasonality(match value {
+                "daily" => Seasonality::Daily,
+                "weekly" => Seasonality::Weekly,
+                other => return Err(format!("bad seasonality {other:?} (daily|weekly)")),
+            }),
+            other => return Err(format!("unknown knob {other:?}")),
+        };
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+fn print_time_travel(report: &timetravel::TimeTravelReport) {
+    println!("database:        {}", report.db);
+    println!("as of:           {}", report.as_of);
+    println!("logins replayed: {}", report.logins_replayed);
+    println!(
+        "snapshot:        {} tuples at seqno {}",
+        report.snapshot_len, report.snapshot_seqno
+    );
+    match &report.prediction {
+        Some(p) => println!("prediction:      {p}"),
+        None => println!("prediction:      none (no pattern clears the confidence bar)"),
+    }
+    match report.recorded {
+        Some((at, outcome)) => {
+            println!("recorded run:    {} ({})", at, outcome.label());
+            if report.reproduces_recorded_run() {
+                println!("replay instant matches the recorded run: this is the forecast the engine acted on");
+            }
+        }
+        None => println!("recorded run:    none at or before the replay instant"),
+    }
+}
+
 fn parse_count(arg: Option<&String>, default: usize) -> Result<usize, String> {
     match arg {
         None => Ok(default),
@@ -171,6 +234,20 @@ fn run(args: &[String]) -> Result<(), String> {
         "slowest-stages" => print_slowest(&records, parse_count(rest.first(), 10)?),
         "breaker" => print_breaker(&records),
         "qos-misses" => print_qos_misses(&records, parse_count(rest.first(), usize::MAX)?),
+        "time-travel" => {
+            let [db, t, overrides @ ..] = rest else {
+                return Err("time-travel needs a database id and a timestamp".into());
+            };
+            let db: u64 = db
+                .trim_start_matches("db-")
+                .parse()
+                .map_err(|_| format!("bad database id {db:?}"))?;
+            let at: i64 = t.parse().map_err(|_| format!("bad timestamp {t:?}"))?;
+            let config = parse_policy(overrides)?;
+            let report = timetravel::replay_as_of(&records, DatabaseId(db), Timestamp(at), config)
+                .map_err(|e| e.to_string())?;
+            print_time_travel(&report);
+        }
         other => return Err(format!("unknown command {other:?}\n{USAGE}")),
     }
     Ok(())

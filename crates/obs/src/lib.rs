@@ -35,7 +35,12 @@
 //! * [`export`] — JSONL and Prometheus text exporters plus the JSONL
 //!   parser the CLI uses;
 //! * [`query`] — operator queries (timelines, slowest stages, breaker
-//!   episodes, QoS-miss attribution) backing the `prorp-trace` binary.
+//!   episodes, QoS-miss attribution) backing the `prorp-trace` binary;
+//! * [`timetravel`] — trace-driven time travel: replay a database's
+//!   Login spans into an LSM history, freeze a
+//!   [`snapshot_as_of(T)`](prorp_storage::TimeTravel::snapshot_as_of),
+//!   and re-run Algorithm 4 exactly as the engine saw it
+//!   (the `prorp-trace time-travel` subcommand).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +51,7 @@ pub mod metrics;
 pub mod query;
 pub mod report;
 pub mod span;
+pub mod timetravel;
 
 pub use config::ObsConfig;
 pub use export::{parse_trace_jsonl, prometheus_text, record_json, snapshots_jsonl, trace_jsonl};
@@ -62,3 +68,4 @@ pub use span::{
     BreakerTransition, NullSink, PredictOutcome, SpanKind, StageResult, TraceBuffer, TraceRecord,
     TraceSink, WorkflowOutcome,
 };
+pub use timetravel::{replay_as_of, TimeTravelReport};

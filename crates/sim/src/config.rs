@@ -8,6 +8,7 @@
 //! field, so a hand-mutated config cannot bypass its validation.
 
 use prorp_obs::ObsConfig;
+use prorp_storage::StorageBackend;
 use prorp_telemetry::TelemetryMode;
 use prorp_types::{
     BreakerConfig, FaultConfig, PolicyConfig, ProrpError, RetryPolicy, Seconds, Timestamp,
@@ -91,6 +92,12 @@ pub struct SimConfig {
     /// prediction index.  The two are bit-identical in behaviour — this
     /// knob exists for A/B benchmarking and differential testing.
     pub naive_predictor: bool,
+    /// Which storage engine backs every database's activity history
+    /// (B+Tree default, or the LSM/MVCC engine).  Policy behaviour is
+    /// backend-independent — same trace and seed yield bit-identical
+    /// KPIs — so this knob exists for A/B benchmarking and differential
+    /// testing of the storage seam.
+    pub storage_backend: StorageBackend,
     /// Number of simulation shards (worker threads).  Databases are
     /// partitioned by id-hash ([`prorp_types::DatabaseId::shard_of`]) and
     /// each shard runs its own event loop on its own cluster slice;
@@ -145,6 +152,7 @@ impl SimConfig {
             maintenance_deadline: Seconds::hours(24),
             seed: 0,
             naive_predictor: false,
+            storage_backend: StorageBackend::default(),
             shards: 1,
             telemetry_mode: TelemetryMode::Full,
             fault: FaultConfig::default(),
@@ -343,6 +351,14 @@ impl SimConfigBuilder {
     /// prediction index (bit-identical behaviour; A/B benchmarking).
     pub fn naive_predictor(mut self, v: bool) -> Self {
         self.cfg.naive_predictor = v;
+        self
+    }
+
+    /// Storage engine backing every database's activity history
+    /// (bit-identical behaviour across backends; A/B benchmarking and
+    /// differential testing).
+    pub fn storage_backend(mut self, v: StorageBackend) -> Self {
+        self.cfg.storage_backend = v;
         self
     }
 

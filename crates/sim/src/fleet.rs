@@ -277,12 +277,20 @@ impl EngineArena {
     ) -> Result<(), ProrpError> {
         let breaker = cfg.fault().breaker;
         let fail_every = cfg.fault().forecast_fail_every.map(u64::from);
+        let backend = cfg.storage_backend;
         match self {
             EngineArena::Reactive(v) => {
-                v.push(ReactiveEngine::new(Seconds::hours(7), Seconds::days(28))?);
+                v.push(ReactiveEngine::with_backend(
+                    Seconds::hours(7),
+                    Seconds::days(28),
+                    backend,
+                )?);
             }
             EngineArena::Optimal(v) => {
-                v.push(OptimalEngine::new(trace.sessions.clone())?);
+                v.push(OptimalEngine::with_backend(
+                    trace.sessions.clone(),
+                    backend,
+                )?);
             }
             EngineArena::Incremental(v) => {
                 let SimPolicy::Proactive(pc) = &cfg.policy else {
@@ -293,7 +301,9 @@ impl EngineArena {
                     ConfidenceBasis::Windows,
                     scratch.clone(),
                 )?;
-                v.push(ProactiveEngine::with_breaker(*pc, predictor, breaker)?);
+                v.push(ProactiveEngine::with_backend(
+                    *pc, predictor, breaker, backend,
+                )?);
             }
             EngineArena::IncrementalFaulty(v) => {
                 let SimPolicy::Proactive(pc) = &cfg.policy else {
@@ -305,20 +315,22 @@ impl EngineArena {
                     scratch.clone(),
                 )?;
                 let n = fail_every.expect("faulty variant requires forecast_fail_every");
-                v.push(ProactiveEngine::with_breaker(
+                v.push(ProactiveEngine::with_backend(
                     *pc,
                     FailEvery::new(predictor, n),
                     breaker,
+                    backend,
                 )?);
             }
             EngineArena::Naive(v) => {
                 let SimPolicy::Proactive(pc) = &cfg.policy else {
                     unreachable!("arena variant chosen from cfg.policy");
                 };
-                v.push(ProactiveEngine::with_breaker(
+                v.push(ProactiveEngine::with_backend(
                     *pc,
                     ProbabilisticPredictor::new(*pc)?,
                     breaker,
+                    backend,
                 )?);
             }
             EngineArena::NaiveFaulty(v) => {
@@ -326,10 +338,11 @@ impl EngineArena {
                     unreachable!("arena variant chosen from cfg.policy");
                 };
                 let n = fail_every.expect("faulty variant requires forecast_fail_every");
-                v.push(ProactiveEngine::with_breaker(
+                v.push(ProactiveEngine::with_backend(
                     *pc,
                     FailEvery::new(ProbabilisticPredictor::new(*pc)?, n),
                     breaker,
+                    backend,
                 )?);
             }
         }

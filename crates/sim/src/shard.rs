@@ -54,7 +54,7 @@ use prorp_core::{
 };
 use prorp_forecast::SweepScratch;
 use prorp_obs::ObsReport;
-use prorp_storage::{backup_history, restore_history, MetadataStore, StorageStats};
+use prorp_storage::{backup_history, restore_backend, MetadataStore, StorageStats};
 use prorp_telemetry::{
     IncidentKind, IncidentLog, SegmentAccumulator, SegmentKind, ShardCounters, TelemetryKind,
     TelemetryLog, WorkflowStats,
@@ -704,7 +704,7 @@ where
                     // destination node.
                     let idx = fleet.index_of(moved);
                     let bytes = backup_history(fleet.engines.get(idx).history())?;
-                    let restored = restore_history(&bytes)?;
+                    let restored = restore_backend(&bytes, cfg.storage_backend)?;
                     fleet.engines.get_mut(idx).restore_history(restored);
                     telemetry.record(now, moved, TelemetryKind::Move);
                     if let Some(o) = obs.as_mut() {

@@ -11,7 +11,9 @@
 //! `page_count` raw 8-KiB page images.
 
 use crate::history::HistoryTable;
-use crate::page::{self, PAGE_SIZE};
+use crate::lsm::LsmHistory;
+use crate::page::{self, Record, PAGE_SIZE};
+use crate::store::{HistoryBackend, HistoryRead, StorageBackend};
 use bytes::{Buf, BufMut, BytesMut};
 use prorp_types::ProrpError;
 
@@ -22,9 +24,21 @@ pub const BACKUP_VERSION: u32 = 1;
 /// Header bytes preceding the page images.
 pub const BACKUP_HEADER_SIZE: usize = 16;
 
-/// Serialise a history table into a self-describing backup stream.
-pub fn backup_history(table: &HistoryTable) -> Result<Vec<u8>, ProrpError> {
-    let records = table.records();
+/// Serialise a history store into a self-describing backup stream.
+///
+/// The stream is *backend-independent*: it serialises the visible
+/// events in key order, so a B+Tree table and an LSM store holding the
+/// same history produce byte-identical backups, and either side can
+/// restore from the other's stream.
+pub fn backup_history<H: HistoryRead + ?Sized>(table: &H) -> Result<Vec<u8>, ProrpError> {
+    let records: Vec<Record> = table
+        .events()
+        .into_iter()
+        .map(|e| Record {
+            key: e.ts.as_secs(),
+            value: i64::from(e.kind.as_i32()),
+        })
+        .collect();
     let pages = page::encode_pages(&records)?;
     let mut out = BytesMut::with_capacity(BACKUP_HEADER_SIZE + pages.len() * PAGE_SIZE);
     out.put_u32_le(BACKUP_MAGIC);
@@ -44,6 +58,29 @@ pub fn backup_history(table: &HistoryTable) -> Result<Vec<u8>, ProrpError> {
 /// Returns [`ProrpError::Storage`] on truncated input, bad magic, an
 /// unsupported version, or page-level corruption.
 pub fn restore_history(stream: &[u8]) -> Result<HistoryTable, ProrpError> {
+    HistoryTable::from_records(&decode_records(stream)?)
+}
+
+/// Rebuild a history store of the requested backend kind from a backup
+/// stream — the restore half of the pluggable-storage seam.  Either
+/// backend restores from any stream (the format is backend-independent)
+/// with the shared restore contract: mutation version reset to 0, slot
+/// index unconfigured.
+///
+/// # Errors
+///
+/// Returns [`ProrpError::Storage`] on truncated input, bad magic, an
+/// unsupported version, or page-level corruption.
+pub fn restore_backend(stream: &[u8], kind: StorageBackend) -> Result<HistoryBackend, ProrpError> {
+    let records = decode_records(stream)?;
+    Ok(match kind {
+        StorageBackend::BTree => HistoryBackend::BTree(HistoryTable::from_records(&records)?),
+        StorageBackend::Lsm => HistoryBackend::Lsm(LsmHistory::from_records(&records)?),
+    })
+}
+
+/// Validate a backup stream's framing and decode its page records.
+fn decode_records(stream: &[u8]) -> Result<Vec<Record>, ProrpError> {
     if stream.len() < BACKUP_HEADER_SIZE {
         return Err(ProrpError::Storage(format!(
             "backup stream truncated: {} bytes < header {BACKUP_HEADER_SIZE}",
@@ -72,8 +109,7 @@ pub fn restore_history(stream: &[u8]) -> Result<HistoryTable, ProrpError> {
         )));
     }
     let body = &stream[BACKUP_HEADER_SIZE..];
-    let records = page::decode_pages(body.chunks(PAGE_SIZE))?;
-    HistoryTable::from_records(&records)
+    page::decode_pages(body.chunks(PAGE_SIZE))
 }
 
 #[cfg(test)]
@@ -134,6 +170,35 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("version"));
+    }
+
+    #[test]
+    fn backup_bytes_are_backend_independent() {
+        let mut lsm = LsmHistory::new();
+        let mut btree = HistoryTable::new();
+        for i in 0..300 {
+            let kind = if i % 3 == 0 {
+                EventKind::Start
+            } else {
+                EventKind::End
+            };
+            lsm.insert_history(Timestamp(i * 61), kind);
+            btree.insert_history(Timestamp(i * 61), kind);
+        }
+        lsm.delete_old_history(prorp_types::Seconds(5_000), Timestamp(300 * 61));
+        btree.delete_old_history(prorp_types::Seconds(5_000), Timestamp(300 * 61));
+        let a = backup_history(&lsm).unwrap();
+        let b = backup_history(&btree).unwrap();
+        assert_eq!(a, b, "same history must serialise to the same bytes");
+        // Cross-restore: either backend restores either stream.
+        let as_lsm = restore_backend(&b, StorageBackend::Lsm).unwrap();
+        let as_btree = restore_backend(&a, StorageBackend::BTree).unwrap();
+        assert_eq!(as_lsm.events(), as_btree.events());
+        assert_eq!(as_lsm.logins(), as_btree.logins());
+        assert_eq!(as_lsm.version(), 0);
+        assert_eq!(as_btree.version(), 0);
+        assert_eq!(as_lsm.kind(), StorageBackend::Lsm);
+        assert_eq!(as_btree.kind(), StorageBackend::BTree);
     }
 
     #[test]

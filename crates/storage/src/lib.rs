@@ -24,6 +24,19 @@
 //! * [`wal`] — a write-ahead log bridging the gap between backups: every
 //!   Algorithm 2/3 mutation is logged before it is applied, and crash
 //!   recovery replays the log tail over the last backup image.
+//!
+//! # Pluggable storage
+//!
+//! The [`store`] module is the trait seam over this machinery:
+//! [`HistoryRead`] (the object-safe read surface predictors consume)
+//! and [`HistoryStore`] (the Algorithm 2/3 mutation surface), with
+//! [`HistoryBackend`] as the enum-dispatch wrapper engines hold and
+//! [`StorageBackend`] as the fleet-wide knob.  Two engines implement
+//! the seam: the B+Tree [`HistoryTable`] (default) and the [`lsm`]
+//! module's [`LsmHistory`] — an LSM/MVCC tree whose monotonic seqnos
+//! power [`snapshot`](lsm::LsmHistory::snapshot) frozen views and the
+//! [`TimeTravel`] timestamp → seqno mapping for "as of T" post-mortems.
+//! Both backends are held to bit-identical observable behaviour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,12 +44,16 @@
 pub mod backup;
 pub mod btree;
 pub mod history;
+pub mod lsm;
 pub mod metadata;
 pub mod page;
+pub mod store;
 pub mod wal;
 
-pub use backup::{backup_history, restore_history};
+pub use backup::{backup_history, restore_backend, restore_history};
 pub use btree::BTree;
 pub use history::{DeleteOutcome, HistoryTable, SlotIndex, StorageStats};
+pub use lsm::{LsmConfig, LsmHistory, LsmMetrics, LsmSnapshot, TimeTravel};
 pub use metadata::{DbMeta, MetadataStore};
+pub use store::{HistoryBackend, HistoryRead, HistoryStore, StorageBackend};
 pub use wal::{DurableHistory, WalRecord, WriteAheadLog};

@@ -1,0 +1,295 @@
+//! Size-tiered → leveled compaction over the run hierarchy.
+//!
+//! Level 0 is size-tiered: memtable flushes stack up as whole runs,
+//! newest first, and once [`L0_RUN_LIMIT`] runs accumulate they are
+//! merged into level 1.  Levels 1 and beyond are leveled — one run per
+//! level, each allowed [`LEVEL_FANOUT`]× the entries of the previous —
+//! and an over-full level cascades its run into the next.  Compaction
+//! merges *all* versions (full MVCC retention: a frozen snapshot must
+//! keep resolving against the merged runs), so the only growth beyond
+//! the live set is tombstones plus their shadowed versions — bounded at
+//! roughly two versions per trimmed tuple under the Algorithm-2/3
+//! workload.
+//!
+//! The seqno-range discipline falls out of the merge order: every flush
+//! carries strictly newer seqnos than all on-level entries, and merges
+//! only ever combine *adjacent* sources, so at all times
+//! `memtable > L0[0] > L0[1] > … > L1 > L2 > …` holds over seqno
+//! ranges, and a point lookup can stop at the first source holding any
+//! version at or below the read point.
+
+use super::run::{Entry, Run};
+use prorp_types::ProrpError;
+
+/// Size-tiered trigger: merge L0 into L1 once this many runs stack up.
+pub const L0_RUN_LIMIT: usize = 4;
+
+/// Leveled growth factor: level `i ≥ 1` holds up to
+/// `base × LEVEL_FANOUT^i` entries before cascading.
+pub const LEVEL_FANOUT: usize = 4;
+
+/// Bytes written by one compaction round (the write-amp ledger's input).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CompactionEffort {
+    /// Physical bytes written re-encoding merged runs.
+    pub bytes_written: usize,
+    /// Number of merge operations performed.
+    pub merges: usize,
+}
+
+/// The immutable-run hierarchy: a size-tiered L0 stack over leveled
+/// single-run levels.
+#[derive(Clone, Debug, Default)]
+pub struct Levels {
+    /// Level-0 runs, newest first.
+    l0: Vec<Run>,
+    /// Levels 1…, one run each (index 0 is L1).
+    leveled: Vec<Run>,
+    /// Whether newly built runs carry bloom filters.
+    bloom: bool,
+    /// Leveled capacity base: L`i` holds `base × LEVEL_FANOUT^(i-1)`.
+    base: usize,
+}
+
+impl Levels {
+    /// An empty hierarchy.  `base` is the L1 entry capacity (typically
+    /// the memtable capacity × [`L0_RUN_LIMIT`]); `bloom` enables
+    /// per-run filters on every run built from here on.
+    pub fn new(base: usize, bloom: bool) -> Self {
+        Levels {
+            l0: Vec::new(),
+            leveled: Vec::new(),
+            bloom,
+            base: base.max(1),
+        }
+    }
+
+    /// Accept a freshly flushed run at the front of L0, then restore the
+    /// shape invariants (L0 size-tiered trigger, leveled cascades).
+    pub fn push_flush(&mut self, run: Run) -> Result<CompactionEffort, ProrpError> {
+        debug_assert!(
+            self.newest_seqno_bound() < run.min_seqno() || run.is_empty(),
+            "flushed run must carry strictly newer seqnos than every level"
+        );
+        self.l0.insert(0, run);
+        self.maintain()
+    }
+
+    /// Install a base run (restore path): becomes level 1, cascading
+    /// deeper as later flushes arrive.
+    pub fn install_base(&mut self, run: Run) {
+        debug_assert!(self.l0.is_empty() && self.leveled.is_empty());
+        if !run.is_empty() {
+            self.leveled.push(run);
+        }
+    }
+
+    /// Non-empty runs in newest→oldest seqno order — the point-lookup
+    /// probe order (vacated levels are skipped).
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = &Run> {
+        self.l0
+            .iter()
+            .chain(self.leveled.iter())
+            .filter(|r| !r.is_empty())
+    }
+
+    /// Number of non-empty runs across all levels.
+    pub fn run_count(&self) -> usize {
+        self.iter_newest_first().count()
+    }
+
+    /// Number of occupied levels (L0 counts once when non-empty).
+    pub fn depth(&self) -> usize {
+        usize::from(!self.l0.is_empty()) + self.leveled.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Total entries across all runs (all versions, dead included).
+    pub fn entry_count(&self) -> usize {
+        self.iter_newest_first().map(Run::len).sum()
+    }
+
+    /// Total physical bytes across all runs.
+    pub fn page_bytes(&self) -> usize {
+        self.iter_newest_first().map(Run::page_bytes).sum()
+    }
+
+    /// Largest seqno stored in any run (0 when empty).
+    fn newest_seqno_bound(&self) -> u64 {
+        self.iter_newest_first()
+            .map(Run::max_seqno)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Restore the shape invariants after a flush.
+    fn maintain(&mut self) -> Result<CompactionEffort, ProrpError> {
+        let mut effort = CompactionEffort::default();
+        // Size-tiered: collapse L0 into level 1 once the stack is full.
+        if self.l0.len() >= L0_RUN_LIMIT {
+            let mut sources: Vec<Run> = self.l0.drain(..).collect();
+            if let Some(l1) = self.leveled.first_mut() {
+                sources.push(std::mem::take(l1));
+            }
+            let merged = merge_runs(&sources);
+            let (run, bytes) = Run::build(merged, self.bloom)?;
+            effort.bytes_written += bytes;
+            effort.merges += 1;
+            match self.leveled.first_mut() {
+                Some(l1) => *l1 = run,
+                None => self.leveled.push(run),
+            }
+        }
+        // Leveled: cascade any over-full level down into the next,
+        // vacating it.  A demotion into an empty or missing level is a
+        // free move (no rewrite); a demotion into an occupied level is
+        // a merge charged to the write-amp ledger.
+        let mut i = 0;
+        while i < self.leveled.len() {
+            let cap = self
+                .base
+                .saturating_mul(LEVEL_FANOUT.saturating_pow(i as u32));
+            if self.leveled[i].len() > cap {
+                let upper = std::mem::take(&mut self.leveled[i]);
+                if i + 1 >= self.leveled.len() {
+                    self.leveled.push(upper);
+                } else if self.leveled[i + 1].is_empty() {
+                    self.leveled[i + 1] = upper;
+                } else {
+                    let lower = std::mem::take(&mut self.leveled[i + 1]);
+                    let merged = merge_runs(&[upper, lower]);
+                    let (run, bytes) = Run::build(merged, self.bloom)?;
+                    effort.bytes_written += bytes;
+                    effort.merges += 1;
+                    self.leveled[i + 1] = run;
+                }
+            }
+            i += 1;
+        }
+        Ok(effort)
+    }
+
+    /// Audit the hierarchy's structural invariants (strict-invariants
+    /// builds and property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        assert!(self.l0.len() < L0_RUN_LIMIT, "L0 stack over the trigger");
+        let mut prev_min = u64::MAX;
+        for (i, run) in self.iter_newest_first().enumerate() {
+            assert!(
+                run.entries()
+                    .windows(2)
+                    .all(|w| (w[0].key, w[0].seqno) < (w[1].key, w[1].seqno)),
+                "run {i} not (key, seqno)-sorted"
+            );
+            if run.is_empty() {
+                continue;
+            }
+            assert!(
+                run.max_seqno() < prev_min,
+                "seqno ranges must be strictly ordered newest→oldest \
+                 (run {i}: max {} !< previous min {prev_min})",
+                run.max_seqno()
+            );
+            prev_min = run.min_seqno();
+        }
+    }
+}
+
+/// Merge runs into one `(key, seqno)`-sorted entry vector, keeping
+/// every version (full MVCC retention).
+fn merge_runs(runs: &[Run]) -> Vec<Entry> {
+    let total = runs.iter().map(Run::len).sum();
+    let mut out: Vec<Entry> = Vec::with_capacity(total);
+    for run in runs {
+        out.extend_from_slice(run.entries());
+    }
+    // Each source is sorted; the concatenation is not.  A stable
+    // comparison sort on (key, seqno) restores the global order
+    // deterministically.
+    out.sort_unstable_by_key(|e| (e.key, e.seqno));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_of(range: std::ops::Range<i64>, seqno_base: u64) -> Run {
+        let entries: Vec<Entry> = range
+            .clone()
+            .map(|k| Entry {
+                key: k,
+                seqno: seqno_base + (k - range.start) as u64,
+                value: 1,
+                tombstone: false,
+            })
+            .collect();
+        Run::build(entries, false).unwrap().0
+    }
+
+    #[test]
+    fn l0_collapses_at_the_trigger() {
+        let mut levels = Levels::new(64, false);
+        let mut seqno = 1;
+        for i in 0..L0_RUN_LIMIT {
+            let run = run_of((i as i64) * 10..(i as i64) * 10 + 5, seqno);
+            seqno += 5;
+            levels.push_flush(run).unwrap();
+        }
+        // The 4th flush triggered the size-tiered merge: L0 empty, one
+        // leveled run holding all 20 entries.
+        assert_eq!(levels.run_count(), 1);
+        assert_eq!(levels.entry_count(), 20);
+        levels.check_invariants();
+    }
+
+    #[test]
+    fn cascade_keeps_seqno_ranges_ordered() {
+        let mut levels = Levels::new(8, true);
+        let mut seqno = 1;
+        for i in 0..20 {
+            let run = run_of(i * 4..i * 4 + 4, seqno);
+            seqno += 4;
+            levels.push_flush(run).unwrap();
+            levels.check_invariants();
+        }
+        assert_eq!(levels.entry_count(), 80);
+        assert!(levels.depth() >= 2, "80 entries over base 8 must cascade");
+    }
+
+    #[test]
+    fn merge_keeps_all_versions() {
+        let a = Run::build(
+            vec![Entry {
+                key: 5,
+                seqno: 10,
+                value: 1,
+                tombstone: true,
+            }],
+            false,
+        )
+        .unwrap()
+        .0;
+        let b = Run::build(
+            vec![Entry {
+                key: 5,
+                seqno: 2,
+                value: 1,
+                tombstone: false,
+            }],
+            false,
+        )
+        .unwrap()
+        .0;
+        let merged = merge_runs(&[a, b]);
+        assert_eq!(
+            merged.len(),
+            2,
+            "compaction must not drop shadowed versions"
+        );
+        assert_eq!((merged[0].seqno, merged[1].seqno), (2, 10));
+    }
+}

@@ -1,0 +1,823 @@
+//! The LSM/MVCC history engine — `sys.pause_resume_history` on a
+//! log-structured merge tree with snapshot time-travel.
+//!
+//! [`LsmHistory`] is a drop-in alternative to the B+Tree-backed
+//! [`crate::HistoryTable`]: same Algorithm 2/3 semantics, same window
+//! aggregates, same mutation-version discipline — the testkit's
+//! `btree ≡ lsm` differential oracles hold both to bit-identical
+//! observable behaviour.  What the LSM shape buys on top:
+//!
+//! * **MVCC versions + monotonic seqnos** — every mutation (insert or
+//!   trim tombstone) is stamped with the store's sequence number, which
+//!   *is* the mutation version engines already key prediction caches
+//!   on.  Nothing is overwritten in place, so
+//!   [`LsmHistory::snapshot`] can freeze the tuple set visible at any
+//!   past seqno, and the [`TimeTravel`] mapping resolves simulated
+//!   timestamps to seqnos for "as of T" post-mortems (fjall-style
+//!   `snapshot(seqno)`, oxibase-style `AS OF`).
+//! * **Write path**: mutations append to an embedded write-ahead log
+//!   and an in-memory [`memtable`]; at [`LsmConfig::memtable_cap`]
+//!   buffered versions the memtable flushes into an immutable sorted
+//!   [`run`] serialised through the existing 8-KiB slotted-page
+//!   machinery, and the WAL truncates (its coverage is exactly the
+//!   unflushed tail).  Runs compact size-tiered at level 0 and leveled
+//!   below ([`compaction`]); every physical byte written is charged to
+//!   a write-amplification ledger ([`LsmMetrics`]).
+//! * **Read path**: point lookups probe bloom filters and stop at the
+//!   first source holding a version at or below the read point (the
+//!   seqno-range discipline makes that sound); range scans k-way merge
+//!   the memtable and all runs, resolving per-key visibility at the
+//!   read seqno.
+
+pub mod bloom;
+pub mod compaction;
+pub mod memtable;
+pub mod run;
+pub mod snapshot;
+
+pub use snapshot::{LsmSnapshot, TimeTravel};
+
+use crate::history::{DeleteOutcome, SlotIndex, StorageStats};
+use crate::page::{self, Record};
+use crate::wal::{WalRecord, WriteAheadLog};
+use compaction::Levels;
+use memtable::{visible_in_chain, MemTable, Visible};
+use prorp_types::{ActivityEvent, EventKind, ProrpError, Seconds, Timestamp};
+use run::{Entry, Run};
+
+/// Tuning knobs for one [`LsmHistory`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LsmConfig {
+    /// Memtable flush trigger, in buffered versions.  Small by default
+    /// (32) so a 35-day simulated history (~600 mutations) exercises
+    /// flushes and several compaction rounds.
+    pub memtable_cap: usize,
+    /// Whether runs carry per-run bloom filters.
+    pub bloom_filters: bool,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_cap: 32,
+            bloom_filters: true,
+        }
+    }
+}
+
+/// Cumulative write/compaction accounting for one store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LsmMetrics {
+    /// Logical bytes written: 16 B per mutation (insert or tombstone).
+    pub logical_write_bytes: usize,
+    /// Physical bytes written by memtable flushes.
+    pub flushed_bytes: usize,
+    /// Physical bytes re-written by compaction merges.
+    pub compacted_bytes: usize,
+    /// Bytes appended to the write-ahead log (before truncations).
+    pub wal_appended_bytes: usize,
+    /// Number of memtable flushes.
+    pub flushes: usize,
+    /// Number of compaction merges.
+    pub compactions: usize,
+}
+
+impl LsmMetrics {
+    /// Write amplification: physical bytes written (flush + compaction)
+    /// per logical byte.  `0.0` before any write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.logical_write_bytes == 0 {
+            0.0
+        } else {
+            (self.flushed_bytes + self.compacted_bytes) as f64 / self.logical_write_bytes as f64
+        }
+    }
+}
+
+/// The LSM/MVCC implementation of the history store.
+#[derive(Clone, Debug)]
+pub struct LsmHistory {
+    config: LsmConfig,
+    /// The write buffer (newest versions).
+    memtable: MemTable,
+    /// The immutable-run hierarchy (older versions).
+    levels: Levels,
+    /// Embedded write-ahead log covering exactly the memtable.
+    wal: WriteAheadLog,
+    /// Mutation sequence counter — equals the observable
+    /// [`version`](LsmHistory::version), so seqnos and the engines'
+    /// prediction-cache keys are the same number.
+    seqno: u64,
+    /// Tuples visible at the latest seqno (kept in `O(1)`).
+    live: usize,
+    /// Sorted cache of visible login timestamps (mirrors
+    /// [`crate::HistoryTable`]'s cache, same maintenance rules).
+    logins: Vec<i64>,
+    /// Optional slot-occupancy index (see [`SlotIndex`]).
+    slots: Option<SlotIndex>,
+    /// `(applied_at, seqno)` pairs, both monotone — the
+    /// [`TimeTravel::seqno_as_of`] substrate.  Inserts are applied at
+    /// their event timestamp (clamped monotone for stragglers), trims
+    /// at the trim's `now`.
+    timeline: Vec<(i64, u64)>,
+    /// Write/compaction accounting.
+    metrics: LsmMetrics,
+}
+
+impl Default for LsmHistory {
+    fn default() -> Self {
+        LsmHistory::new()
+    }
+}
+
+impl LsmHistory {
+    /// An empty store with default tuning.
+    pub fn new() -> Self {
+        LsmHistory::with_config(LsmConfig::default())
+    }
+
+    /// An empty store with explicit tuning knobs.
+    pub fn with_config(config: LsmConfig) -> Self {
+        let cap = config.memtable_cap.max(1);
+        LsmHistory {
+            config: LsmConfig {
+                memtable_cap: cap,
+                ..config
+            },
+            memtable: MemTable::new(),
+            levels: Levels::new(cap * compaction::L0_RUN_LIMIT, config.bloom_filters),
+            wal: WriteAheadLog::new(),
+            seqno: 0,
+            live: 0,
+            logins: Vec::new(),
+            slots: None,
+            timeline: Vec::new(),
+            metrics: LsmMetrics::default(),
+        }
+    }
+
+    /// The store's tuning knobs.
+    pub fn config(&self) -> LsmConfig {
+        self.config
+    }
+
+    /// Cumulative write/compaction accounting.
+    pub fn metrics(&self) -> LsmMetrics {
+        self.metrics
+    }
+
+    /// The embedded write-ahead log (covers the unflushed memtable).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// Number of immutable runs across all levels.
+    pub fn run_count(&self) -> usize {
+        self.levels.run_count()
+    }
+
+    /// Newest visible value of `key` at seqno `at`:
+    /// memtable first, then runs newest→oldest; the seqno-range
+    /// discipline guarantees the first source holding a version at or
+    /// below `at` holds the newest such version overall.
+    fn visible_at(&self, key: i64, at: u64) -> Visible {
+        if let Some(v) = self.memtable.visible(key, at) {
+            return Some(v);
+        }
+        self.levels
+            .iter_newest_first()
+            .find_map(|run| run.visible(key, at))
+    }
+
+    /// Walk visible `(key, value)` pairs with `lo <= key <= hi` at
+    /// seqno `at`, ascending; stop early when `f` returns `false`.
+    fn scan_visible<F: FnMut(i64, i64) -> bool>(&self, lo: i64, hi: i64, at: u64, mut f: F) {
+        if lo > hi {
+            return; // e.g. an empty trim range between adjacent keys
+        }
+        let mut mem = self.memtable.range(lo, hi).peekable();
+        let runs: Vec<&Run> = self.levels.iter_newest_first().collect();
+        let mut cursors: Vec<usize> = runs.iter().map(|r| r.lower_bound(lo)).collect();
+        loop {
+            // Smallest head key across all sources, bounded by `hi`.
+            let mut key = mem.peek().map(|&(k, _)| k);
+            for (run, &cur) in runs.iter().zip(&cursors) {
+                if let Some(e) = run.entries().get(cur) {
+                    if e.key <= hi {
+                        key = Some(key.map_or(e.key, |k: i64| k.min(e.key)));
+                    }
+                }
+            }
+            let Some(key) = key else { break };
+            // Resolve visibility: first source (newest-first) holding a
+            // version of `key` at or below `at` wins.
+            let mut verdict: Visible = None;
+            if let Some(&(k, chain)) = mem.peek() {
+                if k == key {
+                    verdict = visible_in_chain(chain, at);
+                    mem.next();
+                }
+            }
+            for (run, cur) in runs.iter().zip(&mut cursors) {
+                let entries = run.entries();
+                let mut hit: Visible = None;
+                while let Some(e) = entries.get(*cur) {
+                    if e.key != key {
+                        break;
+                    }
+                    if e.seqno <= at {
+                        hit = Some((!e.tombstone).then_some(e.value));
+                    }
+                    *cur += 1;
+                }
+                if verdict.is_none() {
+                    verdict = hit;
+                }
+            }
+            if let Some(Some(value)) = verdict {
+                if !f(key, value) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flush the memtable into a fresh L0 run and truncate the WAL.
+    fn flush(&mut self) -> Result<(), ProrpError> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let entries = self.memtable.drain_sorted();
+        let (run, bytes) = Run::build(entries, self.config.bloom_filters)?;
+        self.metrics.flushed_bytes += bytes;
+        self.metrics.flushes += 1;
+        let effort = self.levels.push_flush(run)?;
+        self.metrics.compacted_bytes += effort.bytes_written;
+        self.metrics.compactions += effort.merges;
+        // The flushed versions are durable in runs now; the WAL only
+        // needs to cover the (empty) memtable.
+        self.wal.checkpoint();
+        Ok(())
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable.len() >= self.config.memtable_cap {
+            self.flush()
+                .expect("page encoding of a sorted run cannot fail");
+        }
+    }
+
+    /// Log one mutation to the WAL and stamp the timeline.
+    fn log_mutation(&mut self, record: WalRecord, applied_at: i64) {
+        let before = self.wal.byte_len();
+        self.wal.append(record);
+        self.metrics.wal_appended_bytes += self.wal.byte_len() - before;
+        // Clamp monotone: an out-of-order insert is *applied* now, even
+        // though its key is older.
+        let clamped = self
+            .timeline
+            .last()
+            .map_or(applied_at, |&(t, _)| t.max(applied_at));
+        self.timeline.push((clamped, self.seqno));
+    }
+
+    /// Algorithm 2 — `sys.InsertHistory(@time, @type)`; `true` when a
+    /// tuple was stored (see [`crate::HistoryTable::insert_history`]).
+    pub fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
+        let key = ts.as_secs();
+        if matches!(self.visible_at(key, self.seqno), Some(Some(_))) {
+            return false; // IF NOT EXISTS
+        }
+        self.seqno += 1;
+        self.log_mutation(
+            WalRecord::Insert {
+                ts: key,
+                event_type: i64::from(kind.as_i32()),
+            },
+            key,
+        );
+        self.memtable
+            .add(key, self.seqno, i64::from(kind.as_i32()), false);
+        self.metrics.logical_write_bytes += page::RECORD_SIZE;
+        self.live += 1;
+        if kind == EventKind::Start {
+            match self.logins.last() {
+                Some(&newest) if newest > key => {
+                    let pos = self.logins.partition_point(|&x| x < key);
+                    self.logins.insert(pos, key);
+                }
+                _ => self.logins.push(key),
+            }
+            if let Some(ix) = self.slots.as_mut() {
+                ix.add(key);
+            }
+        }
+        self.maybe_flush();
+        true
+    }
+
+    /// Convenience wrapper over [`insert_history`](Self::insert_history).
+    pub fn insert_event(&mut self, ev: ActivityEvent) -> bool {
+        self.insert_history(ev.ts, ev.kind)
+    }
+
+    /// Algorithm 3 — `sys.DeleteOldHistory(@h, @now, @old OUTPUT)`,
+    /// tombstone-based (see
+    /// [`crate::HistoryTable::delete_old_history`]).
+    pub fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
+        let history_start = (now - h).as_secs();
+        let Some(min_ts) = self.min_timestamp().map(Timestamp::as_secs) else {
+            return DeleteOutcome {
+                old: false,
+                deleted: 0,
+            };
+        };
+        if min_ts >= history_start {
+            return DeleteOutcome {
+                old: false,
+                deleted: 0,
+            };
+        }
+        // Keys strictly inside (min_ts, history_start) that are visible
+        // now get tombstoned; the oldest tuple survives to preserve the
+        // lifespan.
+        let mut doomed: Vec<i64> = Vec::new();
+        self.scan_visible(min_ts + 1, history_start - 1, self.seqno, |k, _| {
+            doomed.push(k);
+            true
+        });
+        let deleted = doomed.len();
+        if deleted > 0 {
+            self.seqno += 1;
+            self.log_mutation(
+                WalRecord::DeleteRange {
+                    min: min_ts,
+                    history_start,
+                },
+                now.as_secs(),
+            );
+            for &k in &doomed {
+                self.memtable.add(k, self.seqno, 0, true);
+            }
+            self.metrics.logical_write_bytes += deleted * page::RECORD_SIZE;
+            self.live -= deleted;
+            let lo = self.logins.partition_point(|&t| t <= min_ts);
+            let hi = self.logins.partition_point(|&t| t < history_start);
+            if lo < hi {
+                if let Some(ix) = self.slots.as_mut() {
+                    for &t in &self.logins[lo..hi] {
+                        ix.remove(t);
+                    }
+                }
+                self.logins.drain(lo..hi);
+            }
+            self.maybe_flush();
+        }
+        DeleteOutcome { old: true, deleted }
+    }
+
+    /// `MIN`/`MAX` of login timestamps inside `[lo, hi]` (see
+    /// [`crate::HistoryTable::first_last_login_in`]).
+    pub fn first_last_login_in(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp)> {
+        self.login_window_stats(lo, hi).map(|(f, l, _)| (f, l))
+    }
+
+    /// Number of logins inside the closed window `[lo, hi]`.
+    pub fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
+        self.login_window_stats(lo, hi).map_or(0, |(_, _, c)| c)
+    }
+
+    /// `MIN`, `MAX` and `COUNT` of login timestamps inside `[lo, hi]`
+    /// in one merged range scan (see
+    /// [`crate::HistoryTable::login_window_stats`]).
+    pub fn login_window_stats(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp, i64)> {
+        let mut first = None;
+        let mut last = None;
+        let mut count = 0i64;
+        self.scan_visible(lo.as_secs(), hi.as_secs(), self.seqno, |k, v| {
+            if v == 1 {
+                if first.is_none() {
+                    first = Some(Timestamp(k));
+                }
+                last = Some(Timestamp(k));
+                count += 1;
+            }
+            true
+        });
+        Some((first?, last?, count))
+    }
+
+    /// Whether any event falls inside the closed window `[lo, hi]`.
+    pub fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
+        let mut any = false;
+        self.scan_visible(lo.as_secs(), hi.as_secs(), self.seqno, |_, _| {
+            any = true;
+            false
+        });
+        any
+    }
+
+    /// Oldest visible timestamp.  The merged scan's first key decides:
+    /// Algorithm 3 never tombstones the oldest tuple, so this
+    /// early-exits without walking dead keys.
+    pub fn min_timestamp(&self) -> Option<Timestamp> {
+        let mut min = None;
+        self.scan_visible(i64::MIN, i64::MAX, self.seqno, |k, _| {
+            min = Some(Timestamp(k));
+            false
+        });
+        min
+    }
+
+    /// Newest visible timestamp — a descending walk over merged keys,
+    /// skipping any tombstoned suffix.
+    pub fn max_timestamp(&self) -> Option<Timestamp> {
+        let mut mem = self.memtable.iter().rev().peekable();
+        let runs: Vec<&Run> = self.levels.iter_newest_first().collect();
+        let mut tails: Vec<usize> = runs.iter().map(|r| r.entries().len()).collect();
+        loop {
+            let mut key = mem.peek().map(|&(k, _)| k);
+            for (run, &tail) in runs.iter().zip(&tails) {
+                if tail > 0 {
+                    let k = run.entries()[tail - 1].key;
+                    key = Some(key.map_or(k, |best: i64| best.max(k)));
+                }
+            }
+            let key = key?;
+            if matches!(self.visible_at(key, self.seqno), Some(Some(_))) {
+                return Some(Timestamp(key));
+            }
+            // Dead key: step every source past it (descending).
+            while mem.peek().is_some_and(|&(k, _)| k == key) {
+                mem.next();
+            }
+            for (run, tail) in runs.iter().zip(&mut tails) {
+                while *tail > 0 && run.entries()[*tail - 1].key == key {
+                    *tail -= 1;
+                }
+            }
+        }
+    }
+
+    /// Number of visible tuples (maintained in `O(1)`).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the store holds no visible tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The mutation version — *equal to the latest seqno by
+    /// construction*, so prediction-cache keys and snapshot seqnos are
+    /// the same number (see [`crate::HistoryTable::version`]).
+    pub fn version(&self) -> u64 {
+        self.seqno
+    }
+
+    /// The sorted visible login timestamps.
+    pub fn logins(&self) -> &[i64] {
+        &self.logins
+    }
+
+    /// The slot-occupancy index, when one has been configured.
+    pub fn slot_index(&self) -> Option<&SlotIndex> {
+        self.slots.as_ref()
+    }
+
+    /// (Re)build the slot-occupancy index (see
+    /// [`crate::HistoryTable::configure_slot_index`]).
+    pub fn configure_slot_index(&mut self, period: Seconds, slot_len: Seconds) {
+        self.slots = SlotIndex::rebuilt(period, slot_len, &self.logins);
+    }
+
+    /// All visible events in timestamp order.
+    pub fn events(&self) -> Vec<ActivityEvent> {
+        let mut out = Vec::with_capacity(self.live);
+        self.scan_visible(i64::MIN, i64::MAX, self.seqno, |k, v| {
+            out.push(ActivityEvent {
+                ts: Timestamp(k),
+                kind: if v == 1 {
+                    EventKind::Start
+                } else {
+                    EventKind::End
+                },
+            });
+            true
+        });
+        out
+    }
+
+    /// Rebuild from backup page records: the tuples become one base run
+    /// at seqno 0, matching the B+Tree restore contract (version resets
+    /// to 0, slot index unconfigured, no time-travel past the restore).
+    pub(crate) fn from_records(records: &[Record]) -> Result<Self, ProrpError> {
+        let mut store = LsmHistory::new();
+        let entries: Vec<Entry> = records
+            .iter()
+            .map(|r| Entry {
+                key: r.key,
+                seqno: 0,
+                value: r.value,
+                tombstone: false,
+            })
+            .collect();
+        let (run, _) = Run::build(entries, store.config.bloom_filters)?;
+        store.levels.install_base(run);
+        store.live = records.len();
+        store.logins = records
+            .iter()
+            .filter(|r| r.value == 1)
+            .map(|r| r.key)
+            .collect();
+        Ok(store)
+    }
+
+    /// Audit the store's structural invariants: run shape and seqno
+    /// discipline, the `O(1)` live counter, the login cache and slot
+    /// index against a from-scratch rebuild of the visible set, and the
+    /// timeline's monotonicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        self.levels.check_invariants();
+        if !self.memtable.is_empty() {
+            let newest_on_runs = self
+                .levels
+                .iter_newest_first()
+                .map(Run::max_seqno)
+                .max()
+                .unwrap_or(0);
+            assert!(
+                self.memtable.min_seqno() > newest_on_runs,
+                "memtable seqnos must be strictly newer than every run"
+            );
+            assert!(self.memtable.max_seqno() <= self.seqno);
+        }
+        let mut visible_logins = Vec::new();
+        let mut visible_count = 0usize;
+        self.scan_visible(i64::MIN, i64::MAX, self.seqno, |k, v| {
+            visible_count += 1;
+            if v == 1 {
+                visible_logins.push(k);
+            }
+            true
+        });
+        assert_eq!(self.live, visible_count, "live counter diverged");
+        assert_eq!(
+            self.logins, visible_logins,
+            "login cache diverged from the visible set"
+        );
+        if let Some(ix) = &self.slots {
+            let rebuilt = SlotIndex::rebuilt(ix.period(), ix.slot_len(), &self.logins)
+                .expect("a configured slot index has valid parameters");
+            assert_eq!(*ix, rebuilt, "slot index diverged from a rebuild");
+        }
+        assert!(
+            self.timeline
+                .windows(2)
+                .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1),
+            "timeline must be monotone in both time and seqno"
+        );
+        if let Some(&(_, last)) = self.timeline.last() {
+            assert_eq!(last, self.seqno, "timeline must end at the latest seqno");
+        }
+    }
+
+    /// Storage-overhead statistics.  Logical figures match the B+Tree
+    /// backend exactly; physical figures reflect the LSM shape (run
+    /// pages plus the memtable's would-be pages; depth = occupied
+    /// levels plus the memtable).
+    pub fn stats(&self) -> StorageStats {
+        let run_pages = self.levels.page_bytes() / page::PAGE_SIZE;
+        let mem_pages = page::pages_for(self.memtable.len());
+        let pages = run_pages + mem_pages;
+        StorageStats {
+            tuples: self.live,
+            logical_bytes: self.live * page::RECORD_SIZE,
+            page_bytes: pages * page::PAGE_SIZE,
+            pages,
+            index_depth: usize::from(!self.memtable.is_empty()) + self.levels.depth(),
+        }
+    }
+}
+
+impl TimeTravel for LsmHistory {
+    fn latest_seqno(&self) -> u64 {
+        self.seqno
+    }
+
+    fn seqno_as_of(&self, at: Timestamp) -> u64 {
+        let cut = self.timeline.partition_point(|&(t, _)| t <= at.as_secs());
+        if cut == 0 {
+            0
+        } else {
+            self.timeline[cut - 1].1
+        }
+    }
+
+    fn snapshot(&self, seqno: u64) -> LsmSnapshot {
+        let at = seqno.min(self.seqno);
+        let mut pairs = Vec::new();
+        self.scan_visible(i64::MIN, i64::MAX, at, |k, v| {
+            pairs.push((k, v));
+            true
+        });
+        LsmSnapshot::from_visible(at, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::HistoryRead;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    fn tiny() -> LsmHistory {
+        // Cap 4 so a handful of inserts exercises flush + compaction.
+        LsmHistory::with_config(LsmConfig {
+            memtable_cap: 4,
+            bloom_filters: true,
+        })
+    }
+
+    #[test]
+    fn insert_is_idempotent_per_timestamp() {
+        let mut h = tiny();
+        assert!(h.insert_history(t(100), EventKind::Start));
+        assert!(!h.insert_history(t(100), EventKind::End));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.events()[0].kind, EventKind::Start);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn flush_and_compaction_preserve_reads() {
+        let mut h = tiny();
+        for d in 0..=40 {
+            h.insert_history(t(d * 86_400), EventKind::Start);
+        }
+        assert!(h.metrics().flushes >= 8, "cap 4 must have flushed");
+        assert!(h.run_count() >= 1);
+        assert_eq!(h.len(), 41);
+        assert_eq!(h.min_timestamp(), Some(t(0)));
+        assert_eq!(h.max_timestamp(), Some(t(40 * 86_400)));
+        assert_eq!(
+            h.login_window_stats(t(0), t(40 * 86_400)),
+            Some((t(0), t(40 * 86_400), 41))
+        );
+        h.check_invariants();
+    }
+
+    #[test]
+    fn delete_old_history_matches_btree_semantics() {
+        let mut h = tiny();
+        let mut b = crate::HistoryTable::new();
+        for d in 0..=40 {
+            h.insert_history(t(d * 86_400), EventKind::Start);
+            b.insert_history(t(d * 86_400), EventKind::Start);
+        }
+        let now = t(40 * 86_400);
+        let ours = h.delete_old_history(Seconds::days(28), now);
+        let theirs = b.delete_old_history(Seconds::days(28), now);
+        assert_eq!(ours, theirs);
+        assert_eq!(h.len(), b.len());
+        assert_eq!(h.logins(), b.logins());
+        assert_eq!(h.version(), b.version());
+        assert_eq!(h.min_timestamp(), b.min_timestamp());
+        assert_eq!(h.events(), b.events());
+        h.check_invariants();
+    }
+
+    #[test]
+    fn tombstoned_key_can_be_reinserted() {
+        let mut h = tiny();
+        for ts in [0, 100, 200, 300] {
+            h.insert_history(t(ts), EventKind::Start);
+        }
+        // Trim to the last 50 s at now=300: keys 100, 200 die.
+        let out = h.delete_old_history(Seconds(50), t(300));
+        assert_eq!(out.deleted, 2);
+        assert_eq!(h.len(), 2);
+        // The dead key no longer "exists": a re-insert must succeed.
+        assert!(h.insert_history(t(100), EventKind::End));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.logins(), &[0, 300]);
+        assert_eq!(
+            h.events(),
+            vec![
+                ActivityEvent::start(t(0)),
+                ActivityEvent::end(t(100)),
+                ActivityEvent::start(t(300)),
+            ]
+        );
+        h.check_invariants();
+    }
+
+    #[test]
+    fn snapshots_freeze_past_states() {
+        let mut h = tiny();
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        for ts in [10, 20, 30, 40, 50, 60, 70] {
+            h.insert_history(t(ts), EventKind::Start);
+            seen.push((h.version(), h.len()));
+        }
+        h.delete_old_history(Seconds(15), t(70));
+        seen.push((h.version(), h.len()));
+        for &(seqno, live) in &seen {
+            let snap = h.snapshot(seqno);
+            assert_eq!(snap.seqno(), seqno);
+            assert_eq!(snap.len(), live, "snapshot at seqno {seqno}");
+        }
+        // Seqno 0 is the empty store; clamping applies past the end.
+        assert_eq!(h.snapshot(0).len(), 0);
+        assert_eq!(h.snapshot(u64::MAX).len(), h.len());
+    }
+
+    #[test]
+    fn time_travel_resolves_applied_timestamps() {
+        let mut h = tiny();
+        h.insert_history(t(100), EventKind::Start);
+        h.insert_history(t(200), EventKind::End);
+        // Straggler applied out of order: clamped onto the timeline at
+        // its application point (after t=200).
+        h.insert_history(t(150), EventKind::Start);
+        assert_eq!(h.seqno_as_of(t(99)), 0);
+        assert_eq!(h.seqno_as_of(t(100)), 1);
+        assert_eq!(h.seqno_as_of(t(199)), 1);
+        assert_eq!(h.seqno_as_of(t(200)), 3, "straggler clamps to t=200");
+        let as_of_150 = h.snapshot_as_of(t(150));
+        assert_eq!(as_of_150.len(), 1, "only the t=100 insert had applied");
+        let now = h.snapshot_as_of(t(10_000));
+        assert_eq!(now.len(), 3);
+    }
+
+    #[test]
+    fn restore_resets_version_like_the_btree() {
+        let mut h = tiny();
+        for ts in [100, 200, 300] {
+            h.insert_history(t(ts), EventKind::Start);
+        }
+        let records: Vec<Record> = h
+            .events()
+            .iter()
+            .map(|e| Record {
+                key: e.ts.as_secs(),
+                value: i64::from(e.kind.as_i32()),
+            })
+            .collect();
+        let restored = LsmHistory::from_records(&records).unwrap();
+        assert_eq!(restored.version(), 0);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.logins(), h.logins());
+        assert!(restored.slot_index().is_none());
+        restored.check_invariants();
+    }
+
+    #[test]
+    fn write_amplification_is_accounted() {
+        let mut h = tiny();
+        for ts in 0..200 {
+            h.insert_history(t(ts * 60), EventKind::Start);
+        }
+        let m = h.metrics();
+        assert_eq!(m.logical_write_bytes, 200 * 16);
+        assert!(m.flushed_bytes > 0);
+        assert!(m.compactions > 0, "200 inserts at cap 4 must compact");
+        assert!(m.write_amplification() > 1.0);
+        assert!(m.wal_appended_bytes > 0);
+        // The WAL only covers the unflushed memtable tail.
+        assert!(h.wal().byte_len() < m.wal_appended_bytes);
+    }
+
+    #[test]
+    fn slot_index_and_login_cache_survive_trims() {
+        let mut h = tiny();
+        h.configure_slot_index(Seconds::days(1), Seconds::minutes(5));
+        for &ts in &[500, 100, 300, 200, 400] {
+            h.insert_history(t(ts), EventKind::Start);
+            h.insert_history(t(ts + 50), EventKind::End);
+        }
+        assert_eq!(h.logins(), &[100, 200, 300, 400, 500]);
+        h.check_invariants();
+        let outcome = h.delete_old_history(Seconds(150), t(500));
+        assert!(outcome.old);
+        assert_eq!(h.logins(), &[100, 400, 500]);
+        assert_eq!(h.slot_index().unwrap().total_logins(), 3);
+        h.check_invariants();
+    }
+}

@@ -1,0 +1,255 @@
+//! Immutable sorted runs — the on-"disk" leg of the LSM tree.
+//!
+//! A run is a `(key, seqno)`-sorted vector of MVCC entries produced by
+//! a memtable flush or a compaction merge.  At build time the entries
+//! are serialised through the existing slotted-page machinery
+//! ([`crate::page`]) — the same 8-KiB pages the B+Tree backend and the
+//! backup stream use — and the encoded size is charged to the write-
+//! amplification ledger.  The decoded entries stay resident (the run's
+//! "page cache"); an optional bloom filter short-circuits point
+//! lookups.
+
+use super::bloom::Bloom;
+use super::memtable::Visible;
+use crate::page::{self, Record};
+use prorp_types::ProrpError;
+
+/// How many low bits of the packed page value carry flags: bit 0 is the
+/// event type, bit 1 the tombstone marker; the seqno lives above them.
+const FLAG_BITS: u32 = 2;
+
+/// One MVCC version of one history tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Entry {
+    /// `time_snapshot` — the tuple key.
+    pub key: i64,
+    /// Mutation sequence number that wrote this version.
+    pub seqno: u64,
+    /// `event_type` (1 = start, 0 = end); meaningless for tombstones.
+    pub value: i64,
+    /// Whether this version deletes the key.
+    pub tombstone: bool,
+}
+
+impl Entry {
+    /// Pack this entry into a slotted-page record:
+    /// `value = seqno << 2 | tombstone << 1 | event_type`.
+    fn to_record(self) -> Record {
+        debug_assert!(self.seqno < 1 << (63 - FLAG_BITS), "seqno overflow");
+        let packed = ((self.seqno as i64) << FLAG_BITS)
+            | (i64::from(self.tombstone) << 1)
+            | (self.value & 1);
+        Record {
+            key: self.key,
+            value: packed,
+        }
+    }
+
+    /// Unpack a slotted-page record written by
+    /// [`to_record`](Entry::to_record).
+    fn from_record(r: Record) -> Entry {
+        Entry {
+            key: r.key,
+            seqno: (r.value >> FLAG_BITS) as u64,
+            value: r.value & 1,
+            tombstone: r.value & 0b10 != 0,
+        }
+    }
+}
+
+/// An immutable sorted run.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// `(key, seqno)`-sorted entries (the resident page cache).
+    entries: Vec<Entry>,
+    /// Smallest seqno in the run.
+    min_seqno: u64,
+    /// Largest seqno in the run.
+    max_seqno: u64,
+    /// Optional per-run bloom filter over the key set.
+    bloom: Option<Bloom>,
+    /// Physical size when serialised to 8-KiB slotted pages.
+    page_bytes: usize,
+}
+
+impl Default for Run {
+    /// An empty run — the placeholder for a vacated level.
+    fn default() -> Run {
+        Run {
+            entries: Vec::new(),
+            min_seqno: u64::MAX,
+            max_seqno: 0,
+            bloom: None,
+            page_bytes: 0,
+        }
+    }
+}
+
+impl Run {
+    /// Build a run from `(key, seqno)`-sorted entries, serialising them
+    /// through the page machinery.  Returns the run and the number of
+    /// physical bytes written (for the write-amplification ledger).
+    pub fn build(entries: Vec<Entry>, with_bloom: bool) -> Result<(Run, usize), ProrpError> {
+        debug_assert!(
+            entries
+                .windows(2)
+                .all(|w| (w[0].key, w[0].seqno) < (w[1].key, w[1].seqno)),
+            "run entries must be strictly (key, seqno)-sorted"
+        );
+        let records: Vec<Record> = entries.iter().map(|e| e.to_record()).collect();
+        let pages = page::encode_pages(&records)?;
+        let page_bytes: usize = pages.iter().map(|p| p.len()).sum();
+        // Round-trip through the decoder in debug builds: the page
+        // format, not the resident vector, is the source of truth.
+        debug_assert_eq!(
+            page::decode_pages(pages.iter().map(|p| p.as_ref()))
+                .expect("pages we just encoded must decode")
+                .into_iter()
+                .map(Entry::from_record)
+                .collect::<Vec<_>>(),
+            entries,
+            "page round-trip changed the run"
+        );
+        let bloom = with_bloom.then(|| Bloom::build(entries.len(), entries.iter().map(|e| e.key)));
+        let (min_seqno, max_seqno) = entries.iter().fold((u64::MAX, 0), |(lo, hi), e| {
+            (lo.min(e.seqno), hi.max(e.seqno))
+        });
+        Ok((
+            Run {
+                entries,
+                min_seqno,
+                max_seqno,
+                bloom,
+                page_bytes,
+            },
+            page_bytes,
+        ))
+    }
+
+    /// Newest version of `key` at or below `at`, when present: bloom
+    /// probe, then binary search on the sorted entries.
+    pub fn visible(&self, key: i64, at: u64) -> Visible {
+        if let Some(bloom) = &self.bloom {
+            if !bloom.may_contain(key) {
+                return None;
+            }
+        }
+        let lo = self.entries.partition_point(|e| e.key < key);
+        let hi = self.entries[lo..].partition_point(|e| e.key == key && e.seqno <= at) + lo;
+        if hi > lo {
+            let e = &self.entries[hi - 1];
+            Some((!e.tombstone).then_some(e.value))
+        } else {
+            None
+        }
+    }
+
+    /// The `(key, seqno)`-sorted entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Index of the first entry with `key >= lo`.
+    pub fn lower_bound(&self, lo: i64) -> usize {
+        self.entries.partition_point(|e| e.key < lo)
+    }
+
+    /// Number of entries (all versions, dead included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the run holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest seqno in the run (`u64::MAX` when empty).
+    pub fn min_seqno(&self) -> u64 {
+        self.min_seqno
+    }
+
+    /// Largest seqno in the run (0 when empty).
+    pub fn max_seqno(&self) -> u64 {
+        self.max_seqno
+    }
+
+    /// Physical serialised size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Bloom-filter size in bytes (0 when the run carries none).
+    pub fn bloom_bytes(&self) -> usize {
+        self.bloom.as_ref().map_or(0, Bloom::byte_len)
+    }
+
+    /// Whether the run carries a bloom filter.
+    pub fn has_bloom(&self) -> bool {
+        self.bloom.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: i64, seqno: u64, value: i64, tombstone: bool) -> Entry {
+        Entry {
+            key,
+            seqno,
+            value,
+            tombstone,
+        }
+    }
+
+    #[test]
+    fn record_packing_round_trips() {
+        for e in [
+            entry(0, 0, 0, false),
+            entry(-5_000, 7, 1, false),
+            entry(86_400, 123_456, 0, true),
+            entry(i64::MAX / 4, 1 << 40, 1, true),
+        ] {
+            assert_eq!(Entry::from_record(e.to_record()), e);
+        }
+    }
+
+    #[test]
+    fn visible_picks_newest_version_at_or_below() {
+        let entries = vec![
+            entry(100, 1, 1, false),
+            entry(100, 4, 0, true),
+            entry(200, 2, 0, false),
+        ];
+        let (run, bytes) = Run::build(entries, true).unwrap();
+        assert_eq!(bytes, page::PAGE_SIZE);
+        assert_eq!(run.visible(100, 0), None);
+        assert_eq!(run.visible(100, 1), Some(Some(1)));
+        assert_eq!(run.visible(100, 3), Some(Some(1)));
+        assert_eq!(run.visible(100, 4), Some(None));
+        assert_eq!(run.visible(200, 9), Some(Some(0)));
+        assert_eq!(run.visible(150, 9), None);
+        assert_eq!(run.min_seqno(), 1);
+        assert_eq!(run.max_seqno(), 4);
+        assert!(run.has_bloom());
+        assert!(run.bloom_bytes() > 0);
+    }
+
+    #[test]
+    fn bloomless_run_still_answers_lookups() {
+        let (run, _) = Run::build(vec![entry(10, 1, 1, false)], false).unwrap();
+        assert!(!run.has_bloom());
+        assert_eq!(run.bloom_bytes(), 0);
+        assert_eq!(run.visible(10, 1), Some(Some(1)));
+        assert_eq!(run.visible(11, 1), None);
+    }
+
+    #[test]
+    fn empty_run_is_legal() {
+        let (run, bytes) = Run::build(Vec::new(), true).unwrap();
+        assert!(run.is_empty());
+        assert_eq!(bytes, 0);
+        assert_eq!(run.visible(1, u64::MAX), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Frozen read views and the timestamp → seqno time-travel mapping.
+//!
+//! `snapshot(seqno)` materialises the tuple set visible at a mutation
+//! sequence number into an owned, immutable [`LsmSnapshot`]; the
+//! [`TimeTravel`] trait maps *simulated timestamps* onto seqnos so a
+//! post-mortem can ask "what history did the predictor see as of T?"
+//! and re-run Algorithm 4 against exactly that state — the oxibase
+//! `AS OF` idiom over fjall-style sequence numbers.
+
+use crate::history::{SlotIndex, StorageStats};
+use crate::page;
+use crate::store::HistoryRead;
+use prorp_types::{ActivityEvent, EventKind, Timestamp};
+
+/// An owned, immutable view of the history as of one seqno.
+///
+/// Implements only the read half of the storage seam
+/// ([`HistoryRead`]): predictors run against a snapshot exactly as
+/// they run against the live store, but nothing can mutate it.  The
+/// view is materialised (not a reference into the tree), so it stays
+/// valid however the live store compacts afterwards.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LsmSnapshot {
+    /// The seqno this view is frozen at.
+    seqno: u64,
+    /// Visible tuple keys (`time_snapshot`), ascending.
+    keys: Vec<i64>,
+    /// Parallel `event_type` values (1 = start, 0 = end).
+    values: Vec<i64>,
+    /// Visible login keys, ascending (`values[i] == 1` subset).
+    logins: Vec<i64>,
+}
+
+impl LsmSnapshot {
+    /// Freeze a visible tuple set.  `pairs` must be key-ascending.
+    pub(crate) fn from_visible(seqno: u64, pairs: Vec<(i64, i64)>) -> LsmSnapshot {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut logins = Vec::new();
+        for (k, v) in pairs {
+            keys.push(k);
+            values.push(v);
+            if v == 1 {
+                logins.push(k);
+            }
+        }
+        LsmSnapshot {
+            seqno,
+            keys,
+            values,
+            logins,
+        }
+    }
+
+    /// The seqno this view is frozen at.
+    pub fn seqno(&self) -> u64 {
+        self.seqno
+    }
+
+    /// Index range of `keys` covered by the closed window `[lo, hi]`.
+    fn key_range(&self, lo: Timestamp, hi: Timestamp) -> (usize, usize) {
+        let a = self.keys.partition_point(|&k| k < lo.as_secs());
+        let b = self.keys.partition_point(|&k| k <= hi.as_secs());
+        (a, b)
+    }
+}
+
+impl HistoryRead for LsmSnapshot {
+    fn first_last_login_in(&self, lo: Timestamp, hi: Timestamp) -> Option<(Timestamp, Timestamp)> {
+        self.login_window_stats(lo, hi).map(|(f, l, _)| (f, l))
+    }
+
+    fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
+        let a = self.logins.partition_point(|&k| k < lo.as_secs());
+        let b = self.logins.partition_point(|&k| k <= hi.as_secs());
+        (b - a) as i64
+    }
+
+    fn login_window_stats(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp, i64)> {
+        let a = self.logins.partition_point(|&k| k < lo.as_secs());
+        let b = self.logins.partition_point(|&k| k <= hi.as_secs());
+        if a == b {
+            return None;
+        }
+        Some((
+            Timestamp(self.logins[a]),
+            Timestamp(self.logins[b - 1]),
+            (b - a) as i64,
+        ))
+    }
+
+    fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
+        let (a, b) = self.key_range(lo, hi);
+        a < b
+    }
+
+    fn min_timestamp(&self) -> Option<Timestamp> {
+        self.keys.first().map(|&k| Timestamp(k))
+    }
+
+    fn max_timestamp(&self) -> Option<Timestamp> {
+        self.keys.last().map(|&k| Timestamp(k))
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn version(&self) -> u64 {
+        self.seqno
+    }
+
+    fn logins(&self) -> &[i64] {
+        &self.logins
+    }
+
+    fn slot_index(&self) -> Option<&SlotIndex> {
+        None
+    }
+
+    fn events(&self) -> Vec<ActivityEvent> {
+        self.keys
+            .iter()
+            .zip(&self.values)
+            .map(|(&k, &v)| ActivityEvent {
+                ts: Timestamp(k),
+                kind: if v == 1 {
+                    EventKind::Start
+                } else {
+                    EventKind::End
+                },
+            })
+            .collect()
+    }
+
+    fn stats(&self) -> StorageStats {
+        let tuples = self.keys.len();
+        let pages = page::pages_for(tuples);
+        StorageStats {
+            tuples,
+            logical_bytes: tuples * page::RECORD_SIZE,
+            page_bytes: pages * page::PAGE_SIZE,
+            pages,
+            index_depth: 0,
+        }
+    }
+}
+
+/// Timestamp-indexed access to frozen views of an MVCC store.
+///
+/// `seqno_as_of(T)` resolves a *simulated* timestamp to the newest
+/// seqno whose mutation was applied at or before `T`; `snapshot` then
+/// freezes the visible tuple set at that seqno.  Together they let
+/// `prorp-trace` re-run Algorithm 4 against the history exactly as the
+/// predictor saw it at any past instant.
+pub trait TimeTravel {
+    /// The newest seqno in the store (its current [`HistoryRead::version`]).
+    fn latest_seqno(&self) -> u64;
+
+    /// Newest seqno applied at or before `at` (0 when nothing was).
+    fn seqno_as_of(&self, at: Timestamp) -> u64;
+
+    /// Freeze the tuple set visible at `seqno`.  Seqnos newer than
+    /// [`latest_seqno`](TimeTravel::latest_seqno) clamp to the present.
+    fn snapshot(&self, seqno: u64) -> LsmSnapshot;
+
+    /// Freeze the tuple set as the store stood at simulated time `at`.
+    fn snapshot_as_of(&self, at: Timestamp) -> LsmSnapshot {
+        self.snapshot(self.seqno_as_of(at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> LsmSnapshot {
+        LsmSnapshot::from_visible(7, vec![(10, 1), (20, 0), (30, 1), (40, 0)])
+    }
+
+    #[test]
+    fn read_surface_matches_the_materialised_set() {
+        let s = snap();
+        assert_eq!(s.seqno(), 7);
+        assert_eq!(s.version(), 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.logins(), &[10, 30]);
+        assert_eq!(s.min_timestamp(), Some(Timestamp(10)));
+        assert_eq!(s.max_timestamp(), Some(Timestamp(40)));
+        assert_eq!(
+            s.login_window_stats(Timestamp(10), Timestamp(40)),
+            Some((Timestamp(10), Timestamp(30), 2))
+        );
+        assert_eq!(
+            s.first_last_login_in(Timestamp(11), Timestamp(40)),
+            Some((Timestamp(30), Timestamp(30)))
+        );
+        assert_eq!(s.count_logins_in(Timestamp(0), Timestamp(100)), 2);
+        assert_eq!(s.login_window_stats(Timestamp(11), Timestamp(29)), None);
+        assert!(s.any_event_in(Timestamp(20), Timestamp(20)));
+        assert!(!s.any_event_in(Timestamp(21), Timestamp(29)));
+        assert!(s.slot_index().is_none());
+        assert_eq!(s.events().len(), 4);
+        assert_eq!(s.stats().tuples, 4);
+    }
+}

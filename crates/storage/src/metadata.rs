@@ -122,28 +122,55 @@ impl MetadataStore {
     /// predicted activity starts within `[now + k, now + k + width]`
     /// (closed interval, as in the paper's `<=` bounds; `width` is the
     /// scan period — 1 minute in production).
+    ///
+    /// The scan streams straight off the secondary index in
+    /// `start_of_pred_activity` order without materialising a `Vec` —
+    /// the per-minute fleet scan visits `m` matches in `O(log n + m)`
+    /// with zero allocation.
+    pub fn databases_to_resume_iter(
+        &self,
+        now: Timestamp,
+        prewarm: Seconds,
+        width: Seconds,
+    ) -> impl Iterator<Item = DatabaseId> + '_ {
+        let lo = now + prewarm;
+        let hi = lo + width;
+        self.by_pred_start
+            .range((lo, DatabaseId(u64::MIN))..=(hi, DatabaseId(u64::MAX)))
+            .map(|(_, db)| *db)
+    }
+
+    /// Materialised form of
+    /// [`databases_to_resume_iter`](Self::databases_to_resume_iter).
+    #[deprecated(note = "use `databases_to_resume_iter` — it streams off the \
+                         secondary index without allocating")]
     pub fn databases_to_resume(
         &self,
         now: Timestamp,
         prewarm: Seconds,
         width: Seconds,
     ) -> Vec<DatabaseId> {
-        let lo = now + prewarm;
-        let hi = lo + width;
-        self.by_pred_start
-            .range((lo, DatabaseId(u64::MIN))..=(hi, DatabaseId(u64::MAX)))
-            .map(|(_, db)| *db)
-            .collect()
+        self.databases_to_resume_iter(now, prewarm, width).collect()
     }
 
     /// Databases whose predicted start has already been missed (it is in
     /// the past but they are still physically paused).  The diagnostics
     /// runner (§7) monitors this queue for stuck databases.
-    pub fn overdue_resumes(&self, now: Timestamp) -> Vec<DatabaseId> {
+    ///
+    /// Streams off the secondary index in `start_of_pred_activity`
+    /// order, like [`databases_to_resume_iter`](Self::databases_to_resume_iter).
+    pub fn overdue_resumes_iter(&self, now: Timestamp) -> impl Iterator<Item = DatabaseId> + '_ {
         self.by_pred_start
             .range(..(now, DatabaseId(u64::MIN)))
             .map(|(_, db)| *db)
-            .collect()
+    }
+
+    /// Materialised form of
+    /// [`overdue_resumes_iter`](Self::overdue_resumes_iter).
+    #[deprecated(note = "use `overdue_resumes_iter` — it streams off the \
+                         secondary index without allocating")]
+    pub fn overdue_resumes(&self, now: Timestamp) -> Vec<DatabaseId> {
+        self.overdue_resumes_iter(now).collect()
     }
 
     /// Split the store into `shard_count` shard-local stores by id-hash
@@ -151,7 +178,7 @@ impl MetadataStore {
     /// `start_of_pred_activity` index.
     ///
     /// Every row lands in exactly one partition, so the union of the
-    /// partitions' [`databases_to_resume`](Self::databases_to_resume)
+    /// partitions' [`databases_to_resume_iter`](Self::databases_to_resume_iter)
     /// results equals the global scan — this is what lets the Algorithm 5
     /// scan run shard-parallel (one worker per partition) without any
     /// cross-shard coordination.
@@ -228,7 +255,7 @@ mod tests {
         paused_at(&mut store, 3, 1_330); // inside
         paused_at(&mut store, 4, 1_360); // slot end (now + k + width)
         paused_at(&mut store, 5, 1_361); // just after
-        let selected = store.databases_to_resume(now, k, width);
+        let selected: Vec<_> = store.databases_to_resume_iter(now, k, width).collect();
         assert_eq!(selected, vec![db(2), db(3), db(4)]);
     }
 
@@ -244,7 +271,9 @@ mod tests {
             },
         );
         paused_at(&mut store, 2, 300);
-        let selected = store.databases_to_resume(now, Seconds(300), Seconds(60));
+        let selected: Vec<_> = store
+            .databases_to_resume_iter(now, Seconds(300), Seconds(60))
+            .collect();
         assert_eq!(selected, vec![db(2)]);
     }
 
@@ -255,18 +284,19 @@ mod tests {
         // Database resumes: must leave the resume queue.
         store.set_state(db(1), DbState::Resumed);
         assert!(store
-            .databases_to_resume(Timestamp(0), Seconds(300), Seconds(60))
-            .is_empty());
+            .databases_to_resume_iter(Timestamp(0), Seconds(300), Seconds(60))
+            .next()
+            .is_none());
         // And pausing again re-registers it only with a fresh prediction.
         store.set_state(db(1), DbState::PhysicallyPaused);
         assert!(store
-            .databases_to_resume(Timestamp(0), Seconds(300), Seconds(60))
-            .is_empty());
+            .databases_to_resume_iter(Timestamp(0), Seconds(300), Seconds(60))
+            .next()
+            .is_none());
         store.set_prediction(db(1), Some(Timestamp(320)));
-        assert_eq!(
-            store.databases_to_resume(Timestamp(0), Seconds(300), Seconds(60)),
-            vec![db(1)]
-        );
+        assert!(store
+            .databases_to_resume_iter(Timestamp(0), Seconds(300), Seconds(60))
+            .eq([db(1)]));
     }
 
     #[test]
@@ -276,8 +306,9 @@ mod tests {
         assert!(store.remove(db(7)).is_some());
         assert!(store.is_empty());
         assert!(store
-            .databases_to_resume(Timestamp(0), Seconds(400), Seconds(200))
-            .is_empty());
+            .databases_to_resume_iter(Timestamp(0), Seconds(400), Seconds(200))
+            .next()
+            .is_none());
         assert!(store.remove(db(7)).is_none());
     }
 
@@ -286,8 +317,8 @@ mod tests {
         let mut store = MetadataStore::new();
         paused_at(&mut store, 1, 100);
         paused_at(&mut store, 2, 900);
-        assert_eq!(store.overdue_resumes(Timestamp(500)), vec![db(1)]);
-        assert!(store.overdue_resumes(Timestamp(50)).is_empty());
+        assert!(store.overdue_resumes_iter(Timestamp(500)).eq([db(1)]));
+        assert!(store.overdue_resumes_iter(Timestamp(50)).next().is_none());
     }
 
     #[test]
@@ -307,10 +338,10 @@ mod tests {
         let (now, k, width) = (Timestamp(0), Seconds(1_000), Seconds(60));
         let mut local: Vec<DatabaseId> = parts
             .iter()
-            .flat_map(|p| p.databases_to_resume(now, k, width))
+            .flat_map(|p| p.databases_to_resume_iter(now, k, width))
             .collect();
         local.sort_unstable();
-        let mut global = store.databases_to_resume(now, k, width);
+        let mut global: Vec<DatabaseId> = store.databases_to_resume_iter(now, k, width).collect();
         global.sort_unstable();
         assert_eq!(local, global);
     }

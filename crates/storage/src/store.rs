@@ -1,0 +1,473 @@
+//! The storage-engine trait seam and backend dispatch.
+//!
+//! Until this module existed, `HistoryTable` was a concrete struct wired
+//! directly into the policy engines, the predictors, and the simulator
+//! arena — no alternative history backend could exist.  The seam splits
+//! the table's surface into two traits:
+//!
+//! * [`HistoryRead`] — the object-safe read surface Algorithm 4 and the
+//!   incremental prediction index consume (window aggregates, the sorted
+//!   login cache, the optional slot-occupancy index, the mutation
+//!   version).  Frozen views such as [`crate::lsm::LsmSnapshot`]
+//!   implement only this half.
+//! * [`HistoryStore`] — the mutation surface of Algorithms 2 and 3 plus
+//!   the slot-index and invariant hooks the engines call.
+//!
+//! [`HistoryBackend`] is the enum-dispatch wrapper the engines actually
+//! store: one variant per backend, so per-database state stays `Clone`
+//! and allocation-free to switch on, and the simulator can flip the
+//! whole fleet between the B+Tree and LSM engines with one
+//! [`StorageBackend`] knob.  Both backends promise *bit-identical
+//! observable behaviour* — same insert/trim outcomes, same window
+//! aggregates, same mutation version after every call — which the
+//! testkit's `storage_conformance` differential oracles enforce.
+
+use crate::history::{DeleteOutcome, HistoryTable, SlotIndex, StorageStats};
+use crate::lsm::LsmHistory;
+use prorp_types::{ActivityEvent, EventKind, Seconds, Timestamp};
+
+/// Read surface of a history store — everything Algorithm 4, the
+/// incremental prediction index, and the backup path consume.
+///
+/// The trait is object-safe on purpose: predictors take
+/// `&dyn HistoryRead`, so one compiled predictor body serves the live
+/// B+Tree table, the live LSM store, and a frozen LSM snapshot alike.
+pub trait HistoryRead {
+    /// `MIN`/`MAX` of login (`event_type = 1`) timestamps inside the
+    /// closed window `[lo, hi]` (Algorithm 4 lines 19–24); `None` when
+    /// no login falls inside.
+    fn first_last_login_in(&self, lo: Timestamp, hi: Timestamp) -> Option<(Timestamp, Timestamp)>;
+
+    /// Number of logins inside the closed window `[lo, hi]`.
+    fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64;
+
+    /// `MIN`, `MAX` *and* `COUNT` of login timestamps inside `[lo, hi]`
+    /// in one scan; `None` when no login falls inside.
+    fn login_window_stats(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp, i64)>;
+
+    /// Whether any event (login *or* logout) falls inside `[lo, hi]`.
+    fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool;
+
+    /// Oldest stored timestamp — the database's observable lifespan start.
+    fn min_timestamp(&self) -> Option<Timestamp>;
+
+    /// Newest stored timestamp.
+    fn max_timestamp(&self) -> Option<Timestamp>;
+
+    /// Number of tuples currently visible.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no visible tuples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monotonically increasing mutation version: bumped on every insert
+    /// that stored a tuple and every trim that deleted at least one.
+    /// Engines key prediction caches on `(version, now)`.
+    fn version(&self) -> u64;
+
+    /// The sorted login (`event_type = 1`) timestamps — the incremental
+    /// predictor's cursor-sweep substrate.
+    fn logins(&self) -> &[i64];
+
+    /// The slot-occupancy index, when one has been configured.
+    fn slot_index(&self) -> Option<&SlotIndex>;
+
+    /// All visible events in timestamp order.
+    fn events(&self) -> Vec<ActivityEvent>;
+
+    /// Storage-overhead statistics (Figure 10a–b).  Physical figures
+    /// (pages, index depth) are backend-specific; only the logical
+    /// figures (`tuples`, `logical_bytes`) are comparable across
+    /// backends.
+    fn stats(&self) -> StorageStats;
+}
+
+/// Mutation surface of a history store — Algorithms 2 and 3 plus the
+/// engine hooks (slot-index configuration, invariant audit).
+pub trait HistoryStore: HistoryRead {
+    /// Algorithm 2 — insert-if-not-exists.  Returns `true` when a tuple
+    /// was stored.
+    fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool;
+
+    /// Convenience wrapper over
+    /// [`insert_history`](HistoryStore::insert_history).
+    fn insert_event(&mut self, ev: ActivityEvent) -> bool {
+        self.insert_history(ev.ts, ev.kind)
+    }
+
+    /// Algorithm 3 — trim to the last `h` time units, keeping the oldest
+    /// tuple, and report whether the database is "old".
+    fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome;
+
+    /// (Re)build the slot-occupancy index; degenerate parameters disable
+    /// it.
+    fn configure_slot_index(&mut self, period: Seconds, slot_len: Seconds);
+
+    /// Audit the store's structural invariants, panicking with a
+    /// description on violation (strict-invariants builds and property
+    /// tests).
+    fn check_invariants(&self);
+}
+
+/// Which history storage engine a fleet runs on — the
+/// `SimConfig::builder().storage_backend(..)` knob.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum StorageBackend {
+    /// The clustered slotted-page B+Tree of §5 (the default).
+    #[default]
+    BTree,
+    /// The LSM/MVCC engine with snapshot time-travel
+    /// ([`crate::lsm::LsmHistory`]).
+    Lsm,
+}
+
+impl StorageBackend {
+    /// Stable lowercase label for experiment tables and JSON output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            StorageBackend::BTree => "btree",
+            StorageBackend::Lsm => "lsm",
+        }
+    }
+}
+
+/// Enum-dispatch wrapper over the concrete history backends.
+///
+/// The policy engines store one of these per database: static dispatch
+/// (no boxed trait objects in the million-database arena), `Clone` for
+/// the rebalance/backup paths, and a uniform inherent API mirroring
+/// [`HistoryRead`] + [`HistoryStore`] so call-sites need no trait
+/// imports.
+#[derive(Clone, Debug)]
+pub enum HistoryBackend {
+    /// B+Tree-backed [`HistoryTable`] (the §5 default).
+    BTree(HistoryTable),
+    /// LSM/MVCC [`LsmHistory`] with snapshot time-travel.
+    Lsm(LsmHistory),
+}
+
+impl Default for HistoryBackend {
+    fn default() -> Self {
+        HistoryBackend::BTree(HistoryTable::new())
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $table:ident => $body:expr) => {
+        match $self {
+            HistoryBackend::BTree($table) => $body,
+            HistoryBackend::Lsm($table) => $body,
+        }
+    };
+}
+
+impl HistoryBackend {
+    /// An empty store of the given backend kind.
+    pub fn new(kind: StorageBackend) -> Self {
+        match kind {
+            StorageBackend::BTree => HistoryBackend::BTree(HistoryTable::new()),
+            StorageBackend::Lsm => HistoryBackend::Lsm(LsmHistory::new()),
+        }
+    }
+
+    /// Which backend this store runs on.
+    pub fn kind(&self) -> StorageBackend {
+        match self {
+            HistoryBackend::BTree(_) => StorageBackend::BTree,
+            HistoryBackend::Lsm(_) => StorageBackend::Lsm,
+        }
+    }
+
+    /// Algorithm 2 — insert-if-not-exists; `true` when a tuple was
+    /// stored.
+    pub fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
+        dispatch!(self, t => t.insert_history(ts, kind))
+    }
+
+    /// Convenience wrapper over [`insert_history`](Self::insert_history).
+    pub fn insert_event(&mut self, ev: ActivityEvent) -> bool {
+        self.insert_history(ev.ts, ev.kind)
+    }
+
+    /// Algorithm 3 — trim to the last `h` time units.
+    pub fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
+        dispatch!(self, t => t.delete_old_history(h, now))
+    }
+
+    /// (Re)build the slot-occupancy index.
+    pub fn configure_slot_index(&mut self, period: Seconds, slot_len: Seconds) {
+        dispatch!(self, t => t.configure_slot_index(period, slot_len))
+    }
+
+    /// Audit structural invariants (panics with a description).
+    pub fn check_invariants(&self) {
+        dispatch!(self, t => t.check_invariants())
+    }
+
+    /// See [`HistoryRead::first_last_login_in`].
+    pub fn first_last_login_in(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp)> {
+        dispatch!(self, t => t.first_last_login_in(lo, hi))
+    }
+
+    /// See [`HistoryRead::count_logins_in`].
+    pub fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
+        dispatch!(self, t => t.count_logins_in(lo, hi))
+    }
+
+    /// See [`HistoryRead::login_window_stats`].
+    pub fn login_window_stats(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp, i64)> {
+        dispatch!(self, t => t.login_window_stats(lo, hi))
+    }
+
+    /// See [`HistoryRead::any_event_in`].
+    pub fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
+        dispatch!(self, t => t.any_event_in(lo, hi))
+    }
+
+    /// See [`HistoryRead::min_timestamp`].
+    pub fn min_timestamp(&self) -> Option<Timestamp> {
+        dispatch!(self, t => t.min_timestamp())
+    }
+
+    /// See [`HistoryRead::max_timestamp`].
+    pub fn max_timestamp(&self) -> Option<Timestamp> {
+        dispatch!(self, t => t.max_timestamp())
+    }
+
+    /// Number of tuples currently visible.
+    pub fn len(&self) -> usize {
+        dispatch!(self, t => t.len())
+    }
+
+    /// Whether the store holds no visible tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mutation version (see [`HistoryRead::version`]).
+    pub fn version(&self) -> u64 {
+        dispatch!(self, t => t.version())
+    }
+
+    /// The sorted login cache (see [`HistoryRead::logins`]).
+    pub fn logins(&self) -> &[i64] {
+        dispatch!(self, t => t.logins())
+    }
+
+    /// The slot-occupancy index, when configured.
+    pub fn slot_index(&self) -> Option<&SlotIndex> {
+        dispatch!(self, t => t.slot_index())
+    }
+
+    /// All visible events in timestamp order.
+    pub fn events(&self) -> Vec<ActivityEvent> {
+        dispatch!(self, t => t.events())
+    }
+
+    /// Storage-overhead statistics.
+    pub fn stats(&self) -> StorageStats {
+        dispatch!(self, t => t.stats())
+    }
+}
+
+impl HistoryRead for HistoryBackend {
+    fn first_last_login_in(&self, lo: Timestamp, hi: Timestamp) -> Option<(Timestamp, Timestamp)> {
+        HistoryBackend::first_last_login_in(self, lo, hi)
+    }
+    fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
+        HistoryBackend::count_logins_in(self, lo, hi)
+    }
+    fn login_window_stats(
+        &self,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Option<(Timestamp, Timestamp, i64)> {
+        HistoryBackend::login_window_stats(self, lo, hi)
+    }
+    fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
+        HistoryBackend::any_event_in(self, lo, hi)
+    }
+    fn min_timestamp(&self) -> Option<Timestamp> {
+        HistoryBackend::min_timestamp(self)
+    }
+    fn max_timestamp(&self) -> Option<Timestamp> {
+        HistoryBackend::max_timestamp(self)
+    }
+    fn len(&self) -> usize {
+        HistoryBackend::len(self)
+    }
+    fn version(&self) -> u64 {
+        HistoryBackend::version(self)
+    }
+    fn logins(&self) -> &[i64] {
+        HistoryBackend::logins(self)
+    }
+    fn slot_index(&self) -> Option<&SlotIndex> {
+        HistoryBackend::slot_index(self)
+    }
+    fn events(&self) -> Vec<ActivityEvent> {
+        HistoryBackend::events(self)
+    }
+    fn stats(&self) -> StorageStats {
+        HistoryBackend::stats(self)
+    }
+}
+
+macro_rules! impl_history_traits {
+    ($ty:ty) => {
+        impl HistoryRead for $ty {
+            fn first_last_login_in(
+                &self,
+                lo: Timestamp,
+                hi: Timestamp,
+            ) -> Option<(Timestamp, Timestamp)> {
+                <$ty>::first_last_login_in(self, lo, hi)
+            }
+            fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
+                <$ty>::count_logins_in(self, lo, hi)
+            }
+            fn login_window_stats(
+                &self,
+                lo: Timestamp,
+                hi: Timestamp,
+            ) -> Option<(Timestamp, Timestamp, i64)> {
+                <$ty>::login_window_stats(self, lo, hi)
+            }
+            fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
+                <$ty>::any_event_in(self, lo, hi)
+            }
+            fn min_timestamp(&self) -> Option<Timestamp> {
+                <$ty>::min_timestamp(self)
+            }
+            fn max_timestamp(&self) -> Option<Timestamp> {
+                <$ty>::max_timestamp(self)
+            }
+            fn len(&self) -> usize {
+                <$ty>::len(self)
+            }
+            fn version(&self) -> u64 {
+                <$ty>::version(self)
+            }
+            fn logins(&self) -> &[i64] {
+                <$ty>::logins(self)
+            }
+            fn slot_index(&self) -> Option<&SlotIndex> {
+                <$ty>::slot_index(self)
+            }
+            fn events(&self) -> Vec<ActivityEvent> {
+                <$ty>::events(self)
+            }
+            fn stats(&self) -> StorageStats {
+                <$ty>::stats(self)
+            }
+        }
+
+        impl HistoryStore for $ty {
+            fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
+                <$ty>::insert_history(self, ts, kind)
+            }
+            fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
+                <$ty>::delete_old_history(self, h, now)
+            }
+            fn configure_slot_index(&mut self, period: Seconds, slot_len: Seconds) {
+                <$ty>::configure_slot_index(self, period, slot_len)
+            }
+            fn check_invariants(&self) {
+                <$ty>::check_invariants(self)
+            }
+        }
+    };
+}
+
+impl_history_traits!(HistoryTable);
+impl_history_traits!(LsmHistory);
+
+impl HistoryStore for HistoryBackend {
+    fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
+        HistoryBackend::insert_history(self, ts, kind)
+    }
+    fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
+        HistoryBackend::delete_old_history(self, h, now)
+    }
+    fn configure_slot_index(&mut self, period: Seconds, slot_len: Seconds) {
+        HistoryBackend::configure_slot_index(self, period, slot_len)
+    }
+    fn check_invariants(&self) {
+        HistoryBackend::check_invariants(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    fn exercise(mut b: HistoryBackend) {
+        assert!(b.is_empty());
+        assert!(b.insert_history(t(100), EventKind::Start));
+        assert!(!b.insert_history(t(100), EventKind::End), "IF NOT EXISTS");
+        assert!(b.insert_history(t(200), EventKind::End));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.version(), 2);
+        assert_eq!(b.logins(), &[100]);
+        assert_eq!(b.first_last_login_in(t(0), t(300)), Some((t(100), t(100))));
+        assert_eq!(
+            b.login_window_stats(t(0), t(300)),
+            Some((t(100), t(100), 1))
+        );
+        assert_eq!(b.count_logins_in(t(0), t(300)), 1);
+        assert!(b.any_event_in(t(150), t(250)));
+        assert_eq!(b.min_timestamp(), Some(t(100)));
+        assert_eq!(b.max_timestamp(), Some(t(200)));
+        assert_eq!(b.events().len(), 2);
+        assert_eq!(b.stats().tuples, 2);
+        b.configure_slot_index(Seconds::days(1), Seconds::minutes(5));
+        assert!(b.slot_index().is_some());
+        b.check_invariants();
+    }
+
+    #[test]
+    fn both_backends_expose_the_same_surface() {
+        exercise(HistoryBackend::new(StorageBackend::BTree));
+        exercise(HistoryBackend::new(StorageBackend::Lsm));
+    }
+
+    #[test]
+    fn default_backend_is_the_btree() {
+        assert_eq!(HistoryBackend::default().kind(), StorageBackend::BTree);
+        assert_eq!(StorageBackend::default(), StorageBackend::BTree);
+        assert_eq!(StorageBackend::BTree.label(), "btree");
+        assert_eq!(StorageBackend::Lsm.label(), "lsm");
+    }
+
+    #[test]
+    fn trait_objects_dispatch_through_the_enum() {
+        let mut b = HistoryBackend::new(StorageBackend::Lsm);
+        {
+            let store: &mut dyn HistoryStore = &mut b;
+            store.insert_event(ActivityEvent::start(t(10)));
+            store.insert_event(ActivityEvent::end(t(20)));
+        }
+        let read: &dyn HistoryRead = &b;
+        assert_eq!(read.len(), 2);
+        assert!(!read.is_empty());
+        assert_eq!(read.logins(), &[10]);
+    }
+}

@@ -239,8 +239,7 @@ proptest! {
                 let (now, prewarm, width) = scans[i % scans.len()];
                 let mut a = sql.databases_to_resume(now, prewarm, width).unwrap();
                 let mut b: Vec<u64> = native
-                    .databases_to_resume(Timestamp(now), Seconds(prewarm), Seconds(width))
-                    .into_iter()
+                    .databases_to_resume_iter(Timestamp(now), Seconds(prewarm), Seconds(width))
                     .map(|d| d.raw())
                     .collect();
                 a.sort_unstable();
@@ -251,8 +250,7 @@ proptest! {
         for &(now, prewarm, width) in &scans {
             let mut a = sql.databases_to_resume(now, prewarm, width).unwrap();
             let mut b: Vec<u64> = native
-                .databases_to_resume(Timestamp(now), Seconds(prewarm), Seconds(width))
-                .into_iter()
+                .databases_to_resume_iter(Timestamp(now), Seconds(prewarm), Seconds(width))
                 .map(|d| d.raw())
                 .collect();
             a.sort_unstable();

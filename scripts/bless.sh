@@ -28,5 +28,12 @@ cargo run --release -q -p prorp-bench --bin predict_bench -- \
 cargo run --release -q -p prorp-bench --bin scale_bench -- \
     --json results/BENCH_scale.json
 
+# Re-record the storage-backend A/B (write amplification + window-scan
+# latency for btree and lsm).  The equality gate and checksum
+# assertions inside the binary are the guarantees; the timings are a
+# representative snapshot.
+cargo run --release -q -p prorp-bench --bin storage_bench -- \
+    --json results/BENCH_storage.json
+
 echo "==> goldens re-blessed; review the drift:"
 git --no-pager diff --stat -- tests/goldens/ results/

@@ -34,11 +34,18 @@ run env BLESS=0 cargo test -q -p testkit --test obs_conformance
 # shard invariance with the index enabled).
 run cargo test -q -p testkit --test prediction_index
 
+# The LSM backend must stay observationally identical to the B+Tree
+# behind the HistoryStore seam (op interleavings, fleet differentials,
+# shard invariance, span traces, and time-travel reproduction).
+run cargo test -q -p testkit --test storage_conformance
+
 # The trace-query CLI must keep parsing the pinned trace format.
 run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
     tests/goldens/trace_small.jsonl summary
 run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
     tests/goldens/trace_small.jsonl qos-misses 5
+run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
+    tests/goldens/trace_small.jsonl time-travel 7 200000
 
 # Machine-readable fleet composition for downstream tooling.
 run cargo run --release -q -p prorp-bench --bin fleet_report -- \
@@ -56,6 +63,13 @@ run cargo run --release -q -p prorp-bench --bin predict_bench -- \
 # is a scratch artefact — only the assertions matter here.
 run cargo run --release -q -p prorp-bench --bin scale_bench -- \
     --smoke --json target/scale_smoke.json
+
+# Storage-backend A/B in smoke mode: asserts btree ≡ lsm fleet KPIs and
+# checksummed window-scan agreement before timing anything (the
+# committed full-scale numbers in results/BENCH_storage.json come from
+# scripts/bless.sh).
+run cargo run --release -q -p prorp-bench --bin storage_bench -- \
+    --smoke --json target/storage_smoke.json
 
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

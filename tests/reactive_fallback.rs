@@ -10,7 +10,7 @@ use prorp_core::{
     DatabasePolicy, EngineAction, EngineEvent, ProactiveEngine, ReactiveEngine, TimerToken,
 };
 use prorp_forecast::{FailEvery, NeverPredictor, Predictor, ProbabilisticPredictor};
-use prorp_storage::HistoryTable;
+use prorp_storage::HistoryRead;
 use prorp_types::{
     BreakerConfig, DbState, PolicyConfig, Prediction, ProrpError, Seconds, Timestamp,
 };
@@ -117,7 +117,7 @@ struct FailFirst<P> {
 impl<P: Predictor> Predictor for FailFirst<P> {
     fn predict(
         &mut self,
-        history: &HistoryTable,
+        history: &dyn HistoryRead,
         now: Timestamp,
     ) -> Result<Option<Prediction>, ProrpError> {
         if self.remaining > 0 {

@@ -151,8 +151,7 @@ proptest! {
         }
         let sql_picked = sql.databases_to_resume(now, prewarm, width).unwrap();
         let native_picked: Vec<u64> = native
-            .databases_to_resume(Timestamp(now), Seconds(prewarm), Seconds(width))
-            .into_iter()
+            .databases_to_resume_iter(Timestamp(now), Seconds(prewarm), Seconds(width))
             .map(|d| d.raw())
             .collect();
         // The native index orders by (pred_start, id); SQL orders by
