@@ -53,6 +53,15 @@ pub enum EngineEvent {
     /// The control plane's proactive resume operation (Algorithm 5)
     /// selected this database for pre-warming.
     ProactiveResume,
+    /// An operator forced an immediate physical pause through the
+    /// control-plane API (`POST /v1/databases/:id/pause`).
+    ///
+    /// Engines refuse the request while the database is actively
+    /// serving a session (pausing under live load would drop the
+    /// customer); otherwise an idle or logically paused database is
+    /// reclaimed immediately and its published prediction cleared so
+    /// Algorithm 5 does not undo the operator's decision.
+    ForcedPause,
 }
 
 /// Actions an engine asks the surrounding system to perform.

@@ -69,6 +69,14 @@ impl LifecycleInvariants {
             EngineEvent::ProactiveResume => {
                 before == DbState::PhysicallyPaused && after == DbState::LogicallyPaused
             }
+            // An operator pause reclaims an idle database immediately
+            // (from logical pause, or from the freshly registered
+            // never-active resumed state); anything else is a refusal
+            // (no-op, covered by the `before == after` rule above).
+            EngineEvent::ForcedPause => {
+                matches!(before, DbState::Resumed | DbState::LogicallyPaused)
+                    && after == DbState::PhysicallyPaused
+            }
         }
     }
 

@@ -111,6 +111,16 @@ impl DatabasePolicy for OptimalEngine {
                 actions.push(EngineAction::Allocate);
                 self.state = DbState::LogicallyPaused;
             }
+            EngineEvent::ForcedPause => {
+                if self.active || self.state == DbState::PhysicallyPaused {
+                    return actions;
+                }
+                self.state = DbState::PhysicallyPaused;
+                self.counters.physical_pauses += 1;
+                self.published = None;
+                actions.push(EngineAction::SetPredictedStart(None));
+                actions.push(EngineAction::Reclaim);
+            }
         }
         actions
     }

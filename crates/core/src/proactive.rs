@@ -33,7 +33,7 @@ use crate::engine::{
 };
 use crate::tracker::ActivityTracker;
 use prorp_forecast::Predictor;
-use prorp_storage::{HistoryBackend, StorageBackend};
+use prorp_storage::{HistoryBackend, HistoryRead, HistoryStore, StorageBackend};
 use prorp_types::{
     BreakerConfig, DbState, EventKind, PolicyConfig, Prediction, ProrpError, Timestamp,
 };
@@ -406,6 +406,18 @@ impl<P: Predictor> DatabasePolicy for ProactiveEngine<P> {
                 actions.push(EngineAction::Allocate);
                 // Algorithm 5 line 8: d.LogicalPause().
                 self.enter_logical_pause(now, false, &mut actions);
+            }
+            EngineEvent::ForcedPause => {
+                if self.active || self.state == DbState::PhysicallyPaused {
+                    return actions;
+                }
+                self.live_token = None;
+                self.state = DbState::PhysicallyPaused;
+                self.counters.physical_pauses += 1;
+                // Clear the published prediction: the operator decided,
+                // Algorithm 5 must not schedule an undo.
+                actions.push(EngineAction::SetPredictedStart(None));
+                actions.push(EngineAction::Reclaim);
             }
         }
         actions

@@ -15,7 +15,7 @@ use crate::engine::{
     DatabasePolicy, EngineAction, EngineCounters, EngineEvent, PolicyKind, TimerToken,
 };
 use crate::tracker::ActivityTracker;
-use prorp_storage::{HistoryBackend, StorageBackend};
+use prorp_storage::{HistoryBackend, HistoryStore, StorageBackend};
 use prorp_types::{DbState, EventKind, ProrpError, Seconds, Timestamp};
 
 /// The reactive per-database engine.
@@ -132,6 +132,16 @@ impl DatabasePolicy for ReactiveEngine {
                 // control plane never selects these databases (no
                 // prediction is ever published), but tolerate the event.
             }
+            EngineEvent::ForcedPause => {
+                if self.active || self.state == DbState::PhysicallyPaused {
+                    return actions;
+                }
+                self.live_token = None;
+                self.state = DbState::PhysicallyPaused;
+                self.counters.physical_pauses += 1;
+                actions.push(EngineAction::SetPredictedStart(None));
+                actions.push(EngineAction::Reclaim);
+            }
         }
         actions
     }
@@ -160,6 +170,7 @@ impl DatabasePolicy for ReactiveEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prorp_storage::HistoryRead;
 
     fn t(v: i64) -> Timestamp {
         Timestamp(v)

@@ -15,7 +15,7 @@
 //! or the LSM engine; [`ActivityTracker::with_backend`] picks the
 //! engine at construction.
 
-use prorp_storage::{HistoryBackend, StorageBackend};
+use prorp_storage::{HistoryBackend, HistoryStore, StorageBackend};
 use prorp_types::{ActivityEvent, EventKind, Timestamp};
 
 /// Buffered writer of activity events into a [`HistoryBackend`].
@@ -95,6 +95,7 @@ impl ActivityTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prorp_storage::HistoryRead;
 
     fn t(v: i64) -> Timestamp {
         Timestamp(v)

@@ -1,0 +1,89 @@
+//! Regression tests for the `prorp-trace` CLI's failure behaviour: a
+//! malformed JSONL input must exit non-zero with an error that names
+//! the offending line, never panic or silently succeed.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("prorp-trace-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp trace");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prorp-trace"))
+        .args(args)
+        .output()
+        .expect("spawn prorp-trace")
+}
+
+#[test]
+fn malformed_jsonl_exits_nonzero_with_line_number() {
+    let path = write_temp(
+        "malformed.jsonl",
+        "\n{\"this is\": not json at all\nmore garbage\n",
+    );
+    let out = run(&[path.to_str().unwrap(), "summary"]);
+    std::fs::remove_file(&path).ok();
+    assert!(
+        !out.status.success(),
+        "malformed input must fail, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("trace line 2"),
+        "error must name the offending line, got: {stderr}"
+    );
+}
+
+#[test]
+fn truncated_record_exits_nonzero() {
+    // Well-formed JSON object, but not a trace record (fields missing).
+    let path = write_temp("truncated.jsonl", "{\"start\":1}\n");
+    let out = run(&[path.to_str().unwrap(), "summary"]);
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    assert!(!out.stderr.is_empty(), "must explain what was wrong");
+}
+
+#[test]
+fn missing_file_exits_nonzero() {
+    let out = run(&["/definitely/not/a/real/trace.jsonl", "summary"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "got: {stderr}");
+}
+
+#[test]
+fn missing_arguments_print_usage() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: prorp-trace"), "got: {stderr}");
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let path = write_temp("empty.jsonl", "");
+    let out = run(&[path.to_str().unwrap(), "frobnicate"]);
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "got: {stderr}");
+}
+
+#[test]
+fn empty_trace_is_valid_input() {
+    // The failure modes above are about *malformed* input; an empty
+    // stream is well-formed and must keep succeeding.
+    let path = write_temp("ok-empty.jsonl", "\n\n");
+    let out = run(&[path.to_str().unwrap(), "summary"]);
+    std::fs::remove_file(&path).ok();
+    assert!(
+        out.status.success(),
+        "empty trace must be accepted: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

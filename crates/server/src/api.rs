@@ -1,0 +1,457 @@
+//! The control-plane endpoint surface.
+//!
+//! | Verb + path                       | Effect                                          |
+//! |-----------------------------------|-------------------------------------------------|
+//! | `POST /v1/events`                 | Ingest login/logout events (idempotent)         |
+//! | `GET /v1/databases/:id`           | Lifecycle state + counters (503 on an open incident) |
+//! | `POST /v1/databases/:id/resume`   | Operator-forced resume; clears an open incident |
+//! | `POST /v1/databases/:id/pause`    | Operator-forced physical pause                  |
+//! | `GET /metrics`                    | Prometheus exposition of the live registry      |
+//! | `POST /v1/clock/advance`          | Move a virtual clock (`409` on a wall clock)    |
+//! | `POST /v1/finish`                 | Drain to end-of-window, return the final report |
+//!
+//! # Threading
+//!
+//! The engine stack is deliberately single-threaded (its predictor
+//! scratch and metrics registry are shard-local `Rc` state, exactly like
+//! a DES shard worker), so the [`LiveDriver`] lives on one dedicated
+//! driver thread.  Connection handlers forward the parsed request over a
+//! channel and block on the reply — the control-plane analogue of the
+//! one-event-loop-per-shard rule the simulator already enforces.  On
+//! every watermark advance the driver republishes per-database
+//! [`DbRecord`]s and folds freshly raised incidents into *open incident*
+//! markers — the thing `GET` turns into an HTTP 503 until an operator
+//! resume clears it.
+
+use crate::backend::{DbRecord, StateBackend};
+use crate::clock::LiveClock;
+use crate::driver::{LiveDriver, LiveEvent, LiveEventKind};
+use crate::http::{self, Request, Response, ServerHandle};
+use crate::json::{self, Json};
+use prorp_sim::{SimConfig, SimReport};
+use prorp_telemetry::IncidentEntry;
+use prorp_types::{DatabaseId, DbState, ProrpError, Timestamp};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How the server's clock advances.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServerConfig {
+    /// Wall-clock service mode: every request first advances the
+    /// watermark to "now".
+    WallClock,
+    /// Virtual-clock mode: the watermark moves only on
+    /// `POST /v1/clock/advance` — deterministic, for tests and replays.
+    VirtualClock,
+}
+
+/// Everything the driver thread owns.
+struct ServerState {
+    driver: Option<LiveDriver>,
+    clock: LiveClock,
+    backend: Arc<dyn StateBackend>,
+    /// How many canonical incident-log entries have been folded into
+    /// open-incident markers already.
+    incidents_seen: usize,
+    open_incidents: HashMap<DatabaseId, IncidentEntry>,
+    report: Option<SimReport>,
+}
+
+impl ServerState {
+    /// Fold newly raised incidents into the open-incident markers and
+    /// republish every record at the current watermark.
+    fn publish(&mut self) {
+        let Some(driver) = &self.driver else { return };
+        let incidents = driver.incidents();
+        for entry in &incidents[self.incidents_seen.min(incidents.len())..] {
+            self.open_incidents.insert(entry.db, *entry);
+        }
+        self.incidents_seen = incidents.len();
+        let at = driver.watermark();
+        for id in driver.databases() {
+            self.backend.put(DbRecord {
+                id,
+                state: driver.db_state(id).unwrap_or(DbState::Resumed),
+                prediction: driver.db_prediction(id),
+                counters: driver.db_counters(id).unwrap_or_default(),
+                open_incident: self.open_incidents.get(&id).copied(),
+                as_of: at,
+            });
+        }
+    }
+
+    /// In wall-clock mode, pull the watermark up to "now" before
+    /// serving a request.  Virtual mode only moves on explicit advance.
+    fn sync_wall_clock(&mut self) -> Result<(), ProrpError> {
+        if self.clock.is_virtual() {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        if let Some(driver) = &mut self.driver {
+            if now > driver.watermark() {
+                driver.advance_to(now)?;
+                self.publish();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A request forwarded to the driver thread, with its reply channel.
+enum Msg {
+    Request(Request, mpsc::Sender<Response>),
+    Stop,
+}
+
+/// The HTTP control plane around one [`LiveDriver`].
+pub struct ApiServer {
+    handle: ServerHandle,
+    commands: mpsc::Sender<Msg>,
+    driver_thread: Option<JoinHandle<Option<SimReport>>>,
+}
+
+impl ApiServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0`), build a [`LiveDriver`] over
+    /// `cfg`/`dbs` on a dedicated driver thread, and serve it through
+    /// `backend` under the given clock mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the TCP bind failure and driver construction errors
+    /// (invalid config, duplicate ids, the optimal policy).
+    pub fn start(
+        addr: &str,
+        cfg: &SimConfig,
+        dbs: &[DatabaseId],
+        backend: Arc<dyn StateBackend>,
+        mode: ServerConfig,
+    ) -> Result<ApiServer, ProrpError> {
+        let (command_tx, command_rx) = mpsc::channel::<Msg>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ProrpError>>();
+        let cfg = cfg.clone();
+        let dbs = dbs.to_vec();
+        let driver_thread = std::thread::spawn(move || {
+            // The driver is shard-local Rc state: build it here, on the
+            // only thread that will ever touch it.
+            let driver = match LiveDriver::new(&cfg, &dbs) {
+                Ok(d) => d,
+                Err(e) => {
+                    let _ = ready_tx.send(Err(e));
+                    return None;
+                }
+            };
+            let origin = driver.watermark();
+            let clock = match mode {
+                ServerConfig::WallClock => LiveClock::wall(origin),
+                ServerConfig::VirtualClock => LiveClock::virtual_at(origin),
+            };
+            let mut state = ServerState {
+                driver: Some(driver),
+                clock,
+                backend,
+                incidents_seen: 0,
+                open_incidents: HashMap::new(),
+                report: None,
+            };
+            state.publish();
+            let _ = ready_tx.send(Ok(()));
+            while let Ok(msg) = command_rx.recv() {
+                match msg {
+                    Msg::Request(req, reply) => {
+                        let _ = reply.send(route(&mut state, req));
+                    }
+                    Msg::Stop => break,
+                }
+            }
+            state.report.take()
+        });
+        match ready_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                let _ = driver_thread.join();
+                return Err(e);
+            }
+            Err(_) => {
+                let _ = driver_thread.join();
+                return Err(ProrpError::Simulation("driver thread died on start".into()));
+            }
+        }
+        let forward = Mutex::new(command_tx.clone());
+        let handle = http::serve(
+            addr,
+            Arc::new(move |req| {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sender = forward.lock().expect("sender lock poisoned").clone();
+                if sender.send(Msg::Request(req, reply_tx)).is_err() {
+                    return Response::json(500, error_body("driver thread is gone"));
+                }
+                reply_rx
+                    .recv()
+                    .unwrap_or_else(|_| Response::json(500, error_body("driver thread is gone")))
+            }),
+        )
+        .map_err(|e| ProrpError::Simulation(format!("cannot bind {addr}: {e}")))?;
+        Ok(ApiServer {
+            handle,
+            commands: command_tx,
+            driver_thread: Some(driver_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.handle.addr()
+    }
+
+    /// Stop serving.  The final report, if `POST /v1/finish` produced
+    /// one, is returned so a caller can persist it.
+    pub fn shutdown(mut self) -> Option<SimReport> {
+        let _ = self.commands.send(Msg::Stop);
+        let report = self
+            .driver_thread
+            .take()
+            .and_then(|t| t.join().unwrap_or(None));
+        self.handle.shutdown();
+        report
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::object(vec![("error", Json::Str(message.into()))]).render()
+}
+
+fn route(state: &mut ServerState, req: Request) -> Response {
+    if let Err(e) = state.sync_wall_clock() {
+        return Response::json(500, error_body(&e.to_string()));
+    }
+    let path: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), path.as_slice()) {
+        ("POST", ["v1", "events"]) => post_events(state, &req.body),
+        ("GET", ["v1", "databases", id]) => get_database(state, id),
+        ("POST", ["v1", "databases", id, "resume"]) => post_forced(state, id, true),
+        ("POST", ["v1", "databases", id, "pause"]) => post_forced(state, id, false),
+        ("GET", ["metrics"]) => get_metrics(state),
+        ("POST", ["v1", "clock", "advance"]) => post_advance(state, &req.body),
+        ("POST", ["v1", "finish"]) => post_finish(state),
+        ("GET", _) | ("POST", _) => Response::json(404, error_body("no such route")),
+        _ => Response::json(405, error_body("method not allowed")),
+    }
+}
+
+/// `POST /v1/events` — body `{"events":[{"db":N,"at":T,"kind":"login"}]}`;
+/// replies with one outcome label per event, in order.
+fn post_events(state: &mut ServerState, body: &str) -> Response {
+    let Some(driver) = &mut state.driver else {
+        return Response::json(409, error_body("run already finished"));
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::json(400, error_body(&e)),
+    };
+    let Some(events) = parsed.get("events").and_then(Json::as_array) else {
+        return Response::json(400, error_body("missing \"events\" array"));
+    };
+    let mut results = Vec::with_capacity(events.len());
+    for ev in events {
+        let (Some(db), Some(at), Some(kind)) = (
+            ev.get("db").and_then(Json::as_int),
+            ev.get("at").and_then(Json::as_int),
+            ev.get("kind")
+                .and_then(Json::as_str)
+                .and_then(LiveEventKind::parse),
+        ) else {
+            return Response::json(400, error_body("event needs db, at, kind(login|logout)"));
+        };
+        if db < 0 {
+            return Response::json(400, error_body("negative database id"));
+        }
+        let outcome = driver.ingest(LiveEvent {
+            db: DatabaseId(db as u64),
+            at: Timestamp(at),
+            kind,
+        });
+        results.push(Json::Str(outcome.label().into()));
+    }
+    Response::json(
+        200,
+        Json::object(vec![
+            ("results", Json::Array(results)),
+            ("watermark", Json::Int(driver.watermark().as_secs())),
+        ])
+        .render(),
+    )
+}
+
+fn parse_id(id: &str) -> Option<DatabaseId> {
+    id.parse::<u64>().ok().map(DatabaseId)
+}
+
+fn record_json(r: &DbRecord) -> Json {
+    let state = match r.state {
+        DbState::Resumed => "resumed",
+        DbState::LogicallyPaused => "logically-paused",
+        DbState::PhysicallyPaused => "physically-paused",
+    };
+    let prediction = match &r.prediction {
+        Some(p) => Json::object(vec![
+            ("start", Json::Int(p.start.as_secs())),
+            ("end", Json::Int(p.end.as_secs())),
+            ("confidence", Json::Float(p.confidence)),
+        ]),
+        None => Json::Null,
+    };
+    let incident = match &r.open_incident {
+        Some(i) => Json::object(vec![
+            ("at", Json::Int(i.at.as_secs())),
+            ("kind", Json::Str(i.kind.label().into())),
+        ]),
+        None => Json::Null,
+    };
+    Json::object(vec![
+        ("db", Json::Int(r.id.raw() as i64)),
+        ("state", Json::Str(state.into())),
+        ("prediction", prediction),
+        ("open_incident", incident),
+        (
+            "counters",
+            Json::object(vec![
+                (
+                    "logins_available",
+                    Json::Int(r.counters.logins_available as i64),
+                ),
+                (
+                    "logins_unavailable",
+                    Json::Int(r.counters.logins_unavailable as i64),
+                ),
+                (
+                    "logical_pauses",
+                    Json::Int(r.counters.logical_pauses as i64),
+                ),
+                (
+                    "physical_pauses",
+                    Json::Int(r.counters.physical_pauses as i64),
+                ),
+                (
+                    "proactive_resumes",
+                    Json::Int(r.counters.proactive_resumes as i64),
+                ),
+            ]),
+        ),
+        ("as_of", Json::Int(r.as_of.as_secs())),
+    ])
+}
+
+/// `GET /v1/databases/:id` — the published record; **503** while the
+/// database carries an unresolved incident (the record rides along so
+/// the operator sees what happened).
+fn get_database(state: &ServerState, id: &str) -> Response {
+    let Some(id) = parse_id(id) else {
+        return Response::json(400, error_body("database id must be an unsigned integer"));
+    };
+    match state.backend.get(id) {
+        None => Response::json(404, error_body("unknown database")),
+        Some(r) if r.open_incident.is_some() => Response::json(503, record_json(&r).render()),
+        Some(r) => Response::json(200, record_json(&r).render()),
+    }
+}
+
+/// `POST /v1/databases/:id/resume|pause` — schedule the forced action
+/// at the watermark; a resume also closes any open incident.
+fn post_forced(state: &mut ServerState, id: &str, resume: bool) -> Response {
+    let Some(id) = parse_id(id) else {
+        return Response::json(400, error_body("database id must be an unsigned integer"));
+    };
+    let Some(driver) = &mut state.driver else {
+        return Response::json(409, error_body("run already finished"));
+    };
+    if !driver.contains(id) {
+        return Response::json(404, error_body("unknown database"));
+    }
+    let scheduled = if resume {
+        driver.force_resume(id)
+    } else {
+        driver.force_pause(id)
+    };
+    if !scheduled {
+        return Response::json(409, error_body("outside the serving window"));
+    }
+    if resume {
+        // The operator intervened: the incident is considered resolved.
+        state.open_incidents.remove(&id);
+        state.publish();
+    }
+    Response::json(
+        200,
+        Json::object(vec![(
+            "scheduled",
+            Json::Str(if resume { "resume" } else { "pause" }.into()),
+        )])
+        .render(),
+    )
+}
+
+/// `GET /metrics` — Prometheus exposition from the live registry.
+fn get_metrics(state: &ServerState) -> Response {
+    let Some(driver) = &state.driver else {
+        return Response::text(409, "run already finished\n".into());
+    };
+    match driver.prometheus_text() {
+        Some(text) => Response::text(200, text),
+        None => Response::text(404, "observability disabled in this config\n".into()),
+    }
+}
+
+/// `POST /v1/clock/advance` — body `{"to":T}`; virtual clocks only.
+fn post_advance(state: &mut ServerState, body: &str) -> Response {
+    if !state.clock.is_virtual() {
+        return Response::json(409, error_body("wall-clock mode advances by itself"));
+    }
+    let to = match json::parse(body).map(|v| v.get("to").and_then(Json::as_int)) {
+        Ok(Some(to)) => Timestamp(to),
+        Ok(None) => return Response::json(400, error_body("missing integer \"to\"")),
+        Err(e) => return Response::json(400, error_body(&e)),
+    };
+    if !state.clock.advance(to) {
+        return Response::json(400, error_body("clock may not move backwards"));
+    }
+    let Some(driver) = &mut state.driver else {
+        return Response::json(409, error_body("run already finished"));
+    };
+    if let Err(e) = driver.advance_to(to) {
+        return Response::json(400, error_body(&e.to_string()));
+    }
+    state.publish();
+    Response::json(
+        200,
+        Json::object(vec![("watermark", Json::Int(to.as_secs()))]).render(),
+    )
+}
+
+/// `POST /v1/finish` — drain to the end of the configured window and
+/// return the decision-relevant summary; the run is sealed afterwards.
+fn post_finish(state: &mut ServerState) -> Response {
+    let Some(driver) = state.driver.take() else {
+        return Response::json(409, error_body("run already finished"));
+    };
+    match driver.finish() {
+        Ok(report) => {
+            let body = Json::object(vec![
+                ("policy", Json::Str(report.policy_label.into())),
+                ("qos_pct", Json::Float(report.kpi.qos_pct())),
+                ("saved_frac", Json::Float(report.kpi.saved_frac)),
+                ("incidents", Json::Int(report.incidents as i64)),
+                ("giveups", Json::Int(report.giveups as i64)),
+                (
+                    "telemetry_events",
+                    Json::Int(report.telemetry_summary.total() as i64),
+                ),
+            ])
+            .render();
+            state.report = Some(report);
+            Response::json(200, body)
+        }
+        Err(e) => Response::json(500, error_body(&e.to_string())),
+    }
+}

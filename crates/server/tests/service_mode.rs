@@ -1,0 +1,288 @@
+//! Integration tests for the control-plane service mode: the HTTP
+//! surface end to end over real TCP, plus the breaker + staged-resume
+//! workflow stack driven by the live driver's virtual clock.
+
+use prorp_server::IngestOutcome;
+use prorp_server::{
+    ApiServer, InMemoryBackend, LiveDriver, LiveEvent, LiveEventKind, ServerConfig,
+};
+use prorp_sim::{ObsConfig, SimConfig, SimPolicy};
+use prorp_types::{BreakerConfig, DatabaseId, PolicyConfig, RetryPolicy, Seconds, Timestamp};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Minimal HTTP/1.1 client: one request, `Connection: close`, returns
+/// `(status, body)`.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read reply");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn day(n: i64) -> Timestamp {
+    Timestamp(n * 86_400)
+}
+
+fn start_server(cfg: &SimConfig, dbs: &[DatabaseId]) -> ApiServer {
+    ApiServer::start(
+        "127.0.0.1:0",
+        cfg,
+        dbs,
+        Arc::new(InMemoryBackend::default()),
+        ServerConfig::VirtualClock,
+    )
+    .expect("server boots")
+}
+
+#[test]
+fn http_surface_basics() {
+    let cfg = SimConfig::builder(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        Timestamp(0),
+        day(2),
+        Timestamp(0),
+    )
+    .observe(ObsConfig {
+        enabled: true,
+        snapshot_every: None,
+    })
+    .build()
+    .expect("config validates");
+    let server = start_server(&cfg, &[DatabaseId(0), DatabaseId(1)]);
+    let addr = server.addr();
+
+    // Lifecycle reads.
+    let (status, body) = http(addr, "GET", "/v1/databases/0", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"state\":\"resumed\""), "{body}");
+    assert_eq!(http(addr, "GET", "/v1/databases/99", "").0, 404);
+    assert_eq!(http(addr, "GET", "/v1/databases/zero", "").0, 400);
+    assert_eq!(http(addr, "GET", "/v1/nope", "").0, 404);
+    assert_eq!(http(addr, "PUT", "/v1/databases/0", "").0, 405);
+
+    // Ingest classifies per event, in order; duplicates are idempotent.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/events",
+        r#"{"events":[
+            {"db":0,"at":600,"kind":"login"},
+            {"db":0,"at":600,"kind":"login"},
+            {"db":7,"at":700,"kind":"login"}
+        ]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains(r#"["accepted","duplicate","unknown"]"#),
+        "{body}"
+    );
+    assert_eq!(http(addr, "POST", "/v1/events", "{not json").0, 400);
+    assert_eq!(
+        http(addr, "POST", "/v1/events", r#"{"events":[{}]}"#).0,
+        400
+    );
+
+    // Virtual clock: forward moves commit the buffer, backward moves 400.
+    let (status, body) = http(addr, "POST", "/v1/clock/advance", r#"{"to":3600}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"watermark\":3600"), "{body}");
+    assert_eq!(
+        http(addr, "POST", "/v1/clock/advance", r#"{"to":60}"#).0,
+        400
+    );
+    // …and an event below the watermark is now late.
+    let (_, body) = http(
+        addr,
+        "POST",
+        "/v1/events",
+        r#"{"events":[{"db":0,"at":100,"kind":"login"}]}"#,
+    );
+    assert!(body.contains("late"), "{body}");
+
+    // Prometheus exposition from the live registry.
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("prorp_"), "{body}");
+
+    // Finish seals the run.
+    let (status, body) = http(addr, "POST", "/v1/finish", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"policy\""), "{body}");
+    assert_eq!(http(addr, "POST", "/v1/finish", "").0, 409);
+    assert_eq!(http(addr, "POST", "/v1/events", "{}").0, 409);
+
+    let report = server.shutdown().expect("finish stored the report");
+    assert_eq!(report.policy_label, "proactive");
+}
+
+#[test]
+fn wall_clock_mode_rejects_manual_advance() {
+    let cfg = SimConfig::builder(SimPolicy::Reactive, Timestamp(0), day(1), Timestamp(0))
+        .build()
+        .expect("config validates");
+    let server = ApiServer::start(
+        "127.0.0.1:0",
+        &cfg,
+        &[DatabaseId(0)],
+        Arc::new(InMemoryBackend::default()),
+        ServerConfig::WallClock,
+    )
+    .expect("server boots");
+    let (status, body) = http(server.addr(), "POST", "/v1/clock/advance", r#"{"to":60}"#);
+    assert_eq!(status, 409, "{body}");
+    server.shutdown();
+}
+
+/// Satellite: retry-exhaustion escalation surfaces as HTTP 503 with an
+/// incident record, and an operator resume clears it.
+#[test]
+fn retry_exhaustion_escalates_to_503_with_incident() {
+    // Every resume-stage attempt fails and the retry budget is tiny, so
+    // the first login against a physically paused database burns the
+    // budget and raises a `retry-exhausted` incident.
+    let cfg = SimConfig::builder(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        Timestamp(0),
+        day(1),
+        Timestamp(0),
+    )
+    .stage_failure_probabilities(1.0)
+    .retry(RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Seconds(30),
+        max_backoff: Seconds::minutes(5),
+    })
+    .build()
+    .expect("config validates");
+    let server = start_server(&cfg, &[DatabaseId(0)]);
+    let addr = server.addr();
+
+    // Operator pause, then let it take effect.
+    let (status, body) = http(addr, "POST", "/v1/databases/0/pause", "");
+    assert_eq!(status, 200, "{body}");
+    http(addr, "POST", "/v1/clock/advance", r#"{"to":3600}"#);
+    let (status, body) = http(addr, "GET", "/v1/databases/0", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("physically-paused"), "{body}");
+
+    // A login starts the staged resume; every stage attempt fails.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/events",
+        r#"{"events":[{"db":0,"at":7200,"kind":"login"}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("accepted"), "{body}");
+    http(addr, "POST", "/v1/clock/advance", r#"{"to":14400}"#);
+
+    // The exhaustion escalated: 503, and the record carries the incident.
+    let (status, body) = http(addr, "GET", "/v1/databases/0", "");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("retry-exhausted"), "{body}");
+
+    // The operator intervenes; the incident is considered resolved.
+    let (status, body) = http(addr, "POST", "/v1/databases/0/resume", "");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http(addr, "GET", "/v1/databases/0", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"open_incident\":null"), "{body}");
+
+    // The giveup is visible in the final report.
+    let (status, body) = http(addr, "POST", "/v1/finish", "");
+    assert_eq!(status, 200, "{body}");
+    let report = server.shutdown().expect("finish stored the report");
+    assert!(report.giveups >= 1, "expected at least one giveup");
+    assert!(report.incidents >= 1, "expected at least one incident");
+}
+
+/// Satellite: breaker half-open re-probe timing against the virtual
+/// clock.  Failure threshold 2, cool-down 6 h: two failed forecasts open
+/// the breaker, forecasts inside the cool-down fall back without
+/// invoking the predictor, and the first forecast after the cool-down is
+/// the half-open probe (which fails and re-opens the breaker).
+#[test]
+fn breaker_half_open_reprobe_follows_virtual_clock() {
+    let policy = PolicyConfig::builder()
+        .logical_pause(Seconds::minutes(30))
+        .build()
+        .expect("policy validates");
+    let cfg = SimConfig::builder(
+        SimPolicy::Proactive(policy),
+        Timestamp(0),
+        day(2),
+        Timestamp(0),
+    )
+    .forecast_fail_every(1)
+    .breaker(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: Seconds::hours(6),
+    })
+    .build()
+    .expect("config validates");
+    let db = DatabaseId(0);
+    let mut driver = LiveDriver::new(&cfg, &[db]).expect("driver builds");
+    let mut cycle = |login: i64, logout: i64, until: i64| {
+        for (at, kind) in [
+            (login, LiveEventKind::Login),
+            (logout, LiveEventKind::Logout),
+        ] {
+            let outcome = driver.ingest(LiveEvent {
+                db,
+                at: Timestamp(at),
+                kind,
+            });
+            assert_eq!(outcome, IngestOutcome::Accepted);
+        }
+        driver.advance_to(Timestamp(until)).expect("advance");
+        driver.db_counters(db).expect("registered")
+    };
+
+    // Cycle 1 — the logout forecast fails (#1); the logical-pause wake
+    // timer 30 min later forecasts again (#2) and opens the breaker at
+    // t = 1h40m, so the cool-down runs until t = 7h40m.
+    let c1 = cycle(3_600, 4_200, 2 * 3_600);
+    assert_eq!(c1.breaker_opens, 1, "{c1:?}");
+    assert_eq!(c1.forecast_failures, 2, "{c1:?}");
+    let probes_before = c1.predictions;
+
+    // Cycle 2 — entirely inside the cool-down: the predictor is never
+    // invoked; every forecast request short-circuits to the reactive
+    // fallback.
+    let c2 = cycle(3 * 3_600, 3 * 3_600 + 600, 4 * 3_600);
+    assert_eq!(c2.predictions, probes_before, "no probe inside cool-down");
+    assert!(c2.breaker_fallbacks > c1.breaker_fallbacks, "{c2:?}");
+    assert_eq!(c2.breaker_opens, 1, "still the first open: {c2:?}");
+
+    // Cycle 3 — past the cool-down: the logout forecast is the half-open
+    // probe.  It runs the predictor again, fails, and re-opens the
+    // breaker for a fresh cool-down.
+    let c3 = cycle(8 * 3_600, 8 * 3_600 + 600, 9 * 3_600);
+    assert!(
+        c3.predictions > probes_before,
+        "half-open probe must invoke the predictor: {c3:?}"
+    );
+    assert_eq!(c3.breaker_opens, 2, "failed probe re-opens: {c3:?}");
+
+    // And the re-opened breaker suppresses the very next forecast again.
+    let c4 = cycle(10 * 3_600, 10 * 3_600 + 600, 11 * 3_600);
+    assert_eq!(c4.predictions, c3.predictions, "{c4:?}");
+    assert!(c4.breaker_fallbacks > c3.breaker_fallbacks, "{c4:?}");
+}

@@ -185,9 +185,10 @@ impl SimConfig {
         &self.observe
     }
 
-    /// Validate knob consistency (internal: `build()` and the simulation
-    /// entry points call this).
-    pub(crate) fn check(&self) -> Result<(), ProrpError> {
+    /// Validate knob consistency.  `build()` and the simulation entry
+    /// points call this; external drivers (the control-plane server)
+    /// validate operator-supplied configs through it too.
+    pub fn check(&self) -> Result<(), ProrpError> {
         if self.end <= self.start {
             return Err(ProrpError::InvalidConfig(format!(
                 "simulation end {:?} must follow start {:?}",

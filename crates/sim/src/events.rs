@@ -44,6 +44,11 @@ pub enum SimEvent {
     ActivityStart(DatabaseId),
     /// Customer activity ends.
     ActivityEnd(DatabaseId),
+    /// An operator forced an immediate physical pause through the
+    /// control-plane API.  Appended after the original variants so the
+    /// established relative priorities are untouched; the DES itself
+    /// never schedules it, only external drivers do.
+    ForcedPause(DatabaseId),
 }
 
 impl SimEvent {
@@ -63,7 +68,15 @@ impl SimEvent {
             SimEvent::EngineTimer(..) => 10,
             SimEvent::ActivityStart(_) => 11,
             SimEvent::ActivityEnd(_) => 12,
+            SimEvent::ForcedPause(_) => 13,
         }
+    }
+
+    /// Tie-break priority at equal timestamps (lower runs first) — the
+    /// public form external drivers use to reproduce the queue's total
+    /// order when committing buffered events.
+    pub fn tie_priority(&self) -> u8 {
+        self.priority()
     }
 }
 
@@ -115,6 +128,13 @@ impl EventQueue {
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(Timestamp, SimEvent)> {
         self.heap.pop().map(|s| (s.ts, s.event))
+    }
+
+    /// Timestamp of the earliest queued event without removing it —
+    /// what lets a driver stop *before* a horizon instead of after
+    /// popping past it.
+    pub fn peek_ts(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|s| s.ts)
     }
 
     /// Events still queued.

@@ -455,6 +455,14 @@ impl FleetState {
     ///
     /// Panics when `id` belongs to another shard — an event for a
     /// foreign database is a partitioning bug, not a recoverable state.
+    /// Column index of `id`, or `None` when the database is not mapped
+    /// on this shard — the non-panicking probe external drivers use to
+    /// vet operator requests before scheduling events.
+    #[inline]
+    pub(crate) fn try_index_of(&self, id: DatabaseId) -> Option<usize> {
+        self.index.get(id)
+    }
+
     #[inline]
     pub(crate) fn index_of(&self, id: DatabaseId) -> usize {
         self.index

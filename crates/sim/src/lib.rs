@@ -66,5 +66,5 @@ pub use obs::DiagnosticsMetrics;
 pub use prorp_obs::ObsConfig;
 pub use prorp_storage::StorageBackend;
 pub use prorp_telemetry::{TelemetryMode, TelemetrySummary};
-pub use runner::{SimReport, Simulation};
-pub use shard::partition_fleet;
+pub use runner::{merge_outcomes, SimReport, Simulation};
+pub use shard::{partition_fleet, ShardDriver, ShardOutcome};

@@ -350,6 +350,14 @@ impl ShardObs {
 
     /// Take one metrics snapshot at simulated instant `at`, refreshing
     /// the gauges from the current self-observations first.
+    /// A snapshot of the current registry state *without* recording it
+    /// into the deterministic snapshot series — the live `/metrics`
+    /// endpoint scrapes this so a scrape never perturbs the run's
+    /// observable output.
+    pub(crate) fn live_snapshot(&self, at: Timestamp) -> MetricsSnapshot {
+        self.registry.snapshot(at)
+    }
+
     pub(crate) fn take_snapshot(&mut self, at: Timestamp, stats: SelfObservations) {
         self.registry
             .gauge("prorp_workflows_in_flight")

@@ -289,7 +289,7 @@ impl Simulation {
 /// The KPI event counts and the per-label summary are folded out of a
 /// single pass over the streaming merge iterator; the merged log itself
 /// is materialised only in [`TelemetryMode::Full`] runs.
-fn merge_outcomes(
+pub fn merge_outcomes(
     cfg: &SimConfig,
     order: &HashMap<DatabaseId, usize>,
     n: usize,

@@ -54,7 +54,7 @@ use prorp_core::{
 };
 use prorp_forecast::SweepScratch;
 use prorp_obs::ObsReport;
-use prorp_storage::{backup_history, restore_backend, MetadataStore, StorageStats};
+use prorp_storage::{backup_history, restore_backend, HistoryRead, MetadataStore, StorageStats};
 use prorp_telemetry::{
     IncidentKind, IncidentLog, SegmentAccumulator, SegmentKind, ShardCounters, TelemetryKind,
     TelemetryLog, WorkflowStats,
@@ -100,7 +100,7 @@ struct ActiveWorkflow {
 
 /// Everything one shard worker produced; the runner merges these into the
 /// fleet-level [`SimReport`](crate::SimReport).
-pub(crate) struct ShardOutcome {
+pub struct ShardOutcome {
     /// Per-database results in shard-trace order: `(id, closed segment
     /// accumulator, engine counters, history storage stats)`.
     pub dbs: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)>,
@@ -211,184 +211,361 @@ fn apply_actions(
     }
 }
 
-/// Run one shard's complete event loop over `traces` (the shard's subset
-/// of the fleet, consumed one trace at a time so a streamed source never
-/// materialises the whole partition) and return its mergeable outcome.
-/// `expected_dbs` pre-sizes the per-database arrays; an inexact hint
-/// costs a reallocation, nothing else.
-pub(crate) fn run_shard<'a, I>(
-    cfg: &SimConfig,
-    shard: usize,
-    expected_dbs: usize,
-    traces: I,
-) -> Result<ShardOutcome, ProrpError>
-where
-    I: IntoIterator<Item = Cow<'a, Trace>>,
-{
-    let started = Instant::now();
-    let mut counters = ShardCounters::new(shard, expected_dbs);
-    let mut queue = EventQueue::new();
-    // Each shard owns a full-size slice of the region: `nodes` nodes of
-    // `node_capacity`, with globally unique node ids.
-    let first_node = u32::try_from(shard * cfg.nodes).map_err(|_| {
-        ProrpError::Simulation(format!("node range for shard {shard} overflows u32"))
-    })?;
-    let mut cluster = Cluster::with_node_range(first_node, cfg.nodes, cfg.node_capacity)?;
-    let mut metadata = MetadataStore::new();
-    let mut telemetry = TelemetryLog::new();
-    let mut diagnostics = DiagnosticsRunner::new(cfg.stuck_timeout);
-    let faults = cfg.fault();
-    let mut workflows: HashMap<DatabaseId, ActiveWorkflow> = HashMap::new();
-    let mut workflow_stats = WorkflowStats::default();
-    let mut incident_log = IncidentLog::new();
-    // Every shard ticks on the same schedule (first run at `cfg.start`,
-    // same period), so batch sizes merge element-wise across shards.
-    let mut resume_op = ProactiveResumeOp::new(cfg.prewarm, cfg.resume_op_period, cfg.start)?;
-    let mut maintenance = MaintenanceScheduler::new();
-    let is_optimal = matches!(cfg.policy, SimPolicy::Optimal);
-    // Disabled observability stays `None`: no allocations, no handles,
-    // and every instrumentation site below is one branch on the Option.
-    let mut obs: Option<ShardObs> = cfg.observe().enabled.then(ShardObs::new);
+/// One shard's complete event-loop state, factored out of the former
+/// monolithic `run_shard` function so that *drivers other than the DES*
+/// can own the loop.
+///
+/// Two drivers exist today:
+///
+/// * the DES itself (`run_shard` / [`Simulation::run`]): register every
+///   trace (which enqueues all its session events up front), then
+///   [`run_to_end`](Self::run_to_end);
+/// * the control-plane server's live driver: register databases with
+///   empty traces, feed logins/logouts as they arrive over HTTP via
+///   [`inject_login`](Self::inject_login) /
+///   [`inject_logout`](Self::inject_logout), and advance the loop to the
+///   wall (or virtual) clock's watermark with
+///   [`step_until`](Self::step_until).
+///
+/// Both paths run the *identical* handler code over the *identical*
+/// `(timestamp, priority, FIFO)`-ordered [`EventQueue`], which is what
+/// makes the sim≡live differential suite's bit-identity assertion
+/// possible rather than merely statistical.
+///
+/// [`Simulation::run`]: crate::Simulation::run
+pub struct ShardDriver {
+    cfg: SimConfig,
+    started: Instant,
+    counters: ShardCounters,
+    queue: EventQueue,
+    cluster: Cluster,
+    metadata: MetadataStore,
+    telemetry: TelemetryLog,
+    diagnostics: DiagnosticsRunner,
+    workflows: HashMap<DatabaseId, ActiveWorkflow>,
+    workflow_stats: WorkflowStats,
+    incident_log: IncidentLog,
+    resume_op: ProactiveResumeOp,
+    maintenance: MaintenanceScheduler,
+    obs: Option<ShardObs>,
+    scratch: prorp_forecast::SharedScratch,
+    fleet: FleetState,
+    balance_moves_history: u64,
+    control_seeded: bool,
+}
 
-    // Build per-database state and enqueue every trace event, consuming
-    // the shard's traces one at a time — a streamed source generates
-    // each trace on demand and drops it here, so the shard never holds
-    // its whole partition of login traces in memory.  All the shard's
-    // incremental predictors share one cursor-scratch buffer: engines
-    // live and run on this worker thread only.
-    //
-    // The maintenance first-due stagger is folded into this same pass
-    // (it used to be a separate loop after init).  Event order is
-    // unchanged: same-timestamp events of one type keep their relative
-    // trace order, and ties across event types resolve by the queue's
-    // per-variant priority, never by push order.
-    let scratch = SweepScratch::shared();
-    let mut fleet = FleetState::with_capacity(cfg, expected_dbs);
-    for trace in traces {
-        let trace = trace.as_ref();
-        fleet.push(cfg, trace, &scratch)?;
-        cluster.place(trace.db);
-        metadata.set_state(trace.db, DbState::Resumed);
+impl ShardDriver {
+    /// Build the shard's empty event-loop state.  `expected_dbs`
+    /// pre-sizes the per-database arrays; an inexact hint costs a
+    /// reallocation, nothing else.
+    ///
+    /// The config must already be validated ([`SimConfig::check`]);
+    /// builder-produced configs always are.
+    pub fn new(cfg: &SimConfig, shard: usize, expected_dbs: usize) -> Result<Self, ProrpError> {
+        // Each shard owns a full-size slice of the region: `nodes` nodes
+        // of `node_capacity`, with globally unique node ids.
+        let first_node = u32::try_from(shard * cfg.nodes).map_err(|_| {
+            ProrpError::Simulation(format!("node range for shard {shard} overflows u32"))
+        })?;
+        Ok(ShardDriver {
+            started: Instant::now(),
+            counters: ShardCounters::new(shard, expected_dbs),
+            queue: EventQueue::new(),
+            cluster: Cluster::with_node_range(first_node, cfg.nodes, cfg.node_capacity)?,
+            metadata: MetadataStore::new(),
+            telemetry: TelemetryLog::new(),
+            diagnostics: DiagnosticsRunner::new(cfg.stuck_timeout),
+            workflows: HashMap::new(),
+            workflow_stats: WorkflowStats::default(),
+            incident_log: IncidentLog::new(),
+            // Every shard ticks on the same schedule (first run at
+            // `cfg.start`, same period), so batch sizes merge
+            // element-wise across shards.
+            resume_op: ProactiveResumeOp::new(cfg.prewarm, cfg.resume_op_period, cfg.start)?,
+            maintenance: MaintenanceScheduler::new(),
+            // Disabled observability stays `None`: no allocations, no
+            // handles, and every instrumentation site below is one
+            // branch on the Option.
+            obs: cfg.observe().enabled.then(ShardObs::new),
+            // All the shard's incremental predictors share one
+            // cursor-scratch buffer: engines live and run on this
+            // worker (or server) thread only.
+            scratch: SweepScratch::shared(),
+            fleet: FleetState::with_capacity(cfg, expected_dbs),
+            balance_moves_history: 0,
+            control_seeded: false,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Register one database: build its engine and segment book, place
+    /// it on the cluster, seed `sys.databases`, enqueue the trace's
+    /// session events clipped to `[start, end)`, and stagger its first
+    /// maintenance due time.
+    ///
+    /// A live driver registers databases with *empty* traces (no
+    /// pre-recorded sessions) and injects activity as it arrives; the
+    /// registration side effects are identical either way, which keeps
+    /// the two drivers' event queues in the same total order.
+    pub fn register(&mut self, trace: &Trace) -> Result<(), ProrpError> {
+        if self.fleet.try_index_of(trace.db).is_some() {
+            return Err(ProrpError::Simulation(format!(
+                "database {:?} registered twice on one shard",
+                trace.db
+            )));
+        }
+        let cfg = &self.cfg;
+        self.fleet.push(cfg, trace, &self.scratch)?;
+        self.cluster.place(trace.db);
+        self.metadata.set_state(trace.db, DbState::Resumed);
         for s in &trace.sessions {
             if s.start >= cfg.start && s.start < cfg.end {
-                queue.push(s.start, SimEvent::ActivityStart(trace.db));
+                self.queue.push(s.start, SimEvent::ActivityStart(trace.db));
             }
             if s.end >= cfg.start && s.end < cfg.end {
-                queue.push(s.end, SimEvent::ActivityEnd(trace.db));
+                self.queue.push(s.end, SimEvent::ActivityEnd(trace.db));
             }
         }
         if let Some(p) = cfg.maintenance_period {
             // Stagger first due times across the fleet so jobs do not
             // all land in the same second.
             let stagger = Seconds((trace.db.raw() as i64 % p.as_secs().max(1)).max(1));
-            queue.push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
+            self.queue
+                .push(cfg.start + stagger, SimEvent::MaintenanceDue(trace.db));
         }
-    }
-    counters.databases = fleet.len();
-
-    queue.push(cfg.measure_from, SimEvent::MeasureStart);
-    if !is_optimal {
-        queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
-    }
-    if let Some(p) = cfg.diagnostics_period {
-        queue.push(cfg.start + p, SimEvent::DiagnosticsTick);
-    }
-    if let Some(p) = cfg.rebalance_period {
-        queue.push(cfg.start + p, SimEvent::RebalanceTick);
-    }
-    if let Some(p) = cfg.observe().snapshot_every {
-        if cfg.start + p < cfg.end {
-            queue.push(cfg.start + p, SimEvent::ObsSnapshot);
-        }
+        self.counters.databases = self.fleet.len();
+        Ok(())
     }
 
-    let mut balance_moves_history = 0u64;
-
-    while let Some((now, event)) = queue.pop() {
-        if now >= cfg.end {
-            break;
+    /// Seed the control-plane's periodic events (measurement window,
+    /// Algorithm 5 scan, diagnostics, rebalance, observability
+    /// snapshots).  Idempotent; call once after registration.
+    pub fn start(&mut self) {
+        if self.control_seeded {
+            return;
         }
-        counters.events_processed += 1;
+        self.control_seeded = true;
+        let cfg = &self.cfg;
+        self.queue.push(cfg.measure_from, SimEvent::MeasureStart);
+        if !matches!(cfg.policy, SimPolicy::Optimal) {
+            self.queue
+                .push(self.resume_op.next_run(), SimEvent::ResumeOpTick);
+        }
+        if let Some(p) = cfg.diagnostics_period {
+            self.queue.push(cfg.start + p, SimEvent::DiagnosticsTick);
+        }
+        if let Some(p) = cfg.rebalance_period {
+            self.queue.push(cfg.start + p, SimEvent::RebalanceTick);
+        }
+        if let Some(p) = cfg.observe().snapshot_every {
+            if cfg.start + p < cfg.end {
+                self.queue.push(cfg.start + p, SimEvent::ObsSnapshot);
+            }
+        }
+    }
+
+    /// The shard's config.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Whether `id` is registered on this shard.
+    pub fn contains(&self, id: DatabaseId) -> bool {
+        self.fleet.try_index_of(id).is_some()
+    }
+
+    /// Databases registered on this shard.
+    pub fn registered(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Current lifecycle state of `id`, if registered here.
+    pub fn db_state(&self, id: DatabaseId) -> Option<DbState> {
+        let idx = self.fleet.try_index_of(id)?;
+        Some(self.fleet.engines.get(idx).state())
+    }
+
+    /// `id`'s currently published prediction, if any.
+    pub fn db_prediction(&self, id: DatabaseId) -> Option<prorp_types::Prediction> {
+        let idx = self.fleet.try_index_of(id)?;
+        self.fleet.engines.get(idx).current_prediction()
+    }
+
+    /// `id`'s engine counters, if registered here.
+    pub fn db_counters(&self, id: DatabaseId) -> Option<EngineCounters> {
+        let idx = self.fleet.try_index_of(id)?;
+        Some(self.fleet.engines.get(idx).counters())
+    }
+
+    /// The shard's incident log so far (retry exhaustions, stuck
+    /// workflows) — what the server surfaces as HTTP 503s.
+    pub fn incident_log(&self) -> &IncidentLog {
+        &self.incident_log
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn next_event_ts(&self) -> Option<Timestamp> {
+        self.queue.peek_ts()
+    }
+
+    /// A live (non-recorded) metrics snapshot for the `/metrics`
+    /// endpoint; `None` when observability is disabled.
+    pub fn metrics_snapshot(&self, at: Timestamp) -> Option<prorp_obs::MetricsSnapshot> {
+        self.obs.as_ref().map(|o| o.live_snapshot(at))
+    }
+
+    /// Schedule a login for `id` at `at`.  Returns `false` (and
+    /// schedules nothing) outside `[start, end)` — the same clipping
+    /// registration applies to recorded sessions.
+    pub fn inject_login(&mut self, at: Timestamp, id: DatabaseId) -> bool {
+        self.inject(at, SimEvent::ActivityStart(id))
+    }
+
+    /// Schedule a logout for `id` at `at` (clipped like
+    /// [`inject_login`](Self::inject_login)).
+    pub fn inject_logout(&mut self, at: Timestamp, id: DatabaseId) -> bool {
+        self.inject(at, SimEvent::ActivityEnd(id))
+    }
+
+    /// Schedule an operator-forced resume for `id` at `at`: delivered
+    /// through the same pre-warm path as an Algorithm 5 selection, so a
+    /// database that is serving or already warm ignores it.
+    pub fn inject_forced_resume(&mut self, at: Timestamp, id: DatabaseId) -> bool {
+        self.inject(at, SimEvent::ProactiveResume(id))
+    }
+
+    /// Schedule an operator-forced physical pause for `id` at `at`.
+    /// The engine refuses it while the database is serving.
+    pub fn inject_forced_pause(&mut self, at: Timestamp, id: DatabaseId) -> bool {
+        self.inject(at, SimEvent::ForcedPause(id))
+    }
+
+    fn inject(&mut self, at: Timestamp, event: SimEvent) -> bool {
+        if at < self.cfg.start || at >= self.cfg.end {
+            return false;
+        }
+        self.queue.push(at, event);
+        true
+    }
+
+    /// Process every queued event strictly before `min(horizon, end)`.
+    ///
+    /// The DES's `run_to_end` is `step_until(end)`; a live driver calls
+    /// this with its clock's watermark after committing the events that
+    /// arrived before it.  Events at or past the horizon stay queued.
+    pub fn step_until(&mut self, horizon: Timestamp) -> Result<(), ProrpError> {
+        let stop = horizon.min(self.cfg.end);
+        while let Some(ts) = self.queue.peek_ts() {
+            if ts >= stop {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            self.counters.events_processed += 1;
+            self.handle_event(now, event)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the event loop to the end of the simulated horizon.
+    pub fn run_to_end(&mut self) -> Result<(), ProrpError> {
+        self.step_until(self.cfg.end)
+    }
+
+    /// Handle one popped event — the body of the former `run_shard`
+    /// match, verbatim.  An early `return Ok(())` is the old `continue`.
+    fn handle_event(&mut self, now: Timestamp, event: SimEvent) -> Result<(), ProrpError> {
+        let cfg = &self.cfg;
         match event {
             SimEvent::ObsSnapshot => {
-                if let Some(o) = obs.as_mut() {
+                if let Some(o) = self.obs.as_mut() {
                     o.take_snapshot(
                         now,
                         SelfObservations {
-                            events_processed: counters.events_processed,
-                            telemetry_events: telemetry.len() as u64,
-                            databases: fleet.len(),
-                            wall_clock_micros: started.elapsed().as_micros().min(u64::MAX as u128)
+                            events_processed: self.counters.events_processed,
+                            telemetry_events: self.telemetry.len() as u64,
+                            databases: self.fleet.len(),
+                            wall_clock_micros: self
+                                .started
+                                .elapsed()
+                                .as_micros()
+                                .min(u64::MAX as u128)
                                 as u64,
-                            workflows_in_flight: diagnostics.in_flight_count(),
+                            workflows_in_flight: self.diagnostics.in_flight_count(),
                         },
                     );
                 }
                 if let Some(p) = cfg.observe().snapshot_every {
                     if now + p < cfg.end {
-                        queue.push(now + p, SimEvent::ObsSnapshot);
+                        self.queue.push(now + p, SimEvent::ObsSnapshot);
                     }
                 }
             }
             SimEvent::MeasureStart => {
-                for acc in fleet.accs.iter_mut() {
+                for acc in self.fleet.accs.iter_mut() {
                     acc.reset_keeping_open(now);
                 }
             }
             SimEvent::ActivityStart(id) => {
-                let idx = fleet.index_of(id);
-                let was_state = fleet.engines.get(idx).state();
-                let kind = fleet.engines.get(idx).kind();
+                let idx = self.fleet.index_of(id);
+                let was_state = self.fleet.engines.get(idx).state();
+                let kind = self.fleet.engines.get(idx).kind();
                 let prewarmed = matches!(
-                    fleet.accs[idx].open_kind(),
+                    self.fleet.accs[idx].open_kind(),
                     Some(SegmentKind::ProactiveIdleWrong) | Some(SegmentKind::ProactiveIdleCorrect)
                 );
-                fleet.demand.set(idx, true);
-                let obs_before = obs.as_ref().map(|_| fleet.engines.get(idx).counters());
-                let actions = fleet
+                self.fleet.demand.set(idx, true);
+                let obs_before = self
+                    .obs
+                    .as_ref()
+                    .map(|_| self.fleet.engines.get(idx).counters());
+                let actions = self
+                    .fleet
                     .engines
                     .get_mut(idx)
                     .on_event(now, EngineEvent::ActivityStart);
-                observe_shadow(&mut fleet, idx, now, EngineEvent::ActivityStart)?;
+                observe_shadow(&mut self.fleet, idx, now, EngineEvent::ActivityStart)?;
                 let available =
                     was_state != DbState::PhysicallyPaused || kind == PolicyKind::Optimal;
-                telemetry.record(now, id, TelemetryKind::Login { available });
-                if let Some(o) = obs.as_mut() {
+                self.telemetry
+                    .record(now, id, TelemetryKind::Login { available });
+                if let Some(o) = self.obs.as_mut() {
                     o.on_engine_event(
                         now,
                         id,
                         was_state,
                         &obs_before.unwrap(),
-                        fleet.engines.get(idx).state(),
-                        &fleet.engines.get(idx).counters(),
+                        self.fleet.engines.get(idx).state(),
+                        &self.fleet.engines.get(idx).counters(),
                     );
                     o.on_login(now, id, available);
                 }
-                metadata.set_state(id, DbState::Resumed);
+                self.metadata.set_state(id, DbState::Resumed);
                 // Hold compute while serving (idempotent).
-                let outcome = cluster.allocate(id)?;
+                let outcome = self.cluster.allocate(id)?;
                 if available {
                     if prewarmed {
-                        fleet.accs[idx].reclassify_open(SegmentKind::ProactiveIdleCorrect);
+                        self.fleet.accs[idx].reclassify_open(SegmentKind::ProactiveIdleCorrect);
                     }
-                    fleet.accs[idx].transition(now, SegmentKind::Active);
+                    self.fleet.accs[idx].transition(now, SegmentKind::Active);
                 } else {
                     // Reactive resume: the customer waits out the staged
                     // allocation workflow (§2.2's delay; §7's stages).
-                    fleet.accs[idx].transition(now, SegmentKind::Unavailable);
+                    self.fleet.accs[idx].transition(now, SegmentKind::Unavailable);
                     let mut move_penalty = Seconds::ZERO;
                     if matches!(outcome, AllocationOutcome::Moved { .. }) {
                         move_penalty = cfg.move_penalty;
                     }
-                    diagnostics.workflow_started(id, now);
-                    fleet.resume_in_flight.set(idx, true);
+                    self.diagnostics.workflow_started(id, now);
+                    self.fleet.resume_in_flight.set(idx, true);
                     // A hung workflow schedules nothing; the diagnostics
                     // sweep is its only way out.
                     if !workflow_hangs(cfg.seed, id, now, cfg.stuck_probability) {
                         let wf = ResumeWorkflow::new(id, now, move_penalty);
-                        let expected_at = wf.first_ready_at(faults);
-                        queue.push(expected_at, SimEvent::WorkflowStageDone(id));
-                        workflows.insert(id, ActiveWorkflow { wf, expected_at });
+                        let expected_at = wf.first_ready_at(cfg.fault());
+                        self.queue
+                            .push(expected_at, SimEvent::WorkflowStageDone(id));
+                        self.workflows
+                            .insert(id, ActiveWorkflow { wf, expected_at });
                     }
                 }
                 apply_actions(
@@ -396,47 +573,48 @@ where
                     &actions,
                     id,
                     now,
-                    &mut queue,
-                    &mut metadata,
-                    &mut cluster,
+                    &mut self.queue,
+                    &mut self.metadata,
+                    &mut self.cluster,
                 );
             }
             SimEvent::ActivityEnd(id) => {
-                let idx = fleet.index_of(id);
-                if !fleet.demand.get(idx) {
-                    continue;
+                let idx = self.fleet.index_of(id);
+                if !self.fleet.demand.get(idx) {
+                    return Ok(());
                 }
-                fleet.demand.set(idx, false);
-                fleet.resume_in_flight.set(idx, false);
+                self.fleet.demand.set(idx, false);
+                self.fleet.resume_in_flight.set(idx, false);
                 // A still-running staged workflow is superseded: drop its
                 // state (stale stage events are rejected by expected_at)
                 // and retire it from the diagnostics queue.
-                if workflows.remove(&id).is_some() {
-                    diagnostics.workflow_completed(id);
+                if self.workflows.remove(&id).is_some() {
+                    self.diagnostics.workflow_completed(id);
                 }
-                let obs_before = obs.as_ref().map(|_| {
+                let obs_before = self.obs.as_ref().map(|_| {
                     (
-                        fleet.engines.get(idx).state(),
-                        fleet.engines.get(idx).counters(),
+                        self.fleet.engines.get(idx).state(),
+                        self.fleet.engines.get(idx).counters(),
                     )
                 });
-                let actions = fleet
+                let actions = self
+                    .fleet
                     .engines
                     .get_mut(idx)
                     .on_event(now, EngineEvent::ActivityEnd);
-                observe_shadow(&mut fleet, idx, now, EngineEvent::ActivityEnd)?;
+                observe_shadow(&mut self.fleet, idx, now, EngineEvent::ActivityEnd)?;
                 apply_actions(
                     cfg,
                     &actions,
                     id,
                     now,
-                    &mut queue,
-                    &mut metadata,
-                    &mut cluster,
+                    &mut self.queue,
+                    &mut self.metadata,
+                    &mut self.cluster,
                 );
-                let state = fleet.engines.get(idx).state();
-                metadata.set_state(id, state);
-                if let Some(o) = obs.as_mut() {
+                let state = self.fleet.engines.get(idx).state();
+                self.metadata.set_state(id, state);
+                if let Some(o) = self.obs.as_mut() {
                     let (before_state, before) = obs_before.unwrap();
                     o.on_engine_event(
                         now,
@@ -444,158 +622,168 @@ where
                         before_state,
                         &before,
                         state,
-                        &fleet.engines.get(idx).counters(),
+                        &self.fleet.engines.get(idx).counters(),
                     );
                 }
                 match state {
                     DbState::LogicallyPaused => {
-                        telemetry.record(now, id, TelemetryKind::LogicalPause);
-                        fleet.accs[idx].transition(now, SegmentKind::LogicalPauseIdle);
+                        self.telemetry.record(now, id, TelemetryKind::LogicalPause);
+                        self.fleet.accs[idx].transition(now, SegmentKind::LogicalPauseIdle);
                     }
                     DbState::PhysicallyPaused => {
-                        telemetry.record(now, id, TelemetryKind::PhysicalPause);
-                        fleet.accs[idx].transition(now, SegmentKind::Saved);
+                        self.telemetry.record(now, id, TelemetryKind::PhysicalPause);
+                        self.fleet.accs[idx].transition(now, SegmentKind::Saved);
                     }
                     DbState::Resumed => {
                         // Engines always leave Resumed on ActivityEnd;
                         // defensive only.
-                        fleet.accs[idx].transition(now, SegmentKind::Active);
+                        self.fleet.accs[idx].transition(now, SegmentKind::Active);
                     }
                 }
             }
             SimEvent::EngineTimer(id, token) => {
-                let idx = fleet.index_of(id);
-                let before = fleet.engines.get(idx).state();
-                let obs_before = obs.as_ref().map(|_| fleet.engines.get(idx).counters());
-                let actions = fleet
+                let idx = self.fleet.index_of(id);
+                let before = self.fleet.engines.get(idx).state();
+                let obs_before = self
+                    .obs
+                    .as_ref()
+                    .map(|_| self.fleet.engines.get(idx).counters());
+                let actions = self
+                    .fleet
                     .engines
                     .get_mut(idx)
                     .on_event(now, EngineEvent::Timer(token));
-                observe_shadow(&mut fleet, idx, now, EngineEvent::Timer(token))?;
+                observe_shadow(&mut self.fleet, idx, now, EngineEvent::Timer(token))?;
                 apply_actions(
                     cfg,
                     &actions,
                     id,
                     now,
-                    &mut queue,
-                    &mut metadata,
-                    &mut cluster,
+                    &mut self.queue,
+                    &mut self.metadata,
+                    &mut self.cluster,
                 );
-                let after = fleet.engines.get(idx).state();
+                let after = self.fleet.engines.get(idx).state();
                 if before == DbState::LogicallyPaused && after == DbState::PhysicallyPaused {
-                    telemetry.record(now, id, TelemetryKind::PhysicalPause);
-                    fleet.accs[idx].transition(now, SegmentKind::Saved);
+                    self.telemetry.record(now, id, TelemetryKind::PhysicalPause);
+                    self.fleet.accs[idx].transition(now, SegmentKind::Saved);
                 }
-                metadata.set_state(id, after);
-                if let Some(o) = obs.as_mut() {
+                self.metadata.set_state(id, after);
+                if let Some(o) = self.obs.as_mut() {
                     o.on_engine_event(
                         now,
                         id,
                         before,
                         &obs_before.unwrap(),
                         after,
-                        &fleet.engines.get(idx).counters(),
+                        &self.fleet.engines.get(idx).counters(),
                     );
                 }
             }
             SimEvent::ResumeOpTick => {
-                counters.resume_scans += 1;
-                let selected = resume_op.run(now, std::slice::from_ref(&metadata));
-                if let Some(o) = obs.as_mut() {
+                self.counters.resume_scans += 1;
+                let selected = self
+                    .resume_op
+                    .run(now, std::slice::from_ref(&self.metadata));
+                if let Some(o) = self.obs.as_mut() {
                     o.on_scan(selected.len());
                 }
                 for id in selected {
-                    queue.push(now, SimEvent::ProactiveResume(id));
+                    self.queue.push(now, SimEvent::ProactiveResume(id));
                 }
-                if resume_op.next_run() < cfg.end {
-                    queue.push(resume_op.next_run(), SimEvent::ResumeOpTick);
+                if self.resume_op.next_run() < cfg.end {
+                    self.queue
+                        .push(self.resume_op.next_run(), SimEvent::ResumeOpTick);
                 }
             }
             SimEvent::ProactiveResume(id) => {
-                let idx = fleet.index_of(id);
-                if fleet.engines.get(idx).state() != DbState::PhysicallyPaused
-                    || fleet.demand.get(idx)
+                let idx = self.fleet.index_of(id);
+                if self.fleet.engines.get(idx).state() != DbState::PhysicallyPaused
+                    || self.fleet.demand.get(idx)
                 {
-                    continue; // raced with a login
+                    return Ok(()); // raced with a login
                 }
-                let obs_before = obs.as_ref().map(|_| {
+                let obs_before = self.obs.as_ref().map(|_| {
                     (
-                        fleet.engines.get(idx).state(),
-                        fleet.engines.get(idx).counters(),
+                        self.fleet.engines.get(idx).state(),
+                        self.fleet.engines.get(idx).counters(),
                     )
                 });
-                let actions = fleet
+                let actions = self
+                    .fleet
                     .engines
                     .get_mut(idx)
                     .on_event(now, EngineEvent::ProactiveResume);
-                observe_shadow(&mut fleet, idx, now, EngineEvent::ProactiveResume)?;
-                if let Some(o) = obs.as_mut() {
+                observe_shadow(&mut self.fleet, idx, now, EngineEvent::ProactiveResume)?;
+                if let Some(o) = self.obs.as_mut() {
                     let (before_state, before) = obs_before.unwrap();
                     o.on_engine_event(
                         now,
                         id,
                         before_state,
                         &before,
-                        fleet.engines.get(idx).state(),
-                        &fleet.engines.get(idx).counters(),
+                        self.fleet.engines.get(idx).state(),
+                        &self.fleet.engines.get(idx).counters(),
                     );
                 }
                 if actions.is_empty() {
-                    continue; // the engine declined (e.g. reactive)
+                    return Ok(()); // the engine declined (e.g. reactive)
                 }
-                telemetry.record(now, id, TelemetryKind::ProactiveResume);
-                if let Some(o) = obs.as_mut() {
+                self.telemetry
+                    .record(now, id, TelemetryKind::ProactiveResume);
+                if let Some(o) = self.obs.as_mut() {
                     o.on_proactive_resume(now, id);
                 }
-                cluster.allocate(id)?;
+                self.cluster.allocate(id)?;
                 // Optimistically "wrong" until the login proves it
                 // correct.
-                fleet.accs[idx].transition(now, SegmentKind::ProactiveIdleWrong);
-                metadata.set_state(id, fleet.engines.get(idx).state());
+                self.fleet.accs[idx].transition(now, SegmentKind::ProactiveIdleWrong);
+                self.metadata
+                    .set_state(id, self.fleet.engines.get(idx).state());
                 apply_actions(
                     cfg,
                     &actions,
                     id,
                     now,
-                    &mut queue,
-                    &mut metadata,
-                    &mut cluster,
+                    &mut self.queue,
+                    &mut self.metadata,
+                    &mut self.cluster,
                 );
             }
             SimEvent::WorkflowStageDone(id) => {
                 // One stage of a staged resume finished executing: draw
                 // its deterministic verdict and advance/retry/give up.
-                let Some(active) = workflows.get_mut(&id) else {
-                    continue; // workflow superseded or force-completed
+                let Some(active) = self.workflows.get_mut(&id) else {
+                    return Ok(()); // workflow superseded or force-completed
                 };
                 if active.expected_at != now {
-                    continue; // stale event of a cancelled workflow
+                    return Ok(()); // stale event of a cancelled workflow
                 }
                 let wf_started = active.wf.started();
                 let executed_attempt = active.wf.attempt();
-                match active.wf.on_stage_executed(now, cfg.seed, faults) {
+                match active.wf.on_stage_executed(now, cfg.seed, cfg.fault()) {
                     StageOutcome::Completed {
                         stage,
                         spent,
                         next_ready_at,
                     } => {
-                        workflow_stats.record_stage(stage, spent);
-                        if let Some(o) = obs.as_mut() {
+                        self.workflow_stats.record_stage(stage, spent);
+                        if let Some(o) = self.obs.as_mut() {
                             o.on_stage_completed(now, id, stage, executed_attempt, spent);
                         }
                         match next_ready_at {
                             Some(at) => {
                                 active.expected_at = at;
-                                queue.push(at, SimEvent::WorkflowStageDone(id));
+                                self.queue.push(at, SimEvent::WorkflowStageDone(id));
                             }
                             None => {
                                 let total = now.since(wf_started);
-                                workflow_stats.record_workflow(total);
-                                if let Some(o) = obs.as_mut() {
+                                self.workflow_stats.record_workflow(total);
+                                if let Some(o) = self.obs.as_mut() {
                                     o.on_workflow_completed(now, id, wf_started);
                                 }
-                                workflows.remove(&id);
-                                queue.push(now, SimEvent::WorkflowComplete(id));
+                                self.workflows.remove(&id);
+                                self.queue.push(now, SimEvent::WorkflowComplete(id));
                             }
                         }
                     }
@@ -604,76 +792,78 @@ where
                         attempt: next_attempt,
                         ready_at,
                     } => {
-                        workflow_stats.retries += 1;
-                        if let Some(o) = obs.as_mut() {
+                        self.workflow_stats.retries += 1;
+                        if let Some(o) = self.obs.as_mut() {
                             o.on_stage_retry(now, id, stage, next_attempt);
                         }
                         active.expected_at = ready_at;
-                        queue.push(ready_at, SimEvent::WorkflowStageDone(id));
+                        self.queue.push(ready_at, SimEvent::WorkflowStageDone(id));
                     }
                     StageOutcome::Exhausted { stage, attempts } => {
                         // Retry budget burned: escalate an incident and
                         // let the mitigation path force-complete the
                         // resume (the on-call engineer's fix).
-                        workflow_stats.giveups += 1;
-                        if let Some(o) = obs.as_mut() {
+                        self.workflow_stats.giveups += 1;
+                        if let Some(o) = self.obs.as_mut() {
                             o.on_stage_exhausted(now, id, stage, attempts, wf_started);
                         }
-                        workflows.remove(&id);
-                        diagnostics.retry_exhausted(id);
-                        incident_log.push(now, id, IncidentKind::RetryExhausted { stage });
-                        queue.push(now, SimEvent::WorkflowComplete(id));
+                        self.workflows.remove(&id);
+                        self.diagnostics.retry_exhausted(id);
+                        self.incident_log
+                            .push(now, id, IncidentKind::RetryExhausted { stage });
+                        self.queue.push(now, SimEvent::WorkflowComplete(id));
                     }
                 }
             }
             SimEvent::WorkflowComplete(id) => {
-                let idx = fleet.index_of(id);
-                diagnostics.workflow_completed(id);
-                if !fleet.resume_in_flight.get(idx) {
-                    continue; // superseded (activity ended meanwhile)
+                let idx = self.fleet.index_of(id);
+                self.diagnostics.workflow_completed(id);
+                if !self.fleet.resume_in_flight.get(idx) {
+                    return Ok(()); // superseded (activity ended meanwhile)
                 }
-                fleet.resume_in_flight.set(idx, false);
-                match fleet.engines.get(idx).state() {
-                    DbState::Resumed if fleet.demand.get(idx) => {
-                        fleet.accs[idx].transition(now, SegmentKind::Active);
+                self.fleet.resume_in_flight.set(idx, false);
+                match self.fleet.engines.get(idx).state() {
+                    DbState::Resumed if self.fleet.demand.get(idx) => {
+                        self.fleet.accs[idx].transition(now, SegmentKind::Active);
                     }
                     DbState::LogicallyPaused => {
-                        fleet.accs[idx].transition(now, SegmentKind::LogicalPauseIdle);
+                        self.fleet.accs[idx].transition(now, SegmentKind::LogicalPauseIdle);
                     }
                     _ => {}
                 }
             }
             SimEvent::DiagnosticsTick => {
-                for m in diagnostics.sweep(now) {
-                    if let Some(o) = obs.as_mut() {
+                for m in self.diagnostics.sweep(now) {
+                    if let Some(o) = self.obs.as_mut() {
                         o.on_mitigation(now, m.db, m.escalated);
                     }
                     if m.escalated {
-                        incident_log.push(now, m.db, IncidentKind::StuckWorkflow);
+                        self.incident_log
+                            .push(now, m.db, IncidentKind::StuckWorkflow);
                     }
                     // Mitigation force-completes the workflow now; drop
                     // any staged state so stale stage events are ignored.
-                    workflows.remove(&m.db);
-                    queue.push(now, SimEvent::WorkflowComplete(m.db));
+                    self.workflows.remove(&m.db);
+                    self.queue.push(now, SimEvent::WorkflowComplete(m.db));
                 }
                 if let Some(p) = cfg.diagnostics_period {
-                    queue.push(now + p, SimEvent::DiagnosticsTick);
+                    self.queue.push(now + p, SimEvent::DiagnosticsTick);
                 }
             }
             SimEvent::MaintenanceDue(id) => {
-                let idx = fleet.index_of(id);
-                let prediction = fleet.engines.get(idx).current_prediction();
+                let idx = self.fleet.index_of(id);
+                let prediction = self.fleet.engines.get(idx).current_prediction();
                 let deadline = now + cfg.maintenance_deadline;
-                let slot = maintenance.place(
+                let slot = self.maintenance.place(
                     now,
                     prediction.as_ref(),
                     cfg.maintenance_duration,
                     deadline,
                 )?;
                 if slot.start() < cfg.end {
-                    queue.push(slot.start(), SimEvent::MaintenanceRun(id));
+                    self.queue.push(slot.start(), SimEvent::MaintenanceRun(id));
                 }
-                telemetry.record(
+                self.telemetry.record(
                     now,
                     id,
                     TelemetryKind::Maintenance {
@@ -681,7 +871,7 @@ where
                     },
                 );
                 if let Some(p) = cfg.maintenance_period {
-                    queue.push(now + p, SimEvent::MaintenanceDue(id));
+                    self.queue.push(now + p, SimEvent::MaintenanceDue(id));
                 }
             }
             SimEvent::MaintenanceRun(id) => {
@@ -691,106 +881,191 @@ where
                 // and releases compute (the backend load the scheduler
                 // minimises); a job on a resumed or logically paused
                 // database rides the existing allocation.
-                let idx = fleet.index_of(id);
-                if fleet.engines.get(idx).state() == DbState::PhysicallyPaused {
-                    let _ = cluster.allocate(id)?;
-                    cluster.release(id);
+                let idx = self.fleet.index_of(id);
+                if self.fleet.engines.get(idx).state() == DbState::PhysicallyPaused {
+                    let _ = self.cluster.allocate(id)?;
+                    self.cluster.release(id);
                 }
             }
             SimEvent::RebalanceTick => {
-                if let Some((moved, _, _)) = cluster.rebalance_step(cfg.rebalance_threshold) {
+                if let Some((moved, _, _)) = self.cluster.rebalance_step(cfg.rebalance_threshold) {
                     // Ship the history with the database (§3.3): the
                     // move serialises pages and restores them on the
                     // destination node.
-                    let idx = fleet.index_of(moved);
-                    let bytes = backup_history(fleet.engines.get(idx).history())?;
+                    let idx = self.fleet.index_of(moved);
+                    let bytes = backup_history(self.fleet.engines.get(idx).history())?;
                     let restored = restore_backend(&bytes, cfg.storage_backend)?;
-                    fleet.engines.get_mut(idx).restore_history(restored);
-                    telemetry.record(now, moved, TelemetryKind::Move);
-                    if let Some(o) = obs.as_mut() {
+                    self.fleet.engines.get_mut(idx).restore_history(restored);
+                    self.telemetry.record(now, moved, TelemetryKind::Move);
+                    if let Some(o) = self.obs.as_mut() {
                         o.on_move_with_history(now, moved, bytes.len() as u64);
                     }
-                    balance_moves_history += 1;
+                    self.balance_moves_history += 1;
                 }
                 if let Some(p) = cfg.rebalance_period {
-                    queue.push(now + p, SimEvent::RebalanceTick);
+                    self.queue.push(now + p, SimEvent::RebalanceTick);
                 }
             }
-        }
-    }
-
-    debug_assert_eq!(balance_moves_history, cluster.balance_moves);
-
-    // Close the books.
-    let mut db_results: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)> =
-        Vec::with_capacity(fleet.len());
-    for idx in 0..fleet.len() {
-        let id = fleet.ids[idx];
-        fleet.accs[idx].close(cfg.end);
-        #[cfg(feature = "strict-invariants")]
-        {
-            // History tuples must come back in strictly ascending
-            // timestamp order from a structurally sound B-tree, and every
-            // closed book must account for exactly the measured window.
-            LifecycleInvariants::check_history(id, fleet.engines.get(idx).history())?;
-            let measured = fleet.accs[idx].grand_total();
-            let expected = cfg.end.since(cfg.measure_from);
-            if measured != expected {
-                return Err(ProrpError::InvariantViolation(format!(
-                    "db {id:?}: segment totals cover {measured:?} of a \
-                     {expected:?} measurement window"
-                )));
+            SimEvent::ForcedPause(id) => {
+                let idx = self.fleet.index_of(id);
+                if self.fleet.demand.get(idx) {
+                    return Ok(()); // serving: the engine would refuse anyway
+                }
+                let before = self.fleet.engines.get(idx).state();
+                let obs_before = self
+                    .obs
+                    .as_ref()
+                    .map(|_| self.fleet.engines.get(idx).counters());
+                let actions = self
+                    .fleet
+                    .engines
+                    .get_mut(idx)
+                    .on_event(now, EngineEvent::ForcedPause);
+                observe_shadow(&mut self.fleet, idx, now, EngineEvent::ForcedPause)?;
+                let after = self.fleet.engines.get(idx).state();
+                if let Some(o) = self.obs.as_mut() {
+                    o.on_engine_event(
+                        now,
+                        id,
+                        before,
+                        &obs_before.unwrap(),
+                        after,
+                        &self.fleet.engines.get(idx).counters(),
+                    );
+                }
+                if actions.is_empty() {
+                    return Ok(()); // refused (already physically paused)
+                }
+                // A pre-warm that had not yet been proven correct is
+                // simply cancelled; the operator's decision wins.
+                if self.workflows.remove(&id).is_some() {
+                    self.diagnostics.workflow_completed(id);
+                }
+                self.fleet.resume_in_flight.set(idx, false);
+                self.telemetry.record(now, id, TelemetryKind::PhysicalPause);
+                self.fleet.accs[idx].transition(now, SegmentKind::Saved);
+                self.metadata.set_state(id, after);
+                apply_actions(
+                    cfg,
+                    &actions,
+                    id,
+                    now,
+                    &mut self.queue,
+                    &mut self.metadata,
+                    &mut self.cluster,
+                );
             }
         }
-        let engine = fleet.engines.get(idx);
-        db_results.push((
-            id,
-            fleet.accs[idx],
-            engine.counters(),
-            engine.history().stats(),
-        ));
+        Ok(())
     }
 
-    counters.telemetry_events = telemetry.len() as u64;
-    counters.set_wall_clock(started.elapsed());
+    /// Close the books: final segment accounting, invariant audits, the
+    /// aligned end-of-run observability snapshot, and the mergeable
+    /// [`ShardOutcome`].
+    pub fn finish(mut self) -> Result<ShardOutcome, ProrpError> {
+        let cfg = &self.cfg;
+        debug_assert_eq!(self.balance_moves_history, self.cluster.balance_moves);
 
-    // Predictor circuit-breaker activity lives in the per-engine
-    // counters; fold the shard totals into the workflow telemetry.
-    workflow_stats.breaker_opens = db_results.iter().map(|r| r.2.breaker_opens).sum();
-    workflow_stats.breaker_fallbacks = db_results.iter().map(|r| r.2.breaker_fallbacks).sum();
+        // Close the books.
+        let mut db_results: Vec<(DatabaseId, SegmentAccumulator, EngineCounters, StorageStats)> =
+            Vec::with_capacity(self.fleet.len());
+        for idx in 0..self.fleet.len() {
+            let id = self.fleet.ids[idx];
+            self.fleet.accs[idx].close(cfg.end);
+            #[cfg(feature = "strict-invariants")]
+            {
+                // History tuples must come back in strictly ascending
+                // timestamp order from a structurally sound B-tree, and every
+                // closed book must account for exactly the measured window.
+                LifecycleInvariants::check_history(id, self.fleet.engines.get(idx).history())?;
+                let measured = self.fleet.accs[idx].grand_total();
+                let expected = cfg.end.since(cfg.measure_from);
+                if measured != expected {
+                    return Err(ProrpError::InvariantViolation(format!(
+                        "db {id:?}: segment totals cover {measured:?} of a \
+                     {expected:?} measurement window"
+                    )));
+                }
+            }
+            let engine = self.fleet.engines.get(idx);
+            db_results.push((
+                id,
+                self.fleet.accs[idx],
+                engine.counters(),
+                engine.history().stats(),
+            ));
+        }
 
-    // The end-of-run snapshot is always taken at `cfg.end`, on every
-    // shard, so the merged series stays aligned.
-    let obs_report = obs.map(|mut o| {
-        o.take_snapshot(
-            cfg.end,
-            SelfObservations {
-                events_processed: counters.events_processed,
-                telemetry_events: counters.telemetry_events,
-                databases: fleet.len(),
-                wall_clock_micros: counters.wall_clock_micros,
-                workflows_in_flight: diagnostics.in_flight_count(),
-            },
-        );
-        o.finish()
-    });
+        self.counters.telemetry_events = self.telemetry.len() as u64;
+        self.counters.set_wall_clock(self.started.elapsed());
 
-    Ok(ShardOutcome {
-        dbs: db_results,
-        telemetry,
-        resume_batches: resume_op.batch_sizes().to_vec(),
-        spill_moves: cluster.spill_moves,
-        balance_moves: cluster.balance_moves,
-        oversubscriptions: cluster.oversubscriptions,
-        mitigations: diagnostics.mitigations,
-        incidents: diagnostics.incidents,
-        giveups: diagnostics.giveups,
-        workflow: workflow_stats,
-        incident_log,
-        maintenance: maintenance.stats(),
-        counters,
-        obs: obs_report,
-    })
+        // Predictor circuit-breaker activity lives in the per-engine
+        // counters; fold the shard totals into the workflow telemetry.
+        self.workflow_stats.breaker_opens = db_results.iter().map(|r| r.2.breaker_opens).sum();
+        self.workflow_stats.breaker_fallbacks =
+            db_results.iter().map(|r| r.2.breaker_fallbacks).sum();
+
+        // The end-of-run snapshot is always taken at `cfg.end`, on every
+        // shard, so the merged series stays aligned.
+        let obs_report = self.obs.map(|mut o| {
+            o.take_snapshot(
+                cfg.end,
+                SelfObservations {
+                    events_processed: self.counters.events_processed,
+                    telemetry_events: self.counters.telemetry_events,
+                    databases: self.fleet.len(),
+                    wall_clock_micros: self.counters.wall_clock_micros,
+                    workflows_in_flight: self.diagnostics.in_flight_count(),
+                },
+            );
+            o.finish()
+        });
+
+        Ok(ShardOutcome {
+            dbs: db_results,
+            telemetry: self.telemetry,
+            resume_batches: self.resume_op.batch_sizes().to_vec(),
+            spill_moves: self.cluster.spill_moves,
+            balance_moves: self.cluster.balance_moves,
+            oversubscriptions: self.cluster.oversubscriptions,
+            mitigations: self.diagnostics.mitigations,
+            incidents: self.diagnostics.incidents,
+            giveups: self.diagnostics.giveups,
+            workflow: self.workflow_stats,
+            incident_log: self.incident_log,
+            maintenance: self.maintenance.stats(),
+            counters: self.counters,
+            obs: obs_report,
+        })
+    }
+}
+
+/// Run one shard's complete event loop over `traces` (the shard's subset
+/// of the fleet, consumed one trace at a time so a streamed source never
+/// materialises the whole partition) and return its mergeable outcome.
+/// `expected_dbs` pre-sizes the per-database arrays; an inexact hint
+/// costs a reallocation, nothing else.
+///
+/// This is now a thin wrapper over [`ShardDriver`]: register every
+/// trace, seed the control events, drain to the horizon, close the
+/// books.  Every pre-existing determinism test therefore exercises the
+/// extracted driver.
+pub(crate) fn run_shard<'a, I>(
+    cfg: &SimConfig,
+    shard: usize,
+    expected_dbs: usize,
+    traces: I,
+) -> Result<ShardOutcome, ProrpError>
+where
+    I: IntoIterator<Item = Cow<'a, Trace>>,
+{
+    let mut driver = ShardDriver::new(cfg, shard, expected_dbs)?;
+    for trace in traces {
+        driver.register(trace.as_ref())?;
+    }
+    driver.start();
+    driver.run_to_end()?;
+    driver.finish()
 }
 
 #[cfg(test)]

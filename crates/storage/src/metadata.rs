@@ -140,19 +140,6 @@ impl MetadataStore {
             .map(|(_, db)| *db)
     }
 
-    /// Materialised form of
-    /// [`databases_to_resume_iter`](Self::databases_to_resume_iter).
-    #[deprecated(note = "use `databases_to_resume_iter` — it streams off the \
-                         secondary index without allocating")]
-    pub fn databases_to_resume(
-        &self,
-        now: Timestamp,
-        prewarm: Seconds,
-        width: Seconds,
-    ) -> Vec<DatabaseId> {
-        self.databases_to_resume_iter(now, prewarm, width).collect()
-    }
-
     /// Databases whose predicted start has already been missed (it is in
     /// the past but they are still physically paused).  The diagnostics
     /// runner (§7) monitors this queue for stuck databases.
@@ -163,14 +150,6 @@ impl MetadataStore {
         self.by_pred_start
             .range(..(now, DatabaseId(u64::MIN)))
             .map(|(_, db)| *db)
-    }
-
-    /// Materialised form of
-    /// [`overdue_resumes_iter`](Self::overdue_resumes_iter).
-    #[deprecated(note = "use `overdue_resumes_iter` — it streams off the \
-                         secondary index without allocating")]
-    pub fn overdue_resumes(&self, now: Timestamp) -> Vec<DatabaseId> {
-        self.overdue_resumes_iter(now).collect()
     }
 
     /// Split the store into `shard_count` shard-local stores by id-hash

@@ -140,10 +140,10 @@ impl StorageBackend {
 /// Enum-dispatch wrapper over the concrete history backends.
 ///
 /// The policy engines store one of these per database: static dispatch
-/// (no boxed trait objects in the million-database arena), `Clone` for
-/// the rebalance/backup paths, and a uniform inherent API mirroring
-/// [`HistoryRead`] + [`HistoryStore`] so call-sites need no trait
-/// imports.
+/// (no boxed trait objects in the million-database arena) and `Clone`
+/// for the rebalance/backup paths.  The whole surface lives on the
+/// [`HistoryRead`] + [`HistoryStore`] trait impls — import the traits
+/// to call it (the PR 7 inherent mirror API has been removed).
 #[derive(Clone, Debug)]
 pub enum HistoryBackend {
     /// B+Tree-backed [`HistoryTable`] (the §5 default).
@@ -183,147 +183,48 @@ impl HistoryBackend {
             HistoryBackend::Lsm(_) => StorageBackend::Lsm,
         }
     }
-
-    /// Algorithm 2 — insert-if-not-exists; `true` when a tuple was
-    /// stored.
-    pub fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
-        dispatch!(self, t => t.insert_history(ts, kind))
-    }
-
-    /// Convenience wrapper over [`insert_history`](Self::insert_history).
-    pub fn insert_event(&mut self, ev: ActivityEvent) -> bool {
-        self.insert_history(ev.ts, ev.kind)
-    }
-
-    /// Algorithm 3 — trim to the last `h` time units.
-    pub fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
-        dispatch!(self, t => t.delete_old_history(h, now))
-    }
-
-    /// (Re)build the slot-occupancy index.
-    pub fn configure_slot_index(&mut self, period: Seconds, slot_len: Seconds) {
-        dispatch!(self, t => t.configure_slot_index(period, slot_len))
-    }
-
-    /// Audit structural invariants (panics with a description).
-    pub fn check_invariants(&self) {
-        dispatch!(self, t => t.check_invariants())
-    }
-
-    /// See [`HistoryRead::first_last_login_in`].
-    pub fn first_last_login_in(
-        &self,
-        lo: Timestamp,
-        hi: Timestamp,
-    ) -> Option<(Timestamp, Timestamp)> {
-        dispatch!(self, t => t.first_last_login_in(lo, hi))
-    }
-
-    /// See [`HistoryRead::count_logins_in`].
-    pub fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
-        dispatch!(self, t => t.count_logins_in(lo, hi))
-    }
-
-    /// See [`HistoryRead::login_window_stats`].
-    pub fn login_window_stats(
-        &self,
-        lo: Timestamp,
-        hi: Timestamp,
-    ) -> Option<(Timestamp, Timestamp, i64)> {
-        dispatch!(self, t => t.login_window_stats(lo, hi))
-    }
-
-    /// See [`HistoryRead::any_event_in`].
-    pub fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
-        dispatch!(self, t => t.any_event_in(lo, hi))
-    }
-
-    /// See [`HistoryRead::min_timestamp`].
-    pub fn min_timestamp(&self) -> Option<Timestamp> {
-        dispatch!(self, t => t.min_timestamp())
-    }
-
-    /// See [`HistoryRead::max_timestamp`].
-    pub fn max_timestamp(&self) -> Option<Timestamp> {
-        dispatch!(self, t => t.max_timestamp())
-    }
-
-    /// Number of tuples currently visible.
-    pub fn len(&self) -> usize {
-        dispatch!(self, t => t.len())
-    }
-
-    /// Whether the store holds no visible tuples.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The mutation version (see [`HistoryRead::version`]).
-    pub fn version(&self) -> u64 {
-        dispatch!(self, t => t.version())
-    }
-
-    /// The sorted login cache (see [`HistoryRead::logins`]).
-    pub fn logins(&self) -> &[i64] {
-        dispatch!(self, t => t.logins())
-    }
-
-    /// The slot-occupancy index, when configured.
-    pub fn slot_index(&self) -> Option<&SlotIndex> {
-        dispatch!(self, t => t.slot_index())
-    }
-
-    /// All visible events in timestamp order.
-    pub fn events(&self) -> Vec<ActivityEvent> {
-        dispatch!(self, t => t.events())
-    }
-
-    /// Storage-overhead statistics.
-    pub fn stats(&self) -> StorageStats {
-        dispatch!(self, t => t.stats())
-    }
 }
 
 impl HistoryRead for HistoryBackend {
     fn first_last_login_in(&self, lo: Timestamp, hi: Timestamp) -> Option<(Timestamp, Timestamp)> {
-        HistoryBackend::first_last_login_in(self, lo, hi)
+        dispatch!(self, t => t.first_last_login_in(lo, hi))
     }
     fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
-        HistoryBackend::count_logins_in(self, lo, hi)
+        dispatch!(self, t => t.count_logins_in(lo, hi))
     }
     fn login_window_stats(
         &self,
         lo: Timestamp,
         hi: Timestamp,
     ) -> Option<(Timestamp, Timestamp, i64)> {
-        HistoryBackend::login_window_stats(self, lo, hi)
+        dispatch!(self, t => t.login_window_stats(lo, hi))
     }
     fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
-        HistoryBackend::any_event_in(self, lo, hi)
+        dispatch!(self, t => t.any_event_in(lo, hi))
     }
     fn min_timestamp(&self) -> Option<Timestamp> {
-        HistoryBackend::min_timestamp(self)
+        dispatch!(self, t => t.min_timestamp())
     }
     fn max_timestamp(&self) -> Option<Timestamp> {
-        HistoryBackend::max_timestamp(self)
+        dispatch!(self, t => t.max_timestamp())
     }
     fn len(&self) -> usize {
-        HistoryBackend::len(self)
+        dispatch!(self, t => t.len())
     }
     fn version(&self) -> u64 {
-        HistoryBackend::version(self)
+        dispatch!(self, t => t.version())
     }
     fn logins(&self) -> &[i64] {
-        HistoryBackend::logins(self)
+        dispatch!(self, t => t.logins())
     }
     fn slot_index(&self) -> Option<&SlotIndex> {
-        HistoryBackend::slot_index(self)
+        dispatch!(self, t => t.slot_index())
     }
     fn events(&self) -> Vec<ActivityEvent> {
-        HistoryBackend::events(self)
+        dispatch!(self, t => t.events())
     }
     fn stats(&self) -> StorageStats {
-        HistoryBackend::stats(self)
+        dispatch!(self, t => t.stats())
     }
 }
 
@@ -398,16 +299,16 @@ impl_history_traits!(LsmHistory);
 
 impl HistoryStore for HistoryBackend {
     fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
-        HistoryBackend::insert_history(self, ts, kind)
+        dispatch!(self, t => t.insert_history(ts, kind))
     }
     fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
-        HistoryBackend::delete_old_history(self, h, now)
+        dispatch!(self, t => t.delete_old_history(h, now))
     }
     fn configure_slot_index(&mut self, period: Seconds, slot_len: Seconds) {
-        HistoryBackend::configure_slot_index(self, period, slot_len)
+        dispatch!(self, t => t.configure_slot_index(period, slot_len))
     }
     fn check_invariants(&self) {
-        HistoryBackend::check_invariants(self)
+        dispatch!(self, t => t.check_invariants())
     }
 }
 

@@ -15,6 +15,14 @@ cd "$(dirname "$0")/.."
 BLESS=1 cargo test -q -p testkit --test golden_kpis
 BLESS=1 cargo test -q -p testkit --test obs_conformance
 
+# Re-record the control-plane replay golden.  The `golden` subcommand
+# itself asserts live ≡ DES before printing anything, so a blessed file
+# is always an agreed-upon rendering, never a one-sided snapshot.
+cargo run --release -q -p prorp-server --bin prorp-server -- \
+    golden --trace tests/goldens/event_stream_small.jsonl \
+    --end 259200 --policy proactive --shards 2 --step 21600 \
+    > tests/goldens/server_replay.txt
+
 # Re-record the full-scale prediction-index A/B numbers alongside the
 # goldens (timings are machine-dependent; the committed file documents a
 # representative run, the smoke run in check.sh guards the equivalence).

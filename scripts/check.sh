@@ -8,7 +8,8 @@
 # observability layer compile together), the full test suite, the golden
 # snapshot checks (bit-stable simulator output; re-record intentional
 # changes with scripts/bless.sh), the `prorp-trace` CLI against the
-# golden trace, the machine-readable fleet-composition export, clippy
+# golden trace, the control-plane server replay gate (live ≡ DES over
+# HTTP), the machine-readable fleet-composition export, clippy
 # (warnings are errors), rustdoc (warnings are errors), and the
 # formatting check.  Fails fast on the first broken step.
 
@@ -46,6 +47,18 @@ run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
     tests/goldens/trace_small.jsonl qos-misses 5
 run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
     tests/goldens/trace_small.jsonl time-travel 7 200000
+
+# Control-plane service mode: boot the virtual-clock server, replay the
+# golden event stream through the real HTTP API, and let the binary
+# assert the live report is bit-identical to the DES over the same
+# stream.  The canonical decision rendering is then diffed against the
+# checked-in golden (re-record intentional drift with scripts/bless.sh).
+echo "==> prorp-server golden (live ≡ DES over HTTP)"
+cargo run --release -q -p prorp-server --bin prorp-server -- \
+    golden --trace tests/goldens/event_stream_small.jsonl \
+    --end 259200 --policy proactive --shards 2 --step 21600 \
+    > target/server_replay.txt
+run diff -u tests/goldens/server_replay.txt target/server_replay.txt
 
 # Machine-readable fleet composition for downstream tooling.
 run cargo run --release -q -p prorp-bench --bin fleet_report -- \

@@ -30,6 +30,8 @@ enum FuzzStep {
     DeliverBogusTimer { advance_secs: i64, token: u64 },
     /// Deliver a proactive resume regardless of state.
     ProactiveResume { advance_secs: i64 },
+    /// Deliver an operator forced pause regardless of state.
+    ForcedPause { advance_secs: i64 },
     /// Deliver a duplicate of the last activity edge.
     RepeatLastEdge { advance_secs: i64 },
 }
@@ -42,6 +44,7 @@ fn step_strategy() -> impl Strategy<Value = FuzzStep> {
         1 => (advance.clone(), 0u64..100)
             .prop_map(|(advance_secs, token)| FuzzStep::DeliverBogusTimer { advance_secs, token }),
         2 => advance.clone().prop_map(|advance_secs| FuzzStep::ProactiveResume { advance_secs }),
+        1 => advance.clone().prop_map(|advance_secs| FuzzStep::ForcedPause { advance_secs }),
         1 => advance.prop_map(|advance_secs| FuzzStep::RepeatLastEdge { advance_secs }),
     ]
 }
@@ -101,6 +104,7 @@ fn drive(engine: &mut dyn DatabasePolicy, steps: &[FuzzStep]) -> Result<(), Test
             FuzzStep::ProactiveResume { advance_secs } => {
                 (advance_secs, EngineEvent::ProactiveResume)
             }
+            FuzzStep::ForcedPause { advance_secs } => (advance_secs, EngineEvent::ForcedPause),
             FuzzStep::RepeatLastEdge { advance_secs } => {
                 let ev = if last_edge_was_start {
                     EngineEvent::ActivityStart
@@ -138,6 +142,21 @@ fn drive(engine: &mut dyn DatabasePolicy, steps: &[FuzzStep]) -> Result<(), Test
                 }
             }
             EngineEvent::Timer(_) | EngineEvent::ProactiveResume => {}
+            EngineEvent::ForcedPause => {
+                if !active {
+                    prop_assert_eq!(
+                        engine.state(),
+                        DbState::PhysicallyPaused,
+                        "forced pause on an idle database must reclaim it"
+                    );
+                } else {
+                    prop_assert_eq!(
+                        engine.state(),
+                        DbState::Resumed,
+                        "forced pause must be refused while serving"
+                    );
+                }
+            }
         }
 
         // Counters are monotone.
