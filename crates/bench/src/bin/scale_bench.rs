@@ -12,7 +12,10 @@
 //! Before timing each fleet size, the harness re-proves the shard
 //! determinism contract at scale: every shard count must produce
 //! bit-identical KPIs (and, at the smallest size, bit-identical KPIs to
-//! the fully materialised [`Simulation::run`] path).
+//! the fully materialised [`Simulation::run`] path).  The smallest size
+//! also carries the observability overhead gate: an interleaved A/B of
+//! obs-off vs rollup-only obs (sketches + SLO series, no span trace)
+//! asserting identical KPIs and < 2 % wall-time overhead.
 //!
 //! Flags:
 //!
@@ -29,7 +32,8 @@
 //! platforms without procfs both values report as zero.
 
 use prorp_bench::{json_path_from_args, write_json, JsonValue};
-use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation, TelemetryMode};
+use prorp_obs::SloConfig;
+use prorp_sim::{ObsConfig, SimConfig, SimPolicy, SimReport, Simulation, TelemetryMode};
 use prorp_types::{PolicyConfig, Seconds, Timestamp};
 use prorp_workload::{LazyFleet, RegionName, RegionProfile, TraceSource};
 use std::time::Instant;
@@ -95,7 +99,7 @@ fn peak_rss_bytes() -> u64 {
 }
 
 /// The proactive-policy config for one cell of the sweep.
-fn config_for(dbs: usize, shards: usize, days: i64) -> SimConfig {
+fn config_for(dbs: usize, shards: usize, days: i64, observe: ObsConfig) -> SimConfig {
     let start = Timestamp(0);
     let end = start + Seconds::days(days);
     let measure_from = start + Seconds::days((days - 2).max(1));
@@ -109,16 +113,84 @@ fn config_for(dbs: usize, shards: usize, days: i64) -> SimConfig {
     .nodes(5)
     .shards(shards)
     .telemetry_mode(TelemetryMode::Summary)
+    .observe(observe)
     .build()
     .expect("scale-sweep defaults are valid")
 }
 
 /// One timed cell: stream `fleet` through `shards` workers.
-fn run_cell(fleet: &LazyFleet, dbs: usize, shards: usize, days: i64) -> (SimReport, f64) {
-    let cfg = config_for(dbs, shards, days);
+fn run_cell(
+    fleet: &LazyFleet,
+    dbs: usize,
+    shards: usize,
+    days: i64,
+    observe: ObsConfig,
+) -> (SimReport, f64) {
+    let cfg = config_for(dbs, shards, days, observe);
     let t0 = Instant::now();
     let report = Simulation::run_streamed(cfg, fleet).expect("scale-sweep run completes");
     (report, t0.elapsed().as_secs_f64())
+}
+
+/// The rollup-only observability config the overhead gate measures:
+/// quantile sketches and SLO series on, the per-event span trace off —
+/// the shape a million-database fleet would actually run with.
+fn rollup_obs() -> ObsConfig {
+    ObsConfig::on()
+        .with_slo(SloConfig::default())
+        .without_trace()
+}
+
+/// A/B the smallest cell with observability off vs rollup-only, best of
+/// `rounds` per arm (interleaved, so drift hits both arms alike).
+/// Asserts the KPIs are bit-identical and the rollup overhead stays
+/// under 2 % of wall time (plus a 0.2 s absolute floor so sub-second
+/// smoke cells don't trip on scheduler jitter).
+fn obs_overhead_gate(fleet: &LazyFleet, dbs: usize, shards: usize, days: i64) -> JsonValue {
+    let rounds = 3;
+    let mut best = [f64::INFINITY; 2];
+    let mut kpis = Vec::new();
+    for round in 0..rounds {
+        for (arm, observe) in [ObsConfig::off(), rollup_obs()].into_iter().enumerate() {
+            let (report, wall_s) = run_cell(fleet, dbs, shards, days, observe);
+            best[arm] = best[arm].min(wall_s);
+            if round == 0 {
+                if arm == 1 {
+                    let rows = report
+                        .obs
+                        .as_ref()
+                        .and_then(|o| o.slo.as_ref())
+                        .expect("rollup arm produces an SLO series")
+                        .rows();
+                    assert!(!rows.is_empty(), "the overhead gate measured no rollups");
+                }
+                kpis.push(report.kpi);
+            }
+        }
+    }
+    assert_eq!(
+        kpis[0], kpis[1],
+        "observability must not change a single decision"
+    );
+    let (off_s, on_s) = (best[0], best[1]);
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    assert!(
+        on_s <= off_s * 1.02 + 0.2,
+        "rollup observability overhead {overhead_pct:.2}% exceeds the 2% budget \
+         (off {off_s:.3}s, on {on_s:.3}s)"
+    );
+    println!(
+        "obs A/B @ {dbs} dbs x {shards} shard(s): off {off_s:.3}s, rollup-on {on_s:.3}s \
+         ({overhead_pct:+.2}%)"
+    );
+    JsonValue::object(vec![
+        ("databases", JsonValue::UInt(dbs as u64)),
+        ("shards", JsonValue::UInt(shards as u64)),
+        ("rounds", JsonValue::UInt(rounds as u64)),
+        ("off_best_s", JsonValue::Float(off_s)),
+        ("rollup_best_s", JsonValue::Float(on_s)),
+        ("overhead_pct", JsonValue::Float(overhead_pct)),
+    ])
 }
 
 fn main() {
@@ -161,6 +233,7 @@ fn main() {
 
     let profile = RegionProfile::for_region(RegionName::Eu1);
     let mut entries = Vec::new();
+    let mut obs_ab = None;
     for &dbs in &sizes {
         let start = Timestamp(0);
         let end = start + Seconds::days(days);
@@ -170,21 +243,30 @@ fn main() {
         // match the materialised path bit for bit.
         if dbs == sizes[0] && dbs <= 10_000 {
             let eager: Vec<_> = fleet.iter().collect();
-            let materialised = Simulation::new(config_for(dbs, shard_counts[0], days), eager)
-                .expect("config valid")
-                .run()
-                .expect("materialised run completes");
-            let (streamed, _) = run_cell(&fleet, dbs, shard_counts[0], days);
+            let materialised = Simulation::new(
+                config_for(dbs, shard_counts[0], days, ObsConfig::off()),
+                eager,
+            )
+            .expect("config valid")
+            .run()
+            .expect("materialised run completes");
+            let (streamed, _) = run_cell(&fleet, dbs, shard_counts[0], days, ObsConfig::off());
             assert_eq!(
                 materialised.kpi, streamed.kpi,
                 "run_streamed diverged from run at {dbs} databases"
             );
         }
 
+        // Observability overhead gate at the smallest size: rollup-only
+        // obs must not move the KPIs or cost more than 2% wall time.
+        if dbs == sizes[0] {
+            obs_ab = Some(obs_overhead_gate(&fleet, dbs, shard_counts[0], days));
+        }
+
         let mut baseline_kpi = None;
         for &shards in &shard_counts {
             reset_peak_rss();
-            let (report, wall_s) = run_cell(&fleet, dbs, shards, days);
+            let (report, wall_s) = run_cell(&fleet, dbs, shards, days, ObsConfig::off());
             let rss = peak_rss_bytes();
             // Shard-invariance gate at every scale: KPIs must not depend
             // on the shard count.
@@ -232,14 +314,17 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let value = JsonValue::object(vec![
+        let mut fields = vec![
             (
                 "mode",
                 JsonValue::Str(if smoke { "smoke" } else { "full" }.into()),
             ),
             ("days", JsonValue::Int(days)),
             ("entries", JsonValue::Array(entries)),
-        ]);
-        write_json(&path, &value);
+        ];
+        if let Some(ab) = obs_ab {
+            fields.push(("obs_ab", ab));
+        }
+        write_json(&path, &JsonValue::object(fields));
     }
 }

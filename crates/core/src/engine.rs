@@ -9,6 +9,7 @@
 //! `ReclaimResources()` call becomes an emitted action the resource
 //! manager executes (with real-world latency).
 
+use prorp_obs::span::DecisionExplain;
 use prorp_storage::HistoryBackend;
 use prorp_types::{DbState, Timestamp};
 
@@ -172,6 +173,19 @@ pub trait DatabasePolicy {
     /// work 4).  Policies without predictions return `None`.
     fn current_prediction(&self) -> Option<prorp_types::Prediction> {
         None
+    }
+
+    /// Enable or disable decision-provenance capture
+    /// (`ObsConfig::explain`).  The default is off, and policies without
+    /// provenance support (reactive, optimal) ignore the request — their
+    /// decisions are input-free, so there is nothing to explain.
+    fn set_explain_enabled(&mut self, _enabled: bool) {}
+
+    /// Drain the [`DecisionExplain`] records captured since the last
+    /// drain, in chronological order.  Empty unless capture was enabled
+    /// through [`set_explain_enabled`](DatabasePolicy::set_explain_enabled).
+    fn drain_explains(&mut self) -> Vec<(Timestamp, DecisionExplain)> {
+        Vec::new()
     }
 }
 

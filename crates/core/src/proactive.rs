@@ -33,6 +33,7 @@ use crate::engine::{
 };
 use crate::tracker::ActivityTracker;
 use prorp_forecast::Predictor;
+use prorp_obs::span::{DecisionAction, DecisionExplain};
 use prorp_storage::{HistoryBackend, HistoryRead, HistoryStore, StorageBackend};
 use prorp_types::{
     BreakerConfig, DbState, EventKind, PolicyConfig, Prediction, ProrpError, Timestamp,
@@ -75,6 +76,13 @@ pub struct ProactiveEngine<P> {
     /// the whole history table (versions of different tables are not
     /// comparable).
     cached: Option<(u64, Timestamp, Option<Prediction>)>,
+    /// Whether the forecast currently acted on was served from the
+    /// prediction cache (provenance input).
+    last_forecast_cached: bool,
+    /// Decision-provenance capture (`ObsConfig::explain`): off by
+    /// default, so the disabled path costs one branch per decision.
+    explain_enabled: bool,
+    explains: Vec<(Timestamp, DecisionExplain)>,
 }
 
 impl<P: Predictor> ProactiveEngine<P> {
@@ -141,6 +149,9 @@ impl<P: Predictor> ProactiveEngine<P> {
             live_token: None,
             counters: EngineCounters::default(),
             cached: None,
+            last_forecast_cached: false,
+            explain_enabled: false,
+            explains: Vec::new(),
         })
     }
 
@@ -210,6 +221,7 @@ impl<P: Predictor> ProactiveEngine<P> {
             self.forecast = ForecastState::Unavailable;
             return;
         }
+        self.last_forecast_cached = false;
         if !self.breaker.allows(now) {
             self.counters.breaker_fallbacks += 1;
             self.forecast = ForecastState::Unavailable;
@@ -224,6 +236,7 @@ impl<P: Predictor> ProactiveEngine<P> {
             if v == version && at == now {
                 self.counters.prediction_cache_hits += 1;
                 self.forecast = ForecastState::Predicted(p);
+                self.last_forecast_cached = true;
                 return;
             }
         }
@@ -330,7 +343,7 @@ impl<P: Predictor> ProactiveEngine<P> {
     }
 
     /// Lines 30–32: publish the predicted start and reclaim resources.
-    fn physical_pause(&mut self, actions: &mut Vec<EngineAction>) {
+    fn physical_pause(&mut self, now: Timestamp, actions: &mut Vec<EngineAction>) {
         self.state = DbState::PhysicallyPaused;
         self.live_token = None;
         self.counters.physical_pauses += 1;
@@ -338,8 +351,42 @@ impl<P: Predictor> ProactiveEngine<P> {
             ForecastState::Predicted(Some(p)) => Some(p.start),
             _ => None,
         };
+        self.record_decision(now, DecisionAction::PhysicalPause);
         actions.push(EngineAction::SetPredictedStart(pred_start));
         actions.push(EngineAction::Reclaim);
+    }
+
+    /// Capture one decision-provenance record (no-op unless enabled).
+    ///
+    /// The confidence basis is stored as the exact integer rational the
+    /// Algorithm 4 sweep computed: the denominator is the config's
+    /// periods-in-history and the numerator recovers the windows-with-
+    /// activity count from the float confidence (`prob = hits / periods`
+    /// holds exactly, so the round-trip is lossless).
+    fn record_decision(&mut self, now: Timestamp, action: DecisionAction) {
+        if !self.explain_enabled {
+            return;
+        }
+        let (predicted, hits, total) = match self.forecast {
+            ForecastState::Predicted(Some(p)) => {
+                let periods = self.config.periods_in_history().max(0) as u32;
+                let hits = (p.confidence * f64::from(periods)).round() as u32;
+                (Some(p.start), hits, periods)
+            }
+            ForecastState::Predicted(None) | ForecastState::Unavailable => (None, 0, 0),
+        };
+        self.explains.push((
+            now,
+            DecisionExplain {
+                action,
+                predicted,
+                history_len: self.tracker.history().logins().len() as u32,
+                confidence_hits: hits,
+                confidence_total: total,
+                breaker_open: self.breaker.is_open(now),
+                cache_hit: self.last_forecast_cached,
+            },
+        ));
     }
 }
 
@@ -376,8 +423,9 @@ impl<P: Predictor> DatabasePolicy for ProactiveEngine<P> {
                     self.repredict(now);
                 }
                 if self.initial_physical_pause_condition(now) {
-                    self.physical_pause(&mut actions);
+                    self.physical_pause(now, &mut actions);
                 } else {
+                    self.record_decision(now, DecisionAction::DeferPause);
                     self.enter_logical_pause(now, true, &mut actions);
                 }
             }
@@ -392,9 +440,10 @@ impl<P: Predictor> DatabasePolicy for ProactiveEngine<P> {
                 // Lines 24–29: re-trim, re-predict, re-decide.
                 self.repredict(now);
                 if self.recheck_physical_pause_condition(now) {
-                    self.physical_pause(&mut actions);
+                    self.physical_pause(now, &mut actions);
                 } else {
                     // Stay logically paused; pause_start is preserved.
+                    self.record_decision(now, DecisionAction::DeferPause);
                     self.schedule_wake(now, &mut actions);
                 }
             }
@@ -403,6 +452,7 @@ impl<P: Predictor> DatabasePolicy for ProactiveEngine<P> {
                     return actions; // raced with a customer login
                 }
                 self.counters.proactive_resumes += 1;
+                self.record_decision(now, DecisionAction::ProactiveResume);
                 actions.push(EngineAction::Allocate);
                 // Algorithm 5 line 8: d.LogicalPause().
                 self.enter_logical_pause(now, false, &mut actions);
@@ -454,6 +504,17 @@ impl<P: Predictor> DatabasePolicy for ProactiveEngine<P> {
     fn current_prediction(&self) -> Option<Prediction> {
         ProactiveEngine::current_prediction(self)
     }
+
+    fn set_explain_enabled(&mut self, enabled: bool) {
+        self.explain_enabled = enabled;
+        if !enabled {
+            self.explains.clear();
+        }
+    }
+
+    fn drain_explains(&mut self) -> Vec<(Timestamp, DecisionExplain)> {
+        std::mem::take(&mut self.explains)
+    }
 }
 
 #[cfg(test)]
@@ -490,9 +551,20 @@ mod tests {
         eng: &mut ProactiveEngine<P>,
         days: i64,
     ) -> Vec<EngineAction> {
+        run_daily_sessions_from(eng, 0, days)
+    }
+
+    /// Like [`run_daily_sessions`] but starting at `first_day`, so a test
+    /// can pause mid-run (e.g. to flip a knob) and continue forward in
+    /// time.
+    fn run_daily_sessions_from<P: Predictor>(
+        eng: &mut ProactiveEngine<P>,
+        first_day: i64,
+        days: i64,
+    ) -> Vec<EngineAction> {
         let mut last = Vec::new();
         let mut pending_timer: Option<(Timestamp, TimerToken)> = None;
-        let mut next_session = 0;
+        let mut next_session = first_day;
         let mut now;
         while next_session < days {
             let start = t(next_session * DAY + 9 * HOUR);
@@ -858,6 +930,48 @@ mod tests {
         assert!(c.predictions > 0);
         assert!(c.prediction_ns_max >= 1);
         assert!(c.prediction_ns_mean() > 0.0);
+    }
+
+    #[test]
+    fn explain_capture_records_decision_inputs() {
+        let mut eng = engine();
+        // Off by default: decisions leave no provenance behind.
+        run_daily_sessions(&mut eng, 2);
+        assert!(eng.drain_explains().is_empty());
+
+        eng.set_explain_enabled(true);
+        run_daily_sessions_from(&mut eng, 2, 6);
+        let pred = eng.current_prediction().expect("old db predicts");
+        assert_eq!(eng.state(), DbState::PhysicallyPaused);
+        let explains = eng.drain_explains();
+        assert!(!explains.is_empty());
+        // Chronological, and every record carries the history length the
+        // engine saw at that instant.
+        for pair in explains.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        let (at, last) = *explains.last().unwrap();
+        assert_eq!(last.action, DecisionAction::PhysicalPause);
+        assert_eq!(at, t(5 * DAY + 10 * HOUR), "decided at the last logout");
+        assert_eq!(last.predicted, Some(pred.start));
+        assert!(last.history_len > 0);
+        assert!(!last.breaker_open);
+        // Confidence basis reconstructs the predictor's integer numerator:
+        // hits/total ≈ the published probability.
+        assert!(last.confidence_total > 0);
+        assert!(last.confidence_hits <= last.confidence_total);
+        let ratio = f64::from(last.confidence_hits) / f64::from(last.confidence_total);
+        assert!((ratio - pred.confidence).abs() < 1e-9);
+        // A proactive resume is a decision too.
+        eng.on_event(pred.start, EngineEvent::ProactiveResume);
+        let resumed = eng.drain_explains();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].1.action, DecisionAction::ProactiveResume);
+        // Disabling clears any pending records.
+        eng.on_event(t(6 * DAY + 9 * HOUR), EngineEvent::ActivityStart);
+        eng.on_event(t(6 * DAY + 10 * HOUR), EngineEvent::ActivityEnd);
+        eng.set_explain_enabled(false);
+        assert!(eng.drain_explains().is_empty());
     }
 
     #[test]

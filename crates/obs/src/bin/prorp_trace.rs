@@ -1,11 +1,12 @@
 //! `prorp-trace` — query a JSONL trace from the command line.
 //!
 //! ```text
-//! prorp-trace <trace.jsonl> summary
+//! prorp-trace <trace.jsonl> summary [--json]
 //! prorp-trace <trace.jsonl> timeline <db-id> [limit]
 //! prorp-trace <trace.jsonl> slowest-stages [n]
-//! prorp-trace <trace.jsonl> breaker
+//! prorp-trace <trace.jsonl> breaker [--json]
 //! prorp-trace <trace.jsonl> qos-misses [limit]
+//! prorp-trace <trace.jsonl> why <db-id> <t>
 //! prorp-trace <trace.jsonl> time-travel <db-id> <t> [knob=value ...]
 //! ```
 //!
@@ -13,18 +14,21 @@
 //! `ObsReport::trace` of a run).  All output is a deterministic function
 //! of the trace bytes, so CI runs the CLI against a golden trace.
 
-use prorp_obs::span::{SpanKind, TraceRecord};
-use prorp_obs::{query, timetravel};
+use prorp_obs::span::{DecisionAction, SpanKind, TraceRecord};
+use prorp_obs::{query, timetravel, JsonValue};
 use prorp_types::{DatabaseId, PolicyConfig, Seasonality, Seconds, Timestamp};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: prorp-trace <trace.jsonl> <command> [args]\n\
 commands:\n\
-  summary              record counts by kind and the covered time range\n\
+  summary [--json]     record counts by kind and the covered time range\n\
   timeline <db> [n]    chronological records of one database (default all)\n\
   slowest-stages [n]   slowest successful workflow stages (default 10)\n\
-  breaker              circuit-breaker open/close episodes\n\
+  breaker [--json]     circuit-breaker open/close episodes\n\
   qos-misses [n]       unavailable logins with predictor attribution\n\
+  why <db> <t>         the decision the engine took for the database at\n\
+                       or before second t, with its recorded inputs\n\
+                       (needs a trace recorded with explain enabled)\n\
   time-travel <db> <t> [knob=value ...]\n\
                        replay the database's history into an LSM store,\n\
                        snapshot it as of second t, and re-run Algorithm 4.\n\
@@ -50,11 +54,32 @@ fn describe(kind: &SpanKind) -> String {
         SpanKind::Mitigation { escalated: true } => "mitigated stuck workflow (escalated)".into(),
         SpanKind::Checkpoint { bytes } => format!("checkpoint {bytes}B"),
         SpanKind::Recover { bytes } => format!("recover {bytes}B"),
+        SpanKind::Decision { explain } => format!("decision {}", explain.action.label()),
     }
 }
 
-fn print_summary(records: &[TraceRecord]) {
+fn print_summary(records: &[TraceRecord], json: bool) {
     let s = query::summary(records);
+    if json {
+        let by_kind = s
+            .by_kind
+            .iter()
+            .map(|(k, v)| (k.to_string(), JsonValue::UInt(*v)))
+            .collect();
+        let opt_ts = |t: Option<Timestamp>| match t {
+            Some(t) => JsonValue::Int(t.as_secs()),
+            None => JsonValue::Float(f64::NAN), // renders as null
+        };
+        let v = JsonValue::object(vec![
+            ("records", JsonValue::UInt(s.records as u64)),
+            ("databases", JsonValue::UInt(s.databases as u64)),
+            ("start", opt_ts(s.start)),
+            ("end", opt_ts(s.end)),
+            ("by_kind", JsonValue::Object(by_kind)),
+        ]);
+        println!("{}", v.render());
+        return;
+    }
     println!("records:   {}", s.records);
     println!("databases: {}", s.databases);
     match (s.start, s.end) {
@@ -106,8 +131,29 @@ fn print_slowest(records: &[TraceRecord], n: usize) {
     }
 }
 
-fn print_breaker(records: &[TraceRecord]) {
+fn print_breaker(records: &[TraceRecord], json: bool) {
     let episodes = query::breaker_episodes(records);
+    if json {
+        let rows = episodes
+            .iter()
+            .map(|e| {
+                JsonValue::object(vec![
+                    ("db", JsonValue::UInt(e.db.raw())),
+                    ("opened", JsonValue::Int(e.opened.as_secs())),
+                    (
+                        "closed",
+                        match e.closed {
+                            Some(t) => JsonValue::Int(t.as_secs()),
+                            None => JsonValue::Float(f64::NAN), // renders as null
+                        },
+                    ),
+                    ("fallbacks", JsonValue::UInt(e.fallbacks)),
+                ])
+            })
+            .collect();
+        println!("{}", JsonValue::Array(rows).render());
+        return;
+    }
     if episodes.is_empty() {
         println!("no breaker episodes in trace");
         return;
@@ -205,6 +251,85 @@ fn print_time_travel(report: &timetravel::TimeTravelReport) {
     }
 }
 
+fn print_why(
+    records: &[TraceRecord],
+    db: DatabaseId,
+    at: Timestamp,
+    config: PolicyConfig,
+) -> Result<(), String> {
+    let Some(decision) = query::why(records, db, at) else {
+        return Err(format!(
+            "no decision recorded for {db} at or before {at} \
+             (was the trace recorded with explain enabled?)"
+        ));
+    };
+    let e = decision.explain;
+    println!("database:   {db}");
+    println!("decided at: {}", decision.at);
+    println!("action:     {}", e.action.label());
+    match e.predicted {
+        Some(p) => println!("predicted:  next login at {p}"),
+        None => println!("predicted:  nothing (no pattern cleared the confidence bar)"),
+    }
+    println!(
+        "inputs:     history={} logins, confidence {}/{} windows, breaker {}, cache {}",
+        e.history_len,
+        e.confidence_hits,
+        e.confidence_total,
+        if e.breaker_open { "OPEN" } else { "closed" },
+        if e.cache_hit { "warm" } else { "cold" },
+    );
+    match e.action {
+        DecisionAction::PhysicalPause => {
+            println!(
+                "meaning:    idle ran out with no imminent predicted login; resources released"
+            )
+        }
+        DecisionAction::DeferPause => {
+            println!(
+                "meaning:    a predicted login is imminent; pause deferred to avoid a QoS miss"
+            )
+        }
+        DecisionAction::ProactiveResume => {
+            println!("meaning:    resources pre-warmed ahead of the predicted login")
+        }
+    }
+    // Re-derive the forecast from the trace itself: freeze the history at
+    // the decision instant and re-run Algorithm 4 on it.
+    let replay =
+        timetravel::replay_as_of(records, db, decision.at, config).map_err(|e| e.to_string())?;
+    let replayed = replay.prediction.as_ref().map(|p| p.start);
+    match (e.predicted, replayed) {
+        (Some(recorded), Some(rep)) if recorded == rep => {
+            println!(
+                "replay:     time-travel replay at {} reproduces the recorded forecast ({rep})",
+                decision.at
+            );
+        }
+        (None, None) => {
+            println!(
+                "replay:     time-travel replay at {} agrees: no prediction",
+                decision.at
+            );
+        }
+        (recorded, _) => {
+            println!(
+                "replay:     time-travel replay differs (recorded {}, replayed {}) — \
+                 check the policy knobs match the run",
+                match recorded {
+                    Some(t) => t.to_string(),
+                    None => "none".into(),
+                },
+                match replayed {
+                    Some(t) => t.to_string(),
+                    None => "none".into(),
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
 fn parse_count(arg: Option<&String>, default: usize) -> Result<usize, String> {
     match arg {
         None => Ok(default),
@@ -218,8 +343,9 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let records = prorp_obs::parse_trace_jsonl(&text).map_err(|e| e.to_string())?;
+    let json = rest.iter().any(|a| a == "--json");
     match command.as_str() {
-        "summary" => print_summary(&records),
+        "summary" => print_summary(&records, json),
         "timeline" => {
             let Some(db) = rest.first() else {
                 return Err("timeline needs a numeric database id".into());
@@ -232,8 +358,20 @@ fn run(args: &[String]) -> Result<(), String> {
             print_timeline(&records, DatabaseId(db), limit);
         }
         "slowest-stages" => print_slowest(&records, parse_count(rest.first(), 10)?),
-        "breaker" => print_breaker(&records),
+        "breaker" => print_breaker(&records, json),
         "qos-misses" => print_qos_misses(&records, parse_count(rest.first(), usize::MAX)?),
+        "why" => {
+            let [db, t, overrides @ ..] = rest else {
+                return Err("why needs a database id and a timestamp".into());
+            };
+            let db: u64 = db
+                .trim_start_matches("db-")
+                .parse()
+                .map_err(|_| format!("bad database id {db:?}"))?;
+            let at: i64 = t.parse().map_err(|_| format!("bad timestamp {t:?}"))?;
+            let config = parse_policy(overrides)?;
+            print_why(&records, DatabaseId(db), Timestamp(at), config)?;
+        }
         "time-travel" => {
             let [db, t, overrides @ ..] = rest else {
                 return Err("time-travel needs a database id and a timestamp".into());

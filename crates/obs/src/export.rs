@@ -17,8 +17,10 @@
 //!   what an operator scraping a live fleet wants to see.
 
 use crate::metrics::{is_volatile, MetricValue, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use crate::slo::{Alert, SloSeries};
 use crate::span::{
-    BreakerTransition, PredictOutcome, SpanKind, StageResult, TraceRecord, WorkflowOutcome,
+    BreakerTransition, DecisionAction, DecisionExplain, PredictOutcome, SpanKind, StageResult,
+    TraceRecord, WorkflowOutcome,
 };
 use prorp_types::{DatabaseId, DbState, ProrpError, Result, Timestamp, WorkflowStage};
 use std::fmt::Write as _;
@@ -76,6 +78,21 @@ pub fn record_json(r: &TraceRecord) -> String {
         SpanKind::Recover { bytes } => {
             let _ = write!(out, ",\"bytes\":{bytes}");
         }
+        SpanKind::Decision { explain } => {
+            let _ = write!(out, ",\"action\":\"{}\"", explain.action.label());
+            if let Some(predicted) = explain.predicted {
+                let _ = write!(out, ",\"predicted\":{}", predicted.as_secs());
+            }
+            let _ = write!(
+                out,
+                ",\"history_len\":{},\"hits\":{},\"basis\":{},\"breaker_open\":{},\"cache_hit\":{}",
+                explain.history_len,
+                explain.confidence_hits,
+                explain.confidence_total,
+                explain.breaker_open,
+                explain.cache_hit
+            );
+        }
     }
     out.push('}');
     out
@@ -108,7 +125,7 @@ pub fn snapshots_jsonl(snaps: &[MetricsSnapshot]) -> String {
             }
             first = false;
             let _ = write!(out, "\"{}\":", entry.name);
-            match entry.value {
+            match &entry.value {
                 MetricValue::Counter(v) => {
                     let _ = write!(out, "{v}");
                 }
@@ -126,6 +143,21 @@ pub fn snapshots_jsonl(snaps: &[MetricsSnapshot]) -> String {
                             out.push(',');
                         }
                         let _ = write!(out, "{b}");
+                    }
+                    out.push_str("]}");
+                }
+                MetricValue::Sketch(sketch) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"sketch\":[",
+                        sketch.count(),
+                        sketch.sum()
+                    );
+                    for (i, (bucket, n)) in sketch.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{bucket},{n}]");
                     }
                     out.push_str("]}");
                 }
@@ -148,7 +180,7 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     for entry in &snap.entries {
         let name = entry.name;
         let _ = writeln!(out, "# TYPE {name} {}", entry.value.kind());
-        match entry.value {
+        match &entry.value {
             MetricValue::Counter(v) => {
                 let _ = writeln!(out, "{name} {v}");
             }
@@ -173,7 +205,75 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
                 let _ = writeln!(out, "{name}_sum {sum}");
                 let _ = writeln!(out, "{name}_count {count}");
             }
+            MetricValue::Sketch(sketch) => {
+                for (q_num, q_label) in [(50u64, "0.5"), (95, "0.95"), (99, "0.99")] {
+                    if let Some(v) = sketch.quantile(q_num, 100) {
+                        let _ = writeln!(out, "{name}{{quantile=\"{q_label}\"}} {v}");
+                    }
+                }
+                let _ = writeln!(out, "{name}_sum {}", sketch.sum());
+                let _ = writeln!(out, "{name}_count {}", sketch.count());
+            }
         }
+    }
+    out
+}
+
+/// Render a merged [`SloSeries`] as JSONL, one `(region, window)` row per
+/// line in `(window, region)` order — the golden/report surface of the
+/// rollup.  Empty quantiles (no completed resumes in the window) omit
+/// their keys, matching the trace format's no-null convention.
+pub fn slo_jsonl(series: &SloSeries) -> String {
+    let mut out = String::new();
+    for row in series.rows() {
+        let _ = write!(
+            out,
+            "{{\"window\":{},\"region\":{},\"start\":{},\"logins\":{},\"misses\":{},\
+             \"availability_ppm\":{},\"miss_ppm\":{}",
+            row.window,
+            row.region,
+            row.window_start.as_secs(),
+            row.logins,
+            row.misses,
+            row.availability_ppm,
+            row.miss_ppm
+        );
+        for (key, value) in [
+            ("resume_p50", row.resume_p50),
+            ("resume_p95", row.resume_p95),
+            ("resume_p99", row.resume_p99),
+        ] {
+            if let Some(v) = value {
+                let _ = write!(out, ",\"{key}\":{v}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            ",\"resumes\":{},\"proactive_resumes\":{},\"breaker_opens\":{}}}",
+            row.resumes, row.proactive_resumes, row.breaker_opens
+        );
+    }
+    out
+}
+
+/// Render an alert log as JSONL, one alert per line in the deterministic
+/// `(window, region, kind)` order produced by
+/// [`evaluate_alerts`](crate::slo::evaluate_alerts).
+pub fn alerts_jsonl(alerts: &[Alert]) -> String {
+    let mut out = String::new();
+    for a in alerts {
+        let _ = writeln!(
+            out,
+            "{{\"window\":{},\"region\":{},\"at\":{},\"kind\":\"{}\",\"fast_ppm\":{},\
+             \"slow_ppm\":{},\"threshold\":{}}}",
+            a.window,
+            a.region,
+            a.at.as_secs(),
+            a.kind.label(),
+            a.fast_ppm,
+            a.slow_ppm,
+            a.threshold
+        );
     }
     out
 }
@@ -339,6 +439,16 @@ impl Fields {
         u64::try_from(self.int(key)?).map_err(|_| self.err(&format!("field {key:?} is negative")))
     }
 
+    /// An integer field that may be absent (the format omits optional
+    /// fields instead of writing `null`).
+    fn opt_int(&self, key: &str) -> Result<Option<i64>> {
+        if self.fields.iter().any(|(k, _)| k == key) {
+            self.int(key).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
     fn boolean(&self, key: &str) -> Result<bool> {
         match self.get(key)? {
             Scalar::Bool(v) => Ok(*v),
@@ -422,6 +532,25 @@ fn span_kind(fields: &Fields) -> Result<SpanKind> {
         },
         "recover" => SpanKind::Recover {
             bytes: fields.uint("bytes")?,
+        },
+        "decision" => SpanKind::Decision {
+            explain: DecisionExplain {
+                action: match fields.str("action")? {
+                    "physical-pause" => DecisionAction::PhysicalPause,
+                    "defer-pause" => DecisionAction::DeferPause,
+                    "proactive-resume" => DecisionAction::ProactiveResume,
+                    other => return Err(fields.err(&format!("unknown decision action {other:?}"))),
+                },
+                predicted: fields.opt_int("predicted")?.map(Timestamp),
+                history_len: u32::try_from(fields.uint("history_len")?)
+                    .map_err(|_| fields.err("history_len out of range"))?,
+                confidence_hits: u32::try_from(fields.uint("hits")?)
+                    .map_err(|_| fields.err("hits out of range"))?,
+                confidence_total: u32::try_from(fields.uint("basis")?)
+                    .map_err(|_| fields.err("basis out of range"))?,
+                breaker_open: fields.boolean("breaker_open")?,
+                cache_hit: fields.boolean("cache_hit")?,
+            },
         },
         other => return Err(fields.err(&format!("unknown span kind {other:?}"))),
     })
@@ -515,6 +644,36 @@ mod tests {
             mk(99, 99, SpanKind::Mitigation { escalated: true }),
             mk(100, 103, SpanKind::Checkpoint { bytes: 4096 }),
             mk(104, 106, SpanKind::Recover { bytes: 4096 }),
+            mk(
+                110,
+                110,
+                SpanKind::Decision {
+                    explain: DecisionExplain {
+                        action: DecisionAction::ProactiveResume,
+                        predicted: Some(Timestamp(470_400)),
+                        history_len: 12,
+                        confidence_hits: 3,
+                        confidence_total: 4,
+                        breaker_open: false,
+                        cache_hit: true,
+                    },
+                },
+            ),
+            mk(
+                115,
+                115,
+                SpanKind::Decision {
+                    explain: DecisionExplain {
+                        action: DecisionAction::PhysicalPause,
+                        predicted: None,
+                        history_len: 1,
+                        confidence_hits: 0,
+                        confidence_total: 0,
+                        breaker_open: true,
+                        cache_hit: false,
+                    },
+                },
+            ),
         ]
     }
 
@@ -535,6 +694,21 @@ mod tests {
             "{\"start\":10,\"end\":40,\"db\":7,\"seq\":4,\"kind\":\"workflow-stage\",\
              \"stage\":\"attach-storage\",\"attempt\":2,\"result\":\"retry\"}"
         );
+    }
+
+    #[test]
+    fn decision_json_omits_absent_prediction() {
+        let records = sample_records();
+        let with_prediction = record_json(&records[10]);
+        assert_eq!(
+            with_prediction,
+            "{\"start\":110,\"end\":110,\"db\":7,\"seq\":10,\"kind\":\"decision\",\
+             \"action\":\"proactive-resume\",\"predicted\":470400,\"history_len\":12,\
+             \"hits\":3,\"basis\":4,\"breaker_open\":false,\"cache_hit\":true}"
+        );
+        let without = record_json(&records[11]);
+        assert!(!without.contains("predicted"));
+        assert!(without.contains("\"action\":\"physical-pause\""));
     }
 
     #[test]
@@ -594,5 +768,69 @@ mod tests {
         assert!(text.contains("prorp_workflow_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains(&format!("prorp_workflow_seconds_sum {}", 3 + (1 << 30))));
         assert!(text.contains("prorp_workflow_seconds_count 3"));
+    }
+
+    #[test]
+    fn sketches_render_as_summaries_in_both_exports() {
+        let reg = MetricsRegistry::new();
+        let s = reg.sketch("prorp_resume_latency_seconds");
+        for v in [10, 20, 30, 40, 1000] {
+            s.observe(v);
+        }
+        let snap = reg.snapshot(Timestamp(60));
+        let jsonl = snapshots_jsonl(std::slice::from_ref(&snap));
+        assert!(jsonl
+            .contains("\"prorp_resume_latency_seconds\":{\"count\":5,\"sum\":1100,\"sketch\":[["));
+        let prom = prometheus_text(&snap);
+        assert!(prom.contains("# TYPE prorp_resume_latency_seconds summary"));
+        assert!(prom.contains("prorp_resume_latency_seconds{quantile=\"0.5\"} "));
+        assert!(prom.contains("prorp_resume_latency_seconds{quantile=\"0.99\"} "));
+        assert!(prom.contains("prorp_resume_latency_seconds_sum 1100"));
+        assert!(prom.contains("prorp_resume_latency_seconds_count 5"));
+
+        // An empty sketch still exports _sum/_count but no quantiles.
+        let reg = MetricsRegistry::new();
+        reg.sketch("prorp_empty_seconds");
+        let prom = prometheus_text(&reg.snapshot(Timestamp(0)));
+        assert!(!prom.contains("quantile"));
+        assert!(prom.contains("prorp_empty_seconds_count 0"));
+    }
+
+    #[test]
+    fn slo_and_alert_jsonl_render_rows_in_order() {
+        use crate::slo::{evaluate_alerts, SloConfig, SloSeries};
+        use prorp_types::Seconds;
+        let mut series = SloSeries::new(SloConfig {
+            window: Seconds(100),
+            regions: 2,
+            slow_windows: 2,
+            objective_ppm: 10_000,
+            fast_burn: 10,
+            slow_burn: 2,
+            breaker_storm_opens: 2,
+        });
+        series.on_login(Timestamp(10), DatabaseId(0), true);
+        series.on_login(Timestamp(20), DatabaseId(0), false);
+        series.on_login(Timestamp(30), DatabaseId(1), true);
+        series.on_resume_completed(Timestamp(40), DatabaseId(0), Seconds(25));
+        series.on_breaker_open(Timestamp(50), DatabaseId(1));
+        series.on_breaker_open(Timestamp(60), DatabaseId(3));
+        let text = slo_jsonl(&series);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(
+            "{\"window\":0,\"region\":0,\"start\":0,\"logins\":2,\"misses\":1,\
+             \"availability_ppm\":500000,\"miss_ppm\":500000,\"resume_p50\":"
+        ));
+        assert!(lines[1].contains("\"region\":1"));
+        assert!(
+            !lines[1].contains("resume_p50"),
+            "no resumes -> quantile keys omitted"
+        );
+        let alerts = evaluate_alerts(&series);
+        let log = alerts_jsonl(&alerts);
+        assert!(log.contains("\"kind\":\"qos-burn-rate\""));
+        assert!(log.contains("\"kind\":\"breaker-storm\""));
+        assert_eq!(log.lines().count(), alerts.len());
     }
 }

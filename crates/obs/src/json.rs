@@ -1,0 +1,137 @@
+//! Minimal JSON rendering shared by the CLI and the experiment binaries.
+//!
+//! The workspace deliberately vendors no serde; this mirrors the
+//! hand-rolled canonical-JSON discipline of the exporters in
+//! [`export`](crate::export): keys render in insertion order, floats use
+//! Rust's shortest round-trip formatting (non-finite values become
+//! `null`), and strings escape the JSON control set, so outputs are
+//! stable across runs and machines.  `prorp-trace --json` and the
+//! `prorp-bench` binaries both build their output with this type.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by the CLI and experiment binaries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (`NaN`/`±inf` render as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys render in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_compactly() {
+        let v = JsonValue::object(vec![
+            ("n", JsonValue::UInt(3)),
+            ("qos", JsonValue::Float(99.5)),
+            ("label", JsonValue::Str("eu\"1\"".into())),
+            (
+                "rows",
+                JsonValue::Array(vec![JsonValue::Int(-1), JsonValue::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"n":3,"qos":99.5,"label":"eu\"1\"","rows":[-1,true]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::Float(0.25).render(), "0.25");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let v = JsonValue::Str("a\nb\u{1}".into());
+        assert_eq!(v.render(), "\"a\\nb\\u0001\"");
+    }
+}

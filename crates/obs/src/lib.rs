@@ -30,12 +30,20 @@
 //!   checkpoint/recover), and the deterministic [`TraceBuffer`];
 //! * [`metrics`] — [`Counter`]/[`Gauge`]/[`Histogram`] handles, the
 //!   [`MetricsRegistry`], and mergeable [`MetricsSnapshot`]s;
+//! * [`sketch`] — the deterministic mergeable [`QuantileSketch`]
+//!   (log-linear integer buckets; shard merges are exact bucket-count
+//!   sums, so fleet percentiles are bit-identical at any shard count);
+//! * [`slo`] — per-region [`SloSeries`] rollups, derived [`SloRow`]s,
+//!   and multi-window burn-rate [`evaluate_alerts`];
 //! * [`config`] — the [`ObsConfig`] knob carried by `SimConfig`;
 //! * [`report`] — the merged [`ObsReport`] attached to a `SimReport`;
 //! * [`export`] — JSONL and Prometheus text exporters plus the JSONL
 //!   parser the CLI uses;
+//! * [`json`] — the hand-rolled [`JsonValue`] builder shared by
+//!   `prorp-trace --json` and the experiment binaries;
 //! * [`query`] — operator queries (timelines, slowest stages, breaker
-//!   episodes, QoS-miss attribution) backing the `prorp-trace` binary;
+//!   episodes, QoS-miss attribution, decision provenance) backing the
+//!   `prorp-trace` binary;
 //! * [`timetravel`] — trace-driven time travel: replay a database's
 //!   Login spans into an LSM history, freeze a
 //!   [`snapshot_as_of(T)`](prorp_storage::TimeTravel::snapshot_as_of),
@@ -47,25 +55,36 @@
 
 pub mod config;
 pub mod export;
+pub mod json;
 pub mod metrics;
 pub mod query;
 pub mod report;
+pub mod sketch;
+pub mod slo;
 pub mod span;
 pub mod timetravel;
 
 pub use config::ObsConfig;
-pub use export::{parse_trace_jsonl, prometheus_text, record_json, snapshots_jsonl, trace_jsonl};
+pub use export::{
+    alerts_jsonl, parse_trace_jsonl, prometheus_text, record_json, slo_jsonl, snapshots_jsonl,
+    trace_jsonl,
+};
+pub use json::JsonValue;
 pub use metrics::{
     is_volatile, Counter, Gauge, Histogram, MetricEntry, MetricValue, MetricsRegistry,
-    MetricsSnapshot, HISTOGRAM_BUCKETS,
+    MetricsSnapshot, Sketch, HISTOGRAM_BUCKETS,
 };
 pub use query::{
-    breaker_episodes, qos_misses, slowest_stages, summary, timeline, BreakerEpisode, QosMiss,
-    QosMissCause, StageLatency, TraceSummary,
+    breaker_episodes, decisions, qos_misses, slowest_stages, summary, timeline, why,
+    BreakerEpisode, Decision, QosMiss, QosMissCause, StageLatency, TraceSummary,
 };
 pub use report::ObsReport;
+pub use sketch::QuantileSketch;
+pub use slo::{
+    evaluate_alerts, Alert, AlertKind, SloConfig, SloRow, SloSeries, SloWindowStats, PPM,
+};
 pub use span::{
-    BreakerTransition, NullSink, PredictOutcome, SpanKind, StageResult, TraceBuffer, TraceRecord,
-    TraceSink, WorkflowOutcome,
+    BreakerTransition, DecisionAction, DecisionExplain, NullSink, PredictOutcome, SpanKind,
+    StageResult, TraceBuffer, TraceRecord, TraceSink, WorkflowOutcome,
 };
 pub use timetravel::{replay_as_of, TimeTravelReport};

@@ -16,6 +16,7 @@
 //!   Prometheus export for operators but excluded from the JSONL export
 //!   and from every determinism assertion — see [`is_volatile`].
 
+use crate::sketch::QuantileSketch;
 use prorp_types::{ProrpError, Timestamp};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -107,8 +108,29 @@ impl Histogram {
     }
 }
 
+/// A mergeable quantile-sketch handle (log-linear relative-error
+/// buckets; see [`QuantileSketch`]).
+#[derive(Clone, Default, Debug)]
+pub struct Sketch(Rc<RefCell<QuantileSketch>>);
+
+impl Sketch {
+    /// Record one observation (negative values clamp to zero).
+    #[inline]
+    pub fn observe(&self, value: i64) {
+        self.0.borrow_mut().observe(value);
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count()
+    }
+}
+
 /// The value of one metric at snapshot time.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// Not `Copy`: sketch readings carry their sparse bucket list.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum MetricValue {
     /// A counter reading.
     Counter(u64),
@@ -123,6 +145,8 @@ pub enum MetricValue {
         /// Sum of all observations.
         sum: i64,
     },
+    /// A quantile-sketch reading.
+    Sketch(QuantileSketch),
 }
 
 impl MetricValue {
@@ -132,6 +156,8 @@ impl MetricValue {
             MetricValue::Counter(_) => "counter",
             MetricValue::Gauge(_) => "gauge",
             MetricValue::Histogram { .. } => "histogram",
+            // Sketches render as Prometheus summaries (quantile series).
+            MetricValue::Sketch(_) => "summary",
         }
     }
 
@@ -155,6 +181,14 @@ impl MetricValue {
     pub fn as_histogram(&self) -> Option<(u64, i64)> {
         match self {
             MetricValue::Histogram { count, sum, .. } => Some((*count, *sum)),
+            _ => None,
+        }
+    }
+
+    /// The sketch reading, if this is a quantile sketch.
+    pub fn as_sketch(&self) -> Option<&QuantileSketch> {
+        match self {
+            MetricValue::Sketch(s) => Some(s),
             _ => None,
         }
     }
@@ -190,6 +224,10 @@ impl MetricValue {
                 *asum += bsum;
                 Ok(())
             }
+            (MetricValue::Sketch(a), MetricValue::Sketch(b)) => {
+                a.merge_from(b);
+                Ok(())
+            }
             _ => Err(ProrpError::Observability(format!(
                 "metric {name} changed kind between shards"
             ))),
@@ -198,7 +236,7 @@ impl MetricValue {
 }
 
 /// One named metric reading inside a snapshot.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MetricEntry {
     /// The metric name (`prorp_*` deterministic, `sim_self_*` volatile).
     pub name: &'static str,
@@ -243,7 +281,7 @@ impl MetricsSnapshot {
                 .entries
                 .iter()
                 .filter(|e| !is_volatile(e.name))
-                .copied()
+                .cloned()
                 .collect(),
         }
     }
@@ -312,6 +350,7 @@ enum Slot {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Sketch(Sketch),
 }
 
 impl Slot {
@@ -320,6 +359,7 @@ impl Slot {
             Slot::Counter(_) => "counter",
             Slot::Gauge(_) => "gauge",
             Slot::Histogram(_) => "histogram",
+            Slot::Sketch(_) => "summary",
         }
     }
 }
@@ -379,6 +419,14 @@ impl MetricsRegistry {
         }
     }
 
+    /// Register (or fetch) a quantile sketch.
+    pub fn sketch(&self, name: &'static str) -> Sketch {
+        match self.register(name, || Slot::Sketch(Sketch::default())) {
+            Slot::Sketch(s) => s,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
     /// Read every registered metric at simulated instant `at`, sorted by
     /// name.
     pub fn snapshot(&self, at: Timestamp) -> MetricsSnapshot {
@@ -398,6 +446,7 @@ impl MetricsRegistry {
                             sum: data.sum,
                         }
                     }
+                    Slot::Sketch(s) => MetricValue::Sketch(s.0.borrow().clone()),
                 },
             })
             .collect();
@@ -503,6 +552,41 @@ mod tests {
         assert_eq!(det.entries[0].name, "prorp_c");
         assert!(is_volatile("sim_self_wall_clock_micros"));
         assert!(!is_volatile("prorp_logins_available_total"));
+    }
+
+    #[test]
+    fn sketches_register_snapshot_and_merge() {
+        let mk = |values: &[i64]| {
+            let reg = MetricsRegistry::new();
+            let s = reg.sketch("prorp_resume_latency_seconds");
+            for &v in values {
+                s.observe(v);
+            }
+            assert_eq!(s.count(), values.len() as u64);
+            vec![reg.snapshot(Timestamp(9))]
+        };
+        let merged = MetricsSnapshot::merge(vec![mk(&[1, 60, 3600]), mk(&[7]), mk(&[])]).unwrap();
+        let sketch = merged[0]
+            .get("prorp_resume_latency_seconds")
+            .unwrap()
+            .as_sketch()
+            .expect("sketch survives the merge");
+        assert_eq!(sketch.count(), 4);
+        assert_eq!(sketch.sum(), 1 + 60 + 3600 + 7);
+        // And a whole-fleet sketch built in one registry agrees bit for bit.
+        let whole = mk(&[1, 60, 3600, 7]);
+        assert_eq!(
+            whole[0].get("prorp_resume_latency_seconds"),
+            merged[0].get("prorp_resume_latency_seconds")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn sketch_kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.sketch("prorp_thing");
+        let _ = reg.counter("prorp_thing");
     }
 
     #[test]

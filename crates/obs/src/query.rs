@@ -7,7 +7,9 @@
 //! functions of the canonical trace order, so query output over a golden
 //! trace is itself golden-testable.
 
-use crate::span::{BreakerTransition, PredictOutcome, SpanKind, StageResult, TraceRecord};
+use crate::span::{
+    BreakerTransition, DecisionExplain, PredictOutcome, SpanKind, StageResult, TraceRecord,
+};
 use prorp_types::{DatabaseId, Seconds, Timestamp, WorkflowStage};
 use std::collections::BTreeMap;
 
@@ -237,10 +239,46 @@ pub fn qos_misses(records: &[TraceRecord]) -> Vec<QosMiss> {
     misses
 }
 
+/// One decision-provenance record of a database: when the engine decided,
+/// and the full [`DecisionExplain`] it recorded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Decision {
+    /// When the engine took the decision.
+    pub at: Timestamp,
+    /// The recorded provenance.
+    pub explain: DecisionExplain,
+}
+
+/// All decision-provenance records of one database, in chronological
+/// order (requires a run with `ObsConfig::with_explain()`).
+pub fn decisions(records: &[TraceRecord], db: DatabaseId) -> Vec<Decision> {
+    records
+        .iter()
+        .filter(|r| r.db == db)
+        .filter_map(|r| match r.kind {
+            SpanKind::Decision { explain } => Some(Decision {
+                at: r.start,
+                explain,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The most recent decision the engine took for `db` at or before `at` —
+/// the `prorp-trace why` question: *why is this database (not) running
+/// right now?*
+pub fn why(records: &[TraceRecord], db: DatabaseId, at: Timestamp) -> Option<Decision> {
+    decisions(records, db)
+        .into_iter()
+        .take_while(|d| d.at <= at)
+        .last()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::span::{TraceBuffer, TraceSink};
+    use crate::span::{DecisionAction, TraceBuffer, TraceSink};
 
     fn trace() -> Vec<TraceRecord> {
         let mut buf = TraceBuffer::new();
@@ -364,6 +402,39 @@ mod tests {
         assert_eq!(eps[0].opened, Timestamp(12));
         assert_eq!(eps[0].closed, Some(Timestamp(20)));
         assert_eq!(eps[0].fallbacks, 1);
+    }
+
+    #[test]
+    fn why_returns_the_latest_decision_at_or_before_t() {
+        let mut buf = TraceBuffer::new();
+        let db = DatabaseId(9);
+        let pause = DecisionExplain {
+            action: DecisionAction::PhysicalPause,
+            predicted: Some(Timestamp(500)),
+            history_len: 6,
+            confidence_hits: 4,
+            confidence_total: 5,
+            breaker_open: false,
+            cache_hit: false,
+        };
+        let resume = DecisionExplain {
+            action: DecisionAction::ProactiveResume,
+            predicted: Some(Timestamp(500)),
+            history_len: 6,
+            confidence_hits: 4,
+            confidence_total: 5,
+            breaker_open: false,
+            cache_hit: true,
+        };
+        buf.event(Timestamp(100), db, SpanKind::Decision { explain: pause });
+        buf.event(Timestamp(400), db, SpanKind::Decision { explain: resume });
+        buf.event(Timestamp(400), DatabaseId(8), SpanKind::ProactiveResume);
+        let t = TraceBuffer::merge(vec![buf.into_records()]);
+        assert_eq!(decisions(&t, db).len(), 2);
+        assert!(why(&t, db, Timestamp(99)).is_none());
+        assert_eq!(why(&t, db, Timestamp(100)).unwrap().explain, pause);
+        assert_eq!(why(&t, db, Timestamp(999)).unwrap().explain, resume);
+        assert!(why(&t, DatabaseId(7), Timestamp(999)).is_none());
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The merged observability output of one simulation run.
 
 use crate::metrics::MetricsSnapshot;
+use crate::slo::{evaluate_alerts, Alert, SloSeries};
 use crate::span::{TraceBuffer, TraceRecord};
 use prorp_types::{ProrpError, Result};
 
 /// Everything the observability layer collected during one run: the
-/// canonical trace and the metrics-snapshot series (periodic snapshots,
-/// if configured, plus the end-of-run snapshot last).
+/// canonical trace, the metrics-snapshot series (periodic snapshots,
+/// if configured, plus the end-of-run snapshot last), and — when SLO
+/// rollups are enabled — the merged per-region [`SloSeries`].
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct ObsReport {
     /// The merged trace, in canonical `(start, db, seq)` order.
@@ -14,6 +16,9 @@ pub struct ObsReport {
     /// Fleet-wide metrics snapshots in chronological order; the last one
     /// is always the end-of-run snapshot.
     pub snapshots: Vec<MetricsSnapshot>,
+    /// Merged per-region SLO rollup series (`None` unless the run was
+    /// configured with [`SloConfig`](crate::slo::SloConfig)).
+    pub slo: Option<SloSeries>,
 }
 
 impl ObsReport {
@@ -22,17 +27,23 @@ impl ObsReport {
     /// # Errors
     ///
     /// Fails when the per-shard snapshot series are inconsistent (see
-    /// [`MetricsSnapshot::merge`]).
+    /// [`MetricsSnapshot::merge`]) or the SLO configs differ across
+    /// shards.
     pub fn merge(parts: Vec<ObsReport>) -> Result<ObsReport, ProrpError> {
         let mut traces = Vec::with_capacity(parts.len());
         let mut snapshots = Vec::with_capacity(parts.len());
+        let mut slo_parts = Vec::new();
         for part in parts {
             traces.push(part.trace);
             snapshots.push(part.snapshots);
+            if let Some(slo) = part.slo {
+                slo_parts.push(slo);
+            }
         }
         Ok(ObsReport {
             trace: TraceBuffer::merge(traces),
             snapshots: MetricsSnapshot::merge(snapshots)?,
+            slo: SloSeries::merge(slo_parts)?,
         })
     }
 
@@ -40,12 +51,19 @@ impl ObsReport {
     pub fn final_snapshot(&self) -> Option<&MetricsSnapshot> {
         self.snapshots.last()
     }
+
+    /// The deterministic alert log derived from the merged SLO series
+    /// (empty when rollups are off).
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.slo.as_ref().map(evaluate_alerts).unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::MetricsRegistry;
+    use crate::slo::SloConfig;
     use crate::span::{SpanKind, TraceSink};
     use prorp_types::{DatabaseId, Timestamp};
 
@@ -58,19 +76,25 @@ mod tests {
         );
         let reg = MetricsRegistry::new();
         reg.counter("prorp_c").add(count);
+        let mut slo = SloSeries::new(SloConfig::default());
+        slo.on_login(Timestamp(10), DatabaseId(db), false);
         ObsReport {
             trace: buf.into_records(),
             snapshots: vec![reg.snapshot(Timestamp(100))],
+            slo: Some(slo),
         }
     }
 
     #[test]
-    fn merge_combines_traces_and_snapshots() {
+    fn merge_combines_traces_snapshots_and_slo() {
         let merged = ObsReport::merge(vec![part(2, 3), part(1, 4)]).unwrap();
         assert_eq!(merged.trace.len(), 2);
         assert!(merged.trace[0].db < merged.trace[1].db, "canonical order");
         let last = merged.final_snapshot().unwrap();
         assert_eq!(last.get("prorp_c").unwrap().as_counter(), Some(7));
+        let slo = merged.slo.as_ref().unwrap();
+        let total: u64 = slo.windows.values().map(|w| w.logins).sum();
+        assert_eq!(total, 2);
     }
 
     #[test]
@@ -78,5 +102,7 @@ mod tests {
         let merged = ObsReport::merge(Vec::new()).unwrap();
         assert!(merged.trace.is_empty());
         assert!(merged.final_snapshot().is_none());
+        assert!(merged.slo.is_none());
+        assert!(merged.alerts().is_empty());
     }
 }

@@ -1,0 +1,537 @@
+//! Per-region SLO rollups and multi-window burn-rate alerting.
+//!
+//! The paper judges policies by fleet-wide aggregates; operating the
+//! fleet needs the layer the paper assumes — per-region availability and
+//! resume-latency percentiles per time window, plus alerts when the
+//! error budget burns too fast.  This module keeps that layer inside the
+//! reproduction's determinism contract:
+//!
+//! * **Rollups, never logs.**  Each shard folds its events into an
+//!   [`SloSeries`] — integer counters plus a [`QuantileSketch`] per
+//!   `(region, window)` — so memory scales with `regions × windows`,
+//!   not with the event count.  At a million databases the per-event
+//!   log is never materialised.
+//! * **Integer merges.**  Series merge by elementwise sums (and sketch
+//!   bucket sums), so the fleet series is bit-identical at any shard
+//!   count, and identical between the DES and the live driver.
+//! * **Derived alerts.**  [`evaluate_alerts`] is a pure function of the
+//!   merged series and the [`SloConfig`], evaluated after the merge —
+//!   two runs with equal series produce equal alert logs by
+//!   construction.
+//!
+//! Regions are a deterministic partition of the id space
+//! (`db.raw() % regions`): stable across shard layouts, which is what
+//! the bit-identity contract needs.  A production deployment would key
+//! on real placement metadata carried by the same rollup path.
+//!
+//! The alert rule is the classic multi-window burn rate: a fast window
+//! (one rollup window) and a slow window (`slow_windows` trailing rollup
+//! windows) must *both* exceed their burn-rate multiple of the
+//! objective.  The fast window makes the alert responsive during a
+//! resume storm; the slow window keeps one noisy window from paging.
+
+use crate::sketch::QuantileSketch;
+use prorp_types::{DatabaseId, ProrpError, Result, Seconds, Timestamp};
+use std::collections::BTreeMap;
+
+/// Parts-per-million denominator used by every ratio in this module.
+pub const PPM: u64 = 1_000_000;
+
+/// SLO rollup and alerting knobs, carried inside `ObsConfig`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SloConfig {
+    /// Rollup window length in simulated time.
+    pub window: Seconds,
+    /// Number of deterministic region partitions (`db.raw() % regions`).
+    pub regions: u16,
+    /// Slow burn window, as a count of trailing rollup windows (the fast
+    /// window is always one rollup window) — the 5m/1h fast+slow pairing
+    /// scaled to simulated time.
+    pub slow_windows: u32,
+    /// The SLO objective: allowed QoS-miss ratio in parts-per-million
+    /// (e.g. `10_000` = 1 % of logins may miss).
+    pub objective_ppm: u32,
+    /// Fast-window burn-rate multiple of the objective.
+    pub fast_burn: u32,
+    /// Slow-window burn-rate multiple of the objective.
+    pub slow_burn: u32,
+    /// Breaker-storm threshold: a region-window with at least this many
+    /// breaker opens raises a [`AlertKind::BreakerStorm`] alert.
+    pub breaker_storm_opens: u32,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window: Seconds::hours(1),
+            regions: 4,
+            slow_windows: 12,
+            objective_ppm: 10_000,
+            fast_burn: 14,
+            slow_burn: 6,
+            breaker_storm_opens: 10,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive windows, zero regions, zero burn multiples,
+    /// an empty slow window, and an objective above 100 %.
+    pub fn check(&self) -> Result<()> {
+        if self.window <= Seconds::ZERO {
+            return Err(ProrpError::InvalidConfig(format!(
+                "slo window must be positive, got {}s",
+                self.window.as_secs()
+            )));
+        }
+        if self.regions == 0 {
+            return Err(ProrpError::InvalidConfig(
+                "slo needs at least one region".into(),
+            ));
+        }
+        if self.slow_windows == 0 {
+            return Err(ProrpError::InvalidConfig(
+                "slo slow window must cover at least one rollup window".into(),
+            ));
+        }
+        if self.fast_burn == 0 || self.slow_burn == 0 {
+            return Err(ProrpError::InvalidConfig(
+                "slo burn-rate multiples must be positive".into(),
+            ));
+        }
+        if u64::from(self.objective_ppm) > PPM {
+            return Err(ProrpError::InvalidConfig(format!(
+                "slo objective {} ppm exceeds 100%",
+                self.objective_ppm
+            )));
+        }
+        Ok(())
+    }
+
+    /// The deterministic region of one database.
+    pub fn region_of(&self, db: DatabaseId) -> u16 {
+        (db.raw() % u64::from(self.regions)) as u16
+    }
+
+    /// The rollup window index containing `at`.
+    pub fn window_of(&self, at: Timestamp) -> i64 {
+        at.as_secs().div_euclid(self.window.as_secs())
+    }
+}
+
+/// Integer aggregates of one `(region, window)` cell.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SloWindowStats {
+    /// Logins that arrived in the window.
+    pub logins: u64,
+    /// Logins that found their database unavailable (QoS misses).
+    pub misses: u64,
+    /// Proactive resumes scheduled in the window.
+    pub proactive_resumes: u64,
+    /// Predictor circuit-breaker opens in the window.
+    pub breaker_opens: u64,
+    /// Resume latency (staged-workflow duration) sketch.
+    pub resume_latency: QuantileSketch,
+}
+
+impl SloWindowStats {
+    fn merge_from(&mut self, other: &SloWindowStats) {
+        self.logins += other.logins;
+        self.misses += other.misses;
+        self.proactive_resumes += other.proactive_resumes;
+        self.breaker_opens += other.breaker_opens;
+        self.resume_latency.merge_from(&other.resume_latency);
+    }
+}
+
+/// The windowed per-region rollup series of one run (or one shard of a
+/// run, before merging).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SloSeries {
+    /// The knobs the series was rolled up under.
+    pub config: SloConfig,
+    /// Sparse `(region, window index) → stats` cells.
+    pub windows: BTreeMap<(u16, i64), SloWindowStats>,
+}
+
+impl SloSeries {
+    /// An empty series under `config`.
+    pub fn new(config: SloConfig) -> Self {
+        SloSeries {
+            config,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    fn cell(&mut self, db: DatabaseId, at: Timestamp) -> &mut SloWindowStats {
+        let key = (self.config.region_of(db), self.config.window_of(at));
+        self.windows.entry(key).or_default()
+    }
+
+    /// Fold one login into the rollup.
+    pub fn on_login(&mut self, at: Timestamp, db: DatabaseId, available: bool) {
+        let cell = self.cell(db, at);
+        cell.logins += 1;
+        if !available {
+            cell.misses += 1;
+        }
+    }
+
+    /// Fold one scheduled proactive resume into the rollup.
+    pub fn on_proactive_resume(&mut self, at: Timestamp, db: DatabaseId) {
+        self.cell(db, at).proactive_resumes += 1;
+    }
+
+    /// Fold one breaker open into the rollup.
+    pub fn on_breaker_open(&mut self, at: Timestamp, db: DatabaseId) {
+        self.cell(db, at).breaker_opens += 1;
+    }
+
+    /// Fold one completed resume workflow (its total duration in
+    /// simulated seconds) into the rollup, attributed to the window the
+    /// workflow *completed* in.
+    pub fn on_resume_completed(&mut self, at: Timestamp, db: DatabaseId, duration: Seconds) {
+        self.cell(db, at).resume_latency.observe(duration.as_secs());
+    }
+
+    /// Merge per-shard series into the fleet series (elementwise integer
+    /// sums; bit-identical at any shard count).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shards rolled up under different configs.
+    pub fn merge(parts: Vec<SloSeries>) -> Result<Option<SloSeries>> {
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Ok(None);
+        };
+        for part in parts {
+            if part.config != merged.config {
+                return Err(ProrpError::Observability(
+                    "slo configs differ across shards".into(),
+                ));
+            }
+            for (key, stats) in &part.windows {
+                merged.windows.entry(*key).or_default().merge_from(stats);
+            }
+        }
+        Ok(Some(merged))
+    }
+
+    /// The derived per-window rows, in `(window, region)` order.
+    pub fn rows(&self) -> Vec<SloRow> {
+        let mut rows: Vec<SloRow> = self
+            .windows
+            .iter()
+            .map(|((region, window), stats)| {
+                let miss_ppm = ratio_ppm(stats.misses, stats.logins);
+                SloRow {
+                    region: *region,
+                    window: *window,
+                    window_start: Timestamp(window * self.config.window.as_secs()),
+                    logins: stats.logins,
+                    misses: stats.misses,
+                    availability_ppm: PPM - miss_ppm,
+                    miss_ppm,
+                    resume_p50: stats.resume_latency.quantile(50, 100),
+                    resume_p95: stats.resume_latency.quantile(95, 100),
+                    resume_p99: stats.resume_latency.quantile(99, 100),
+                    resumes: stats.resume_latency.count(),
+                    proactive_resumes: stats.proactive_resumes,
+                    breaker_opens: stats.breaker_opens,
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.window, r.region));
+        rows
+    }
+}
+
+/// `num/den` in parts-per-million (0 when `den == 0`).
+fn ratio_ppm(num: u64, den: u64) -> u64 {
+    num.saturating_mul(PPM).checked_div(den).unwrap_or(0)
+}
+
+/// One derived `(region, window)` SLO row: the operator-facing surface
+/// of the rollup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SloRow {
+    /// The region.
+    pub region: u16,
+    /// The rollup window index.
+    pub window: i64,
+    /// Simulated start of the window.
+    pub window_start: Timestamp,
+    /// Logins in the window.
+    pub logins: u64,
+    /// QoS misses in the window.
+    pub misses: u64,
+    /// Availability in parts-per-million (`PPM` when no logins arrived).
+    pub availability_ppm: u64,
+    /// Miss ratio in parts-per-million.
+    pub miss_ppm: u64,
+    /// p50 resume latency in seconds (`None` with no completed resumes).
+    pub resume_p50: Option<u64>,
+    /// p95 resume latency in seconds.
+    pub resume_p95: Option<u64>,
+    /// p99 resume latency in seconds.
+    pub resume_p99: Option<u64>,
+    /// Completed resume workflows in the window.
+    pub resumes: u64,
+    /// Proactive resumes scheduled in the window.
+    pub proactive_resumes: u64,
+    /// Breaker opens in the window.
+    pub breaker_opens: u64,
+}
+
+/// Why an alert fired.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum AlertKind {
+    /// Fast *and* slow QoS-miss ratios exceeded their burn-rate
+    /// multiples of the objective.
+    QosBurnRate,
+    /// Breaker opens in one region-window reached the storm threshold.
+    BreakerStorm,
+}
+
+impl AlertKind {
+    /// Stable lowercase label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AlertKind::QosBurnRate => "qos-burn-rate",
+            AlertKind::BreakerStorm => "breaker-storm",
+        }
+    }
+}
+
+/// One deterministic alert record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Alert {
+    /// The region the alert fired for.
+    pub region: u16,
+    /// The rollup window index the alert fired in.
+    pub window: i64,
+    /// Simulated start of the firing window.
+    pub at: Timestamp,
+    /// The rule that fired.
+    pub kind: AlertKind,
+    /// Fast-window miss ratio (ppm); breaker opens for a breaker storm.
+    pub fast_ppm: u64,
+    /// Slow-window miss ratio (ppm); 0 for a breaker storm.
+    pub slow_ppm: u64,
+    /// The threshold the fast window exceeded (ppm, or opens).
+    pub threshold: u64,
+}
+
+/// Evaluate the multi-window burn-rate rules over a merged series.
+///
+/// Pure and deterministic: equal series and configs produce equal alert
+/// logs, so the DES and the live driver agree bit for bit.  Alerts sort
+/// by `(window, region, kind)`.
+pub fn evaluate_alerts(series: &SloSeries) -> Vec<Alert> {
+    let cfg = &series.config;
+    let mut alerts = Vec::new();
+    // Trailing sums need the per-region window history in order.
+    let mut per_region: BTreeMap<u16, Vec<(i64, u64, u64)>> = BTreeMap::new();
+    for ((region, window), stats) in &series.windows {
+        per_region
+            .entry(*region)
+            .or_default()
+            .push((*window, stats.logins, stats.misses));
+    }
+    for ((region, window), stats) in &series.windows {
+        // Fast window: this rollup window alone.
+        let fast_ppm = ratio_ppm(stats.misses, stats.logins);
+        let fast_threshold = u64::from(cfg.fast_burn) * u64::from(cfg.objective_ppm);
+        // Slow window: the trailing `slow_windows` rollup windows
+        // (absent windows contribute zero — no traffic, no burn).
+        let lo = window - i64::from(cfg.slow_windows) + 1;
+        let (mut slow_logins, mut slow_misses) = (0u64, 0u64);
+        for &(w, logins, misses) in &per_region[region] {
+            if w >= lo && w <= *window {
+                slow_logins += logins;
+                slow_misses += misses;
+            }
+        }
+        let slow_ppm = ratio_ppm(slow_misses, slow_logins);
+        let slow_threshold = u64::from(cfg.slow_burn) * u64::from(cfg.objective_ppm);
+        if stats.logins > 0 && fast_ppm >= fast_threshold && slow_ppm >= slow_threshold {
+            alerts.push(Alert {
+                region: *region,
+                window: *window,
+                at: Timestamp(window * cfg.window.as_secs()),
+                kind: AlertKind::QosBurnRate,
+                fast_ppm,
+                slow_ppm,
+                threshold: fast_threshold,
+            });
+        }
+        if stats.breaker_opens >= u64::from(cfg.breaker_storm_opens) {
+            alerts.push(Alert {
+                region: *region,
+                window: *window,
+                at: Timestamp(window * cfg.window.as_secs()),
+                kind: AlertKind::BreakerStorm,
+                fast_ppm: stats.breaker_opens,
+                slow_ppm: 0,
+                threshold: u64::from(cfg.breaker_storm_opens),
+            });
+        }
+    }
+    alerts.sort_by_key(|a| (a.window, a.region, a.kind));
+    alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            window: Seconds(100),
+            regions: 2,
+            slow_windows: 3,
+            objective_ppm: 10_000, // 1%
+            fast_burn: 10,         // fast fires at ≥ 10%
+            slow_burn: 2,          // slow fires at ≥ 2%
+            breaker_storm_opens: 2,
+        }
+    }
+
+    #[test]
+    fn config_check_rejects_bad_knobs() {
+        assert!(SloConfig::default().check().is_ok());
+        let mut bad = cfg();
+        bad.window = Seconds::ZERO;
+        assert!(bad.check().is_err());
+        let mut bad = cfg();
+        bad.regions = 0;
+        assert!(bad.check().is_err());
+        let mut bad = cfg();
+        bad.slow_windows = 0;
+        assert!(bad.check().is_err());
+        let mut bad = cfg();
+        bad.fast_burn = 0;
+        assert!(bad.check().is_err());
+        let mut bad = cfg();
+        bad.objective_ppm = 2_000_000;
+        assert!(bad.check().is_err());
+    }
+
+    #[test]
+    fn rollup_rows_derive_ratios_and_quantiles() {
+        let mut s = SloSeries::new(cfg());
+        // Region 0 = even ids, region 1 = odd ids.
+        s.on_login(Timestamp(10), DatabaseId(0), true);
+        s.on_login(Timestamp(20), DatabaseId(2), false);
+        s.on_login(Timestamp(150), DatabaseId(1), true);
+        s.on_resume_completed(Timestamp(30), DatabaseId(0), Seconds(40));
+        s.on_proactive_resume(Timestamp(40), DatabaseId(0));
+        s.on_breaker_open(Timestamp(50), DatabaseId(0));
+        let rows = s.rows();
+        assert_eq!(rows.len(), 2);
+        let r0 = &rows[0];
+        assert_eq!((r0.region, r0.window), (0, 0));
+        assert_eq!(r0.logins, 2);
+        assert_eq!(r0.misses, 1);
+        assert_eq!(r0.miss_ppm, PPM / 2);
+        assert_eq!(r0.availability_ppm, PPM / 2);
+        assert_eq!(r0.resumes, 1);
+        assert!(r0.resume_p50.is_some());
+        assert_eq!(r0.proactive_resumes, 1);
+        assert_eq!(r0.breaker_opens, 1);
+        let r1 = &rows[1];
+        assert_eq!((r1.region, r1.window), (1, 1));
+        assert_eq!(r1.window_start, Timestamp(100));
+        assert_eq!(r1.miss_ppm, 0);
+        assert_eq!(r1.resume_p50, None);
+    }
+
+    #[test]
+    fn merge_is_shard_layout_invariant() {
+        let events: Vec<(i64, u64, bool)> = (0..40)
+            .map(|i| (i * 37 % 350, (i % 7) as u64, i % 5 == 0))
+            .collect();
+        let whole = {
+            let mut s = SloSeries::new(cfg());
+            for &(at, db, miss) in &events {
+                s.on_login(Timestamp(at), DatabaseId(db), !miss);
+            }
+            s
+        };
+        for shards in [1u64, 2, 8] {
+            let parts: Vec<SloSeries> = (0..shards)
+                .map(|shard| {
+                    let mut s = SloSeries::new(cfg());
+                    for &(at, db, miss) in &events {
+                        if db % shards == shard {
+                            s.on_login(Timestamp(at), DatabaseId(db), !miss);
+                        }
+                    }
+                    s
+                })
+                .collect();
+            let merged = SloSeries::merge(parts).unwrap().unwrap();
+            assert_eq!(merged, whole, "{shards} shards");
+            assert_eq!(evaluate_alerts(&merged), evaluate_alerts(&whole));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configs() {
+        let a = SloSeries::new(cfg());
+        let mut other = cfg();
+        other.regions = 3;
+        let b = SloSeries::new(other);
+        assert!(SloSeries::merge(vec![a, b]).is_err());
+        assert_eq!(SloSeries::merge(Vec::new()).unwrap(), None);
+    }
+
+    #[test]
+    fn burn_rate_needs_fast_and_slow_windows() {
+        let mut s = SloSeries::new(cfg());
+        // Window 0: clean traffic in region 0.
+        for i in 0..100 {
+            s.on_login(Timestamp(i % 100), DatabaseId(0), true);
+        }
+        // Window 1: a storm — 50% of logins miss.
+        for i in 0..40 {
+            s.on_login(Timestamp(100 + i % 100), DatabaseId(0), i % 2 == 0);
+        }
+        let alerts = evaluate_alerts(&s);
+        // Fast window 1 is at 500_000 ppm ≥ 100_000 (fast), and the slow
+        // window (140 logins, 20 misses ≈ 142_857 ppm) ≥ 20_000 (slow).
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::QosBurnRate);
+        assert_eq!(alerts[0].region, 0);
+        assert_eq!(alerts[0].window, 1);
+        assert_eq!(alerts[0].at, Timestamp(100));
+        assert_eq!(alerts[0].fast_ppm, 500_000);
+
+        // A lone miss in otherwise clean traffic trips the fast window
+        // (1/1 = 100%) but the slow window absorbs it: no alert.
+        let mut quiet = SloSeries::new(cfg());
+        for i in 0..100 {
+            quiet.on_login(Timestamp(i % 100), DatabaseId(0), true);
+        }
+        quiet.on_login(Timestamp(150), DatabaseId(0), false);
+        assert!(evaluate_alerts(&quiet).is_empty());
+    }
+
+    #[test]
+    fn breaker_storms_alert_per_window() {
+        let mut s = SloSeries::new(cfg());
+        s.on_breaker_open(Timestamp(10), DatabaseId(0));
+        assert!(evaluate_alerts(&s).is_empty(), "below the storm threshold");
+        s.on_breaker_open(Timestamp(20), DatabaseId(2));
+        let alerts = evaluate_alerts(&s);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::BreakerStorm);
+        assert_eq!(alerts[0].fast_ppm, 2);
+        assert_eq!(alerts[0].threshold, 2);
+    }
+}

@@ -103,6 +103,60 @@ impl WorkflowOutcome {
     }
 }
 
+/// Which proactive control-plane decision a provenance record explains.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DecisionAction {
+    /// The engine committed to a pause-ahead: the database went
+    /// physically paused on the strength of the forecast.
+    PhysicalPause,
+    /// The engine re-checked the pause condition and deferred: the
+    /// database stayed logically paused awaiting predicted activity.
+    DeferPause,
+    /// A scheduled proactive resume fired and the database was
+    /// re-allocated ahead of its predicted login.
+    ProactiveResume,
+}
+
+impl DecisionAction {
+    /// Stable lowercase label used by the exporters.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DecisionAction::PhysicalPause => "physical-pause",
+            DecisionAction::DeferPause => "defer-pause",
+            DecisionAction::ProactiveResume => "proactive-resume",
+        }
+    }
+}
+
+/// The compact provenance of one proactive decision: every input the
+/// engine acted on, in integers only (the confidence basis is kept as a
+/// hit/total count pair, not a float), so records stay `Eq` and merge
+/// deterministically.
+///
+/// Replayable: feeding the database's Login spans at or before the
+/// decision instant through [`crate::timetravel::replay_as_of`] must
+/// reproduce `predicted` — the check behind `prorp-trace why`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DecisionExplain {
+    /// What the engine decided.
+    pub action: DecisionAction,
+    /// The predicted next login the decision used (`None` = no usable
+    /// forecast; the engine was running reactively).
+    pub predicted: Option<Timestamp>,
+    /// Login events in the trimmed history window the forecast saw.
+    pub history_len: u32,
+    /// Pattern hits backing the winning prediction (confidence
+    /// numerator); 0 without a forecast.
+    pub confidence_hits: u32,
+    /// Windows examined by the pattern search (confidence denominator);
+    /// 0 without a forecast.
+    pub confidence_total: u32,
+    /// Whether the circuit breaker was open at decision time.
+    pub breaker_open: bool,
+    /// Whether the forecast came from the prediction cache.
+    pub cache_hit: bool,
+}
+
 /// What a trace span describes.
 ///
 /// One variant per observable control-plane action; the taxonomy mirrors
@@ -165,6 +219,13 @@ pub enum SpanKind {
         /// Size of the recovered image in bytes.
         bytes: u64,
     },
+    /// Decision provenance: the inputs behind one proactive
+    /// resume/pause/defer decision (recorded when `ObsConfig::explain`
+    /// is on; queried by `prorp-trace why`).
+    Decision {
+        /// The recorded inputs and the action they produced.
+        explain: DecisionExplain,
+    },
 }
 
 impl SpanKind {
@@ -182,6 +243,7 @@ impl SpanKind {
             SpanKind::Mitigation { .. } => "mitigation",
             SpanKind::Checkpoint { .. } => "checkpoint",
             SpanKind::Recover { .. } => "recover",
+            SpanKind::Decision { .. } => "decision",
         }
     }
 }

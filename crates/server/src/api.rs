@@ -3,7 +3,9 @@
 //! | Verb + path                       | Effect                                          |
 //! |-----------------------------------|-------------------------------------------------|
 //! | `POST /v1/events`                 | Ingest login/logout events (idempotent)         |
+//! | `GET /v1/slo`                     | Per-region SLO rollup rows + burn-rate alerts   |
 //! | `GET /v1/databases/:id`           | Lifecycle state + counters (503 on an open incident) |
+//! | `GET /v1/databases/:id/why`       | Latest decision-provenance record for the db    |
 //! | `POST /v1/databases/:id/resume`   | Operator-forced resume; clears an open incident |
 //! | `POST /v1/databases/:id/pause`    | Operator-forced physical pause                  |
 //! | `GET /metrics`                    | Prometheus exposition of the live registry      |
@@ -229,7 +231,9 @@ fn route(state: &mut ServerState, req: Request) -> Response {
     let path: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), path.as_slice()) {
         ("POST", ["v1", "events"]) => post_events(state, &req.body),
+        ("GET", ["v1", "slo"]) => get_slo(state),
         ("GET", ["v1", "databases", id]) => get_database(state, id),
+        ("GET", ["v1", "databases", id, "why"]) => get_why(state, id),
         ("POST", ["v1", "databases", id, "resume"]) => post_forced(state, id, true),
         ("POST", ["v1", "databases", id, "pause"]) => post_forced(state, id, false),
         ("GET", ["metrics"]) => get_metrics(state),
@@ -392,15 +396,124 @@ fn post_forced(state: &mut ServerState, id: &str, resume: bool) -> Response {
     )
 }
 
-/// `GET /metrics` — Prometheus exposition from the live registry.
+/// `GET /metrics` — Prometheus exposition from the live registry, with
+/// the `text/plain; version=0.0.4` content type scrapers negotiate on.
 fn get_metrics(state: &ServerState) -> Response {
     let Some(driver) = &state.driver else {
         return Response::text(409, "run already finished\n".into());
     };
     match driver.prometheus_text() {
-        Some(text) => Response::text(200, text),
+        Some(text) => Response::prometheus(200, text),
         None => Response::text(404, "observability disabled in this config\n".into()),
     }
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(v) => Json::Int(v as i64),
+        None => Json::Null,
+    }
+}
+
+/// `GET /v1/slo` — the merged per-region rollup rows and the derived
+/// burn-rate alert log at the current watermark.
+fn get_slo(state: &ServerState) -> Response {
+    let Some(driver) = &state.driver else {
+        return Response::json(409, error_body("run already finished"));
+    };
+    let Some(series) = driver.slo_series() else {
+        return Response::json(404, error_body("slo rollups disabled in this config"));
+    };
+    let rows: Vec<Json> = series
+        .rows()
+        .iter()
+        .map(|r| {
+            Json::object(vec![
+                ("window", Json::Int(r.window)),
+                ("region", Json::Int(i64::from(r.region))),
+                ("start", Json::Int(r.window_start.as_secs())),
+                ("logins", Json::Int(r.logins as i64)),
+                ("misses", Json::Int(r.misses as i64)),
+                ("availability_ppm", Json::Int(r.availability_ppm as i64)),
+                ("miss_ppm", Json::Int(r.miss_ppm as i64)),
+                ("resume_p50", opt_u64(r.resume_p50)),
+                ("resume_p95", opt_u64(r.resume_p95)),
+                ("resume_p99", opt_u64(r.resume_p99)),
+                ("resumes", Json::Int(r.resumes as i64)),
+                ("proactive_resumes", Json::Int(r.proactive_resumes as i64)),
+                ("breaker_opens", Json::Int(r.breaker_opens as i64)),
+            ])
+        })
+        .collect();
+    let alerts: Vec<Json> = driver
+        .alerts()
+        .iter()
+        .map(|a| {
+            Json::object(vec![
+                ("window", Json::Int(a.window)),
+                ("region", Json::Int(i64::from(a.region))),
+                ("at", Json::Int(a.at.as_secs())),
+                ("kind", Json::Str(a.kind.label().into())),
+                ("fast_ppm", Json::Int(a.fast_ppm as i64)),
+                ("slow_ppm", Json::Int(a.slow_ppm as i64)),
+                ("threshold", Json::Int(a.threshold as i64)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::object(vec![
+            ("watermark", Json::Int(driver.watermark().as_secs())),
+            ("rows", Json::Array(rows)),
+            ("alerts", Json::Array(alerts)),
+        ])
+        .render(),
+    )
+}
+
+/// `GET /v1/databases/:id/why` — the latest decision-provenance record:
+/// which action the engine took and the exact inputs (prediction,
+/// confidence basis, breaker, cache) it took it on.
+fn get_why(state: &ServerState, id: &str) -> Response {
+    let Some(id) = parse_id(id) else {
+        return Response::json(400, error_body("database id must be an unsigned integer"));
+    };
+    let Some(driver) = &state.driver else {
+        return Response::json(409, error_body("run already finished"));
+    };
+    if !driver.contains(id) {
+        return Response::json(404, error_body("unknown database"));
+    }
+    let Some((at, explain)) = driver.db_last_decision(id) else {
+        return Response::json(
+            404,
+            error_body("no decision recorded (enable obs explain, then wait for one)"),
+        );
+    };
+    let predicted = match explain.predicted {
+        Some(p) => Json::Int(p.as_secs()),
+        None => Json::Null,
+    };
+    Response::json(
+        200,
+        Json::object(vec![
+            ("db", Json::Int(id.raw() as i64)),
+            ("at", Json::Int(at.as_secs())),
+            ("action", Json::Str(explain.action.label().into())),
+            ("predicted", predicted),
+            ("history_len", Json::Int(i64::from(explain.history_len))),
+            (
+                "confidence",
+                Json::object(vec![
+                    ("hits", Json::Int(i64::from(explain.confidence_hits))),
+                    ("total", Json::Int(i64::from(explain.confidence_total))),
+                ]),
+            ),
+            ("breaker_open", Json::Bool(explain.breaker_open)),
+            ("cache_hit", Json::Bool(explain.cache_hit)),
+        ])
+        .render(),
+    )
 }
 
 /// `POST /v1/clock/advance` — body `{"to":T}`; virtual clocks only.

@@ -35,6 +35,7 @@
 //! which a live driver by definition does not have.
 
 use prorp_core::EngineCounters;
+use prorp_obs::{evaluate_alerts, Alert, DecisionExplain, SloSeries};
 use prorp_sim::events::SimEvent;
 use prorp_sim::{merge_outcomes, ShardDriver, SimConfig, SimPolicy, SimReport};
 use prorp_telemetry::{IncidentEntry, IncidentLog};
@@ -250,6 +251,36 @@ impl LiveDriver {
             out.push_str(&prorp_obs::prometheus_text(&snap));
         }
         Some(out)
+    }
+
+    /// The fleet SLO rollup so far: the shard-local series merged with
+    /// the same elementwise integer sums the DES report merge uses, so
+    /// the live surface agrees bit for bit with an offline replay.
+    /// `None` when rollups are disabled in the config.
+    pub fn slo_series(&self) -> Option<SloSeries> {
+        let parts: Vec<SloSeries> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.slo_series().cloned())
+            .collect();
+        // Every shard shares one config, so the merge cannot fail.
+        SloSeries::merge(parts).ok().flatten()
+    }
+
+    /// The deterministic burn-rate alert log derived from the merged
+    /// rollup at the current watermark.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.slo_series()
+            .as_ref()
+            .map(evaluate_alerts)
+            .unwrap_or_default()
+    }
+
+    /// The latest decision-provenance record for `id`; `None` when `id`
+    /// is unknown, `ObsConfig::explain` is off, or no decision has been
+    /// made yet.
+    pub fn db_last_decision(&self, id: DatabaseId) -> Option<(Timestamp, DecisionExplain)> {
+        self.shard_of(id).and_then(|s| s.db_last_decision(id))
     }
 
     /// Ingest one customer-activity event.  Never touches an engine —

@@ -63,6 +63,18 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-exposition response.  The `version=0.0.4`
+    /// parameter is the text-format version scrapers content-negotiate
+    /// on — without it some agents fall back to protobuf or refuse the
+    /// payload.
+    pub fn prometheus(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",

@@ -2,6 +2,7 @@
 //! surface end to end over real TCP, plus the breaker + staged-resume
 //! workflow stack driven by the live driver's virtual clock.
 
+use prorp_obs::SloConfig;
 use prorp_server::IngestOutcome;
 use prorp_server::{
     ApiServer, InMemoryBackend, LiveDriver, LiveEvent, LiveEventKind, ServerConfig,
@@ -13,8 +14,13 @@ use std::net::TcpStream;
 use std::sync::Arc;
 
 /// Minimal HTTP/1.1 client: one request, `Connection: close`, returns
-/// `(status, body)`.
-fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// `(status, header-block, body)`.
+fn http_full(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
@@ -29,10 +35,16 @@ fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u1
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("status line");
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    (status, head, body)
+}
+
+/// `(status, body)` shorthand for the common case.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http_full(addr, method, path, body);
     (status, body)
 }
 
@@ -59,10 +71,7 @@ fn http_surface_basics() {
         day(2),
         Timestamp(0),
     )
-    .observe(ObsConfig {
-        enabled: true,
-        snapshot_every: None,
-    })
+    .observe(ObsConfig::on())
     .build()
     .expect("config validates");
     let server = start_server(&cfg, &[DatabaseId(0), DatabaseId(1)]);
@@ -121,6 +130,11 @@ fn http_surface_basics() {
     assert_eq!(status, 200);
     assert!(body.contains("prorp_"), "{body}");
 
+    // Observability is on but SLO rollups are not configured.
+    let (status, body) = http(addr, "GET", "/v1/slo", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("slo rollups disabled"), "{body}");
+
     // Finish seals the run.
     let (status, body) = http(addr, "POST", "/v1/finish", "");
     assert_eq!(status, 200, "{body}");
@@ -130,6 +144,80 @@ fn http_surface_basics() {
 
     let report = server.shutdown().expect("finish stored the report");
     assert_eq!(report.policy_label, "proactive");
+}
+
+/// The fleet SLO rollup and decision-provenance surfaces over live
+/// HTTP, plus the Prometheus text-exposition content-type contract.
+#[test]
+fn slo_and_why_endpoints_serve_live_rollups() {
+    let cfg = SimConfig::builder(
+        SimPolicy::Proactive(PolicyConfig::default()),
+        Timestamp(0),
+        day(2),
+        Timestamp(0),
+    )
+    .observe(
+        ObsConfig::on()
+            .with_slo(SloConfig::default())
+            .with_explain(),
+    )
+    .build()
+    .expect("config validates");
+    let server = start_server(&cfg, &[DatabaseId(0), DatabaseId(1)]);
+    let addr = server.addr();
+
+    // The scrape endpoint advertises the text-format version scrapers
+    // content-negotiate on.
+    let (status, head, _) = http_full(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+
+    // Before any traffic the rollup exists but holds no windows, and no
+    // decision has been recorded for any database.
+    let (status, body) = http(addr, "GET", "/v1/slo", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"rows\":[]"), "{body}");
+    assert_eq!(http(addr, "GET", "/v1/databases/0/why", "").0, 404);
+    assert_eq!(http(addr, "GET", "/v1/databases/99/why", "").0, 404);
+    assert_eq!(http(addr, "GET", "/v1/databases/zero/why", "").0, 400);
+
+    // One session: the available login lands in a rollup window, and the
+    // logout forces a pause decision the engine must explain.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/events",
+        r#"{"events":[
+            {"db":0,"at":600,"kind":"login"},
+            {"db":0,"at":1200,"kind":"logout"}
+        ]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    http(addr, "POST", "/v1/clock/advance", r#"{"to":7200}"#);
+
+    let (status, body) = http(addr, "GET", "/v1/slo", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"watermark\":7200"), "{body}");
+    assert!(body.contains("\"logins\":1"), "{body}");
+    assert!(body.contains("\"availability_ppm\":1000000"), "{body}");
+    assert!(body.contains("\"alerts\":[]"), "{body}");
+
+    let (status, body) = http(addr, "GET", "/v1/databases/0/why", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"db\":0"), "{body}");
+    assert!(body.contains("\"action\":"), "{body}");
+    assert!(body.contains("\"confidence\":{\"hits\":"), "{body}");
+    assert!(body.contains("\"breaker_open\":false"), "{body}");
+
+    // Finishing seals these surfaces like the rest of the API.
+    assert_eq!(http(addr, "POST", "/v1/finish", "").0, 200);
+    assert_eq!(http(addr, "GET", "/v1/slo", "").0, 409);
+    assert_eq!(http(addr, "GET", "/v1/databases/0/why", "").0, 409);
+    server.shutdown();
 }
 
 #[test]

@@ -32,12 +32,14 @@ use prorp_core::{
     BreakerMetrics, CircuitBreaker, EngineCounters, EngineMetrics, ProactiveResumeOp,
     ResumeOpMetrics,
 };
+use prorp_obs::span::DecisionExplain;
 use prorp_obs::{
-    BreakerTransition, Counter, Histogram, MetricsRegistry, MetricsSnapshot, ObsReport,
-    PredictOutcome, SpanKind, StageResult, TraceBuffer, TraceSink, WorkflowOutcome,
+    BreakerTransition, Counter, Histogram, MetricsRegistry, MetricsSnapshot, ObsConfig, ObsReport,
+    PredictOutcome, Sketch, SloSeries, SpanKind, StageResult, TraceBuffer, TraceSink,
+    WorkflowOutcome,
 };
-use prorp_types::{DatabaseId, DbState, Timestamp, WorkflowStage};
-use std::collections::HashSet;
+use prorp_types::{DatabaseId, DbState, Seconds, Timestamp, WorkflowStage};
+use std::collections::{HashMap, HashSet};
 
 /// Handles for the §7 diagnostics-and-mitigation runner, registered
 /// through [`DiagnosticsRunner::register_metrics`].
@@ -80,6 +82,12 @@ pub(crate) struct SelfObservations {
 /// typed handle bundles, and the snapshot series.
 pub(crate) struct ShardObs {
     trace: TraceBuffer,
+    /// Record span traces at all (`ObsConfig::trace_spans`); rollup-only
+    /// runs keep metrics, sketches, and SLO series without the per-event
+    /// trace memory.
+    trace_spans: bool,
+    /// Capture `SpanKind::Decision` provenance (`ObsConfig::explain`).
+    explain: bool,
     registry: MetricsRegistry,
     engine: EngineMetrics,
     breaker: BreakerMetrics,
@@ -92,6 +100,20 @@ pub(crate) struct ShardObs {
     checkpoints: Counter,
     checkpoint_bytes: Counter,
     recovers: Counter,
+    /// Resume-stage durations as a mergeable quantile sketch (the
+    /// histogram above keeps the coarse Prometheus buckets; the sketch
+    /// yields exact deterministic percentiles at any shard count).
+    stage_latency_sketch: Sketch,
+    /// Customer-visible QoS-miss delay: the staged-workflow duration an
+    /// unavailable login waited out.
+    qos_miss_delay_sketch: Sketch,
+    /// Backoff waits drawn by workflow stage retries.
+    retry_backoff_sketch: Sketch,
+    /// Per-region SLO rollup (`ObsConfig::slo`).
+    slo: Option<SloSeries>,
+    /// Latest decision-provenance record per database, for the live
+    /// `why` endpoint (the full history lives in the trace).
+    last_decision: HashMap<DatabaseId, (Timestamp, DecisionExplain)>,
     /// Databases whose predictor breaker is currently open; lets the next
     /// successful prediction be attributed as the breaker-closing probe.
     breaker_open: HashSet<DatabaseId>,
@@ -101,7 +123,7 @@ pub(crate) struct ShardObs {
 impl ShardObs {
     /// Build the shard's observability state, registering every metric
     /// up front so all shards snapshot identical name sets.
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(cfg: &ObsConfig) -> Self {
         let registry = MetricsRegistry::new();
         let engine = EngineMetrics::register(&registry);
         let breaker = CircuitBreaker::register_metrics(&registry);
@@ -114,6 +136,9 @@ impl ShardObs {
         let checkpoints = registry.counter("prorp_checkpoints_total");
         let checkpoint_bytes = registry.counter("prorp_checkpoint_bytes_total");
         let recovers = registry.counter("prorp_recovers_total");
+        let stage_latency_sketch = registry.sketch("prorp_resume_stage_latency_seconds");
+        let qos_miss_delay_sketch = registry.sketch("prorp_qos_miss_delay_seconds");
+        let retry_backoff_sketch = registry.sketch("prorp_retry_backoff_seconds");
         // Volatile self-observations: registered eagerly (so merges see
         // consistent name sets) but only written at snapshot time.
         registry.gauge("prorp_workflows_in_flight");
@@ -124,6 +149,8 @@ impl ShardObs {
         registry.gauge("sim_self_wall_clock_micros");
         ShardObs {
             trace: TraceBuffer::new(),
+            trace_spans: cfg.trace_spans,
+            explain: cfg.explain,
             registry,
             engine,
             breaker,
@@ -136,9 +163,39 @@ impl ShardObs {
             checkpoints,
             checkpoint_bytes,
             recovers,
+            stage_latency_sketch,
+            qos_miss_delay_sketch,
+            retry_backoff_sketch,
+            slo: cfg.slo.map(SloSeries::new),
+            last_decision: HashMap::new(),
             breaker_open: HashSet::new(),
             snapshots: Vec::new(),
         }
+    }
+
+    /// Whether decision-provenance capture is on (the driver only drains
+    /// engine explains when it is).
+    pub(crate) fn explain_enabled(&self) -> bool {
+        self.explain
+    }
+
+    /// Fold one drained engine decision into the trace and the
+    /// per-database latest-decision index.
+    pub(crate) fn on_decision(&mut self, at: Timestamp, db: DatabaseId, explain: DecisionExplain) {
+        if self.trace_spans {
+            self.trace.event(at, db, SpanKind::Decision { explain });
+        }
+        self.last_decision.insert(db, (at, explain));
+    }
+
+    /// The latest decision recorded for `db`, if any (live `why` route).
+    pub(crate) fn last_decision(&self, db: DatabaseId) -> Option<(Timestamp, DecisionExplain)> {
+        self.last_decision.get(&db).copied()
+    }
+
+    /// The shard-local SLO rollup so far (live `/v1/slo` route).
+    pub(crate) fn slo_series(&self) -> Option<&SloSeries> {
+        self.slo.as_ref()
     }
 
     /// Fold one engine event into spans and metrics from its
@@ -155,78 +212,103 @@ impl ShardObs {
         self.engine.observe_delta(before, after);
         if before_state != after_state {
             self.lifecycle_transitions.inc();
-            self.trace.event(
-                now,
-                db,
-                SpanKind::Lifecycle {
-                    from: before_state,
-                    to: after_state,
-                },
-            );
+            if self.trace_spans {
+                self.trace.event(
+                    now,
+                    db,
+                    SpanKind::Lifecycle {
+                        from: before_state,
+                        to: after_state,
+                    },
+                );
+            }
         }
         let fallbacks = after.breaker_fallbacks - before.breaker_fallbacks;
         for _ in 0..fallbacks {
             self.breaker.fallback();
-            self.trace.event(
-                now,
-                db,
-                SpanKind::Predict {
-                    outcome: PredictOutcome::BreakerFallback,
-                },
-            );
+            if self.trace_spans {
+                self.trace.event(
+                    now,
+                    db,
+                    SpanKind::Predict {
+                        outcome: PredictOutcome::BreakerFallback,
+                    },
+                );
+            }
         }
         let predictions = after.predictions - before.predictions;
         let failures = after.forecast_failures - before.forecast_failures;
-        for _ in 0..failures {
-            self.trace.event(
-                now,
-                db,
-                SpanKind::Predict {
-                    outcome: PredictOutcome::Failed,
-                },
-            );
-        }
-        for _ in 0..predictions.saturating_sub(failures) {
-            self.trace.event(
-                now,
-                db,
-                SpanKind::Predict {
-                    outcome: PredictOutcome::Predicted,
-                },
-            );
+        if self.trace_spans {
+            for _ in 0..failures {
+                self.trace.event(
+                    now,
+                    db,
+                    SpanKind::Predict {
+                        outcome: PredictOutcome::Failed,
+                    },
+                );
+            }
+            for _ in 0..predictions.saturating_sub(failures) {
+                self.trace.event(
+                    now,
+                    db,
+                    SpanKind::Predict {
+                        outcome: PredictOutcome::Predicted,
+                    },
+                );
+            }
         }
         if after.breaker_opens > before.breaker_opens {
             self.breaker.opened();
             self.breaker_open.insert(db);
-            self.trace.event(
-                now,
-                db,
-                SpanKind::Breaker {
-                    transition: BreakerTransition::Opened,
-                },
-            );
+            if let Some(slo) = self.slo.as_mut() {
+                for _ in 0..(after.breaker_opens - before.breaker_opens) {
+                    slo.on_breaker_open(now, db);
+                }
+            }
+            if self.trace_spans {
+                self.trace.event(
+                    now,
+                    db,
+                    SpanKind::Breaker {
+                        transition: BreakerTransition::Opened,
+                    },
+                );
+            }
         } else if predictions > failures && self.breaker_open.remove(&db) {
             // A successful prediction on a breaker-open database is the
             // half-open re-probe that closed the breaker.
             self.breaker.closed();
-            self.trace.event(
-                now,
-                db,
-                SpanKind::Breaker {
-                    transition: BreakerTransition::Closed,
-                },
-            );
+            if self.trace_spans {
+                self.trace.event(
+                    now,
+                    db,
+                    SpanKind::Breaker {
+                        transition: BreakerTransition::Closed,
+                    },
+                );
+            }
         }
     }
 
     /// A customer login landed; `available` is the QoS outcome.
     pub(crate) fn on_login(&mut self, now: Timestamp, db: DatabaseId, available: bool) {
-        self.trace.event(now, db, SpanKind::Login { available });
+        if let Some(slo) = self.slo.as_mut() {
+            slo.on_login(now, db, available);
+        }
+        if self.trace_spans {
+            self.trace.event(now, db, SpanKind::Login { available });
+        }
     }
 
     /// The Algorithm 5 scan delivered a pre-warm to this database.
     pub(crate) fn on_proactive_resume(&mut self, now: Timestamp, db: DatabaseId) {
-        self.trace.event(now, db, SpanKind::ProactiveResume);
+        if let Some(slo) = self.slo.as_mut() {
+            slo.on_proactive_resume(now, db);
+        }
+        if self.trace_spans {
+            self.trace.event(now, db, SpanKind::ProactiveResume);
+        }
     }
 
     /// One scan tick selected `batch` databases.
@@ -245,37 +327,44 @@ impl ShardObs {
         spent: prorp_types::Seconds,
     ) {
         self.stage_seconds.observe(spent.as_secs());
-        self.trace.span(
-            now - spent,
-            now,
-            db,
-            SpanKind::WorkflowStage {
-                stage,
-                attempt,
-                result: StageResult::Ok,
-            },
-        );
+        self.stage_latency_sketch.observe(spent.as_secs());
+        if self.trace_spans {
+            self.trace.span(
+                now - spent,
+                now,
+                db,
+                SpanKind::WorkflowStage {
+                    stage,
+                    attempt,
+                    result: StageResult::Ok,
+                },
+            );
+        }
     }
 
     /// A stage attempt failed transiently; `attempt` is the retry about
-    /// to run.
+    /// to run after waiting out `backoff`.
     pub(crate) fn on_stage_retry(
         &mut self,
         now: Timestamp,
         db: DatabaseId,
         stage: WorkflowStage,
         attempt: u32,
+        backoff: Seconds,
     ) {
         self.workflow_retries.inc();
-        self.trace.event(
-            now,
-            db,
-            SpanKind::WorkflowStage {
-                stage,
-                attempt,
-                result: StageResult::Retry,
-            },
-        );
+        self.retry_backoff_sketch.observe(backoff.as_secs());
+        if self.trace_spans {
+            self.trace.event(
+                now,
+                db,
+                SpanKind::WorkflowStage {
+                    stage,
+                    attempt,
+                    result: StageResult::Retry,
+                },
+            );
+        }
     }
 
     /// A stage burned its whole retry budget after `attempts` tries; the
@@ -290,23 +379,25 @@ impl ShardObs {
     ) {
         self.diagnostics.giveups.inc();
         self.diagnostics.incidents.inc();
-        self.trace.event(
-            now,
-            db,
-            SpanKind::WorkflowStage {
-                stage,
-                attempt: attempts,
-                result: StageResult::Exhausted,
-            },
-        );
-        self.trace.span(
-            started,
-            now,
-            db,
-            SpanKind::Workflow {
-                outcome: WorkflowOutcome::GaveUp,
-            },
-        );
+        if self.trace_spans {
+            self.trace.event(
+                now,
+                db,
+                SpanKind::WorkflowStage {
+                    stage,
+                    attempt: attempts,
+                    result: StageResult::Exhausted,
+                },
+            );
+            self.trace.span(
+                started,
+                now,
+                db,
+                SpanKind::Workflow {
+                    outcome: WorkflowOutcome::GaveUp,
+                },
+            );
+        }
     }
 
     /// A staged workflow (running since `started`) completed its final
@@ -317,15 +408,24 @@ impl ShardObs {
         db: DatabaseId,
         started: Timestamp,
     ) {
-        self.workflow_seconds.observe(now.since(started).as_secs());
-        self.trace.span(
-            started,
-            now,
-            db,
-            SpanKind::Workflow {
-                outcome: WorkflowOutcome::Completed,
-            },
-        );
+        let waited = now.since(started);
+        self.workflow_seconds.observe(waited.as_secs());
+        // Every staged workflow serves an unavailable login, so its total
+        // duration *is* the customer's QoS-miss delay.
+        self.qos_miss_delay_sketch.observe(waited.as_secs());
+        if let Some(slo) = self.slo.as_mut() {
+            slo.on_resume_completed(now, db, waited);
+        }
+        if self.trace_spans {
+            self.trace.span(
+                started,
+                now,
+                db,
+                SpanKind::Workflow {
+                    outcome: WorkflowOutcome::Completed,
+                },
+            );
+        }
     }
 
     /// The diagnostics sweep force-completed a stuck workflow.
@@ -334,8 +434,10 @@ impl ShardObs {
         if escalated {
             self.diagnostics.incidents.inc();
         }
-        self.trace
-            .event(now, db, SpanKind::Mitigation { escalated });
+        if self.trace_spans {
+            self.trace
+                .event(now, db, SpanKind::Mitigation { escalated });
+        }
     }
 
     /// A rebalance move checkpointed this database's history B-tree into
@@ -344,8 +446,10 @@ impl ShardObs {
         self.checkpoints.inc();
         self.checkpoint_bytes.add(bytes);
         self.recovers.inc();
-        self.trace.event(now, db, SpanKind::Checkpoint { bytes });
-        self.trace.event(now, db, SpanKind::Recover { bytes });
+        if self.trace_spans {
+            self.trace.event(now, db, SpanKind::Checkpoint { bytes });
+            self.trace.event(now, db, SpanKind::Recover { bytes });
+        }
     }
 
     /// Take one metrics snapshot at simulated instant `at`, refreshing
@@ -394,6 +498,7 @@ impl ShardObs {
         ObsReport {
             trace,
             snapshots: self.snapshots,
+            slo: self.slo,
         }
     }
 }
@@ -405,7 +510,7 @@ mod tests {
 
     #[test]
     fn engine_event_deltas_become_spans_and_metrics() {
-        let mut obs = ShardObs::new();
+        let mut obs = ShardObs::new(&ObsConfig::on());
         let before = EngineCounters::default();
         let mut after = before;
         after.predictions = 1;
@@ -439,7 +544,7 @@ mod tests {
 
     #[test]
     fn breaker_open_then_success_derives_a_close() {
-        let mut obs = ShardObs::new();
+        let mut obs = ShardObs::new(&ObsConfig::on());
         let db = DatabaseId(9);
         let before = EngineCounters::default();
 
@@ -503,7 +608,7 @@ mod tests {
 
     #[test]
     fn workflow_sites_fill_histograms_and_spans() {
-        let mut obs = ShardObs::new();
+        let mut obs = ShardObs::new(&ObsConfig::on());
         let db = DatabaseId(1);
         obs.on_stage_completed(
             Timestamp(130),
@@ -512,7 +617,13 @@ mod tests {
             1,
             Seconds(30),
         );
-        obs.on_stage_retry(Timestamp(150), db, WorkflowStage::AttachStorage, 2);
+        obs.on_stage_retry(
+            Timestamp(150),
+            db,
+            WorkflowStage::AttachStorage,
+            2,
+            Seconds(20),
+        );
         obs.on_workflow_completed(Timestamp(180), db, Timestamp(100));
         obs.on_mitigation(Timestamp(200), db, true);
         obs.on_move_with_history(Timestamp(210), db, 4_096);
@@ -561,7 +672,7 @@ mod tests {
 
     #[test]
     fn snapshots_carry_self_observations_as_volatile_gauges() {
-        let mut obs = ShardObs::new();
+        let mut obs = ShardObs::new(&ObsConfig::on());
         obs.take_snapshot(
             Timestamp(500),
             SelfObservations {

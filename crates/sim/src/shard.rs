@@ -286,7 +286,7 @@ impl ShardDriver {
             // Disabled observability stays `None`: no allocations, no
             // handles, and every instrumentation site below is one
             // branch on the Option.
-            obs: cfg.observe().enabled.then(ShardObs::new),
+            obs: cfg.observe().enabled.then(|| ShardObs::new(cfg.observe())),
             // All the shard's incremental predictors share one
             // cursor-scratch buffer: engines live and run on this
             // worker (or server) thread only.
@@ -316,6 +316,13 @@ impl ShardDriver {
         }
         let cfg = &self.cfg;
         self.fleet.push(cfg, trace, &self.scratch)?;
+        if cfg.observe().explain {
+            // Decision provenance is captured inside the engine (it owns
+            // the inputs — forecast, breaker, cache) and drained into the
+            // trace after every event.
+            let idx = self.fleet.len() - 1;
+            self.fleet.engines.get_mut(idx).set_explain_enabled(true);
+        }
         self.cluster.place(trace.db);
         self.metadata.set_state(trace.db, DbState::Resumed);
         for s in &trace.sessions {
@@ -448,6 +455,34 @@ impl ShardDriver {
         true
     }
 
+    /// Drain the decision-provenance records the engine captured during
+    /// the event just handled into the observability layer.  A no-op
+    /// unless `ObsConfig::explain` is on.
+    fn drain_decisions(&mut self, idx: usize, id: DatabaseId) {
+        let Some(o) = self.obs.as_mut() else { return };
+        if !o.explain_enabled() {
+            return;
+        }
+        for (at, explain) in self.fleet.engines.get_mut(idx).drain_explains() {
+            o.on_decision(at, id, explain);
+        }
+    }
+
+    /// The latest recorded decision for `id` (live `why` route); `None`
+    /// unless decision provenance is enabled and a decision was made.
+    pub fn db_last_decision(
+        &self,
+        id: DatabaseId,
+    ) -> Option<(Timestamp, prorp_obs::DecisionExplain)> {
+        self.obs.as_ref().and_then(|o| o.last_decision(id))
+    }
+
+    /// The shard's SLO rollup so far (live `/v1/slo` route); `None`
+    /// unless rollups are enabled.
+    pub fn slo_series(&self) -> Option<&prorp_obs::SloSeries> {
+        self.obs.as_ref().and_then(|o| o.slo_series())
+    }
+
     /// Process every queued event strictly before `min(horizon, end)`.
     ///
     /// The DES's `run_to_end` is `step_until(end)`; a live driver calls
@@ -577,6 +612,7 @@ impl ShardDriver {
                     &mut self.metadata,
                     &mut self.cluster,
                 );
+                self.drain_decisions(idx, id);
             }
             SimEvent::ActivityEnd(id) => {
                 let idx = self.fleet.index_of(id);
@@ -625,6 +661,7 @@ impl ShardDriver {
                         &self.fleet.engines.get(idx).counters(),
                     );
                 }
+                self.drain_decisions(idx, id);
                 match state {
                     DbState::LogicallyPaused => {
                         self.telemetry.record(now, id, TelemetryKind::LogicalPause);
@@ -679,6 +716,7 @@ impl ShardDriver {
                         &self.fleet.engines.get(idx).counters(),
                     );
                 }
+                self.drain_decisions(idx, id);
             }
             SimEvent::ResumeOpTick => {
                 self.counters.resume_scans += 1;
@@ -749,6 +787,7 @@ impl ShardDriver {
                     &mut self.metadata,
                     &mut self.cluster,
                 );
+                self.drain_decisions(idx, id);
             }
             SimEvent::WorkflowStageDone(id) => {
                 // One stage of a staged resume finished executing: draw
@@ -794,7 +833,7 @@ impl ShardDriver {
                     } => {
                         self.workflow_stats.retries += 1;
                         if let Some(o) = self.obs.as_mut() {
-                            o.on_stage_retry(now, id, stage, next_attempt);
+                            o.on_stage_retry(now, id, stage, next_attempt, ready_at.since(now));
                         }
                         active.expected_at = ready_at;
                         self.queue.push(ready_at, SimEvent::WorkflowStageDone(id));

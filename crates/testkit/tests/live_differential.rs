@@ -16,6 +16,7 @@
 //!   change a single decision.
 
 use proptest::prelude::*;
+use prorp_obs::SloConfig;
 use prorp_server::{IngestOutcome, LiveDriver, LiveEvent, LiveEventKind};
 use prorp_sim::{ObsConfig, SimConfig, SimConfigBuilder, SimPolicy, SimReport, Simulation};
 use prorp_types::{DatabaseId, PolicyConfig, RetryPolicy, Seconds, Timestamp};
@@ -39,10 +40,11 @@ fn base_config(policy: SimPolicy, shards: usize) -> SimConfigBuilder {
         Timestamp(MEASURE_DAY * DAY),
     )
     .shards(shards)
-    .observe(ObsConfig {
-        enabled: true,
-        snapshot_every: Some(Seconds::days(7)),
-    })
+    .observe(
+        ObsConfig::with_snapshots(Seconds::days(7))
+            .with_slo(SloConfig::default())
+            .with_explain(),
+    )
 }
 
 /// Flatten traces into the wire-form event stream, in trace order (the
@@ -108,6 +110,23 @@ fn assert_live_identical(des: &SimReport, live: &SimReport, context: &str) {
             let da: Vec<_> = a.snapshots.iter().map(|s| s.deterministic()).collect();
             let db: Vec<_> = b.snapshots.iter().map(|s| s.deterministic()).collect();
             assert_eq!(da, db, "{context}: metrics snapshot series differ");
+            // SLO rollups, their derived rows, and the burn-rate alert
+            // log must agree bit for bit — the fleet-scale surface an
+            // operator actually pages on.
+            assert_eq!(a.slo, b.slo, "{context}: SLO series differ");
+            assert_eq!(a.alerts(), b.alerts(), "{context}: alert logs differ");
+            // Decision provenance rides inside the trace; compare the
+            // explain records on their own too so a regression names
+            // the surface that broke.
+            let explains = |r: &prorp_obs::ObsReport| -> Vec<_> {
+                r.trace
+                    .iter()
+                    .filter(|t| matches!(t.kind, prorp_obs::SpanKind::Decision { .. }))
+                    .cloned()
+                    .collect()
+            };
+            let (ea, eb) = (explains(a), explains(b));
+            assert_eq!(ea, eb, "{context}: decision explains differ");
         }
         (a, b) => assert_eq!(
             a.is_some(),

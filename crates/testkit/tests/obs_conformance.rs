@@ -15,10 +15,25 @@
 //!   deterministic Prometheus text (`.prom`) are pinned under
 //!   `tests/goldens/`, re-recordable with `scripts/bless.sh`.  The CI
 //!   gate also runs the `prorp-trace` CLI against the golden trace.
+//!
+//! The SLO rollup layer adds three more:
+//!
+//! * merge-law properties — quantile-sketch merging is associative,
+//!   commutative, and equal to pooled observation; the full SLO rollup
+//!   (rows + burn-rate alerts) renders byte-identically at 1, 2, and 8
+//!   shards;
+//! * golden SLO exports — the fixed scenario's per-region rollup rows
+//!   (`slo_small.jsonl`) and alert log (`alerts_small.jsonl`);
+//! * a provenance acceptance check — recorded `Decision` spans replay
+//!   through `timetravel::replay_as_of` to the *same* predicted resume
+//!   instant the engine acted on.
 
 use proptest::prelude::*;
 use prorp_core::EngineCounters;
-use prorp_obs::{prometheus_text, trace_jsonl, ObsConfig, SpanKind};
+use prorp_obs::{
+    alerts_jsonl, evaluate_alerts, prometheus_text, replay_as_of, slo_jsonl, trace_jsonl,
+    DecisionAction, ObsConfig, QuantileSketch, SloConfig, SpanKind,
+};
 use prorp_sim::{SimPolicy, SimReport};
 use prorp_types::{PolicyConfig, Seconds};
 use testkit::golden::check_golden_file;
@@ -30,6 +45,22 @@ fn run_observed(spec: &FleetSpec, plan: &FaultPlan, shards: usize) -> SimReport 
         .apply(builder(SimPolicy::Proactive(PolicyConfig::default())))
         .shards(shards)
         .observe(ObsConfig::with_snapshots(Seconds::days(7)))
+        .build()
+        .expect("observed configs validate");
+    run(cfg, spec.traces())
+}
+
+/// Like [`run_observed`] with the SLO rollup and decision-provenance
+/// capture switched on.
+fn run_observed_slo(spec: &FleetSpec, plan: &FaultPlan, shards: usize) -> SimReport {
+    let cfg = plan
+        .apply(builder(SimPolicy::Proactive(PolicyConfig::default())))
+        .shards(shards)
+        .observe(
+            ObsConfig::with_snapshots(Seconds::days(7))
+                .with_slo(SloConfig::default())
+                .with_explain(),
+        )
         .build()
         .expect("observed configs validate");
     run(cfg, spec.traces())
@@ -140,24 +171,115 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sketch merging obeys the monoid laws and equals pooled
+    /// observation — the algebra the shard-merge discipline rests on.
+    #[test]
+    fn sketch_merge_is_associative_commutative_and_pooling(
+        a in prop::collection::vec(-10i64..2_000_000, 0..40),
+        b in prop::collection::vec(-10i64..2_000_000, 0..40),
+        c in prop::collection::vec(-10i64..2_000_000, 0..40),
+    ) {
+        let sketch_of = |values: &[i64]| {
+            let mut s = QuantileSketch::new();
+            for &v in values {
+                s.observe(v);
+            }
+            s
+        };
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        let mut ab_c = sa.clone();
+        ab_c.merge_from(&sb);
+        ab_c.merge_from(&sc);
+        let mut bc = sb.clone();
+        bc.merge_from(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge_from(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+
+        // a ⊔ b == b ⊔ a
+        let mut ab = sa.clone();
+        ab.merge_from(&sb);
+        let mut ba = sb.clone();
+        ba.merge_from(&sa);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        // Merging shard sketches equals observing the pooled stream, so
+        // every derived quantile is shard-layout invariant.
+        let pooled: Vec<i64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let pooled = sketch_of(&pooled);
+        prop_assert_eq!(&ab_c, &pooled, "merge == pooled observation");
+        for (num, den) in [(50u64, 100u64), (95, 100), (99, 100)] {
+            prop_assert_eq!(ab_c.quantile(num, den), pooled.quantile(num, den));
+        }
+
+        // The identity element: merging an empty sketch changes nothing.
+        let mut with_empty = ab_c.clone();
+        with_empty.merge_from(&QuantileSketch::new());
+        prop_assert_eq!(&with_empty, &ab_c, "empty sketch is the identity");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The rendered SLO rollup — per-region rows *and* the burn-rate
+    /// alert log derived from them — is byte-identical at 1, 2, and 8
+    /// shards for any generated fleet and fault plan.
+    #[test]
+    fn slo_rollups_are_shard_layout_invariant(
+        spec in fleet_spec(),
+        plan in fault_plan(),
+    ) {
+        let rendered: Vec<(String, String)> = [1usize, 2, 8]
+            .iter()
+            .map(|&shards| {
+                let report = run_observed_slo(&spec, &plan, shards);
+                let obs = report.obs.as_ref().expect("obs on");
+                let series = obs.slo.as_ref().expect("slo rollups on");
+                (slo_jsonl(series), alerts_jsonl(&evaluate_alerts(series)))
+            })
+            .collect();
+        prop_assert_eq!(&rendered[0], &rendered[1], "1 vs 2 shards");
+        prop_assert_eq!(&rendered[0], &rendered[2], "1 vs 8 shards");
+    }
+}
+
 /// The fixed scenario behind the golden exports: a small Eu1 fleet with
 /// flaky stages and forecast faults, so the trace exercises retries,
 /// give-ups, breaker episodes, and mitigations.
-fn golden_scenario() -> SimReport {
-    let plan = FaultPlan {
+fn golden_plan() -> FaultPlan {
+    FaultPlan {
         stage_failure: 0.25,
         warm_cache_extra: 0.1,
         forecast_fail_every: Some(3),
         stuck_probability: 0.05,
         seed: 29,
         ..FaultPlan::quiescent()
-    };
-    let spec = FleetSpec {
+    }
+}
+
+fn golden_spec() -> FleetSpec {
+    FleetSpec {
         region: prorp_workload::RegionName::Eu1,
         size: 8,
         seed: 7,
-    };
-    run_observed(&spec, &plan, 2)
+    }
+}
+
+fn golden_scenario() -> SimReport {
+    run_observed(&golden_spec(), &golden_plan(), 2)
+}
+
+/// The same fixed scenario with SLO rollups and decision-provenance
+/// capture on — the input behind the SLO goldens and the replay
+/// acceptance check.
+fn golden_slo_scenario() -> SimReport {
+    run_observed_slo(&golden_spec(), &golden_plan(), 2)
 }
 
 #[test]
@@ -180,5 +302,80 @@ fn golden_trace_and_prometheus_exports() {
         "{} golden export(s) drifted:\n\n{}",
         drifts.len(),
         drifts.join("\n\n")
+    );
+}
+
+#[test]
+fn golden_slo_rollup_and_alert_exports() {
+    let report = golden_slo_scenario();
+    let obs = report.obs.expect("observability was enabled");
+    let series = obs.slo.as_ref().expect("slo rollups were enabled");
+    let mut drifts = Vec::new();
+    if let Err(msg) = check_golden_file("slo_small.jsonl", &slo_jsonl(series)) {
+        drifts.push(msg);
+    }
+    if let Err(msg) = check_golden_file("alerts_small.jsonl", &alerts_jsonl(&obs.alerts())) {
+        drifts.push(msg);
+    }
+    // The explain-bearing trace, pinned so `scripts/check.sh` can gate
+    // the `prorp-trace why` CLI against a trace with Decision spans.
+    if let Err(msg) = check_golden_file("trace_decisions_small.jsonl", &trace_jsonl(&obs.trace)) {
+        drifts.push(msg);
+    }
+    assert!(
+        drifts.is_empty(),
+        "{} golden SLO export(s) drifted:\n\n{}",
+        drifts.len(),
+        drifts.join("\n\n")
+    );
+}
+
+/// Decision provenance closes the loop with storage time travel: for a
+/// pause decision the engine explained with a predicted next resume,
+/// replaying the database's login history "as of" the decision instant
+/// re-derives the *same* prediction the engine acted on.
+#[test]
+fn recorded_decisions_replay_through_time_travel() {
+    let report = golden_slo_scenario();
+    let obs = report.obs.expect("observability was enabled");
+    let mut checked = 0usize;
+    for r in &obs.trace {
+        let SpanKind::Decision { explain } = &r.kind else {
+            continue;
+        };
+        // Pause-time decisions whose forecast ran fresh at the decision
+        // instant; cached or breaker-suppressed forecasts were computed
+        // at a different time, so the instant-replay contract does not
+        // apply to them.
+        if explain.cache_hit || explain.breaker_open {
+            continue;
+        }
+        if !matches!(
+            explain.action,
+            DecisionAction::PhysicalPause | DecisionAction::DeferPause
+        ) {
+            continue;
+        }
+        let Some(predicted) = explain.predicted else {
+            continue;
+        };
+        let replay = replay_as_of(&obs.trace, r.db, r.start, PolicyConfig::default())
+            .expect("replay succeeds");
+        let again = replay
+            .prediction
+            .unwrap_or_else(|| panic!("replay at {:?} for {:?} lost the forecast", r.start, r.db));
+        assert_eq!(
+            again.start, predicted,
+            "replayed prediction for {:?} as of {:?} disagrees with the recorded decision",
+            r.db, r.start
+        );
+        checked += 1;
+        if checked >= 8 {
+            break;
+        }
+    }
+    assert!(
+        checked > 0,
+        "the golden scenario recorded no fresh-forecast pause decisions to replay"
     );
 }

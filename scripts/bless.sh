@@ -36,6 +36,13 @@ cargo run --release -q -p prorp-bench --bin predict_bench -- \
 cargo run --release -q -p prorp-bench --bin scale_bench -- \
     --json results/BENCH_scale.json
 
+# Re-record the observability throughput numbers (sketch insert/merge
+# rates, SLO rollup events/sec at 1M databases).  The merge ≡ pooled
+# and shard-split ≡ single-series gates inside the binary are the
+# guarantees; the rates are a representative snapshot.
+cargo run --release -q -p prorp-bench --bin obs_bench -- \
+    --json results/BENCH_obs.json
+
 # Re-record the storage-backend A/B (write amplification + window-scan
 # latency for btree and lsm).  The equality gate and checksum
 # assertions inside the binary are the guarantees; the timings are a

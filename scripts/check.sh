@@ -47,6 +47,8 @@ run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
     tests/goldens/trace_small.jsonl qos-misses 5
 run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
     tests/goldens/trace_small.jsonl time-travel 7 200000
+run cargo run --release -q -p prorp-obs --bin prorp-trace -- \
+    tests/goldens/trace_decisions_small.jsonl why 2 209053
 
 # Control-plane service mode: boot the virtual-clock server, replay the
 # golden event stream through the real HTTP API, and let the binary
@@ -70,12 +72,21 @@ run cargo run --release -q -p prorp-bench --bin fleet_report -- \
 run cargo run --release -q -p prorp-bench --bin predict_bench -- \
     --smoke --json results/BENCH_predict.json
 
-# Scale sweep in smoke mode: asserts streamed ≡ materialised and KPI
-# shard-invariance on a tiny fleet (the committed full-scale numbers in
-# results/BENCH_scale.json come from scripts/bless.sh).  The smoke JSON
-# is a scratch artefact — only the assertions matter here.
+# Scale sweep in smoke mode: asserts streamed ≡ materialised, KPI
+# shard-invariance, and the observability overhead gate (rollup-only
+# obs must leave KPIs bit-identical and cost < 2% wall time) on a tiny
+# fleet (the committed full-scale numbers in results/BENCH_scale.json
+# come from scripts/bless.sh).  The smoke JSON is a scratch artefact —
+# only the assertions matter here.
 run cargo run --release -q -p prorp-bench --bin scale_bench -- \
     --smoke --json target/scale_smoke.json
+
+# Observability throughput in smoke mode: asserts sketch merge ≡ pooled
+# observation and the 8-way SLO rollup shard split ≡ single-series
+# ingest (the committed full-scale numbers in results/BENCH_obs.json
+# come from scripts/bless.sh).
+run cargo run --release -q -p prorp-bench --bin obs_bench -- \
+    --smoke --json target/obs_smoke.json
 
 # Storage-backend A/B in smoke mode: asserts btree ≡ lsm fleet KPIs and
 # checksummed window-scan agreement before timing anything (the
