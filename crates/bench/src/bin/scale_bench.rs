@@ -293,6 +293,45 @@ fn main() {
                 rss as f64 / (1024.0 * 1024.0),
                 report.kpi.qos_pct()
             );
+            // Per-shard wall-time breakdown: where each worker's time
+            // went (registration, event loop, close-out, compaction).
+            // Diagnoses multi-shard scaling losses — a shard whose
+            // register phase dominates is starved by setup, not by the
+            // event loop.
+            let mut shard_rows = Vec::with_capacity(report.shard_counters.len());
+            for c in &report.shard_counters {
+                if shards > 1 {
+                    println!(
+                        "            shard {}: {} dbs, {} events | register {:.3}s, \
+                         run {:.3}s, finish {:.3}s, stall {:.3}s, offloaded {:.3}s",
+                        c.shard,
+                        c.databases,
+                        c.events_processed,
+                        c.register_micros as f64 / 1e6,
+                        c.run_micros as f64 / 1e6,
+                        c.finish_micros as f64 / 1e6,
+                        c.compaction_stall_micros as f64 / 1e6,
+                        c.offloaded_compaction_micros as f64 / 1e6,
+                    );
+                }
+                shard_rows.push(JsonValue::object(vec![
+                    ("shard", JsonValue::UInt(c.shard as u64)),
+                    ("databases", JsonValue::UInt(c.databases as u64)),
+                    ("events", JsonValue::UInt(c.events_processed)),
+                    ("wall_micros", JsonValue::UInt(c.wall_clock_micros)),
+                    ("register_micros", JsonValue::UInt(c.register_micros)),
+                    ("run_micros", JsonValue::UInt(c.run_micros)),
+                    ("finish_micros", JsonValue::UInt(c.finish_micros)),
+                    (
+                        "compaction_stall_micros",
+                        JsonValue::UInt(c.compaction_stall_micros),
+                    ),
+                    (
+                        "offloaded_compaction_micros",
+                        JsonValue::UInt(c.offloaded_compaction_micros),
+                    ),
+                ]));
+            }
             entries.push(JsonValue::object(vec![
                 ("databases", JsonValue::UInt(dbs as u64)),
                 ("shards", JsonValue::UInt(shards as u64)),
@@ -306,6 +345,7 @@ fn main() {
                     "telemetry_events",
                     JsonValue::UInt(report.telemetry_summary.total()),
                 ),
+                ("shard_breakdown", JsonValue::Array(shard_rows)),
             ]));
         }
         // The lazy source stays O(1) memory, so confirm nothing pinned

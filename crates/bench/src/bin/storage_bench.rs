@@ -25,16 +25,33 @@
 //! property holds tuple-for-tuple in the scan sweep (each backend's
 //! window stats are checksummed and compared).
 //!
+//! A third axis landed with the storage hot-path overhaul:
+//!
+//! * **trim cost** — one timed Algorithm 3 pass per backend as the
+//!   number of expired tuples grows under a fixed retained tail.  The
+//!   B+Tree deletes per tuple (cost grows with the trimmed count); the
+//!   LSM writes a single range tombstone and prunes its visible-set
+//!   caches (cost tracks the constant-size retained tail), so its
+//!   per-pass wall time must stay flat as the trimmed count grows.
+//!
 //! Flags:
 //!
 //! * `--json <path>` — machine-readable output
 //!   (`results/BENCH_storage.json` by convention);
 //! * `--smoke` — small sizes for CI (`scripts/check.sh`); assertions
-//!   are identical, only the scale changes.
+//!   are identical, only the scale changes;
+//! * `--compaction deterministic|background` — LSM compaction mode for
+//!   both the fleet gate and the synthetic single-store runs.  In
+//!   background mode the bench asserts `compaction_stall_ns == 0`: the
+//!   mutation paths never wait on compaction.
 
 use prorp_bench::{json_path_from_args, write_json, JsonValue};
-use prorp_sim::{SimConfig, SimPolicy, SimReport, Simulation, StorageBackend, TelemetryMode};
-use prorp_storage::{DurableHistory, HistoryRead, HistoryTable, LsmHistory, TimeTravel};
+use prorp_sim::{
+    CompactionMode, SimConfig, SimPolicy, SimReport, Simulation, StorageBackend, TelemetryMode,
+};
+use prorp_storage::{
+    CompactionScheduler, DurableHistory, HistoryRead, HistoryTable, LsmHistory, TimeTravel,
+};
 use prorp_types::{EventKind, PolicyConfig, Seconds, Timestamp};
 use prorp_workload::{RegionName, RegionProfile, Trace};
 use std::hint::black_box;
@@ -48,11 +65,51 @@ const RETENTION: Seconds = Seconds(28 * 86_400);
 const WINDOW: i64 = 7 * 3_600;
 const SLIDE: i64 = 300;
 
+/// The LSM compaction mode the whole bench runs under, plus the shared
+/// scheduler that background-mode synthetic stores attach to.
+struct ModeCtx {
+    mode: CompactionMode,
+    sched: Option<CompactionScheduler>,
+}
+
+impl ModeCtx {
+    fn new(mode: CompactionMode) -> ModeCtx {
+        ModeCtx {
+            mode,
+            sched: (mode == CompactionMode::Background).then(CompactionScheduler::new),
+        }
+    }
+
+    /// A fresh synthetic store wired for this mode.
+    fn store(&self) -> LsmHistory {
+        let mut s = LsmHistory::new();
+        if let Some(sched) = &self.sched {
+            s.attach_scheduler(sched);
+        }
+        s
+    }
+
+    /// Fold the worker's effort back and return the store to inline
+    /// mode, asserting the hot path never stalled in background mode.
+    fn settle(&self, s: &mut LsmHistory) {
+        if self.mode == CompactionMode::Background {
+            assert_eq!(
+                s.compaction_stall_ns(),
+                0,
+                "background mode must keep the mutation path stall-free"
+            );
+            s.detach_compaction();
+        }
+    }
+}
+
 /// Measured LSM write amplification under the steady-state workload:
 /// one login every [`CADENCE`] seconds plus daily Algorithm 3 trims —
 /// the shape Algorithms 2 and 3 impose on every store in the fleet.
-fn lsm_write_amp(n: usize) -> (prorp_storage::LsmMetrics, usize) {
-    let mut store = LsmHistory::new();
+/// Also returns the trimmed-tuple count and the (stall, offloaded)
+/// compaction nanoseconds for the run.
+fn lsm_write_amp(n: usize, ctx: &ModeCtx) -> (prorp_storage::LsmMetrics, usize, u64, u64) {
+    let mut store = ctx.store();
     let mut deleted = 0;
     for i in 0..n {
         let ts = Timestamp(i as i64 * CADENCE);
@@ -61,7 +118,13 @@ fn lsm_write_amp(n: usize) -> (prorp_storage::LsmMetrics, usize) {
             deleted += store.delete_old_history(RETENTION, ts).deleted;
         }
     }
-    (store.metrics(), deleted)
+    ctx.settle(&mut store);
+    (
+        store.metrics(),
+        deleted,
+        store.compaction_stall_ns(),
+        store.offloaded_compaction_ns(),
+    )
 }
 
 /// B+Tree bytes written, measured through [`DurableHistory`]: the WAL
@@ -93,6 +156,45 @@ fn btree_write_amp(n: usize, cap: usize) -> (usize, usize, usize, usize) {
     }
     wal_bytes += store.wal().byte_len();
     (mutations, checkpoint_bytes, checkpoints, wal_bytes)
+}
+
+/// One timed Algorithm 3 pass per backend: build `expired + retained`
+/// logins at the synthetic cadence, then time a single
+/// `delete_old_history` call whose cutoff expires exactly the first
+/// `expired` tuples.  Returns `(btree_ns, lsm_ns, deleted)` — the
+/// best-of-`rounds` wall time per pass and the per-pass deleted count
+/// (identical across backends by the conformance oracle).
+fn trim_cost(expired: usize, retained: usize, rounds: usize, ctx: &ModeCtx) -> (f64, f64, usize) {
+    assert!(retained >= 2, "need a tail for the retention window");
+    let n = expired + retained;
+    let now = Timestamp((n - 1) as i64 * CADENCE);
+    // Cutoff at exactly `expired * CADENCE`: everything before it goes.
+    let h = Seconds(now.as_secs() - expired as i64 * CADENCE);
+    let mut best_btree = f64::INFINITY;
+    let mut best_lsm = f64::INFINITY;
+    let mut deleted = (0usize, 0usize);
+    for _ in 0..rounds {
+        let mut btree = HistoryTable::new();
+        let mut lsm = ctx.store();
+        for i in 0..n {
+            let ts = Timestamp(i as i64 * CADENCE);
+            btree.insert_history(ts, EventKind::Start);
+            lsm.insert_history(ts, EventKind::Start);
+        }
+        let t0 = Instant::now();
+        let b = btree.delete_old_history(h, now);
+        best_btree = best_btree.min(t0.elapsed().as_nanos() as f64);
+        let t1 = Instant::now();
+        let l = lsm.delete_old_history(h, now);
+        best_lsm = best_lsm.min(t1.elapsed().as_nanos() as f64);
+        deleted = (b.deleted, l.deleted);
+        assert_eq!(
+            b.deleted, l.deleted,
+            "backends disagreed on the trimmed count at {expired} expired"
+        );
+        ctx.settle(&mut lsm);
+    }
+    (best_btree, best_lsm, deleted.1)
 }
 
 /// Sweep `login_window_stats` Algorithm 4 style; returns
@@ -137,7 +239,13 @@ fn build_stores(n: usize) -> (HistoryTable, LsmHistory) {
 }
 
 /// The proactive fleet config for the equality gate.
-fn gate_config(dbs: usize, days: i64, shards: usize, backend: StorageBackend) -> SimConfig {
+fn gate_config(
+    dbs: usize,
+    days: i64,
+    shards: usize,
+    backend: StorageBackend,
+    mode: CompactionMode,
+) -> SimConfig {
     let start = Timestamp(0);
     SimConfig::builder(
         SimPolicy::Proactive(PolicyConfig::default()),
@@ -149,6 +257,7 @@ fn gate_config(dbs: usize, days: i64, shards: usize, backend: StorageBackend) ->
     .nodes(5)
     .shards(shards)
     .storage_backend(backend)
+    .compaction_mode(mode)
     .telemetry_mode(TelemetryMode::Summary)
     .build()
     .expect("gate config is valid")
@@ -160,8 +269,9 @@ fn run_gate(
     days: i64,
     shards: usize,
     b: StorageBackend,
+    mode: CompactionMode,
 ) -> SimReport {
-    Simulation::new(gate_config(dbs, days, shards, b), traces.to_vec())
+    Simulation::new(gate_config(dbs, days, shards, b, mode), traces.to_vec())
         .expect("gate config is valid")
         .run()
         .expect("gate run completes")
@@ -171,6 +281,20 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let json_path = json_path_from_args();
+    let mode = match args
+        .iter()
+        .position(|a| a == "--compaction")
+        .and_then(|at| args.get(at + 1))
+        .map(String::as_str)
+    {
+        None | Some("deterministic") => CompactionMode::Deterministic,
+        Some("background") => CompactionMode::Background,
+        Some(other) => {
+            eprintln!("--compaction wants deterministic|background, got {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = ModeCtx::new(mode);
 
     let (gate_dbs, gate_days, shard_counts): (usize, i64, &[usize]) = if smoke {
         (40, 6, &[1, 2])
@@ -186,7 +310,8 @@ fn main() {
     // ── Oracle: backend choice must not change behaviour ─────────────
     println!(
         "Equality gate: {gate_dbs} databases, {gate_days} days, shards {shard_counts:?}, \
-         btree vs lsm"
+         btree vs lsm, {} compaction",
+        mode.label()
     );
     let traces = RegionProfile::for_region(RegionName::Eu1).generate_fleet(
         gate_dbs,
@@ -197,7 +322,18 @@ fn main() {
     let mut baseline = None;
     for &shards in shard_counts {
         for backend in [StorageBackend::BTree, StorageBackend::Lsm] {
-            let report = run_gate(&traces, gate_dbs, gate_days, shards, backend);
+            let report = run_gate(&traces, gate_dbs, gate_days, shards, backend, mode);
+            if mode == CompactionMode::Background {
+                // The tentpole's contract: compaction never blocks the
+                // event-loop path when a worker owns it.
+                for c in &report.shard_counters {
+                    assert_eq!(
+                        c.compaction_stall_micros, 0,
+                        "shard {} stalled on compaction in background mode",
+                        c.shard
+                    );
+                }
+            }
             match &baseline {
                 None => baseline = Some((report.kpi, report.telemetry_summary.clone())),
                 Some((kpi, telemetry)) => {
@@ -231,7 +367,7 @@ fn main() {
     );
     let mut amp_entries = Vec::new();
     for &n in sizes {
-        let (lsm, lsm_deleted) = lsm_write_amp(n);
+        let (lsm, lsm_deleted, stall_ns, offloaded_ns) = lsm_write_amp(n, &ctx);
         let (mutations, checkpoint_bytes, checkpoints, wal_bytes) = btree_write_amp(n, cap);
         let btree_amp = checkpoint_bytes as f64 / (mutations * 16) as f64;
         println!(
@@ -264,6 +400,14 @@ fn main() {
                     ("flushes", JsonValue::UInt(lsm.flushes as u64)),
                     ("compactions", JsonValue::UInt(lsm.compactions as u64)),
                     ("trimmed_tuples", JsonValue::UInt(lsm_deleted as u64)),
+                    (
+                        "range_tombstones",
+                        JsonValue::UInt(lsm.range_tombstones as u64),
+                    ),
+                    ("gc_dropped", JsonValue::UInt(lsm.gc_dropped as u64)),
+                    ("runs_dropped", JsonValue::UInt(lsm.runs_dropped as u64)),
+                    ("compaction_stall_ns", JsonValue::UInt(stall_ns)),
+                    ("offloaded_compaction_ns", JsonValue::UInt(offloaded_ns)),
                 ]),
             ),
             (
@@ -279,6 +423,45 @@ fn main() {
         ]));
     }
     println!();
+
+    // ── Trim cost: one Algorithm 3 pass vs trimmed-tuple count ───────
+    let (trim_sizes, retained, rounds): (&[usize], usize, usize) = if smoke {
+        (&[2_000, 6_000], 500, 3)
+    } else {
+        (&[20_000, 40_000, 60_000, 80_000, 100_000], 4_000, 5)
+    };
+    println!("Trim cost (one Algorithm 3 pass, {retained} retained tuples, best of {rounds})");
+    println!(
+        "{:>9} {:>9} {:>14} {:>12}",
+        "expired", "deleted", "btree ns/pass", "lsm ns/pass"
+    );
+    let mut trim_entries = Vec::new();
+    let mut lsm_pass: Vec<f64> = Vec::new();
+    for &expired in trim_sizes {
+        let (btree_ns, lsm_ns, deleted) = trim_cost(expired, retained, rounds, &ctx);
+        println!("{expired:>9} {deleted:>9} {btree_ns:>14.0} {lsm_ns:>12.0}");
+        lsm_pass.push(lsm_ns);
+        trim_entries.push(JsonValue::object(vec![
+            ("expired", JsonValue::UInt(expired as u64)),
+            ("retained", JsonValue::UInt(retained as u64)),
+            ("deleted", JsonValue::UInt(deleted as u64)),
+            ("btree_ns_per_pass", JsonValue::Float(btree_ns)),
+            ("lsm_ns_per_pass", JsonValue::Float(lsm_ns)),
+        ]));
+    }
+    // The range-tombstone trim must not scale with the trimmed count:
+    // its cost tracks the constant retained tail, so the pass time at
+    // the largest size stays within noise of the smallest (generous 3x
+    // + 200us absolute floor — a per-tuple path would grow ~linearly).
+    let (first, worst) = (
+        lsm_pass.first().copied().unwrap_or(0.0),
+        lsm_pass.iter().copied().fold(0.0f64, f64::max),
+    );
+    assert!(
+        worst <= first * 3.0 + 200_000.0,
+        "LSM trim pass grew with the trimmed count: first {first:.0}ns, worst {worst:.0}ns"
+    );
+    println!("  lsm pass time flat across {trim_sizes:?} expired tuples\n");
 
     // ── Window-scan latency ──────────────────────────────────────────
     println!(
@@ -320,6 +503,7 @@ fn main() {
                 "mode",
                 JsonValue::Str(if smoke { "smoke" } else { "full" }.into()),
             ),
+            ("compaction_mode", JsonValue::Str(mode.label().into())),
             (
                 "equality_gate",
                 JsonValue::object(vec![
@@ -338,6 +522,7 @@ fn main() {
                 ]),
             ),
             ("write_amplification", JsonValue::Array(amp_entries)),
+            ("trim_cost", JsonValue::Array(trim_entries)),
             ("window_scan", JsonValue::Array(scan_entries)),
         ]);
         write_json(&path, &value);

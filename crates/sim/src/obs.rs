@@ -76,6 +76,17 @@ pub(crate) struct SelfObservations {
     pub wall_clock_micros: u64,
     /// Resume workflows currently tracked by the diagnostics runner.
     pub workflows_in_flight: usize,
+    /// Wall-clock micros of the registration phase (engine construction
+    /// and trace seeding).
+    pub register_micros: u64,
+    /// Wall-clock micros of the event-loop phase so far.
+    pub run_micros: u64,
+    /// Micros the shard's mutation paths spent blocked on inline LSM
+    /// compaction (0 on B+Tree and in background mode).
+    pub compaction_stall_micros: u64,
+    /// Micros of LSM compaction done off the hot path by the scheduler
+    /// worker (0 outside background mode).
+    pub offloaded_compaction_micros: u64,
 }
 
 /// All observability state of one shard: trace buffer, metrics registry,
@@ -147,6 +158,10 @@ impl ShardObs {
         registry.gauge("sim_self_trace_records");
         registry.gauge("sim_self_databases");
         registry.gauge("sim_self_wall_clock_micros");
+        registry.gauge("sim_self_register_micros");
+        registry.gauge("sim_self_run_micros");
+        registry.gauge("sim_self_compaction_stall_micros");
+        registry.gauge("sim_self_offloaded_compaction_micros");
         ShardObs {
             trace: TraceBuffer::new(),
             trace_spans: cfg.trace_spans,
@@ -481,6 +496,18 @@ impl ShardObs {
         self.registry
             .gauge("sim_self_wall_clock_micros")
             .set(stats.wall_clock_micros.min(i64::MAX as u64) as i64);
+        self.registry
+            .gauge("sim_self_register_micros")
+            .set(stats.register_micros.min(i64::MAX as u64) as i64);
+        self.registry
+            .gauge("sim_self_run_micros")
+            .set(stats.run_micros.min(i64::MAX as u64) as i64);
+        self.registry
+            .gauge("sim_self_compaction_stall_micros")
+            .set(stats.compaction_stall_micros.min(i64::MAX as u64) as i64);
+        self.registry
+            .gauge("sim_self_offloaded_compaction_micros")
+            .set(stats.offloaded_compaction_micros.min(i64::MAX as u64) as i64);
         self.snapshots.push(self.registry.snapshot(at));
     }
 
@@ -681,6 +708,10 @@ mod tests {
                 databases: 3,
                 wall_clock_micros: 12_345,
                 workflows_in_flight: 2,
+                register_micros: 1_000,
+                run_micros: 11_000,
+                compaction_stall_micros: 9,
+                offloaded_compaction_micros: 90,
             },
         );
         let report = obs.finish();
@@ -694,9 +725,16 @@ mod tests {
             snap.get("prorp_workflows_in_flight").unwrap().as_gauge(),
             Some(2)
         );
+        assert_eq!(
+            snap.get("sim_self_compaction_stall_micros")
+                .unwrap()
+                .as_gauge(),
+            Some(9)
+        );
         // The volatile gauges vanish from the deterministic surface.
         let det = snap.deterministic();
         assert!(det.get("sim_self_wall_clock_micros").is_none());
+        assert!(det.get("sim_self_offloaded_compaction_micros").is_none());
         assert!(det.get("prorp_workflows_in_flight").is_some());
     }
 }

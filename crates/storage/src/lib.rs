@@ -53,7 +53,10 @@ pub mod wal;
 pub use backup::{backup_history, restore_backend, restore_history};
 pub use btree::BTree;
 pub use history::{DeleteOutcome, HistoryTable, SlotIndex, StorageStats};
-pub use lsm::{LsmConfig, LsmHistory, LsmMetrics, LsmSnapshot, TimeTravel};
+pub use lsm::{
+    CompactionMode, CompactionScheduler, LsmConfig, LsmHistory, LsmMetrics, LsmSnapshot,
+    RangeTombstone, TimeTravel,
+};
 pub use metadata::{DbMeta, MetadataStore};
 pub use store::{HistoryBackend, HistoryRead, HistoryStore, StorageBackend};
 pub use wal::{DurableHistory, WalRecord, WriteAheadLog};

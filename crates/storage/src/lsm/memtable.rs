@@ -36,10 +36,17 @@ pub struct MemTable {
 
 /// Pick the newest version at or below `at` from a seqno-sorted chain.
 pub(crate) fn visible_in_chain(chain: &[Version], at: u64) -> Visible {
+    visible_in_chain_seq(chain, at).map(|(_, v)| v)
+}
+
+/// Like [`visible_in_chain`], but also yields the winning version's
+/// seqno — range-tombstone resolution compares it against the newest
+/// covering trim.
+pub(crate) fn visible_in_chain_seq(chain: &[Version], at: u64) -> Option<(u64, Option<i64>)> {
     let cut = chain.partition_point(|&(s, _, _)| s <= at);
     chain[..cut]
         .last()
-        .map(|&(_, v, dead)| (!dead).then_some(v))
+        .map(|&(s, v, dead)| (s, (!dead).then_some(v)))
 }
 
 impl Default for MemTable {

@@ -8,42 +8,62 @@
 //! observable behaviour.  What the LSM shape buys on top:
 //!
 //! * **MVCC versions + monotonic seqnos** — every mutation (insert or
-//!   trim tombstone) is stamped with the store's sequence number, which
-//!   *is* the mutation version engines already key prediction caches
-//!   on.  Nothing is overwritten in place, so
-//!   [`LsmHistory::snapshot`] can freeze the tuple set visible at any
-//!   past seqno, and the [`TimeTravel`] mapping resolves simulated
-//!   timestamps to seqnos for "as of T" post-mortems (fjall-style
-//!   `snapshot(seqno)`, oxibase-style `AS OF`).
+//!   trim) is stamped with the store's sequence number, which *is* the
+//!   mutation version engines already key prediction caches on.
+//!   Nothing is overwritten in place, so [`LsmHistory::snapshot`] can
+//!   freeze the tuple set visible at any past seqno, and the
+//!   [`TimeTravel`] mapping resolves simulated timestamps to seqnos for
+//!   "as of T" post-mortems (fjall-style `snapshot(seqno)`,
+//!   oxibase-style `AS OF`).
 //! * **Write path**: mutations append to an embedded write-ahead log
 //!   and an in-memory [`memtable`]; at [`LsmConfig::memtable_cap`]
 //!   buffered versions the memtable flushes into an immutable sorted
 //!   [`run`] serialised through the existing 8-KiB slotted-page
 //!   machinery, and the WAL truncates (its coverage is exactly the
 //!   unflushed tail).  Runs compact size-tiered at level 0 and leveled
-//!   below ([`compaction`]); every physical byte written is charged to
-//!   a write-amplification ledger ([`LsmMetrics`]).
-//! * **Read path**: point lookups probe bloom filters and stop at the
-//!   first source holding a version at or below the read point (the
-//!   seqno-range discipline makes that sound); range scans k-way merge
-//!   the memtable and all runs, resolving per-key visibility at the
-//!   read seqno.
+//!   below ([`compaction`]) — inline in
+//!   [`CompactionMode::Deterministic`], or on a shared
+//!   [`CompactionScheduler`] worker in
+//!   [`CompactionMode::Background`], where the event-loop path only
+//!   enqueues ([`scheduler`]).  Every physical byte written is charged
+//!   to a write-amplification ledger ([`LsmMetrics`]).
+//! * **Trim path**: an Algorithm 3 retention pass records one
+//!   [`RangeTombstone`] — `O(1)` logical work per pass instead of one
+//!   point tombstone per doomed tuple ([`tombstone`]).  Compaction
+//!   garbage-collects covered versions lazily, dropping whole runs
+//!   when one tombstone covers a run's entire key range.
+//! * **Read path**: the hot [`window aggregates`](LsmHistory::login_window_stats)
+//!   are served from sorted visible-set caches (`keys`/`vals`/`logins`)
+//!   maintained incrementally on every mutation — the same
+//!   partition-point arithmetic the B+Tree backend's login cache uses,
+//!   so live predictions never pay a multi-run merge.  Only snapshot
+//!   reconstruction and the invariant audit still k-way-merge the
+//!   memtable and runs, resolving per-key visibility (point versions
+//!   *and* range tombstones) at the read seqno.
 
 pub mod bloom;
 pub mod compaction;
 pub mod memtable;
 pub mod run;
+pub mod scheduler;
 pub mod snapshot;
+pub mod tombstone;
 
+pub use scheduler::{CompactionMode, CompactionScheduler};
 pub use snapshot::{LsmSnapshot, TimeTravel};
+pub use tombstone::RangeTombstone;
 
 use crate::history::{DeleteOutcome, SlotIndex, StorageStats};
 use crate::page::{self, Record};
 use crate::wal::{WalRecord, WriteAheadLog};
-use compaction::Levels;
-use memtable::{visible_in_chain, MemTable, Visible};
+use compaction::{CompactionEffort, Levels};
+use memtable::{visible_in_chain_seq, MemTable};
 use prorp_types::{ActivityEvent, EventKind, ProrpError, Seconds, Timestamp};
 use run::{Entry, Run};
+use scheduler::StoreHandle;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Tuning knobs for one [`LsmHistory`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -66,9 +86,18 @@ impl Default for LsmConfig {
 }
 
 /// Cumulative write/compaction accounting for one store.
+///
+/// Deterministic across compaction modes once a barrier has drained the
+/// background worker — wall-clock figures live outside this struct
+/// ([`LsmHistory::compaction_stall_ns`],
+/// [`LsmHistory::offloaded_compaction_ns`]) precisely so this one can
+/// stay `Eq`-comparable.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct LsmMetrics {
-    /// Logical bytes written: 16 B per mutation (insert or tombstone).
+    /// Logical bytes written: 16 B per insert and 16 B per trimmed
+    /// tuple — the workload the caller requested, independent of how
+    /// the store encodes it (a trim pass *physically* writes only one
+    /// range-tombstone record, however many tuples it covers).
     pub logical_write_bytes: usize,
     /// Physical bytes written by memtable flushes.
     pub flushed_bytes: usize,
@@ -80,6 +109,12 @@ pub struct LsmMetrics {
     pub flushes: usize,
     /// Number of compaction merges.
     pub compactions: usize,
+    /// Range tombstones recorded by Algorithm 3 passes.
+    pub range_tombstones: usize,
+    /// Versions dropped by tombstone garbage collection at merges.
+    pub gc_dropped: usize,
+    /// Whole runs dropped because one tombstone covered them entirely.
+    pub runs_dropped: usize,
 }
 
 impl LsmMetrics {
@@ -92,41 +127,201 @@ impl LsmMetrics {
             (self.flushed_bytes + self.compacted_bytes) as f64 / self.logical_write_bytes as f64
         }
     }
+
+    fn absorb_effort(&mut self, effort: CompactionEffort) {
+        self.compacted_bytes += effort.bytes_written;
+        self.compactions += effort.merges;
+        self.gc_dropped += effort.gc_dropped;
+        self.runs_dropped += effort.runs_dropped;
+    }
+}
+
+/// Where a store's run hierarchy is maintained.
+#[derive(Debug)]
+enum RunStore {
+    /// Compaction runs inline at each flush (the deterministic mode).
+    Inline(Levels),
+    /// Flushes enqueue to a [`CompactionScheduler`] worker; the
+    /// foreground keeps not-yet-applied runs readable in `pending`.
+    Background(BackgroundStore),
+}
+
+/// Foreground state of a background-compacted store.
+#[derive(Debug)]
+struct BackgroundStore {
+    handle: StoreHandle,
+    /// `(flush index, run)` pairs sent but possibly not yet applied by
+    /// the worker, oldest first.  Lazily pruned against the published
+    /// applied count.
+    pending: VecDeque<(u64, Arc<Run>)>,
+    /// Flush messages sent so far.
+    sent: u64,
+}
+
+impl BackgroundStore {
+    /// Drop pending runs the worker has already incorporated.
+    fn prune(&mut self) {
+        let applied = self.handle.applied();
+        while self.pending.front().is_some_and(|&(idx, _)| idx < applied) {
+            self.pending.pop_front();
+        }
+    }
+
+    /// Barrier + adopt: wait for the worker, returning the final
+    /// hierarchy and the effort/time to fold into the store's ledgers.
+    /// If the scheduler died first, the remaining pending flushes are
+    /// replayed inline over the last published image.
+    fn drain(&mut self, trims: &[RangeTombstone]) -> (Levels, CompactionEffort, u64) {
+        let (mut levels, mut effort, ns, dead) = self.handle.wait_applied(self.sent);
+        if dead {
+            let (applied, ..) = self.handle.published();
+            for &(idx, ref run) in &self.pending {
+                if idx >= applied {
+                    let extra = levels
+                        .push_flush(Arc::clone(run), trims)
+                        .expect("page encoding of a sorted run cannot fail");
+                    effort.absorb(extra);
+                }
+            }
+        }
+        self.pending.clear();
+        (levels, effort, ns)
+    }
+}
+
+impl RunStore {
+    /// The readable run sources, newest→oldest: unapplied pending runs
+    /// (background mode), then the maintained hierarchy.
+    fn view(&self) -> Vec<Arc<Run>> {
+        match self {
+            RunStore::Inline(levels) => levels.iter_newest_first().cloned().collect(),
+            RunStore::Background(b) => {
+                let (applied, image, ..) = b.handle.published();
+                b.pending
+                    .iter()
+                    .rev()
+                    .filter(|&&(idx, _)| idx >= applied)
+                    .map(|(_, run)| Arc::clone(run))
+                    .chain(image.iter_newest_first().cloned())
+                    .filter(|r| !r.is_empty())
+                    .collect()
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            RunStore::Inline(levels) => levels.depth(),
+            RunStore::Background(b) => {
+                let (applied, image, ..) = b.handle.published();
+                let unapplied = b.pending.iter().filter(|&&(idx, _)| idx >= applied).count();
+                unapplied + image.depth()
+            }
+        }
+    }
+
+    fn gc_floor(&self) -> u64 {
+        match self {
+            RunStore::Inline(levels) => levels.gc_floor(),
+            RunStore::Background(b) => b.handle.published().1.gc_floor(),
+        }
+    }
 }
 
 /// The LSM/MVCC implementation of the history store.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct LsmHistory {
     config: LsmConfig,
     /// The write buffer (newest versions).
     memtable: MemTable,
-    /// The immutable-run hierarchy (older versions).
-    levels: Levels,
+    /// The immutable-run hierarchy (older versions) — inline or
+    /// background-maintained.
+    runs: RunStore,
     /// Embedded write-ahead log covering exactly the memtable.
     wal: WriteAheadLog,
     /// Mutation sequence counter — equals the observable
     /// [`version`](LsmHistory::version), so seqnos and the engines'
     /// prediction-cache keys are the same number.
     seqno: u64,
-    /// Tuples visible at the latest seqno (kept in `O(1)`).
-    live: usize,
+    /// Sorted visible tuple keys at the latest seqno — the hot-read
+    /// substrate (every window aggregate is partition-point arithmetic
+    /// over this and `logins`).
+    keys: Vec<i64>,
+    /// Parallel `event_type` values (1 = start, 0 = end).
+    vals: Vec<i64>,
     /// Sorted cache of visible login timestamps (mirrors
     /// [`crate::HistoryTable`]'s cache, same maintenance rules).
     logins: Vec<i64>,
     /// Optional slot-occupancy index (see [`SlotIndex`]).
     slots: Option<SlotIndex>,
+    /// Range tombstones recorded by Algorithm 3 passes, seqno-ascending.
+    trims: Vec<RangeTombstone>,
     /// `(applied_at, seqno)` pairs, both monotone — the
     /// [`TimeTravel::seqno_as_of`] substrate.  Inserts are applied at
     /// their event timestamp (clamped monotone for stragglers), trims
     /// at the trim's `now`.
     timeline: Vec<(i64, u64)>,
-    /// Write/compaction accounting.
+    /// Write/compaction accounting (deterministic, `Eq`-comparable).
     metrics: LsmMetrics,
+    /// Wall-clock nanoseconds the *mutation path* spent blocked on
+    /// compaction work (volatile; 0 by construction in background mode).
+    stall_ns: u64,
+    /// Wall-clock nanoseconds of compaction performed off the hot path
+    /// by a scheduler worker, folded in at detach (volatile).
+    offloaded_ns: u64,
 }
 
 impl Default for LsmHistory {
     fn default() -> Self {
         LsmHistory::new()
+    }
+}
+
+impl Clone for LsmHistory {
+    /// Cloning a background-compacted store barriers the worker and
+    /// yields a *detached* (inline-mode) clone: two stores sharing one
+    /// scheduler registration would interleave their flush streams.
+    fn clone(&self) -> Self {
+        let (runs, extra_effort, extra_ns) = match &self.runs {
+            RunStore::Inline(levels) => (RunStore::Inline(levels.clone()), None, 0),
+            RunStore::Background(b) => {
+                let (levels, effort, ns, _dead) = b.handle.wait_applied(b.sent);
+                // `wait_applied` leaves pending flushes unapplied only if
+                // the scheduler died; replay them inline for the clone.
+                let mut levels = levels;
+                let mut effort = effort;
+                let (applied, ..) = b.handle.published();
+                for &(idx, ref run) in &b.pending {
+                    if idx >= applied {
+                        let extra = levels
+                            .push_flush(Arc::clone(run), &self.trims)
+                            .expect("page encoding of a sorted run cannot fail");
+                        effort.absorb(extra);
+                    }
+                }
+                (RunStore::Inline(levels), Some(effort), ns)
+            }
+        };
+        let mut metrics = self.metrics;
+        if let Some(effort) = extra_effort {
+            metrics.absorb_effort(effort);
+        }
+        LsmHistory {
+            config: self.config,
+            memtable: self.memtable.clone(),
+            runs,
+            wal: self.wal.clone(),
+            seqno: self.seqno,
+            keys: self.keys.clone(),
+            vals: self.vals.clone(),
+            logins: self.logins.clone(),
+            slots: self.slots.clone(),
+            trims: self.trims.clone(),
+            timeline: self.timeline.clone(),
+            metrics,
+            stall_ns: self.stall_ns,
+            offloaded_ns: self.offloaded_ns + extra_ns,
+        }
     }
 }
 
@@ -145,14 +340,21 @@ impl LsmHistory {
                 ..config
             },
             memtable: MemTable::new(),
-            levels: Levels::new(cap * compaction::L0_RUN_LIMIT, config.bloom_filters),
+            runs: RunStore::Inline(Levels::new(
+                cap * compaction::L0_RUN_LIMIT,
+                config.bloom_filters,
+            )),
             wal: WriteAheadLog::new(),
             seqno: 0,
-            live: 0,
+            keys: Vec::new(),
+            vals: Vec::new(),
             logins: Vec::new(),
             slots: None,
+            trims: Vec::new(),
             timeline: Vec::new(),
             metrics: LsmMetrics::default(),
+            stall_ns: 0,
+            offloaded_ns: 0,
         }
     }
 
@@ -161,9 +363,41 @@ impl LsmHistory {
         self.config
     }
 
-    /// Cumulative write/compaction accounting.
+    /// Cumulative write/compaction accounting.  In background mode the
+    /// worker's effort so far is folded into the returned copy.
     pub fn metrics(&self) -> LsmMetrics {
-        self.metrics
+        let mut m = self.metrics;
+        if let RunStore::Background(b) = &self.runs {
+            let (_, _, effort, _, _) = b.handle.published();
+            m.absorb_effort(effort);
+        }
+        m
+    }
+
+    /// Wall-clock nanoseconds the mutation path spent blocked on
+    /// compaction work.  Inline mode accumulates every merge here; in
+    /// background mode flushes only enqueue, so this stays 0 — the
+    /// `storage_bench` stall metric.
+    pub fn compaction_stall_ns(&self) -> u64 {
+        self.stall_ns
+    }
+
+    /// Wall-clock nanoseconds of compaction performed off the hot path
+    /// by a scheduler worker (0 in inline mode).
+    pub fn offloaded_compaction_ns(&self) -> u64 {
+        let mut ns = self.offloaded_ns;
+        if let RunStore::Background(b) = &self.runs {
+            ns += b.handle.published().3;
+        }
+        ns
+    }
+
+    /// Whether this store currently runs in background-compaction mode.
+    pub fn compaction_mode(&self) -> CompactionMode {
+        match self.runs {
+            RunStore::Inline(_) => CompactionMode::Deterministic,
+            RunStore::Background(_) => CompactionMode::Background,
+        }
     }
 
     /// The embedded write-ahead log (covers the unflushed memtable).
@@ -171,32 +405,73 @@ impl LsmHistory {
         &self.wal
     }
 
-    /// Number of immutable runs across all levels.
+    /// Number of immutable runs readable right now (pending + applied).
     pub fn run_count(&self) -> usize {
-        self.levels.run_count()
+        self.runs.view().len()
     }
 
-    /// Newest visible value of `key` at seqno `at`:
-    /// memtable first, then runs newest→oldest; the seqno-range
-    /// discipline guarantees the first source holding a version at or
-    /// below `at` holds the newest such version overall.
-    fn visible_at(&self, key: i64, at: u64) -> Visible {
-        if let Some(v) = self.memtable.visible(key, at) {
-            return Some(v);
+    /// The range tombstones recorded so far, seqno-ascending.
+    pub fn trims(&self) -> &[RangeTombstone] {
+        &self.trims
+    }
+
+    /// Largest tombstone seqno whose covered versions were dropped by a
+    /// garbage-collecting merge (0 before any GC).  Snapshots
+    /// *reconstructed* at seqnos below this are best-effort; snapshots
+    /// pinned before the merge stay exact.
+    pub fn gc_floor(&self) -> u64 {
+        self.runs.gc_floor()
+    }
+
+    /// Hand this store's compaction to a scheduler worker: the worker
+    /// adopts the current hierarchy and all subsequent flushes enqueue
+    /// instead of compacting inline.  No-op if already attached.
+    pub fn attach_scheduler(&mut self, sched: &CompactionScheduler) {
+        let RunStore::Inline(levels) = &self.runs else {
+            return;
+        };
+        let handle = sched.register(levels.clone(), self.trims.clone());
+        self.runs = RunStore::Background(BackgroundStore {
+            handle,
+            pending: VecDeque::new(),
+            sent: 0,
+        });
+    }
+
+    /// Barrier: block until every enqueued flush has been compacted.
+    /// No-op in inline mode.  The store stays attached.
+    pub fn compaction_barrier(&mut self) {
+        if let RunStore::Background(b) = &mut self.runs {
+            let _ = b.handle.wait_applied(b.sent);
+            b.prune();
         }
-        self.levels
-            .iter_newest_first()
-            .find_map(|run| run.visible(key, at))
+    }
+
+    /// Barrier, fold the worker's effort into this store's ledgers, and
+    /// return to inline mode.  Call before collecting final stats (the
+    /// shard drivers do this in `finish()`).  No-op in inline mode.
+    pub fn detach_compaction(&mut self) {
+        let RunStore::Background(b) = &mut self.runs else {
+            return;
+        };
+        let (levels, effort, ns) = b.drain(&self.trims);
+        b.handle.retire();
+        self.metrics.absorb_effort(effort);
+        self.offloaded_ns += ns;
+        self.runs = RunStore::Inline(levels);
     }
 
     /// Walk visible `(key, value)` pairs with `lo <= key <= hi` at
     /// seqno `at`, ascending; stop early when `f` returns `false`.
+    /// Visibility is the newest of (point version, covering range
+    /// tombstone) at or below `at` — the cold path behind snapshot
+    /// reconstruction and the invariant audit.
     fn scan_visible<F: FnMut(i64, i64) -> bool>(&self, lo: i64, hi: i64, at: u64, mut f: F) {
         if lo > hi {
-            return; // e.g. an empty trim range between adjacent keys
+            return; // e.g. an empty range between adjacent keys
         }
+        let runs = self.runs.view();
         let mut mem = self.memtable.range(lo, hi).peekable();
-        let runs: Vec<&Run> = self.levels.iter_newest_first().collect();
         let mut cursors: Vec<usize> = runs.iter().map(|r| r.lower_bound(lo)).collect();
         loop {
             // Smallest head key across all sources, bounded by `hi`.
@@ -209,24 +484,24 @@ impl LsmHistory {
                 }
             }
             let Some(key) = key else { break };
-            // Resolve visibility: first source (newest-first) holding a
-            // version of `key` at or below `at` wins.
-            let mut verdict: Visible = None;
+            // Resolve point visibility: first source (newest-first)
+            // holding a version of `key` at or below `at` wins.
+            let mut verdict: Option<(u64, Option<i64>)> = None;
             if let Some(&(k, chain)) = mem.peek() {
                 if k == key {
-                    verdict = visible_in_chain(chain, at);
+                    verdict = visible_in_chain_seq(chain, at);
                     mem.next();
                 }
             }
             for (run, cur) in runs.iter().zip(&mut cursors) {
                 let entries = run.entries();
-                let mut hit: Visible = None;
+                let mut hit: Option<(u64, Option<i64>)> = None;
                 while let Some(e) = entries.get(*cur) {
                     if e.key != key {
                         break;
                     }
                     if e.seqno <= at {
-                        hit = Some((!e.tombstone).then_some(e.value));
+                        hit = Some((e.seqno, (!e.tombstone).then_some(e.value)));
                     }
                     *cur += 1;
                 }
@@ -234,8 +509,13 @@ impl LsmHistory {
                     verdict = hit;
                 }
             }
-            if let Some(Some(value)) = verdict {
-                if !f(key, value) {
+            // A range tombstone newer than the winning point version
+            // deletes the key; a point version newer than every
+            // covering tombstone (a re-insert) survives.
+            if let Some((win_seq, Some(value))) = verdict {
+                let trimmed =
+                    tombstone::newest_covering(&self.trims, key, at).is_some_and(|t| t > win_seq);
+                if !trimmed && !f(key, value) {
                     return;
                 }
             }
@@ -243,6 +523,8 @@ impl LsmHistory {
     }
 
     /// Flush the memtable into a fresh L0 run and truncate the WAL.
+    /// Inline mode compacts here (charging the stall ledger);
+    /// background mode only enqueues.
     fn flush(&mut self) -> Result<(), ProrpError> {
         if self.memtable.is_empty() {
             return Ok(());
@@ -251,9 +533,21 @@ impl LsmHistory {
         let (run, bytes) = Run::build(entries, self.config.bloom_filters)?;
         self.metrics.flushed_bytes += bytes;
         self.metrics.flushes += 1;
-        let effort = self.levels.push_flush(run)?;
-        self.metrics.compacted_bytes += effort.bytes_written;
-        self.metrics.compactions += effort.merges;
+        let run = Arc::new(run);
+        match &mut self.runs {
+            RunStore::Inline(levels) => {
+                let t0 = Instant::now();
+                let effort = levels.push_flush(run, &self.trims)?;
+                self.stall_ns += t0.elapsed().as_nanos() as u64;
+                self.metrics.absorb_effort(effort);
+            }
+            RunStore::Background(b) => {
+                b.prune();
+                b.pending.push_back((b.sent, Arc::clone(&run)));
+                b.handle.send_flush(run);
+                b.sent += 1;
+            }
+        }
         // The flushed versions are durable in runs now; the WAL only
         // needs to cover the (empty) memtable.
         self.wal.checkpoint();
@@ -283,9 +577,12 @@ impl LsmHistory {
 
     /// Algorithm 2 — `sys.InsertHistory(@time, @type)`; `true` when a
     /// tuple was stored (see [`crate::HistoryTable::insert_history`]).
+    /// The IF-NOT-EXISTS probe is one binary search on the visible-key
+    /// cache — no bloom filters, no run probes.
     pub fn insert_history(&mut self, ts: Timestamp, kind: EventKind) -> bool {
         let key = ts.as_secs();
-        if matches!(self.visible_at(key, self.seqno), Some(Some(_))) {
+        let pos = self.keys.partition_point(|&k| k < key);
+        if self.keys.get(pos).copied() == Some(key) {
             return false; // IF NOT EXISTS
         }
         self.seqno += 1;
@@ -296,15 +593,16 @@ impl LsmHistory {
             },
             key,
         );
-        self.memtable
-            .add(key, self.seqno, i64::from(kind.as_i32()), false);
+        let value = i64::from(kind.as_i32());
+        self.memtable.add(key, self.seqno, value, false);
         self.metrics.logical_write_bytes += page::RECORD_SIZE;
-        self.live += 1;
+        self.keys.insert(pos, key);
+        self.vals.insert(pos, value);
         if kind == EventKind::Start {
             match self.logins.last() {
                 Some(&newest) if newest > key => {
-                    let pos = self.logins.partition_point(|&x| x < key);
-                    self.logins.insert(pos, key);
+                    let lp = self.logins.partition_point(|&x| x < key);
+                    self.logins.insert(lp, key);
                 }
                 _ => self.logins.push(key),
             }
@@ -321,12 +619,14 @@ impl LsmHistory {
         self.insert_history(ev.ts, ev.kind)
     }
 
-    /// Algorithm 3 — `sys.DeleteOldHistory(@h, @now, @old OUTPUT)`,
-    /// tombstone-based (see
-    /// [`crate::HistoryTable::delete_old_history`]).
+    /// Algorithm 3 — `sys.DeleteOldHistory(@h, @now, @old OUTPUT)` as a
+    /// single [`RangeTombstone`]: `O(1)` logical work per pass (plus the
+    /// cache drains), however many tuples the pass covers.  Compare
+    /// [`crate::HistoryTable::delete_old_history`], which walks the
+    /// doomed keys.
     pub fn delete_old_history(&mut self, h: Seconds, now: Timestamp) -> DeleteOutcome {
         let history_start = (now - h).as_secs();
-        let Some(min_ts) = self.min_timestamp().map(Timestamp::as_secs) else {
+        let Some(&min_ts) = self.keys.first() else {
             return DeleteOutcome {
                 old: false,
                 deleted: 0,
@@ -338,15 +638,12 @@ impl LsmHistory {
                 deleted: 0,
             };
         }
-        // Keys strictly inside (min_ts, history_start) that are visible
-        // now get tombstoned; the oldest tuple survives to preserve the
-        // lifespan.
-        let mut doomed: Vec<i64> = Vec::new();
-        self.scan_visible(min_ts + 1, history_start - 1, self.seqno, |k, _| {
-            doomed.push(k);
-            true
-        });
-        let deleted = doomed.len();
+        // Keys strictly inside (min_ts, history_start) die; the oldest
+        // tuple survives to preserve the lifespan.  Counting them is two
+        // binary searches on the visible-key cache.
+        let lo = self.keys.partition_point(|&k| k <= min_ts);
+        let hi = self.keys.partition_point(|&k| k < history_start);
+        let deleted = hi - lo;
         if deleted > 0 {
             self.seqno += 1;
             self.log_mutation(
@@ -356,22 +653,34 @@ impl LsmHistory {
                 },
                 now.as_secs(),
             );
-            for &k in &doomed {
-                self.memtable.add(k, self.seqno, 0, true);
+            let tomb = RangeTombstone {
+                lo: min_ts + 1,
+                hi: history_start,
+                seqno: self.seqno,
+            };
+            self.trims.push(tomb);
+            if let RunStore::Background(b) = &self.runs {
+                b.handle.send_trim(tomb);
             }
+            // Logical accounting stays per tuple — the pass logically
+            // deletes `deleted` records, so write amplification remains
+            // comparable across backends and across the per-tuple →
+            // range-tombstone change.  Physically only the single
+            // tombstone record hits the WAL and the flush path.
             self.metrics.logical_write_bytes += deleted * page::RECORD_SIZE;
-            self.live -= deleted;
-            let lo = self.logins.partition_point(|&t| t <= min_ts);
-            let hi = self.logins.partition_point(|&t| t < history_start);
-            if lo < hi {
+            self.metrics.range_tombstones += 1;
+            self.keys.drain(lo..hi);
+            self.vals.drain(lo..hi);
+            let llo = self.logins.partition_point(|&t| t <= min_ts);
+            let lhi = self.logins.partition_point(|&t| t < history_start);
+            if llo < lhi {
                 if let Some(ix) = self.slots.as_mut() {
-                    for &t in &self.logins[lo..hi] {
+                    for &t in &self.logins[llo..lhi] {
                         ix.remove(t);
                     }
                 }
-                self.logins.drain(lo..hi);
+                self.logins.drain(llo..lhi);
             }
-            self.maybe_flush();
         }
         DeleteOutcome { old: true, deleted }
     }
@@ -388,93 +697,56 @@ impl LsmHistory {
 
     /// Number of logins inside the closed window `[lo, hi]`.
     pub fn count_logins_in(&self, lo: Timestamp, hi: Timestamp) -> i64 {
-        self.login_window_stats(lo, hi).map_or(0, |(_, _, c)| c)
+        let a = self.logins.partition_point(|&k| k < lo.as_secs());
+        let b = self.logins.partition_point(|&k| k <= hi.as_secs());
+        (b - a) as i64
     }
 
-    /// `MIN`, `MAX` and `COUNT` of login timestamps inside `[lo, hi]`
-    /// in one merged range scan (see
-    /// [`crate::HistoryTable::login_window_stats`]).
+    /// `MIN`, `MAX` and `COUNT` of login timestamps inside `[lo, hi]` —
+    /// partition-point arithmetic on the sorted login cache, no run
+    /// merge (see [`crate::HistoryTable::login_window_stats`]).
     pub fn login_window_stats(
         &self,
         lo: Timestamp,
         hi: Timestamp,
     ) -> Option<(Timestamp, Timestamp, i64)> {
-        let mut first = None;
-        let mut last = None;
-        let mut count = 0i64;
-        self.scan_visible(lo.as_secs(), hi.as_secs(), self.seqno, |k, v| {
-            if v == 1 {
-                if first.is_none() {
-                    first = Some(Timestamp(k));
-                }
-                last = Some(Timestamp(k));
-                count += 1;
-            }
-            true
-        });
-        Some((first?, last?, count))
+        let a = self.logins.partition_point(|&k| k < lo.as_secs());
+        let b = self.logins.partition_point(|&k| k <= hi.as_secs());
+        if a == b {
+            return None;
+        }
+        Some((
+            Timestamp(self.logins[a]),
+            Timestamp(self.logins[b - 1]),
+            (b - a) as i64,
+        ))
     }
 
     /// Whether any event falls inside the closed window `[lo, hi]`.
     pub fn any_event_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
-        let mut any = false;
-        self.scan_visible(lo.as_secs(), hi.as_secs(), self.seqno, |_, _| {
-            any = true;
-            false
-        });
-        any
+        let a = self.keys.partition_point(|&k| k < lo.as_secs());
+        let b = self.keys.partition_point(|&k| k <= hi.as_secs());
+        a < b
     }
 
-    /// Oldest visible timestamp.  The merged scan's first key decides:
-    /// Algorithm 3 never tombstones the oldest tuple, so this
-    /// early-exits without walking dead keys.
+    /// Oldest visible timestamp.
     pub fn min_timestamp(&self) -> Option<Timestamp> {
-        let mut min = None;
-        self.scan_visible(i64::MIN, i64::MAX, self.seqno, |k, _| {
-            min = Some(Timestamp(k));
-            false
-        });
-        min
+        self.keys.first().map(|&k| Timestamp(k))
     }
 
-    /// Newest visible timestamp — a descending walk over merged keys,
-    /// skipping any tombstoned suffix.
+    /// Newest visible timestamp.
     pub fn max_timestamp(&self) -> Option<Timestamp> {
-        let mut mem = self.memtable.iter().rev().peekable();
-        let runs: Vec<&Run> = self.levels.iter_newest_first().collect();
-        let mut tails: Vec<usize> = runs.iter().map(|r| r.entries().len()).collect();
-        loop {
-            let mut key = mem.peek().map(|&(k, _)| k);
-            for (run, &tail) in runs.iter().zip(&tails) {
-                if tail > 0 {
-                    let k = run.entries()[tail - 1].key;
-                    key = Some(key.map_or(k, |best: i64| best.max(k)));
-                }
-            }
-            let key = key?;
-            if matches!(self.visible_at(key, self.seqno), Some(Some(_))) {
-                return Some(Timestamp(key));
-            }
-            // Dead key: step every source past it (descending).
-            while mem.peek().is_some_and(|&(k, _)| k == key) {
-                mem.next();
-            }
-            for (run, tail) in runs.iter().zip(&mut tails) {
-                while *tail > 0 && run.entries()[*tail - 1].key == key {
-                    *tail -= 1;
-                }
-            }
-        }
+        self.keys.last().map(|&k| Timestamp(k))
     }
 
-    /// Number of visible tuples (maintained in `O(1)`).
+    /// Number of visible tuples (the visible-key cache length).
     pub fn len(&self) -> usize {
-        self.live
+        self.keys.len()
     }
 
     /// Whether the store holds no visible tuples.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.keys.is_empty()
     }
 
     /// The mutation version — *equal to the latest seqno by
@@ -500,21 +772,21 @@ impl LsmHistory {
         self.slots = SlotIndex::rebuilt(period, slot_len, &self.logins);
     }
 
-    /// All visible events in timestamp order.
+    /// All visible events in timestamp order — zipped straight off the
+    /// visible-set caches.
     pub fn events(&self) -> Vec<ActivityEvent> {
-        let mut out = Vec::with_capacity(self.live);
-        self.scan_visible(i64::MIN, i64::MAX, self.seqno, |k, v| {
-            out.push(ActivityEvent {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .map(|(&k, &v)| ActivityEvent {
                 ts: Timestamp(k),
                 kind: if v == 1 {
                     EventKind::Start
                 } else {
                     EventKind::End
                 },
-            });
-            true
-        });
-        out
+            })
+            .collect()
     }
 
     /// Rebuild from backup page records: the tuples become one base run
@@ -532,8 +804,12 @@ impl LsmHistory {
             })
             .collect();
         let (run, _) = Run::build(entries, store.config.bloom_filters)?;
-        store.levels.install_base(run);
-        store.live = records.len();
+        let RunStore::Inline(levels) = &mut store.runs else {
+            unreachable!("a fresh store is always inline");
+        };
+        levels.install_base(run);
+        store.keys = records.iter().map(|r| r.key).collect();
+        store.vals = records.iter().map(|r| r.value).collect();
         store.logins = records
             .iter()
             .filter(|r| r.value == 1)
@@ -543,20 +819,44 @@ impl LsmHistory {
     }
 
     /// Audit the store's structural invariants: run shape and seqno
-    /// discipline, the `O(1)` live counter, the login cache and slot
-    /// index against a from-scratch rebuild of the visible set, and the
-    /// timeline's monotonicity.
+    /// discipline (including the pending-run ordering in background
+    /// mode), the visible-set caches against a from-scratch merged
+    /// rebuild, the slot index, and the timeline's monotonicity.
     ///
     /// # Panics
     ///
     /// Panics with a description of the violated invariant.
     pub fn check_invariants(&self) {
-        self.levels.check_invariants();
+        match &self.runs {
+            RunStore::Inline(levels) => levels.check_invariants(),
+            RunStore::Background(b) => {
+                let (applied, image, ..) = b.handle.published();
+                image.check_invariants();
+                // Pending (unapplied) runs must sit strictly above the
+                // image's seqno range, ascending by flush order.
+                let mut prev_max = image
+                    .iter_newest_first()
+                    .map(|r| r.max_seqno())
+                    .max()
+                    .unwrap_or(0);
+                for &(idx, ref run) in &b.pending {
+                    if idx < applied || run.is_empty() {
+                        continue;
+                    }
+                    assert!(
+                        run.min_seqno() > prev_max,
+                        "pending runs must carry strictly ascending seqno ranges"
+                    );
+                    prev_max = run.max_seqno();
+                }
+            }
+        }
         if !self.memtable.is_empty() {
             let newest_on_runs = self
-                .levels
-                .iter_newest_first()
-                .map(Run::max_seqno)
+                .runs
+                .view()
+                .iter()
+                .map(|r| r.max_seqno())
                 .max()
                 .unwrap_or(0);
             assert!(
@@ -565,16 +865,29 @@ impl LsmHistory {
             );
             assert!(self.memtable.max_seqno() <= self.seqno);
         }
+        assert!(
+            self.trims.windows(2).all(|w| w[0].seqno < w[1].seqno),
+            "range tombstones must be seqno-ascending"
+        );
+        let mut visible_keys = Vec::new();
+        let mut visible_vals = Vec::new();
         let mut visible_logins = Vec::new();
-        let mut visible_count = 0usize;
         self.scan_visible(i64::MIN, i64::MAX, self.seqno, |k, v| {
-            visible_count += 1;
+            visible_keys.push(k);
+            visible_vals.push(v);
             if v == 1 {
                 visible_logins.push(k);
             }
             true
         });
-        assert_eq!(self.live, visible_count, "live counter diverged");
+        assert_eq!(
+            self.keys, visible_keys,
+            "visible-key cache diverged from the merged scan"
+        );
+        assert_eq!(
+            self.vals, visible_vals,
+            "visible-value cache diverged from the merged scan"
+        );
         assert_eq!(
             self.logins, visible_logins,
             "login cache diverged from the visible set"
@@ -595,20 +908,24 @@ impl LsmHistory {
         }
     }
 
-    /// Storage-overhead statistics.  Logical figures match the B+Tree
-    /// backend exactly; physical figures reflect the LSM shape (run
-    /// pages plus the memtable's would-be pages; depth = occupied
-    /// levels plus the memtable).
+    /// Storage-overhead statistics.  All figures are *logical*
+    /// (post-tombstone): `tuples` counts visible tuples, and the page
+    /// figures describe the pages those tuples would occupy — identical
+    /// to the B+Tree backend's accounting for the same visible set, so
+    /// `prorp-trace summary` and the invariant audit agree across
+    /// backends.  Physical LSM shape (runs, write amplification, GC
+    /// counters) lives in [`metrics`](Self::metrics) and
+    /// [`run_count`](Self::run_count); `index_depth` reports the read
+    /// path's source count (memtable + occupied levels).
     pub fn stats(&self) -> StorageStats {
-        let run_pages = self.levels.page_bytes() / page::PAGE_SIZE;
-        let mem_pages = page::pages_for(self.memtable.len());
-        let pages = run_pages + mem_pages;
+        let tuples = self.keys.len();
+        let pages = page::pages_for(tuples);
         StorageStats {
-            tuples: self.live,
-            logical_bytes: self.live * page::RECORD_SIZE,
+            tuples,
+            logical_bytes: tuples * page::RECORD_SIZE,
             page_bytes: pages * page::PAGE_SIZE,
             pages,
-            index_depth: usize::from(!self.memtable.is_empty()) + self.levels.depth(),
+            index_depth: usize::from(!self.memtable.is_empty()) + self.runs.depth(),
         }
     }
 }
@@ -629,12 +946,55 @@ impl TimeTravel for LsmHistory {
 
     fn snapshot(&self, seqno: u64) -> LsmSnapshot {
         let at = seqno.min(self.seqno);
-        let mut pairs = Vec::new();
+        let pins = self.runs.view();
+        let overlay: Vec<Entry> = self
+            .memtable
+            .iter()
+            .flat_map(|(k, chain)| {
+                chain
+                    .iter()
+                    .filter(|&&(s, _, _)| s <= at)
+                    .map(move |&(s, v, dead)| Entry {
+                        key: k,
+                        seqno: s,
+                        value: v,
+                        tombstone: dead,
+                    })
+            })
+            .collect();
+        let trims: Vec<RangeTombstone> = self
+            .trims
+            .iter()
+            .take_while(|t| t.seqno <= at)
+            .copied()
+            .collect();
+        if at == self.seqno {
+            // Fast path: the visible set at the latest seqno *is* the
+            // maintained cache — no merged scan.
+            return LsmSnapshot::with_pins(
+                at,
+                self.keys.clone(),
+                self.vals.clone(),
+                self.logins.clone(),
+                pins,
+                overlay,
+                trims,
+            );
+        }
+        let mut keys = Vec::new();
+        let mut vals = Vec::new();
         self.scan_visible(i64::MIN, i64::MAX, at, |k, v| {
-            pairs.push((k, v));
+            keys.push(k);
+            vals.push(v);
             true
         });
-        LsmSnapshot::from_visible(at, pairs)
+        let logins = keys
+            .iter()
+            .zip(&vals)
+            .filter(|&(_, &v)| v == 1)
+            .map(|(&k, _)| k)
+            .collect();
+        LsmSnapshot::with_pins(at, keys, vals, logins, pins, overlay, trims)
     }
 }
 
@@ -700,6 +1060,33 @@ mod tests {
         assert_eq!(h.version(), b.version());
         assert_eq!(h.min_timestamp(), b.min_timestamp());
         assert_eq!(h.events(), b.events());
+        h.check_invariants();
+    }
+
+    #[test]
+    fn a_trim_pass_is_one_range_tombstone() {
+        let mut h = tiny();
+        for d in 0..=40 {
+            h.insert_history(t(d * 86_400), EventKind::Start);
+        }
+        let logical_before = h.metrics().logical_write_bytes;
+        let wal_before = h.metrics().wal_appended_bytes;
+        let out = h.delete_old_history(Seconds::days(28), t(40 * 86_400));
+        assert_eq!(out.deleted, 11, "days 1..=11 die; day 0 is the lifespan");
+        assert_eq!(h.trims().len(), 1, "one tombstone, not 11");
+        assert_eq!(h.metrics().range_tombstones, 1);
+        assert_eq!(
+            h.metrics().logical_write_bytes - logical_before,
+            11 * crate::page::RECORD_SIZE,
+            "logical accounting stays per trimmed tuple"
+        );
+        // Physically, the pass appended one WAL record — not eleven.
+        let wal_delta = h.metrics().wal_appended_bytes - wal_before;
+        assert!(
+            wal_delta < 100,
+            "a trim pass writes one physical record regardless of coverage \
+             (appended {wal_delta} bytes)"
+        );
         h.check_invariants();
     }
 
@@ -802,6 +1189,9 @@ mod tests {
         assert!(m.wal_appended_bytes > 0);
         // The WAL only covers the unflushed memtable tail.
         assert!(h.wal().byte_len() < m.wal_appended_bytes);
+        // Inline mode charges compaction time to the stall ledger.
+        assert!(h.compaction_stall_ns() > 0);
+        assert_eq!(h.offloaded_compaction_ns(), 0);
     }
 
     #[test]
@@ -819,5 +1209,130 @@ mod tests {
         assert_eq!(h.logins(), &[100, 400, 500]);
         assert_eq!(h.slot_index().unwrap().total_logins(), 3);
         h.check_invariants();
+    }
+
+    #[test]
+    fn compaction_gcs_trimmed_versions() {
+        let mut h = tiny();
+        for ts in 0..40 {
+            h.insert_history(t(ts * 100), EventKind::Start);
+        }
+        let before = {
+            let m = h.metrics();
+            (m.gc_dropped, m.runs_dropped)
+        };
+        assert_eq!(before, (0, 0), "no GC without a tombstone");
+        let out = h.delete_old_history(Seconds(500), t(3_900));
+        assert!(out.deleted > 30);
+        // Later inserts trigger flushes and merges that GC the covered
+        // versions out of the runs.
+        for ts in 40..80 {
+            h.insert_history(t(ts * 100), EventKind::Start);
+        }
+        let m = h.metrics();
+        assert!(
+            m.gc_dropped > 0 || m.runs_dropped > 0,
+            "merges after a trim must garbage-collect: {m:?}"
+        );
+        assert!(h.gc_floor() > 0);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn background_mode_matches_inline_mode_bit_for_bit() {
+        let sched = CompactionScheduler::new();
+        let mut bg = tiny();
+        bg.attach_scheduler(&sched);
+        assert_eq!(bg.compaction_mode(), CompactionMode::Background);
+        let mut inline = tiny();
+        for day in 0..35 {
+            for slot in 0..10 {
+                let ts = t(day * 86_400 + slot * 600);
+                let kind = if slot % 2 == 0 {
+                    EventKind::Start
+                } else {
+                    EventKind::End
+                };
+                assert_eq!(bg.insert_history(ts, kind), inline.insert_history(ts, kind));
+            }
+            let now = t(day * 86_400 + 86_399);
+            assert_eq!(
+                bg.delete_old_history(Seconds::days(7), now),
+                inline.delete_old_history(Seconds::days(7), now)
+            );
+        }
+        // Background mode never compacted on the mutation path.
+        assert_eq!(bg.compaction_stall_ns(), 0);
+        bg.detach_compaction();
+        assert_eq!(bg.compaction_mode(), CompactionMode::Deterministic);
+        assert!(bg.offloaded_compaction_ns() > 0);
+        // Observable state and the physical ledgers agree exactly.
+        assert_eq!(bg.events(), inline.events());
+        assert_eq!(bg.logins(), inline.logins());
+        assert_eq!(bg.version(), inline.version());
+        assert_eq!(bg.stats(), inline.stats());
+        assert_eq!(bg.metrics(), inline.metrics());
+        assert_eq!(bg.run_count(), inline.run_count());
+        assert_eq!(bg.gc_floor(), inline.gc_floor());
+        bg.check_invariants();
+        inline.check_invariants();
+    }
+
+    #[test]
+    fn background_reads_are_exact_before_the_barrier() {
+        let sched = CompactionScheduler::new();
+        let mut bg = tiny();
+        bg.attach_scheduler(&sched);
+        let mut model = crate::HistoryTable::new();
+        for ts in 0..200 {
+            bg.insert_history(t(ts * 60), EventKind::Start);
+            model.insert_history(t(ts * 60), EventKind::Start);
+            // No barrier: reads must still see every version through the
+            // pending list + published image.
+            if ts % 37 == 0 {
+                assert_eq!(bg.len(), model.len());
+                assert_eq!(
+                    bg.login_window_stats(t(0), t(ts * 60)),
+                    model.login_window_stats(t(0), t(ts * 60))
+                );
+                bg.check_invariants();
+            }
+        }
+        bg.detach_compaction();
+        assert_eq!(bg.events(), model.events());
+    }
+
+    #[test]
+    fn cloning_a_background_store_detaches_the_clone() {
+        let sched = CompactionScheduler::new();
+        let mut bg = tiny();
+        bg.attach_scheduler(&sched);
+        for ts in 0..100 {
+            bg.insert_history(t(ts * 60), EventKind::Start);
+        }
+        let clone = bg.clone();
+        assert_eq!(clone.compaction_mode(), CompactionMode::Deterministic);
+        assert_eq!(clone.events(), bg.events());
+        bg.detach_compaction();
+        assert_eq!(clone.metrics(), bg.metrics());
+        assert_eq!(clone.run_count(), bg.run_count());
+        clone.check_invariants();
+    }
+
+    #[test]
+    fn stats_are_logical_after_trims() {
+        let mut h = tiny();
+        let mut b = crate::HistoryTable::new();
+        for ts in 0..60 {
+            h.insert_history(t(ts * 100), EventKind::Start);
+            b.insert_history(t(ts * 100), EventKind::Start);
+        }
+        h.delete_old_history(Seconds(1_000), t(5_900));
+        b.delete_old_history(Seconds(1_000), t(5_900));
+        let (hs, bs) = (h.stats(), b.stats());
+        assert_eq!(hs.tuples, bs.tuples, "logical tuple counts agree");
+        assert_eq!(hs.logical_bytes, bs.logical_bytes);
+        assert_eq!(hs.pages, bs.pages, "page figures are logical");
+        assert_eq!(hs.page_bytes, bs.page_bytes);
     }
 }

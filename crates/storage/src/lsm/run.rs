@@ -86,6 +86,19 @@ impl Default for Run {
 }
 
 impl Run {
+    /// Smallest key in the run (`i64::MAX` when empty) — the whole-run
+    /// drop check during garbage-collecting compaction.
+    pub fn min_key(&self) -> i64 {
+        self.entries.first().map_or(i64::MAX, |e| e.key)
+    }
+
+    /// Largest key in the run (`i64::MIN` when empty).
+    pub fn max_key(&self) -> i64 {
+        self.entries.last().map_or(i64::MIN, |e| e.key)
+    }
+}
+
+impl Run {
     /// Build a run from `(key, seqno)`-sorted entries, serialising them
     /// through the page machinery.  Returns the run and the number of
     /// physical bytes written (for the write-amplification ledger).
@@ -129,6 +142,13 @@ impl Run {
     /// Newest version of `key` at or below `at`, when present: bloom
     /// probe, then binary search on the sorted entries.
     pub fn visible(&self, key: i64, at: u64) -> Visible {
+        self.visible_seq(key, at).map(|(_, v)| v)
+    }
+
+    /// Like [`visible`](Run::visible), but also yields the winning
+    /// version's seqno — range-tombstone resolution compares it against
+    /// the newest covering trim.
+    pub fn visible_seq(&self, key: i64, at: u64) -> Option<(u64, Option<i64>)> {
         if let Some(bloom) = &self.bloom {
             if !bloom.may_contain(key) {
                 return None;
@@ -138,7 +158,7 @@ impl Run {
         let hi = self.entries[lo..].partition_point(|e| e.key == key && e.seqno <= at) + lo;
         if hi > lo {
             let e = &self.entries[hi - 1];
-            Some((!e.tombstone).then_some(e.value))
+            Some((e.seqno, (!e.tombstone).then_some(e.value)))
         } else {
             None
         }

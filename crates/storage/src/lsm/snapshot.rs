@@ -6,20 +6,36 @@
 //! post-mortem can ask "what history did the predictor see as of T?"
 //! and re-run Algorithm 4 against exactly that state — the oxibase
 //! `AS OF` idiom over fjall-style sequence numbers.
+//!
+//! A snapshot also *pins* the run hierarchy it was cut from: every run
+//! readable at freeze time is held by `Arc`, so a later garbage-
+//! collecting compaction can drop those runs from the live store
+//! without invalidating the snapshot's version-level reads
+//! ([`LsmSnapshot::resolve`]).  The materialised tuple set answers the
+//! aggregate surface; the pins answer point-in-time version probes even
+//! below the store's GC floor.
 
+use super::run::{Entry, Run};
+use super::tombstone::{self, RangeTombstone};
 use crate::history::{SlotIndex, StorageStats};
 use crate::page;
 use crate::store::HistoryRead;
 use prorp_types::{ActivityEvent, EventKind, Timestamp};
+use std::sync::Arc;
 
 /// An owned, immutable view of the history as of one seqno.
 ///
 /// Implements only the read half of the storage seam
 /// ([`HistoryRead`]): predictors run against a snapshot exactly as
 /// they run against the live store, but nothing can mutate it.  The
-/// view is materialised (not a reference into the tree), so it stays
-/// valid however the live store compacts afterwards.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// view is materialised (not a reference into the tree) *and* pins the
+/// runs it was cut from, so it stays valid — and stays exact — however
+/// the live store compacts or garbage-collects afterwards.
+///
+/// Equality compares the observable frozen state (seqno + visible tuple
+/// set) only; two snapshots of the same logical state are equal even if
+/// they pin physically different run hierarchies.
+#[derive(Clone, Debug)]
 pub struct LsmSnapshot {
     /// The seqno this view is frozen at.
     seqno: u64,
@@ -29,33 +45,97 @@ pub struct LsmSnapshot {
     values: Vec<i64>,
     /// Visible login keys, ascending (`values[i] == 1` subset).
     logins: Vec<i64>,
+    /// Runs readable at freeze time, newest first, held alive by `Arc`
+    /// refcounts so compaction can retire them from the live store.
+    pins: Vec<Arc<Run>>,
+    /// Memtable versions at or below `seqno`, `(key, seqno)`-sorted —
+    /// the write-buffer leg the pinned runs don't cover.
+    overlay: Vec<Entry>,
+    /// Range tombstones with `seqno <=` the freeze point, ascending.
+    trims: Vec<RangeTombstone>,
 }
 
+impl PartialEq for LsmSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.seqno == other.seqno
+            && self.keys == other.keys
+            && self.values == other.values
+            && self.logins == other.logins
+    }
+}
+
+impl Eq for LsmSnapshot {}
+
 impl LsmSnapshot {
-    /// Freeze a visible tuple set.  `pairs` must be key-ascending.
-    pub(crate) fn from_visible(seqno: u64, pairs: Vec<(i64, i64)>) -> LsmSnapshot {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
-        let mut keys = Vec::with_capacity(pairs.len());
-        let mut values = Vec::with_capacity(pairs.len());
-        let mut logins = Vec::new();
-        for (k, v) in pairs {
-            keys.push(k);
-            values.push(v);
-            if v == 1 {
-                logins.push(k);
-            }
-        }
+    /// Freeze a visible tuple set *and* pin the run hierarchy it was
+    /// cut from.  `pins` must be newest-first; `overlay` holds the
+    /// memtable versions at or below `seqno`, `(key, seqno)`-sorted.
+    pub(crate) fn with_pins(
+        seqno: u64,
+        keys: Vec<i64>,
+        values: Vec<i64>,
+        logins: Vec<i64>,
+        pins: Vec<Arc<Run>>,
+        mut overlay: Vec<Entry>,
+        trims: Vec<RangeTombstone>,
+    ) -> LsmSnapshot {
+        overlay.sort_unstable_by_key(|e| (e.key, e.seqno));
         LsmSnapshot {
             seqno,
             keys,
             values,
             logins,
+            pins,
+            overlay,
+            trims,
         }
     }
 
     /// The seqno this view is frozen at.
     pub fn seqno(&self) -> u64 {
         self.seqno
+    }
+
+    /// The runs this snapshot holds alive (newest first; empty for
+    /// views constructed without pins).
+    pub fn pinned_runs(&self) -> &[Arc<Run>] {
+        &self.pins
+    }
+
+    /// Version-level point probe: the value visible for `key` at the
+    /// freeze seqno, resolved through the pinned sources exactly as the
+    /// live store would have at freeze time — overlay (memtable leg),
+    /// then runs newest-first, then the frozen tombstone set.  Falls
+    /// back to the materialised tuple set when the view carries no
+    /// pins.  `None` means the key was not visible.
+    pub fn resolve(&self, key: i64) -> Option<i64> {
+        if self.pins.is_empty() && self.overlay.is_empty() {
+            let pos = self.keys.partition_point(|&k| k < key);
+            return (self.keys.get(pos).copied() == Some(key)).then(|| self.values[pos]);
+        }
+        let at = self.seqno;
+        let mut verdict: Option<(u64, Option<i64>)> = None;
+        let lo = self.overlay.partition_point(|e| e.key < key);
+        let hi = lo + self.overlay[lo..].partition_point(|e| e.key == key && e.seqno <= at);
+        if hi > lo {
+            let e = &self.overlay[hi - 1];
+            verdict = Some((e.seqno, (!e.tombstone).then_some(e.value)));
+        }
+        if verdict.is_none() {
+            for run in &self.pins {
+                if let Some(hit) = run.visible_seq(key, at) {
+                    verdict = Some(hit);
+                    break;
+                }
+            }
+        }
+        let (win_seq, value) = verdict?;
+        let trimmed = tombstone::newest_covering(&self.trims, key, at).is_some_and(|t| t > win_seq);
+        if trimmed {
+            None
+        } else {
+            value
+        }
     }
 
     /// Index range of `keys` covered by the closed window `[lo, hi]`.
@@ -180,7 +260,15 @@ mod tests {
     use super::*;
 
     fn snap() -> LsmSnapshot {
-        LsmSnapshot::from_visible(7, vec![(10, 1), (20, 0), (30, 1), (40, 0)])
+        LsmSnapshot::with_pins(
+            7,
+            vec![10, 20, 30, 40],
+            vec![1, 0, 1, 0],
+            vec![10, 30],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     #[test]
@@ -208,5 +296,101 @@ mod tests {
         assert!(s.slot_index().is_none());
         assert_eq!(s.events().len(), 4);
         assert_eq!(s.stats().tuples, 4);
+    }
+
+    #[test]
+    fn unpinned_resolve_falls_back_to_the_materialised_set() {
+        let s = snap();
+        assert!(s.pinned_runs().is_empty());
+        assert_eq!(s.resolve(10), Some(1));
+        assert_eq!(s.resolve(20), Some(0));
+        assert_eq!(s.resolve(15), None);
+    }
+
+    #[test]
+    fn pinned_resolve_reads_through_runs_and_tombstones() {
+        let entries = vec![
+            Entry {
+                key: 10,
+                seqno: 1,
+                value: 1,
+                tombstone: false,
+            },
+            Entry {
+                key: 20,
+                seqno: 2,
+                value: 0,
+                tombstone: false,
+            },
+            Entry {
+                key: 30,
+                seqno: 3,
+                value: 1,
+                tombstone: false,
+            },
+        ];
+        let run = Arc::new(Run::build(entries, true).unwrap().0);
+        // Trim at seqno 4 covers [11, 30): key 20 is deleted, 10 and 30
+        // survive.  A newer memtable version of 20 (seqno 5) wins back.
+        let trims = vec![RangeTombstone {
+            lo: 11,
+            hi: 30,
+            seqno: 4,
+        }];
+        let overlay = vec![Entry {
+            key: 20,
+            seqno: 5,
+            value: 1,
+            tombstone: false,
+        }];
+        let s = LsmSnapshot::with_pins(
+            5,
+            vec![10, 20, 30],
+            vec![1, 1, 1],
+            vec![10, 20, 30],
+            vec![run],
+            overlay,
+            trims,
+        );
+        assert_eq!(s.pinned_runs().len(), 1);
+        assert_eq!(s.resolve(10), Some(1));
+        assert_eq!(
+            s.resolve(20),
+            Some(1),
+            "overlay re-insert outranks the trim"
+        );
+        assert_eq!(s.resolve(30), Some(1));
+        assert_eq!(s.resolve(25), None);
+        // At an earlier freeze point the trim wins over the run version.
+        let s4 = LsmSnapshot::with_pins(
+            4,
+            vec![10, 30],
+            vec![1, 1],
+            vec![10, 30],
+            s.pinned_runs().to_vec(),
+            Vec::new(),
+            vec![RangeTombstone {
+                lo: 11,
+                hi: 30,
+                seqno: 4,
+            }],
+        );
+        assert_eq!(s4.resolve(20), None, "trim deletes the run version");
+        assert_eq!(s4.resolve(10), Some(1));
+    }
+
+    #[test]
+    fn equality_ignores_the_pinned_hierarchy() {
+        let a = snap();
+        let b = LsmSnapshot::with_pins(
+            7,
+            a.keys.clone(),
+            a.values.clone(),
+            a.logins.clone(),
+            vec![Arc::new(Run::default())],
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(a, b);
     }
 }

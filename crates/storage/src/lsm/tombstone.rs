@@ -1,0 +1,93 @@
+//! Key-range tombstones — Algorithm 3 trims as `O(1)` logical deletes.
+//!
+//! A `DeleteOldHistory` pass used to materialise one point tombstone per
+//! doomed tuple (`O(k)` memtable writes, later `O(k)` merge work).  A
+//! [`RangeTombstone`] replaces the whole pass with a single record: it
+//! covers every key in `[lo, hi)` and logically deletes every version
+//! written *before* the tombstone's own seqno.  Visibility resolution
+//! compares the newest point version of a key against the newest
+//! covering tombstone — whichever carries the higher seqno wins, so a
+//! key re-inserted after a trim is alive again without any special
+//! casing.
+//!
+//! Tombstones live at the store level (not inside runs): Algorithm 3
+//! always trims a prefix of the key space, so a store accumulates one
+//! small record per retention pass, consulted by binary search on the
+//! seqno axis.  Compaction uses them to garbage-collect covered
+//! versions ([`super::compaction`]), dropping whole runs when a
+//! tombstone covers a run's entire key range.
+
+/// One key-range tombstone: deletes every version of every key in
+/// `[lo, hi)` whose seqno is below [`seqno`](RangeTombstone::seqno).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RangeTombstone {
+    /// Inclusive lower key bound.
+    pub lo: i64,
+    /// Exclusive upper key bound.
+    pub hi: i64,
+    /// The mutation seqno of the trim itself; versions with a seqno
+    /// at or above it (re-inserts) are *not* deleted.
+    pub seqno: u64,
+}
+
+impl RangeTombstone {
+    /// Whether `key` falls inside the covered range.
+    pub fn covers(&self, key: i64) -> bool {
+        self.lo <= key && key < self.hi
+    }
+
+    /// Whether this tombstone logically deletes the version of `key`
+    /// written at `version_seqno`.
+    pub fn deletes(&self, key: i64, version_seqno: u64) -> bool {
+        version_seqno < self.seqno && self.covers(key)
+    }
+}
+
+/// Seqno of the newest tombstone at or below `at` covering `key`, over
+/// a seqno-ascending tombstone list (the store's append order).
+pub(crate) fn newest_covering(trims: &[RangeTombstone], key: i64, at: u64) -> Option<u64> {
+    let cut = trims.partition_point(|t| t.seqno <= at);
+    trims[..cut]
+        .iter()
+        .rev()
+        .find(|t| t.covers(key))
+        .map(|t| t.seqno)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tomb(lo: i64, hi: i64, seqno: u64) -> RangeTombstone {
+        RangeTombstone { lo, hi, seqno }
+    }
+
+    #[test]
+    fn coverage_is_half_open() {
+        let t = tomb(10, 20, 5);
+        assert!(t.covers(10));
+        assert!(t.covers(19));
+        assert!(!t.covers(20));
+        assert!(!t.covers(9));
+    }
+
+    #[test]
+    fn deletes_only_older_versions() {
+        let t = tomb(10, 20, 5);
+        assert!(t.deletes(15, 4));
+        assert!(!t.deletes(15, 5), "the trim's own seqno is not covered");
+        assert!(!t.deletes(15, 6), "re-inserts survive");
+        assert!(!t.deletes(25, 1), "outside the range");
+    }
+
+    #[test]
+    fn newest_covering_respects_the_read_point() {
+        let trims = [tomb(1, 10, 3), tomb(1, 20, 7)];
+        assert_eq!(newest_covering(&trims, 5, 2), None);
+        assert_eq!(newest_covering(&trims, 5, 3), Some(3));
+        assert_eq!(newest_covering(&trims, 5, 7), Some(7));
+        assert_eq!(newest_covering(&trims, 15, 6), None);
+        assert_eq!(newest_covering(&trims, 15, u64::MAX), Some(7));
+        assert_eq!(newest_covering(&trims, 25, u64::MAX), None);
+    }
+}

@@ -144,6 +144,10 @@ impl StorageBackend {
 /// for the rebalance/backup paths.  The whole surface lives on the
 /// [`HistoryRead`] + [`HistoryStore`] trait impls — import the traits
 /// to call it (the PR 7 inherent mirror API has been removed).
+/// A fleet runs one backend for every database, so the arena pays the
+/// larger variant's footprint only when it actually uses the LSM —
+/// boxing it would put a pointer chase on every history read instead.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum HistoryBackend {
     /// B+Tree-backed [`HistoryTable`] (the §5 default).
@@ -181,6 +185,51 @@ impl HistoryBackend {
         match self {
             HistoryBackend::BTree(_) => StorageBackend::BTree,
             HistoryBackend::Lsm(_) => StorageBackend::Lsm,
+        }
+    }
+
+    /// Hand compaction to a scheduler worker (LSM only; the B+Tree
+    /// backend has no compaction and ignores the call).
+    pub fn attach_compaction(&mut self, sched: &crate::lsm::CompactionScheduler) {
+        if let HistoryBackend::Lsm(store) = self {
+            store.attach_scheduler(sched);
+        }
+    }
+
+    /// Barrier + fold + return to inline compaction (no-op on the
+    /// B+Tree backend or an already-inline LSM store).  Shard drivers
+    /// call this before collecting final stats so figures are
+    /// deterministic across compaction modes.
+    pub fn detach_compaction(&mut self) {
+        if let HistoryBackend::Lsm(store) = self {
+            store.detach_compaction();
+        }
+    }
+
+    /// Block until every enqueued flush has been compacted, staying
+    /// attached (no-op outside background LSM mode) — the conformance
+    /// suite's explicit barrier point.
+    pub fn compaction_barrier(&mut self) {
+        if let HistoryBackend::Lsm(store) = self {
+            store.compaction_barrier();
+        }
+    }
+
+    /// Wall-clock nanoseconds the mutation path spent blocked on
+    /// compaction work (0 on the B+Tree backend, which has none).
+    pub fn compaction_stall_ns(&self) -> u64 {
+        match self {
+            HistoryBackend::BTree(_) => 0,
+            HistoryBackend::Lsm(store) => store.compaction_stall_ns(),
+        }
+    }
+
+    /// Wall-clock nanoseconds of compaction performed off the hot path
+    /// by a scheduler worker (0 outside background LSM mode).
+    pub fn offloaded_compaction_ns(&self) -> u64 {
+        match self {
+            HistoryBackend::BTree(_) => 0,
+            HistoryBackend::Lsm(store) => store.offloaded_compaction_ns(),
         }
     }
 }

@@ -13,14 +13,14 @@ use std::time::Duration;
 
 /// What one shard worker did during a simulation run.
 ///
-/// Equality deliberately ignores
-/// [`wall_clock_micros`](Self::wall_clock_micros): two runs that did
-/// identical simulated
-/// work compare equal even though their wall-clock timings differ, so
-/// determinism assertions can compare whole reports without special
-/// casing the one volatile field.  The wall clock still surfaces for
-/// operators as the `sim_self_wall_clock_micros` gauge in observability
-/// snapshots.
+/// Equality deliberately ignores the wall-clock fields
+/// ([`wall_clock_micros`](Self::wall_clock_micros) and the phase
+/// breakdown below it): two runs that did identical simulated work
+/// compare equal even though their timings differ, so determinism
+/// assertions can compare whole reports without special casing the
+/// volatile fields.  The wall clocks still surface for operators as the
+/// `sim_self_*` gauges in observability snapshots and in the
+/// `scale_bench` per-shard breakdown.
 #[derive(Clone, Copy, Eq, Debug, Default)]
 pub struct ShardCounters {
     /// Shard index in `[0, shard_count)`.
@@ -37,13 +37,32 @@ pub struct ShardCounters {
     ///
     /// Stored as an integer so the struct stays `Copy + Eq`; use
     /// [`wall_clock`](Self::wall_clock) for a [`Duration`] view.
+    /// Volatile: excluded from equality, like the whole phase breakdown
+    /// below.
     pub wall_clock_micros: u64,
+    /// Wall-clock micros of the registration phase (engine
+    /// construction, trace-event seeding).  Volatile.
+    pub register_micros: u64,
+    /// Wall-clock micros of the event-loop phase (registration end to
+    /// `finish()` start).  Volatile.
+    pub run_micros: u64,
+    /// Wall-clock micros spent closing the books in `finish()`
+    /// (invariant audits, stats collection, report assembly).  Volatile.
+    pub finish_micros: u64,
+    /// Micros the shard's mutation paths spent blocked on inline LSM
+    /// compaction (0 on the B+Tree backend and in background-compaction
+    /// mode).  Volatile.
+    pub compaction_stall_micros: u64,
+    /// Micros of LSM compaction performed off the hot path by the
+    /// shard's scheduler worker (0 outside background mode).  Volatile.
+    pub offloaded_compaction_micros: u64,
 }
 
 impl PartialEq for ShardCounters {
     fn eq(&self, other: &Self) -> bool {
-        // wall_clock_micros is volatile (it measures the simulator
-        // process, not the simulated world) and is excluded on purpose.
+        // The wall-clock fields (total + phase breakdown + compaction
+        // timings) are volatile (they measure the simulator process, not
+        // the simulated world) and are excluded on purpose.
         self.shard == other.shard
             && self.databases == other.databases
             && self.events_processed == other.events_processed
@@ -120,7 +139,15 @@ mod tests {
         a.set_wall_clock(Duration::from_millis(250));
         let mut b = a;
         b.set_wall_clock(Duration::from_millis(900));
-        assert_eq!(a, b, "wall clock must not break determinism equality");
+        b.register_micros = 11;
+        b.run_micros = 22;
+        b.finish_micros = 33;
+        b.compaction_stall_micros = 44;
+        b.offloaded_compaction_micros = 55;
+        assert_eq!(
+            a, b,
+            "wall clock and phase breakdown must not break determinism equality"
+        );
         b.events_processed = 101;
         assert_ne!(a, b, "simulated work still distinguishes");
     }

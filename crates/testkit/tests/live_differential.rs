@@ -18,7 +18,10 @@
 use proptest::prelude::*;
 use prorp_obs::SloConfig;
 use prorp_server::{IngestOutcome, LiveDriver, LiveEvent, LiveEventKind};
-use prorp_sim::{ObsConfig, SimConfig, SimConfigBuilder, SimPolicy, SimReport, Simulation};
+use prorp_sim::{
+    CompactionMode, ObsConfig, SimConfig, SimConfigBuilder, SimPolicy, SimReport, Simulation,
+    StorageBackend,
+};
 use prorp_types::{DatabaseId, PolicyConfig, RetryPolicy, Seconds, Timestamp};
 use prorp_workload::{RegionName, RegionProfile, Trace};
 use testkit::oracles::{assert_reports_equal, DAY, MEASURE_DAY, SPAN_DAYS};
@@ -163,6 +166,37 @@ fn live_matches_des_at_one_and_eight_shards() {
                 &format!("{} @ {shards} shard(s)", cfg.policy.label()),
             );
         }
+    }
+}
+
+/// The storage hot-path changes reach service mode too: a live driver
+/// running the LSM backend with the background compaction scheduler
+/// must make decisions bit-identical to the DES running the same
+/// backend with inline (deterministic) compaction.  This is the
+/// end-to-end form of the `CompactionScheduler` determinism argument —
+/// worker threads under the wall-clock-capable driver change nothing
+/// observable.
+#[test]
+fn live_lsm_background_matches_des_inline_compaction() {
+    let traces = fleet(909, 12);
+    let events = stream_of(&traces);
+    for shards in [1usize, 4] {
+        let des_cfg = base_config(SimPolicy::Proactive(PolicyConfig::default()), shards)
+            .storage_backend(StorageBackend::Lsm)
+            .build()
+            .expect("config validates");
+        let live_cfg = base_config(SimPolicy::Proactive(PolicyConfig::default()), shards)
+            .storage_backend(StorageBackend::Lsm)
+            .compaction_mode(CompactionMode::Background)
+            .build()
+            .expect("config validates");
+        let des = run_des(&des_cfg, &traces);
+        let live = run_live(&live_cfg, &traces, &events, Seconds::hours(6));
+        assert_live_identical(
+            &des,
+            &live,
+            &format!("lsm inline-DES vs background-live @ {shards} shard(s)"),
+        );
     }
 }
 

@@ -88,12 +88,21 @@ run cargo run --release -q -p prorp-bench --bin scale_bench -- \
 run cargo run --release -q -p prorp-bench --bin obs_bench -- \
     --smoke --json target/obs_smoke.json
 
-# Storage-backend A/B in smoke mode: asserts btree ≡ lsm fleet KPIs and
-# checksummed window-scan agreement before timing anything (the
-# committed full-scale numbers in results/BENCH_storage.json come from
-# scripts/bless.sh).
+# Storage-backend A/B in smoke mode, under BOTH LSM compaction modes:
+# asserts btree ≡ lsm fleet KPIs, checksummed window-scan agreement,
+# flat range-tombstone trim cost, and — in background mode — a
+# stall-free event-loop path (the committed full-scale numbers in
+# results/BENCH_storage.json come from scripts/bless.sh).
 run cargo run --release -q -p prorp-bench --bin storage_bench -- \
-    --smoke --json target/storage_smoke.json
+    --smoke --compaction deterministic --json target/storage_smoke.json
+run cargo run --release -q -p prorp-bench --bin storage_bench -- \
+    --smoke --compaction background --json target/storage_smoke_bg.json
+
+# Hand-rolled multi-thread stress of the compaction scheduler: pinned
+# snapshots stay exact while a real worker compacts underneath them,
+# and many stores share one scheduler without cross-talk.
+run cargo test -q -p prorp-storage --features shuttle-compaction \
+    --test shuttle_compaction
 
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
